@@ -1,0 +1,348 @@
+// Package aved is an automated system design engine for availability —
+// a reproduction of "Automated System Design for Availability"
+// (Janakiraman, Santos, Turner; HP Labs, DSN 2004). Given an
+// infrastructure model (components, failure modes, availability
+// mechanisms, resource types), a service model (tiers and resource
+// options with performance curves) and high-level service requirements
+// (throughput and maximum annual downtime, or expected job completion
+// time), Aved searches the design space for the minimum-cost design
+// that satisfies the requirements.
+//
+// The package is a thin facade: it re-exports the stable surface of
+// the internal packages (spec parsing and binding, the §4.1 search
+// engine, the §4.2 availability engines, and the Fig. 6–8 sweeps) so
+// applications need a single import.
+//
+//	inf, _ := aved.LoadInfrastructure(spec)     // Fig. 3 format
+//	svc, _ := aved.LoadService(serviceSpec, inf) // Fig. 4/5 format
+//	solver, _ := aved.NewSolver(inf, svc, aved.Options{Registry: reg})
+//	sol, _ := solver.Solve(aved.Requirements{
+//	    Kind:              aved.ReqEnterprise,
+//	    Throughput:        1000,
+//	    MaxAnnualDowntime: aved.Minutes(100),
+//	})
+//	fmt.Println(sol.Design.Label(), sol.Cost, sol.DowntimeMinutes)
+package aved
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"aved/internal/avail"
+	"aved/internal/core"
+	"aved/internal/export"
+	"aved/internal/model"
+	"aved/internal/perf"
+	"aved/internal/report"
+	"aved/internal/scenarios"
+	"aved/internal/sensitivity"
+	"aved/internal/sim"
+	"aved/internal/sweep"
+	"aved/internal/units"
+)
+
+// Core model types.
+type (
+	// Infrastructure is the bound infrastructure model (§3.1).
+	Infrastructure = model.Infrastructure
+	// Service is the bound service model (§3.2).
+	Service = model.Service
+	// Requirements are the user's high-level service requirements.
+	Requirements = model.Requirements
+	// Design is a complete resolution of every design choice.
+	Design = model.Design
+	// TierDesign is one tier's resolved design.
+	TierDesign = model.TierDesign
+	// ParamValue is a chosen mechanism-parameter setting.
+	ParamValue = model.ParamValue
+	// Duration is a time quantity using the spec suffixes (s, m, h, d).
+	Duration = units.Duration
+	// Money is an annualised cost.
+	Money = units.Money
+)
+
+// Requirement kinds.
+const (
+	// ReqEnterprise asks for a throughput and a downtime bound.
+	ReqEnterprise = model.ReqEnterprise
+	// ReqJob asks for an expected job completion time.
+	ReqJob = model.ReqJob
+)
+
+// Solver types.
+type (
+	// Solver searches the design space (§4.1).
+	Solver = core.Solver
+	// Options configure a Solver.
+	Options = core.Options
+	// Solution is a search outcome.
+	Solution = core.Solution
+	// InfeasibleError reports that no design satisfies the requirements.
+	InfeasibleError = core.InfeasibleError
+)
+
+// Performance model types.
+type (
+	// Registry resolves performance references from service specs.
+	Registry = perf.Registry
+	// Curve maps active-resource counts to throughput.
+	Curve = perf.Curve
+)
+
+// Availability evaluation types.
+type (
+	// Engine evaluates availability models (§4.2).
+	Engine = avail.Engine
+	// AvailabilityResult is a whole-design availability evaluation.
+	AvailabilityResult = avail.Result
+	// TierModel is the §4.2 availability model of one tier.
+	TierModel = avail.TierModel
+)
+
+// Sweep types (the paper's evaluation artefacts).
+type (
+	// Fig6Result is the optimal-family map over the requirement plane.
+	Fig6Result = sweep.Fig6Result
+	// Fig7Point is one sample of the scientific-application sweep.
+	Fig7Point = sweep.Fig7Point
+	// Fig8Curve is one availability cost-premium curve.
+	Fig8Curve = sweep.Fig8Curve
+	// Family identifies a design family as Fig. 6 labels them.
+	Family = sweep.Family
+)
+
+// LoadInfrastructure parses and validates an infrastructure model in
+// the Fig. 3 specification format.
+func LoadInfrastructure(src string) (*Infrastructure, error) {
+	return model.ParseInfrastructure(src)
+}
+
+// LoadInfrastructureFile reads an infrastructure model from disk.
+func LoadInfrastructureFile(path string) (*Infrastructure, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("aved: read infrastructure: %w", err)
+	}
+	return LoadInfrastructure(string(b))
+}
+
+// LoadService parses a service model in the Fig. 4/5 format and
+// resolves it against the infrastructure.
+func LoadService(src string, inf *Infrastructure) (*Service, error) {
+	svc, err := model.ParseService(src)
+	if err != nil {
+		return nil, err
+	}
+	if err := svc.Resolve(inf); err != nil {
+		return nil, err
+	}
+	return svc, nil
+}
+
+// LoadServiceFile reads a service model from disk and resolves it.
+func LoadServiceFile(path string, inf *Infrastructure) (*Service, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("aved: read service: %w", err)
+	}
+	return LoadService(string(b), inf)
+}
+
+// NewSolver builds a design-space solver.
+func NewSolver(inf *Infrastructure, svc *Service, opts Options) (*Solver, error) {
+	return core.NewSolver(inf, svc, opts)
+}
+
+// NewRegistry builds an empty performance registry. Register closed
+// forms with RegisterCurve/RegisterOverhead, or set Dir for file-based
+// perf tables.
+func NewRegistry() *Registry { return perf.NewRegistry() }
+
+// MarkovEngine builds the analytic availability engine (the paper's
+// simplified Markov model). It is the solver default.
+func MarkovEngine() Engine { return avail.NewMarkovEngine() }
+
+// ExactEngine builds the exact-transient analytic engine: explicit
+// (failed, activating) CTMC states solved densely, validating the
+// default engine's per-event transient accounting.
+func ExactEngine() Engine { return avail.NewExactEngine() }
+
+// SimEngine builds the discrete-event simulation engine — the stand-in
+// for the external availability evaluation engine (Avanto) the paper
+// interfaces to. It runs reps replications of years simulated years.
+func SimEngine(seed int64, years float64, reps int) (Engine, error) {
+	return sim.NewEngine(seed, years, reps)
+}
+
+// MissionDowntime reports a tier model's expected downtime in minutes
+// per year over a finite mission starting all-up — the transient-aware
+// counterpart of the engines' steady-state figure, matching what a
+// finite-horizon simulation measures for a young system.
+func MissionDowntime(tm *TierModel, years float64) (float64, error) {
+	return avail.MissionDowntime(tm, years)
+}
+
+// EvaluateDesign runs a complete design through an availability engine.
+func EvaluateDesign(d *Design, eng Engine) (AvailabilityResult, error) {
+	tms, err := avail.BuildModels(d)
+	if err != nil {
+		return AvailabilityResult{}, err
+	}
+	return eng.Evaluate(tms)
+}
+
+// Minutes builds a Duration from a number of minutes.
+func Minutes(m float64) Duration { return Duration(m * float64(units.Minute)) }
+
+// Hours builds a Duration from a number of hours.
+func Hours(h float64) Duration { return units.FromHours(h) }
+
+// ParseDuration parses the spec notation ("30s", "2m", "38h", "650d").
+func ParseDuration(s string) (Duration, error) { return units.ParseDuration(s) }
+
+// EnumValue builds an enumerated mechanism-parameter value.
+func EnumValue(s string) ParamValue { return model.EnumValue(s) }
+
+// DurationValue builds a numeric mechanism-parameter value in hours.
+func DurationValue(hours float64) ParamValue { return model.DurationValue(hours) }
+
+// SweepFig6 regenerates the Fig. 6 requirement-plane sweep.
+func SweepFig6(solver *Solver, loads, budgetsMinutes []float64) (*Fig6Result, error) {
+	return sweep.Fig6(solver, loads, budgetsMinutes)
+}
+
+// SweepFig7 regenerates the Fig. 7 job-time sweep.
+func SweepFig7(solver *Solver, requirementHours []float64) ([]Fig7Point, error) {
+	return sweep.Fig7(solver, requirementHours)
+}
+
+// SweepFig8 regenerates the Fig. 8 cost-premium curves.
+func SweepFig8(solver *Solver, loads, budgetsMinutes []float64) ([]Fig8Curve, error) {
+	return sweep.Fig8(solver, loads, budgetsMinutes)
+}
+
+// LogGrid builds a logarithmically spaced requirement grid.
+func LogGrid(lo, hi float64, points int) ([]float64, error) { return sweep.LogGrid(lo, hi, points) }
+
+// LinGrid builds a linearly spaced requirement grid.
+func LinGrid(lo, hi float64, points int) ([]float64, error) { return sweep.LinGrid(lo, hi, points) }
+
+// FamilyOf classifies a tier design into its Fig. 6 family.
+func FamilyOf(td *TierDesign) Family { return sweep.FamilyOf(td) }
+
+// Paper fixtures: the exact inputs of the paper's evaluation (§5).
+
+// PaperInfrastructure binds the Fig. 3 infrastructure model.
+func PaperInfrastructure() (*Infrastructure, error) { return scenarios.Infrastructure() }
+
+// PaperRegistry builds a registry loaded with the Table 1 performance
+// functions.
+func PaperRegistry() *Registry { return scenarios.Registry() }
+
+// PaperEcommerce binds the Fig. 4 e-commerce service.
+func PaperEcommerce(inf *Infrastructure) (*Service, error) { return scenarios.Ecommerce(inf) }
+
+// PaperApplicationTier binds the §5.1 application-tier example.
+func PaperApplicationTier(inf *Infrastructure) (*Service, error) {
+	return scenarios.ApplicationTier(inf)
+}
+
+// PaperScientific binds the Fig. 5 scientific-application service.
+func PaperScientific(inf *Infrastructure) (*Service, error) { return scenarios.Scientific(inf) }
+
+// PaperInfrastructureSpec is the Fig. 3 specification text, exposed so
+// applications can start from the paper's inputs and edit them.
+const PaperInfrastructureSpec = scenarios.InfrastructureSpec
+
+// PaperEcommerceSpec is the Fig. 4 specification text.
+const PaperEcommerceSpec = scenarios.EcommerceSpec
+
+// PaperScientificSpec is the Fig. 5 specification text.
+const PaperScientificSpec = scenarios.ScientificSpec
+
+// Bronze pins both maintenance contracts to the bronze level, the
+// §5.2 configuration.
+func Bronze() map[string]map[string]ParamValue {
+	return map[string]map[string]ParamValue{
+		"maintenanceA": {"level": model.EnumValue("bronze")},
+		"maintenanceB": {"level": model.EnumValue("bronze")},
+	}
+}
+
+// Sensitivity analysis (what-if over infrastructure parameters).
+type (
+	// SensitivityKnob perturbs an infrastructure copy by a factor.
+	SensitivityKnob = sensitivity.Knob
+	// SensitivityConfig drives a sensitivity sweep.
+	SensitivityConfig = sensitivity.Config
+	// SensitivityPoint is one perturbed-solve outcome.
+	SensitivityPoint = sensitivity.Point
+)
+
+// ScaleMTBF builds a knob multiplying a component's MTBFs (all
+// components when name is empty).
+func ScaleMTBF(component string) SensitivityKnob { return sensitivity.ScaleMTBF(component) }
+
+// ScaleCost builds a knob multiplying a component's prices (all
+// components when name is empty).
+func ScaleCost(component string) SensitivityKnob { return sensitivity.ScaleCost(component) }
+
+// ScaleMechanismCost builds a knob multiplying a mechanism's cost
+// table.
+func ScaleMechanismCost(mechanism string) SensitivityKnob {
+	return sensitivity.ScaleMechanismCost(mechanism)
+}
+
+// SensitivitySweep perturbs clones of the infrastructure with the knob
+// at each factor and re-solves the fixed requirement.
+func SensitivitySweep(base *Infrastructure, cfg SensitivityConfig, knob SensitivityKnob, factors []float64) ([]SensitivityPoint, error) {
+	return sensitivity.Sweep(base, cfg, knob, factors)
+}
+
+// Availability-model exchange (the representations the paper feeds to
+// external evaluation engines such as Avanto).
+
+// WriteAvailabilityModel renders a design's §4.2 availability model in
+// the structured text exchange format.
+func WriteAvailabilityModel(w io.Writer, d *Design) error {
+	tms, err := avail.BuildModels(d)
+	if err != nil {
+		return err
+	}
+	return export.WriteText(w, tms)
+}
+
+// WriteAvailabilityModelJSON renders a design's availability model as
+// JSON.
+func WriteAvailabilityModelJSON(w io.Writer, d *Design) error {
+	tms, err := avail.BuildModels(d)
+	if err != nil {
+		return err
+	}
+	return export.WriteJSON(w, tms)
+}
+
+// ReadAvailabilityModel parses the text exchange format back into tier
+// models ready for any Engine.
+func ReadAvailabilityModel(r io.Reader) ([]TierModel, error) { return export.ParseText(r) }
+
+// ReadAvailabilityModelJSON parses the JSON exchange format.
+func ReadAvailabilityModelJSON(r io.Reader) ([]TierModel, error) { return export.ParseJSON(r) }
+
+// DescribeModel writes an inventory of the model pair and an estimate
+// of the design-space cardinality the search faces per tier.
+func DescribeModel(w io.Writer, inf *Infrastructure, svc *Service, maxRedundancy int) error {
+	if maxRedundancy == 0 {
+		maxRedundancy = core.DefaultMaxRedundancy
+	}
+	return report.DescribeModel(w, inf, svc, maxRedundancy)
+}
+
+// WriteDesignReport renders a human-readable report of a design: cost
+// broken down by component, mode and mechanism, and downtime broken
+// down by failure mode. A nil engine defaults to the analytic Markov
+// engine.
+func WriteDesignReport(w io.Writer, d *Design, eng Engine) error {
+	return report.Design(w, d, report.Options{Engine: eng})
+}

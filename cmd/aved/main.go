@@ -1,0 +1,241 @@
+// Command aved solves one automated-design problem: given an
+// infrastructure spec, a service spec and service requirements, it
+// prints the minimum-cost design that satisfies them.
+//
+// Usage:
+//
+//	aved -infra infra.spec -service service.spec -load 1000 -downtime 100m
+//	aved -infra infra.spec -service scientific.spec -jobtime 50h -bronze
+//	aved -paper apptier -load 1000 -downtime 100m
+//	aved -paper scientific -jobtime 50h -bronze -json
+//
+// The -paper flag substitutes the built-in Fig. 3/4/5 inputs:
+// "apptier" (§5.1), "ecommerce" (Fig. 4) or "scientific" (Fig. 5).
+// Performance references resolve from the built-in Table 1 functions
+// plus .dat tables in the directory given by -perfdir.
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"aved"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "aved:", err)
+		os.Exit(1)
+	}
+}
+
+type designReport struct {
+	Label           string   `json:"label"`
+	CostPerYear     float64  `json:"costPerYear"`
+	DowntimeMinutes float64  `json:"downtimeMinutes,omitempty"`
+	JobTimeHours    float64  `json:"jobTimeHours,omitempty"`
+	Tiers           []tierJS `json:"tiers"`
+	Candidates      int      `json:"candidatesGenerated"`
+	CostPruned      int      `json:"costPruned"`
+	Evaluations     int      `json:"availabilityEvaluations"`
+}
+
+type tierJS struct {
+	Tier       string            `json:"tier"`
+	Resource   string            `json:"resource"`
+	Actives    int               `json:"actives"`
+	Spares     int               `json:"spares"`
+	SpareMode  string            `json:"spareMode,omitempty"`
+	Mechanisms map[string]string `json:"mechanisms,omitempty"`
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("aved", flag.ContinueOnError)
+	var (
+		infraPath   = fs.String("infra", "", "infrastructure spec file (Fig. 3 format)")
+		servicePath = fs.String("service", "", "service spec file (Fig. 4/5 format)")
+		paper       = fs.String("paper", "", "built-in scenario: apptier, ecommerce or scientific")
+		perfDir     = fs.String("perfdir", "", "directory with .dat performance tables")
+		load        = fs.Float64("load", 0, "required throughput in service units (enterprise)")
+		downtime    = fs.String("downtime", "", "max annual downtime, e.g. 100m or 2h (enterprise)")
+		jobTime     = fs.String("jobtime", "", "max expected job completion time, e.g. 50h (jobs)")
+		bronze      = fs.Bool("bronze", false, "pin maintenance contracts to bronze (the §5.2 setup)")
+		asJSON      = fs.Bool("json", false, "emit JSON instead of text")
+		exportPath  = fs.String("export", "", "also write the design's availability model to this file")
+		verbose     = fs.Bool("verbose", false, "append a full cost and downtime breakdown")
+		warmSpares  = fs.Bool("warmspares", false, "explore per-component spare operational modes (warmth levels)")
+		describe    = fs.Bool("describe", false, "print a model inventory and design-space size estimate, then exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	inf, svc, reg, err := loadModels(*paper, *infraPath, *servicePath, *perfDir)
+	if err != nil {
+		return err
+	}
+	if *describe {
+		return aved.DescribeModel(out, inf, svc, 0)
+	}
+	opts := aved.Options{Registry: reg, ExploreSpareWarmth: *warmSpares}
+	if *bronze {
+		opts.FixedMechanisms = aved.Bronze()
+	}
+	solver, err := aved.NewSolver(inf, svc, opts)
+	if err != nil {
+		return err
+	}
+
+	req, err := buildRequirements(*load, *downtime, *jobTime)
+	if err != nil {
+		return err
+	}
+	sol, err := solver.Solve(req)
+	if err != nil {
+		var infErr *aved.InfeasibleError
+		if errors.As(err, &infErr) {
+			return fmt.Errorf("infeasible: %v", err)
+		}
+		return err
+	}
+	if *exportPath != "" {
+		f, err := os.Create(*exportPath)
+		if err != nil {
+			return err
+		}
+		if err := aved.WriteAvailabilityModel(f, &sol.Design); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	return report(out, sol, req, *asJSON, *verbose)
+}
+
+func loadModels(paper, infraPath, servicePath, perfDir string) (*aved.Infrastructure, *aved.Service, *aved.Registry, error) {
+	reg := aved.PaperRegistry()
+	if perfDir != "" {
+		reg.Dir = perfDir
+	}
+	if paper != "" {
+		inf, err := aved.PaperInfrastructure()
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		var svc *aved.Service
+		switch paper {
+		case "apptier":
+			svc, err = aved.PaperApplicationTier(inf)
+		case "ecommerce":
+			svc, err = aved.PaperEcommerce(inf)
+		case "scientific":
+			svc, err = aved.PaperScientific(inf)
+		default:
+			return nil, nil, nil, fmt.Errorf("unknown -paper scenario %q (want apptier, ecommerce or scientific)", paper)
+		}
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		return inf, svc, reg, nil
+	}
+	if infraPath == "" || servicePath == "" {
+		return nil, nil, nil, errors.New("need -infra and -service files, or a -paper scenario")
+	}
+	inf, err := aved.LoadInfrastructureFile(infraPath)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	svc, err := aved.LoadServiceFile(servicePath, inf)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return inf, svc, reg, nil
+}
+
+func buildRequirements(load float64, downtime, jobTime string) (aved.Requirements, error) {
+	switch {
+	case jobTime != "":
+		d, err := aved.ParseDuration(jobTime)
+		if err != nil {
+			return aved.Requirements{}, fmt.Errorf("-jobtime: %w", err)
+		}
+		return aved.Requirements{Kind: aved.ReqJob, MaxJobTime: d}, nil
+	case downtime != "":
+		d, err := aved.ParseDuration(downtime)
+		if err != nil {
+			return aved.Requirements{}, fmt.Errorf("-downtime: %w", err)
+		}
+		if load <= 0 {
+			return aved.Requirements{}, errors.New("enterprise requirements need -load > 0")
+		}
+		return aved.Requirements{Kind: aved.ReqEnterprise, Throughput: load, MaxAnnualDowntime: d}, nil
+	default:
+		return aved.Requirements{}, errors.New("need -downtime (with -load) or -jobtime")
+	}
+}
+
+func report(out io.Writer, sol *aved.Solution, req aved.Requirements, asJSON, verbose bool) error {
+	rep := designReport{
+		Label:       sol.Design.Label(),
+		CostPerYear: float64(sol.Cost),
+		Candidates:  sol.Stats.CandidatesGenerated,
+		CostPruned:  sol.Stats.CostPruned,
+		Evaluations: sol.Stats.Evaluations,
+	}
+	if req.Kind == aved.ReqEnterprise {
+		rep.DowntimeMinutes = sol.DowntimeMinutes
+	} else {
+		rep.JobTimeHours = sol.JobTime.Hours()
+	}
+	for i := range sol.Design.Tiers {
+		td := &sol.Design.Tiers[i]
+		tj := tierJS{
+			Tier:       td.TierName,
+			Resource:   td.Resource().Name,
+			Actives:    td.NActive,
+			Spares:     td.NSpare,
+			Mechanisms: map[string]string{},
+		}
+		if td.NSpare > 0 {
+			switch td.SpareWarm {
+			case 0:
+				tj.SpareMode = "cold"
+			case len(td.Resource().Components):
+				tj.SpareMode = "hot"
+			default:
+				tj.SpareMode = fmt.Sprintf("warm%d", td.SpareWarm)
+			}
+		}
+		for _, ms := range td.Mechanisms {
+			for name, v := range ms.Values {
+				tj.Mechanisms[ms.Mechanism.Name+"."+name] = v.String()
+			}
+		}
+		rep.Tiers = append(rep.Tiers, tj)
+	}
+	if asJSON {
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		return enc.Encode(rep)
+	}
+	fmt.Fprintf(out, "optimal design: %s\n", rep.Label)
+	fmt.Fprintf(out, "annual cost: %s\n", sol.Cost)
+	if req.Kind == aved.ReqEnterprise {
+		fmt.Fprintf(out, "expected annual downtime: %.2f minutes\n", rep.DowntimeMinutes)
+	} else {
+		fmt.Fprintf(out, "expected job completion time: %.2f hours\n", rep.JobTimeHours)
+	}
+	fmt.Fprintf(out, "search: %d candidates, %d cost-pruned, %d availability evaluations\n",
+		rep.Candidates, rep.CostPruned, rep.Evaluations)
+	if verbose {
+		fmt.Fprintln(out)
+		return aved.WriteDesignReport(out, &sol.Design, nil)
+	}
+	return nil
+}

@@ -1,0 +1,140 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"aved"
+)
+
+func TestRunPaperAppTier(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{"-paper", "apptier", "-load", "1000", "-downtime", "100m"}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"optimal design:", "rC", "annual cost: 28320", "46.5"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunJSONOutput(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{"-paper", "apptier", "-load", "1000", "-downtime", "100m", "-json"}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep designReport
+	if err := json.Unmarshal([]byte(sb.String()), &rep); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, sb.String())
+	}
+	if rep.CostPerYear != 28320 {
+		t.Errorf("cost = %v, want 28320", rep.CostPerYear)
+	}
+	if len(rep.Tiers) != 1 || rep.Tiers[0].Resource != "rC" || rep.Tiers[0].Actives != 6 {
+		t.Errorf("tiers = %+v", rep.Tiers)
+	}
+}
+
+func TestRunScientificJob(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{"-paper", "scientific", "-jobtime", "200h", "-bronze"}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "rH") {
+		t.Errorf("expected machineA design:\n%s", sb.String())
+	}
+	if !strings.Contains(sb.String(), "expected job completion time") {
+		t.Errorf("missing job-time line:\n%s", sb.String())
+	}
+}
+
+func TestRunVerboseReport(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{"-paper", "apptier", "-load", "1000", "-downtime", "100m", "-verbose"}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"cost/yr:", "downtime/yr:", "design total:"} {
+		if !strings.Contains(sb.String(), want) {
+			t.Errorf("verbose output missing %q", want)
+		}
+	}
+}
+
+func TestRunFromSpecFiles(t *testing.T) {
+	dir := t.TempDir()
+	infPath := filepath.Join(dir, "infra.spec")
+	svcPath := filepath.Join(dir, "svc.spec")
+	if err := os.WriteFile(infPath, []byte(aved.PaperInfrastructureSpec), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(svcPath, []byte(aved.PaperEcommerceSpec), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	err := run([]string{"-infra", infPath, "-service", svcPath, "-load", "1500", "-downtime", "1000m"}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tier := range []string{"web{", "application{", "database{"} {
+		if !strings.Contains(sb.String(), tier) {
+			t.Errorf("output missing tier %q:\n%s", tier, sb.String())
+		}
+	}
+}
+
+func TestRunExportFlag(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "d.avail")
+	var sb strings.Builder
+	err := run([]string{"-paper", "apptier", "-load", "1000", "-downtime", "100m", "-export", path}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(b), "tier=application n=6") {
+		t.Errorf("exported model wrong:\n%s", b)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cases := [][]string{
+		{},                    // no inputs
+		{"-paper", "apptier"}, // no requirement
+		{"-paper", "nope", "-load", "1", "-downtime", "1m"},
+		{"-paper", "apptier", "-downtime", "100m"}, // missing load
+		{"-paper", "apptier", "-load", "1", "-downtime", "x"},
+		{"-paper", "apptier", "-jobtime", "zzz"},
+		{"-paper", "apptier", "-load", "1e12", "-downtime", "1m"}, // infeasible
+		{"-infra", "/nonexistent", "-service", "/nonexistent", "-load", "1", "-downtime", "1m"},
+	}
+	for _, args := range cases {
+		var sb strings.Builder
+		if err := run(args, &sb); err == nil {
+			t.Errorf("run(%v) succeeded, want error", args)
+		}
+	}
+}
+
+func TestRunDescribe(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-paper", "apptier", "-describe"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"infrastructure: 9 components", "tier application", "designs"} {
+		if !strings.Contains(sb.String(), want) {
+			t.Errorf("describe missing %q:\n%s", want, sb.String())
+		}
+	}
+}

@@ -1,0 +1,96 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleModel = `
+tier=application n=2 m=2 s=1 spares_active=false
+  mode=hw/hard mtbf=650d repair=38h failover=390s failover_used=true
+  mode=os/soft mtbf=60d repair=4m failover=390s failover_used=false
+`
+
+const sampleJSON = `[
+  {"name": "application", "n": 2, "m": 2, "s": 0,
+   "modes": [{"name": "hw/hard", "mtbfHours": 15600, "repairMinutes": 2280}]}
+]`
+
+func writeModel(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunMarkov(t *testing.T) {
+	path := writeModel(t, "m.avail", sampleModel)
+	var sb strings.Builder
+	if err := run([]string{"-model", path}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "[markov]") || !strings.Contains(out, "tier application") {
+		t.Errorf("output:\n%s", out)
+	}
+	if !strings.Contains(out, "hw/hard") {
+		t.Errorf("missing mode breakdown:\n%s", out)
+	}
+}
+
+func TestRunAllEngines(t *testing.T) {
+	path := writeModel(t, "m.avail", sampleModel)
+	var sb strings.Builder
+	if err := run([]string{"-model", path, "-engine", "all", "-years", "200", "-reps", "2"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, eng := range []string{"[markov]", "[exact]", "[sim]"} {
+		if !strings.Contains(out, eng) {
+			t.Errorf("missing %s:\n%s", eng, out)
+		}
+	}
+}
+
+func TestRunJSONFormat(t *testing.T) {
+	path := writeModel(t, "m.json", sampleJSON)
+	var sb strings.Builder
+	if err := run([]string{"-model", path, "-format", "json"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "downtime") {
+		t.Errorf("output:\n%s", sb.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	good := writeModel(t, "m.avail", sampleModel)
+	cases := [][]string{
+		{},
+		{"-model", "/nonexistent"},
+		{"-model", good, "-format", "xml"},
+		{"-model", good, "-engine", "crystal-ball"},
+		{"-model", writeModel(t, "bad.avail", "garbage")},
+	}
+	for _, args := range cases {
+		var sb strings.Builder
+		if err := run(args, &sb); err == nil {
+			t.Errorf("run(%v) succeeded, want error", args)
+		}
+	}
+}
+
+func TestRunMissionFlag(t *testing.T) {
+	path := writeModel(t, "m.avail", sampleModel)
+	var sb strings.Builder
+	if err := run([]string{"-model", path, "-mission", "0.5"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "[mission 0.5y]") {
+		t.Errorf("missing mission line:\n%s", sb.String())
+	}
+}

@@ -1,0 +1,161 @@
+// Command avedsweep regenerates the data series behind the paper's
+// evaluation figures as tab-separated values.
+//
+// Usage:
+//
+//	avedsweep -fig 6 [-loads 10] [-budgets 12]    # optimal families over the requirement plane
+//	avedsweep -fig 7 [-points 15]                 # scientific design vs job-time requirement
+//	avedsweep -fig 8 [-budgets 10]                # availability cost premium curves
+//
+// All sweeps run on the paper's built-in Fig. 3/4/5 inputs; Fig. 7
+// pins maintenance to bronze as §5.2 does.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"aved"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "avedsweep:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("avedsweep", flag.ContinueOnError)
+	var (
+		fig     = fs.Int("fig", 0, "figure to regenerate: 6, 7 or 8")
+		loads   = fs.Int("loads", 10, "load grid points (figs 6, 8)")
+		budgets = fs.Int("budgets", 12, "downtime-budget grid points (figs 6, 8)")
+		points  = fs.Int("points", 15, "job-time requirement points (fig 7)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	switch *fig {
+	case 6:
+		return fig6(out, *loads, *budgets)
+	case 7:
+		return fig7(out, *points)
+	case 8:
+		return fig8(out, *budgets)
+	default:
+		return fmt.Errorf("-fig must be 6, 7 or 8 (got %d)", *fig)
+	}
+}
+
+func appTierSolver() (*aved.Solver, error) {
+	inf, err := aved.PaperInfrastructure()
+	if err != nil {
+		return nil, err
+	}
+	svc, err := aved.PaperApplicationTier(inf)
+	if err != nil {
+		return nil, err
+	}
+	return aved.NewSolver(inf, svc, aved.Options{Registry: aved.PaperRegistry()})
+}
+
+// fig6 prints the optimal design family at every grid point of the
+// (load, downtime budget) requirement plane, then each family curve.
+func fig6(out io.Writer, loadPoints, budgetPoints int) error {
+	solver, err := appTierSolver()
+	if err != nil {
+		return err
+	}
+	loadGrid, err := aved.LinGrid(400, 5000, loadPoints)
+	if err != nil {
+		return err
+	}
+	budgetGrid, err := aved.LogGrid(0.1, 10000, budgetPoints)
+	if err != nil {
+		return err
+	}
+	res, err := aved.SweepFig6(solver, loadGrid, budgetGrid)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(out, "# Fig. 6 — optimal design for a range of service requirements")
+	fmt.Fprintln(out, "# load\tbudget_min\tfamily\tstack\tdowntime_min\tcost\tn_active")
+	for _, p := range res.Points {
+		fmt.Fprintf(out, "%.0f\t%.3g\t%s\t%s\t%.3f\t%s\t%d\n",
+			p.Load, p.BudgetMinutes, p.Family, p.Stack, p.DowntimeMinutes, p.Cost, p.NActive)
+	}
+	fmt.Fprintln(out, "\n# family curves (downtime estimate vs load), top to bottom")
+	for i, c := range res.Curves {
+		fmt.Fprintf(out, "# %d - %s, %s, %d, %d\n", i+1, c.Stack, c.Family.Mechanisms, c.Family.NExtra, c.Family.NSpare)
+		for j := range c.Loads {
+			fmt.Fprintf(out, "%.0f\t%.3f\n", c.Loads[j], c.Downtimes[j])
+		}
+		fmt.Fprintln(out)
+	}
+	return nil
+}
+
+// fig7 prints the optimal scientific design as a function of the
+// job-completion-time requirement.
+func fig7(out io.Writer, points int) error {
+	inf, err := aved.PaperInfrastructure()
+	if err != nil {
+		return err
+	}
+	svc, err := aved.PaperScientific(inf)
+	if err != nil {
+		return err
+	}
+	solver, err := aved.NewSolver(inf, svc, aved.Options{
+		Registry:        aved.PaperRegistry(),
+		FixedMechanisms: aved.Bronze(),
+	})
+	if err != nil {
+		return err
+	}
+	grid, err := aved.LogGrid(1, 1000, points)
+	if err != nil {
+		return err
+	}
+	rows, err := aved.SweepFig7(solver, grid)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(out, "# Fig. 7 — optimal design as a function of execution time requirement")
+	fmt.Fprintln(out, "# req_hours\tresource\tstack\tn\tspares\tckpt_hours\tlocation\tjob_hours\tcost")
+	for _, p := range rows {
+		fmt.Fprintf(out, "%.3g\t%s\t%s\t%d\t%d\t%.3f\t%s\t%.2f\t%s\n",
+			p.RequirementHours, p.Resource, p.Stack, p.NActive, p.NSpare,
+			p.CheckpointHours, p.StorageLocation, p.JobTimeHours, p.Cost)
+	}
+	return nil
+}
+
+// fig8 prints the cost premium curves for the paper's four loads.
+func fig8(out io.Writer, budgetPoints int) error {
+	solver, err := appTierSolver()
+	if err != nil {
+		return err
+	}
+	budgetGrid, err := aved.LogGrid(0.1, 100, budgetPoints)
+	if err != nil {
+		return err
+	}
+	curves, err := aved.SweepFig8(solver, []float64{400, 800, 1600, 3200}, budgetGrid)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(out, "# Fig. 8 — cost/availability/performance tradeoff (application tier)")
+	fmt.Fprintln(out, "# load\tbudget_min\textra_cost\ttotal_cost\tbaseline_cost")
+	for _, c := range curves {
+		for _, p := range c.Points {
+			fmt.Fprintf(out, "%.0f\t%.3g\t%s\t%s\t%s\n",
+				c.Load, p.BudgetMinutes, p.ExtraCost, p.TotalCost, c.BaselineCost)
+		}
+		fmt.Fprintln(out)
+	}
+	return nil
+}

@@ -1,0 +1,63 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunFig6(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-fig", "6", "-loads", "3", "-budgets", "4"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "# Fig. 6") {
+		t.Error("missing header")
+	}
+	if !strings.Contains(out, "machineA/linux/appserver") {
+		t.Errorf("missing family stacks:\n%s", out)
+	}
+	if !strings.Contains(out, "# family curves") {
+		t.Error("missing curves section")
+	}
+}
+
+func TestRunFig7(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-fig", "7", "-points", "3"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "# Fig. 7") {
+		t.Error("missing header")
+	}
+	if !strings.Contains(out, "rH") {
+		t.Errorf("missing machineA rows:\n%s", out)
+	}
+}
+
+func TestRunFig8(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-fig", "8", "-budgets", "3"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "# Fig. 8") {
+		t.Error("missing header")
+	}
+	for _, load := range []string{"400\t", "800\t", "1600\t", "3200\t"} {
+		if !strings.Contains(out, load) {
+			t.Errorf("missing load column %q:\n%s", load, out)
+		}
+	}
+}
+
+func TestRunBadFigure(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-fig", "9"}, &sb); err == nil {
+		t.Error("unknown figure should fail")
+	}
+	if err := run([]string{"-fig", "6", "-loads", "1"}, &sb); err == nil {
+		t.Error("degenerate grid should fail")
+	}
+}

@@ -1,0 +1,68 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunMTBFSweep(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{"-knob", "mtbf", "-factors", "0.5,1,2", "-load", "800", "-downtime", "2000m"}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "# what-if: knob=mtbf") {
+		t.Errorf("missing header:\n%s", out)
+	}
+	lines := strings.Count(out, "\n")
+	if lines < 5 {
+		t.Errorf("want 3 data rows, got:\n%s", out)
+	}
+	if !strings.Contains(out, "rC") {
+		t.Errorf("missing design labels:\n%s", out)
+	}
+}
+
+func TestRunMechCostSweep(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{"-knob", "mechcost", "-target", "maintenanceA",
+		"-factors", "1,20", "-load", "800", "-downtime", "2000m"}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "gold") || !strings.Contains(out, "bronze") {
+		t.Errorf("contract shift not visible:\n%s", out)
+	}
+}
+
+func TestRunJobSweep(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{"-knob", "mtbf", "-target", "machineA", "-factors", "1", "-jobtime", "300h"}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "rH") {
+		t.Errorf("job sweep output:\n%s", sb.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cases := [][]string{
+		{}, // no requirement
+		{"-knob", "zzz", "-load", "1", "-downtime", "1m"},
+		{"-knob", "mechcost", "-load", "1", "-downtime", "1m"}, // mechcost needs target
+		{"-factors", "a,b", "-load", "1", "-downtime", "1m"},
+		{"-downtime", "100m"}, // missing load
+		{"-load", "1", "-downtime", "xx"},
+		{"-jobtime", "zz"},
+		{"-knob", "mtbf", "-target", "ghost", "-factors", "1", "-load", "800", "-downtime", "2000m"},
+	}
+	for _, args := range cases {
+		var sb strings.Builder
+		if err := run(args, &sb); err == nil {
+			t.Errorf("run(%v) succeeded, want error", args)
+		}
+	}
+}

@@ -1,0 +1,92 @@
+// E-commerce example (§5.1): explore the application tier's design
+// space across several requirement points, showing how the optimal
+// family shifts with load and with the downtime budget — including the
+// paper's family-3 (gold contract) to family-6 (bronze + spare)
+// crossover near 1400 load units. The example finishes by solving the
+// full three-tier Fig. 4 service.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	"aved"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	inf, err := aved.PaperInfrastructure()
+	if err != nil {
+		return err
+	}
+	reg := aved.PaperRegistry()
+
+	appTier, err := aved.PaperApplicationTier(inf)
+	if err != nil {
+		return err
+	}
+	solver, err := aved.NewSolver(inf, appTier, aved.Options{Registry: reg})
+	if err != nil {
+		return err
+	}
+
+	fmt.Println("=== Application tier: optimal family per requirement ===")
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "load\tbudget(min)\tfamily (resource, contract, n_extra, n_spare)\tdowntime(min)\tcost")
+	for _, load := range []float64{400, 800, 1400, 2000, 3200, 5000} {
+		for _, budget := range []float64{2000, 100, 10} {
+			sol, err := solver.Solve(aved.Requirements{
+				Kind:              aved.ReqEnterprise,
+				Throughput:        load,
+				MaxAnnualDowntime: aved.Minutes(budget),
+			})
+			if err != nil {
+				fmt.Fprintf(w, "%.0f\t%.0f\t(infeasible)\t\t\n", load, budget)
+				continue
+			}
+			td := &sol.Design.Tiers[0]
+			fam := aved.FamilyOf(td)
+			fmt.Fprintf(w, "%.0f\t%.0f\t%s\t%.1f\t%s\n",
+				load, budget, fam, sol.DowntimeMinutes, sol.Cost)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+
+	fmt.Println("\nNote the §5.1 crossover at the 2000-minute budget: below ~1400")
+	fmt.Println("load units the gold contract wins; above it an extra bronze")
+	fmt.Println("machine is cheaper, because contract cost scales with machines.")
+
+	fmt.Println("\n=== Full three-tier e-commerce service (Fig. 4) ===")
+	full, err := aved.PaperEcommerce(inf)
+	if err != nil {
+		return err
+	}
+	fullSolver, err := aved.NewSolver(inf, full, aved.Options{Registry: reg})
+	if err != nil {
+		return err
+	}
+	sol, err := fullSolver.Solve(aved.Requirements{
+		Kind:              aved.ReqEnterprise,
+		Throughput:        2000,
+		MaxAnnualDowntime: aved.Minutes(500),
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("requirement: 2000 load units, ≤500 min/yr across all tiers\n")
+	for i := range sol.Design.Tiers {
+		td := &sol.Design.Tiers[i]
+		fmt.Printf("  %-12s %s\n", td.TierName+":", td.Label())
+	}
+	fmt.Printf("combined downtime: %.1f min/yr, total cost %s/yr\n", sol.DowntimeMinutes, sol.Cost)
+	return nil
+}

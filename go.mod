@@ -1,0 +1,3 @@
+module aved
+
+go 1.22

@@ -1,0 +1,311 @@
+// Package avail implements Aved's availability model (§4.2 of the
+// paper): per-tier parameters (n, m, s and per-failure-mode MTBF,
+// repair time and failover time), an Engine interface over evaluation
+// backends, and the analytic "simplified Markov model" engine built on
+// package markov. A discrete-event simulation engine implementing the
+// same interface lives in package sim, playing the role of the external
+// availability evaluation engine (Avanto) the paper interfaces to.
+package avail
+
+import (
+	"fmt"
+
+	"aved/internal/markov"
+	"aved/internal/model"
+	"aved/internal/units"
+)
+
+// MinutesPerYear is the number of minutes in the 8760-hour year the
+// paper's downtime figures use.
+const MinutesPerYear = 8760 * 60
+
+// Mode is one failure mode's availability parameters, fully resolved
+// for a particular design (items 4–6 of §4.2's model).
+type Mode struct {
+	Name string
+	// MTBF is the mean time between failures of this mode per powered
+	// resource.
+	MTBF units.Duration
+	// Repair is the full outage length when the failure is repaired in
+	// place: detection + repair + dependent restarts.
+	Repair units.Duration
+	// Failover is the outage length when a spare absorbs the failure:
+	// detection + reconfiguration + spare activation.
+	Failover units.Duration
+	// UsesFailover reports whether spares absorb this mode (§4.2: only
+	// when repair takes longer than failover).
+	UsesFailover bool
+	// SparePowered reports whether idle spares run this mode's
+	// component in active mode, making them failure-prone for it (a
+	// warm or hot spare).
+	SparePowered bool
+}
+
+// TierModel is the §4.2 availability model of one tier.
+type TierModel struct {
+	Name string
+	// N is the number of active resources (item 1).
+	N int
+	// M is the minimum number of active resources for the tier to be up
+	// (item 2).
+	M int
+	// S is the number of spare resources (item 3).
+	S int
+	// Modes are the tier's failure modes across all components. Spare
+	// warmth is carried per mode via Mode.SparePowered.
+	Modes []Mode
+}
+
+// Validate checks the model's structural invariants.
+func (tm *TierModel) Validate() error {
+	if tm.N < 1 {
+		return fmt.Errorf("tier %q: need at least one active resource, got %d", tm.Name, tm.N)
+	}
+	if tm.M < 1 || tm.M > tm.N {
+		return fmt.Errorf("tier %q: minimum actives %d outside [1, %d]", tm.Name, tm.M, tm.N)
+	}
+	if tm.S < 0 {
+		return fmt.Errorf("tier %q: negative spare count %d", tm.Name, tm.S)
+	}
+	if len(tm.Modes) == 0 {
+		return fmt.Errorf("tier %q: no failure modes", tm.Name)
+	}
+	for _, m := range tm.Modes {
+		if m.MTBF <= 0 {
+			return fmt.Errorf("tier %q mode %q: MTBF must be positive", tm.Name, m.Name)
+		}
+		if m.Repair < 0 || m.Failover < 0 {
+			return fmt.Errorf("tier %q mode %q: negative outage length", tm.Name, m.Name)
+		}
+	}
+	return nil
+}
+
+// ModeContribution explains one failure mode's share of a tier's
+// downtime.
+type ModeContribution struct {
+	Name string
+	// SteadyMinutes is annual downtime from exhausting redundancy
+	// (fewer than M actives while failures are being repaired).
+	SteadyMinutes float64
+	// TransientMinutes is annual downtime from failover transients.
+	TransientMinutes float64
+	// EventsPerYear is the expected number of failures of this mode
+	// across the tier's powered resources.
+	EventsPerYear float64
+}
+
+// Minutes reports the mode's total annual downtime contribution.
+func (mc ModeContribution) Minutes() float64 {
+	return mc.SteadyMinutes + mc.TransientMinutes
+}
+
+// TierResult is one tier's availability evaluation.
+type TierResult struct {
+	Name string
+	// Availability is the steady-state fraction of time the tier
+	// satisfies its minimum active-resource requirement.
+	Availability float64
+	// DowntimeMinutes is the tier's expected annual downtime.
+	DowntimeMinutes float64
+	// Contributions break the downtime down per failure mode
+	// (analytic engine only; simulation reports aggregate figures).
+	Contributions []ModeContribution
+}
+
+// Result is a whole-design availability evaluation. Tiers compose in
+// series: the design is up only when every tier is up (§4.2).
+type Result struct {
+	// Availability is the product of tier availabilities.
+	Availability float64
+	// DowntimeMinutes is the design's expected annual downtime.
+	DowntimeMinutes float64
+	Tiers           []TierResult
+}
+
+// Engine evaluates availability models. Implementations: MarkovEngine
+// (this package) and sim.Engine (discrete-event simulation).
+type Engine interface {
+	// Evaluate reports the expected availability of the design whose
+	// tiers are modelled by tms.
+	Evaluate(tms []TierModel) (Result, error)
+}
+
+// MarkovEngine is the paper's "simplified Markov model": independent
+// per-failure-mode birth–death chains with per-event transient
+// accounting, composed in series across modes and tiers.
+type MarkovEngine struct{}
+
+var _ Engine = MarkovEngine{}
+
+// NewMarkovEngine builds the analytic engine.
+func NewMarkovEngine() MarkovEngine { return MarkovEngine{} }
+
+// Evaluate implements Engine.
+func (MarkovEngine) Evaluate(tms []TierModel) (Result, error) {
+	if len(tms) == 0 {
+		return Result{}, fmt.Errorf("avail: no tiers to evaluate")
+	}
+	res := Result{Availability: 1}
+	for i := range tms {
+		tr, err := evaluateTier(&tms[i])
+		if err != nil {
+			return Result{}, err
+		}
+		res.Tiers = append(res.Tiers, tr)
+		res.Availability *= tr.Availability
+	}
+	res.DowntimeMinutes = (1 - res.Availability) * MinutesPerYear
+	return res, nil
+}
+
+// evaluateTier evaluates one tier: each failure mode gets an
+// independent birth–death chain; mode availabilities multiply.
+func evaluateTier(tm *TierModel) (TierResult, error) {
+	if err := tm.Validate(); err != nil {
+		return TierResult{}, err
+	}
+	tr := TierResult{Name: tm.Name, Availability: 1}
+	for _, mode := range tm.Modes {
+		mc, avail, err := evaluateMode(tm, mode)
+		if err != nil {
+			return TierResult{}, fmt.Errorf("tier %q mode %q: %w", tm.Name, mode.Name, err)
+		}
+		tr.Contributions = append(tr.Contributions, mc)
+		tr.Availability *= avail
+	}
+	tr.DowntimeMinutes = (1 - tr.Availability) * MinutesPerYear
+	return tr, nil
+}
+
+// evaluateMode builds and solves the birth–death chain for one failure
+// mode, reporting its downtime contribution and availability.
+func evaluateMode(tm *TierModel, mode Mode) (ModeContribution, float64, error) {
+	mc := ModeContribution{Name: mode.Name}
+	lambda := 1 / mode.MTBF.Hours() // failures per powered resource-hour
+
+	// Spares only participate for modes that fail over (§4.2 considers
+	// failover only when repair exceeds failover time).
+	spares := 0
+	if mode.UsesFailover {
+		spares = tm.S
+	}
+	total := tm.N + spares
+
+	if mode.Repair <= 0 {
+		// Instantaneous repair: the mode never accumulates failed
+		// resources and never causes downtime. Still report its event
+		// rate for visibility.
+		mc.EventsPerYear = float64(poweredAt(tm, mode, 0, total)) * lambda * 8760
+		return mc, 1, nil
+	}
+	mu := 1 / mode.Repair.Hours()
+
+	birth := make([]float64, total)
+	death := make([]float64, total)
+	for j := 0; j < total; j++ {
+		birth[j] = float64(poweredAt(tm, mode, j, total)) * lambda
+		death[j] = float64(j+1) * mu
+	}
+	pi, err := markov.BirthDeathSteadyState(birth, death)
+	if err != nil {
+		return ModeContribution{}, 0, err
+	}
+
+	var (
+		steadyDown    float64 // probability mass with fewer than M actives
+		transientFrac float64 // fraction of time inside failover transients
+		eventsPerHour float64
+	)
+	failoverHours := mode.Failover.Hours()
+	for j := 0; j <= total; j++ {
+		actives := activeAt(tm.N, j, total)
+		if actives < tm.M {
+			steadyDown += pi[j]
+		}
+		if j < total {
+			eventsPerHour += pi[j] * birth[j]
+		}
+		// A failure striking an active resource while an idle spare
+		// stands by momentarily drops the active count below M for the
+		// failover duration; the chain itself shows no downtime because
+		// the spare absorbs the failure.
+		if mode.UsesFailover && j < total && failoverHours > 0 {
+			idleSpares := total - j - actives
+			if idleSpares > 0 && actives == tm.M {
+				activeFailureRate := float64(actives) * lambda
+				transientFrac += pi[j] * activeFailureRate * failoverHours
+			}
+		}
+	}
+	mc.EventsPerYear = eventsPerHour * 8760
+	mc.SteadyMinutes = steadyDown * MinutesPerYear
+	mc.TransientMinutes = transientFrac * MinutesPerYear
+	avail := 1 - steadyDown - transientFrac
+	if avail < 0 {
+		avail = 0
+	}
+	return mc, avail, nil
+}
+
+// activeAt reports the number of active resources when j of total are
+// failed: operational resources fill active slots first.
+func activeAt(n, j, total int) int {
+	operational := total - j
+	if operational < n {
+		return operational
+	}
+	return n
+}
+
+// poweredAt reports the number of resources failure-prone for a mode
+// in state j: the actives, plus idle spares when the mode's component
+// is powered on spares.
+func poweredAt(tm *TierModel, mode Mode, j, total int) int {
+	actives := activeAt(tm.N, j, total)
+	if mode.SparePowered {
+		return total - j
+	}
+	return actives
+}
+
+// BuildTierModel derives the §4.2 availability model from a tier
+// design: m from the design's MinActive, per-mode repair and failover
+// times from the resolved effective failure modes.
+func BuildTierModel(td *model.TierDesign) (TierModel, error) {
+	ems, err := td.EffectiveModes()
+	if err != nil {
+		return TierModel{}, err
+	}
+	tm := TierModel{
+		Name: td.TierName,
+		N:    td.NActive,
+		M:    td.MinActive,
+		S:    td.NSpare,
+	}
+	tm.Modes = make([]Mode, 0, len(ems))
+	for _, em := range ems {
+		tm.Modes = append(tm.Modes, Mode{
+			Name:         em.Component + "/" + em.Mode,
+			MTBF:         em.MTBF,
+			Repair:       em.RepairTime,
+			Failover:     em.FailoverTime,
+			UsesFailover: em.UsesFailover,
+			SparePowered: em.SparePowered,
+		})
+	}
+	return tm, nil
+}
+
+// BuildModels derives availability models for every tier of a design.
+func BuildModels(d *model.Design) ([]TierModel, error) {
+	out := make([]TierModel, 0, len(d.Tiers))
+	for i := range d.Tiers {
+		tm, err := BuildTierModel(&d.Tiers[i])
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, tm)
+	}
+	return out, nil
+}

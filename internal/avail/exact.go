@@ -1,0 +1,208 @@
+package avail
+
+import (
+	"fmt"
+
+	"aved/internal/markov"
+)
+
+// ExactEngine evaluates each failure mode with an explicit
+// continuous-time Markov chain over (failed, activating) states,
+// solved by dense Gaussian elimination. Failover transients are chain
+// states rather than the per-event expected-value terms the default
+// MarkovEngine uses, so this engine validates that first-order
+// accounting. Activation times are exponential with the failover mean
+// (the usual Markovian approximation of a deterministic window).
+//
+// Like the default engine, modes are independent and tiers compose in
+// series. The state space is (N+1)·(S+1) per mode, so evaluation stays
+// cheap for realistic designs.
+type ExactEngine struct{}
+
+var _ Engine = ExactEngine{}
+
+// NewExactEngine builds the exact-transient analytic engine.
+func NewExactEngine() ExactEngine { return ExactEngine{} }
+
+// Evaluate implements Engine.
+func (ExactEngine) Evaluate(tms []TierModel) (Result, error) {
+	if len(tms) == 0 {
+		return Result{}, fmt.Errorf("avail: no tiers to evaluate")
+	}
+	res := Result{Availability: 1}
+	for i := range tms {
+		tr, err := exactTier(&tms[i])
+		if err != nil {
+			return Result{}, err
+		}
+		res.Tiers = append(res.Tiers, tr)
+		res.Availability *= tr.Availability
+	}
+	res.DowntimeMinutes = (1 - res.Availability) * MinutesPerYear
+	return res, nil
+}
+
+func exactTier(tm *TierModel) (TierResult, error) {
+	if err := tm.Validate(); err != nil {
+		return TierResult{}, err
+	}
+	tr := TierResult{Name: tm.Name, Availability: 1}
+	for _, mode := range tm.Modes {
+		down, events, err := exactMode(tm, mode)
+		if err != nil {
+			return TierResult{}, fmt.Errorf("tier %q mode %q: %w", tm.Name, mode.Name, err)
+		}
+		tr.Contributions = append(tr.Contributions, ModeContribution{
+			Name:          mode.Name,
+			SteadyMinutes: down * MinutesPerYear,
+			EventsPerYear: events,
+		})
+		tr.Availability *= 1 - down
+	}
+	tr.DowntimeMinutes = (1 - tr.Availability) * MinutesPerYear
+	return tr, nil
+}
+
+// exactMode solves the (failed, activating) chain for one mode and
+// reports its downtime fraction and annual failure-event rate.
+func exactMode(tm *TierModel, mode Mode) (downFrac, eventsPerYear float64, err error) {
+	lambda := 1 / mode.MTBF.Hours()
+	spares := 0
+	if mode.UsesFailover {
+		spares = tm.S
+	}
+	total := tm.N + spares
+
+	if mode.Repair <= 0 {
+		// Instantaneous repair: no downtime; event rate from the
+		// all-up state.
+		powered := tm.N
+		if mode.SparePowered {
+			powered = total
+		}
+		return 0, float64(powered) * lambda * 8760, nil
+	}
+	mu := 1 / mode.Repair.Hours()
+	activationRate := 0.0
+	if mode.UsesFailover && mode.Failover > 0 {
+		activationRate = 1 / mode.Failover.Hours()
+	}
+
+	// States (j, a): j failed resources, a spares activating.
+	// serving(j, a) = min(n, total-j) − a; idle = total − j − serving − a.
+	// With no activation window (or no failover) the a>0 states are
+	// unreachable and would form a disconnected class, so the state
+	// space collapses to a = 0.
+	maxA := spares
+	if activationRate == 0 {
+		maxA = 0
+	}
+	cols := maxA + 1
+	idx := func(j, a int) int { return j*cols + a }
+	nStates := (total + 1) * cols
+	chain, err := markov.NewChain(nStates)
+	if err != nil {
+		return 0, 0, err
+	}
+	serving := func(j, a int) int {
+		target := total - j
+		if target > tm.N {
+			target = tm.N
+		}
+		return target - a
+	}
+	valid := func(j, a int) bool {
+		if j < 0 || j > total || a < 0 || a > maxA {
+			return false
+		}
+		return serving(j, a) >= 0
+	}
+	for j := 0; j <= total; j++ {
+		for a := 0; a <= maxA; a++ {
+			if !valid(j, a) {
+				continue
+			}
+			srv := serving(j, a)
+			idle := total - j - srv - a
+			// Serving-resource failure.
+			if srv > 0 {
+				rate := float64(srv) * lambda
+				// With a zero failover window the spare serves
+				// instantly, so no activation state is entered.
+				if mode.UsesFailover && activationRate > 0 && idle > 0 && valid(j+1, a+1) {
+					// An idle spare starts activating into the slot.
+					if err := chain.AddRate(idx(j, a), idx(j+1, a+1), rate); err != nil {
+						return 0, 0, err
+					}
+				} else if valid(j+1, a) {
+					if err := chain.AddRate(idx(j, a), idx(j+1, a), rate); err != nil {
+						return 0, 0, err
+					}
+				}
+			}
+			// Powered idle spares can fail too.
+			if mode.SparePowered && idle > 0 && valid(j+1, a) {
+				if err := chain.AddRate(idx(j, a), idx(j+1, a), float64(idle)*lambda); err != nil {
+					return 0, 0, err
+				}
+			}
+			// Activation completion.
+			if a > 0 && activationRate > 0 && valid(j, a-1) {
+				if err := chain.AddRate(idx(j, a), idx(j, a-1), float64(a)*activationRate); err != nil {
+					return 0, 0, err
+				}
+			}
+			// Repair completion: the resource rejoins as an idle spare
+			// (or directly into service when no spare slots exist, as
+			// repair time already includes startup).
+			if j > 0 {
+				target := idx(j-1, a)
+				if !valid(j-1, a) {
+					// Rare corner: the activating count exceeds the
+					// shrunken target; fold the activation away.
+					target = idx(j-1, a-1)
+				}
+				if err := chain.AddRate(idx(j, a), target, float64(j)*mu); err != nil {
+					return 0, 0, err
+				}
+			}
+		}
+	}
+	// Unreachable invalid states would make the chain reducible; patch
+	// them with an escape to the origin so the solver sees one class.
+	// (They receive no inbound rate, so their stationary mass is zero.)
+	for j := 0; j <= total; j++ {
+		for a := 0; a <= maxA; a++ {
+			st := idx(j, a)
+			if !valid(j, a) || (chain.Rate(st, st) == 0 && st != idx(0, 0)) {
+				if st != idx(0, 0) {
+					if err := chain.AddRate(st, idx(0, 0), 1); err != nil {
+						return 0, 0, err
+					}
+				}
+			}
+		}
+	}
+	pi, err := chain.SteadyState()
+	if err != nil {
+		return 0, 0, err
+	}
+	var eventsPerHour float64
+	for j := 0; j <= total; j++ {
+		for a := 0; a <= maxA; a++ {
+			if !valid(j, a) {
+				continue
+			}
+			p := pi[idx(j, a)]
+			if serving(j, a) < tm.M {
+				downFrac += p
+			}
+			powered := serving(j, a)
+			if mode.SparePowered {
+				powered = total - j - a
+			}
+			eventsPerHour += p * float64(powered) * lambda
+		}
+	}
+	return downFrac, eventsPerHour * 8760, nil
+}

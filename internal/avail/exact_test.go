@@ -1,0 +1,159 @@
+package avail
+
+import (
+	"testing"
+
+	"aved/internal/units"
+)
+
+func TestExactMatchesDefaultWithoutSpares(t *testing.T) {
+	// With no failover the exact chain degenerates to the same
+	// birth–death model; the engines must agree to high precision.
+	cases := []TierModel{
+		singleMode(1, 1, 0, 650*units.Day, 38*units.Hour, 0, false),
+		singleMode(4, 4, 0, 60*units.Day, 4*units.Minute, 0, false),
+		singleMode(5, 3, 0, 100*units.Day, 24*units.Hour, 0, false),
+		{
+			Name: "multi",
+			N:    3, M: 3,
+			Modes: []Mode{
+				{Name: "a", MTBF: 650 * units.Day, Repair: 38 * units.Hour},
+				{Name: "b", MTBF: 60 * units.Day, Repair: 4 * units.Minute},
+			},
+		},
+	}
+	for i, tm := range cases {
+		def, err := MarkovEngine{}.Evaluate([]TierModel{tm})
+		if err != nil {
+			t.Fatal(err)
+		}
+		exact, err := ExactEngine{}.Evaluate([]TierModel{tm})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !relClose(def.DowntimeMinutes, exact.DowntimeMinutes, 1e-6) {
+			t.Errorf("case %d: default %v vs exact %v", i, def.DowntimeMinutes, exact.DowntimeMinutes)
+		}
+	}
+}
+
+func TestExactValidatesTransientAccounting(t *testing.T) {
+	// With a spare absorbing failures, the default engine adds failover
+	// transients as per-event expected values; the exact chain carries
+	// them as states. First-order agreement expected (within ~15%).
+	cases := []TierModel{
+		singleMode(2, 2, 1, 650*units.Day, 38*units.Hour, units.Duration(6*units.Minute+30*units.Second), true),
+		singleMode(4, 4, 2, 100*units.Day, 24*units.Hour, 10*units.Minute, true),
+		singleMode(1, 1, 1, 200*units.Day, 48*units.Hour, 5*units.Minute, true),
+	}
+	for i, tm := range cases {
+		def, err := MarkovEngine{}.Evaluate([]TierModel{tm})
+		if err != nil {
+			t.Fatal(err)
+		}
+		exact, err := ExactEngine{}.Evaluate([]TierModel{tm})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !relClose(def.DowntimeMinutes, exact.DowntimeMinutes, 0.15) {
+			t.Errorf("case %d: default %v vs exact %v (want within 15%%)",
+				i, def.DowntimeMinutes, exact.DowntimeMinutes)
+		}
+	}
+}
+
+func TestExactSparesReduceDowntime(t *testing.T) {
+	noSpare := singleMode(2, 2, 0, 650*units.Day, 38*units.Hour, 0, false)
+	withSpare := singleMode(2, 2, 1, 650*units.Day, 38*units.Hour, 6*units.Minute, true)
+	r0, err := ExactEngine{}.Evaluate([]TierModel{noSpare})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := ExactEngine{}.Evaluate([]TierModel{withSpare})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.DowntimeMinutes >= r0.DowntimeMinutes/10 {
+		t.Errorf("spare should cut downtime ≥10x: %v vs %v", r1.DowntimeMinutes, r0.DowntimeMinutes)
+	}
+}
+
+func TestExactZeroFailoverTime(t *testing.T) {
+	// Instant failover: spares absorb failures with no transient at
+	// all; downtime only from spare-pool exhaustion.
+	tm := singleMode(2, 2, 1, 100*units.Day, 24*units.Hour, 0, true)
+	res, err := ExactEngine{}.Evaluate([]TierModel{tm})
+	if err != nil {
+		t.Fatal(err)
+	}
+	def, err := MarkovEngine{}.Evaluate([]TierModel{tm})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !relClose(res.DowntimeMinutes, def.DowntimeMinutes, 0.05) {
+		t.Errorf("zero-failover: exact %v vs default %v", res.DowntimeMinutes, def.DowntimeMinutes)
+	}
+}
+
+func TestExactZeroRepairIsHarmless(t *testing.T) {
+	tm := TierModel{Name: "t", N: 2, M: 2, Modes: []Mode{{Name: "glitch", MTBF: 10 * units.Day}}}
+	res, err := ExactEngine{}.Evaluate([]TierModel{tm})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Availability != 1 {
+		t.Errorf("availability = %v, want 1", res.Availability)
+	}
+	if got := res.Tiers[0].Contributions[0].EventsPerYear; !relClose(got, 2*8760/240.0, 1e-9) {
+		t.Errorf("events/yr = %v", got)
+	}
+}
+
+func TestExactActiveSpares(t *testing.T) {
+	inactive := singleMode(2, 2, 1, 100*units.Day, 10*units.Hour, 5*units.Minute, true)
+	active := inactive
+	active.Modes = append([]Mode(nil), inactive.Modes...)
+	active.Modes[0].SparePowered = true
+	ri, err := ExactEngine{}.Evaluate([]TierModel{inactive})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ra, err := ExactEngine{}.Evaluate([]TierModel{active})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ei := ri.Tiers[0].Contributions[0].EventsPerYear
+	ea := ra.Tiers[0].Contributions[0].EventsPerYear
+	if ea <= ei {
+		t.Errorf("active spares should raise the event rate: %v vs %v", ea, ei)
+	}
+}
+
+func TestExactAgainstSimulation(t *testing.T) {
+	// Triangulation: exact chain vs the default engine was checked
+	// above; the sim package separately checks the default engine
+	// against simulation. Here a direct validation-model check keeps
+	// the three-way agreement visible in one place.
+	tm := singleMode(3, 2, 1, 100*units.Day, 24*units.Hour, 15*units.Minute, true)
+	def, err := MarkovEngine{}.Evaluate([]TierModel{tm})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := ExactEngine{}.Evaluate([]TierModel{tm})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !relClose(def.DowntimeMinutes, exact.DowntimeMinutes, 0.2) {
+		t.Errorf("default %v vs exact %v", def.DowntimeMinutes, exact.DowntimeMinutes)
+	}
+}
+
+func TestExactValidation(t *testing.T) {
+	if _, err := (ExactEngine{}).Evaluate(nil); err == nil {
+		t.Error("empty evaluation should fail")
+	}
+	bad := singleMode(0, 1, 0, units.Day, units.Hour, 0, false)
+	if _, err := (ExactEngine{}).Evaluate([]TierModel{bad}); err == nil {
+		t.Error("invalid tier should fail")
+	}
+}

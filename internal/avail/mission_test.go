@@ -1,0 +1,84 @@
+package avail
+
+import (
+	"testing"
+
+	"aved/internal/units"
+)
+
+func TestMissionConvergesToSteadyState(t *testing.T) {
+	tm := singleMode(3, 3, 0, 100*units.Day, 24*units.Hour, 0, false)
+	steady, err := MarkovEngine{}.Evaluate([]TierModel{tm})
+	if err != nil {
+		t.Fatal(err)
+	}
+	long, err := MissionDowntime(&tm, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !relClose(long, steady.DowntimeMinutes, 0.02) {
+		t.Errorf("200-year mission %v vs steady state %v", long, steady.DowntimeMinutes)
+	}
+}
+
+func TestYoungSystemBeatsSteadyState(t *testing.T) {
+	// Starting all-up, a short mission accrues less downtime per year
+	// than the stationary average.
+	tm := singleMode(2, 2, 0, 650*units.Day, 38*units.Hour, 0, false)
+	steady, err := MarkovEngine{}.Evaluate([]TierModel{tm})
+	if err != nil {
+		t.Fatal(err)
+	}
+	short, err := MissionDowntime(&tm, 0.05) // ~18 days
+	if err != nil {
+		t.Fatal(err)
+	}
+	if short >= steady.DowntimeMinutes {
+		t.Errorf("18-day mission %v should undercut steady state %v", short, steady.DowntimeMinutes)
+	}
+	year, err := MissionDowntime(&tm, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(short < year && year < steady.DowntimeMinutes*1.001) {
+		t.Errorf("mission downtime should grow toward steady state: %v, %v, %v",
+			short, year, steady.DowntimeMinutes)
+	}
+}
+
+func TestMissionMonotoneInHorizon(t *testing.T) {
+	tm := singleMode(2, 2, 1, 100*units.Day, 24*units.Hour, 10*units.Minute, true)
+	prev := 0.0
+	for _, years := range []float64{0.1, 0.5, 1, 5, 50} {
+		got, err := MissionDowntime(&tm, years)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got < prev {
+			t.Errorf("mission downtime decreased at %v years: %v < %v", years, got, prev)
+		}
+		prev = got
+	}
+}
+
+func TestMissionValidation(t *testing.T) {
+	tm := singleMode(1, 1, 0, units.Day, units.Hour, 0, false)
+	if _, err := MissionDowntime(&tm, 0); err == nil {
+		t.Error("zero mission length should fail")
+	}
+	bad := singleMode(0, 1, 0, units.Day, units.Hour, 0, false)
+	if _, err := MissionDowntime(&bad, 1); err == nil {
+		t.Error("invalid tier should fail")
+	}
+}
+
+func TestMissionZeroRepairHarmless(t *testing.T) {
+	tm := TierModel{Name: "t", N: 1, M: 1, Modes: []Mode{{Name: "glitch", MTBF: 10 * units.Day}}}
+	got, err := MissionDowntime(&tm, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 0 {
+		t.Errorf("zero-repair mission downtime = %v, want 0", got)
+	}
+}

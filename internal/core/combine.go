@@ -1,0 +1,205 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"aved/internal/avail"
+	"aved/internal/model"
+	"aved/internal/units"
+)
+
+// solveEnterprise implements §4.1 for enterprise services: per-tier
+// optima first, then multi-tier refinement over per-tier cost/downtime
+// frontiers when the combination misses the overall budget.
+func (s *Solver) solveEnterprise(req model.Requirements) (*Solution, error) {
+	budget := req.MaxAnnualDowntime.Minutes()
+	var stats Stats
+
+	// Phase 1: each tier in isolation against the full budget. The
+	// per-tier optimum is a cost lower bound, so if the combination
+	// meets the budget it is the overall optimum.
+	perTier := make([]*TierCandidate, len(s.svc.Tiers))
+	for i := range s.svc.Tiers {
+		cand, err := s.searchTier(&s.svc.Tiers[i], req.Throughput, budget, &stats)
+		if err != nil {
+			return nil, err
+		}
+		if cand == nil {
+			return nil, &InfeasibleError{Reason: fmt.Sprintf(
+				"tier %q cannot meet %v annual downtime at load %v in isolation",
+				s.svc.Tiers[i].Name, req.MaxAnnualDowntime, req.Throughput)}
+		}
+		perTier[i] = cand
+	}
+	if combinedDowntime(perTier) <= budget || len(perTier) == 1 {
+		return s.finishEnterprise(perTier, stats)
+	}
+
+	// Phase 2: the combination misses the budget; refine tiers with
+	// incrementally more aggressive requirements. The frontiers carry
+	// each tier's cost/downtime tradeoff; the combiner picks the
+	// minimum-cost point set whose series composition meets the budget.
+	frontiers := make([][]TierCandidate, len(s.svc.Tiers))
+	for i := range s.svc.Tiers {
+		f, err := s.tierFrontier(&s.svc.Tiers[i], req.Throughput, &stats)
+		if err != nil {
+			return nil, err
+		}
+		if len(f) == 0 {
+			return nil, &InfeasibleError{Reason: fmt.Sprintf("tier %q has no feasible designs", s.svc.Tiers[i].Name)}
+		}
+		frontiers[i] = f
+	}
+	var (
+		chosen []*TierCandidate
+		ok     bool
+	)
+	switch s.opts.Combiner {
+	case CombineMethodGreedy:
+		chosen, ok = CombineGreedy(frontiers, budget)
+	default:
+		chosen, ok = CombineExact(frontiers, budget)
+	}
+	if !ok {
+		return nil, &InfeasibleError{Reason: fmt.Sprintf(
+			"no tier combination meets %v annual downtime at load %v", req.MaxAnnualDowntime, req.Throughput)}
+	}
+	return s.finishEnterprise(chosen, stats)
+}
+
+// finishEnterprise assembles the Solution from chosen tier candidates.
+func (s *Solver) finishEnterprise(chosen []*TierCandidate, stats Stats) (*Solution, error) {
+	design := model.Design{Tiers: make([]model.TierDesign, len(chosen))}
+	var total units.Money
+	for i, c := range chosen {
+		design.Tiers[i] = c.Design
+		total += c.Cost
+	}
+	if err := design.Validate(); err != nil {
+		return nil, err
+	}
+	// Re-evaluate the whole design through the engine for the reported
+	// figure (identical to the series combination of tier downtimes).
+	tms, err := avail.BuildModels(&design)
+	if err != nil {
+		return nil, err
+	}
+	res, err := s.opts.Engine.Evaluate(tms)
+	if err != nil {
+		return nil, err
+	}
+	stats.Evaluations++
+	return &Solution{
+		Design:          design,
+		Cost:            total,
+		DowntimeMinutes: res.DowntimeMinutes,
+		Stats:           stats,
+	}, nil
+}
+
+// combinedDowntime reports the series composition of tier downtimes:
+// availability multiplies across tiers.
+func combinedDowntime(tiers []*TierCandidate) float64 {
+	availability := 1.0
+	for _, t := range tiers {
+		availability *= 1 - t.DowntimeMinutes/avail.MinutesPerYear
+	}
+	return (1 - availability) * avail.MinutesPerYear
+}
+
+// CombineExact picks one candidate per frontier minimising total cost
+// subject to the combined downtime budget. Frontiers are sorted by
+// ascending cost with descending downtime, enabling branch-and-bound:
+// the last point of each frontier is its tier's best achievable
+// downtime, giving an admissible feasibility bound. It is the default
+// multi-tier combiner; CombineGreedy is the paper-style alternative
+// kept for the ablation benchmarks.
+func CombineExact(frontiers [][]TierCandidate, budgetMinutes float64) ([]*TierCandidate, bool) {
+	n := len(frontiers)
+	// bestTail[i] = product over tiers i.. of best achievable tier
+	// availability; used to prune partial assignments that cannot
+	// possibly meet the budget.
+	bestTail := make([]float64, n+1)
+	bestTail[n] = 1
+	for i := n - 1; i >= 0; i-- {
+		last := frontiers[i][len(frontiers[i])-1]
+		bestTail[i] = bestTail[i+1] * (1 - last.DowntimeMinutes/avail.MinutesPerYear)
+	}
+	budgetAvail := 1 - budgetMinutes/avail.MinutesPerYear
+
+	var (
+		bestCost   = math.Inf(1)
+		bestChoice []*TierCandidate
+		current    = make([]*TierCandidate, n)
+	)
+	var dfs func(i int, costSoFar float64, availSoFar float64)
+	dfs = func(i int, costSoFar, availSoFar float64) {
+		if costSoFar >= bestCost {
+			return
+		}
+		if availSoFar*bestTail[i] < budgetAvail {
+			return // even the best remaining tiers cannot recover
+		}
+		if i == n {
+			bestCost = costSoFar
+			bestChoice = make([]*TierCandidate, n)
+			copy(bestChoice, current)
+			return
+		}
+		for j := range frontiers[i] {
+			c := &frontiers[i][j]
+			current[i] = c
+			dfs(i+1, costSoFar+float64(c.Cost), availSoFar*(1-c.DowntimeMinutes/avail.MinutesPerYear))
+		}
+	}
+	dfs(0, 0, 1)
+	if bestChoice == nil {
+		return nil, false
+	}
+	return bestChoice, true
+}
+
+// CombineGreedy is the paper-style incremental refinement: start every
+// tier at its cheapest frontier point and repeatedly tighten the tier
+// offering the best downtime reduction per unit cost until the budget
+// holds. It can be suboptimal; the exact combiner is the default. It
+// is exported for the ablation benchmarks.
+func CombineGreedy(frontiers [][]TierCandidate, budgetMinutes float64) ([]*TierCandidate, bool) {
+	n := len(frontiers)
+	idx := make([]int, n)
+	pick := func() []*TierCandidate {
+		out := make([]*TierCandidate, n)
+		for i := range out {
+			out[i] = &frontiers[i][idx[i]]
+		}
+		return out
+	}
+	for {
+		chosen := pick()
+		if combinedDowntime(chosen) <= budgetMinutes {
+			return chosen, true
+		}
+		bestTier := -1
+		bestRatio := math.Inf(1)
+		for i := 0; i < n; i++ {
+			if idx[i]+1 >= len(frontiers[i]) {
+				continue
+			}
+			cur, next := frontiers[i][idx[i]], frontiers[i][idx[i]+1]
+			dCost := float64(next.Cost - cur.Cost)
+			dDown := cur.DowntimeMinutes - next.DowntimeMinutes
+			if dDown <= 0 {
+				continue
+			}
+			if ratio := dCost / dDown; ratio < bestRatio {
+				bestRatio = ratio
+				bestTier = i
+			}
+		}
+		if bestTier < 0 {
+			return nil, false // every tier exhausted
+		}
+		idx[bestTier]++
+	}
+}

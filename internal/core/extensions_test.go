@@ -1,0 +1,339 @@
+package core
+
+import (
+	"testing"
+
+	"aved/internal/model"
+	"aved/internal/perf"
+	"aved/internal/scenarios"
+	"aved/internal/units"
+)
+
+// rejuvenationInfra models software aging: the app server's soft-failure
+// MTBF depends on the rejuvenation schedule (§1 lists rejuvenation as a
+// design dimension). Frequent restarts stretch the effective MTBF but
+// cost more in management tooling.
+const rejuvenationInfra = `
+component=hw cost=1000
+  failure=hard mtbf=500d mttr=24h detect_time=1m
+component=app cost=500
+  failure=aging mtbf=<rejuvenation> mttr=0 detect_time=0
+mechanism=rejuvenation
+  param=schedule range=[none,weekly,daily]
+    cost(schedule)=[0 50 200]
+    mtbf(schedule)=[10d 40d 120d]
+resource=r reconfig_time=0
+  component=hw depend=null startup=1m
+  component=app depend=hw startup=5m
+`
+
+const rejuvenationService = `
+application=aging
+tier=main
+  resource=r sizing=dynamic failurescope=resource
+    nActive=[1-100,+1] performance(nActive)=lin.dat
+`
+
+func rejuvenationSolver(t *testing.T) *Solver {
+	t.Helper()
+	inf, err := model.ParseInfrastructure(rejuvenationInfra)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc, err := model.ParseService(rejuvenationService)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.Resolve(inf); err != nil {
+		t.Fatal(err)
+	}
+	reg := perf.NewRegistry()
+	reg.RegisterCurve("lin.dat", perf.LinearCurve(100))
+	s, err := NewSolver(inf, svc, Options{Registry: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestRejuvenationMechanism: with a loose budget the search skips the
+// rejuvenation cost; tightening the budget makes the schedule the
+// cheapest availability lever (each aging failure costs only the 5m
+// restart, but at 10d MTBF they add up).
+func TestRejuvenationMechanism(t *testing.T) {
+	s := rejuvenationSolver(t)
+	schedAt := func(budgetMinutes float64) string {
+		sol, err := s.Solve(model.Requirements{
+			Kind:              model.ReqEnterprise,
+			Throughput:        400,
+			MaxAnnualDowntime: units.Duration(budgetMinutes * float64(units.Minute)),
+		})
+		if err != nil {
+			t.Fatalf("budget %v: %v", budgetMinutes, err)
+		}
+		ms, ok := sol.Design.Tiers[0].Mechanism("rejuvenation")
+		if !ok {
+			t.Fatal("design has no rejuvenation setting")
+		}
+		return ms.Values["schedule"].Str
+	}
+	// Loose budget: no rejuvenation needed (4 × ~36.5 failures/yr × 5m
+	// restart ≈ 730 min plus hardware ≈ 4200 min).
+	if got := schedAt(20000); got != "none" {
+		t.Errorf("loose budget schedule = %q, want none", got)
+	}
+	// Demanding more than the aging-heavy design can deliver without a
+	// schedule change forces weekly or daily rejuvenation.
+	tight := schedAt(4400)
+	if tight == "none" {
+		t.Errorf("tight budget schedule = %q, want weekly or daily", tight)
+	}
+}
+
+// TestRejuvenationChangesEffectiveMTBF checks the mechanism wiring at
+// the EffectiveModes level.
+func TestRejuvenationChangesEffectiveMTBF(t *testing.T) {
+	s := rejuvenationSolver(t)
+	tier := &s.svc.Tiers[0]
+	mech := s.inf.Mechanisms["rejuvenation"]
+	for _, tt := range []struct {
+		schedule string
+		want     units.Duration
+	}{
+		{"none", 10 * units.Day},
+		{"weekly", 40 * units.Day},
+		{"daily", 120 * units.Day},
+	} {
+		td := model.TierDesign{
+			TierName:  tier.Name,
+			Option:    &tier.Options[0],
+			NActive:   2,
+			NMinPerf:  2,
+			MinActive: 2,
+			SpareWarm: 0,
+			Mechanisms: []model.MechSetting{{
+				Mechanism: mech,
+				Values:    map[string]model.ParamValue{"schedule": model.EnumValue(tt.schedule)},
+			}},
+		}
+		ems, err := td.EffectiveModes()
+		if err != nil {
+			t.Fatal(err)
+		}
+		found := false
+		for _, em := range ems {
+			if em.Component == "app" && em.Mode == "aging" {
+				found = true
+				if em.MTBF != tt.want {
+					t.Errorf("schedule %s: MTBF = %v, want %v", tt.schedule, em.MTBF, tt.want)
+				}
+			}
+		}
+		if !found {
+			t.Fatal("aging mode missing")
+		}
+	}
+}
+
+// networkedEcommerceService adds a network tier to the §5.1 example —
+// the paper's §7 future-work item (LAN topologies and network
+// failures) expressed through tier composition: redundant switches are
+// just another tier in series.
+const networkedService = `
+application=networked
+tier=network
+  resource=rSwitch sizing=dynamic failurescope=resource
+    nActive=[1-4,+1] performance=1000000
+tier=application
+  resource=rC sizing=dynamic failurescope=resource
+    nActive=[1-1000,+1] performance(nActive)=perfC.dat
+`
+
+const switchInfraExtra = `
+component=switch cost([inactive,active])=[900 1000]
+  failure=hard mtbf=900d mttr=<maintenanceA> detect_time=1m
+resource=rSwitch reconfig_time=0
+  component=switch depend=null startup=1m
+`
+
+// TestNetworkRedundancyTier: a tight overall budget forces the search
+// to buy a redundant switch even though one switch carries the load.
+func TestNetworkRedundancyTier(t *testing.T) {
+	inf, err := model.ParseInfrastructure(scenarios.InfrastructureSpec + switchInfraExtra)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc, err := model.ParseService(networkedService)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.Resolve(inf); err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewSolver(inf, svc, Options{Registry: scenarios.Registry()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Loose budget: a single switch suffices (one hard failure per
+	// ~2.5y × 38h repair ≈ 900 min/yr).
+	loose, err := s.Solve(model.Requirements{
+		Kind:              model.ReqEnterprise,
+		Throughput:        1000,
+		MaxAnnualDowntime: 10000 * units.Minute,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, ok := loose.Design.Tier("network")
+	if !ok {
+		t.Fatal("missing network tier")
+	}
+	if net.Total() != 1 {
+		t.Errorf("loose budget switches = %d, want 1", net.Total())
+	}
+	// Tight budget: the network tier needs redundancy.
+	tight, err := s.Solve(model.Requirements{
+		Kind:              model.ReqEnterprise,
+		Throughput:        1000,
+		MaxAnnualDowntime: 60 * units.Minute,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, _ = tight.Design.Tier("network")
+	if net.Total() < 2 {
+		t.Errorf("tight budget switches = %d, want redundancy", net.Total())
+	}
+	if tight.DowntimeMinutes > 60 {
+		t.Errorf("combined downtime %v over budget", tight.DowntimeMinutes)
+	}
+	if tight.Cost <= loose.Cost {
+		t.Error("redundant network should cost more")
+	}
+}
+
+// warmthInfra is built so that a cold spare's failover transient (slow
+// OS boot) blows a tight downtime budget, a warm spare (hardware + OS
+// already running) meets it cheaply, and an extra active machine is
+// dearer than warming the spare — the per-component spare operational
+// modes of §4, dimension 4.
+const warmthInfra = `
+component=whw cost([inactive,active])=[500 550]
+  failure=hard mtbf=100d mttr=48h detect_time=1m
+component=wos cost=0
+  failure=soft mtbf=10000d mttr=0 detect_time=0
+component=wapp cost([inactive,active])=[0 200]
+  failure=soft mtbf=10000d mttr=0 detect_time=0
+resource=rw reconfig_time=0
+  component=whw depend=null startup=2m
+  component=wos depend=whw startup=15m
+  component=wapp depend=wos startup=1m
+`
+
+const warmthService = `
+application=warmth
+tier=main
+  resource=rw sizing=dynamic failurescope=resource
+    nActive=[1-100,+1] performance(nActive)=wlin.dat
+`
+
+func warmthSolver(t *testing.T, explore bool) *Solver {
+	t.Helper()
+	inf, err := model.ParseInfrastructure(warmthInfra)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc, err := model.ParseService(warmthService)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.Resolve(inf); err != nil {
+		t.Fatal(err)
+	}
+	reg := perf.NewRegistry()
+	reg.RegisterCurve("wlin.dat", perf.LinearCurve(100))
+	s, err := NewSolver(inf, svc, Options{Registry: reg, ExploreSpareWarmth: explore})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestSpareWarmthExploration: with warmth exploration on, a warm spare
+// (hardware and OS running, application cold) is the cheapest design
+// meeting a failover-dominated budget; without it the search must buy
+// a dearer alternative.
+func TestSpareWarmthExploration(t *testing.T) {
+	req := model.Requirements{
+		Kind:              model.ReqEnterprise,
+		Throughput:        200, // two machines for load
+		MaxAnnualDowntime: 40 * units.Minute,
+	}
+	warm, err := warmthSolver(t, true).Solve(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	td := &warm.Design.Tiers[0]
+	if td.NSpare == 0 || td.SpareWarm == 0 {
+		t.Fatalf("expected a warm spare, got %s", warm.Design.Label())
+	}
+	if td.SpareWarm == len(td.Resource().Components) {
+		t.Errorf("fully hot spare chosen (%s); a partial warmth level should suffice", warm.Design.Label())
+	}
+	cold, err := warmthSolver(t, false).Solve(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Cost >= cold.Cost {
+		t.Errorf("warmth exploration should find a cheaper design: %v vs %v", warm.Cost, cold.Cost)
+	}
+	if warm.DowntimeMinutes > 40 || cold.DowntimeMinutes > 40 {
+		t.Error("both solutions must meet the budget")
+	}
+}
+
+// TestWarmSpareShortensFailover checks the failover arithmetic: each
+// warmth level removes the startup of the components already running.
+func TestWarmSpareShortensFailover(t *testing.T) {
+	inf, err := model.ParseInfrastructure(warmthInfra)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc, err := model.ParseService(warmthService)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.Resolve(inf); err != nil {
+		t.Fatal(err)
+	}
+	wantFailover := []units.Duration{
+		1*units.Minute + 18*units.Minute, // cold: hw 2m + os 15m + app 1m
+		1*units.Minute + 16*units.Minute, // hw warm: os 15m + app 1m
+		1*units.Minute + 1*units.Minute,  // hw+os warm: app 1m
+		1 * units.Minute,                 // hot: detect only
+	}
+	for warm, want := range wantFailover {
+		td := model.TierDesign{
+			TierName:  "main",
+			Option:    &svc.Tiers[0].Options[0],
+			NActive:   2,
+			NSpare:    1,
+			NMinPerf:  2,
+			MinActive: 2,
+			SpareWarm: warm,
+		}
+		ems, err := td.EffectiveModes()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := ems[0].FailoverTime; got != want {
+			t.Errorf("warm %d: failover = %v, want %v", warm, got, want)
+		}
+		// SparePowered tracks the warmth prefix.
+		for i, em := range ems {
+			if got := em.SparePowered; got != (i < warm) {
+				t.Errorf("warm %d mode %d: SparePowered = %v", warm, i, got)
+			}
+		}
+	}
+}

@@ -1,0 +1,327 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"aved/internal/avail"
+	"aved/internal/cost"
+	"aved/internal/jobtime"
+	"aved/internal/model"
+	"aved/internal/perf"
+	"aved/internal/units"
+)
+
+// JobCandidate couples a tier design with its cost and expected job
+// completion time.
+type JobCandidate struct {
+	Design  model.TierDesign
+	Cost    units.Money
+	JobTime units.Duration
+}
+
+// solveJob implements the search for finite-duration applications
+// (§5.2): the only requirement is the expected job completion time;
+// design dimensions are resource type, resource count, spares, spare
+// mode, and mechanism parameters (notably checkpoint interval and
+// storage location).
+func (s *Solver) solveJob(req model.Requirements) (*Solution, error) {
+	if len(s.svc.Tiers) != 1 {
+		return nil, fmt.Errorf("core: job solving supports single-tier services, %q has %d tiers",
+			s.svc.Name, len(s.svc.Tiers))
+	}
+	tier := &s.svc.Tiers[0]
+	var (
+		stats Stats
+		best  *JobCandidate
+	)
+	for i := range tier.Options {
+		cand, err := s.searchJobOption(tier, &tier.Options[i], req.MaxJobTime, best, &stats)
+		if err != nil {
+			return nil, err
+		}
+		if cand != nil {
+			best = cand
+		}
+	}
+	if best == nil {
+		return nil, &InfeasibleError{Reason: fmt.Sprintf(
+			"no design completes job size %v within %v", s.svc.JobSize, req.MaxJobTime)}
+	}
+	design := model.Design{Tiers: []model.TierDesign{best.Design}}
+	if err := design.Validate(); err != nil {
+		return nil, err
+	}
+	return &Solution{
+		Design:  design,
+		Cost:    best.Cost,
+		JobTime: best.JobTime,
+		Stats:   stats,
+	}, nil
+}
+
+// jobStopAfterDegrading is how many consecutive resource-count steps
+// with a degrading best completion time the search tolerates before
+// declaring the option exhausted (the §4.1 rule adapted to the
+// U-shaped job-time curve).
+const jobStopAfterDegrading = 2
+
+// jobCombo carries everything about one mechanism combination that does
+// not depend on the resource counts, precomputed once per option so the
+// inner search loop runs pure arithmetic.
+type jobCombo struct {
+	settings []model.MechSetting
+	// lossWindow is the combo's resolved loss window; zero duration
+	// with hasLW=false means no checkpointing.
+	lossWindow units.Duration
+	hasLW      bool
+	// overheads are the resolved mechanism performance-impact
+	// functions with their argument maps; Factor still takes n.
+	overheads []comboOverhead
+	// mechCostPerInstance is the summed mechanism cost per covered
+	// resource instance.
+	mechCostPerInstance units.Money
+	// availGroup indexes combos whose availability evaluations are
+	// interchangeable (same MTTR-relevant settings).
+	availGroup int
+}
+
+type comboOverhead struct {
+	fn   perf.Overhead
+	args map[string]perf.Arg
+}
+
+// prepareJobCombos resolves the option's mechanism combinations into
+// jobCombos, grouped by availability relevance.
+func (s *Solver) prepareJobCombos(tier *model.Tier, opt *model.ResourceOption) ([]jobCombo, int, error) {
+	combos, err := s.mechCombos(opt.ResourceType())
+	if err != nil {
+		return nil, 0, err
+	}
+	groups := map[string]int{}
+	out := make([]jobCombo, 0, len(combos))
+	for _, combo := range combos {
+		jc := jobCombo{settings: combo}
+		// Loss window and mechanism cost via a throwaway design: both
+		// depend only on the combo and the resource type.
+		probe := model.TierDesign{
+			TierName:   tier.Name,
+			Option:     opt,
+			NActive:    1,
+			NMinPerf:   1,
+			MinActive:  1,
+			Mechanisms: combo,
+		}
+		lw, has, err := probe.LossWindow()
+		if err != nil {
+			return nil, 0, err
+		}
+		jc.lossWindow, jc.hasLW = lw, has
+		for _, ms := range combo {
+			per, err := ms.CostPerInstance()
+			if err != nil {
+				return nil, 0, err
+			}
+			jc.mechCostPerInstance += per
+		}
+		for _, mp := range opt.MechPerf {
+			ms, ok := probe.Mechanism(mp.Mechanism)
+			if !ok {
+				return nil, 0, fmt.Errorf("core: tier %q: mechanism %q has a performance impact but no setting",
+					tier.Name, mp.Mechanism)
+			}
+			oh, err := s.opts.Registry.Overhead(mp.Ref)
+			if err != nil {
+				return nil, 0, err
+			}
+			args := make(map[string]perf.Arg, len(ms.Values))
+			for name, v := range ms.Values {
+				args[name] = perf.Arg{Str: v.Str, Hours: v.Hours, IsNum: v.IsNum}
+			}
+			jc.overheads = append(jc.overheads, comboOverhead{fn: oh, args: args})
+		}
+		key := availKey(&probe)
+		id, ok := groups[key]
+		if !ok {
+			id = len(groups)
+			groups[key] = id
+		}
+		jc.availGroup = id
+		out = append(out, jc)
+	}
+	return out, len(groups), nil
+}
+
+func (s *Solver) searchJobOption(tier *model.Tier, opt *model.ResourceOption, maxTime units.Duration,
+	incumbent *JobCandidate, stats *Stats) (*JobCandidate, error) {
+
+	curve, err := s.curveFor(opt)
+	if err != nil {
+		return nil, err
+	}
+	combos, groupCount, err := s.prepareJobCombos(tier, opt)
+	if err != nil {
+		return nil, err
+	}
+	// Per-instance component costs are count-independent; spare cost
+	// depends on the warmth prefix.
+	rt := opt.ResourceType()
+	var activeCost units.Money
+	for _, rc := range rt.Components {
+		activeCost += rc.Component.Cost(model.ModeActive)
+	}
+	spareCostByWarm := make([]units.Money, len(rt.Components)+1)
+	for warm := range spareCostByWarm {
+		var c units.Money
+		for i, rc := range rt.Components {
+			mode := model.ModeInactive
+			if i < warm {
+				mode = model.ModeActive
+			}
+			c += rc.Component.Cost(mode)
+		}
+		spareCostByWarm[warm] = c
+	}
+
+	best := incumbent
+	prevBestTime := math.Inf(1)
+	degrading := 0
+	maxTotal := rt.MaxInstances()
+	grid := opt.NActive
+	entries := make([]evalEntry, groupCount)
+	evaluated := make([]bool, groupCount)
+	nVal, ok := grid.Lo(), true
+	for ok {
+		n := int(math.Round(nVal))
+		if maxTotal > 0 && n > maxTotal {
+			break
+		}
+		minCostAtN := math.Inf(1)
+		bestTimeAtN := math.Inf(1)
+		for spares := 0; spares <= s.opts.MaxRedundancy; spares++ {
+			if maxTotal > 0 && n+spares > maxTotal {
+				break
+			}
+			for _, warm := range s.warmLevels(rt, spares) {
+				for g := range evaluated {
+					evaluated[g] = false
+				}
+				perfAtN := curve.Throughput(n)
+				for ci := range combos {
+					jc := &combos[ci]
+					c := units.Money(float64(n)*float64(activeCost) +
+						float64(spares)*float64(spareCostByWarm[warm]) +
+						float64(n+spares)*float64(jc.mechCostPerInstance))
+					stats.CandidatesGenerated++
+					if float64(c) < minCostAtN {
+						minCostAtN = float64(c)
+					}
+					// Strictly dearer candidates skip evaluation;
+					// equal-cost candidates still evaluate so ties
+					// break toward the shorter completion time (the
+					// design Fig. 7 plots).
+					if best != nil && c > best.Cost {
+						stats.CostPruned++
+						continue
+					}
+					if !evaluated[jc.availGroup] {
+						td := s.buildJobDesign(tier, opt, n, spares, warm, jc.settings)
+						entry, err := s.evalTier(&td, stats)
+						if err != nil {
+							return nil, err
+						}
+						entries[jc.availGroup] = entry
+						evaluated[jc.availGroup] = true
+					}
+					jt, err := s.comboJobTime(jc, entries[jc.availGroup], perfAtN, n)
+					if err != nil {
+						return nil, err
+					}
+					if jt.Hours() < bestTimeAtN {
+						bestTimeAtN = jt.Hours()
+					}
+					if jt <= maxTime &&
+						(best == nil || c < best.Cost || (c == best.Cost && jt < best.JobTime)) {
+						td := s.buildJobDesign(tier, opt, n, spares, warm, jc.settings)
+						best = &JobCandidate{Design: td, Cost: c, JobTime: jt}
+					}
+				}
+			}
+		}
+		if best != nil && minCostAtN >= float64(best.Cost) {
+			break
+		}
+		if best == nil {
+			if bestTimeAtN >= prevBestTime {
+				degrading++
+				if degrading >= jobStopAfterDegrading {
+					break
+				}
+			} else {
+				degrading = 0
+				prevBestTime = bestTimeAtN
+			}
+		}
+		nVal, ok = grid.Next(nVal)
+	}
+	if best == incumbent {
+		return nil, nil
+	}
+	// Cross-check the fast-path cost arithmetic against the cost model.
+	if best != nil {
+		full, err := cost.Tier(&best.Design)
+		if err != nil {
+			return nil, err
+		}
+		if full != best.Cost {
+			return nil, fmt.Errorf("core: job-search cost mismatch: %v vs %v", best.Cost, full)
+		}
+	}
+	return best, nil
+}
+
+func (s *Solver) buildJobDesign(tier *model.Tier, opt *model.ResourceOption,
+	n, spares, warm int, settings []model.MechSetting) model.TierDesign {
+	return model.TierDesign{
+		TierName:   tier.Name,
+		Option:     opt,
+		NActive:    n,
+		NSpare:     spares,
+		NMinPerf:   n,
+		MinActive:  minActiveFor(opt, n, n),
+		SpareWarm:  warm,
+		Mechanisms: settings,
+	}
+}
+
+// comboJobTime composes the expected completion time from precomputed
+// combo data and a cached availability evaluation.
+func (s *Solver) comboJobTime(jc *jobCombo, entry evalEntry, perfAtN float64, n int) (units.Duration, error) {
+	availability := 1 - entry.downtimeMinutes/avail.MinutesPerYear
+	if availability <= 0 {
+		return jobtime.MaxExpected, nil
+	}
+	overhead := 1.0
+	for _, oh := range jc.overheads {
+		f, err := oh.fn.Factor(oh.args, n)
+		if err != nil {
+			return 0, err
+		}
+		if f < 1 {
+			return 0, fmt.Errorf("core: overhead factor %v below 1", f)
+		}
+		overhead *= f
+	}
+	lw := jc.lossWindow
+	if !jc.hasLW {
+		lw = 0 // no checkpointing: lose the whole job on failure
+	}
+	return jobtime.Expected(jobtime.Params{
+		JobSize:        s.svc.JobSize,
+		PerfPerHour:    perfAtN,
+		OverheadFactor: overhead,
+		LossWindow:     lw,
+		SystemMTBF:     entry.sysMTBF,
+		Availability:   availability,
+	})
+}

@@ -1,0 +1,119 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"aved/internal/model"
+)
+
+// mechCombos enumerates every combination of parameter settings for the
+// mechanisms a resource type references, honouring FixedMechanisms
+// pins. Combinations are generated deterministically: mechanisms in
+// first-reference order, enumerated parameters in declaration order,
+// numeric grids ascending.
+func (s *Solver) mechCombos(rt *model.ResourceType) ([][]model.MechSetting, error) {
+	names := rt.Mechanisms()
+	combos := [][]model.MechSetting{nil}
+	for _, name := range names {
+		mech, ok := s.inf.Mechanisms[name]
+		if !ok {
+			return nil, fmt.Errorf("core: resource %q references unknown mechanism %q", rt.Name, name)
+		}
+		settings, err := s.settingsFor(mech)
+		if err != nil {
+			return nil, err
+		}
+		next := make([][]model.MechSetting, 0, len(combos)*len(settings))
+		for _, combo := range combos {
+			for _, setting := range settings {
+				grown := make([]model.MechSetting, len(combo), len(combo)+1)
+				copy(grown, combo)
+				grown = append(grown, setting)
+				next = append(next, grown)
+			}
+		}
+		combos = next
+	}
+	return combos, nil
+}
+
+// settingsFor enumerates one mechanism's parameter-value combinations.
+func (s *Solver) settingsFor(mech *model.Mechanism) ([]model.MechSetting, error) {
+	pins := s.opts.FixedMechanisms[mech.Name]
+	valueSets := make([][]model.ParamValue, len(mech.Params))
+	for i, p := range mech.Params {
+		if pin, ok := pins[p.Name]; ok {
+			valueSets[i] = []model.ParamValue{pin}
+			continue
+		}
+		if p.IsEnum() {
+			vs := make([]model.ParamValue, len(p.Enum))
+			for j, e := range p.Enum {
+				vs[j] = model.EnumValue(e)
+			}
+			valueSets[i] = vs
+			continue
+		}
+		points := p.Grid.Values()
+		vs := make([]model.ParamValue, len(points))
+		for j, hours := range points {
+			vs[j] = model.DurationValue(hours)
+		}
+		valueSets[i] = vs
+	}
+	out := []model.MechSetting{{Mechanism: mech, Values: map[string]model.ParamValue{}}}
+	for i, p := range mech.Params {
+		next := make([]model.MechSetting, 0, len(out)*len(valueSets[i]))
+		for _, base := range out {
+			for _, v := range valueSets[i] {
+				vals := make(map[string]model.ParamValue, len(base.Values)+1)
+				for k, bv := range base.Values {
+					vals[k] = bv
+				}
+				vals[p.Name] = v
+				next = append(next, model.MechSetting{Mechanism: mech, Values: vals})
+			}
+		}
+		out = next
+	}
+	for _, ms := range out {
+		if err := ms.Validate(); err != nil {
+			return nil, fmt.Errorf("core: mechanism %q: %w", mech.Name, err)
+		}
+	}
+	return out, nil
+}
+
+// availKey fingerprints the parts of a candidate that determine its
+// availability: resource, counts, spare mode, and only the mechanism
+// settings that feed MTTRs. Mechanisms affecting just loss windows or
+// performance (e.g. checkpointing) do not change availability, so
+// candidates differing only there share one engine evaluation.
+func availKey(td *model.TierDesign) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s|%s|n%d|m%d|s%d|w%d",
+		td.TierName, td.Resource().Name, td.NActive, td.MinActive, td.NSpare, td.SpareWarm)
+	relevant := map[string]bool{}
+	for _, rc := range td.Resource().Components {
+		for _, f := range rc.Component.Failures {
+			if f.MTTRRef != "" {
+				relevant[f.MTTRRef] = true
+			}
+			if f.MTBFRef != "" {
+				relevant[f.MTBFRef] = true
+			}
+		}
+	}
+	labels := make([]string, 0, len(td.Mechanisms))
+	for _, ms := range td.Mechanisms {
+		if ms.Mechanism != nil && relevant[ms.Mechanism.Name] {
+			labels = append(labels, ms.Label())
+		}
+	}
+	sort.Strings(labels)
+	sb.WriteByte('|')
+	sb.WriteString(strings.Join(labels, ","))
+	return sb.String()
+}

@@ -1,0 +1,176 @@
+// Package core implements Aved's design-space search engine (§4.1 of
+// the paper) — the primary contribution. The solver takes a bound
+// infrastructure model, a resolved service model, a performance
+// registry and service requirements, and searches resource types,
+// active/spare counts, spare operational modes and availability-
+// mechanism parameters for the minimum-cost design that satisfies the
+// requirements, using cost-first pruning once a feasible design is
+// known and the paper's termination rules.
+package core
+
+import (
+	"fmt"
+
+	"aved/internal/avail"
+	"aved/internal/model"
+	"aved/internal/perf"
+	"aved/internal/units"
+)
+
+// DefaultMaxRedundancy bounds how many resources beyond the
+// performance minimum the per-tier search explores. The paper's search
+// stops when extra resources can no longer pay for themselves; the cap
+// is a safety net for degenerate inputs.
+const DefaultMaxRedundancy = 12
+
+// Options configure a Solver.
+type Options struct {
+	// Engine evaluates availability models. Defaults to the analytic
+	// Markov engine.
+	Engine avail.Engine
+	// Registry resolves performance references. Required.
+	Registry *perf.Registry
+	// ExploreSpareWarmth makes the search enumerate per-component spare
+	// operational modes (§4, dimension 4) as warmth levels: 0 (cold,
+	// everything inactive) up to the resource's component count (hot).
+	// Off by default, matching the §5.1 examples' all-inactive spares.
+	ExploreSpareWarmth bool
+	// MaxRedundancy caps extra resources (actives beyond the
+	// performance minimum plus spares) per tier. Zero means
+	// DefaultMaxRedundancy.
+	MaxRedundancy int
+	// FixedMechanisms pins mechanism parameters, e.g. fixing the
+	// maintenance level to bronze as §5.2 does. Keyed by mechanism
+	// name, then parameter name.
+	FixedMechanisms map[string]map[string]model.ParamValue
+	// Combiner selects the multi-tier combination strategy. The zero
+	// value is the exact branch-and-bound combiner.
+	Combiner CombineMethod
+}
+
+// CombineMethod selects how per-tier frontiers combine into a
+// multi-tier design.
+type CombineMethod int
+
+// Combination strategies.
+const (
+	// CombineMethodExact is branch-and-bound over the tier frontiers:
+	// provably minimum cost under the model. The default.
+	CombineMethodExact CombineMethod = iota
+	// CombineMethodGreedy is the paper-style incremental refinement:
+	// repeatedly tighten the tier with the best downtime reduction per
+	// unit cost. Faster, possibly suboptimal; kept for the ablation.
+	CombineMethodGreedy
+)
+
+func (o Options) withDefaults() Options {
+	if o.Engine == nil {
+		o.Engine = avail.NewMarkovEngine()
+	}
+	if o.MaxRedundancy == 0 {
+		o.MaxRedundancy = DefaultMaxRedundancy
+	}
+	return o
+}
+
+// Stats counts search effort, mirroring the paper's argument that the
+// space is too large to explore manually.
+type Stats struct {
+	// CandidatesGenerated counts complete candidate designs visited.
+	CandidatesGenerated int
+	// CostPruned counts candidates rejected on cost alone, without an
+	// availability evaluation (§4.1's fast path).
+	CostPruned int
+	// Evaluations counts availability-engine invocations.
+	Evaluations int
+}
+
+// Solution is the search outcome for one requirement point.
+type Solution struct {
+	Design model.Design
+	// Cost is the design's total annual cost.
+	Cost units.Money
+	// DowntimeMinutes is the design's expected annual downtime
+	// (enterprise requirements).
+	DowntimeMinutes float64
+	// JobTime is the expected job completion time (job requirements).
+	JobTime units.Duration
+	// Stats records search effort.
+	Stats Stats
+}
+
+// Solver searches the design space of one service over one
+// infrastructure.
+type Solver struct {
+	inf  *model.Infrastructure
+	svc  *model.Service
+	opts Options
+
+	evalCache map[string]evalEntry // availability results by design key
+}
+
+// NewSolver validates the inputs and builds a solver.
+func NewSolver(inf *model.Infrastructure, svc *model.Service, opts Options) (*Solver, error) {
+	if inf == nil {
+		return nil, fmt.Errorf("core: nil infrastructure")
+	}
+	if svc == nil {
+		return nil, fmt.Errorf("core: nil service")
+	}
+	if opts.Registry == nil {
+		return nil, fmt.Errorf("core: options need a performance registry")
+	}
+	for i := range svc.Tiers {
+		for j := range svc.Tiers[i].Options {
+			if svc.Tiers[i].Options[j].ResourceType() == nil {
+				return nil, fmt.Errorf("core: service %q is not resolved against the infrastructure (tier %q)",
+					svc.Name, svc.Tiers[i].Name)
+			}
+		}
+	}
+	return &Solver{
+		inf:       inf,
+		svc:       svc,
+		opts:      opts.withDefaults(),
+		evalCache: map[string]evalEntry{},
+	}, nil
+}
+
+// Solve searches for the minimum-cost design meeting the requirements.
+// Enterprise requirements need a throughput and downtime bound; job
+// requirements need a completion-time bound and a service with a job
+// size. It reports ErrInfeasible when no design can satisfy them.
+func (s *Solver) Solve(req model.Requirements) (*Solution, error) {
+	if err := req.Validate(); err != nil {
+		return nil, err
+	}
+	switch req.Kind {
+	case model.ReqEnterprise:
+		return s.solveEnterprise(req)
+	case model.ReqJob:
+		if !s.svc.HasJobSize {
+			return nil, fmt.Errorf("core: job requirement needs a service with a jobsize, %q has none", s.svc.Name)
+		}
+		return s.solveJob(req)
+	default:
+		return nil, fmt.Errorf("core: unknown requirement kind %d", int(req.Kind))
+	}
+}
+
+// InfeasibleError reports that no design in the space satisfies the
+// requirements, with the closest miss for diagnosis.
+type InfeasibleError struct {
+	Reason string
+}
+
+func (e *InfeasibleError) Error() string {
+	return "core: no feasible design: " + e.Reason
+}
+
+// curveFor resolves a resource option's performance model.
+func (s *Solver) curveFor(opt *model.ResourceOption) (perf.Curve, error) {
+	if opt.PerfIsScalar {
+		return perf.ConstCurve(opt.PerfScalar), nil
+	}
+	return s.opts.Registry.Curve(opt.PerfRef)
+}

@@ -1,0 +1,337 @@
+package core
+
+import (
+	"math"
+	"sort"
+
+	"aved/internal/avail"
+	"aved/internal/cost"
+	"aved/internal/jobtime"
+	"aved/internal/model"
+	"aved/internal/perf"
+	"aved/internal/units"
+)
+
+// TierCandidate couples a tier design with its evaluated cost and
+// annual downtime.
+type TierCandidate struct {
+	Design          model.TierDesign
+	Cost            units.Money
+	DowntimeMinutes float64
+}
+
+// evalEntry caches one tier design's availability evaluation together
+// with the derived work-loss MTBF the job analysis needs.
+type evalEntry struct {
+	downtimeMinutes float64
+	sysMTBF         units.Duration
+}
+
+// evalTier evaluates one tier design through the configured engine,
+// caching by availability fingerprint so candidates that differ only
+// in availability-neutral mechanism settings (e.g. checkpoint
+// intervals) share an evaluation.
+func (s *Solver) evalTier(td *model.TierDesign, stats *Stats) (evalEntry, error) {
+	key := availKey(td)
+	if v, ok := s.evalCache[key]; ok {
+		return v, nil
+	}
+	tm, err := avail.BuildTierModel(td)
+	if err != nil {
+		return evalEntry{}, err
+	}
+	res, err := s.opts.Engine.Evaluate([]avail.TierModel{tm})
+	if err != nil {
+		return evalEntry{}, err
+	}
+	sysMTBF, err := jobtime.SystemMTBF(tm.Modes, td.NActive)
+	if err != nil {
+		return evalEntry{}, err
+	}
+	stats.Evaluations++
+	entry := evalEntry{downtimeMinutes: res.DowntimeMinutes, sysMTBF: sysMTBF}
+	s.evalCache[key] = entry
+	return entry, nil
+}
+
+// minActiveFor reports the §4.2 minimum-actives parameter m: the
+// performance minimum for dynamically sized, resource-scoped tiers and
+// the full active count otherwise.
+func minActiveFor(opt *model.ResourceOption, nActive, nMinPerf int) int {
+	if opt.Sizing == model.SizingStatic || opt.FailureScope == model.ScopeTier {
+		return nActive
+	}
+	return nMinPerf
+}
+
+// optionSearch walks one resource option's design dimensions in the
+// paper's order: total resources ascending from the performance
+// minimum; within a total, every (active, spare) split on the allowed
+// grid, every spare operational mode, and every mechanism combination.
+// visit is called for every candidate with its cost; it returns whether
+// the candidate's availability was (or would have been) needed, letting
+// the caller implement cost-first pruning. The walk applies the
+// paper's termination rules through the controller callbacks.
+type optionSearch struct {
+	solver   *Solver
+	tier     *model.Tier
+	opt      *model.ResourceOption
+	nMinPerf int
+	maxTotal int // component-level instance cap; 0 means unlimited
+	combos   [][]model.MechSetting
+}
+
+// newOptionSearch prepares the enumeration for one resource option,
+// reporting ok=false when the option cannot meet the throughput at any
+// allowed size.
+func (s *Solver) newOptionSearch(tier *model.Tier, opt *model.ResourceOption, throughput float64) (*optionSearch, bool, error) {
+	curve, err := s.curveFor(opt)
+	if err != nil {
+		return nil, false, err
+	}
+	nMinPerf, ok := perf.MinActive(curve, throughput, opt.NActive)
+	if !ok {
+		return nil, false, nil
+	}
+	maxTotal := opt.ResourceType().MaxInstances()
+	if maxTotal > 0 && nMinPerf > maxTotal {
+		// The component instance cap rules this option out before it
+		// even meets the performance requirement.
+		return nil, false, nil
+	}
+	combos, err := s.mechCombos(opt.ResourceType())
+	if err != nil {
+		return nil, false, err
+	}
+	return &optionSearch{
+		solver:   s,
+		tier:     tier,
+		opt:      opt,
+		nMinPerf: nMinPerf,
+		maxTotal: maxTotal,
+		combos:   combos,
+	}, true, nil
+}
+
+// warmLevels reports the candidate spare warmth levels for a resource
+// type: only cold spares by default (§5.1's restriction), or every
+// dependency-closed prefix when the search explores warmth.
+func (s *Solver) warmLevels(rt *model.ResourceType, nSpare int) []int {
+	if nSpare == 0 || !s.opts.ExploreSpareWarmth {
+		return []int{0}
+	}
+	out := make([]int, len(rt.Components)+1)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// candidates yields every candidate at a given total resource count.
+func (o *optionSearch) candidates(total int, yield func(td model.TierDesign, c units.Money) error) error {
+	grid := o.opt.NActive
+	for nActive := o.nMinPerf; nActive <= total; nActive++ {
+		if !grid.Contains(float64(nActive)) {
+			continue
+		}
+		nSpare := total - nActive
+		for _, warm := range o.solver.warmLevels(o.opt.ResourceType(), nSpare) {
+			for _, combo := range o.combos {
+				td := model.TierDesign{
+					TierName:   o.tier.Name,
+					Option:     o.opt,
+					NActive:    nActive,
+					NSpare:     nSpare,
+					NMinPerf:   o.nMinPerf,
+					MinActive:  minActiveFor(o.opt, nActive, o.nMinPerf),
+					SpareWarm:  warm,
+					Mechanisms: combo,
+				}
+				c, err := cost.Tier(&td)
+				if err != nil {
+					return err
+				}
+				if err := yield(td, c); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// searchOption finds the option's minimum-cost design meeting the
+// downtime budget, seeding the incumbent from searches of other
+// options so pruning carries across resource types.
+func (s *Solver) searchOption(tier *model.Tier, opt *model.ResourceOption, throughput, budgetMinutes float64,
+	incumbent *TierCandidate, stats *Stats) (*TierCandidate, error) {
+
+	o, ok, err := s.newOptionSearch(tier, opt, throughput)
+	if err != nil || !ok {
+		return nil, err
+	}
+	best := incumbent
+	prevBestDowntime := math.Inf(1)
+	for extra := 0; extra <= s.opts.MaxRedundancy; extra++ {
+		total := o.nMinPerf + extra
+		if o.maxTotal > 0 && total > o.maxTotal {
+			break
+		}
+		minCostAtTotal := math.Inf(1)
+		bestDowntimeAtTotal := math.Inf(1)
+		err := o.candidates(total, func(td model.TierDesign, c units.Money) error {
+			stats.CandidatesGenerated++
+			if float64(c) < minCostAtTotal {
+				minCostAtTotal = float64(c)
+			}
+			// §4.1: once a feasible design is known, evaluate cost
+			// first and reject dearer candidates without an
+			// availability evaluation. Equal-cost candidates still
+			// evaluate so ties break toward lower downtime.
+			if best != nil && c > best.Cost {
+				stats.CostPruned++
+				return nil
+			}
+			entry, err := s.evalTier(&td, stats)
+			if err != nil {
+				return err
+			}
+			down := entry.downtimeMinutes
+			if down < bestDowntimeAtTotal {
+				bestDowntimeAtTotal = down
+			}
+			if down <= budgetMinutes &&
+				(best == nil || c < best.Cost || (c == best.Cost && down < best.DowntimeMinutes)) {
+				best = &TierCandidate{Design: td, Cost: c, DowntimeMinutes: down}
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		// Termination: when every candidate at this size already costs
+		// at least the incumbent, larger sizes only cost more.
+		if best != nil && minCostAtTotal >= float64(best.Cost) {
+			break
+		}
+		// Infeasibility: no feasible design yet and the availability
+		// metric degrades as resources grow (§4.1).
+		if best == nil && bestDowntimeAtTotal > prevBestDowntime {
+			break
+		}
+		prevBestDowntime = bestDowntimeAtTotal
+	}
+	if best == incumbent {
+		return nil, nil // no improvement from this option
+	}
+	return best, nil
+}
+
+// searchTier finds the minimum-cost design for one tier in isolation.
+func (s *Solver) searchTier(tier *model.Tier, throughput, budgetMinutes float64, stats *Stats) (*TierCandidate, error) {
+	var best *TierCandidate
+	for i := range tier.Options {
+		cand, err := s.searchOption(tier, &tier.Options[i], throughput, budgetMinutes, best, stats)
+		if err != nil {
+			return nil, err
+		}
+		if cand != nil {
+			best = cand
+		}
+	}
+	return best, nil
+}
+
+// frontierImproveEps is the minimum relative downtime improvement a
+// larger design must deliver for the frontier search to keep growing a
+// resource option.
+const frontierImproveEps = 0.01
+
+// optionFrontier collects the option's Pareto-optimal (cost, downtime)
+// candidates, exploring sizes until added resources stop improving the
+// best achievable downtime.
+func (s *Solver) optionFrontier(tier *model.Tier, opt *model.ResourceOption, throughput float64, stats *Stats) ([]TierCandidate, error) {
+	o, ok, err := s.newOptionSearch(tier, opt, throughput)
+	if err != nil || !ok {
+		return nil, err
+	}
+	var all []TierCandidate
+	bestDowntime := math.Inf(1)
+	stale := 0
+	for extra := 0; extra <= s.opts.MaxRedundancy; extra++ {
+		total := o.nMinPerf + extra
+		if o.maxTotal > 0 && total > o.maxTotal {
+			break
+		}
+		improvedTo := bestDowntime
+		err := o.candidates(total, func(td model.TierDesign, c units.Money) error {
+			stats.CandidatesGenerated++
+			entry, err := s.evalTier(&td, stats)
+			if err != nil {
+				return err
+			}
+			all = append(all, TierCandidate{Design: td, Cost: c, DowntimeMinutes: entry.downtimeMinutes})
+			if entry.downtimeMinutes < improvedTo {
+				improvedTo = entry.downtimeMinutes
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		if improvedTo < bestDowntime*(1-frontierImproveEps) {
+			bestDowntime = improvedTo
+			stale = 0
+		} else {
+			stale++
+			if stale >= 2 {
+				break
+			}
+		}
+	}
+	return paretoReduce(all), nil
+}
+
+// tierFrontier merges option frontiers into the tier's Pareto frontier,
+// sorted by ascending cost (and so descending downtime).
+func (s *Solver) tierFrontier(tier *model.Tier, throughput float64, stats *Stats) ([]TierCandidate, error) {
+	var all []TierCandidate
+	for i := range tier.Options {
+		f, err := s.optionFrontier(tier, &tier.Options[i], throughput, stats)
+		if err != nil {
+			return nil, err
+		}
+		all = append(all, f...)
+	}
+	return paretoReduce(all), nil
+}
+
+// paretoReduce keeps only candidates not dominated in (cost, downtime),
+// returning them sorted by ascending cost.
+func paretoReduce(cands []TierCandidate) []TierCandidate {
+	if len(cands) == 0 {
+		return nil
+	}
+	sorted := make([]TierCandidate, len(cands))
+	copy(sorted, cands)
+	// Sort by cost ascending, then downtime ascending.
+	sortCandidates(sorted)
+	out := make([]TierCandidate, 0, len(sorted))
+	bestDown := math.Inf(1)
+	for _, c := range sorted {
+		if c.DowntimeMinutes < bestDown {
+			out = append(out, c)
+			bestDown = c.DowntimeMinutes
+		}
+	}
+	return out
+}
+
+func sortCandidates(cands []TierCandidate) {
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].Cost != cands[j].Cost {
+			return cands[i].Cost < cands[j].Cost
+		}
+		return cands[i].DowntimeMinutes < cands[j].DowntimeMinutes
+	})
+}

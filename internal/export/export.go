@@ -1,0 +1,252 @@
+// Package export serialises Aved's availability models (§4.2) so they
+// can be fed to external availability evaluation engines — the role
+// Avanto plays in the paper ("Aved currently generates representations
+// of this availability model that can be used with Avanto and our own
+// simplified Markov Model"). Two formats are provided: a structured
+// attribute–value text format in the same lexical style as the spec
+// language, and JSON. Both round-trip, so results computed elsewhere
+// can flow back through the same types.
+package export
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"aved/internal/avail"
+	"aved/internal/units"
+)
+
+// WriteText renders tier availability models in the attribute–value
+// format:
+//
+//	tier=application n=6 m=5 s=1
+//	  mode=machineA/hard mtbf=650d repair=38.108h failover=6.5m failover_used=true spare_powered=false
+//	  mode=linux/soft mtbf=60d repair=4m failover=6.5m failover_used=false spare_powered=false
+func WriteText(w io.Writer, tms []avail.TierModel) error {
+	bw := bufio.NewWriter(w)
+	for i := range tms {
+		tm := &tms[i]
+		if err := tm.Validate(); err != nil {
+			return fmt.Errorf("export: %w", err)
+		}
+		fmt.Fprintf(bw, "tier=%s n=%d m=%d s=%d\n", tm.Name, tm.N, tm.M, tm.S)
+		for _, m := range tm.Modes {
+			fmt.Fprintf(bw, "  mode=%s mtbf=%s repair=%s failover=%s failover_used=%t spare_powered=%t\n",
+				m.Name, m.MTBF, m.Repair, m.Failover, m.UsesFailover, m.SparePowered)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("export: %w", err)
+	}
+	return nil
+}
+
+// ParseText reads models written by WriteText.
+func ParseText(r io.Reader) ([]avail.TierModel, error) {
+	var (
+		out []avail.TierModel
+		cur *avail.TierModel
+	)
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		attrs, err := parseAttrs(fields, lineNo)
+		if err != nil {
+			return nil, err
+		}
+		switch {
+		case attrs["tier"] != "":
+			tm, err := parseTierLine(attrs, lineNo)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, tm)
+			cur = &out[len(out)-1]
+		case attrs["mode"] != "":
+			if cur == nil {
+				return nil, fmt.Errorf("export: line %d: mode before any tier", lineNo)
+			}
+			m, err := parseModeLine(attrs, lineNo)
+			if err != nil {
+				return nil, err
+			}
+			cur.Modes = append(cur.Modes, m)
+		default:
+			return nil, fmt.Errorf("export: line %d: want tier= or mode=, got %q", lineNo, line)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("export: %w", err)
+	}
+	for i := range out {
+		if err := out[i].Validate(); err != nil {
+			return nil, fmt.Errorf("export: %w", err)
+		}
+	}
+	return out, nil
+}
+
+func parseAttrs(fields []string, lineNo int) (map[string]string, error) {
+	attrs := make(map[string]string, len(fields))
+	for _, f := range fields {
+		eq := strings.IndexByte(f, '=')
+		if eq <= 0 {
+			return nil, fmt.Errorf("export: line %d: want key=value, got %q", lineNo, f)
+		}
+		attrs[f[:eq]] = f[eq+1:]
+	}
+	return attrs, nil
+}
+
+func parseTierLine(attrs map[string]string, lineNo int) (avail.TierModel, error) {
+	tm := avail.TierModel{Name: attrs["tier"]}
+	var err error
+	if tm.N, err = atoiAttr(attrs, "n", lineNo); err != nil {
+		return tm, err
+	}
+	if tm.M, err = atoiAttr(attrs, "m", lineNo); err != nil {
+		return tm, err
+	}
+	if tm.S, err = atoiAttr(attrs, "s", lineNo); err != nil {
+		return tm, err
+	}
+	return tm, nil
+}
+
+func parseModeLine(attrs map[string]string, lineNo int) (avail.Mode, error) {
+	m := avail.Mode{Name: attrs["mode"]}
+	var err error
+	if m.MTBF, err = durAttr(attrs, "mtbf", lineNo); err != nil {
+		return m, err
+	}
+	if m.Repair, err = durAttr(attrs, "repair", lineNo); err != nil {
+		return m, err
+	}
+	if m.Failover, err = durAttr(attrs, "failover", lineNo); err != nil {
+		return m, err
+	}
+	if v, ok := attrs["failover_used"]; ok {
+		b, err := strconv.ParseBool(v)
+		if err != nil {
+			return m, fmt.Errorf("export: line %d: failover_used: %w", lineNo, err)
+		}
+		m.UsesFailover = b
+	}
+	if v, ok := attrs["spare_powered"]; ok {
+		b, err := strconv.ParseBool(v)
+		if err != nil {
+			return m, fmt.Errorf("export: line %d: spare_powered: %w", lineNo, err)
+		}
+		m.SparePowered = b
+	}
+	return m, nil
+}
+
+func atoiAttr(attrs map[string]string, key string, lineNo int) (int, error) {
+	v, ok := attrs[key]
+	if !ok {
+		return 0, fmt.Errorf("export: line %d: missing %s", lineNo, key)
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil {
+		return 0, fmt.Errorf("export: line %d: %s: %w", lineNo, key, err)
+	}
+	return n, nil
+}
+
+func durAttr(attrs map[string]string, key string, lineNo int) (units.Duration, error) {
+	v, ok := attrs[key]
+	if !ok {
+		return 0, fmt.Errorf("export: line %d: missing %s", lineNo, key)
+	}
+	d, err := units.ParseDuration(v)
+	if err != nil {
+		return 0, fmt.Errorf("export: line %d: %s: %w", lineNo, key, err)
+	}
+	return d, nil
+}
+
+// jsonMode mirrors avail.Mode with explicit second-resolution fields so
+// the JSON contract is unit-stable.
+type jsonMode struct {
+	Name            string  `json:"name"`
+	MTBFHours       float64 `json:"mtbfHours"`
+	RepairMinutes   float64 `json:"repairMinutes"`
+	FailoverMinutes float64 `json:"failoverMinutes"`
+	UsesFailover    bool    `json:"usesFailover"`
+	SparePowered    bool    `json:"sparePowered,omitempty"`
+}
+
+type jsonTier struct {
+	Name  string     `json:"name"`
+	N     int        `json:"n"`
+	M     int        `json:"m"`
+	S     int        `json:"s"`
+	Modes []jsonMode `json:"modes"`
+}
+
+// WriteJSON renders tier availability models as a JSON array.
+func WriteJSON(w io.Writer, tms []avail.TierModel) error {
+	doc := make([]jsonTier, 0, len(tms))
+	for i := range tms {
+		tm := &tms[i]
+		if err := tm.Validate(); err != nil {
+			return fmt.Errorf("export: %w", err)
+		}
+		jt := jsonTier{Name: tm.Name, N: tm.N, M: tm.M, S: tm.S}
+		for _, m := range tm.Modes {
+			jt.Modes = append(jt.Modes, jsonMode{
+				Name:            m.Name,
+				MTBFHours:       m.MTBF.Hours(),
+				RepairMinutes:   m.Repair.Minutes(),
+				FailoverMinutes: m.Failover.Minutes(),
+				UsesFailover:    m.UsesFailover,
+				SparePowered:    m.SparePowered,
+			})
+		}
+		doc = append(doc, jt)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		return fmt.Errorf("export: %w", err)
+	}
+	return nil
+}
+
+// ParseJSON reads models written by WriteJSON.
+func ParseJSON(r io.Reader) ([]avail.TierModel, error) {
+	var doc []jsonTier
+	if err := json.NewDecoder(r).Decode(&doc); err != nil {
+		return nil, fmt.Errorf("export: %w", err)
+	}
+	out := make([]avail.TierModel, 0, len(doc))
+	for _, jt := range doc {
+		tm := avail.TierModel{Name: jt.Name, N: jt.N, M: jt.M, S: jt.S}
+		for _, m := range jt.Modes {
+			tm.Modes = append(tm.Modes, avail.Mode{
+				Name:         m.Name,
+				MTBF:         units.FromHours(m.MTBFHours),
+				Repair:       units.Duration(m.RepairMinutes * float64(units.Minute)),
+				Failover:     units.Duration(m.FailoverMinutes * float64(units.Minute)),
+				UsesFailover: m.UsesFailover,
+				SparePowered: m.SparePowered,
+			})
+		}
+		if err := tm.Validate(); err != nil {
+			return nil, fmt.Errorf("export: %w", err)
+		}
+		out = append(out, tm)
+	}
+	return out, nil
+}

@@ -1,0 +1,180 @@
+package export
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"aved/internal/avail"
+	"aved/internal/units"
+)
+
+func sampleModels() []avail.TierModel {
+	return []avail.TierModel{
+		{
+			Name: "application",
+			N:    6, M: 5, S: 1,
+			Modes: []avail.Mode{
+				{Name: "machineA/hard", MTBF: 650 * units.Day, Repair: 38 * units.Hour,
+					Failover: units.Duration(6*units.Minute + 30*units.Second), UsesFailover: true,
+					SparePowered: true},
+				{Name: "linux/soft", MTBF: 60 * units.Day, Repair: 4 * units.Minute},
+			},
+		},
+		{
+			Name: "database",
+			N:    1, M: 1, S: 0,
+			Modes: []avail.Mode{
+				{Name: "machineB/hard", MTBF: 1300 * units.Day, Repair: 38 * units.Hour},
+			},
+		},
+	}
+}
+
+func modelsEqual(t *testing.T, a, b []avail.TierModel) {
+	t.Helper()
+	if len(a) != len(b) {
+		t.Fatalf("tier count %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		ta, tb := a[i], b[i]
+		if ta.Name != tb.Name || ta.N != tb.N || ta.M != tb.M || ta.S != tb.S {
+			t.Errorf("tier %d header mismatch: %+v vs %+v", i, ta, tb)
+		}
+		if len(ta.Modes) != len(tb.Modes) {
+			t.Fatalf("tier %d mode count %d vs %d", i, len(ta.Modes), len(tb.Modes))
+		}
+		for j := range ta.Modes {
+			ma, mb := ta.Modes[j], tb.Modes[j]
+			if ma.Name != mb.Name || ma.UsesFailover != mb.UsesFailover || ma.SparePowered != mb.SparePowered {
+				t.Errorf("tier %d mode %d mismatch: %+v vs %+v", i, j, ma, mb)
+			}
+			for _, pair := range [][2]units.Duration{{ma.MTBF, mb.MTBF}, {ma.Repair, mb.Repair}, {ma.Failover, mb.Failover}} {
+				if math.Abs(pair[0].Seconds()-pair[1].Seconds()) > 0.01 {
+					t.Errorf("tier %d mode %d duration drift: %v vs %v", i, j, pair[0], pair[1])
+				}
+			}
+		}
+	}
+}
+
+func TestTextRoundTrip(t *testing.T) {
+	models := sampleModels()
+	var buf bytes.Buffer
+	if err := WriteText(&buf, models); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	for _, want := range []string{"tier=application", "n=6", "m=5", "s=1",
+		"mode=machineA/hard", "mtbf=650d", "failover_used=true", "tier=database"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("text output missing %q:\n%s", want, text)
+		}
+	}
+	back, err := ParseText(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	modelsEqual(t, models, back)
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	models := sampleModels()
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, models); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"mtbfHours"`) {
+		t.Errorf("JSON missing unit-stable field: %s", buf.String())
+	}
+	back, err := ParseJSON(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	modelsEqual(t, models, back)
+}
+
+func TestRoundTripPreservesEvaluation(t *testing.T) {
+	// The exported model must evaluate to the same downtime.
+	models := sampleModels()
+	eng := avail.NewMarkovEngine()
+	orig, err := eng.Evaluate(models)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteText(&buf, models); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseText(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := eng.Evaluate(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(orig.DowntimeMinutes-again.DowntimeMinutes) > 0.02 {
+		t.Errorf("evaluation drift: %v vs %v", orig.DowntimeMinutes, again.DowntimeMinutes)
+	}
+}
+
+func TestParseTextErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+	}{
+		{"mode before tier", "mode=x mtbf=1d repair=1h failover=0 failover_used=false"},
+		{"bad attr", "tier=a n=1 m=1 s=0 junk"},
+		{"missing n", "tier=a m=1 s=0"},
+		{"bad count", "tier=a n=x m=1 s=0"},
+		{"bad duration", "tier=a n=1 m=1 s=0\n  mode=y mtbf=zzz repair=1h failover=0"},
+		{"bad bool", "tier=a n=1 m=1 s=0\n  mode=y mtbf=1d repair=1h failover=0 spare_powered=maybe"},
+		{"invalid model", "tier=a n=0 m=1 s=0\n  mode=y mtbf=1d repair=1h failover=0"},
+		{"unknown line", "banana"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := ParseText(strings.NewReader(tc.src)); err == nil {
+				t.Error("want error")
+			}
+		})
+	}
+}
+
+func TestParseTextSkipsCommentsAndBlanks(t *testing.T) {
+	src := `
+# availability model for the application tier
+tier=a n=1 m=1 s=0
+
+  mode=hw mtbf=100d repair=8h failover=0 failover_used=false
+`
+	models, err := ParseText(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(models) != 1 || len(models[0].Modes) != 1 {
+		t.Errorf("models = %+v", models)
+	}
+}
+
+func TestWriteInvalidModelFails(t *testing.T) {
+	bad := []avail.TierModel{{Name: "x", N: 0, M: 1}}
+	var buf bytes.Buffer
+	if err := WriteText(&buf, bad); err == nil {
+		t.Error("WriteText should validate")
+	}
+	if err := WriteJSON(&buf, bad); err == nil {
+		t.Error("WriteJSON should validate")
+	}
+}
+
+func TestParseJSONErrors(t *testing.T) {
+	if _, err := ParseJSON(strings.NewReader("not json")); err == nil {
+		t.Error("bad JSON should fail")
+	}
+	if _, err := ParseJSON(strings.NewReader(`[{"name":"x","n":0,"m":1,"s":0,"modes":[]}]`)); err == nil {
+		t.Error("invalid model should fail")
+	}
+}

@@ -1,0 +1,282 @@
+package markov
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestTwoStateChain(t *testing.T) {
+	// Up/down with failure rate λ and repair rate μ:
+	// π_up = μ/(λ+μ), π_down = λ/(λ+μ).
+	lambda, mu := 0.01, 2.0
+	c, err := NewChain(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SetRate(0, 1, lambda); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SetRate(1, 0, mu); err != nil {
+		t.Fatal(err)
+	}
+	pi, err := c.SteadyState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(pi[0], mu/(lambda+mu), 1e-12) {
+		t.Errorf("pi[0] = %v, want %v", pi[0], mu/(lambda+mu))
+	}
+	if !almostEqual(pi[1], lambda/(lambda+mu), 1e-12) {
+		t.Errorf("pi[1] = %v, want %v", pi[1], lambda/(lambda+mu))
+	}
+}
+
+func TestSingleStateChain(t *testing.T) {
+	c, err := NewChain(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pi, err := c.SteadyState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pi) != 1 || pi[0] != 1 {
+		t.Errorf("pi = %v, want [1]", pi)
+	}
+}
+
+func TestChainValidation(t *testing.T) {
+	if _, err := NewChain(0); err == nil {
+		t.Error("NewChain(0) should fail")
+	}
+	c, err := NewChain(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SetRate(0, 0, 1); err == nil {
+		t.Error("self-transition should fail")
+	}
+	if err := c.SetRate(0, 5, 1); err == nil {
+		t.Error("out-of-range state should fail")
+	}
+	if err := c.SetRate(0, 1, -1); err == nil {
+		t.Error("negative rate should fail")
+	}
+	if err := c.SetRate(0, 1, math.NaN()); err == nil {
+		t.Error("NaN rate should fail")
+	}
+}
+
+func TestReducibleChainFails(t *testing.T) {
+	// Two disconnected components have no unique stationary distribution.
+	c, err := NewChain(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SetRate(0, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SetRate(1, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SetRate(2, 3, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SetRate(3, 2, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.SteadyState(); err == nil {
+		t.Error("reducible chain should fail to solve")
+	}
+}
+
+func TestSetRateAdjustsDiagonal(t *testing.T) {
+	c, err := NewChain(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SetRate(0, 1, 3); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Rate(0, 0); got != -3 {
+		t.Errorf("diagonal = %v, want -3", got)
+	}
+	// Overwrite, not accumulate.
+	if err := c.SetRate(0, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Rate(0, 0); got != -1 {
+		t.Errorf("diagonal after overwrite = %v, want -1", got)
+	}
+	if err := c.AddRate(0, 1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Rate(0, 1); got != 3 {
+		t.Errorf("rate after AddRate = %v, want 3", got)
+	}
+}
+
+func TestBirthDeathMatchesMM1K(t *testing.T) {
+	// M/M/1/K queue: birth λ, death μ, π_j ∝ ρ^j.
+	lambda, mu := 2.0, 5.0
+	k := 6
+	birth := make([]float64, k)
+	death := make([]float64, k)
+	for i := range birth {
+		birth[i] = lambda
+		death[i] = mu
+	}
+	pi, err := BirthDeathSteadyState(birth, death)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rho := lambda / mu
+	var norm float64
+	for j := 0; j <= k; j++ {
+		norm += math.Pow(rho, float64(j))
+	}
+	for j := 0; j <= k; j++ {
+		want := math.Pow(rho, float64(j)) / norm
+		if !almostEqual(pi[j], want, 1e-12) {
+			t.Errorf("pi[%d] = %v, want %v", j, pi[j], want)
+		}
+	}
+}
+
+func TestBirthDeathMatchesDenseSolver(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(8)
+		birth := make([]float64, n)
+		death := make([]float64, n)
+		for i := range birth {
+			birth[i] = rng.Float64()*2 + 0.01
+			death[i] = rng.Float64()*5 + 0.01
+		}
+		want, err := BirthDeathSteadyState(birth, death)
+		if err != nil {
+			t.Fatal(err)
+		}
+		chain, err := BirthDeathChain(birth, death)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := chain.SteadyState()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := range want {
+			if !almostEqual(got[j], want[j], 1e-9) {
+				t.Fatalf("trial %d state %d: dense %v vs product form %v", trial, j, got[j], want[j])
+			}
+		}
+	}
+}
+
+func TestBirthDeathZeroBirthTruncates(t *testing.T) {
+	// A zero birth rate makes higher states unreachable.
+	pi, err := BirthDeathSteadyState([]float64{1, 0, 1}, []float64{1, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pi[2] != 0 || pi[3] != 0 {
+		t.Errorf("unreachable states got probability: %v", pi)
+	}
+	if !almostEqual(pi[0], 0.5, 1e-12) || !almostEqual(pi[1], 0.5, 1e-12) {
+		t.Errorf("reachable states = %v, want 0.5 each", pi[:2])
+	}
+}
+
+func TestBirthDeathErrors(t *testing.T) {
+	if _, err := BirthDeathSteadyState([]float64{1}, []float64{}); err == nil {
+		t.Error("mismatched slices should fail")
+	}
+	if _, err := BirthDeathSteadyState([]float64{1}, []float64{0}); err == nil {
+		t.Error("absorbing state should fail")
+	}
+	if _, err := BirthDeathSteadyState([]float64{-1}, []float64{1}); err == nil {
+		t.Error("negative rate should fail")
+	}
+}
+
+func TestSteadyStateSumsToOneProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(10)
+		c, err := NewChain(n)
+		if err != nil {
+			return false
+		}
+		// A ring plus random extra edges keeps the chain irreducible.
+		for i := 0; i < n; i++ {
+			if err := c.SetRate(i, (i+1)%n, rng.Float64()+0.1); err != nil {
+				return false
+			}
+		}
+		for e := 0; e < n; e++ {
+			i, j := rng.Intn(n), rng.Intn(n)
+			if i != j {
+				if err := c.AddRate(i, j, rng.Float64()); err != nil {
+					return false
+				}
+			}
+		}
+		pi, err := c.SteadyState()
+		if err != nil {
+			return false
+		}
+		var sum float64
+		for _, p := range pi {
+			if p < 0 {
+				return false
+			}
+			sum += p
+		}
+		return almostEqual(sum, 1, 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSteadyStateBalanceProperty(t *testing.T) {
+	// πQ = 0: check the flow balance explicitly on a random chain.
+	rng := rand.New(rand.NewSource(42))
+	n := 6
+	c, err := NewChain(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i != j && rng.Float64() < 0.7 {
+				if err := c.SetRate(i, j, rng.Float64()*3); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	// Ensure irreducibility with a ring.
+	for i := 0; i < n; i++ {
+		if err := c.AddRate(i, (i+1)%n, 0.05); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pi, err := c.SteadyState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := 0; j < n; j++ {
+		var balance float64
+		for i := 0; i < n; i++ {
+			balance += pi[i] * c.Rate(i, j)
+		}
+		if !almostEqual(balance, 0, 1e-9) {
+			t.Errorf("state %d: flow balance = %v, want 0", j, balance)
+		}
+	}
+}

@@ -1,0 +1,196 @@
+package markov
+
+import (
+	"fmt"
+	"math"
+)
+
+// TransientAt reports the state distribution at time t (in the chain's
+// rate units) starting from the initial distribution pi0, computed by
+// uniformization: P(t) = Σ_k Poisson(qt; k) · π₀ Uᵏ with U = I + Q/q.
+// The series truncates when the remaining Poisson mass falls below eps.
+func (c *Chain) TransientAt(pi0 []float64, t, eps float64) ([]float64, error) {
+	if err := c.checkTransientArgs(pi0, t, eps); err != nil {
+		return nil, err
+	}
+	if t == 0 {
+		return append([]float64(nil), pi0...), nil
+	}
+	u, q := c.uniformized()
+	if q == 0 {
+		return append([]float64(nil), pi0...), nil
+	}
+	out := make([]float64, c.n)
+	cur := append([]float64(nil), pi0...)
+	scratch := make([]float64, c.n)
+	// Poisson weights tracked in log space: for large qt the early
+	// weights underflow float64 and a direct recurrence would stay
+	// zero forever.
+	qt := q * t
+	logW := -qt // log Poisson(qt; 0)
+	accumulated := 0.0
+	for k := 0; ; k++ {
+		if w := math.Exp(logW); w > 0 {
+			for i := range out {
+				out[i] += w * cur[i]
+			}
+			accumulated += w
+		}
+		if 1-accumulated < eps && float64(k) >= qt {
+			break
+		}
+		// Past the Poisson peak the pmf only shrinks; once it
+		// underflows, no further term can contribute.
+		if float64(k) > qt && logW < -745 {
+			break
+		}
+		if k > 100_000_000 {
+			return nil, fmt.Errorf("markov: uniformization failed to converge (qt = %v)", qt)
+		}
+		cur, scratch = matVec(scratch, cur, u, c.n), cur
+		logW += math.Log(qt / float64(k+1))
+	}
+	// Renormalise the truncation residue.
+	var sum float64
+	for _, v := range out {
+		sum += v
+	}
+	if sum <= 0 {
+		return nil, fmt.Errorf("markov: transient distribution vanished")
+	}
+	for i := range out {
+		out[i] /= sum
+	}
+	return out, nil
+}
+
+// OccupancyOver reports, for each state, the expected fraction of the
+// interval [0, t] spent in that state, starting from pi0 — the
+// time-averaged transient distribution
+// (1/t)·∫₀ᵗ P(s) ds = Σ_k π₀ Uᵏ · tail_k / (q·t)
+// where tail_k is the probability a Poisson(qt) variable exceeds k.
+func (c *Chain) OccupancyOver(pi0 []float64, t, eps float64) ([]float64, error) {
+	if err := c.checkTransientArgs(pi0, t, eps); err != nil {
+		return nil, err
+	}
+	if t == 0 {
+		return append([]float64(nil), pi0...), nil
+	}
+	u, q := c.uniformized()
+	if q == 0 {
+		return append([]float64(nil), pi0...), nil
+	}
+	out := make([]float64, c.n)
+	cur := append([]float64(nil), pi0...)
+	scratch := make([]float64, c.n)
+	qt := q * t
+	// Poisson pmf in log space (see TransientAt); the tail starts at 1
+	// and sheds mass as the pmf becomes representable.
+	logPmf := -qt
+	tail := 1 - math.Exp(logPmf) // P(N > 0)
+	for k := 0; ; k++ {
+		weight := tail / qt
+		for i := range out {
+			out[i] += weight * cur[i]
+		}
+		if tail < eps {
+			break
+		}
+		// Past the Poisson peak an underflowed pmf freezes the tail at
+		// its accumulated rounding residual; every remaining term is
+		// negligible by then.
+		if float64(k) > qt && logPmf < -745 {
+			break
+		}
+		if k > 100_000_000 {
+			return nil, fmt.Errorf("markov: occupancy series failed to converge (qt = %v)", qt)
+		}
+		cur, scratch = matVec(scratch, cur, u, c.n), cur
+		logPmf += math.Log(qt / float64(k+1))
+		tail -= math.Exp(logPmf)
+		if tail < 0 {
+			tail = 0
+		}
+	}
+	var sum float64
+	for _, v := range out {
+		sum += v
+	}
+	if sum <= 0 {
+		return nil, fmt.Errorf("markov: occupancy distribution vanished")
+	}
+	for i := range out {
+		out[i] /= sum
+	}
+	return out, nil
+}
+
+// uniformized builds the DTMC matrix U = I + Q/q with q a little above
+// the largest exit rate, returned alongside q. A q of zero means the
+// chain has no transitions.
+func (c *Chain) uniformized() ([][]float64, float64) {
+	var q float64
+	for i := 0; i < c.n; i++ {
+		if exit := -c.q[i][i]; exit > q {
+			q = exit
+		}
+	}
+	if q == 0 {
+		return nil, 0
+	}
+	q *= 1.02 // keep U strictly substochastic on the diagonal
+	u := make([][]float64, c.n)
+	for i := range u {
+		u[i] = make([]float64, c.n)
+		for j := range u[i] {
+			u[i][j] = c.q[i][j] / q
+			if i == j {
+				u[i][j]++
+			}
+		}
+	}
+	return u, q
+}
+
+// matVec computes row-vector × matrix into dst (cleared first) and
+// returns it, letting the uniformization loops ping-pong two buffers
+// instead of allocating per term.
+func matVec(dst, v []float64, m [][]float64, n int) []float64 {
+	for j := 0; j < n; j++ {
+		dst[j] = 0
+	}
+	for i := 0; i < n; i++ {
+		vi := v[i]
+		if vi == 0 {
+			continue
+		}
+		row := m[i]
+		for j := 0; j < n; j++ {
+			dst[j] += vi * row[j]
+		}
+	}
+	return dst
+}
+
+func (c *Chain) checkTransientArgs(pi0 []float64, t, eps float64) error {
+	if len(pi0) != c.n {
+		return fmt.Errorf("markov: initial distribution has %d entries for %d states", len(pi0), c.n)
+	}
+	var sum float64
+	for _, v := range pi0 {
+		if v < 0 {
+			return fmt.Errorf("markov: negative initial probability %v", v)
+		}
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		return fmt.Errorf("markov: initial distribution sums to %v, want 1", sum)
+	}
+	if t < 0 {
+		return fmt.Errorf("markov: negative horizon %v", t)
+	}
+	if eps <= 0 || eps >= 1 {
+		return fmt.Errorf("markov: truncation eps %v outside (0, 1)", eps)
+	}
+	return nil
+}

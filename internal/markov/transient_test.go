@@ -1,0 +1,166 @@
+package markov
+
+import (
+	"math"
+	"testing"
+)
+
+// twoState builds the up/down chain with failure rate lambda and repair
+// rate mu (per hour).
+func twoState(t *testing.T, lambda, mu float64) *Chain {
+	t.Helper()
+	c, err := NewChain(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SetRate(0, 1, lambda); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SetRate(1, 0, mu); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestTransientAtMatchesClosedForm(t *testing.T) {
+	// Two-state chain: P(down at t | up at 0) =
+	// λ/(λ+μ) · (1 − e^{−(λ+μ)t}).
+	lambda, mu := 0.02, 0.5
+	c := twoState(t, lambda, mu)
+	for _, horizon := range []float64{0.5, 2, 10, 100} {
+		got, err := c.TransientAt([]float64{1, 0}, horizon, 1e-12)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := lambda / (lambda + mu) * (1 - math.Exp(-(lambda+mu)*horizon))
+		if math.Abs(got[1]-want) > 1e-9 {
+			t.Errorf("t=%v: P(down) = %v, want %v", horizon, got[1], want)
+		}
+	}
+}
+
+func TestTransientConvergesToSteadyState(t *testing.T) {
+	c := twoState(t, 0.1, 0.9)
+	ss, err := c.SteadyState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	long, err := c.TransientAt([]float64{1, 0}, 1000, 1e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ss {
+		if math.Abs(long[i]-ss[i]) > 1e-9 {
+			t.Errorf("state %d: transient %v vs steady %v", i, long[i], ss[i])
+		}
+	}
+}
+
+func TestTransientAtZeroIsInitial(t *testing.T) {
+	c := twoState(t, 0.1, 0.9)
+	got, err := c.TransientAt([]float64{0.3, 0.7}, 0, 1e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 0.3 || got[1] != 0.7 {
+		t.Errorf("t=0 distribution = %v", got)
+	}
+}
+
+func TestOccupancyMatchesClosedForm(t *testing.T) {
+	// Two-state chain starting up: expected down fraction over [0, T] is
+	// λ/(λ+μ) · (1 − (1 − e^{−(λ+μ)T})/((λ+μ)T)).
+	lambda, mu := 0.05, 1.0
+	c := twoState(t, lambda, mu)
+	for _, horizon := range []float64{0.5, 5, 50, 500} {
+		got, err := c.OccupancyOver([]float64{1, 0}, horizon, 1e-12)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := lambda + mu
+		want := lambda / r * (1 - (1-math.Exp(-r*horizon))/(r*horizon))
+		if math.Abs(got[1]-want) > 1e-8 {
+			t.Errorf("T=%v: down occupancy = %v, want %v", horizon, got[1], want)
+		}
+	}
+}
+
+func TestOccupancyBelowSteadyStateWhenStartingUp(t *testing.T) {
+	// A young system that starts all-up spends less of its early life
+	// down than the steady state predicts.
+	c := twoState(t, 0.01, 0.2)
+	ss, err := c.SteadyState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	short, err := c.OccupancyOver([]float64{1, 0}, 5, 1e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if short[1] >= ss[1] {
+		t.Errorf("early down occupancy %v should undercut steady state %v", short[1], ss[1])
+	}
+	long, err := c.OccupancyOver([]float64{1, 0}, 1e5, 1e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(long[1]-ss[1]) > 1e-5 {
+		t.Errorf("long-run occupancy %v should match steady state %v", long[1], ss[1])
+	}
+}
+
+func TestOccupancyOnBirthDeath(t *testing.T) {
+	// Occupancy over a long horizon matches the product-form stationary
+	// distribution on a larger chain.
+	birth := []float64{0.3, 0.2, 0.1}
+	death := []float64{1, 2, 3}
+	chain, err := BirthDeathChain(birth, death)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ss, err := BirthDeathSteadyState(birth, death)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pi0 := []float64{1, 0, 0, 0}
+	occ, err := chain.OccupancyOver(pi0, 1e4, 1e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ss {
+		if math.Abs(occ[i]-ss[i]) > 1e-4 {
+			t.Errorf("state %d: occupancy %v vs stationary %v", i, occ[i], ss[i])
+		}
+	}
+}
+
+func TestTransientValidation(t *testing.T) {
+	c := twoState(t, 0.1, 0.9)
+	if _, err := c.TransientAt([]float64{1}, 1, 1e-9); err == nil {
+		t.Error("wrong-length pi0 should fail")
+	}
+	if _, err := c.TransientAt([]float64{0.5, 0.4}, 1, 1e-9); err == nil {
+		t.Error("non-normalised pi0 should fail")
+	}
+	if _, err := c.TransientAt([]float64{1, 0}, -1, 1e-9); err == nil {
+		t.Error("negative horizon should fail")
+	}
+	if _, err := c.TransientAt([]float64{1, 0}, 1, 0); err == nil {
+		t.Error("zero eps should fail")
+	}
+	if _, err := c.OccupancyOver([]float64{-1, 2}, 1, 1e-9); err == nil {
+		t.Error("negative probabilities should fail")
+	}
+	// A chain with no transitions stays put.
+	idle, err := NewChain(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := idle.TransientAt([]float64{0.25, 0.75}, 10, 1e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 0.25 || got[1] != 0.75 {
+		t.Errorf("transition-free chain moved: %v", got)
+	}
+}

@@ -1,0 +1,191 @@
+package model
+
+import (
+	"fmt"
+	"strconv"
+
+	"aved/internal/spec"
+	"aved/internal/units"
+)
+
+// BindService interprets a parsed spec document as a service model
+// (the format of Figs. 4 and 5).
+func BindService(doc *spec.Document) (*Service, error) {
+	b := &serviceBinder{}
+	for i := range doc.Clauses {
+		if err := b.clause(&doc.Clauses[i]); err != nil {
+			return nil, err
+		}
+	}
+	if b.svc == nil {
+		return nil, fmt.Errorf("service model: missing application clause")
+	}
+	return b.svc, nil
+}
+
+// ParseService parses and binds service spec source text.
+func ParseService(src string) (*Service, error) {
+	doc, err := spec.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return BindService(doc)
+}
+
+type serviceBinder struct {
+	svc     *Service
+	curTier *Tier
+	curOpt  *ResourceOption
+}
+
+func (b *serviceBinder) clause(c *spec.Clause) error {
+	switch c.Key {
+	case "application":
+		return b.application(c)
+	case "tier":
+		return b.tier(c)
+	case "resource":
+		return b.resourceOption(c)
+	case "mechanism":
+		return b.mechanismUse(c)
+	default:
+		return fmt.Errorf("spec:%s: clause %q does not belong in a service model", c.Pos, c.Key)
+	}
+}
+
+func (b *serviceBinder) application(c *spec.Clause) error {
+	if b.svc != nil {
+		return fmt.Errorf("spec:%s: duplicate application clause", c.Pos)
+	}
+	b.svc = &Service{Name: c.Name}
+	for _, a := range c.Attrs {
+		switch a.Key {
+		case "jobsize":
+			v, err := strconv.ParseFloat(a.Value.Text, 64)
+			if err != nil || v <= 0 {
+				return fmt.Errorf("spec:%s: jobsize: want a positive number, got %q", a.Pos, a.Value.Text)
+			}
+			b.svc.JobSize = v
+			b.svc.HasJobSize = true
+		default:
+			return fmt.Errorf("spec:%s: application %q: unknown attribute %q", a.Pos, c.Name, a.Key)
+		}
+	}
+	return nil
+}
+
+func (b *serviceBinder) tier(c *spec.Clause) error {
+	if b.svc == nil {
+		return fmt.Errorf("spec:%s: tier clause before application clause", c.Pos)
+	}
+	if _, dup := b.svc.Tier(c.Name); dup {
+		return fmt.Errorf("spec:%s: duplicate tier %q", c.Pos, c.Name)
+	}
+	if len(c.Attrs) > 0 {
+		return fmt.Errorf("spec:%s: tier %q: unexpected attribute %q", c.Pos, c.Name, c.Attrs[0].Key)
+	}
+	b.svc.Tiers = append(b.svc.Tiers, Tier{Name: c.Name})
+	b.curTier = &b.svc.Tiers[len(b.svc.Tiers)-1]
+	b.curOpt = nil
+	return nil
+}
+
+func (b *serviceBinder) resourceOption(c *spec.Clause) error {
+	if b.curTier == nil {
+		return fmt.Errorf("spec:%s: resource clause %q outside a tier", c.Pos, c.Name)
+	}
+	opt := ResourceOption{Resource: c.Name}
+	for _, a := range c.Attrs {
+		switch a.Key {
+		case "sizing":
+			switch a.Value.Text {
+			case "static":
+				opt.Sizing = SizingStatic
+			case "dynamic":
+				opt.Sizing = SizingDynamic
+			default:
+				return fmt.Errorf("spec:%s: resource %q: sizing must be static or dynamic, got %q",
+					a.Pos, c.Name, a.Value.Text)
+			}
+		case "failurescope":
+			switch a.Value.Text {
+			case "resource":
+				opt.FailureScope = ScopeResource
+			case "tier":
+				opt.FailureScope = ScopeTier
+			default:
+				return fmt.Errorf("spec:%s: resource %q: failurescope must be resource or tier, got %q",
+					a.Pos, c.Name, a.Value.Text)
+			}
+		case "nActive":
+			g, err := units.ParseIntGrid("[" + a.Value.Text + "]")
+			if err != nil {
+				return fmt.Errorf("spec:%s: resource %q nActive: %w", a.Pos, c.Name, err)
+			}
+			if g.Lo() < 1 {
+				return fmt.Errorf("spec:%s: resource %q nActive: counts must be at least 1", a.Pos, c.Name)
+			}
+			opt.NActive = g
+		case "performance":
+			switch len(a.Args) {
+			case 0:
+				v, err := strconv.ParseFloat(a.Value.Text, 64)
+				if err != nil || v <= 0 {
+					return fmt.Errorf("spec:%s: resource %q performance: want a positive number, got %q",
+						a.Pos, c.Name, a.Value.Text)
+				}
+				opt.PerfScalar = v
+				opt.PerfIsScalar = true
+			case 1:
+				if a.Args[0] != "nActive" {
+					return fmt.Errorf("spec:%s: resource %q performance: argument must be nActive, got %q",
+						a.Pos, c.Name, a.Args[0])
+				}
+				opt.PerfRef = a.Value.Text
+			default:
+				return fmt.Errorf("spec:%s: resource %q performance: too many arguments", a.Pos, c.Name)
+			}
+		default:
+			return fmt.Errorf("spec:%s: resource %q: unknown attribute %q", a.Pos, c.Name, a.Key)
+		}
+	}
+	if opt.Sizing == 0 {
+		return fmt.Errorf("spec:%s: resource %q: missing sizing", c.Pos, c.Name)
+	}
+	if opt.FailureScope == 0 {
+		return fmt.Errorf("spec:%s: resource %q: missing failurescope", c.Pos, c.Name)
+	}
+	if opt.NActive == (units.Grid{}) {
+		return fmt.Errorf("spec:%s: resource %q: missing nActive", c.Pos, c.Name)
+	}
+	if opt.PerfRef == "" && !opt.PerfIsScalar {
+		return fmt.Errorf("spec:%s: resource %q: missing performance", c.Pos, c.Name)
+	}
+	b.curTier.Options = append(b.curTier.Options, opt)
+	b.curOpt = &b.curTier.Options[len(b.curTier.Options)-1]
+	return nil
+}
+
+func (b *serviceBinder) mechanismUse(c *spec.Clause) error {
+	if b.curOpt == nil {
+		return fmt.Errorf("spec:%s: mechanism clause %q outside a resource option", c.Pos, c.Name)
+	}
+	mp := MechPerfRef{Mechanism: c.Name}
+	for _, a := range c.Attrs {
+		switch a.Key {
+		case "mperformance":
+			if len(a.Args) == 0 {
+				return fmt.Errorf("spec:%s: mechanism %q mperformance: missing arguments", a.Pos, c.Name)
+			}
+			mp.Args = append([]string(nil), a.Args...)
+			mp.Ref = a.Value.Text
+		default:
+			return fmt.Errorf("spec:%s: mechanism %q: unknown attribute %q", a.Pos, c.Name, a.Key)
+		}
+	}
+	if mp.Ref == "" {
+		return fmt.Errorf("spec:%s: mechanism %q: missing mperformance", c.Pos, c.Name)
+	}
+	b.curOpt.MechPerf = append(b.curOpt.MechPerf, mp)
+	return nil
+}

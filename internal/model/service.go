@@ -1,0 +1,184 @@
+package model
+
+import (
+	"fmt"
+
+	"aved/internal/units"
+)
+
+// Sizing states whether a tier's resource count can change during the
+// service's lifetime (§3.2).
+type Sizing int
+
+// Sizing settings.
+const (
+	SizingStatic Sizing = iota + 1
+	SizingDynamic
+)
+
+// String renders the sizing in spec vocabulary.
+func (s Sizing) String() string {
+	switch s {
+	case SizingStatic:
+		return "static"
+	case SizingDynamic:
+		return "dynamic"
+	default:
+		return fmt.Sprintf("Sizing(%d)", int(s))
+	}
+}
+
+// FailureScope states how far a single resource failure reaches (§3.2).
+type FailureScope int
+
+// Failure scopes.
+const (
+	ScopeResource FailureScope = iota + 1 // only the failed instance is lost
+	ScopeTier                             // the whole tier goes down
+)
+
+// String renders the scope in spec vocabulary.
+func (s FailureScope) String() string {
+	switch s {
+	case ScopeResource:
+		return "resource"
+	case ScopeTier:
+		return "tier"
+	default:
+		return fmt.Sprintf("FailureScope(%d)", int(s))
+	}
+}
+
+// MechPerfRef records the performance impact of an availability
+// mechanism on a resource option: mperformance(args)=ref (§3.2).
+type MechPerfRef struct {
+	Mechanism string
+	Args      []string
+	Ref       string // performance-function reference (e.g. mperfH.dat)
+}
+
+// ResourceOption is one resource-type choice for a tier, together with
+// its parallelism and performance description (§3.2).
+type ResourceOption struct {
+	Resource     string // resource type name, resolved against the infrastructure
+	Sizing       Sizing
+	FailureScope FailureScope
+	NActive      units.Grid
+	PerfRef      string  // performance-function reference; empty when scalar
+	PerfScalar   float64 // constant performance (performance=10000)
+	PerfIsScalar bool
+	MechPerf     []MechPerfRef
+
+	resolved *ResourceType
+}
+
+// ResourceType reports the bound resource type. Resolve must have been
+// called on the service first.
+func (o *ResourceOption) ResourceType() *ResourceType { return o.resolved }
+
+// MechPerfFor reports the performance-impact reference for a mechanism.
+func (o *ResourceOption) MechPerfFor(mech string) (MechPerfRef, bool) {
+	for _, mp := range o.MechPerf {
+		if mp.Mechanism == mech {
+			return mp, true
+		}
+	}
+	return MechPerfRef{}, false
+}
+
+// Tier is a cluster of identical resources supporting one stage of the
+// service (§3).
+type Tier struct {
+	Name    string
+	Options []ResourceOption
+}
+
+// Service is the bound service model: tiers and their resource options
+// (§3.2).
+type Service struct {
+	Name       string
+	JobSize    float64 // application-specific units; finite jobs only
+	HasJobSize bool
+	Tiers      []Tier
+}
+
+// Tier reports the named tier, if declared.
+func (s *Service) Tier(name string) (*Tier, bool) {
+	for i := range s.Tiers {
+		if s.Tiers[i].Name == name {
+			return &s.Tiers[i], true
+		}
+	}
+	return nil, false
+}
+
+// Resolve binds every resource option to its resource type in the
+// infrastructure and validates mechanism references.
+func (s *Service) Resolve(inf *Infrastructure) error {
+	if len(s.Tiers) == 0 {
+		return fmt.Errorf("service %q: no tiers declared", s.Name)
+	}
+	for ti := range s.Tiers {
+		tier := &s.Tiers[ti]
+		if len(tier.Options) == 0 {
+			return fmt.Errorf("service %q tier %q: no resource options", s.Name, tier.Name)
+		}
+		for oi := range tier.Options {
+			opt := &tier.Options[oi]
+			rt, ok := inf.Resources[opt.Resource]
+			if !ok {
+				return fmt.Errorf("service %q tier %q: unknown resource type %q", s.Name, tier.Name, opt.Resource)
+			}
+			opt.resolved = rt
+			for _, mp := range opt.MechPerf {
+				if _, ok := inf.Mechanisms[mp.Mechanism]; !ok {
+					return fmt.Errorf("service %q tier %q resource %q: unknown mechanism %q",
+						s.Name, tier.Name, opt.Resource, mp.Mechanism)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// RequirementKind selects which service requirement applies.
+type RequirementKind int
+
+// Requirement kinds (§2): enterprise services need a throughput and a
+// downtime bound; finite jobs need an expected completion time bound.
+const (
+	ReqEnterprise RequirementKind = iota + 1
+	ReqJob
+)
+
+// Requirements are the user's high-level service requirements.
+type Requirements struct {
+	Kind RequirementKind
+
+	// Enterprise requirements.
+	Throughput        float64        // minimum sustained load, service-specific units
+	MaxAnnualDowntime units.Duration // maximum expected downtime per year
+
+	// Finite-job requirement.
+	MaxJobTime units.Duration // maximum expected job completion time
+}
+
+// Validate checks internal consistency of the requirements.
+func (r Requirements) Validate() error {
+	switch r.Kind {
+	case ReqEnterprise:
+		if r.Throughput <= 0 {
+			return fmt.Errorf("requirements: throughput must be positive, got %v", r.Throughput)
+		}
+		if r.MaxAnnualDowntime <= 0 {
+			return fmt.Errorf("requirements: max annual downtime must be positive, got %v", r.MaxAnnualDowntime)
+		}
+	case ReqJob:
+		if r.MaxJobTime <= 0 {
+			return fmt.Errorf("requirements: max job time must be positive, got %v", r.MaxJobTime)
+		}
+	default:
+		return fmt.Errorf("requirements: unknown kind %d", int(r.Kind))
+	}
+	return nil
+}

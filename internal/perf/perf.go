@@ -1,0 +1,257 @@
+// Package perf implements the performance models referenced by service
+// specifications: throughput curves over the number of active resources
+// (the paper's perfA.dat … perfI.dat references), availability-mechanism
+// overhead functions (mperfH.dat, mperfI.dat), and a registry that
+// resolves spec references to either registered closed forms or tabular
+// data files. The closed forms of Table 1 live in table1.go.
+package perf
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"aved/internal/units"
+)
+
+// Curve maps a number of active resources to the tier's sustainable
+// throughput in service-specific units of work per unit time.
+type Curve interface {
+	// Throughput reports the tier's performance with n active
+	// resources and no failures. n is at least 1.
+	Throughput(n int) float64
+}
+
+// FuncCurve adapts a closed-form function to the Curve interface.
+type FuncCurve func(n int) float64
+
+var _ Curve = FuncCurve(nil)
+
+// Throughput implements Curve.
+func (f FuncCurve) Throughput(n int) float64 { return f(n) }
+
+// ConstCurve is a resource-count-independent performance figure, used
+// for performance=10000 scalar declarations.
+type ConstCurve float64
+
+var _ Curve = ConstCurve(0)
+
+// Throughput implements Curve.
+func (c ConstCurve) Throughput(int) float64 { return float64(c) }
+
+// LinearCurve is throughput proportional to the resource count.
+type LinearCurve float64
+
+var _ Curve = LinearCurve(0)
+
+// Throughput implements Curve.
+func (c LinearCurve) Throughput(n int) float64 { return float64(c) * float64(n) }
+
+// TableCurve interpolates throughput from (n, performance) samples, the
+// shape of the paper's perfX.dat files. Lookups between samples
+// interpolate linearly; lookups beyond the last sample extrapolate
+// using the final per-resource slope, and below the first sample scale
+// the first point proportionally.
+type TableCurve struct {
+	ns    []int
+	perfs []float64
+}
+
+var _ Curve = (*TableCurve)(nil)
+
+// NewTableCurve builds a table curve from parallel samples. The ns must
+// be positive, strictly increasing, and at least one sample is needed.
+func NewTableCurve(ns []int, perfs []float64) (*TableCurve, error) {
+	if len(ns) == 0 || len(ns) != len(perfs) {
+		return nil, fmt.Errorf("table curve: need matching non-empty samples, got %d and %d", len(ns), len(perfs))
+	}
+	for i, n := range ns {
+		if n < 1 {
+			return nil, fmt.Errorf("table curve: resource count %d must be positive", n)
+		}
+		if i > 0 && n <= ns[i-1] {
+			return nil, fmt.Errorf("table curve: resource counts must increase, got %d after %d", n, ns[i-1])
+		}
+		if perfs[i] < 0 {
+			return nil, fmt.Errorf("table curve: negative performance %v at n=%d", perfs[i], n)
+		}
+	}
+	return &TableCurve{
+		ns:    append([]int(nil), ns...),
+		perfs: append([]float64(nil), perfs...),
+	}, nil
+}
+
+// Throughput implements Curve.
+func (t *TableCurve) Throughput(n int) float64 {
+	i := sort.SearchInts(t.ns, n)
+	if i < len(t.ns) && t.ns[i] == n {
+		return t.perfs[i]
+	}
+	switch {
+	case i == 0:
+		// Below the first sample: scale proportionally from zero.
+		return t.perfs[0] * float64(n) / float64(t.ns[0])
+	case i == len(t.ns):
+		// Beyond the last sample: extend with the final slope.
+		last := len(t.ns) - 1
+		if last == 0 {
+			return t.perfs[0] * float64(n) / float64(t.ns[0])
+		}
+		slope := (t.perfs[last] - t.perfs[last-1]) / float64(t.ns[last]-t.ns[last-1])
+		return t.perfs[last] + slope*float64(n-t.ns[last])
+	default:
+		lo, hi := i-1, i
+		frac := float64(n-t.ns[lo]) / float64(t.ns[hi]-t.ns[lo])
+		return t.perfs[lo] + frac*(t.perfs[hi]-t.perfs[lo])
+	}
+}
+
+// ParseTable reads a perfX.dat-style table: one "n performance" pair
+// per line, '#' comments and blank lines ignored.
+func ParseTable(r io.Reader) (*TableCurve, error) {
+	var (
+		ns    []int
+		perfs []float64
+	)
+	sc := bufio.NewScanner(r)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if idx := strings.IndexByte(text, '#'); idx >= 0 {
+			text = strings.TrimSpace(text[:idx])
+		}
+		if text == "" {
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("perf table line %d: want \"n performance\", got %q", line, text)
+		}
+		n, err := strconv.Atoi(fields[0])
+		if err != nil {
+			return nil, fmt.Errorf("perf table line %d: bad resource count: %w", line, err)
+		}
+		p, err := strconv.ParseFloat(fields[1], 64)
+		if err != nil {
+			return nil, fmt.Errorf("perf table line %d: bad performance: %w", line, err)
+		}
+		ns = append(ns, n)
+		perfs = append(perfs, p)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("perf table: %w", err)
+	}
+	return NewTableCurve(ns, perfs)
+}
+
+// LoadTableFile reads a perf table from disk.
+func LoadTableFile(path string) (*TableCurve, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("perf table: %w", err)
+	}
+	defer f.Close()
+	t, err := ParseTable(f)
+	if err != nil {
+		return nil, fmt.Errorf("perf table %s: %w", path, err)
+	}
+	return t, nil
+}
+
+// MinActive reports the smallest active-resource count within the grid
+// whose throughput meets the required load, and false if no grid point
+// does. Curves need not be monotone, so the grid scans in order.
+func MinActive(c Curve, required float64, grid units.Grid) (int, bool) {
+	v, ok := grid.Lo(), true
+	for ok {
+		n := int(math.Round(v))
+		if c.Throughput(n) >= required {
+			return n, true
+		}
+		v, ok = grid.Next(v)
+	}
+	return 0, false
+}
+
+// Arg is one availability-mechanism parameter value passed to an
+// overhead function: an enumerated string or a numeric duration in
+// hours.
+type Arg struct {
+	Str   string
+	Hours float64
+	IsNum bool
+}
+
+// Overhead maps mechanism parameter settings and an active-resource
+// count to an execution-time multiplier (≥ 1). A factor of 1 means the
+// mechanism imposes no overhead at that operating point; 2 means the
+// job takes twice as long.
+type Overhead interface {
+	Factor(args map[string]Arg, n int) (float64, error)
+}
+
+// OverheadFunc adapts a function to the Overhead interface.
+type OverheadFunc func(args map[string]Arg, n int) (float64, error)
+
+var _ Overhead = OverheadFunc(nil)
+
+// Factor implements Overhead.
+func (f OverheadFunc) Factor(args map[string]Arg, n int) (float64, error) { return f(args, n) }
+
+// Registry resolves the performance references that appear in service
+// specifications (perfA.dat, mperfH.dat, …) to curves and overhead
+// functions. References not registered explicitly fall back to loading
+// a table file relative to Dir.
+type Registry struct {
+	curves    map[string]Curve
+	overheads map[string]Overhead
+
+	// Dir is the directory for file-based fallback loading. Empty
+	// disables the fallback.
+	Dir string
+}
+
+// NewRegistry builds an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		curves:    map[string]Curve{},
+		overheads: map[string]Overhead{},
+	}
+}
+
+// RegisterCurve binds a reference name to a curve.
+func (r *Registry) RegisterCurve(name string, c Curve) { r.curves[name] = c }
+
+// RegisterOverhead binds a reference name to an overhead function.
+func (r *Registry) RegisterOverhead(name string, o Overhead) { r.overheads[name] = o }
+
+// Curve resolves a performance reference.
+func (r *Registry) Curve(ref string) (Curve, error) {
+	if c, ok := r.curves[ref]; ok {
+		return c, nil
+	}
+	if r.Dir != "" {
+		t, err := LoadTableFile(r.Dir + string(os.PathSeparator) + ref)
+		if err != nil {
+			return nil, err
+		}
+		r.curves[ref] = t
+		return t, nil
+	}
+	return nil, fmt.Errorf("perf: unknown performance reference %q", ref)
+}
+
+// Overhead resolves a mechanism performance-impact reference.
+func (r *Registry) Overhead(ref string) (Overhead, error) {
+	if o, ok := r.overheads[ref]; ok {
+		return o, nil
+	}
+	return nil, fmt.Errorf("perf: unknown mechanism performance reference %q", ref)
+}

@@ -1,0 +1,380 @@
+package perf
+
+import (
+	"math"
+	"os"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"aved/internal/units"
+)
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestTableCurveExactAndInterpolated(t *testing.T) {
+	c, err := NewTableCurve([]int{1, 2, 4, 8}, []float64{100, 190, 360, 680})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tests := []struct {
+		n    int
+		want float64
+	}{
+		{1, 100},
+		{2, 190},
+		{3, 275}, // midpoint of 190 and 360
+		{4, 360},
+		{6, 520}, // midpoint of 360 and 680
+		{8, 680},
+		{10, 840}, // slope 80/unit beyond the table
+	}
+	for _, tt := range tests {
+		if got := c.Throughput(tt.n); !almostEqual(got, tt.want, 1e-9) {
+			t.Errorf("Throughput(%d) = %v, want %v", tt.n, got, tt.want)
+		}
+	}
+}
+
+func TestTableCurveBelowFirstSample(t *testing.T) {
+	c, err := NewTableCurve([]int{4}, []float64{400})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Throughput(2); !almostEqual(got, 200, 1e-9) {
+		t.Errorf("Throughput(2) = %v, want 200", got)
+	}
+	if got := c.Throughput(8); !almostEqual(got, 800, 1e-9) {
+		t.Errorf("Throughput(8) = %v, want 800 (single-sample proportional)", got)
+	}
+}
+
+func TestNewTableCurveErrors(t *testing.T) {
+	cases := []struct {
+		name  string
+		ns    []int
+		perfs []float64
+	}{
+		{"empty", nil, nil},
+		{"mismatch", []int{1, 2}, []float64{1}},
+		{"nonpositive", []int{0}, []float64{1}},
+		{"decreasing", []int{2, 1}, []float64{1, 2}},
+		{"negative perf", []int{1}, []float64{-1}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := NewTableCurve(tc.ns, tc.perfs); err == nil {
+				t.Error("want error")
+			}
+		})
+	}
+}
+
+func TestParseTable(t *testing.T) {
+	src := `
+# application-tier performance
+1 200
+2 400   # two nodes
+4 800
+`
+	c, err := ParseTable(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Throughput(2); got != 400 {
+		t.Errorf("Throughput(2) = %v, want 400", got)
+	}
+	if got := c.Throughput(3); got != 600 {
+		t.Errorf("Throughput(3) = %v, want 600", got)
+	}
+}
+
+func TestParseTableErrors(t *testing.T) {
+	for _, src := range []string{"1", "a 2", "1 b", "1 2 3"} {
+		if _, err := ParseTable(strings.NewReader(src)); err == nil {
+			t.Errorf("ParseTable(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestMinActive(t *testing.T) {
+	grid, err := units.NewArithmeticGrid(1, 1000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, ok := MinActive(LinearCurve(200), 1000, grid)
+	if !ok || n != 5 {
+		t.Errorf("MinActive(200n >= 1000) = %d,%v want 5,true", n, ok)
+	}
+	n, ok = MinActive(LinearCurve(200), 1001, grid)
+	if !ok || n != 6 {
+		t.Errorf("MinActive(200n >= 1001) = %d,%v want 6,true", n, ok)
+	}
+	if _, ok := MinActive(LinearCurve(0.001), 1e9, grid); ok {
+		t.Error("MinActive should fail when the requirement is unreachable")
+	}
+	// Power-of-two grid.
+	pow, err := units.NewGeometricGrid(1, 64, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, ok = MinActive(LinearCurve(10), 90, pow)
+	if !ok || n != 16 {
+		t.Errorf("MinActive(10n >= 90, powers of 2) = %d,%v want 16,true", n, ok)
+	}
+}
+
+func TestMinActiveMonotoneProperty(t *testing.T) {
+	grid, err := units.NewArithmeticGrid(1, 1000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(load16 uint16) bool {
+		load := float64(load16%5000) + 1
+		n, ok := MinActive(PerfC, load, grid)
+		if !ok {
+			return load > PerfC.Throughput(1000)
+		}
+		// n satisfies, n-1 does not.
+		if PerfC.Throughput(n) < load {
+			return false
+		}
+		return n == 1 || PerfC.Throughput(n-1) < load
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTable1ApplicationCurves(t *testing.T) {
+	tests := []struct {
+		name string
+		c    Curve
+		n    int
+		want float64
+	}{
+		{"perfC", PerfC, 5, 1000},
+		{"perfD", PerfD, 7, 1400},
+		{"perfE", PerfE, 1, 1600},
+		{"perfF", PerfF, 3, 4800},
+	}
+	for _, tt := range tests {
+		if got := tt.c.Throughput(tt.n); got != tt.want {
+			t.Errorf("%s.Throughput(%d) = %v, want %v", tt.name, tt.n, got, tt.want)
+		}
+	}
+}
+
+func TestTable1ScientificCurves(t *testing.T) {
+	// perfH(n) = 10n/(1+0.004n)
+	if got := PerfH.Throughput(1); !almostEqual(got, 10/1.004, 1e-9) {
+		t.Errorf("PerfH(1) = %v", got)
+	}
+	if got := PerfH.Throughput(250); !almostEqual(got, 2500/2.0, 1e-9) {
+		t.Errorf("PerfH(250) = %v, want 1250", got)
+	}
+	// perfI = 10x perfH.
+	if got, want := PerfI.Throughput(50), 10*PerfH.Throughput(50); !almostEqual(got, want, 1e-9) {
+		t.Errorf("PerfI(50) = %v, want %v", got, want)
+	}
+	// Sublinearity: per-node efficiency decreases.
+	if PerfH.Throughput(100)/100 >= PerfH.Throughput(1) {
+		t.Error("PerfH should scale sublinearly")
+	}
+}
+
+func args(loc string, cpiHours float64) map[string]Arg {
+	return map[string]Arg{
+		"storage_location":    {Str: loc},
+		"checkpoint_interval": {Hours: cpiHours, IsNum: true},
+	}
+}
+
+func TestMPerfHHinge(t *testing.T) {
+	// Literal Table 1 semantics: max(K/cpi, 100%).
+	tests := []struct {
+		name string
+		loc  string
+		cpiM float64 // minutes
+		n    int
+		want float64
+	}{
+		{"central short interval", "central", 1, 10, 10},  // 10/1
+		{"central long interval", "central", 60, 10, 1},   // max(10/60,1)
+		{"central at hinge", "central", 10, 10, 1},        // 10/10
+		{"central bottleneck", "central", 10, 60, 2},      // n/(3cpi) = 60/30
+		{"central bottleneck long", "central", 60, 60, 1}, // 60/180 < 1
+		{"peer short", "peer", 2, 10, 10},                 // 20/2
+		{"peer long", "peer", 30, 10, 1},                  // 20/30 < 1
+		{"peer unaffected by n", "peer", 2, 500, 10},      // still 20/2
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got, err := MPerfHHinge.Factor(args(tt.loc, tt.cpiM/60), tt.n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !almostEqual(got, tt.want, 1e-9) {
+				t.Errorf("MPerfHHinge(%s, %vm, n=%d) = %v, want %v", tt.loc, tt.cpiM, tt.n, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestMPerfHSmooth(t *testing.T) {
+	// Default smooth semantics: 1 + K/cpi.
+	tests := []struct {
+		name string
+		loc  string
+		cpiM float64
+		n    int
+		want float64
+	}{
+		{"central small n", "central", 10, 10, 2}, // 1 + 10/10
+		{"central long interval", "central", 60, 10, 1.0 + 10.0/60},
+		{"central bottleneck", "central", 10, 60, 3}, // 1 + 60/(3*10)
+		{"peer", "peer", 20, 10, 2},                  // 1 + 20/20
+		{"peer unaffected by n", "peer", 20, 500, 2},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got, err := MPerfH.Factor(args(tt.loc, tt.cpiM/60), tt.n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !almostEqual(got, tt.want, 1e-9) {
+				t.Errorf("MPerfH(%s, %vm, n=%d) = %v, want %v", tt.loc, tt.cpiM, tt.n, got, tt.want)
+			}
+		})
+	}
+	// The smooth form upper-bounds the hinge and agrees asymptotically.
+	for _, cpiM := range []float64{0.1, 1, 5, 50, 500} {
+		smooth, err := MPerfH.Factor(args("central", cpiM/60), 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hinge, err := MPerfHHinge.Factor(args("central", cpiM/60), 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if smooth < hinge {
+			t.Errorf("cpi=%vm: smooth %v below hinge %v", cpiM, smooth, hinge)
+		}
+		if smooth > hinge+1 {
+			t.Errorf("cpi=%vm: smooth %v exceeds hinge+1 %v", cpiM, smooth, hinge+1)
+		}
+	}
+}
+
+func TestMPerfI(t *testing.T) {
+	// Hinge: central small n max(5/cpi, 1).
+	got, err := MPerfIHinge.Factor(args("central", 1.0/60), 10) // cpi = 1 minute
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(got, 5, 1e-9) {
+		t.Errorf("MPerfIHinge(central, 1m, 10) = %v, want 5", got)
+	}
+	// Hinge: central large n max(n/(6cpi), 1) below 1 clamps.
+	got, err = MPerfIHinge.Factor(args("central", 1), 90) // cpi = 60 minutes
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(got, 1, 1e-9) {
+		t.Errorf("MPerfIHinge(central, 60m, 90) = %v, want 1 (90/360<1)", got)
+	}
+	// Smooth: peer 1 + 100/cpi.
+	got, err = MPerfI.Factor(args("peer", 0.5), 4) // 30 minutes
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(got, 1+100.0/30, 1e-9) {
+		t.Errorf("MPerfI(peer, 30m, 4) = %v, want %v", got, 1+100.0/30)
+	}
+}
+
+func TestOverheadErrors(t *testing.T) {
+	if _, err := MPerfH.Factor(map[string]Arg{}, 10); err == nil {
+		t.Error("missing args should fail")
+	}
+	if _, err := MPerfH.Factor(args("tape", 1), 10); err == nil {
+		t.Error("unknown location should fail")
+	}
+	if _, err := MPerfH.Factor(args("central", 0), 10); err == nil {
+		t.Error("zero interval should fail")
+	}
+}
+
+func TestCheckpointOverheadCrossover(t *testing.T) {
+	// The paper's §5.2 shape: central beats peer for small n, peer wins
+	// for large n (central storage becomes the bottleneck).
+	cpi := args("central", 5.0/60) // 5 minutes
+	peer := args("peer", 5.0/60)
+	smallCentral, err := MPerfH.Factor(cpi, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	smallPeer, err := MPerfH.Factor(peer, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if smallCentral >= smallPeer {
+		t.Errorf("small n: central overhead %v should beat peer %v", smallCentral, smallPeer)
+	}
+	largeCentral, err := MPerfH.Factor(cpi, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	largePeer, err := MPerfH.Factor(peer, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if largeCentral <= largePeer {
+		t.Errorf("large n: peer overhead %v should beat central %v", largePeer, largeCentral)
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	r := NewRegistry()
+	RegisterTable1(r)
+	c, err := r.Curve("perfH.dat")
+	if err != nil {
+		t.Fatalf("Curve(perfH.dat): %v", err)
+	}
+	if got := c.Throughput(250); !almostEqual(got, 1250, 1e-9) {
+		t.Errorf("registered perfH(250) = %v, want 1250", got)
+	}
+	if _, err := r.Curve("nonexistent.dat"); err == nil {
+		t.Error("unknown curve should fail without a Dir fallback")
+	}
+	if _, err := r.Overhead("mperfH.dat"); err != nil {
+		t.Errorf("Overhead(mperfH.dat): %v", err)
+	}
+	if _, err := r.Overhead("nope"); err == nil {
+		t.Error("unknown overhead should fail")
+	}
+}
+
+func TestRegistryFileFallback(t *testing.T) {
+	dir := t.TempDir()
+	path := dir + "/web.dat"
+	if err := writeFile(path, "1 100\n2 200\n"); err != nil {
+		t.Fatal(err)
+	}
+	r := NewRegistry()
+	r.Dir = dir
+	c, err := r.Curve("web.dat")
+	if err != nil {
+		t.Fatalf("Curve(web.dat): %v", err)
+	}
+	if got := c.Throughput(2); got != 200 {
+		t.Errorf("file-based curve Throughput(2) = %v, want 200", got)
+	}
+	if _, err := r.Curve("missing.dat"); err == nil {
+		t.Error("missing file should fail")
+	}
+}
+
+func writeFile(path, content string) error {
+	return os.WriteFile(path, []byte(content), 0o644)
+}

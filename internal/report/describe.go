@@ -1,0 +1,100 @@
+package report
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"aved/internal/model"
+)
+
+// DescribeModel writes an inventory of an infrastructure and service
+// model pair: components with failure modes, mechanisms with their
+// parameter counts, resource stacks, and — per tier — an estimate of
+// the design-space cardinality the search faces (the paper's argument
+// that the space is too large to explore manually, made concrete).
+//
+// The per-tier estimate counts resource options × allowed active
+// counts × a spare allowance (0..maxRedundancy) × spare warmth levels
+// × mechanism parameter combinations.
+func DescribeModel(w io.Writer, inf *model.Infrastructure, svc *model.Service, maxRedundancy int) error {
+	if inf == nil || svc == nil {
+		return fmt.Errorf("report: describe needs both models")
+	}
+	if maxRedundancy < 0 {
+		return fmt.Errorf("report: negative redundancy bound %d", maxRedundancy)
+	}
+	bw := bufio.NewWriter(w)
+
+	fmt.Fprintf(bw, "infrastructure: %d components, %d mechanisms, %d resource types\n",
+		len(inf.Components), len(inf.Mechanisms), len(inf.Resources))
+	for _, name := range inf.ComponentNames() {
+		c := inf.Components[name]
+		fmt.Fprintf(bw, "  component %-12s cost %s/%s, %d failure mode(s)\n",
+			c.Name, c.CostInactive, c.CostActive, len(c.Failures))
+	}
+	for _, name := range inf.MechanismNames() {
+		m := inf.Mechanisms[name]
+		fmt.Fprintf(bw, "  mechanism %-12s %d parameter(s), %d setting combination(s)\n",
+			m.Name, len(m.Params), mechanismSettings(m))
+	}
+	for _, name := range inf.ResourceNames() {
+		rt := inf.Resources[name]
+		stack := make([]string, len(rt.Components))
+		for i, rc := range rt.Components {
+			stack[i] = rc.Component.Name
+		}
+		fmt.Fprintf(bw, "  resource  %-12s %s\n", rt.Name, strings.Join(stack, "/"))
+	}
+
+	fmt.Fprintf(bw, "service %q: %d tier(s)", svc.Name, len(svc.Tiers))
+	if svc.HasJobSize {
+		fmt.Fprintf(bw, ", job size %g", svc.JobSize)
+	}
+	fmt.Fprintln(bw)
+	grand := 1.0
+	for ti := range svc.Tiers {
+		tier := &svc.Tiers[ti]
+		tierTotal := 0.0
+		for oi := range tier.Options {
+			opt := &tier.Options[oi]
+			rt := opt.ResourceType()
+			if rt == nil {
+				return fmt.Errorf("report: service not resolved (tier %q)", tier.Name)
+			}
+			counts := opt.NActive.Len()
+			combos := 1
+			for _, mechName := range rt.Mechanisms() {
+				combos *= mechanismSettings(inf.Mechanisms[mechName])
+			}
+			warmth := len(rt.Components) + 1
+			optSpace := float64(counts) * float64(maxRedundancy+1) * float64(warmth) * float64(combos)
+			tierTotal += optSpace
+			fmt.Fprintf(bw, "  tier %-12s option %-4s ≈ %.3g designs (%d counts × %d spare levels × %d warmth × %d mech combos)\n",
+				tier.Name, opt.Resource, optSpace, counts, maxRedundancy+1, warmth, combos)
+		}
+		fmt.Fprintf(bw, "  tier %-12s total ≈ %.3g designs\n", tier.Name, tierTotal)
+		grand *= tierTotal
+	}
+	if len(svc.Tiers) > 1 {
+		fmt.Fprintf(bw, "cross-tier combinations ≈ %.3g\n", grand)
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("report: %w", err)
+	}
+	return nil
+}
+
+// mechanismSettings counts a mechanism's parameter-value combinations.
+func mechanismSettings(m *model.Mechanism) int {
+	total := 1
+	for _, p := range m.Params {
+		if p.IsEnum() {
+			total *= len(p.Enum)
+		} else {
+			total *= p.Grid.Len()
+		}
+	}
+	return total
+}

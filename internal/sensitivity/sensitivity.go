@@ -1,0 +1,200 @@
+// Package sensitivity implements what-if analysis over infrastructure
+// parameters: it perturbs a copy of the infrastructure model with a
+// scalar factor (failure rates, repair times, component or contract
+// prices), re-runs the design search at a fixed requirement, and
+// reports how the optimal design and its cost move. This mechanises
+// the paper's self-managing-utility argument (§1, §5.1): as conditions
+// change, the optimal design changes, and an engine like Aved must
+// re-evaluate it automatically.
+package sensitivity
+
+import (
+	"errors"
+	"fmt"
+
+	"aved/internal/core"
+	"aved/internal/model"
+	"aved/internal/perf"
+	"aved/internal/sweep"
+	"aved/internal/units"
+)
+
+// Knob perturbs an infrastructure in place by a scalar factor. A
+// factor of 1 must leave the model unchanged.
+type Knob func(inf *model.Infrastructure, factor float64) error
+
+// ScaleMTBF multiplies every failure mode's MTBF of the named
+// component by the factor (factor > 1 means more reliable hardware).
+// An empty component name scales every component.
+func ScaleMTBF(component string) Knob {
+	return func(inf *model.Infrastructure, factor float64) error {
+		if factor <= 0 {
+			return fmt.Errorf("sensitivity: MTBF factor must be positive, got %v", factor)
+		}
+		touched := false
+		for name, c := range inf.Components {
+			if component != "" && name != component {
+				continue
+			}
+			touched = true
+			for i := range c.Failures {
+				c.Failures[i].MTBF = units.Duration(float64(c.Failures[i].MTBF) * factor)
+			}
+		}
+		if !touched {
+			return fmt.Errorf("sensitivity: unknown component %q", component)
+		}
+		return nil
+	}
+}
+
+// ScaleCost multiplies the named component's costs (both operational
+// modes) by the factor. An empty name scales every component.
+func ScaleCost(component string) Knob {
+	return func(inf *model.Infrastructure, factor float64) error {
+		if factor < 0 {
+			return fmt.Errorf("sensitivity: cost factor must be non-negative, got %v", factor)
+		}
+		touched := false
+		for name, c := range inf.Components {
+			if component != "" && name != component {
+				continue
+			}
+			touched = true
+			c.CostInactive = units.Money(float64(c.CostInactive) * factor)
+			c.CostActive = units.Money(float64(c.CostActive) * factor)
+		}
+		if !touched {
+			return fmt.Errorf("sensitivity: unknown component %q", component)
+		}
+		return nil
+	}
+}
+
+// ScaleMechanismCost multiplies the named mechanism's cost table by the
+// factor (e.g. maintenance contracts getting cheaper or dearer).
+func ScaleMechanismCost(mechanism string) Knob {
+	return func(inf *model.Infrastructure, factor float64) error {
+		if factor < 0 {
+			return fmt.Errorf("sensitivity: cost factor must be non-negative, got %v", factor)
+		}
+		mech, ok := inf.Mechanisms[mechanism]
+		if !ok {
+			return fmt.Errorf("sensitivity: unknown mechanism %q", mechanism)
+		}
+		for i := range mech.Effects {
+			if mech.Effects[i].Attr != "cost" {
+				continue
+			}
+			if err := scaleEffect(&mech.Effects[i], factor); err != nil {
+				return fmt.Errorf("sensitivity: mechanism %q: %w", mechanism, err)
+			}
+		}
+		return nil
+	}
+}
+
+func scaleEffect(e *model.Effect, factor float64) error {
+	scale := func(raw string) (string, error) {
+		m, err := units.ParseMoney(raw)
+		if err != nil {
+			return "", err
+		}
+		return units.Money(float64(m) * factor).String(), nil
+	}
+	if e.ByParam == "" {
+		s, err := scale(e.Scalar)
+		if err != nil {
+			return err
+		}
+		e.Scalar = s
+		return nil
+	}
+	for i, raw := range e.Table {
+		s, err := scale(raw)
+		if err != nil {
+			return err
+		}
+		e.Table[i] = s
+	}
+	return nil
+}
+
+// Point is the search outcome at one perturbation factor.
+type Point struct {
+	Factor          float64
+	Cost            units.Money
+	DowntimeMinutes float64
+	JobTimeHours    float64
+	Family          sweep.Family
+	Label           string
+	Infeasible      bool
+}
+
+// Config drives a sensitivity sweep.
+type Config struct {
+	// Service spec source text; rebound against each perturbed
+	// infrastructure.
+	ServiceSpec string
+	// Registry resolves performance references.
+	Registry *perf.Registry
+	// SolverOptions configure the per-factor solvers (Registry is set
+	// from the field above).
+	SolverOptions core.Options
+	// Requirement is the fixed requirement to solve at each factor.
+	Requirement model.Requirements
+}
+
+// Sweep applies the knob at each factor to a fresh clone of the base
+// infrastructure and solves the fixed requirement, reporting one Point
+// per factor. Infeasible factors are reported, not skipped, so callers
+// see where the requirement stops being achievable.
+func Sweep(base *model.Infrastructure, cfg Config, knob Knob, factors []float64) ([]Point, error) {
+	if len(factors) == 0 {
+		return nil, fmt.Errorf("sensitivity: no factors")
+	}
+	if cfg.Registry == nil {
+		return nil, fmt.Errorf("sensitivity: config needs a registry")
+	}
+	out := make([]Point, 0, len(factors))
+	for _, f := range factors {
+		inf := base.Clone()
+		if err := knob(inf, f); err != nil {
+			return nil, err
+		}
+		svc, err := model.ParseService(cfg.ServiceSpec)
+		if err != nil {
+			return nil, fmt.Errorf("sensitivity: %w", err)
+		}
+		if err := svc.Resolve(inf); err != nil {
+			return nil, fmt.Errorf("sensitivity: %w", err)
+		}
+		opts := cfg.SolverOptions
+		opts.Registry = cfg.Registry
+		solver, err := core.NewSolver(inf, svc, opts)
+		if err != nil {
+			return nil, err
+		}
+		sol, err := solver.Solve(cfg.Requirement)
+		if err != nil {
+			var infErr *core.InfeasibleError
+			if errors.As(err, &infErr) {
+				out = append(out, Point{Factor: f, Infeasible: true})
+				continue
+			}
+			return nil, fmt.Errorf("sensitivity: factor %v: %w", f, err)
+		}
+		p := Point{
+			Factor:          f,
+			Cost:            sol.Cost,
+			DowntimeMinutes: sol.DowntimeMinutes,
+			JobTimeHours:    sol.JobTime.Hours(),
+			Label:           sol.Design.Label(),
+		}
+		if len(sol.Design.Tiers) > 0 {
+			p.Family = sweep.FamilyOf(&sol.Design.Tiers[0])
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}

@@ -1,0 +1,97 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// JobParams drive a Monte-Carlo estimate of the expected wall-clock
+// completion time of a finite job under failures, checkpointing and
+// repair outages — the full composition the analytic jobtime.Expected
+// models (Eq. 1 plus overhead and availability).
+type JobParams struct {
+	// ComputeHours is the failure-free compute time including
+	// mechanism overhead (jobSize/perf × overhead factor).
+	ComputeHours float64
+	// LossWindowHours is the checkpoint interval in compute time; work
+	// since the last checkpoint is lost at each failure. Zero or
+	// negative means no checkpointing (the whole job restarts).
+	LossWindowHours float64
+	// MTBFHours is the mean time between work-losing failures while
+	// computing.
+	MTBFHours float64
+	// OutageHours is the mean repair outage per failure (exponential),
+	// during which no work proceeds.
+	OutageHours float64
+}
+
+// SimulateJob estimates the expected wall-clock hours to finish the
+// job across reps independent replications.
+func SimulateJob(seed int64, p JobParams, reps int) (float64, error) {
+	if p.ComputeHours <= 0 {
+		return 0, fmt.Errorf("sim: compute time must be positive, got %v", p.ComputeHours)
+	}
+	if p.MTBFHours <= 0 {
+		return 0, fmt.Errorf("sim: mtbf must be positive, got %v", p.MTBFHours)
+	}
+	if p.OutageHours < 0 {
+		return 0, fmt.Errorf("sim: negative outage %v", p.OutageHours)
+	}
+	if reps < 1 {
+		return 0, fmt.Errorf("sim: need at least one replication, got %d", reps)
+	}
+	lw := p.LossWindowHours
+	if lw <= 0 || lw > p.ComputeHours {
+		lw = p.ComputeHours
+	}
+	rng := rand.New(rand.NewSource(seed))
+	var total float64
+	for r := 0; r < reps; r++ {
+		total += simulateJobOnce(rng, p.ComputeHours, lw, p.MTBFHours, p.OutageHours)
+	}
+	return total / float64(reps), nil
+}
+
+// simulateJobOnce walks one job execution: progress accumulates until
+// the next failure; failures roll progress back to the last checkpoint
+// and cost an outage.
+func simulateJobOnce(rng *rand.Rand, compute, lw, mtbf, outage float64) float64 {
+	var (
+		wall     float64
+		done     float64 // checkpointed progress
+		inWindow float64 // progress since the last checkpoint
+	)
+	for done < compute {
+		toFailure := rng.ExpFloat64() * mtbf
+		// Work achievable before the failure, bounded by the window
+		// end and the job end.
+		for toFailure > 0 && done < compute {
+			windowLeft := lw - inWindow
+			jobLeft := compute - done - inWindow
+			step := windowLeft
+			if jobLeft < step {
+				step = jobLeft
+			}
+			if step > toFailure {
+				// The failure lands inside this stretch: lose the
+				// uncheckpointed part.
+				wall += toFailure
+				inWindow = 0
+				if outage > 0 {
+					wall += rng.ExpFloat64() * outage
+				}
+				toFailure = 0
+				break
+			}
+			// The stretch completes: checkpoint (or finish).
+			wall += step
+			toFailure -= step
+			inWindow += step
+			if inWindow >= lw-1e-12 || done+inWindow >= compute-1e-12 {
+				done += inWindow
+				inWindow = 0
+			}
+		}
+	}
+	return wall
+}

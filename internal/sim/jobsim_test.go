@@ -1,0 +1,104 @@
+package sim
+
+import (
+	"testing"
+
+	"aved/internal/jobtime"
+	"aved/internal/units"
+)
+
+func TestSimulateJobNoFailures(t *testing.T) {
+	// MTBF astronomically above the compute time: wall ≈ compute.
+	got, err := SimulateJob(1, JobParams{
+		ComputeHours:    100,
+		LossWindowHours: 1,
+		MTBFHours:       1e7,
+		OutageHours:     10,
+	}, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !relClose(got, 100, 0.01) {
+		t.Errorf("wall = %v, want ≈100", got)
+	}
+}
+
+func TestSimulateJobMatchesAnalyticComposition(t *testing.T) {
+	// Compare the Monte-Carlo job walk against jobtime.Expected for
+	// several operating points. The analytic form assumes loss windows
+	// restart in full and downtime scales wall time by 1/A with
+	// A = mtbf/(mtbf+outage); agreement within a few percent expected
+	// at moderate failure rates.
+	cases := []JobParams{
+		{ComputeHours: 200, LossWindowHours: 2, MTBFHours: 100, OutageHours: 5},
+		{ComputeHours: 100, LossWindowHours: 1, MTBFHours: 50, OutageHours: 2},
+		{ComputeHours: 50, LossWindowHours: 5, MTBFHours: 200, OutageHours: 10},
+	}
+	for i, p := range cases {
+		got, err := SimulateJob(int64(100+i), p, 4000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		availability := p.MTBFHours / (p.MTBFHours + p.OutageHours)
+		want, err := jobtime.Expected(jobtime.Params{
+			JobSize:        p.ComputeHours, // 1 unit/hour
+			PerfPerHour:    1,
+			OverheadFactor: 1,
+			LossWindow:     units.FromHours(p.LossWindowHours),
+			SystemMTBF:     units.FromHours(p.MTBFHours),
+			Availability:   availability,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !relClose(got, want.Hours(), 0.06) {
+			t.Errorf("case %d: sim %v vs analytic %v hours", i, got, want.Hours())
+		}
+	}
+}
+
+func TestSimulateJobNoCheckpointing(t *testing.T) {
+	// Without checkpoints the whole job restarts; with compute = mtbf
+	// the expansion is e−1 (no outages).
+	p := JobParams{ComputeHours: 50, MTBFHours: 50}
+	got, err := SimulateJob(7, p, 30000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 50 * 1.718281828
+	if !relClose(got, want, 0.03) {
+		t.Errorf("wall = %v, want ≈ %v", got, want)
+	}
+}
+
+func TestSimulateJobCheckpointingHelps(t *testing.T) {
+	base := JobParams{ComputeHours: 100, MTBFHours: 40, OutageHours: 1}
+	withCkpt := base
+	withCkpt.LossWindowHours = 1
+	t0, err := SimulateJob(9, base, 3000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t1, err := SimulateJob(9, withCkpt, 3000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if t1 >= t0 {
+		t.Errorf("checkpointing should cut wall time: %v vs %v", t1, t0)
+	}
+}
+
+func TestSimulateJobValidation(t *testing.T) {
+	if _, err := SimulateJob(1, JobParams{MTBFHours: 1}, 1); err == nil {
+		t.Error("zero compute should fail")
+	}
+	if _, err := SimulateJob(1, JobParams{ComputeHours: 1}, 1); err == nil {
+		t.Error("zero mtbf should fail")
+	}
+	if _, err := SimulateJob(1, JobParams{ComputeHours: 1, MTBFHours: 1, OutageHours: -1}, 1); err == nil {
+		t.Error("negative outage should fail")
+	}
+	if _, err := SimulateJob(1, JobParams{ComputeHours: 1, MTBFHours: 1}, 0); err == nil {
+		t.Error("zero reps should fail")
+	}
+}

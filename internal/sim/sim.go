@@ -1,0 +1,389 @@
+// Package sim implements a discrete-event Monte-Carlo availability
+// simulator behind the same avail.Engine interface as the analytic
+// Markov engine. It plays the role of the external availability
+// evaluation engine (Avanto) that the paper's Aved interfaces to, and
+// cross-validates the analytic model: the simulator evaluates a tier
+// with all failure modes interleaved on a shared resource pool, with no
+// per-mode decomposition.
+//
+// The package also provides SimulateRestart, a Monte-Carlo estimate of
+// the restart law behind the paper's Eq. 1 (mean time to execute a loss
+// window of useful work under failures), used to validate package
+// jobtime.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"aved/internal/avail"
+)
+
+// Engine is a Monte-Carlo availability engine. The zero value is not
+// usable; construct with NewEngine.
+type Engine struct {
+	seed  int64
+	years float64
+	reps  int
+}
+
+var _ avail.Engine = (*Engine)(nil)
+
+// NewEngine builds a simulation engine running reps independent
+// replications of years simulated years each, seeded deterministically.
+func NewEngine(seed int64, years float64, reps int) (*Engine, error) {
+	if years <= 0 {
+		return nil, fmt.Errorf("sim: years must be positive, got %v", years)
+	}
+	if reps < 1 {
+		return nil, fmt.Errorf("sim: need at least one replication, got %d", reps)
+	}
+	return &Engine{seed: seed, years: years, reps: reps}, nil
+}
+
+// Stats summarises replication-level downtime estimates.
+type Stats struct {
+	MeanMinutes float64 // mean annual downtime across replications
+	HalfWidth95 float64 // 95% confidence half-width of the mean
+}
+
+// Evaluate implements avail.Engine. Tiers are independent in the model,
+// so each simulates separately; tier availabilities compose in series
+// exactly as in the analytic engine.
+func (e *Engine) Evaluate(tms []avail.TierModel) (avail.Result, error) {
+	if len(tms) == 0 {
+		return avail.Result{}, fmt.Errorf("sim: no tiers to evaluate")
+	}
+	res := avail.Result{Availability: 1}
+	for i := range tms {
+		stats, err := e.SimulateTier(&tms[i])
+		if err != nil {
+			return avail.Result{}, err
+		}
+		downFrac := stats.MeanMinutes / avail.MinutesPerYear
+		tr := avail.TierResult{
+			Name:            tms[i].Name,
+			Availability:    1 - downFrac,
+			DowntimeMinutes: stats.MeanMinutes,
+		}
+		res.Tiers = append(res.Tiers, tr)
+		res.Availability *= tr.Availability
+	}
+	res.DowntimeMinutes = (1 - res.Availability) * avail.MinutesPerYear
+	return res, nil
+}
+
+// SimulateTier estimates one tier's annual downtime distribution.
+func (e *Engine) SimulateTier(tm *avail.TierModel) (Stats, error) {
+	if err := tm.Validate(); err != nil {
+		return Stats{}, err
+	}
+	samples := make([]float64, e.reps)
+	for r := 0; r < e.reps; r++ {
+		rng := rand.New(rand.NewSource(e.seed + int64(r)*0x9E3779B9))
+		down, err := simulateOnce(tm, rng, e.years)
+		if err != nil {
+			return Stats{}, err
+		}
+		samples[r] = down / e.years // minutes per year
+	}
+	return summarise(samples), nil
+}
+
+func summarise(samples []float64) Stats {
+	n := float64(len(samples))
+	var sum float64
+	for _, s := range samples {
+		sum += s
+	}
+	mean := sum / n
+	if len(samples) < 2 {
+		return Stats{MeanMinutes: mean}
+	}
+	var ss float64
+	for _, s := range samples {
+		d := s - mean
+		ss += d * d
+	}
+	stderr := math.Sqrt(ss/(n-1)) / math.Sqrt(n)
+	return Stats{MeanMinutes: mean, HalfWidth95: 1.96 * stderr}
+}
+
+// resourceState is a resource's position in its lifecycle.
+type resourceState int
+
+const (
+	stateActive resourceState = iota + 1
+	stateIdleSpare
+	stateRepairing
+	stateActivating // spare starting up during a failover window
+)
+
+// eventKind identifies simulation events.
+type eventKind int
+
+const (
+	evFailure eventKind = iota + 1
+	evRepairDone
+	evActivationDone
+)
+
+type event struct {
+	at   float64 // hours
+	seq  uint64  // tie-break for deterministic ordering
+	kind eventKind
+	res  int
+	gen  uint64 // resource lifecycle generation; stale events are ignored
+}
+
+type eventQueue []event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x any)   { *q = append(*q, x.(event)) }
+func (q *eventQueue) Pop() any     { old := *q; n := len(old); ev := old[n-1]; *q = old[:n-1]; return ev }
+
+// tierSim is the mutable simulation state for one tier replication.
+type tierSim struct {
+	tm     *avail.TierModel
+	rng    *rand.Rand
+	queue  eventQueue
+	seq    uint64
+	state  []resourceState
+	gen    []uint64 // invalidates scheduled events after state changes
+	active int
+	// activeRate is the total failure rate of a serving resource;
+	// spareRate covers only the modes whose components run powered on
+	// idle spares (warm/hot spares).
+	activeRate float64
+	spareRate  float64
+	spareModes []int // indices into tm.Modes with SparePowered
+}
+
+// simulateOnce runs one replication and reports downtime minutes.
+func simulateOnce(tm *avail.TierModel, rng *rand.Rand, years float64) (float64, error) {
+	total := tm.N + tm.S
+	s := &tierSim{
+		tm:    tm,
+		rng:   rng,
+		state: make([]resourceState, total),
+		gen:   make([]uint64, total),
+	}
+	for mi, m := range tm.Modes {
+		rate := 1 / m.MTBF.Hours()
+		s.activeRate += rate
+		if m.SparePowered {
+			s.spareRate += rate
+			s.spareModes = append(s.spareModes, mi)
+		}
+	}
+	for i := 0; i < total; i++ {
+		if i < tm.N {
+			s.state[i] = stateActive
+			s.active++
+			s.scheduleFailure(i, 0, true)
+		} else {
+			s.state[i] = stateIdleSpare
+			s.scheduleFailure(i, 0, false)
+		}
+	}
+	horizon := years * 8760
+	var (
+		now       float64
+		downSince float64
+		downHours float64
+	)
+	down := s.active < tm.M
+	if down {
+		downSince = 0
+	}
+	for s.queue.Len() > 0 {
+		ev := heap.Pop(&s.queue).(event)
+		if ev.at > horizon {
+			break
+		}
+		if ev.gen != s.gen[ev.res] {
+			continue // stale event from a superseded lifecycle
+		}
+		now = ev.at
+		before := s.active < s.tm.M
+		switch ev.kind {
+		case evFailure:
+			s.onFailure(ev.res, now)
+		case evRepairDone:
+			s.onRepairDone(ev.res, now)
+		case evActivationDone:
+			s.onActivationDone(ev.res, now)
+		default:
+			return 0, fmt.Errorf("sim: unknown event kind %d", int(ev.kind))
+		}
+		after := s.active < s.tm.M
+		if !before && after {
+			downSince = now
+		}
+		if before && !after {
+			downHours += now - downSince
+		}
+	}
+	if s.active < tm.M {
+		downHours += horizon - downSince
+	}
+	return downHours * 60, nil
+}
+
+// scheduleFailure samples the next failure of a resource. Serving
+// resources fail under every mode; idle spares only under the modes
+// whose components run powered on spares.
+func (s *tierSim) scheduleFailure(res int, now float64, serving bool) {
+	rate := s.activeRate
+	if !serving {
+		rate = s.spareRate
+	}
+	if rate <= 0 {
+		return
+	}
+	dt := s.rng.ExpFloat64() / rate
+	s.push(event{at: now + dt, kind: evFailure, res: res, gen: s.gen[res]})
+}
+
+func (s *tierSim) push(ev event) {
+	s.seq++
+	ev.seq = s.seq
+	heap.Push(&s.queue, ev)
+}
+
+// pickMode chooses which failure mode struck, proportional to rates,
+// drawing from the spare-powered subset for idle spares.
+func (s *tierSim) pickMode(serving bool) *avail.Mode {
+	if serving {
+		x := s.rng.Float64() * s.activeRate
+		var acc float64
+		for i := range s.tm.Modes {
+			acc += 1 / s.tm.Modes[i].MTBF.Hours()
+			if x <= acc {
+				return &s.tm.Modes[i]
+			}
+		}
+		return &s.tm.Modes[len(s.tm.Modes)-1]
+	}
+	x := s.rng.Float64() * s.spareRate
+	var acc float64
+	for _, mi := range s.spareModes {
+		acc += 1 / s.tm.Modes[mi].MTBF.Hours()
+		if x <= acc {
+			return &s.tm.Modes[mi]
+		}
+	}
+	return &s.tm.Modes[s.spareModes[len(s.spareModes)-1]]
+}
+
+func (s *tierSim) onFailure(res int, now float64) {
+	wasActive := s.state[res] == stateActive
+	mode := s.pickMode(wasActive || s.state[res] == stateActivating)
+	s.gen[res]++ // cancel this resource's pending events
+	if wasActive {
+		s.active--
+	}
+	s.state[res] = stateRepairing
+	if mode.Repair <= 0 {
+		// Instantaneous repair: the resource resumes immediately.
+		s.finishRepair(res, now)
+		return
+	}
+	// Repair and activation durations sample exponentially with the
+	// modelled means, matching §4.2's distributional assumptions (the
+	// steady state is insensitive to the choice, but finite-horizon
+	// comparisons against the analytic engines are not).
+	repair := s.rng.ExpFloat64() * mode.Repair.Hours()
+	s.push(event{at: now + repair, kind: evRepairDone, res: res, gen: s.gen[res]})
+	// Failover: an idle spare starts taking over the failed active's
+	// place when the mode warrants it.
+	if wasActive && mode.UsesFailover {
+		if sp := s.findIdleSpare(); sp >= 0 {
+			s.gen[sp]++
+			s.state[sp] = stateActivating
+			activation := 0.0
+			if mode.Failover > 0 {
+				activation = s.rng.ExpFloat64() * mode.Failover.Hours()
+			}
+			s.push(event{at: now + activation, kind: evActivationDone, res: sp, gen: s.gen[sp]})
+		}
+	}
+}
+
+func (s *tierSim) onRepairDone(res int, now float64) {
+	s.finishRepair(res, now)
+}
+
+// finishRepair returns a repaired resource to service: it rejoins as
+// active if the tier is short of actives, otherwise as an idle spare.
+func (s *tierSim) finishRepair(res int, now float64) {
+	s.gen[res]++
+	if s.active < s.tm.N {
+		s.state[res] = stateActive
+		s.active++
+		s.scheduleFailure(res, now, true)
+		return
+	}
+	s.state[res] = stateIdleSpare
+	s.scheduleFailure(res, now, false)
+}
+
+func (s *tierSim) onActivationDone(res int, now float64) {
+	s.gen[res]++
+	if s.active < s.tm.N {
+		s.state[res] = stateActive
+		s.active++
+		s.scheduleFailure(res, now, true)
+		return
+	}
+	// The slot was refilled while this spare was starting; stand down.
+	s.state[res] = stateIdleSpare
+	s.scheduleFailure(res, now, false)
+}
+
+func (s *tierSim) findIdleSpare() int {
+	for i, st := range s.state {
+		if st == stateIdleSpare {
+			return i
+		}
+	}
+	return -1
+}
+
+// SimulateRestart estimates the mean time (hours) to execute lwHours of
+// useful work when failures arrive as a Poisson process with the given
+// MTBF and each failure restarts the current loss window — the restart
+// law behind the paper's Eq. 1. Failure handling time is excluded, as
+// in the analytic formula.
+func SimulateRestart(seed int64, mtbfHours, lwHours float64, reps int) (float64, error) {
+	if mtbfHours <= 0 || lwHours <= 0 {
+		return 0, fmt.Errorf("sim: restart law needs positive mtbf and loss window, got %v and %v", mtbfHours, lwHours)
+	}
+	if reps < 1 {
+		return 0, fmt.Errorf("sim: need at least one replication, got %d", reps)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	var total float64
+	for r := 0; r < reps; r++ {
+		var elapsed float64
+		for {
+			x := rng.ExpFloat64() * mtbfHours
+			if x >= lwHours {
+				elapsed += lwHours
+				break
+			}
+			elapsed += x
+		}
+		total += elapsed
+	}
+	return total / float64(reps), nil
+}

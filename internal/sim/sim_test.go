@@ -1,0 +1,295 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"aved/internal/avail"
+	"aved/internal/units"
+)
+
+func relClose(a, b, rel float64) bool {
+	if a == b {
+		return true
+	}
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	return math.Abs(a-b) <= rel*scale
+}
+
+func singleMode(n, m, s int, mtbf, repair, failover units.Duration, usesFO bool) avail.TierModel {
+	return avail.TierModel{
+		Name: "t",
+		N:    n,
+		M:    m,
+		S:    s,
+		Modes: []avail.Mode{{
+			Name:         "hw/hard",
+			MTBF:         mtbf,
+			Repair:       repair,
+			Failover:     failover,
+			UsesFailover: usesFO,
+		}},
+	}
+}
+
+func TestNewEngineValidation(t *testing.T) {
+	if _, err := NewEngine(1, 0, 10); err == nil {
+		t.Error("zero years should fail")
+	}
+	if _, err := NewEngine(1, 10, 0); err == nil {
+		t.Error("zero replications should fail")
+	}
+}
+
+func TestSimSingleResourceMatchesTwoStateChain(t *testing.T) {
+	// availability = mtbf/(mtbf+repair); long horizon tightens the
+	// estimate.
+	mtbf := 30 * units.Day
+	repair := 12 * units.Hour
+	tm := singleMode(1, 1, 0, mtbf, repair, 0, false)
+	eng, err := NewEngine(1, 2000, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.Evaluate([]avail.TierModel{tm})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := repair.Hours() / (mtbf.Hours() + repair.Hours()) * avail.MinutesPerYear
+	if !relClose(res.DowntimeMinutes, want, 0.05) {
+		t.Errorf("sim downtime = %v, analytic %v", res.DowntimeMinutes, want)
+	}
+}
+
+func TestSimDeterministicForSeed(t *testing.T) {
+	tm := singleMode(2, 2, 1, 100*units.Day, 10*units.Hour, 10*units.Minute, true)
+	e1, err := NewEngine(42, 100, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, err := NewEngine(42, 100, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := e1.Evaluate([]avail.TierModel{tm})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := e2.Evaluate([]avail.TierModel{tm})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.DowntimeMinutes != r2.DowntimeMinutes {
+		t.Errorf("same seed gave %v and %v", r1.DowntimeMinutes, r2.DowntimeMinutes)
+	}
+	e3, err := NewEngine(43, 100, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r3, err := e3.Evaluate([]avail.TierModel{tm})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r3.DowntimeMinutes == r1.DowntimeMinutes {
+		t.Error("different seeds should almost surely differ")
+	}
+}
+
+func TestSimCrossValidatesMarkovNoRedundancy(t *testing.T) {
+	// n = m = 3, no spares, two failure modes: the simulator couples the
+	// modes on a shared pool; agreement within a few percent validates
+	// the analytic decomposition.
+	tm := avail.TierModel{
+		Name: "app",
+		N:    3,
+		M:    3,
+		Modes: []avail.Mode{
+			{Name: "hw/hard", MTBF: 650 * units.Day, Repair: 38 * units.Hour},
+			{Name: "os/soft", MTBF: 60 * units.Day, Repair: 4 * units.Minute},
+		},
+	}
+	analytic, err := avail.MarkovEngine{}.Evaluate([]avail.TierModel{tm})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := NewEngine(7, 3000, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	simres, err := eng.Evaluate([]avail.TierModel{tm})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !relClose(simres.DowntimeMinutes, analytic.DowntimeMinutes, 0.06) {
+		t.Errorf("sim %v vs markov %v (want within 6%%)", simres.DowntimeMinutes, analytic.DowntimeMinutes)
+	}
+}
+
+func TestSimCrossValidatesMarkovWithSpare(t *testing.T) {
+	// A spare absorbing hard failures: downtime is failover transients
+	// plus rare overlaps. This exercises the transient accounting.
+	tm := singleMode(2, 2, 1, 650*units.Day, 38*units.Hour, units.Duration(6*units.Minute+30*units.Second), true)
+	analytic, err := avail.MarkovEngine{}.Evaluate([]avail.TierModel{tm})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := NewEngine(11, 20000, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	simres, err := eng.Evaluate([]avail.TierModel{tm})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !relClose(simres.DowntimeMinutes, analytic.DowntimeMinutes, 0.10) {
+		t.Errorf("sim %v vs markov %v (want within 10%%)", simres.DowntimeMinutes, analytic.DowntimeMinutes)
+	}
+}
+
+func TestSimCrossValidatesMarkovHeadroom(t *testing.T) {
+	// n = 3, m = 2: downtime only from overlapping repairs.
+	tm := singleMode(3, 2, 0, 100*units.Day, 24*units.Hour, 0, false)
+	analytic, err := avail.MarkovEngine{}.Evaluate([]avail.TierModel{tm})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := NewEngine(13, 20000, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	simres, err := eng.Evaluate([]avail.TierModel{tm})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !relClose(simres.DowntimeMinutes, analytic.DowntimeMinutes, 0.10) {
+		t.Errorf("sim %v vs markov %v (want within 10%%)", simres.DowntimeMinutes, analytic.DowntimeMinutes)
+	}
+}
+
+func TestSimStatsConfidence(t *testing.T) {
+	tm := singleMode(1, 1, 0, 30*units.Day, 12*units.Hour, 0, false)
+	eng, err := NewEngine(5, 200, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := eng.SimulateTier(&tm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.MeanMinutes <= 0 {
+		t.Error("mean downtime should be positive")
+	}
+	if stats.HalfWidth95 <= 0 {
+		t.Error("confidence half-width should be positive with 16 replications")
+	}
+	want := 12.0 / (30*24 + 12) * avail.MinutesPerYear
+	if math.Abs(stats.MeanMinutes-want) > 4*stats.HalfWidth95 {
+		t.Errorf("mean %v outside 4 half-widths (%v) of analytic %v", stats.MeanMinutes, stats.HalfWidth95, want)
+	}
+}
+
+func TestSimSeriesComposition(t *testing.T) {
+	tm := singleMode(1, 1, 0, 60*units.Day, 6*units.Hour, 0, false)
+	eng, err := NewEngine(3, 500, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.Evaluate([]avail.TierModel{tm, tm})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Tiers) != 2 {
+		t.Fatalf("tiers = %d, want 2", len(res.Tiers))
+	}
+	product := res.Tiers[0].Availability * res.Tiers[1].Availability
+	if !relClose(res.Availability, product, 1e-12) {
+		t.Errorf("series availability %v, want product %v", res.Availability, product)
+	}
+}
+
+func TestSimValidation(t *testing.T) {
+	eng, err := NewEngine(1, 10, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Evaluate(nil); err == nil {
+		t.Error("empty evaluation should fail")
+	}
+	bad := singleMode(0, 1, 0, units.Day, units.Hour, 0, false)
+	if _, err := eng.Evaluate([]avail.TierModel{bad}); err == nil {
+		t.Error("invalid tier should fail")
+	}
+}
+
+func TestSimulateRestartMatchesRestartLaw(t *testing.T) {
+	// E[T] = mtbf · (e^{lw/mtbf} − 1), the closed form behind Eq. 1.
+	mtbf, lw := 100.0, 50.0
+	got, err := SimulateRestart(17, mtbf, lw, 200000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := mtbf * (math.Exp(lw/mtbf) - 1)
+	if !relClose(got, want, 0.02) {
+		t.Errorf("restart sim %v vs closed form %v", got, want)
+	}
+}
+
+func TestSimulateRestartShortWindow(t *testing.T) {
+	// lw << mtbf: almost never fails, E[T] ≈ lw.
+	got, err := SimulateRestart(19, 1000, 1, 50000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !relClose(got, 1.0005, 0.01) {
+		t.Errorf("restart sim %v, want ≈ 1", got)
+	}
+}
+
+func TestSimulateRestartValidation(t *testing.T) {
+	if _, err := SimulateRestart(1, 0, 1, 10); err == nil {
+		t.Error("zero mtbf should fail")
+	}
+	if _, err := SimulateRestart(1, 1, 0, 10); err == nil {
+		t.Error("zero loss window should fail")
+	}
+	if _, err := SimulateRestart(1, 1, 1, 0); err == nil {
+		t.Error("zero reps should fail")
+	}
+}
+
+func TestShortHorizonSimMatchesMissionAnalysis(t *testing.T) {
+	// A short simulation horizon starting all-up matches the
+	// transient-aware mission analysis better than the steady state:
+	// both account for the failure-free early life.
+	tm := singleMode(1, 1, 0, 60*units.Day, 48*units.Hour, 0, false)
+	horizon := 0.1 // years (~37 days, under one MTBF)
+	eng, err := NewEngine(21, horizon, 4000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := eng.SimulateTier(&tm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mission, err := avail.MissionDowntime(&tm, horizon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	steadyRes, err := avail.MarkovEngine{}.Evaluate([]avail.TierModel{tm})
+	if err != nil {
+		t.Fatal(err)
+	}
+	steady := steadyRes.DowntimeMinutes
+	if !(mission < steady) {
+		t.Fatalf("mission %v should undercut steady %v on a short horizon", mission, steady)
+	}
+	missErr := math.Abs(stats.MeanMinutes - mission)
+	steadyErr := math.Abs(stats.MeanMinutes - steady)
+	if missErr >= steadyErr {
+		t.Errorf("sim %v: mission analysis (%v, err %v) should beat steady state (%v, err %v)",
+			stats.MeanMinutes, mission, missErr, steady, steadyErr)
+	}
+	if !relClose(stats.MeanMinutes, mission, 0.10) {
+		t.Errorf("sim %v vs mission %v (want within 10%%)", stats.MeanMinutes, mission)
+	}
+}

@@ -1,0 +1,135 @@
+package spec
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ValueKind identifies how an attribute value was written.
+type ValueKind int
+
+// Value kinds.
+const (
+	ValueWord    ValueKind = iota + 1 // bare word: number, name, file reference
+	ValueBracket                      // [ ... ] list or range, raw text preserved
+	ValueRef                          // <name> mechanism reference
+)
+
+// Value is the right-hand side of an attribute.
+type Value struct {
+	Kind ValueKind
+	Text string // word text, raw bracket contents, or reference name
+	Pos  Pos
+}
+
+// IsRef reports whether the value is a <name> mechanism reference.
+func (v Value) IsRef() bool { return v.Kind == ValueRef }
+
+// Items splits a bracketed value into its elements. Comma-separated
+// contents split on commas ("bronze,silver,gold,platinum"); otherwise
+// the contents split on spaces ("2400 2640", "38h 15h 8h 6h"). Word
+// values yield a single-element slice so scalar and one-element list
+// attributes are interchangeable.
+func (v Value) Items() []string {
+	switch v.Kind {
+	case ValueBracket:
+		if strings.Contains(v.Text, ",") {
+			parts := strings.Split(v.Text, ",")
+			out := make([]string, 0, len(parts))
+			for _, p := range parts {
+				if t := strings.TrimSpace(p); t != "" {
+					out = append(out, t)
+				}
+			}
+			return out
+		}
+		if v.Text == "" {
+			return nil
+		}
+		return strings.Fields(v.Text)
+	case ValueWord:
+		return []string{v.Text}
+	default:
+		return nil
+	}
+}
+
+// String renders the value in spec notation.
+func (v Value) String() string {
+	switch v.Kind {
+	case ValueBracket:
+		return "[" + v.Text + "]"
+	case ValueRef:
+		return "<" + v.Text + ">"
+	default:
+		return v.Text
+	}
+}
+
+// Attr is one key(args)=value attribute of a clause.
+type Attr struct {
+	Key   string
+	Args  []string // contents of the optional parenthesised argument list
+	Value Value
+	Pos   Pos
+}
+
+// String renders the attribute in spec notation.
+func (a Attr) String() string {
+	if len(a.Args) > 0 {
+		return fmt.Sprintf("%s(%s)=%s", a.Key, strings.Join(a.Args, ","), a.Value)
+	}
+	return fmt.Sprintf("%s=%s", a.Key, a.Value)
+}
+
+// Clause is one head attribute plus its trailing attributes:
+// "component=machineA cost=0" parses to
+// Clause{Key: "component", Name: "machineA", Attrs: [cost=0]}.
+type Clause struct {
+	Key   string
+	Name  string
+	Attrs []Attr
+	Pos   Pos
+}
+
+// Attr reports the first attribute with the given key, if present.
+func (c *Clause) Attr(key string) (Attr, bool) {
+	for _, a := range c.Attrs {
+		if a.Key == key {
+			return a, true
+		}
+	}
+	return Attr{}, false
+}
+
+// HasAttr reports whether the clause carries an attribute with the key.
+func (c *Clause) HasAttr(key string) bool {
+	_, ok := c.Attr(key)
+	return ok
+}
+
+// String renders the clause head and attributes on one line.
+func (c *Clause) String() string {
+	parts := make([]string, 0, 1+len(c.Attrs))
+	parts = append(parts, c.Key+"="+c.Name)
+	for _, a := range c.Attrs {
+		parts = append(parts, a.String())
+	}
+	return strings.Join(parts, " ")
+}
+
+// Document is a parsed specification: the ordered clause stream.
+type Document struct {
+	Clauses []Clause
+}
+
+// ClausesWithKey reports the clauses whose head key matches.
+func (d *Document) ClausesWithKey(key string) []Clause {
+	var out []Clause
+	for _, c := range d.Clauses {
+		if c.Key == key {
+			out = append(out, c)
+		}
+	}
+	return out
+}

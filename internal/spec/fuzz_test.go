@@ -1,0 +1,79 @@
+package spec
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse checks that the lexer and parser never panic, and that any
+// successfully parsed document renders and reparses to the same clause
+// structure. Run with `go test -fuzz FuzzParse ./internal/spec` for a
+// real campaign; the seed corpus runs as a regular test.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"",
+		"component=machineA cost=0",
+		"component=machineA cost([inactive,active])=[2400 2640]\nfailure=hard mtbf=650d mttr=<maintenanceA> detect_time=2m",
+		"mechanism=checkpoint param=storage_location range=[central,peer] param=checkpoint_interval range=[1m-24h;*1.05] cost=0 loss_window=checkpoint_interval",
+		"resource=rA reconfig_time=0 component=machineA depend=null startup=30s",
+		"application=scientific jobsize=10000 tier=computation resource=rH sizing=static failurescope=tier nActive=[1-1000,+1] performance(nActive)=perfH.dat",
+		"\\\\ comment only",
+		"a=1",
+		"component=",
+		"component=x cost=[",
+		"component=x cost=<",
+		"component=x cost=]",
+		"mechanism=m mperformance(a, b)=f.dat",
+		"tier=t\n\n\ntier=u",
+		"component=x cost=0 \\\\ trailing comment\nfailure=f mtbf=1d mttr=0 detect_time=0",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		doc, err := Parse(src)
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		// Render and reparse: the clause structure must survive.
+		var sb strings.Builder
+		for i, c := range doc.Clauses {
+			if i > 0 {
+				sb.WriteByte('\n')
+			}
+			sb.WriteString(c.String())
+		}
+		doc2, err := Parse(sb.String())
+		if err != nil {
+			t.Fatalf("rendered document failed to reparse: %v\nsource: %q\nrendered: %q", err, src, sb.String())
+		}
+		if len(doc2.Clauses) != len(doc.Clauses) {
+			t.Fatalf("clause count changed: %d → %d\nsource: %q", len(doc.Clauses), len(doc2.Clauses), src)
+		}
+		for i := range doc.Clauses {
+			if doc.Clauses[i].Key != doc2.Clauses[i].Key || doc.Clauses[i].Name != doc2.Clauses[i].Name {
+				t.Fatalf("clause %d head changed: %s=%s → %s=%s",
+					i, doc.Clauses[i].Key, doc.Clauses[i].Name, doc2.Clauses[i].Key, doc2.Clauses[i].Name)
+			}
+			if len(doc.Clauses[i].Attrs) != len(doc2.Clauses[i].Attrs) {
+				t.Fatalf("clause %d attr count changed", i)
+			}
+		}
+	})
+}
+
+// FuzzLex checks the tokenizer in isolation.
+func FuzzLex(f *testing.F) {
+	for _, s := range []string{"", "a=b", "[x", "<y", "a=[1 2]", "(,)", "=", "\\\\c\n"} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		toks, err := Lex(src)
+		if err != nil {
+			return
+		}
+		if len(toks) == 0 || toks[len(toks)-1].Kind != TokenEOF {
+			t.Fatalf("token stream not EOF-terminated for %q", src)
+		}
+	})
+}

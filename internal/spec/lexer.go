@@ -1,0 +1,202 @@
+package spec
+
+import (
+	"strings"
+	"unicode"
+)
+
+// lexer walks the source text and emits tokens. It is written as a
+// simple byte scanner: the spec language is ASCII in practice, but word
+// characters admit any non-delimiter rune so unicode names lex cleanly.
+type lexer struct {
+	src  string
+	off  int
+	line int
+	col  int
+}
+
+func newLexer(src string) *lexer {
+	return &lexer{src: src, line: 1, col: 1}
+}
+
+// Lex tokenises the whole input, returning the token stream terminated
+// by an EOF token.
+func Lex(src string) ([]Token, error) {
+	lx := newLexer(src)
+	var toks []Token
+	for {
+		tok, err := lx.next()
+		if err != nil {
+			return nil, err
+		}
+		toks = append(toks, tok)
+		if tok.Kind == TokenEOF {
+			return toks, nil
+		}
+	}
+}
+
+func (l *lexer) pos() Pos { return Pos{Line: l.line, Col: l.col} }
+
+func (l *lexer) peek() byte {
+	if l.off >= len(l.src) {
+		return 0
+	}
+	return l.src[l.off]
+}
+
+func (l *lexer) peekAt(k int) byte {
+	if l.off+k >= len(l.src) {
+		return 0
+	}
+	return l.src[l.off+k]
+}
+
+func (l *lexer) advance() byte {
+	c := l.src[l.off]
+	l.off++
+	if c == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return c
+}
+
+// skipSpaceAndComments consumes whitespace (including newlines) and
+// `\\ …` comments.
+func (l *lexer) skipSpaceAndComments() {
+	for l.off < len(l.src) {
+		c := l.peek()
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			l.advance()
+		case c == '\\' && l.peekAt(1) == '\\':
+			for l.off < len(l.src) && l.peek() != '\n' {
+				l.advance()
+			}
+		default:
+			return
+		}
+	}
+}
+
+// isWord reports whether s is a non-empty run of word bytes — text
+// that lexes back to a single word token.
+func isWord(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		if !isWordByte(s[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func isWordByte(c byte) bool {
+	switch c {
+	case 0, ' ', '\t', '\r', '\n', '=', '(', ')', ',', '[', ']', '<', '>', '\\':
+		return false
+	}
+	return true
+}
+
+func (l *lexer) next() (Token, error) {
+	l.skipSpaceAndComments()
+	start := l.pos()
+	if l.off >= len(l.src) {
+		return Token{Kind: TokenEOF, Pos: start}, nil
+	}
+	switch c := l.peek(); c {
+	case '=':
+		l.advance()
+		return Token{Kind: TokenAssign, Text: "=", Pos: start}, nil
+	case '(':
+		l.advance()
+		return Token{Kind: TokenLParen, Text: "(", Pos: start}, nil
+	case ')':
+		l.advance()
+		return Token{Kind: TokenRParen, Text: ")", Pos: start}, nil
+	case ',':
+		l.advance()
+		return Token{Kind: TokenComma, Text: ",", Pos: start}, nil
+	case '[':
+		return l.lexBracket(start)
+	case '<':
+		return l.lexRef(start)
+	case ']':
+		return Token{}, errorAt(start, "unexpected ']' with no matching '['")
+	case '>':
+		return Token{}, errorAt(start, "unexpected '>' with no matching '<'")
+	default:
+		return l.lexWord(start)
+	}
+}
+
+// lexBracket consumes a [ ... ] group, preserving the raw inner text.
+// Nested brackets are not part of the language and are rejected.
+func (l *lexer) lexBracket(start Pos) (Token, error) {
+	l.advance() // consume '['
+	var sb strings.Builder
+	for l.off < len(l.src) {
+		c := l.peek()
+		switch c {
+		case ']':
+			l.advance()
+			return Token{Kind: TokenBracket, Text: normalizeSpace(sb.String()), Pos: start}, nil
+		case '[':
+			return Token{}, errorAt(l.pos(), "nested '[' inside bracket group")
+		case '\n':
+			// Bracket groups may wrap across lines in the listings.
+			l.advance()
+			sb.WriteByte(' ')
+		default:
+			sb.WriteByte(l.advance())
+		}
+	}
+	return Token{}, errorAt(start, "unterminated bracket group")
+}
+
+// lexRef consumes a <name> mechanism reference.
+func (l *lexer) lexRef(start Pos) (Token, error) {
+	l.advance() // consume '<'
+	var sb strings.Builder
+	for l.off < len(l.src) {
+		c := l.peek()
+		if c == '>' {
+			l.advance()
+			name := strings.TrimSpace(sb.String())
+			if name == "" {
+				return Token{}, errorAt(start, "empty <> reference")
+			}
+			return Token{Kind: TokenRef, Text: name, Pos: start}, nil
+		}
+		if c == '\n' {
+			return Token{}, errorAt(start, "unterminated <> reference")
+		}
+		sb.WriteByte(l.advance())
+	}
+	return Token{}, errorAt(start, "unterminated <> reference")
+}
+
+func (l *lexer) lexWord(start Pos) (Token, error) {
+	var sb strings.Builder
+	for l.off < len(l.src) && isWordByte(l.peek()) {
+		sb.WriteByte(l.advance())
+	}
+	w := sb.String()
+	if w == "" {
+		return Token{}, errorAt(start, "unexpected character %q", string(l.peek()))
+	}
+	return Token{Kind: TokenWord, Text: w, Pos: start}, nil
+}
+
+// normalizeSpace collapses runs of whitespace to single spaces and trims
+// the ends, so bracket contents compare stably.
+func normalizeSpace(s string) string {
+	fields := strings.FieldsFunc(s, unicode.IsSpace)
+	return strings.Join(fields, " ")
+}

@@ -1,0 +1,116 @@
+package spec
+
+import (
+	"strings"
+	"testing"
+)
+
+func kinds(toks []Token) []TokenKind {
+	out := make([]TokenKind, len(toks))
+	for i, t := range toks {
+		out[i] = t.Kind
+	}
+	return out
+}
+
+func TestLexSimpleAttr(t *testing.T) {
+	toks, err := Lex("component=machineA cost=0")
+	if err != nil {
+		t.Fatalf("Lex error: %v", err)
+	}
+	want := []TokenKind{TokenWord, TokenAssign, TokenWord, TokenWord, TokenAssign, TokenWord, TokenEOF}
+	got := kinds(toks)
+	if len(got) != len(want) {
+		t.Fatalf("token count = %d, want %d: %v", len(got), len(want), toks)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("token %d kind = %v, want %v", i, got[i], want[i])
+		}
+	}
+	if toks[0].Text != "component" || toks[2].Text != "machineA" {
+		t.Errorf("unexpected words: %q %q", toks[0].Text, toks[2].Text)
+	}
+}
+
+func TestLexBracketGroup(t *testing.T) {
+	toks, err := Lex("cost([inactive,active])=[2400 2640]")
+	if err != nil {
+		t.Fatalf("Lex error: %v", err)
+	}
+	// cost ( [inactive,active] ) = [2400 2640] EOF
+	want := []TokenKind{TokenWord, TokenLParen, TokenBracket, TokenRParen, TokenAssign, TokenBracket, TokenEOF}
+	got := kinds(toks)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("token %d kind = %v, want %v (toks=%v)", i, got[i], want[i], toks)
+		}
+	}
+	if toks[2].Text != "inactive,active" {
+		t.Errorf("bracket contents = %q", toks[2].Text)
+	}
+	if toks[5].Text != "2400 2640" {
+		t.Errorf("bracket contents = %q", toks[5].Text)
+	}
+}
+
+func TestLexRef(t *testing.T) {
+	toks, err := Lex("mttr=<maintenanceA>")
+	if err != nil {
+		t.Fatalf("Lex error: %v", err)
+	}
+	if toks[2].Kind != TokenRef || toks[2].Text != "maintenanceA" {
+		t.Errorf("ref token = %+v", toks[2])
+	}
+}
+
+func TestLexComments(t *testing.T) {
+	src := "\\\\ Units - s:seconds\ncomponent=linux cost=0 \\\\ trailing\nfailure=soft"
+	toks, err := Lex(src)
+	if err != nil {
+		t.Fatalf("Lex error: %v", err)
+	}
+	var words []string
+	for _, tok := range toks {
+		if tok.Kind == TokenWord {
+			words = append(words, tok.Text)
+		}
+	}
+	want := []string{"component", "linux", "cost", "0", "failure", "soft"}
+	if strings.Join(words, " ") != strings.Join(want, " ") {
+		t.Errorf("words = %v, want %v", words, want)
+	}
+}
+
+func TestLexPositions(t *testing.T) {
+	toks, err := Lex("a=1\nbb=2")
+	if err != nil {
+		t.Fatalf("Lex error: %v", err)
+	}
+	if toks[0].Pos != (Pos{Line: 1, Col: 1}) {
+		t.Errorf("first token pos = %v", toks[0].Pos)
+	}
+	if toks[3].Pos != (Pos{Line: 2, Col: 1}) {
+		t.Errorf("second-line token pos = %v", toks[3].Pos)
+	}
+}
+
+func TestLexMultilineBracket(t *testing.T) {
+	toks, err := Lex("range=[bronze,\n  silver]")
+	if err != nil {
+		t.Fatalf("Lex error: %v", err)
+	}
+	if toks[2].Kind != TokenBracket || toks[2].Text != "bronze, silver" {
+		t.Errorf("bracket = %+v", toks[2])
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	for _, src := range []string{"a=[1", "a=<x", "a=]", "a=>", "a=[[1]]", "a=<x\n>"} {
+		t.Run(src, func(t *testing.T) {
+			if _, err := Lex(src); err == nil {
+				t.Errorf("Lex(%q) succeeded, want error", src)
+			}
+		})
+	}
+}

@@ -1,0 +1,166 @@
+package spec
+
+// clauseHeads are the keywords that begin a new clause. Any other
+// key=value pair attaches to the clause currently being parsed.
+var clauseHeads = map[string]bool{
+	"component":   true,
+	"failure":     true,
+	"mechanism":   true,
+	"param":       true,
+	"resource":    true,
+	"tier":        true,
+	"application": true,
+}
+
+// Parse lexes and parses a complete specification source text.
+func Parse(src string) (*Document, error) {
+	toks, err := Lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	return p.parseDocument()
+}
+
+type parser struct {
+	toks []Token
+	off  int
+}
+
+func (p *parser) peek() Token { return p.toks[p.off] }
+func (p *parser) next() Token { t := p.toks[p.off]; p.off++; return t }
+func (p *parser) atEOF() bool { return p.peek().Kind == TokenEOF }
+
+func (p *parser) expect(kind TokenKind) (Token, error) {
+	t := p.next()
+	if t.Kind != kind {
+		return Token{}, errorAt(t.Pos, "want %s, got %s %q", kind, t.Kind, t.Text)
+	}
+	return t, nil
+}
+
+func (p *parser) parseDocument() (*Document, error) {
+	doc := &Document{}
+	for !p.atEOF() {
+		clause, err := p.parseClause()
+		if err != nil {
+			return nil, err
+		}
+		doc.Clauses = append(doc.Clauses, clause)
+	}
+	return doc, nil
+}
+
+// parseClause consumes one clause: a head key=name pair followed by
+// attributes up to (not including) the next clause head or EOF.
+func (p *parser) parseClause() (Clause, error) {
+	head := p.peek()
+	if head.Kind != TokenWord || !clauseHeads[head.Text] {
+		return Clause{}, errorAt(head.Pos,
+			"want a clause keyword (component, failure, mechanism, param, resource, tier, application), got %q", head.Text)
+	}
+	headAttr, err := p.parseAttr()
+	if err != nil {
+		return Clause{}, err
+	}
+	if len(headAttr.Args) > 0 {
+		return Clause{}, errorAt(headAttr.Pos, "clause head %q cannot take arguments", headAttr.Key)
+	}
+	if headAttr.Value.Kind != ValueWord {
+		return Clause{}, errorAt(headAttr.Value.Pos, "clause head %q needs a bare name, got %s", headAttr.Key, headAttr.Value)
+	}
+	clause := Clause{Key: headAttr.Key, Name: headAttr.Value.Text, Pos: headAttr.Pos}
+	for !p.atEOF() {
+		t := p.peek()
+		if t.Kind == TokenWord && clauseHeads[t.Text] {
+			break
+		}
+		attr, err := p.parseAttr()
+		if err != nil {
+			return Clause{}, err
+		}
+		clause.Attrs = append(clause.Attrs, attr)
+	}
+	return clause, nil
+}
+
+// parseAttr consumes key [ "(" args ")" ] "=" value.
+func (p *parser) parseAttr() (Attr, error) {
+	key, err := p.expect(TokenWord)
+	if err != nil {
+		return Attr{}, err
+	}
+	attr := Attr{Key: key.Text, Pos: key.Pos}
+	if p.peek().Kind == TokenLParen {
+		args, err := p.parseArgs()
+		if err != nil {
+			return Attr{}, err
+		}
+		attr.Args = args
+	}
+	if _, err := p.expect(TokenAssign); err != nil {
+		return Attr{}, errorAt(key.Pos, "attribute %q: %v", key.Text, err)
+	}
+	val, err := p.parseValue()
+	if err != nil {
+		return Attr{}, err
+	}
+	attr.Value = val
+	return attr, nil
+}
+
+// parseArgs consumes "(" item { "," item } ")" where an item is a word
+// or a bracketed list whose elements splice into the argument list, as
+// in cost([inactive,active]).
+func (p *parser) parseArgs() ([]string, error) {
+	if _, err := p.expect(TokenLParen); err != nil {
+		return nil, err
+	}
+	var args []string
+	for {
+		t := p.next()
+		switch t.Kind {
+		case TokenWord:
+			args = append(args, t.Text)
+		case TokenBracket:
+			items := Value{Kind: ValueBracket, Text: t.Text, Pos: t.Pos}.Items()
+			if len(items) == 0 {
+				return nil, errorAt(t.Pos, "empty bracket group in argument list")
+			}
+			for _, it := range items {
+				if !isWord(it) {
+					return nil, errorAt(t.Pos, "argument %q is not a plain name", it)
+				}
+			}
+			args = append(args, items...)
+		case TokenRParen:
+			// Reached only before the first item or right after a comma.
+			return nil, errorAt(t.Pos, "empty argument in list")
+		default:
+			return nil, errorAt(t.Pos, "want argument, got %s %q", t.Kind, t.Text)
+		}
+		switch sep := p.peek(); sep.Kind {
+		case TokenComma:
+			p.next()
+		case TokenRParen:
+			p.next()
+			return args, nil
+		default:
+			return nil, errorAt(sep.Pos, "want ',' or ')' in argument list, got %s %q", sep.Kind, sep.Text)
+		}
+	}
+}
+
+func (p *parser) parseValue() (Value, error) {
+	t := p.next()
+	switch t.Kind {
+	case TokenWord:
+		return Value{Kind: ValueWord, Text: t.Text, Pos: t.Pos}, nil
+	case TokenBracket:
+		return Value{Kind: ValueBracket, Text: t.Text, Pos: t.Pos}, nil
+	case TokenRef:
+		return Value{Kind: ValueRef, Text: t.Text, Pos: t.Pos}, nil
+	default:
+		return Value{}, errorAt(t.Pos, "want a value, got %s %q", t.Kind, t.Text)
+	}
+}

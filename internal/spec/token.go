@@ -1,0 +1,92 @@
+// Package spec implements the structured attribute–value specification
+// language that Aved uses for infrastructure and service models (the
+// format of Figs. 3, 4 and 5 in the paper).
+//
+// The language is a flat stream of clauses. Each clause begins with a
+// head attribute (component=machineA, failure=hard, mechanism=checkpoint,
+// resource=rA, tier=web, application=ecommerce, param=level, …) followed
+// by any number of attributes:
+//
+//	key=value
+//	key(arg,arg)=value
+//	key=[v1 v2 …]        bracketed list or range
+//	key=<name>           reference to an availability mechanism
+//
+// Comments run from `\\` to end of line. Newlines are insignificant:
+// clause boundaries are determined by clause-head keywords, which allows
+// the wrapped long lines that appear in the paper's listings.
+//
+// The package produces a generic parse tree (Document/Clause/Attr);
+// binding clauses into typed infrastructure and service models is the
+// job of package model.
+package spec
+
+import "fmt"
+
+// TokenKind identifies the lexical class of a token.
+type TokenKind int
+
+// Token kinds. EOF marks the end of input.
+const (
+	TokenWord TokenKind = iota + 1 // bare word: names, numbers, file refs
+	TokenAssign
+	TokenLParen
+	TokenRParen
+	TokenComma
+	TokenBracket // [ ... ] with Text holding the raw inner contents
+	TokenRef     // <name> with Text holding the name
+	TokenEOF
+)
+
+func (k TokenKind) String() string {
+	switch k {
+	case TokenWord:
+		return "word"
+	case TokenAssign:
+		return "'='"
+	case TokenLParen:
+		return "'('"
+	case TokenRParen:
+		return "')'"
+	case TokenComma:
+		return "','"
+	case TokenBracket:
+		return "bracket group"
+	case TokenRef:
+		return "reference"
+	case TokenEOF:
+		return "end of input"
+	default:
+		return fmt.Sprintf("TokenKind(%d)", int(k))
+	}
+}
+
+// Pos locates a token in the source text for error reporting.
+type Pos struct {
+	Line int // 1-based line number
+	Col  int // 1-based column (byte offset within the line)
+}
+
+// String renders the position as "line:col".
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// Token is a single lexical element.
+type Token struct {
+	Kind TokenKind
+	Text string // word text, bracket contents, or reference name
+	Pos  Pos
+}
+
+// ParseError reports a lexical or syntactic problem with its location.
+type ParseError struct {
+	Pos Pos
+	Msg string
+}
+
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("spec:%s: %s", e.Pos, e.Msg)
+}
+
+func errorAt(pos Pos, format string, args ...any) error {
+	return &ParseError{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}

@@ -1,0 +1,129 @@
+package sweep
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"aved/internal/core"
+	"aved/internal/model"
+	"aved/internal/units"
+)
+
+// Fig6Point is one cell of the Fig. 6 requirement plane: the optimal
+// design at a (load, max-downtime) requirement.
+type Fig6Point struct {
+	Load            float64
+	BudgetMinutes   float64
+	Family          Family
+	Stack           string // component stack, as in the figure's legend
+	DowntimeMinutes float64
+	Cost            units.Money
+	NActive         int
+}
+
+// Fig6Curve is one design family's trace: the family's estimated
+// downtime at each load where it is the optimal choice for some
+// requirement.
+type Fig6Curve struct {
+	Family Family
+	Stack  string
+	// Loads and Downtimes are parallel, ascending in load.
+	Loads     []float64
+	Downtimes []float64
+}
+
+// Fig6Result collects the whole sweep.
+type Fig6Result struct {
+	Points []Fig6Point
+	Curves []Fig6Curve
+}
+
+// Fig6 sweeps the requirement plane: for every load and every downtime
+// budget it solves for the optimal design and classifies it into a
+// family. The per-family curves reproduce the structure of Fig. 6:
+// each curve traces the downtime estimate of a family across the loads
+// where it is optimal for some requirement level.
+func Fig6(solver *core.Solver, loads, budgetsMinutes []float64) (*Fig6Result, error) {
+	if len(loads) == 0 || len(budgetsMinutes) == 0 {
+		return nil, fmt.Errorf("sweep: fig6 needs non-empty load and budget grids")
+	}
+	res := &Fig6Result{}
+	type curveKey struct {
+		fam  Family
+		load float64
+	}
+	seen := map[curveKey]float64{} // family+load → downtime estimate
+	for _, load := range loads {
+		for _, budget := range budgetsMinutes {
+			sol, err := solver.Solve(model.Requirements{
+				Kind:              model.ReqEnterprise,
+				Throughput:        load,
+				MaxAnnualDowntime: units.Duration(budget * float64(units.Minute)),
+			})
+			if err != nil {
+				var infErr *core.InfeasibleError
+				if errors.As(err, &infErr) {
+					continue // this corner of the plane has no design
+				}
+				return nil, fmt.Errorf("sweep: fig6 at load %v budget %v: %w", load, budget, err)
+			}
+			td := &sol.Design.Tiers[0]
+			fam := FamilyOf(td)
+			res.Points = append(res.Points, Fig6Point{
+				Load:            load,
+				BudgetMinutes:   budget,
+				Family:          fam,
+				Stack:           Stack(td),
+				DowntimeMinutes: sol.DowntimeMinutes,
+				Cost:            sol.Cost,
+				NActive:         td.NActive,
+			})
+			seen[curveKey{fam, load}] = sol.DowntimeMinutes
+		}
+	}
+	// Build the family curves.
+	byFamily := map[Family]map[float64]float64{}
+	stacks := map[Family]string{}
+	for _, p := range res.Points {
+		m, ok := byFamily[p.Family]
+		if !ok {
+			m = map[float64]float64{}
+			byFamily[p.Family] = m
+			stacks[p.Family] = p.Stack
+		}
+		m[p.Load] = seen[curveKey{p.Family, p.Load}]
+	}
+	for fam, m := range byFamily {
+		curve := Fig6Curve{Family: fam, Stack: stacks[fam]}
+		loadsSorted := make([]float64, 0, len(m))
+		for l := range m {
+			loadsSorted = append(loadsSorted, l)
+		}
+		sort.Float64s(loadsSorted)
+		for _, l := range loadsSorted {
+			curve.Loads = append(curve.Loads, l)
+			curve.Downtimes = append(curve.Downtimes, m[l])
+		}
+		res.Curves = append(res.Curves, curve)
+	}
+	sort.Slice(res.Curves, func(i, j int) bool {
+		return curveOrder(res.Curves[i]) > curveOrder(res.Curves[j])
+	})
+	return res, nil
+}
+
+// curveOrder sorts curves from highest downtime to lowest, matching
+// the figure's top-to-bottom family numbering.
+func curveOrder(c Fig6Curve) float64 {
+	if len(c.Downtimes) == 0 {
+		return 0
+	}
+	max := c.Downtimes[0]
+	for _, d := range c.Downtimes {
+		if d > max {
+			max = d
+		}
+	}
+	return max
+}

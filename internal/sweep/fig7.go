@@ -1,0 +1,69 @@
+package sweep
+
+import (
+	"errors"
+	"fmt"
+
+	"aved/internal/core"
+	"aved/internal/model"
+	"aved/internal/units"
+)
+
+// Fig7Point is one sample of the scientific-application sweep: the
+// optimal design at a job-completion-time requirement.
+type Fig7Point struct {
+	RequirementHours float64
+	Resource         string
+	Stack            string
+	NActive          int
+	NSpare           int
+	CheckpointHours  float64
+	StorageLocation  string
+	JobTimeHours     float64
+	Cost             units.Money
+}
+
+// Fig7 sweeps the job-time requirement axis of Fig. 7: for each
+// requirement it solves for the optimal design and records the
+// dimensions the figure plots — resource type, resource count, spares,
+// checkpoint interval and storage location. Infeasible requirements
+// are skipped (the left edge of the axis).
+func Fig7(solver *core.Solver, requirementHours []float64) ([]Fig7Point, error) {
+	if len(requirementHours) == 0 {
+		return nil, fmt.Errorf("sweep: fig7 needs a non-empty requirement grid")
+	}
+	out := make([]Fig7Point, 0, len(requirementHours))
+	for _, h := range requirementHours {
+		sol, err := solver.Solve(model.Requirements{
+			Kind:       model.ReqJob,
+			MaxJobTime: units.FromHours(h),
+		})
+		if err != nil {
+			var infErr *core.InfeasibleError
+			if errors.As(err, &infErr) {
+				continue
+			}
+			return nil, fmt.Errorf("sweep: fig7 at %vh: %w", h, err)
+		}
+		td := &sol.Design.Tiers[0]
+		p := Fig7Point{
+			RequirementHours: h,
+			Resource:         td.Resource().Name,
+			Stack:            Stack(td),
+			NActive:          td.NActive,
+			NSpare:           td.NSpare,
+			JobTimeHours:     sol.JobTime.Hours(),
+			Cost:             sol.Cost,
+		}
+		if ms, ok := td.Mechanism("checkpoint"); ok {
+			if v, ok := ms.Values["checkpoint_interval"]; ok {
+				p.CheckpointHours = v.Hours
+			}
+			if v, ok := ms.Values["storage_location"]; ok {
+				p.StorageLocation = v.Str
+			}
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}

@@ -1,0 +1,72 @@
+package sweep
+
+import (
+	"errors"
+	"fmt"
+
+	"aved/internal/avail"
+	"aved/internal/core"
+	"aved/internal/model"
+	"aved/internal/units"
+)
+
+// Fig8Point is one sample of an availability cost-premium curve: the
+// extra annual cost, over the availability-indifferent baseline at the
+// same load, of meeting a downtime requirement.
+type Fig8Point struct {
+	BudgetMinutes float64
+	ExtraCost     units.Money
+	TotalCost     units.Money
+}
+
+// Fig8Curve is the premium curve for one load level.
+type Fig8Curve struct {
+	Load         float64
+	BaselineCost units.Money
+	Points       []Fig8Point
+}
+
+// Fig8 reproduces the cost/availability/performance tradeoff curves:
+// for each load, the baseline is the minimum-cost design with no
+// availability requirement; each point reports how much more per year
+// a given downtime bound costs (§5.3). Infeasible budgets are skipped.
+func Fig8(solver *core.Solver, loads, budgetsMinutes []float64) ([]Fig8Curve, error) {
+	if len(loads) == 0 || len(budgetsMinutes) == 0 {
+		return nil, fmt.Errorf("sweep: fig8 needs non-empty load and budget grids")
+	}
+	out := make([]Fig8Curve, 0, len(loads))
+	for _, load := range loads {
+		// No availability requirement: any downtime within the year is
+		// acceptable, so the budget is the whole year.
+		base, err := solver.Solve(model.Requirements{
+			Kind:              model.ReqEnterprise,
+			Throughput:        load,
+			MaxAnnualDowntime: units.Duration(avail.MinutesPerYear * float64(units.Minute)),
+		})
+		if err != nil {
+			return nil, fmt.Errorf("sweep: fig8 baseline at load %v: %w", load, err)
+		}
+		curve := Fig8Curve{Load: load, BaselineCost: base.Cost}
+		for _, budget := range budgetsMinutes {
+			sol, err := solver.Solve(model.Requirements{
+				Kind:              model.ReqEnterprise,
+				Throughput:        load,
+				MaxAnnualDowntime: units.Duration(budget * float64(units.Minute)),
+			})
+			if err != nil {
+				var infErr *core.InfeasibleError
+				if errors.As(err, &infErr) {
+					continue
+				}
+				return nil, fmt.Errorf("sweep: fig8 at load %v budget %v: %w", load, budget, err)
+			}
+			curve.Points = append(curve.Points, Fig8Point{
+				BudgetMinutes: budget,
+				ExtraCost:     sol.Cost - base.Cost,
+				TotalCost:     sol.Cost,
+			})
+		}
+		out = append(out, curve)
+	}
+	return out, nil
+}

@@ -1,0 +1,107 @@
+// Package sweep regenerates the paper's evaluation artefacts: the
+// optimal-design-family map over the (load, downtime) requirement plane
+// (Fig. 6), the optimal scientific-application design as a function of
+// the job-time requirement (Fig. 7), and the availability cost premium
+// curves (Fig. 8). Each sweep drives the core solver across a
+// requirement grid and organises the solutions the way the paper plots
+// them.
+package sweep
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"aved/internal/model"
+)
+
+// Family identifies a design family as Fig. 6 labels them: resource
+// type, availability-mechanism levels (enumerated parameters only —
+// numeric parameters such as checkpoint intervals vary within a
+// family), extra active machines, and spare machines.
+type Family struct {
+	Resource   string
+	Mechanisms string // canonical enum-only settings, e.g. "maintenanceA=gold"
+	NExtra     int
+	NSpare     int
+}
+
+// FamilyOf classifies a tier design.
+func FamilyOf(td *model.TierDesign) Family {
+	var enums []string
+	for _, ms := range td.Mechanisms {
+		if ms.Mechanism == nil {
+			continue
+		}
+		var parts []string
+		for _, p := range ms.Mechanism.Params {
+			if !p.IsEnum() {
+				continue
+			}
+			if v, ok := ms.Values[p.Name]; ok {
+				parts = append(parts, v.Str)
+			}
+		}
+		if len(parts) > 0 {
+			enums = append(enums, ms.Mechanism.Name+"="+strings.Join(parts, "/"))
+		}
+	}
+	sort.Strings(enums)
+	return Family{
+		Resource:   td.Resource().Name,
+		Mechanisms: strings.Join(enums, ","),
+		NExtra:     td.NExtra(),
+		NSpare:     td.NSpare,
+	}
+}
+
+// Stack renders the resource's component stack the way Fig. 6's legend
+// does (machineA/linux/appserverA).
+func Stack(td *model.TierDesign) string {
+	rt := td.Resource()
+	parts := make([]string, len(rt.Components))
+	for i, rc := range rt.Components {
+		parts[i] = rc.Component.Name
+	}
+	return strings.Join(parts, "/")
+}
+
+// String renders the family as the paper's legend tuples.
+func (f Family) String() string {
+	return fmt.Sprintf("(%s, %s, %d, %d)", f.Resource, f.Mechanisms, f.NExtra, f.NSpare)
+}
+
+// LogGrid builds a logarithmically spaced grid from lo to hi inclusive
+// with the given number of points.
+func LogGrid(lo, hi float64, points int) ([]float64, error) {
+	if lo <= 0 || hi < lo {
+		return nil, fmt.Errorf("sweep: log grid needs 0 < lo ≤ hi, got %v and %v", lo, hi)
+	}
+	if points < 2 {
+		return nil, fmt.Errorf("sweep: log grid needs at least 2 points, got %d", points)
+	}
+	ratio := hi / lo
+	out := make([]float64, points)
+	for i := range out {
+		out[i] = lo * pow(ratio, float64(i)/float64(points-1))
+	}
+	return out, nil
+}
+
+// LinGrid builds a linearly spaced grid from lo to hi inclusive.
+func LinGrid(lo, hi float64, points int) ([]float64, error) {
+	if hi < lo {
+		return nil, fmt.Errorf("sweep: linear grid needs lo ≤ hi, got %v and %v", lo, hi)
+	}
+	if points < 2 {
+		return nil, fmt.Errorf("sweep: linear grid needs at least 2 points, got %d", points)
+	}
+	out := make([]float64, points)
+	for i := range out {
+		out[i] = lo + (hi-lo)*float64(i)/float64(points-1)
+	}
+	return out, nil
+}
+
+func pow(base, exp float64) float64 { return math.Pow(base, exp) }

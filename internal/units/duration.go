@@ -1,0 +1,156 @@
+// Package units provides the scalar quantities used throughout Aved:
+// durations with the paper's suffix notation (s, m, h, d), annual money
+// amounts, and the range grids that appear in infrastructure and service
+// specifications (arithmetic ranges such as [1-1000,+1] and geometric
+// ranges such as [1m-24h;*1.05]).
+package units
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Duration is a span of time. It wraps time.Duration so that values parse
+// and print using the paper's suffixes: "s" seconds, "m" minutes, "h"
+// hours, "d" days. A bare "0" is accepted and means zero duration.
+type Duration time.Duration
+
+// Common durations in the paper's unit system.
+const (
+	Second Duration = Duration(time.Second)
+	Minute Duration = Duration(time.Minute)
+	Hour   Duration = Duration(time.Hour)
+	Day    Duration = 24 * Hour
+	Year   Duration = Duration(8760 * time.Hour)
+)
+
+// ParseDuration parses a duration written with one of the paper's
+// suffixes: "30s", "2m", "38h", "650d". A bare "0" parses as zero.
+// Fractional magnitudes such as "1.5h" are accepted.
+func ParseDuration(s string) (Duration, error) {
+	t := strings.TrimSpace(s)
+	if t == "" {
+		return 0, fmt.Errorf("parse duration: empty string")
+	}
+	if t == "0" {
+		return 0, nil
+	}
+	unit := t[len(t)-1]
+	var scale Duration
+	switch unit {
+	case 's':
+		scale = Second
+	case 'm':
+		scale = Minute
+	case 'h':
+		scale = Hour
+	case 'd':
+		scale = Day
+	default:
+		return 0, fmt.Errorf("parse duration %q: unknown unit %q (want s, m, h or d)", s, string(unit))
+	}
+	mag, err := strconv.ParseFloat(t[:len(t)-1], 64)
+	if err != nil {
+		return 0, fmt.Errorf("parse duration %q: %w", s, err)
+	}
+	if mag < 0 {
+		return 0, fmt.Errorf("parse duration %q: negative durations are not allowed", s)
+	}
+	return Duration(float64(scale) * mag), nil
+}
+
+// MustDuration parses s and panics on error. It is intended only for
+// package-level constants and test fixtures built from literals.
+func MustDuration(s string) Duration {
+	d, err := ParseDuration(s)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// Seconds reports the duration in seconds.
+func (d Duration) Seconds() float64 { return time.Duration(d).Seconds() }
+
+// Minutes reports the duration in minutes.
+func (d Duration) Minutes() float64 { return time.Duration(d).Minutes() }
+
+// Hours reports the duration in hours.
+func (d Duration) Hours() float64 { return time.Duration(d).Hours() }
+
+// Days reports the duration in 24-hour days.
+func (d Duration) Days() float64 { return time.Duration(d).Hours() / 24 }
+
+// Years reports the duration in 8760-hour years.
+func (d Duration) Years() float64 { return time.Duration(d).Hours() / 8760 }
+
+// Std converts d to a time.Duration.
+func (d Duration) Std() time.Duration { return time.Duration(d) }
+
+// FromSeconds builds a Duration from a number of seconds.
+func FromSeconds(sec float64) Duration { return Duration(sec * float64(Second)) }
+
+// FromHours builds a Duration from a number of hours.
+func FromHours(h float64) Duration { return Duration(h * float64(Hour)) }
+
+// FromDays builds a Duration from a number of 24-hour days.
+func FromDays(days float64) Duration { return Duration(days * float64(Day)) }
+
+// String formats the duration in the paper's notation, choosing the
+// largest unit that yields a compact magnitude: "0", "30s", "2m", "38h",
+// "650d". Non-integral magnitudes print with up to three decimals.
+func (d Duration) String() string {
+	if d == 0 {
+		return "0"
+	}
+	type unit struct {
+		scale Duration
+		sfx   string
+	}
+	units := []unit{{Day, "d"}, {Hour, "h"}, {Minute, "m"}, {Second, "s"}}
+	// Prefer the largest unit that yields a compact integral magnitude,
+	// as the paper writes 38h rather than 1.583d.
+	for _, u := range units {
+		mag := float64(d) / float64(u.scale)
+		if mag >= 1 && mag <= 10000 && mag == math.Trunc(mag) {
+			return trimFloat(mag) + u.sfx
+		}
+	}
+	// Otherwise pick the smallest unit that keeps the magnitude under
+	// 1000 (38.108h beats 137190s), falling back to days.
+	for i := len(units) - 1; i >= 0; i-- {
+		mag := float64(d) / float64(units[i].scale)
+		if mag < 1000 {
+			return trimFloat(mag) + units[i].sfx
+		}
+	}
+	return trimFloat(d.Days()) + "d"
+}
+
+// trimFloat formats v with at most three decimals and no trailing zeros.
+func trimFloat(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	s := strconv.FormatFloat(v, 'f', 3, 64)
+	s = strings.TrimRight(s, "0")
+	return strings.TrimRight(s, ".")
+}
+
+// Rate is an event rate in events per hour.
+type Rate float64
+
+// RatePerHour converts a mean time between events into a rate. A zero
+// or negative duration yields a zero rate (no events).
+func RatePerHour(mtbe Duration) Rate {
+	if mtbe <= 0 {
+		return 0
+	}
+	return Rate(1 / mtbe.Hours())
+}
+
+// PerYear reports the expected number of events in an 8760-hour year.
+func (r Rate) PerYear() float64 { return float64(r) * 8760 }
