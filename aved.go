@@ -33,6 +33,7 @@ import (
 	"aved/internal/core"
 	"aved/internal/export"
 	"aved/internal/model"
+	"aved/internal/par"
 	"aved/internal/perf"
 	"aved/internal/report"
 	"aved/internal/scenarios"
@@ -174,6 +175,22 @@ func ExactEngine() Engine { return avail.NewExactEngine() }
 func SimEngine(seed int64, years float64, reps int) (Engine, error) {
 	return sim.NewEngine(seed, years, reps)
 }
+
+// SimEngineWorkers builds the simulation engine with an explicit
+// replication worker count: 0 uses GOMAXPROCS, 1 runs sequentially.
+// Each replication draws from its own seed-derived random stream, so
+// results are identical at any worker count.
+func SimEngineWorkers(seed int64, years float64, reps, workers int) (Engine, error) {
+	e, err := sim.NewEngine(seed, years, reps)
+	if err != nil {
+		return nil, err
+	}
+	return e.WithWorkers(workers), nil
+}
+
+// DefaultWorkers reports the worker count a zero Workers option
+// resolves to (GOMAXPROCS).
+func DefaultWorkers() int { return par.Workers(0) }
 
 // MissionDowntime reports a tier model's expected downtime in minutes
 // per year over a finite mission starting all-up — the transient-aware

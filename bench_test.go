@@ -30,12 +30,17 @@ import (
 
 func benchSolver(b *testing.B, scientific bool) *aved.Solver {
 	b.Helper()
+	return benchSolverWorkers(b, scientific, 0)
+}
+
+func benchSolverWorkers(b *testing.B, scientific bool, workers int) *aved.Solver {
+	b.Helper()
 	inf, err := aved.PaperInfrastructure()
 	if err != nil {
 		b.Fatal(err)
 	}
 	var svc *aved.Service
-	opts := aved.Options{Registry: aved.PaperRegistry()}
+	opts := aved.Options{Registry: aved.PaperRegistry(), Workers: workers}
 	if scientific {
 		svc, err = aved.PaperScientific(inf)
 		opts.FixedMechanisms = aved.Bronze()
@@ -377,6 +382,82 @@ func BenchmarkOverheadModels(b *testing.B) {
 		}
 		_ = sink
 	})
+}
+
+// BenchmarkSimWorkers compares Monte-Carlo replication throughput with
+// a single worker against the full pool. Replications draw from
+// seed-derived streams, so the two produce bit-identical results; the
+// parallel gain scales with available cores.
+func BenchmarkSimWorkers(b *testing.B) {
+	tm := benchTierModel()
+	run := func(b *testing.B, workers int) {
+		eng, err := aved.SimEngineWorkers(7, 50, 32, workers)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := eng.Evaluate([]avail.TierModel{tm}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("sequential", func(b *testing.B) { run(b, 1) })
+	b.Run("parallel", func(b *testing.B) { run(b, 0) })
+}
+
+// BenchmarkSolveWorkers compares one uncached e-commerce solve — the
+// three-tier search with per-tier fan-out — sequentially and across
+// the pool.
+func BenchmarkSolveWorkers(b *testing.B) {
+	req := aved.Requirements{
+		Kind:              aved.ReqEnterprise,
+		Throughput:        2000,
+		MaxAnnualDowntime: aved.Minutes(60),
+	}
+	run := func(b *testing.B, workers int) {
+		for i := 0; i < b.N; i++ {
+			inf, err := aved.PaperInfrastructure()
+			if err != nil {
+				b.Fatal(err)
+			}
+			svc, err := aved.PaperEcommerce(inf)
+			if err != nil {
+				b.Fatal(err)
+			}
+			s, err := aved.NewSolver(inf, svc, aved.Options{Registry: aved.PaperRegistry(), Workers: workers})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := s.Solve(req); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("sequential", func(b *testing.B) { run(b, 1) })
+	b.Run("parallel", func(b *testing.B) { run(b, 0) })
+}
+
+// BenchmarkFig6SweepWorkers compares the requirement-plane sweep —
+// every (load, budget) cell an independent solve — sequentially and
+// across the pool.
+func BenchmarkFig6SweepWorkers(b *testing.B) {
+	loads := []float64{400, 1400, 3200, 5000}
+	budgets := []float64{1, 10, 100, 1000, 10000}
+	run := func(b *testing.B, workers int) {
+		for i := 0; i < b.N; i++ {
+			s := benchSolverWorkers(b, false, workers)
+			res, err := aved.SweepFig6(s, loads, budgets)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(res.Points) == 0 {
+				b.Fatal("empty sweep")
+			}
+		}
+	}
+	b.Run("sequential", func(b *testing.B) { run(b, 1) })
+	b.Run("parallel", func(b *testing.B) { run(b, 0) })
 }
 
 // syntheticFrontiers builds three tier frontiers of realistic size for

@@ -69,6 +69,7 @@ func run(args []string, out io.Writer) error {
 		verbose     = fs.Bool("verbose", false, "append a full cost and downtime breakdown")
 		warmSpares  = fs.Bool("warmspares", false, "explore per-component spare operational modes (warmth levels)")
 		describe    = fs.Bool("describe", false, "print a model inventory and design-space size estimate, then exit")
+		workers     = fs.Int("workers", 0, "search worker count: 0 = all CPUs, 1 = sequential (results are identical)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -81,7 +82,7 @@ func run(args []string, out io.Writer) error {
 	if *describe {
 		return aved.DescribeModel(out, inf, svc, 0)
 	}
-	opts := aved.Options{Registry: reg, ExploreSpareWarmth: *warmSpares}
+	opts := aved.Options{Registry: reg, ExploreSpareWarmth: *warmSpares, Workers: *workers}
 	if *bronze {
 		opts.FixedMechanisms = aved.Bronze()
 	}

@@ -38,6 +38,7 @@ func run(args []string, out io.Writer) error {
 		seed      = fs.Int64("seed", 1, "simulation seed")
 		years     = fs.Float64("years", 1000, "simulated years per replication")
 		reps      = fs.Int("reps", 8, "simulation replications")
+		workers   = fs.Int("workers", 0, "replication worker count: 0 = all CPUs, 1 = sequential (results are identical)")
 		mission   = fs.Float64("mission", 0, "also report finite-horizon downtime for a mission of this many years")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -92,7 +93,7 @@ func run(args []string, out io.Writer) error {
 		}
 	}
 
-	simEngine := func() (aved.Engine, error) { return aved.SimEngine(*seed, *years, *reps) }
+	simEngine := func() (aved.Engine, error) { return aved.SimEngineWorkers(*seed, *years, *reps, *workers) }
 	switch *engine {
 	case "markov":
 		return runEngine("markov", aved.MarkovEngine())

@@ -1,0 +1,173 @@
+// Command avedbench measures the parallel evaluation layer against its
+// sequential baseline and emits the comparison as JSON — the record
+// behind results/BENCH_parallel.json. Each benchmark runs the same
+// workload twice, with Workers=1 and with the full pool, via
+// testing.Benchmark; because every parallel path is bit-identical to
+// the sequential one, the two runs do the same work and the ratio is a
+// pure scheduling speedup.
+//
+// Usage:
+//
+//	avedbench                   # JSON to stdout
+//	avedbench -o results/BENCH_parallel.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+
+	"aved"
+	"aved/internal/avail"
+	"aved/internal/units"
+)
+
+type benchResult struct {
+	Name              string  `json:"name"`
+	SequentialNsPerOp int64   `json:"sequential_ns_per_op"`
+	ParallelNsPerOp   int64   `json:"parallel_ns_per_op"`
+	Speedup           float64 `json:"speedup"`
+}
+
+type benchReport struct {
+	GOMAXPROCS int           `json:"gomaxprocs"`
+	GoVersion  string        `json:"go_version"`
+	Benchmarks []benchResult `json:"benchmarks"`
+}
+
+func main() {
+	out := flag.String("o", "", "write JSON here instead of stdout")
+	flag.Parse()
+	if err := run(*out); err != nil {
+		fmt.Fprintln(os.Stderr, "avedbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(outPath string) error {
+	cases := []struct {
+		name string
+		fn   func(workers int) func(b *testing.B)
+	}{
+		{"sim-replications", simBench},
+		{"ecommerce-solve", solveBench},
+		{"fig6-sweep", fig6Bench},
+	}
+	rep := benchReport{GOMAXPROCS: runtime.GOMAXPROCS(0), GoVersion: runtime.Version()}
+	for _, c := range cases {
+		seq := testing.Benchmark(c.fn(1))
+		par := testing.Benchmark(c.fn(0))
+		r := benchResult{
+			Name:              c.name,
+			SequentialNsPerOp: seq.NsPerOp(),
+			ParallelNsPerOp:   par.NsPerOp(),
+		}
+		if r.ParallelNsPerOp > 0 {
+			r.Speedup = float64(r.SequentialNsPerOp) / float64(r.ParallelNsPerOp)
+		}
+		rep.Benchmarks = append(rep.Benchmarks, r)
+		fmt.Fprintf(os.Stderr, "%-18s sequential %12d ns/op  parallel %12d ns/op  speedup %.2fx\n",
+			c.name, r.SequentialNsPerOp, r.ParallelNsPerOp, r.Speedup)
+	}
+	w := os.Stdout
+	if outPath != "" {
+		f, err := os.Create(outPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}
+
+// simBench: Monte-Carlo replications of the §5.1-style tier model.
+func simBench(workers int) func(b *testing.B) {
+	tm := avail.TierModel{
+		Name: "application",
+		N:    6,
+		M:    5,
+		S:    1,
+		Modes: []avail.Mode{
+			{Name: "machineA/hard", MTBF: 650 * units.Day, Repair: 38 * units.Hour,
+				Failover: 6 * units.Minute, UsesFailover: true},
+			{Name: "machineA/soft", MTBF: 75 * units.Day, Repair: units.Duration(270 * units.Second)},
+			{Name: "linux/soft", MTBF: 60 * units.Day, Repair: 4 * units.Minute},
+			{Name: "appserverA/soft", MTBF: 60 * units.Day, Repair: 2 * units.Minute},
+		},
+	}
+	return func(b *testing.B) {
+		eng, err := aved.SimEngineWorkers(7, 50, 32, workers)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := eng.Evaluate([]avail.TierModel{tm}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// solveBench: one uncached three-tier e-commerce solve.
+func solveBench(workers int) func(b *testing.B) {
+	req := aved.Requirements{
+		Kind:              aved.ReqEnterprise,
+		Throughput:        2000,
+		MaxAnnualDowntime: aved.Minutes(60),
+	}
+	return func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			inf, err := aved.PaperInfrastructure()
+			if err != nil {
+				b.Fatal(err)
+			}
+			svc, err := aved.PaperEcommerce(inf)
+			if err != nil {
+				b.Fatal(err)
+			}
+			s, err := aved.NewSolver(inf, svc, aved.Options{Registry: aved.PaperRegistry(), Workers: workers})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := s.Solve(req); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// fig6Bench: a reduced Fig. 6 requirement-plane sweep.
+func fig6Bench(workers int) func(b *testing.B) {
+	loads := []float64{400, 1400, 3200, 5000}
+	budgets := []float64{1, 10, 100, 1000, 10000}
+	return func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			inf, err := aved.PaperInfrastructure()
+			if err != nil {
+				b.Fatal(err)
+			}
+			svc, err := aved.PaperApplicationTier(inf)
+			if err != nil {
+				b.Fatal(err)
+			}
+			s, err := aved.NewSolver(inf, svc, aved.Options{Registry: aved.PaperRegistry(), Workers: workers})
+			if err != nil {
+				b.Fatal(err)
+			}
+			res, err := aved.SweepFig6(s, loads, budgets)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(res.Points) == 0 {
+				b.Fatal("empty sweep")
+			}
+		}
+	}
+}

@@ -34,23 +34,24 @@ func run(args []string, out io.Writer) error {
 		loads   = fs.Int("loads", 10, "load grid points (figs 6, 8)")
 		budgets = fs.Int("budgets", 12, "downtime-budget grid points (figs 6, 8)")
 		points  = fs.Int("points", 15, "job-time requirement points (fig 7)")
+		workers = fs.Int("workers", 0, "sweep worker count: 0 = all CPUs, 1 = sequential (results are identical)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	switch *fig {
 	case 6:
-		return fig6(out, *loads, *budgets)
+		return fig6(out, *loads, *budgets, *workers)
 	case 7:
-		return fig7(out, *points)
+		return fig7(out, *points, *workers)
 	case 8:
-		return fig8(out, *budgets)
+		return fig8(out, *budgets, *workers)
 	default:
 		return fmt.Errorf("-fig must be 6, 7 or 8 (got %d)", *fig)
 	}
 }
 
-func appTierSolver() (*aved.Solver, error) {
+func appTierSolver(workers int) (*aved.Solver, error) {
 	inf, err := aved.PaperInfrastructure()
 	if err != nil {
 		return nil, err
@@ -59,13 +60,13 @@ func appTierSolver() (*aved.Solver, error) {
 	if err != nil {
 		return nil, err
 	}
-	return aved.NewSolver(inf, svc, aved.Options{Registry: aved.PaperRegistry()})
+	return aved.NewSolver(inf, svc, aved.Options{Registry: aved.PaperRegistry(), Workers: workers})
 }
 
 // fig6 prints the optimal design family at every grid point of the
 // (load, downtime budget) requirement plane, then each family curve.
-func fig6(out io.Writer, loadPoints, budgetPoints int) error {
-	solver, err := appTierSolver()
+func fig6(out io.Writer, loadPoints, budgetPoints, workers int) error {
+	solver, err := appTierSolver(workers)
 	if err != nil {
 		return err
 	}
@@ -100,7 +101,7 @@ func fig6(out io.Writer, loadPoints, budgetPoints int) error {
 
 // fig7 prints the optimal scientific design as a function of the
 // job-completion-time requirement.
-func fig7(out io.Writer, points int) error {
+func fig7(out io.Writer, points, workers int) error {
 	inf, err := aved.PaperInfrastructure()
 	if err != nil {
 		return err
@@ -112,6 +113,7 @@ func fig7(out io.Writer, points int) error {
 	solver, err := aved.NewSolver(inf, svc, aved.Options{
 		Registry:        aved.PaperRegistry(),
 		FixedMechanisms: aved.Bronze(),
+		Workers:         workers,
 	})
 	if err != nil {
 		return err
@@ -135,8 +137,8 @@ func fig7(out io.Writer, points int) error {
 }
 
 // fig8 prints the cost premium curves for the paper's four loads.
-func fig8(out io.Writer, budgetPoints int) error {
-	solver, err := appTierSolver()
+func fig8(out io.Writer, budgetPoints, workers int) error {
+	solver, err := appTierSolver(workers)
 	if err != nil {
 		return err
 	}

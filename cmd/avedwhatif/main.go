@@ -44,6 +44,7 @@ func run(args []string, out io.Writer) error {
 		load     = fs.Float64("load", 0, "required throughput (enterprise)")
 		downtime = fs.String("downtime", "", "max annual downtime, e.g. 2000m (enterprise)")
 		jobTime  = fs.String("jobtime", "", "max expected job time, e.g. 100h (scientific scenario)")
+		workers  = fs.Int("workers", 0, "factor worker count: 0 = all CPUs, 1 = sequential (results are identical)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -60,7 +61,7 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	cfg := aved.SensitivityConfig{Registry: aved.PaperRegistry()}
+	cfg := aved.SensitivityConfig{Registry: aved.PaperRegistry(), Workers: *workers}
 	switch {
 	case *jobTime != "":
 		d, err := aved.ParseDuration(*jobTime)

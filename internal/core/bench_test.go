@@ -1,0 +1,76 @@
+package core
+
+import (
+	"testing"
+
+	"aved/internal/scenarios"
+	"aved/internal/units"
+)
+
+// benchCandidates builds a realistic unsorted candidate pool of the
+// size a tier frontier merge sees.
+func benchCandidates(n int) []TierCandidate {
+	out := make([]TierCandidate, n)
+	cost, down := 1000.0, 5000.0
+	for i := range out {
+		out[i] = TierCandidate{Cost: units.Money(cost), DowntimeMinutes: down}
+		// Interleave dominated and non-dominated points.
+		if i%3 == 0 {
+			cost *= 1.07
+			down *= 0.83
+		} else {
+			cost *= 1.02
+			down *= 1.05
+		}
+	}
+	return out
+}
+
+// BenchmarkParetoReduce tracks the frontier-merge allocation profile:
+// the reduce sorts in place, so only the reduced output allocates.
+func BenchmarkParetoReduce(b *testing.B) {
+	src := benchCandidates(512)
+	work := make([]TierCandidate, len(src))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(work, src)
+		if out := paretoReduce(work); len(out) == 0 {
+			b.Fatal("empty frontier")
+		}
+	}
+}
+
+// BenchmarkTierFrontier measures one tier's full Pareto-frontier build
+// (the phase-2 unit of work) sequentially and across the worker pool,
+// with allocation reporting for the candidate-buffer reuse.
+func BenchmarkTierFrontier(b *testing.B) {
+	inf, err := scenarios.Infrastructure()
+	if err != nil {
+		b.Fatal(err)
+	}
+	run := func(b *testing.B, workers int) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			// A fresh solver per iteration measures the uncached build.
+			svc, err := scenarios.ApplicationTier(inf)
+			if err != nil {
+				b.Fatal(err)
+			}
+			s, err := NewSolver(inf, svc, Options{Registry: scenarios.Registry(), Workers: workers})
+			if err != nil {
+				b.Fatal(err)
+			}
+			var stats searchStats
+			f, err := s.tierFrontier(&s.svc.Tiers[0], 1000, &stats)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(f) == 0 {
+				b.Fatal("empty frontier")
+			}
+		}
+	}
+	b.Run("sequential", func(b *testing.B) { run(b, 1) })
+	b.Run("parallel", func(b *testing.B) { run(b, 0) })
+}

@@ -6,34 +6,44 @@ import (
 
 	"aved/internal/avail"
 	"aved/internal/model"
+	"aved/internal/par"
 	"aved/internal/units"
 )
 
 // solveEnterprise implements §4.1 for enterprise services: per-tier
 // optima first, then multi-tier refinement over per-tier cost/downtime
-// frontiers when the combination misses the overall budget.
+// frontiers when the combination misses the overall budget. Tiers are
+// independent searches in both phases, so each phase fans them across
+// the worker pool; per-tier results land by index, keeping the outcome
+// identical to the sequential order.
 func (s *Solver) solveEnterprise(req model.Requirements) (*Solution, error) {
 	budget := req.MaxAnnualDowntime.Minutes()
-	var stats Stats
+	var stats searchStats
 
 	// Phase 1: each tier in isolation against the full budget. The
 	// per-tier optimum is a cost lower bound, so if the combination
 	// meets the budget it is the overall optimum.
 	perTier := make([]*TierCandidate, len(s.svc.Tiers))
-	for i := range s.svc.Tiers {
+	err := par.ForEach(s.opts.Workers, len(s.svc.Tiers), func(i int) error {
 		cand, err := s.searchTier(&s.svc.Tiers[i], req.Throughput, budget, &stats)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		if cand == nil {
+		perTier[i] = cand
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i := range perTier {
+		if perTier[i] == nil {
 			return nil, &InfeasibleError{Reason: fmt.Sprintf(
 				"tier %q cannot meet %v annual downtime at load %v in isolation",
 				s.svc.Tiers[i].Name, req.MaxAnnualDowntime, req.Throughput)}
 		}
-		perTier[i] = cand
 	}
 	if combinedDowntime(perTier) <= budget || len(perTier) == 1 {
-		return s.finishEnterprise(perTier, stats)
+		return s.finishEnterprise(perTier, &stats)
 	}
 
 	// Phase 2: the combination misses the budget; refine tiers with
@@ -41,15 +51,21 @@ func (s *Solver) solveEnterprise(req model.Requirements) (*Solution, error) {
 	// each tier's cost/downtime tradeoff; the combiner picks the
 	// minimum-cost point set whose series composition meets the budget.
 	frontiers := make([][]TierCandidate, len(s.svc.Tiers))
-	for i := range s.svc.Tiers {
+	err = par.ForEach(s.opts.Workers, len(s.svc.Tiers), func(i int) error {
 		f, err := s.tierFrontier(&s.svc.Tiers[i], req.Throughput, &stats)
 		if err != nil {
-			return nil, err
-		}
-		if len(f) == 0 {
-			return nil, &InfeasibleError{Reason: fmt.Sprintf("tier %q has no feasible designs", s.svc.Tiers[i].Name)}
+			return err
 		}
 		frontiers[i] = f
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i := range frontiers {
+		if len(frontiers[i]) == 0 {
+			return nil, &InfeasibleError{Reason: fmt.Sprintf("tier %q has no feasible designs", s.svc.Tiers[i].Name)}
+		}
 	}
 	var (
 		chosen []*TierCandidate
@@ -65,11 +81,11 @@ func (s *Solver) solveEnterprise(req model.Requirements) (*Solution, error) {
 		return nil, &InfeasibleError{Reason: fmt.Sprintf(
 			"no tier combination meets %v annual downtime at load %v", req.MaxAnnualDowntime, req.Throughput)}
 	}
-	return s.finishEnterprise(chosen, stats)
+	return s.finishEnterprise(chosen, &stats)
 }
 
 // finishEnterprise assembles the Solution from chosen tier candidates.
-func (s *Solver) finishEnterprise(chosen []*TierCandidate, stats Stats) (*Solution, error) {
+func (s *Solver) finishEnterprise(chosen []*TierCandidate, stats *searchStats) (*Solution, error) {
 	design := model.Design{Tiers: make([]model.TierDesign, len(chosen))}
 	var total units.Money
 	for i, c := range chosen {
@@ -89,12 +105,12 @@ func (s *Solver) finishEnterprise(chosen []*TierCandidate, stats Stats) (*Soluti
 	if err != nil {
 		return nil, err
 	}
-	stats.Evaluations++
+	stats.evals.Add(1)
 	return &Solution{
 		Design:          design,
 		Cost:            total,
 		DowntimeMinutes: res.DowntimeMinutes,
-		Stats:           stats,
+		Stats:           stats.snapshot(),
 	}, nil
 }
 

@@ -178,7 +178,7 @@ func TestRequirementPlaneCoverage(t *testing.T) {
 		}
 	}
 	// Fixed family (rC, bronze, 0, 0): downtime grows with load.
-	var stats Stats
+	var stats searchStats
 	prev := 0.0
 	for _, n := range []int{2, 4, 8, 16, 25} {
 		td := model.TierDesign{

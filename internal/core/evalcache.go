@@ -1,0 +1,76 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// evalShards is the shard count of the availability-evaluation cache.
+// Keys hash uniformly (availability fingerprints), so a modest power of
+// two keeps lock contention negligible at any realistic worker count.
+const evalShards = 64
+
+// evalCache is a sharded, singleflight-style cache of availability
+// evaluations keyed by fingerprint. Concurrent requests for the same
+// key share one engine evaluation: the first requester computes, the
+// rest block on the flight's once and read the settled result. Errors
+// settle the flight too — engine errors here are deterministic model
+// errors, so retrying could not succeed.
+type evalCache struct {
+	shards [evalShards]evalShard
+}
+
+type evalShard struct {
+	mu sync.Mutex
+	m  map[string]*evalFlight
+}
+
+type evalFlight struct {
+	once  sync.Once
+	entry evalEntry
+	err   error
+}
+
+func newEvalCache() *evalCache {
+	c := &evalCache{}
+	for i := range c.shards {
+		c.shards[i].m = map[string]*evalFlight{}
+	}
+	return c
+}
+
+// flight returns the singleflight slot for a key, creating it if absent.
+func (c *evalCache) flight(key string) *evalFlight {
+	// Inline FNV-1a: the key is already a canonical fingerprint string.
+	h := uint32(2166136261)
+	for i := 0; i < len(key); i++ {
+		h = (h ^ uint32(key[i])) * 16777619
+	}
+	sh := &c.shards[h%evalShards]
+	sh.mu.Lock()
+	f, ok := sh.m[key]
+	if !ok {
+		f = &evalFlight{}
+		sh.m[key] = f
+	}
+	sh.mu.Unlock()
+	return f
+}
+
+// searchStats is the concurrency-safe counterpart of Stats used while a
+// search is in flight; snapshot converts it for the Solution. With the
+// singleflight cache, Evaluations counts actual engine invocations —
+// concurrent requests for one fingerprint still count once.
+type searchStats struct {
+	candidates atomic.Int64
+	pruned     atomic.Int64
+	evals      atomic.Int64
+}
+
+func (st *searchStats) snapshot() Stats {
+	return Stats{
+		CandidatesGenerated: int(st.candidates.Load()),
+		CostPruned:          int(st.pruned.Load()),
+		Evaluations:         int(st.evals.Load()),
+	}
+}

@@ -32,7 +32,7 @@ func (s *Solver) solveJob(req model.Requirements) (*Solution, error) {
 	}
 	tier := &s.svc.Tiers[0]
 	var (
-		stats Stats
+		stats searchStats
 		best  *JobCandidate
 	)
 	for i := range tier.Options {
@@ -56,7 +56,7 @@ func (s *Solver) solveJob(req model.Requirements) (*Solution, error) {
 		Design:  design,
 		Cost:    best.Cost,
 		JobTime: best.JobTime,
-		Stats:   stats,
+		Stats:   stats.snapshot(),
 	}, nil
 }
 
@@ -153,7 +153,7 @@ func (s *Solver) prepareJobCombos(tier *model.Tier, opt *model.ResourceOption) (
 }
 
 func (s *Solver) searchJobOption(tier *model.Tier, opt *model.ResourceOption, maxTime units.Duration,
-	incumbent *JobCandidate, stats *Stats) (*JobCandidate, error) {
+	incumbent *JobCandidate, stats *searchStats) (*JobCandidate, error) {
 
 	curve, err := s.curveFor(opt)
 	if err != nil {
@@ -212,7 +212,7 @@ func (s *Solver) searchJobOption(tier *model.Tier, opt *model.ResourceOption, ma
 					c := units.Money(float64(n)*float64(activeCost) +
 						float64(spares)*float64(spareCostByWarm[warm]) +
 						float64(n+spares)*float64(jc.mechCostPerInstance))
-					stats.CandidatesGenerated++
+					stats.candidates.Add(1)
 					if float64(c) < minCostAtN {
 						minCostAtN = float64(c)
 					}
@@ -221,7 +221,7 @@ func (s *Solver) searchJobOption(tier *model.Tier, opt *model.ResourceOption, ma
 					// break toward the shorter completion time (the
 					// design Fig. 7 plots).
 					if best != nil && c > best.Cost {
-						stats.CostPruned++
+						stats.pruned.Add(1)
 						continue
 					}
 					if !evaluated[jc.availGroup] {

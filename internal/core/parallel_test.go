@@ -1,0 +1,192 @@
+package core
+
+import (
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"aved/internal/avail"
+	"aved/internal/model"
+	"aved/internal/scenarios"
+)
+
+// countingEngine wraps an availability engine and counts Evaluate
+// invocations, exposing how much engine work the cache actually admits.
+type countingEngine struct {
+	inner avail.Engine
+	calls atomic.Int64
+}
+
+func (e *countingEngine) Evaluate(tms []avail.TierModel) (avail.Result, error) {
+	e.calls.Add(1)
+	return e.inner.Evaluate(tms)
+}
+
+// TestEvalCacheConcurrentDedup is the eval-cache stress test: many
+// goroutines hammer the same small set of fingerprints, and both the
+// engine-call count and Stats.Evaluations must equal the number of
+// distinct fingerprints — the singleflight admits each key exactly once.
+func TestEvalCacheConcurrentDedup(t *testing.T) {
+	eng := &countingEngine{inner: avail.NewMarkovEngine()}
+	s := appTierSolver(t, Options{Engine: eng})
+
+	// Distinct fingerprints: (nActive, maintenance level) pairs. The
+	// same designs are requested by every goroutine.
+	levels := []string{"bronze", "silver", "gold"}
+	var designs []model.TierDesign
+	for n := 2; n <= 9; n++ {
+		for _, lv := range levels {
+			designs = append(designs, model.TierDesign{
+				TierName:  "application",
+				Option:    &s.svc.Tiers[0].Options[0],
+				NActive:   n,
+				NSpare:    0,
+				NMinPerf:  n,
+				MinActive: n,
+				Mechanisms: []model.MechSetting{{
+					Mechanism: s.inf.Mechanisms["maintenanceA"],
+					Values:    map[string]model.ParamValue{"level": model.EnumValue(lv)},
+				}},
+			})
+		}
+	}
+	distinct := map[string]bool{}
+	for i := range designs {
+		distinct[availKey(&designs[i])] = true
+	}
+	if len(distinct) != len(designs) {
+		t.Fatalf("fixture bug: %d designs map to %d fingerprints", len(designs), len(distinct))
+	}
+
+	const goroutines = 32
+	var (
+		stats searchStats
+		wg    sync.WaitGroup
+	)
+	wg.Add(goroutines)
+	for g := 0; g < goroutines; g++ {
+		go func() {
+			defer wg.Done()
+			for i := range designs {
+				if _, err := s.evalTier(&designs[i], &stats); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	if got := int(stats.evals.Load()); got != len(distinct) {
+		t.Errorf("Stats.Evaluations = %d, want %d distinct fingerprints", got, len(distinct))
+	}
+	if got := int(eng.calls.Load()); got != len(distinct) {
+		t.Errorf("engine invocations = %d, want %d distinct fingerprints", got, len(distinct))
+	}
+}
+
+// TestSolveWorkerCountBitIdentical asserts the search determinism
+// guarantee: solutions — including search statistics — are identical at
+// any worker count, for both the single-tier phase-1 path and the
+// multi-tier frontier/combiner path.
+func TestSolveWorkerCountBitIdentical(t *testing.T) {
+	solve := func(t *testing.T, ecommerce bool, workers int, load, budget float64) *Solution {
+		t.Helper()
+		inf, err := scenarios.Infrastructure()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var svc *model.Service
+		if ecommerce {
+			svc, err = scenarios.Ecommerce(inf)
+		} else {
+			svc, err = scenarios.ApplicationTier(inf)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := NewSolver(inf, svc, Options{Registry: scenarios.Registry(), Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sol, err := s.Solve(enterpriseReq(load, budget))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sol
+	}
+	cases := []struct {
+		name         string
+		ecommerce    bool
+		load, budget float64
+	}{
+		{"apptier-phase1", false, 1000, 100},
+		// (2000, 60): per-tier optima combine above the budget, forcing
+		// the phase-2 frontier build and the exact combiner.
+		{"ecommerce-frontier", true, 2000, 60},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			seq := solve(t, c.ecommerce, 1, c.load, c.budget)
+			for _, workers := range []int{2, 4, 0} {
+				parl := solve(t, c.ecommerce, workers, c.load, c.budget)
+				if parl.Design.Label() != seq.Design.Label() {
+					t.Errorf("workers=%d: design %q != sequential %q", workers, parl.Design.Label(), seq.Design.Label())
+				}
+				if parl.Cost != seq.Cost || parl.DowntimeMinutes != seq.DowntimeMinutes {
+					t.Errorf("workers=%d: (cost, downtime) = (%v, %v), sequential (%v, %v)",
+						workers, parl.Cost, parl.DowntimeMinutes, seq.Cost, seq.DowntimeMinutes)
+				}
+				if !reflect.DeepEqual(parl.Stats, seq.Stats) {
+					t.Errorf("workers=%d: stats %+v != sequential %+v", workers, parl.Stats, seq.Stats)
+				}
+			}
+		})
+	}
+}
+
+// TestConcurrentSolvesShareCache drives many Solve calls on one solver
+// from separate goroutines — the sweep usage pattern — under varied
+// requirements, checking every solution against a fresh-solver rerun.
+func TestConcurrentSolvesShareCache(t *testing.T) {
+	shared := appTierSolver(t, Options{})
+	loads := []float64{600, 1000, 1800, 2600}
+	budgets := []float64{50, 500, 5000}
+	type key struct{ load, budget float64 }
+	got := sync.Map{}
+	var wg sync.WaitGroup
+	for _, load := range loads {
+		for _, budget := range budgets {
+			wg.Add(1)
+			go func(load, budget float64) {
+				defer wg.Done()
+				sol, err := shared.Solve(enterpriseReq(load, budget))
+				if err != nil {
+					t.Errorf("load=%v budget=%v: %v", load, budget, err)
+					return
+				}
+				got.Store(key{load, budget}, sol)
+			}(load, budget)
+		}
+	}
+	wg.Wait()
+	for _, load := range loads {
+		for _, budget := range budgets {
+			v, ok := got.Load(key{load, budget})
+			if !ok {
+				continue // solve already reported its error
+			}
+			sol := v.(*Solution)
+			fresh := appTierSolver(t, Options{})
+			want, err := fresh.Solve(enterpriseReq(load, budget))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if sol.Design.Label() != want.Design.Label() || sol.Cost != want.Cost {
+				t.Errorf("load=%v budget=%v: shared-solver design (%q, %v) != fresh (%q, %v)",
+					load, budget, sol.Design.Label(), sol.Cost, want.Design.Label(), want.Cost)
+			}
+		}
+	}
+}

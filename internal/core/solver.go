@@ -46,6 +46,12 @@ type Options struct {
 	// Combiner selects the multi-tier combination strategy. The zero
 	// value is the exact branch-and-bound combiner.
 	Combiner CombineMethod
+	// Workers bounds the worker pool the search fans independent work
+	// over (per-tier searches, frontier evaluations) and is inherited by
+	// the sweeps driving this solver. Zero means runtime.GOMAXPROCS(0);
+	// 1 forces sequential execution. The setting never changes results
+	// — parallel paths are bit-identical to the sequential order.
+	Workers int
 }
 
 // CombineMethod selects how per-tier frontiers combine into a
@@ -106,7 +112,7 @@ type Solver struct {
 	svc  *model.Service
 	opts Options
 
-	evalCache map[string]evalEntry // availability results by design key
+	evalCache *evalCache // availability evaluations by design fingerprint
 }
 
 // NewSolver validates the inputs and builds a solver.
@@ -132,9 +138,13 @@ func NewSolver(inf *model.Infrastructure, svc *model.Service, opts Options) (*So
 		inf:       inf,
 		svc:       svc,
 		opts:      opts.withDefaults(),
-		evalCache: map[string]evalEntry{},
+		evalCache: newEvalCache(),
 	}, nil
 }
+
+// Workers reports the solver's configured worker-pool bound (see
+// Options.Workers), so sweeps driving the solver share one setting.
+func (s *Solver) Workers() int { return s.opts.Workers }
 
 // Solve searches for the minimum-cost design meeting the requirements.
 // Enterprise requirements need a throughput and downtime bound; job

@@ -8,6 +8,7 @@ import (
 	"aved/internal/cost"
 	"aved/internal/jobtime"
 	"aved/internal/model"
+	"aved/internal/par"
 	"aved/internal/perf"
 	"aved/internal/units"
 )
@@ -30,12 +31,23 @@ type evalEntry struct {
 // evalTier evaluates one tier design through the configured engine,
 // caching by availability fingerprint so candidates that differ only
 // in availability-neutral mechanism settings (e.g. checkpoint
-// intervals) share an evaluation.
-func (s *Solver) evalTier(td *model.TierDesign, stats *Stats) (evalEntry, error) {
-	key := availKey(td)
-	if v, ok := s.evalCache[key]; ok {
-		return v, nil
-	}
+// intervals) share an evaluation. The cache is a sharded singleflight:
+// concurrent requests for one fingerprint block on a single engine
+// invocation, so Evaluations counts distinct fingerprints regardless of
+// how many goroutines race on the same key.
+func (s *Solver) evalTier(td *model.TierDesign, stats *searchStats) (evalEntry, error) {
+	f := s.evalCache.flight(availKey(td))
+	f.once.Do(func() {
+		f.entry, f.err = s.evalTierMiss(td)
+		if f.err == nil {
+			stats.evals.Add(1)
+		}
+	})
+	return f.entry, f.err
+}
+
+// evalTierMiss is the uncached evaluation behind evalTier.
+func (s *Solver) evalTierMiss(td *model.TierDesign) (evalEntry, error) {
 	tm, err := avail.BuildTierModel(td)
 	if err != nil {
 		return evalEntry{}, err
@@ -48,10 +60,7 @@ func (s *Solver) evalTier(td *model.TierDesign, stats *Stats) (evalEntry, error)
 	if err != nil {
 		return evalEntry{}, err
 	}
-	stats.Evaluations++
-	entry := evalEntry{downtimeMinutes: res.DowntimeMinutes, sysMTBF: sysMTBF}
-	s.evalCache[key] = entry
-	return entry, nil
+	return evalEntry{downtimeMinutes: res.DowntimeMinutes, sysMTBF: sysMTBF}, nil
 }
 
 // minActiveFor reports the §4.2 minimum-actives parameter m: the
@@ -164,7 +173,7 @@ func (o *optionSearch) candidates(total int, yield func(td model.TierDesign, c u
 // downtime budget, seeding the incumbent from searches of other
 // options so pruning carries across resource types.
 func (s *Solver) searchOption(tier *model.Tier, opt *model.ResourceOption, throughput, budgetMinutes float64,
-	incumbent *TierCandidate, stats *Stats) (*TierCandidate, error) {
+	incumbent *TierCandidate, stats *searchStats) (*TierCandidate, error) {
 
 	o, ok, err := s.newOptionSearch(tier, opt, throughput)
 	if err != nil || !ok {
@@ -180,16 +189,19 @@ func (s *Solver) searchOption(tier *model.Tier, opt *model.ResourceOption, throu
 		minCostAtTotal := math.Inf(1)
 		bestDowntimeAtTotal := math.Inf(1)
 		err := o.candidates(total, func(td model.TierDesign, c units.Money) error {
-			stats.CandidatesGenerated++
+			stats.candidates.Add(1)
 			if float64(c) < minCostAtTotal {
 				minCostAtTotal = float64(c)
 			}
 			// §4.1: once a feasible design is known, evaluate cost
 			// first and reject dearer candidates without an
 			// availability evaluation. Equal-cost candidates still
-			// evaluate so ties break toward lower downtime.
+			// evaluate so ties break toward lower downtime. This
+			// incumbent chain is order-dependent, so the walk stays
+			// sequential; parallelism lives in the frontier path,
+			// where every candidate is evaluated anyway.
 			if best != nil && c > best.Cost {
-				stats.CostPruned++
+				stats.pruned.Add(1)
 				return nil
 			}
 			entry, err := s.evalTier(&td, stats)
@@ -228,7 +240,7 @@ func (s *Solver) searchOption(tier *model.Tier, opt *model.ResourceOption, throu
 }
 
 // searchTier finds the minimum-cost design for one tier in isolation.
-func (s *Solver) searchTier(tier *model.Tier, throughput, budgetMinutes float64, stats *Stats) (*TierCandidate, error) {
+func (s *Solver) searchTier(tier *model.Tier, throughput, budgetMinutes float64, stats *searchStats) (*TierCandidate, error) {
 	var best *TierCandidate
 	for i := range tier.Options {
 		cand, err := s.searchOption(tier, &tier.Options[i], throughput, budgetMinutes, best, stats)
@@ -249,13 +261,19 @@ const frontierImproveEps = 0.01
 
 // optionFrontier collects the option's Pareto-optimal (cost, downtime)
 // candidates, exploring sizes until added resources stop improving the
-// best achievable downtime.
-func (s *Solver) optionFrontier(tier *model.Tier, opt *model.ResourceOption, throughput float64, stats *Stats) ([]TierCandidate, error) {
+// best achievable downtime. Unlike searchOption, every candidate here
+// is evaluated regardless of order, so the per-size batch fans its
+// availability evaluations across the worker pool; the batch buffer and
+// append order keep the result bit-identical to the sequential walk.
+func (s *Solver) optionFrontier(tier *model.Tier, opt *model.ResourceOption, throughput float64, stats *searchStats) ([]TierCandidate, error) {
 	o, ok, err := s.newOptionSearch(tier, opt, throughput)
 	if err != nil || !ok {
 		return nil, err
 	}
-	var all []TierCandidate
+	var (
+		all []TierCandidate
+		buf []TierCandidate // per-size batch, reused across sizes
+	)
 	bestDowntime := math.Inf(1)
 	stale := 0
 	for extra := 0; extra <= s.opts.MaxRedundancy; extra++ {
@@ -263,22 +281,33 @@ func (s *Solver) optionFrontier(tier *model.Tier, opt *model.ResourceOption, thr
 		if o.maxTotal > 0 && total > o.maxTotal {
 			break
 		}
-		improvedTo := bestDowntime
+		buf = buf[:0]
 		err := o.candidates(total, func(td model.TierDesign, c units.Money) error {
-			stats.CandidatesGenerated++
-			entry, err := s.evalTier(&td, stats)
-			if err != nil {
-				return err
-			}
-			all = append(all, TierCandidate{Design: td, Cost: c, DowntimeMinutes: entry.downtimeMinutes})
-			if entry.downtimeMinutes < improvedTo {
-				improvedTo = entry.downtimeMinutes
-			}
+			stats.candidates.Add(1)
+			buf = append(buf, TierCandidate{Design: td, Cost: c})
 			return nil
 		})
 		if err != nil {
 			return nil, err
 		}
+		err = par.ForEach(s.opts.Workers, len(buf), func(i int) error {
+			entry, err := s.evalTier(&buf[i].Design, stats)
+			if err != nil {
+				return err
+			}
+			buf[i].DowntimeMinutes = entry.downtimeMinutes
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		improvedTo := bestDowntime
+		for i := range buf {
+			if buf[i].DowntimeMinutes < improvedTo {
+				improvedTo = buf[i].DowntimeMinutes
+			}
+		}
+		all = append(all, buf...)
 		if improvedTo < bestDowntime*(1-frontierImproveEps) {
 			bestDowntime = improvedTo
 			stale = 0
@@ -293,32 +322,46 @@ func (s *Solver) optionFrontier(tier *model.Tier, opt *model.ResourceOption, thr
 }
 
 // tierFrontier merges option frontiers into the tier's Pareto frontier,
-// sorted by ascending cost (and so descending downtime).
-func (s *Solver) tierFrontier(tier *model.Tier, throughput float64, stats *Stats) ([]TierCandidate, error) {
-	var all []TierCandidate
-	for i := range tier.Options {
+// sorted by ascending cost (and so descending downtime). Options are
+// independent searches, so they fan across the worker pool; merging in
+// option order keeps the frontier identical to the sequential build.
+func (s *Solver) tierFrontier(tier *model.Tier, throughput float64, stats *searchStats) ([]TierCandidate, error) {
+	fronts := make([][]TierCandidate, len(tier.Options))
+	err := par.ForEach(s.opts.Workers, len(tier.Options), func(i int) error {
 		f, err := s.optionFrontier(tier, &tier.Options[i], throughput, stats)
 		if err != nil {
-			return nil, err
+			return err
 		}
+		fronts[i] = f
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	n := 0
+	for _, f := range fronts {
+		n += len(f)
+	}
+	all := make([]TierCandidate, 0, n)
+	for _, f := range fronts {
 		all = append(all, f...)
 	}
 	return paretoReduce(all), nil
 }
 
 // paretoReduce keeps only candidates not dominated in (cost, downtime),
-// returning them sorted by ascending cost.
+// returning them sorted by ascending cost. It sorts cands in place —
+// every caller owns its slice — so the frontier hot path allocates only
+// the reduced output.
 func paretoReduce(cands []TierCandidate) []TierCandidate {
 	if len(cands) == 0 {
 		return nil
 	}
-	sorted := make([]TierCandidate, len(cands))
-	copy(sorted, cands)
 	// Sort by cost ascending, then downtime ascending.
-	sortCandidates(sorted)
-	out := make([]TierCandidate, 0, len(sorted))
+	sortCandidates(cands)
+	out := make([]TierCandidate, 0, len(cands))
 	bestDown := math.Inf(1)
-	for _, c := range sorted {
+	for _, c := range cands {
 		if c.DowntimeMinutes < bestDown {
 			out = append(out, c)
 			bestDown = c.DowntimeMinutes

@@ -1,0 +1,76 @@
+// Package par is the shared worker-pool helper behind Aved's parallel
+// evaluation paths: Monte-Carlo replications (internal/sim), frontier
+// construction (internal/core) and requirement sweeps (internal/sweep,
+// internal/sensitivity). All of those fan independent work items over a
+// bounded pool and write results by index, so callers stay bit-identical
+// to their sequential order regardless of the worker count.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers resolves a configured worker count: n when positive, else
+// runtime.GOMAXPROCS(0).
+func Workers(n int) int {
+	if n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// ForEach runs fn(i) for every i in [0, n) across a pool of workers
+// goroutines (workers ≤ 0 means GOMAXPROCS). Items are claimed
+// dynamically, so fn must not depend on execution order; determinism
+// comes from writing each result into its own index. Every item is
+// attempted even when some fail, and the returned error is the one from
+// the lowest failing index — the same error a sequential loop would hit
+// first — so error reporting is independent of the worker count.
+func ForEach(workers, n int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	workers = Workers(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		var firstErr error
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+		return firstErr
+	}
+	var (
+		next     atomic.Int64
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+		firstIdx = n
+	)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if err := fn(i); err != nil {
+					mu.Lock()
+					if i < firstIdx {
+						firstIdx, firstErr = i, err
+					}
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return firstErr
+}

@@ -1,0 +1,82 @@
+package par
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkers(t *testing.T) {
+	if got := Workers(4); got != 4 {
+		t.Errorf("Workers(4) = %d", got)
+	}
+	if got := Workers(0); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers(0) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Workers(-3); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers(-3) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+}
+
+func TestForEachCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 7, 64} {
+		const n = 153
+		counts := make([]atomic.Int64, n)
+		if err := ForEach(workers, n, func(i int) error {
+			counts[i].Add(1)
+			return nil
+		}); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := range counts {
+			if c := counts[i].Load(); c != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+func TestForEachEmpty(t *testing.T) {
+	if err := ForEach(4, 0, func(int) error { return errors.New("never") }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestForEachReturnsLowestIndexError(t *testing.T) {
+	for _, workers := range []int{1, 2, 8} {
+		err := ForEach(workers, 100, func(i int) error {
+			if i%10 == 7 { // fails at 7, 17, 27, …
+				return fmt.Errorf("item %d", i)
+			}
+			return nil
+		})
+		if err == nil || err.Error() != "item 7" {
+			t.Errorf("workers=%d: err = %v, want item 7", workers, err)
+		}
+	}
+}
+
+func TestForEachDeterministicResults(t *testing.T) {
+	// Writing by index yields the same output slice at any parallelism.
+	const n = 500
+	want := make([]int, n)
+	for i := range want {
+		want[i] = i * i
+	}
+	for _, workers := range []int{1, 3, 16} {
+		out := make([]int, n)
+		if err := ForEach(workers, n, func(i int) error {
+			out[i] = i * i
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		for i := range out {
+			if out[i] != want[i] {
+				t.Fatalf("workers=%d: out[%d] = %d, want %d", workers, i, out[i], want[i])
+			}
+		}
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 
 	"aved/internal/units"
 )
@@ -208,8 +209,11 @@ func (f OverheadFunc) Factor(args map[string]Arg, n int) (float64, error) { retu
 // Registry resolves the performance references that appear in service
 // specifications (perfA.dat, mperfH.dat, …) to curves and overhead
 // functions. References not registered explicitly fall back to loading
-// a table file relative to Dir.
+// a table file relative to Dir. A registry is safe for concurrent
+// resolution — one registry is typically shared by every solver in a
+// parallel sweep — though Dir must be set before the first lookup.
 type Registry struct {
+	mu        sync.RWMutex
 	curves    map[string]Curve
 	overheads map[string]Overhead
 
@@ -227,29 +231,49 @@ func NewRegistry() *Registry {
 }
 
 // RegisterCurve binds a reference name to a curve.
-func (r *Registry) RegisterCurve(name string, c Curve) { r.curves[name] = c }
+func (r *Registry) RegisterCurve(name string, c Curve) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.curves[name] = c
+}
 
 // RegisterOverhead binds a reference name to an overhead function.
-func (r *Registry) RegisterOverhead(name string, o Overhead) { r.overheads[name] = o }
+func (r *Registry) RegisterOverhead(name string, o Overhead) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.overheads[name] = o
+}
 
 // Curve resolves a performance reference.
 func (r *Registry) Curve(ref string) (Curve, error) {
+	r.mu.RLock()
+	c, ok := r.curves[ref]
+	r.mu.RUnlock()
+	if ok {
+		return c, nil
+	}
+	if r.Dir == "" {
+		return nil, fmt.Errorf("perf: unknown performance reference %q", ref)
+	}
+	// File fallback caches the loaded table; re-check under the write
+	// lock so concurrent resolvers of one reference agree on the curve.
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	if c, ok := r.curves[ref]; ok {
 		return c, nil
 	}
-	if r.Dir != "" {
-		t, err := LoadTableFile(r.Dir + string(os.PathSeparator) + ref)
-		if err != nil {
-			return nil, err
-		}
-		r.curves[ref] = t
-		return t, nil
+	t, err := LoadTableFile(r.Dir + string(os.PathSeparator) + ref)
+	if err != nil {
+		return nil, err
 	}
-	return nil, fmt.Errorf("perf: unknown performance reference %q", ref)
+	r.curves[ref] = t
+	return t, nil
 }
 
 // Overhead resolves a mechanism performance-impact reference.
 func (r *Registry) Overhead(ref string) (Overhead, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
 	if o, ok := r.overheads[ref]; ok {
 		return o, nil
 	}

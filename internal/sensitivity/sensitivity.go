@@ -14,6 +14,7 @@ import (
 
 	"aved/internal/core"
 	"aved/internal/model"
+	"aved/internal/par"
 	"aved/internal/perf"
 	"aved/internal/sweep"
 	"aved/internal/units"
@@ -143,6 +144,11 @@ type Config struct {
 	SolverOptions core.Options
 	// Requirement is the fixed requirement to solve at each factor.
 	Requirement model.Requirements
+	// Workers bounds how many factors are evaluated concurrently: 0
+	// uses GOMAXPROCS, 1 runs sequentially. Each factor gets its own
+	// infrastructure clone and solver, so the reported points are
+	// identical at any worker count.
+	Workers int
 }
 
 // Sweep applies the knob at each factor to a fresh clone of the base
@@ -156,33 +162,38 @@ func Sweep(base *model.Infrastructure, cfg Config, knob Knob, factors []float64)
 	if cfg.Registry == nil {
 		return nil, fmt.Errorf("sensitivity: config needs a registry")
 	}
-	out := make([]Point, 0, len(factors))
-	for _, f := range factors {
+	// Factors are fully independent — each clones the infrastructure
+	// and builds its own solver — so they fan across the worker pool,
+	// landing by index; the lowest-index error matches the sequential
+	// first error.
+	out := make([]Point, len(factors))
+	err := par.ForEach(cfg.Workers, len(factors), func(i int) error {
+		f := factors[i]
 		inf := base.Clone()
 		if err := knob(inf, f); err != nil {
-			return nil, err
+			return err
 		}
 		svc, err := model.ParseService(cfg.ServiceSpec)
 		if err != nil {
-			return nil, fmt.Errorf("sensitivity: %w", err)
+			return fmt.Errorf("sensitivity: %w", err)
 		}
 		if err := svc.Resolve(inf); err != nil {
-			return nil, fmt.Errorf("sensitivity: %w", err)
+			return fmt.Errorf("sensitivity: %w", err)
 		}
 		opts := cfg.SolverOptions
 		opts.Registry = cfg.Registry
 		solver, err := core.NewSolver(inf, svc, opts)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		sol, err := solver.Solve(cfg.Requirement)
 		if err != nil {
 			var infErr *core.InfeasibleError
 			if errors.As(err, &infErr) {
-				out = append(out, Point{Factor: f, Infeasible: true})
-				continue
+				out[i] = Point{Factor: f, Infeasible: true}
+				return nil
 			}
-			return nil, fmt.Errorf("sensitivity: factor %v: %w", f, err)
+			return fmt.Errorf("sensitivity: factor %v: %w", f, err)
 		}
 		p := Point{
 			Factor:          f,
@@ -194,7 +205,11 @@ func Sweep(base *model.Infrastructure, cfg Config, knob Knob, factors []float64)
 		if len(sol.Design.Tiers) > 0 {
 			p.Family = sweep.FamilyOf(&sol.Design.Tiers[0])
 		}
-		out = append(out, p)
+		out[i] = p
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

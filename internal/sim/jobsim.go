@@ -3,6 +3,8 @@ package sim
 import (
 	"fmt"
 	"math/rand"
+
+	"aved/internal/par"
 )
 
 // JobParams drive a Monte-Carlo estimate of the expected wall-clock
@@ -26,7 +28,9 @@ type JobParams struct {
 }
 
 // SimulateJob estimates the expected wall-clock hours to finish the
-// job across reps independent replications.
+// job across reps independent replications. Replications run on the
+// shared worker pool with per-replication derived seeds (see repSeed),
+// so the estimate is bit-identical at any parallelism.
 func SimulateJob(seed int64, p JobParams, reps int) (float64, error) {
 	if p.ComputeHours <= 0 {
 		return 0, fmt.Errorf("sim: compute time must be positive, got %v", p.ComputeHours)
@@ -44,10 +48,15 @@ func SimulateJob(seed int64, p JobParams, reps int) (float64, error) {
 	if lw <= 0 || lw > p.ComputeHours {
 		lw = p.ComputeHours
 	}
-	rng := rand.New(rand.NewSource(seed))
+	samples := make([]float64, reps)
+	par.ForEach(0, reps, func(r int) error {
+		rng := rand.New(rand.NewSource(repSeed(seed, r)))
+		samples[r] = simulateJobOnce(rng, p.ComputeHours, lw, p.MTBFHours, p.OutageHours)
+		return nil
+	})
 	var total float64
-	for r := 0; r < reps; r++ {
-		total += simulateJobOnce(rng, p.ComputeHours, lw, p.MTBFHours, p.OutageHours)
+	for _, s := range samples {
+		total += s
 	}
 	return total / float64(reps), nil
 }

@@ -19,20 +19,26 @@ import (
 	"math/rand"
 
 	"aved/internal/avail"
+	"aved/internal/par"
 )
 
 // Engine is a Monte-Carlo availability engine. The zero value is not
 // usable; construct with NewEngine.
 type Engine struct {
-	seed  int64
-	years float64
-	reps  int
+	seed    int64
+	years   float64
+	reps    int
+	workers int // 0 means GOMAXPROCS
 }
 
 var _ avail.Engine = (*Engine)(nil)
 
 // NewEngine builds a simulation engine running reps independent
 // replications of years simulated years each, seeded deterministically.
+// Replications run across a worker pool (GOMAXPROCS workers by default;
+// see WithWorkers); each replication derives its own PRNG stream from
+// (seed, replication index), so results are bit-identical at any
+// parallelism.
 func NewEngine(seed int64, years float64, reps int) (*Engine, error) {
 	if years <= 0 {
 		return nil, fmt.Errorf("sim: years must be positive, got %v", years)
@@ -41,6 +47,26 @@ func NewEngine(seed int64, years float64, reps int) (*Engine, error) {
 		return nil, fmt.Errorf("sim: need at least one replication, got %d", reps)
 	}
 	return &Engine{seed: seed, years: years, reps: reps}, nil
+}
+
+// WithWorkers sets the replication worker-pool size (0 restores the
+// GOMAXPROCS default, 1 forces sequential execution) and returns the
+// engine. The worker count never changes results, only wall-clock time.
+func (e *Engine) WithWorkers(n int) *Engine {
+	e.workers = n
+	return e
+}
+
+// repSeed derives replication r's PRNG seed from the base seed with a
+// SplitMix64 finalizer, so a replication's random stream depends only on
+// (seed, r) — not on how many replications precede it or which worker
+// runs it. This is what makes the Monte-Carlo paths deterministic under
+// parallelism and keeps replication r's estimate stable as reps grows.
+func repSeed(seed int64, r int) int64 {
+	x := uint64(seed) + (uint64(r)+1)*0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return int64(x ^ (x >> 31))
 }
 
 // Stats summarises replication-level downtime estimates.
@@ -81,13 +107,17 @@ func (e *Engine) SimulateTier(tm *avail.TierModel) (Stats, error) {
 		return Stats{}, err
 	}
 	samples := make([]float64, e.reps)
-	for r := 0; r < e.reps; r++ {
-		rng := rand.New(rand.NewSource(e.seed + int64(r)*0x9E3779B9))
+	err := par.ForEach(e.workers, e.reps, func(r int) error {
+		rng := rand.New(rand.NewSource(repSeed(e.seed, r)))
 		down, err := simulateOnce(tm, rng, e.years)
 		if err != nil {
-			return Stats{}, err
+			return err
 		}
 		samples[r] = down / e.years // minutes per year
+		return nil
+	})
+	if err != nil {
+		return Stats{}, err
 	}
 	return summarise(samples), nil
 }
@@ -363,7 +393,9 @@ func (s *tierSim) findIdleSpare() int {
 // useful work when failures arrive as a Poisson process with the given
 // MTBF and each failure restarts the current loss window — the restart
 // law behind the paper's Eq. 1. Failure handling time is excluded, as
-// in the analytic formula.
+// in the analytic formula. Each replication draws from its own
+// deterministically derived stream (see repSeed), so replication r's
+// sample is independent of reps and of the worker count.
 func SimulateRestart(seed int64, mtbfHours, lwHours float64, reps int) (float64, error) {
 	if mtbfHours <= 0 || lwHours <= 0 {
 		return 0, fmt.Errorf("sim: restart law needs positive mtbf and loss window, got %v and %v", mtbfHours, lwHours)
@@ -371,19 +403,28 @@ func SimulateRestart(seed int64, mtbfHours, lwHours float64, reps int) (float64,
 	if reps < 1 {
 		return 0, fmt.Errorf("sim: need at least one replication, got %d", reps)
 	}
-	rng := rand.New(rand.NewSource(seed))
+	samples := make([]float64, reps)
+	par.ForEach(0, reps, func(r int) error {
+		rng := rand.New(rand.NewSource(repSeed(seed, r)))
+		samples[r] = restartOnce(rng, mtbfHours, lwHours)
+		return nil
+	})
 	var total float64
-	for r := 0; r < reps; r++ {
-		var elapsed float64
-		for {
-			x := rng.ExpFloat64() * mtbfHours
-			if x >= lwHours {
-				elapsed += lwHours
-				break
-			}
-			elapsed += x
-		}
-		total += elapsed
+	for _, s := range samples {
+		total += s
 	}
 	return total / float64(reps), nil
+}
+
+// restartOnce walks one replication of the restart law: elapsed time
+// accumulates until an inter-failure gap finally covers the loss window.
+func restartOnce(rng *rand.Rand, mtbfHours, lwHours float64) float64 {
+	var elapsed float64
+	for {
+		x := rng.ExpFloat64() * mtbfHours
+		if x >= lwHours {
+			return elapsed + lwHours
+		}
+		elapsed += x
+	}
 }

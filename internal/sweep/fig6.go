@@ -7,6 +7,7 @@ import (
 
 	"aved/internal/core"
 	"aved/internal/model"
+	"aved/internal/par"
 	"aved/internal/units"
 )
 
@@ -48,53 +49,77 @@ func Fig6(solver *core.Solver, loads, budgetsMinutes []float64) (*Fig6Result, er
 	if len(loads) == 0 || len(budgetsMinutes) == 0 {
 		return nil, fmt.Errorf("sweep: fig6 needs non-empty load and budget grids")
 	}
+	// Flatten the requirement grid: each (load, budget) cell is an
+	// independent Solve, fanned across the solver's worker pool. Cells
+	// land by index, so assembly below sees them in the sequential
+	// load-major order regardless of parallelism; the lowest-index error
+	// wins, matching the sequential first error.
+	nb := len(budgetsMinutes)
+	type cell struct {
+		ok    bool
+		point Fig6Point
+	}
+	cells := make([]cell, len(loads)*nb)
+	err := par.ForEach(solver.Workers(), len(cells), func(i int) error {
+		load, budget := loads[i/nb], budgetsMinutes[i%nb]
+		sol, err := solver.Solve(model.Requirements{
+			Kind:              model.ReqEnterprise,
+			Throughput:        load,
+			MaxAnnualDowntime: units.Duration(budget * float64(units.Minute)),
+		})
+		if err != nil {
+			var infErr *core.InfeasibleError
+			if errors.As(err, &infErr) {
+				return nil // this corner of the plane has no design
+			}
+			return fmt.Errorf("sweep: fig6 at load %v budget %v: %w", load, budget, err)
+		}
+		td := &sol.Design.Tiers[0]
+		cells[i] = cell{ok: true, point: Fig6Point{
+			Load:            load,
+			BudgetMinutes:   budget,
+			Family:          FamilyOf(td),
+			Stack:           Stack(td),
+			DowntimeMinutes: sol.DowntimeMinutes,
+			Cost:            sol.Cost,
+			NActive:         td.NActive,
+		}}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	res := &Fig6Result{}
 	type curveKey struct {
 		fam  Family
 		load float64
 	}
 	seen := map[curveKey]float64{} // family+load → downtime estimate
-	for _, load := range loads {
-		for _, budget := range budgetsMinutes {
-			sol, err := solver.Solve(model.Requirements{
-				Kind:              model.ReqEnterprise,
-				Throughput:        load,
-				MaxAnnualDowntime: units.Duration(budget * float64(units.Minute)),
-			})
-			if err != nil {
-				var infErr *core.InfeasibleError
-				if errors.As(err, &infErr) {
-					continue // this corner of the plane has no design
-				}
-				return nil, fmt.Errorf("sweep: fig6 at load %v budget %v: %w", load, budget, err)
-			}
-			td := &sol.Design.Tiers[0]
-			fam := FamilyOf(td)
-			res.Points = append(res.Points, Fig6Point{
-				Load:            load,
-				BudgetMinutes:   budget,
-				Family:          fam,
-				Stack:           Stack(td),
-				DowntimeMinutes: sol.DowntimeMinutes,
-				Cost:            sol.Cost,
-				NActive:         td.NActive,
-			})
-			seen[curveKey{fam, load}] = sol.DowntimeMinutes
+	for i := range cells {
+		if !cells[i].ok {
+			continue
 		}
+		p := cells[i].point
+		res.Points = append(res.Points, p)
+		seen[curveKey{p.Family, p.Load}] = p.DowntimeMinutes
 	}
-	// Build the family curves.
+	// Build the family curves in first-seen point order so the result is
+	// deterministic (map iteration order is not).
 	byFamily := map[Family]map[float64]float64{}
 	stacks := map[Family]string{}
+	var famOrder []Family
 	for _, p := range res.Points {
 		m, ok := byFamily[p.Family]
 		if !ok {
 			m = map[float64]float64{}
 			byFamily[p.Family] = m
 			stacks[p.Family] = p.Stack
+			famOrder = append(famOrder, p.Family)
 		}
 		m[p.Load] = seen[curveKey{p.Family, p.Load}]
 	}
-	for fam, m := range byFamily {
+	for _, fam := range famOrder {
+		m := byFamily[fam]
 		curve := Fig6Curve{Family: fam, Stack: stacks[fam]}
 		loadsSorted := make([]float64, 0, len(m))
 		for l := range m {
@@ -107,7 +132,7 @@ func Fig6(solver *core.Solver, loads, budgetsMinutes []float64) (*Fig6Result, er
 		}
 		res.Curves = append(res.Curves, curve)
 	}
-	sort.Slice(res.Curves, func(i, j int) bool {
+	sort.SliceStable(res.Curves, func(i, j int) bool {
 		return curveOrder(res.Curves[i]) > curveOrder(res.Curves[j])
 	})
 	return res, nil

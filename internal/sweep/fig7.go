@@ -6,6 +6,7 @@ import (
 
 	"aved/internal/core"
 	"aved/internal/model"
+	"aved/internal/par"
 	"aved/internal/units"
 )
 
@@ -32,8 +33,16 @@ func Fig7(solver *core.Solver, requirementHours []float64) ([]Fig7Point, error) 
 	if len(requirementHours) == 0 {
 		return nil, fmt.Errorf("sweep: fig7 needs a non-empty requirement grid")
 	}
-	out := make([]Fig7Point, 0, len(requirementHours))
-	for _, h := range requirementHours {
+	// Each requirement level is an independent Solve; fan them across
+	// the worker pool and collect points by index so the output order
+	// matches the sequential sweep.
+	type slot struct {
+		ok    bool
+		point Fig7Point
+	}
+	slots := make([]slot, len(requirementHours))
+	err := par.ForEach(solver.Workers(), len(slots), func(i int) error {
+		h := requirementHours[i]
 		sol, err := solver.Solve(model.Requirements{
 			Kind:       model.ReqJob,
 			MaxJobTime: units.FromHours(h),
@@ -41,9 +50,9 @@ func Fig7(solver *core.Solver, requirementHours []float64) ([]Fig7Point, error) 
 		if err != nil {
 			var infErr *core.InfeasibleError
 			if errors.As(err, &infErr) {
-				continue
+				return nil
 			}
-			return nil, fmt.Errorf("sweep: fig7 at %vh: %w", h, err)
+			return fmt.Errorf("sweep: fig7 at %vh: %w", h, err)
 		}
 		td := &sol.Design.Tiers[0]
 		p := Fig7Point{
@@ -63,7 +72,17 @@ func Fig7(solver *core.Solver, requirementHours []float64) ([]Fig7Point, error) 
 				p.StorageLocation = v.Str
 			}
 		}
-		out = append(out, p)
+		slots[i] = slot{ok: true, point: p}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Fig7Point, 0, len(slots))
+	for i := range slots {
+		if slots[i].ok {
+			out = append(out, slots[i].point)
+		}
 	}
 	return out, nil
 }

@@ -7,6 +7,7 @@ import (
 	"aved/internal/avail"
 	"aved/internal/core"
 	"aved/internal/model"
+	"aved/internal/par"
 	"aved/internal/units"
 )
 
@@ -34,36 +35,68 @@ func Fig8(solver *core.Solver, loads, budgetsMinutes []float64) ([]Fig8Curve, er
 	if len(loads) == 0 || len(budgetsMinutes) == 0 {
 		return nil, fmt.Errorf("sweep: fig8 needs non-empty load and budget grids")
 	}
-	out := make([]Fig8Curve, 0, len(loads))
-	for _, load := range loads {
-		// No availability requirement: any downtime within the year is
-		// acceptable, so the budget is the whole year.
-		base, err := solver.Solve(model.Requirements{
-			Kind:              model.ReqEnterprise,
-			Throughput:        load,
-			MaxAnnualDowntime: units.Duration(avail.MinutesPerYear * float64(units.Minute)),
-		})
-		if err != nil {
-			return nil, fmt.Errorf("sweep: fig8 baseline at load %v: %w", load, err)
-		}
-		curve := Fig8Curve{Load: load, BaselineCost: base.Cost}
-		for _, budget := range budgetsMinutes {
-			sol, err := solver.Solve(model.Requirements{
+	// Flatten loads × (baseline + budgets) into one work list: every
+	// solve — baselines included — is independent, so the whole grid fans
+	// across the worker pool. Slot 0 of each load's stride is the
+	// baseline; its flattened index precedes the load's budget cells, so
+	// the lowest-index error matches the sequential first error (a
+	// baseline failure, infeasible included, aborts the sweep).
+	nb := len(budgetsMinutes)
+	stride := nb + 1
+	type cell struct {
+		ok   bool
+		cost units.Money
+	}
+	cells := make([]cell, len(loads)*stride)
+	err := par.ForEach(solver.Workers(), len(cells), func(i int) error {
+		load := loads[i/stride]
+		j := i % stride
+		if j == 0 {
+			// No availability requirement: any downtime within the year
+			// is acceptable, so the budget is the whole year.
+			base, err := solver.Solve(model.Requirements{
 				Kind:              model.ReqEnterprise,
 				Throughput:        load,
-				MaxAnnualDowntime: units.Duration(budget * float64(units.Minute)),
+				MaxAnnualDowntime: units.Duration(avail.MinutesPerYear * float64(units.Minute)),
 			})
 			if err != nil {
-				var infErr *core.InfeasibleError
-				if errors.As(err, &infErr) {
-					continue
-				}
-				return nil, fmt.Errorf("sweep: fig8 at load %v budget %v: %w", load, budget, err)
+				return fmt.Errorf("sweep: fig8 baseline at load %v: %w", load, err)
+			}
+			cells[i] = cell{ok: true, cost: base.Cost}
+			return nil
+		}
+		budget := budgetsMinutes[j-1]
+		sol, err := solver.Solve(model.Requirements{
+			Kind:              model.ReqEnterprise,
+			Throughput:        load,
+			MaxAnnualDowntime: units.Duration(budget * float64(units.Minute)),
+		})
+		if err != nil {
+			var infErr *core.InfeasibleError
+			if errors.As(err, &infErr) {
+				return nil
+			}
+			return fmt.Errorf("sweep: fig8 at load %v budget %v: %w", load, budget, err)
+		}
+		cells[i] = cell{ok: true, cost: sol.Cost}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Fig8Curve, 0, len(loads))
+	for li, load := range loads {
+		base := cells[li*stride]
+		curve := Fig8Curve{Load: load, BaselineCost: base.cost}
+		for j := 0; j < nb; j++ {
+			c := cells[li*stride+1+j]
+			if !c.ok {
+				continue
 			}
 			curve.Points = append(curve.Points, Fig8Point{
-				BudgetMinutes: budget,
-				ExtraCost:     sol.Cost - base.Cost,
-				TotalCost:     sol.Cost,
+				BudgetMinutes: budgetsMinutes[j],
+				ExtraCost:     c.cost - base.cost,
+				TotalCost:     c.cost,
 			})
 		}
 		out = append(out, curve)

@@ -1,0 +1,9 @@
+#!/bin/sh
+# Regenerates results/BENCH_parallel.json: ns/op for the parallel
+# evaluation layer's sequential (-workers 1) vs pooled (-workers 0)
+# runs of the same workloads. Run from the repository root.
+set -eu
+cd "$(dirname "$0")/.."
+mkdir -p results
+go run ./cmd/avedbench -o results/BENCH_parallel.json
+echo "wrote results/BENCH_parallel.json"
