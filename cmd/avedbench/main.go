@@ -4,7 +4,10 @@
 // workload twice, with Workers=1 and with the full pool, via
 // testing.Benchmark; because every parallel path is bit-identical to
 // the sequential one, the two runs do the same work and the ratio is a
-// pure scheduling speedup.
+// pure scheduling speedup. Alongside the timings it reports allocations
+// per op and, for the solver workloads, the cache-effectiveness
+// counters: engine evaluations admitted by the fingerprint cache versus
+// Markov chains actually solved under the engine's mode memo.
 //
 // Usage:
 //
@@ -18,6 +21,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"sync/atomic"
 	"testing"
 
 	"aved"
@@ -26,21 +30,72 @@ import (
 )
 
 type benchResult struct {
-	Name              string  `json:"name"`
-	SequentialNsPerOp int64   `json:"sequential_ns_per_op"`
-	ParallelNsPerOp   int64   `json:"parallel_ns_per_op"`
-	Speedup           float64 `json:"speedup"`
+	Name              string `json:"name"`
+	SequentialNsPerOp int64  `json:"sequential_ns_per_op"`
+	ParallelNsPerOp   int64  `json:"parallel_ns_per_op"`
+	// AllocsPerOp are from the parallel run (the production shape).
+	SequentialAllocsPerOp int64         `json:"sequential_allocs_per_op"`
+	ParallelAllocsPerOp   int64         `json:"parallel_allocs_per_op"`
+	Speedup               float64       `json:"speedup"`
+	Counters              *evalCounters `json:"counters,omitempty"`
+}
+
+// evalCounters records how much evaluation work one instrumented run of
+// the workload performs at each cache level: engine evaluations are the
+// designs the fingerprint cache admitted (Stats.Evaluations); each one
+// demands a chain per failure mode (mode_evaluations in total), of
+// which the engine's memo actually solved only chain_solves — the rest
+// were memo hits. chain_solves falling well below mode_evaluations is
+// the second cache level working.
+type evalCounters struct {
+	EngineEvaluations uint64  `json:"engine_evaluations"`
+	ModeEvaluations   uint64  `json:"mode_evaluations"`
+	ChainSolves       uint64  `json:"chain_solves"`
+	ModeMemoHits      uint64  `json:"mode_memo_hits"`
+	MemoHitRate       float64 `json:"memo_hit_rate"`
 }
 
 type benchReport struct {
 	GOMAXPROCS int           `json:"gomaxprocs"`
+	NumCPU     int           `json:"num_cpu"`
 	GoVersion  string        `json:"go_version"`
 	Benchmarks []benchResult `json:"benchmarks"`
+}
+
+// countingEngine counts Evaluate calls around the memoizing engine, for
+// workloads (the sweeps) that do not surface solver stats.
+type countingEngine struct {
+	inner avail.MarkovEngine
+	calls atomic.Uint64
+}
+
+func (e *countingEngine) Evaluate(tms []avail.TierModel) (avail.Result, error) {
+	e.calls.Add(1)
+	return e.inner.Evaluate(tms)
+}
+
+func (e *countingEngine) counters() *evalCounters {
+	hits, solves := e.inner.MemoStats()
+	c := &evalCounters{
+		EngineEvaluations: e.calls.Load(),
+		ModeEvaluations:   hits + solves,
+		ChainSolves:       solves,
+		ModeMemoHits:      hits,
+	}
+	if c.ModeEvaluations > 0 {
+		c.MemoHitRate = float64(hits) / float64(c.ModeEvaluations)
+	}
+	return c
 }
 
 func main() {
 	out := flag.String("o", "", "write JSON here instead of stdout")
 	flag.Parse()
+	// Benchmark at full parallelism even when the environment pinned
+	// GOMAXPROCS down (the bug behind a recorded gomaxprocs of 1).
+	if runtime.GOMAXPROCS(0) < runtime.NumCPU() {
+		runtime.GOMAXPROCS(runtime.NumCPU())
+	}
 	if err := run(*out); err != nil {
 		fmt.Fprintln(os.Stderr, "avedbench:", err)
 		os.Exit(1)
@@ -49,28 +104,47 @@ func main() {
 
 func run(outPath string) error {
 	cases := []struct {
-		name string
-		fn   func(workers int) func(b *testing.B)
+		name     string
+		fn       func(workers int) func(b *testing.B)
+		counters func() (*evalCounters, error)
 	}{
-		{"sim-replications", simBench},
-		{"ecommerce-solve", solveBench},
-		{"fig6-sweep", fig6Bench},
+		{"sim-replications", simBench, nil},
+		{"ecommerce-solve", solveBench, solveCounters},
+		{"fig6-sweep", fig6Bench, fig6Counters},
 	}
-	rep := benchReport{GOMAXPROCS: runtime.GOMAXPROCS(0), GoVersion: runtime.Version()}
+	rep := benchReport{
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		GoVersion:  runtime.Version(),
+	}
 	for _, c := range cases {
 		seq := testing.Benchmark(c.fn(1))
 		par := testing.Benchmark(c.fn(0))
 		r := benchResult{
-			Name:              c.name,
-			SequentialNsPerOp: seq.NsPerOp(),
-			ParallelNsPerOp:   par.NsPerOp(),
+			Name:                  c.name,
+			SequentialNsPerOp:     seq.NsPerOp(),
+			ParallelNsPerOp:       par.NsPerOp(),
+			SequentialAllocsPerOp: seq.AllocsPerOp(),
+			ParallelAllocsPerOp:   par.AllocsPerOp(),
 		}
 		if r.ParallelNsPerOp > 0 {
 			r.Speedup = float64(r.SequentialNsPerOp) / float64(r.ParallelNsPerOp)
 		}
+		if c.counters != nil {
+			counters, err := c.counters()
+			if err != nil {
+				return fmt.Errorf("%s counters: %w", c.name, err)
+			}
+			r.Counters = counters
+		}
 		rep.Benchmarks = append(rep.Benchmarks, r)
 		fmt.Fprintf(os.Stderr, "%-18s sequential %12d ns/op  parallel %12d ns/op  speedup %.2fx\n",
 			c.name, r.SequentialNsPerOp, r.ParallelNsPerOp, r.Speedup)
+		if r.Counters != nil {
+			fmt.Fprintf(os.Stderr, "%-18s evaluations %d  mode evals %d  chain solves %d  hit rate %.0f%%\n",
+				"", r.Counters.EngineEvaluations, r.Counters.ModeEvaluations,
+				r.Counters.ChainSolves, 100*r.Counters.MemoHitRate)
+		}
 	}
 	w := os.Stdout
 	if outPath != "" {
@@ -106,6 +180,7 @@ func simBench(workers int) func(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
+		b.ReportAllocs()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			if _, err := eng.Evaluate([]avail.TierModel{tm}); err != nil {
@@ -115,53 +190,92 @@ func simBench(workers int) func(b *testing.B) {
 	}
 }
 
+// ecommerceSolver builds a fresh three-tier e-commerce solver.
+func ecommerceSolver(workers int, engine aved.Engine) (*aved.Solver, error) {
+	inf, err := aved.PaperInfrastructure()
+	if err != nil {
+		return nil, err
+	}
+	svc, err := aved.PaperEcommerce(inf)
+	if err != nil {
+		return nil, err
+	}
+	return aved.NewSolver(inf, svc, aved.Options{
+		Registry: aved.PaperRegistry(), Workers: workers, Engine: engine,
+	})
+}
+
+var ecommerceReq = aved.Requirements{
+	Kind:              aved.ReqEnterprise,
+	Throughput:        2000,
+	MaxAnnualDowntime: aved.Minutes(60),
+}
+
 // solveBench: one uncached three-tier e-commerce solve.
 func solveBench(workers int) func(b *testing.B) {
-	req := aved.Requirements{
-		Kind:              aved.ReqEnterprise,
-		Throughput:        2000,
-		MaxAnnualDowntime: aved.Minutes(60),
-	}
 	return func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
-			inf, err := aved.PaperInfrastructure()
+			s, err := ecommerceSolver(workers, nil)
 			if err != nil {
 				b.Fatal(err)
 			}
-			svc, err := aved.PaperEcommerce(inf)
-			if err != nil {
-				b.Fatal(err)
-			}
-			s, err := aved.NewSolver(inf, svc, aved.Options{Registry: aved.PaperRegistry(), Workers: workers})
-			if err != nil {
-				b.Fatal(err)
-			}
-			if _, err := s.Solve(req); err != nil {
+			if _, err := s.Solve(ecommerceReq); err != nil {
 				b.Fatal(err)
 			}
 		}
 	}
 }
 
+// solveCounters instruments one e-commerce solve: evaluations from the
+// solver's own stats, chain solves and memo hits from the engine.
+func solveCounters() (*evalCounters, error) {
+	eng := &countingEngine{inner: avail.NewMarkovEngine()}
+	s, err := ecommerceSolver(0, eng)
+	if err != nil {
+		return nil, err
+	}
+	sol, err := s.Solve(ecommerceReq)
+	if err != nil {
+		return nil, err
+	}
+	c := eng.counters()
+	if got := uint64(sol.Stats.Evaluations); got != c.EngineEvaluations {
+		return nil, fmt.Errorf("stats count %d evaluations but the engine saw %d", got, c.EngineEvaluations)
+	}
+	return c, nil
+}
+
+var (
+	fig6Loads   = []float64{400, 1400, 3200, 5000}
+	fig6Budgets = []float64{1, 10, 100, 1000, 10000}
+)
+
+// fig6Solver builds a fresh application-tier solver for the sweep.
+func fig6Solver(workers int, engine aved.Engine) (*aved.Solver, error) {
+	inf, err := aved.PaperInfrastructure()
+	if err != nil {
+		return nil, err
+	}
+	svc, err := aved.PaperApplicationTier(inf)
+	if err != nil {
+		return nil, err
+	}
+	return aved.NewSolver(inf, svc, aved.Options{
+		Registry: aved.PaperRegistry(), Workers: workers, Engine: engine,
+	})
+}
+
 // fig6Bench: a reduced Fig. 6 requirement-plane sweep.
 func fig6Bench(workers int) func(b *testing.B) {
-	loads := []float64{400, 1400, 3200, 5000}
-	budgets := []float64{1, 10, 100, 1000, 10000}
 	return func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
-			inf, err := aved.PaperInfrastructure()
+			s, err := fig6Solver(workers, nil)
 			if err != nil {
 				b.Fatal(err)
 			}
-			svc, err := aved.PaperApplicationTier(inf)
-			if err != nil {
-				b.Fatal(err)
-			}
-			s, err := aved.NewSolver(inf, svc, aved.Options{Registry: aved.PaperRegistry(), Workers: workers})
-			if err != nil {
-				b.Fatal(err)
-			}
-			res, err := aved.SweepFig6(s, loads, budgets)
+			res, err := aved.SweepFig6(s, fig6Loads, fig6Budgets)
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -170,4 +284,17 @@ func fig6Bench(workers int) func(b *testing.B) {
 			}
 		}
 	}
+}
+
+// fig6Counters instruments one full sweep through a counting engine.
+func fig6Counters() (*evalCounters, error) {
+	eng := &countingEngine{inner: avail.NewMarkovEngine()}
+	s, err := fig6Solver(0, eng)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := aved.SweepFig6(s, fig6Loads, fig6Budgets); err != nil {
+		return nil, err
+	}
+	return eng.counters(), nil
 }

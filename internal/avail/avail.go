@@ -134,21 +134,42 @@ type Engine interface {
 // MarkovEngine is the paper's "simplified Markov model": independent
 // per-failure-mode birth–death chains with per-event transient
 // accounting, composed in series across modes and tiers.
-type MarkovEngine struct{}
+//
+// Engines built with NewMarkovEngine carry a mode-chain memo: a solved
+// chain depends only on (n, m, effective spares, λ, μ, failover,
+// SparePowered), which recurs across mechanism combos, warmth levels
+// and tiers, so repeated sub-model work vanishes. The memo sits below
+// the engine boundary — results are bit-identical with or without it,
+// and callers' evaluation counts are unchanged. The zero value
+// MarkovEngine{} evaluates without a memo.
+type MarkovEngine struct {
+	memo *modeMemo
+}
 
 var _ Engine = MarkovEngine{}
 
-// NewMarkovEngine builds the analytic engine.
-func NewMarkovEngine() MarkovEngine { return MarkovEngine{} }
+// NewMarkovEngine builds the analytic engine with a fresh mode-chain
+// memo.
+func NewMarkovEngine() MarkovEngine { return MarkovEngine{memo: newModeMemo()} }
+
+// MemoStats reports the engine's mode-chain memo counters: cache hits
+// and birth–death chains actually solved. A zero engine (no memo)
+// reports zeros.
+func (e MarkovEngine) MemoStats() (hits, solves uint64) {
+	if e.memo == nil {
+		return 0, 0
+	}
+	return e.memo.hits.Load(), e.memo.solves.Load()
+}
 
 // Evaluate implements Engine.
-func (MarkovEngine) Evaluate(tms []TierModel) (Result, error) {
+func (e MarkovEngine) Evaluate(tms []TierModel) (Result, error) {
 	if len(tms) == 0 {
 		return Result{}, fmt.Errorf("avail: no tiers to evaluate")
 	}
-	res := Result{Availability: 1}
+	res := Result{Availability: 1, Tiers: make([]TierResult, 0, len(tms))}
 	for i := range tms {
-		tr, err := evaluateTier(&tms[i])
+		tr, err := e.evaluateTier(&tms[i])
 		if err != nil {
 			return Result{}, err
 		}
@@ -161,13 +182,13 @@ func (MarkovEngine) Evaluate(tms []TierModel) (Result, error) {
 
 // evaluateTier evaluates one tier: each failure mode gets an
 // independent birth–death chain; mode availabilities multiply.
-func evaluateTier(tm *TierModel) (TierResult, error) {
+func (e MarkovEngine) evaluateTier(tm *TierModel) (TierResult, error) {
 	if err := tm.Validate(); err != nil {
 		return TierResult{}, err
 	}
-	tr := TierResult{Name: tm.Name, Availability: 1}
+	tr := TierResult{Name: tm.Name, Availability: 1, Contributions: make([]ModeContribution, 0, len(tm.Modes))}
 	for _, mode := range tm.Modes {
-		mc, avail, err := evaluateMode(tm, mode)
+		mc, avail, err := e.evaluateMode(tm, mode)
 		if err != nil {
 			return TierResult{}, fmt.Errorf("tier %q mode %q: %w", tm.Name, mode.Name, err)
 		}
@@ -178,38 +199,80 @@ func evaluateTier(tm *TierModel) (TierResult, error) {
 	return tr, nil
 }
 
-// evaluateMode builds and solves the birth–death chain for one failure
-// mode, reporting its downtime contribution and availability.
-func evaluateMode(tm *TierModel, mode Mode) (ModeContribution, float64, error) {
-	mc := ModeContribution{Name: mode.Name}
-	lambda := 1 / mode.MTBF.Hours() // failures per powered resource-hour
-
+// evaluateMode reports one failure mode's downtime contribution and
+// availability, solving its birth–death chain on a memo miss and
+// replaying the solved figures on a hit.
+func (e MarkovEngine) evaluateMode(tm *TierModel, mode Mode) (ModeContribution, float64, error) {
 	// Spares only participate for modes that fail over (§4.2 considers
-	// failover only when repair exceeds failover time).
+	// failover only when repair exceeds failover time), so the memo key
+	// carries the effective spare count.
 	spares := 0
 	if mode.UsesFailover {
 		spares = tm.S
 	}
-	total := tm.N + spares
+	k := modeKey{
+		n:            tm.N,
+		m:            tm.M,
+		spares:       spares,
+		mtbf:         mode.MTBF,
+		repair:       mode.Repair,
+		failover:     mode.Failover,
+		usesFailover: mode.UsesFailover,
+		sparePowered: mode.SparePowered,
+	}
+	if e.memo != nil {
+		if v, ok := e.memo.get(k); ok {
+			return modeContribution(mode.Name, v), v.avail, nil
+		}
+	}
+	v, err := solveModeChain(k)
+	if err != nil {
+		return ModeContribution{}, 0, err
+	}
+	if e.memo != nil {
+		e.memo.solves.Add(1)
+		e.memo.put(k, v)
+	}
+	return modeContribution(mode.Name, v), v.avail, nil
+}
 
-	if mode.Repair <= 0 {
+func modeContribution(name string, v modeVal) ModeContribution {
+	return ModeContribution{
+		Name:             name,
+		SteadyMinutes:    v.steadyMinutes,
+		TransientMinutes: v.transientMinutes,
+		EventsPerYear:    v.eventsPerYear,
+	}
+}
+
+// solveModeChain builds and solves the birth–death chain for one memo
+// key. It is a pure function of the key — the guarantee that makes the
+// memo transparent — and draws its rate and distribution slices from a
+// pooled scratch, so a solve allocates nothing once the pool is warm.
+func solveModeChain(k modeKey) (modeVal, error) {
+	var v modeVal
+	lambda := 1 / k.mtbf.Hours() // failures per powered resource-hour
+	total := k.n + k.spares
+
+	if k.repair <= 0 {
 		// Instantaneous repair: the mode never accumulates failed
 		// resources and never causes downtime. Still report its event
 		// rate for visibility.
-		mc.EventsPerYear = float64(poweredAt(tm, mode, 0, total)) * lambda * 8760
-		return mc, 1, nil
+		v.eventsPerYear = float64(poweredAt(k, 0, total)) * lambda * 8760
+		v.avail = 1
+		return v, nil
 	}
-	mu := 1 / mode.Repair.Hours()
+	mu := 1 / k.repair.Hours()
 
-	birth := make([]float64, total)
-	death := make([]float64, total)
+	sc := chainScratchPool.Get().(*chainScratch)
+	defer chainScratchPool.Put(sc)
+	birth, death, pi := sc.slices(total)
 	for j := 0; j < total; j++ {
-		birth[j] = float64(poweredAt(tm, mode, j, total)) * lambda
+		birth[j] = float64(poweredAt(k, j, total)) * lambda
 		death[j] = float64(j+1) * mu
 	}
-	pi, err := markov.BirthDeathSteadyState(birth, death)
-	if err != nil {
-		return ModeContribution{}, 0, err
+	if err := markov.BirthDeathSteadyStateInto(pi, birth, death); err != nil {
+		return modeVal{}, err
 	}
 
 	var (
@@ -217,10 +280,10 @@ func evaluateMode(tm *TierModel, mode Mode) (ModeContribution, float64, error) {
 		transientFrac float64 // fraction of time inside failover transients
 		eventsPerHour float64
 	)
-	failoverHours := mode.Failover.Hours()
+	failoverHours := k.failover.Hours()
 	for j := 0; j <= total; j++ {
-		actives := activeAt(tm.N, j, total)
-		if actives < tm.M {
+		actives := activeAt(k.n, j, total)
+		if actives < k.m {
 			steadyDown += pi[j]
 		}
 		if j < total {
@@ -230,22 +293,22 @@ func evaluateMode(tm *TierModel, mode Mode) (ModeContribution, float64, error) {
 		// stands by momentarily drops the active count below M for the
 		// failover duration; the chain itself shows no downtime because
 		// the spare absorbs the failure.
-		if mode.UsesFailover && j < total && failoverHours > 0 {
+		if k.usesFailover && j < total && failoverHours > 0 {
 			idleSpares := total - j - actives
-			if idleSpares > 0 && actives == tm.M {
+			if idleSpares > 0 && actives == k.m {
 				activeFailureRate := float64(actives) * lambda
 				transientFrac += pi[j] * activeFailureRate * failoverHours
 			}
 		}
 	}
-	mc.EventsPerYear = eventsPerHour * 8760
-	mc.SteadyMinutes = steadyDown * MinutesPerYear
-	mc.TransientMinutes = transientFrac * MinutesPerYear
-	avail := 1 - steadyDown - transientFrac
-	if avail < 0 {
-		avail = 0
+	v.eventsPerYear = eventsPerHour * 8760
+	v.steadyMinutes = steadyDown * MinutesPerYear
+	v.transientMinutes = transientFrac * MinutesPerYear
+	v.avail = 1 - steadyDown - transientFrac
+	if v.avail < 0 {
+		v.avail = 0
 	}
-	return mc, avail, nil
+	return v, nil
 }
 
 // activeAt reports the number of active resources when j of total are
@@ -261,31 +324,27 @@ func activeAt(n, j, total int) int {
 // poweredAt reports the number of resources failure-prone for a mode
 // in state j: the actives, plus idle spares when the mode's component
 // is powered on spares.
-func poweredAt(tm *TierModel, mode Mode, j, total int) int {
-	actives := activeAt(tm.N, j, total)
-	if mode.SparePowered {
+func poweredAt(k modeKey, j, total int) int {
+	actives := activeAt(k.n, j, total)
+	if k.sparePowered {
 		return total - j
 	}
 	return actives
 }
 
-// BuildTierModel derives the §4.2 availability model from a tier
-// design: m from the design's MinActive, per-mode repair and failover
-// times from the resolved effective failure modes.
-func BuildTierModel(td *model.TierDesign) (TierModel, error) {
+// BuildTierModes resolves a tier design's effective failure modes into
+// the engine Mode representation. The result depends on the design's
+// resource type, mechanism settings, spare warmth and spare existence —
+// not on the exact resource counts — which is what lets callers cache
+// one resolution across every (active, spare) split of a combination.
+func BuildTierModes(td *model.TierDesign) ([]Mode, error) {
 	ems, err := td.EffectiveModes()
 	if err != nil {
-		return TierModel{}, err
+		return nil, err
 	}
-	tm := TierModel{
-		Name: td.TierName,
-		N:    td.NActive,
-		M:    td.MinActive,
-		S:    td.NSpare,
-	}
-	tm.Modes = make([]Mode, 0, len(ems))
+	modes := make([]Mode, 0, len(ems))
 	for _, em := range ems {
-		tm.Modes = append(tm.Modes, Mode{
+		modes = append(modes, Mode{
 			Name:         em.Component + "/" + em.Mode,
 			MTBF:         em.MTBF,
 			Repair:       em.RepairTime,
@@ -294,7 +353,24 @@ func BuildTierModel(td *model.TierDesign) (TierModel, error) {
 			SparePowered: em.SparePowered,
 		})
 	}
-	return tm, nil
+	return modes, nil
+}
+
+// BuildTierModel derives the §4.2 availability model from a tier
+// design: m from the design's MinActive, per-mode repair and failover
+// times from the resolved effective failure modes.
+func BuildTierModel(td *model.TierDesign) (TierModel, error) {
+	modes, err := BuildTierModes(td)
+	if err != nil {
+		return TierModel{}, err
+	}
+	return TierModel{
+		Name:  td.TierName,
+		N:     td.NActive,
+		M:     td.MinActive,
+		S:     td.NSpare,
+		Modes: modes,
+	}, nil
 }
 
 // BuildModels derives availability models for every tier of a design.

@@ -47,10 +47,11 @@ func missionModeAvailability(tm *TierModel, mode Mode, horizonHours float64) (fl
 		return 1, nil
 	}
 	mu := 1 / mode.Repair.Hours()
+	pk := modeKey{n: tm.N, m: tm.M, spares: spares, sparePowered: mode.SparePowered}
 	birth := make([]float64, total)
 	death := make([]float64, total)
 	for j := 0; j < total; j++ {
-		birth[j] = float64(poweredAt(tm, mode, j, total)) * lambda
+		birth[j] = float64(poweredAt(pk, j, total)) * lambda
 		death[j] = float64(j+1) * mu
 	}
 	chain, err := markov.BirthDeathChain(birth, death)

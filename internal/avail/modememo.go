@@ -1,0 +1,128 @@
+package avail
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"aved/internal/units"
+)
+
+// modeKey is everything one failure mode's birth–death solve depends
+// on. It deliberately omits the mode name and the raw spare count: the
+// name is presentation only, and spares enter the chain solely when the
+// mode fails over, so the key carries the effective spare count. Two
+// modes agreeing on this key — across mechanism combos, warmth levels
+// and even tiers — have bit-identical contributions and share one
+// solved chain.
+type modeKey struct {
+	n, m, spares int
+	mtbf         units.Duration
+	repair       units.Duration
+	failover     units.Duration
+	usesFailover bool
+	sparePowered bool
+}
+
+// modeVal is one solved chain's reduced result. Reattaching the mode
+// name reconstitutes the full ModeContribution.
+type modeVal struct {
+	steadyMinutes    float64
+	transientMinutes float64
+	eventsPerYear    float64
+	avail            float64
+}
+
+// memoShards is the shard count of the mode-chain memo. Key hashes
+// avalanche fully, so a small power of two suffices.
+const memoShards = 32
+
+// modeMemo is a sharded memo of solved birth–death chains shared by
+// every evaluation an engine instance runs. It sits below the engine
+// boundary: callers see identical Results and identical evaluation
+// counts whether entries hit or miss.
+type modeMemo struct {
+	hits   atomic.Uint64
+	solves atomic.Uint64
+	shards [memoShards]memoShard
+}
+
+type memoShard struct {
+	mu sync.RWMutex
+	m  map[modeKey]modeVal
+}
+
+func newModeMemo() *modeMemo {
+	mm := &modeMemo{}
+	for i := range mm.shards {
+		mm.shards[i].m = map[modeKey]modeVal{}
+	}
+	return mm
+}
+
+// memoMix64 is the SplitMix64 finalizer, used to shard keys.
+func memoMix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+func (k modeKey) shard() uint64 {
+	h := uint64(k.n)*0x9e3779b97f4a7c15 ^ uint64(k.m)<<21 ^ uint64(k.spares)<<42
+	h = memoMix64(h ^ uint64(k.mtbf))
+	h = memoMix64(h ^ uint64(k.repair))
+	h = memoMix64(h ^ uint64(k.failover))
+	if k.usesFailover {
+		h ^= 0xa5a5a5a5a5a5a5a5
+	}
+	if k.sparePowered {
+		h ^= 0x5a5a5a5a5a5a5a5a
+	}
+	return memoMix64(h) % memoShards
+}
+
+func (mm *modeMemo) get(k modeKey) (modeVal, bool) {
+	sh := &mm.shards[k.shard()]
+	sh.mu.RLock()
+	v, ok := sh.m[k]
+	sh.mu.RUnlock()
+	if ok {
+		mm.hits.Add(1)
+	}
+	return v, ok
+}
+
+func (mm *modeMemo) put(k modeKey, v modeVal) {
+	sh := &mm.shards[k.shard()]
+	sh.mu.Lock()
+	if _, ok := sh.m[k]; !ok {
+		sh.m[k] = v
+	}
+	sh.mu.Unlock()
+}
+
+// chainScratch holds the rate and distribution slices one birth–death
+// solve needs, pooled so memo misses allocate nothing once the pool is
+// warm. Every element the solver reads is overwritten first, so reuse
+// cannot leak state between solves.
+type chainScratch struct {
+	birth, death, pi []float64
+}
+
+var chainScratchPool = sync.Pool{New: func() any { return new(chainScratch) }}
+
+// slices returns rate slices of length total and a distribution slice
+// of length total+1, growing the backing arrays only when a larger
+// chain than any before appears.
+func (s *chainScratch) slices(total int) (birth, death, pi []float64) {
+	if cap(s.birth) < total {
+		s.birth = make([]float64, total)
+		s.death = make([]float64, total)
+	}
+	if cap(s.pi) < total+1 {
+		s.pi = make([]float64, total+1)
+	}
+	return s.birth[:total], s.death[:total], s.pi[: total+1 : total+1]
+}

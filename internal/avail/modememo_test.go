@@ -1,0 +1,162 @@
+package avail
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"aved/internal/units"
+)
+
+// TestMemoTransparency is the memoization correctness property: a
+// shared memoizing engine — including on its second pass, when every
+// chain is a memo hit — returns Results bit-identical to a memo-less
+// MarkovEngine{} across random tier models. DeepEqual compares the
+// float64s exactly, so any rounding difference introduced by the memo
+// or the scratch reuse fails the test.
+func TestMemoTransparency(t *testing.T) {
+	memoized := NewMarkovEngine()
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tms := make([]TierModel, 1+rng.Intn(3))
+		for i := range tms {
+			tms[i] = randomTier(rng)
+		}
+		want, err := MarkovEngine{}.Evaluate(tms)
+		if err != nil {
+			return false
+		}
+		cold, err := memoized.Evaluate(tms)
+		if err != nil {
+			return false
+		}
+		warm, err := memoized.Evaluate(tms) // all memo hits
+		if err != nil {
+			return false
+		}
+		return reflect.DeepEqual(want, cold) && reflect.DeepEqual(want, warm)
+	}
+	if err := quick.Check(f, quickCfg(7, 300)); err != nil {
+		t.Error(err)
+	}
+	hits, solves := memoized.MemoStats()
+	if hits == 0 || solves == 0 {
+		t.Errorf("memo never exercised: hits=%d solves=%d", hits, solves)
+	}
+}
+
+// TestMemoStatsCountHitsAndSolves pins the counter semantics: the first
+// pass over a model solves every chain, the second hits every one.
+func TestMemoStatsCountHitsAndSolves(t *testing.T) {
+	e := NewMarkovEngine()
+	tm := TierModel{Name: "t", N: 3, M: 2, S: 1, Modes: []Mode{
+		{Name: "hw", MTBF: 3000 * units.Hour, Repair: 8 * units.Hour, Failover: units.Hour, UsesFailover: true},
+		{Name: "sw", MTBF: 500 * units.Hour, Repair: units.Hour},
+	}}
+	if _, err := e.Evaluate([]TierModel{tm}); err != nil {
+		t.Fatal(err)
+	}
+	hits, solves := e.MemoStats()
+	if hits != 0 || solves != uint64(len(tm.Modes)) {
+		t.Fatalf("after cold pass: hits=%d solves=%d, want 0 and %d", hits, solves, len(tm.Modes))
+	}
+	if _, err := e.Evaluate([]TierModel{tm}); err != nil {
+		t.Fatal(err)
+	}
+	hits, solves = e.MemoStats()
+	if hits != uint64(len(tm.Modes)) || solves != uint64(len(tm.Modes)) {
+		t.Fatalf("after warm pass: hits=%d solves=%d, want %d and %d",
+			hits, solves, len(tm.Modes), len(tm.Modes))
+	}
+}
+
+// TestZeroValueEngineHasNoMemo: the MarkovEngine{} zero value (used
+// throughout the tests and as a fallback) evaluates without a memo and
+// reports zero stats.
+func TestZeroValueEngineHasNoMemo(t *testing.T) {
+	e := MarkovEngine{}
+	tm := TierModel{Name: "t", N: 2, M: 1, Modes: []Mode{{Name: "m", MTBF: 1000 * units.Hour, Repair: 4 * units.Hour}}}
+	for i := 0; i < 2; i++ {
+		if _, err := e.Evaluate([]TierModel{tm}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if hits, solves := e.MemoStats(); hits != 0 || solves != 0 {
+		t.Errorf("zero-value engine reported memo stats %d/%d", hits, solves)
+	}
+}
+
+// TestEvaluateModeHitAllocFree is the allocation regression for the
+// engine hot path: once a chain is memoized, re-evaluating its mode
+// must not allocate.
+func TestEvaluateModeHitAllocFree(t *testing.T) {
+	e := NewMarkovEngine()
+	tm := TierModel{Name: "t", N: 4, M: 3, S: 1, Modes: []Mode{
+		{Name: "hw", MTBF: 3000 * units.Hour, Repair: 8 * units.Hour, Failover: units.Hour, UsesFailover: true},
+	}}
+	if _, _, err := e.evaluateMode(&tm, tm.Modes[0]); err != nil { // warm the memo
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		if _, _, err := e.evaluateMode(&tm, tm.Modes[0]); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("memoized evaluateMode allocates %.1f objects per run, want 0", allocs)
+	}
+}
+
+// BenchmarkEvaluateMode measures one mode evaluation cold (memo-less
+// zero value, solving the chain each time) and warm (memo hit).
+func BenchmarkEvaluateMode(b *testing.B) {
+	tm := TierModel{Name: "t", N: 6, M: 5, S: 1, Modes: []Mode{
+		{Name: "hw", MTBF: 650 * 24 * units.Hour, Repair: 38 * units.Hour,
+			Failover: units.Hour / 10, UsesFailover: true},
+	}}
+	b.Run("cold", func(b *testing.B) {
+		e := MarkovEngine{}
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := e.evaluateMode(&tm, tm.Modes[0]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("memoized", func(b *testing.B) {
+		e := NewMarkovEngine()
+		if _, _, err := e.evaluateMode(&tm, tm.Modes[0]); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := e.evaluateMode(&tm, tm.Modes[0]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// TestSolveModeChainPureOfKey: two designs that reduce to the same
+// modeKey — e.g. a spare-less tier and one whose spares are ignored by
+// a non-failover mode — share one solve.
+func TestSolveModeChainPureOfKey(t *testing.T) {
+	e := NewMarkovEngine()
+	noSpares := TierModel{Name: "a", N: 3, M: 2, S: 0, Modes: []Mode{
+		{Name: "sw", MTBF: 500 * units.Hour, Repair: 2 * units.Hour},
+	}}
+	ignoredSpares := TierModel{Name: "b", N: 3, M: 2, S: 2, Modes: []Mode{
+		{Name: "sw", MTBF: 500 * units.Hour, Repair: 2 * units.Hour}, // UsesFailover false: spares inert
+	}}
+	if _, err := e.Evaluate([]TierModel{noSpares}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Evaluate([]TierModel{ignoredSpares}); err != nil {
+		t.Fatal(err)
+	}
+	hits, solves := e.MemoStats()
+	if hits != 1 || solves != 1 {
+		t.Errorf("effective-spares keying: hits=%d solves=%d, want 1 and 1", hits, solves)
+	}
+}

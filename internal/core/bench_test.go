@@ -3,6 +3,7 @@ package core
 import (
 	"testing"
 
+	"aved/internal/model"
 	"aved/internal/scenarios"
 	"aved/internal/units"
 )
@@ -39,6 +40,87 @@ func BenchmarkParetoReduce(b *testing.B) {
 			b.Fatal("empty frontier")
 		}
 	}
+}
+
+// benchEvalDesigns builds the warmed-cache working set for
+// BenchmarkEvalTier: distinct (size, maintenance level) designs of the
+// application tier.
+func benchEvalDesigns(b *testing.B, s *Solver) []model.TierDesign {
+	b.Helper()
+	var designs []model.TierDesign
+	for n := 2; n <= 9; n++ {
+		for _, lv := range []string{"bronze", "silver", "gold"} {
+			designs = append(designs, model.TierDesign{
+				TierName:  "application",
+				Option:    &s.svc.Tiers[0].Options[0],
+				NActive:   n,
+				NSpare:    1,
+				NMinPerf:  n,
+				MinActive: n,
+				Mechanisms: []model.MechSetting{{
+					Mechanism: s.inf.Mechanisms["maintenanceA"],
+					Values:    map[string]model.ParamValue{"level": model.EnumValue(lv)},
+				}},
+			})
+		}
+	}
+	return designs
+}
+
+// BenchmarkEvalTier is the hot-path acceptance benchmark: a warmed
+// cached evaluation keyed by the packed fingerprint versus the same
+// lookup keyed by the legacy string key (relevance map + sorted labels
+// + concatenation per call, as on the old hot path). The packed variant
+// must allocate at least 5× less; in fact it allocates nothing.
+func BenchmarkEvalTier(b *testing.B) {
+	inf, err := scenarios.Infrastructure()
+	if err != nil {
+		b.Fatal(err)
+	}
+	svc, err := scenarios.ApplicationTier(inf)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s, err := NewSolver(inf, svc, Options{Registry: scenarios.Registry()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	designs := benchEvalDesigns(b, s)
+	var stats searchStats
+	for i := range designs {
+		if _, err := s.evalTier(&designs[i], fingerprintOf(&designs[i]), &stats); err != nil {
+			b.Fatal(err)
+		}
+	}
+
+	b.Run("packed-fingerprint", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			td := &designs[i%len(designs)]
+			if _, err := s.evalTier(td, fingerprintOf(td), &stats); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	// The baseline replays the retired keying scheme against an
+	// equivalently warmed map, isolating the cost the rekey removed.
+	b.Run("string-key-baseline", func(b *testing.B) {
+		warmed := make(map[string]evalEntry, len(designs))
+		for i := range designs {
+			ev, err := s.evalTier(&designs[i], fingerprintOf(&designs[i]), &stats)
+			if err != nil {
+				b.Fatal(err)
+			}
+			warmed[legacyAvailKey(&designs[i])] = ev
+		}
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, ok := warmed[legacyAvailKey(&designs[i%len(designs)])]; !ok {
+				b.Fatal("baseline cache miss")
+			}
+		}
+	})
 }
 
 // BenchmarkTierFrontier measures one tier's full Pareto-frontier build

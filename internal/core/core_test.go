@@ -194,7 +194,7 @@ func TestRequirementPlaneCoverage(t *testing.T) {
 				Values:    map[string]model.ParamValue{"level": model.EnumValue("bronze")},
 			}},
 		}
-		entry, err := s.evalTier(&td, &stats)
+		entry, err := s.evalTier(&td, fingerprintOf(&td), &stats)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -3,26 +3,29 @@ package core
 import (
 	"sync"
 	"sync/atomic"
+
+	"aved/internal/avail"
 )
 
 // evalShards is the shard count of the availability-evaluation cache.
-// Keys hash uniformly (availability fingerprints), so a modest power of
-// two keeps lock contention negligible at any realistic worker count.
+// Keys hash uniformly (packed availability fingerprints), so a modest
+// power of two keeps lock contention negligible at any realistic worker
+// count.
 const evalShards = 64
 
 // evalCache is a sharded, singleflight-style cache of availability
-// evaluations keyed by fingerprint. Concurrent requests for the same
-// key share one engine evaluation: the first requester computes, the
-// rest block on the flight's once and read the settled result. Errors
-// settle the flight too — engine errors here are deterministic model
-// errors, so retrying could not succeed.
+// evaluations keyed by packed fingerprint. Concurrent requests for the
+// same key share one engine evaluation: the first requester computes,
+// the rest block on the flight's once and read the settled result.
+// Errors settle the flight too — engine errors here are deterministic
+// model errors, so retrying could not succeed.
 type evalCache struct {
 	shards [evalShards]evalShard
 }
 
 type evalShard struct {
 	mu sync.Mutex
-	m  map[string]*evalFlight
+	m  map[fp128]*evalFlight
 }
 
 type evalFlight struct {
@@ -34,19 +37,16 @@ type evalFlight struct {
 func newEvalCache() *evalCache {
 	c := &evalCache{}
 	for i := range c.shards {
-		c.shards[i].m = map[string]*evalFlight{}
+		c.shards[i].m = map[fp128]*evalFlight{}
 	}
 	return c
 }
 
-// flight returns the singleflight slot for a key, creating it if absent.
-func (c *evalCache) flight(key string) *evalFlight {
-	// Inline FNV-1a: the key is already a canonical fingerprint string.
-	h := uint32(2166136261)
-	for i := 0; i < len(key); i++ {
-		h = (h ^ uint32(key[i])) * 16777619
-	}
-	sh := &c.shards[h%evalShards]
+// flight returns the singleflight slot for a key, creating it if
+// absent. The lo word is already avalanche-mixed, so it shards
+// directly; the lookup itself is allocation-free.
+func (c *evalCache) flight(key fp128) *evalFlight {
+	sh := &c.shards[key.lo%evalShards]
 	sh.mu.Lock()
 	f, ok := sh.m[key]
 	if !ok {
@@ -55,6 +55,56 @@ func (c *evalCache) flight(key string) *evalFlight {
 	}
 	sh.mu.Unlock()
 	return f
+}
+
+// modeCacheShards is the shard count of the effective-mode cache. Mode
+// fingerprints are far fewer than availability fingerprints (counts
+// collapse), so a smaller table suffices.
+const modeCacheShards = 32
+
+// modeCache caches resolved effective-mode slices by mode fingerprint,
+// so candidate enumeration stops re-resolving mechanism references per
+// (active, spare) split: every design sharing (option, relevant combo
+// settings, warmth, has-spares) reuses one []avail.Mode. Slices are
+// shared read-only — engines never mutate Modes — and the first stored
+// slice wins so concurrent resolvers converge on one canonical value.
+type modeCache struct {
+	shards [modeCacheShards]modeCacheShard
+}
+
+type modeCacheShard struct {
+	mu sync.Mutex
+	m  map[fp128][]avail.Mode
+}
+
+func newModeCache() *modeCache {
+	c := &modeCache{}
+	for i := range c.shards {
+		c.shards[i].m = map[fp128][]avail.Mode{}
+	}
+	return c
+}
+
+func (c *modeCache) get(key fp128) ([]avail.Mode, bool) {
+	sh := &c.shards[key.lo%modeCacheShards]
+	sh.mu.Lock()
+	modes, ok := sh.m[key]
+	sh.mu.Unlock()
+	return modes, ok
+}
+
+// put stores modes under key and returns the canonical slice — the one
+// already present if another goroutine got there first.
+func (c *modeCache) put(key fp128, modes []avail.Mode) []avail.Mode {
+	sh := &c.shards[key.lo%modeCacheShards]
+	sh.mu.Lock()
+	if prev, ok := sh.m[key]; ok {
+		modes = prev
+	} else {
+		sh.m[key] = modes
+	}
+	sh.mu.Unlock()
+	return modes
 }
 
 // searchStats is the concurrency-safe counterpart of Stats used while a

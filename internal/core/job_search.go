@@ -92,13 +92,16 @@ type comboOverhead struct {
 }
 
 // prepareJobCombos resolves the option's mechanism combinations into
-// jobCombos, grouped by availability relevance.
-func (s *Solver) prepareJobCombos(tier *model.Tier, opt *model.ResourceOption) ([]jobCombo, int, error) {
+// jobCombos, grouped by availability relevance. It returns the packed
+// relevant-settings fingerprint of each group, computed once here so
+// the search loop reuses it instead of re-fingerprinting per probe.
+func (s *Solver) prepareJobCombos(tier *model.Tier, opt *model.ResourceOption) ([]jobCombo, []fp128, error) {
 	combos, err := s.mechCombos(opt.ResourceType())
 	if err != nil {
-		return nil, 0, err
+		return nil, nil, err
 	}
-	groups := map[string]int{}
+	groups := map[fp128]int{}
+	var groupFPs []fp128
 	out := make([]jobCombo, 0, len(combos))
 	for _, combo := range combos {
 		jc := jobCombo{settings: combo}
@@ -114,25 +117,25 @@ func (s *Solver) prepareJobCombos(tier *model.Tier, opt *model.ResourceOption) (
 		}
 		lw, has, err := probe.LossWindow()
 		if err != nil {
-			return nil, 0, err
+			return nil, nil, err
 		}
 		jc.lossWindow, jc.hasLW = lw, has
 		for _, ms := range combo {
 			per, err := ms.CostPerInstance()
 			if err != nil {
-				return nil, 0, err
+				return nil, nil, err
 			}
 			jc.mechCostPerInstance += per
 		}
 		for _, mp := range opt.MechPerf {
 			ms, ok := probe.Mechanism(mp.Mechanism)
 			if !ok {
-				return nil, 0, fmt.Errorf("core: tier %q: mechanism %q has a performance impact but no setting",
+				return nil, nil, fmt.Errorf("core: tier %q: mechanism %q has a performance impact but no setting",
 					tier.Name, mp.Mechanism)
 			}
 			oh, err := s.opts.Registry.Overhead(mp.Ref)
 			if err != nil {
-				return nil, 0, err
+				return nil, nil, err
 			}
 			args := make(map[string]perf.Arg, len(ms.Values))
 			for name, v := range ms.Values {
@@ -140,16 +143,17 @@ func (s *Solver) prepareJobCombos(tier *model.Tier, opt *model.ResourceOption) (
 			}
 			jc.overheads = append(jc.overheads, comboOverhead{fn: oh, args: args})
 		}
-		key := availKey(&probe)
-		id, ok := groups[key]
+		cfp := comboFP(opt.ResourceType(), combo)
+		id, ok := groups[cfp]
 		if !ok {
 			id = len(groups)
-			groups[key] = id
+			groups[cfp] = id
+			groupFPs = append(groupFPs, cfp)
 		}
 		jc.availGroup = id
 		out = append(out, jc)
 	}
-	return out, len(groups), nil
+	return out, groupFPs, nil
 }
 
 func (s *Solver) searchJobOption(tier *model.Tier, opt *model.ResourceOption, maxTime units.Duration,
@@ -159,10 +163,12 @@ func (s *Solver) searchJobOption(tier *model.Tier, opt *model.ResourceOption, ma
 	if err != nil {
 		return nil, err
 	}
-	combos, groupCount, err := s.prepareJobCombos(tier, opt)
+	combos, groupFPs, err := s.prepareJobCombos(tier, opt)
 	if err != nil {
 		return nil, err
 	}
+	groupCount := len(groupFPs)
+	base := baseFP(tier.Name, opt.ResourceType().Name)
 	// Per-instance component costs are count-independent; spare cost
 	// depends on the warmth prefix.
 	rt := opt.ResourceType()
@@ -188,6 +194,8 @@ func (s *Solver) searchJobOption(tier *model.Tier, opt *model.ResourceOption, ma
 	degrading := 0
 	maxTotal := rt.MaxInstances()
 	grid := opt.NActive
+	// Warmth levels for spared candidates, computed once per option.
+	warmSpareLevels := s.warmLevels(rt, 1)
 	entries := make([]evalEntry, groupCount)
 	evaluated := make([]bool, groupCount)
 	nVal, ok := grid.Lo(), true
@@ -202,7 +210,11 @@ func (s *Solver) searchJobOption(tier *model.Tier, opt *model.ResourceOption, ma
 			if maxTotal > 0 && n+spares > maxTotal {
 				break
 			}
-			for _, warm := range s.warmLevels(rt, spares) {
+			warms := warmZeroLevels
+			if spares > 0 {
+				warms = warmSpareLevels
+			}
+			for _, warm := range warms {
 				for g := range evaluated {
 					evaluated[g] = false
 				}
@@ -226,7 +238,11 @@ func (s *Solver) searchJobOption(tier *model.Tier, opt *model.ResourceOption, ma
 					}
 					if !evaluated[jc.availGroup] {
 						td := s.buildJobDesign(tier, opt, n, spares, warm, jc.settings)
-						entry, err := s.evalTier(&td, stats)
+						// Reuse the group's packed fingerprint from
+						// prepareJobCombos; only the counts vary here.
+						mfp := modeFPOf(base, groupFPs[jc.availGroup], warm, spares > 0)
+						fps := candFP{avail: availFPOf(mfp, td.NActive, td.MinActive, td.NSpare), mode: mfp}
+						entry, err := s.evalTier(&td, fps, stats)
 						if err != nil {
 							return nil, err
 						}

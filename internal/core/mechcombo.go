@@ -2,8 +2,6 @@ package core
 
 import (
 	"fmt"
-	"sort"
-	"strings"
 
 	"aved/internal/model"
 )
@@ -84,36 +82,4 @@ func (s *Solver) settingsFor(mech *model.Mechanism) ([]model.MechSetting, error)
 		}
 	}
 	return out, nil
-}
-
-// availKey fingerprints the parts of a candidate that determine its
-// availability: resource, counts, spare mode, and only the mechanism
-// settings that feed MTTRs. Mechanisms affecting just loss windows or
-// performance (e.g. checkpointing) do not change availability, so
-// candidates differing only there share one engine evaluation.
-func availKey(td *model.TierDesign) string {
-	var sb strings.Builder
-	fmt.Fprintf(&sb, "%s|%s|n%d|m%d|s%d|w%d",
-		td.TierName, td.Resource().Name, td.NActive, td.MinActive, td.NSpare, td.SpareWarm)
-	relevant := map[string]bool{}
-	for _, rc := range td.Resource().Components {
-		for _, f := range rc.Component.Failures {
-			if f.MTTRRef != "" {
-				relevant[f.MTTRRef] = true
-			}
-			if f.MTBFRef != "" {
-				relevant[f.MTBFRef] = true
-			}
-		}
-	}
-	labels := make([]string, 0, len(td.Mechanisms))
-	for _, ms := range td.Mechanisms {
-		if ms.Mechanism != nil && relevant[ms.Mechanism.Name] {
-			labels = append(labels, ms.Label())
-		}
-	}
-	sort.Strings(labels)
-	sb.WriteByte('|')
-	sb.WriteString(strings.Join(labels, ","))
-	return sb.String()
 }

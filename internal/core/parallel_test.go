@@ -51,9 +51,9 @@ func TestEvalCacheConcurrentDedup(t *testing.T) {
 			})
 		}
 	}
-	distinct := map[string]bool{}
+	distinct := map[fp128]bool{}
 	for i := range designs {
-		distinct[availKey(&designs[i])] = true
+		distinct[fingerprintOf(&designs[i]).avail] = true
 	}
 	if len(distinct) != len(designs) {
 		t.Fatalf("fixture bug: %d designs map to %d fingerprints", len(designs), len(distinct))
@@ -69,7 +69,7 @@ func TestEvalCacheConcurrentDedup(t *testing.T) {
 		go func() {
 			defer wg.Done()
 			for i := range designs {
-				if _, err := s.evalTier(&designs[i], &stats); err != nil {
+				if _, err := s.evalTier(&designs[i], fingerprintOf(&designs[i]), &stats); err != nil {
 					t.Error(err)
 					return
 				}

@@ -113,6 +113,7 @@ type Solver struct {
 	opts Options
 
 	evalCache *evalCache // availability evaluations by design fingerprint
+	modeCache *modeCache // resolved effective modes by mode fingerprint
 }
 
 // NewSolver validates the inputs and builds a solver.
@@ -139,6 +140,7 @@ func NewSolver(inf *model.Infrastructure, svc *model.Service, opts Options) (*So
 		svc:       svc,
 		opts:      opts.withDefaults(),
 		evalCache: newEvalCache(),
+		modeCache: newModeCache(),
 	}, nil
 }
 

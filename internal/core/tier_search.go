@@ -29,16 +29,18 @@ type evalEntry struct {
 }
 
 // evalTier evaluates one tier design through the configured engine,
-// caching by availability fingerprint so candidates that differ only
-// in availability-neutral mechanism settings (e.g. checkpoint
+// caching by packed availability fingerprint so candidates that differ
+// only in availability-neutral mechanism settings (e.g. checkpoint
 // intervals) share an evaluation. The cache is a sharded singleflight:
 // concurrent requests for one fingerprint block on a single engine
 // invocation, so Evaluations counts distinct fingerprints regardless of
-// how many goroutines race on the same key.
-func (s *Solver) evalTier(td *model.TierDesign, stats *searchStats) (evalEntry, error) {
-	f := s.evalCache.flight(availKey(td))
+// how many goroutines race on the same key. Callers on the search hot
+// paths assemble fps from per-option precomputed parts, so a cache hit
+// does no allocation and no string work at all.
+func (s *Solver) evalTier(td *model.TierDesign, fps candFP, stats *searchStats) (evalEntry, error) {
+	f := s.evalCache.flight(fps.avail)
 	f.once.Do(func() {
-		f.entry, f.err = s.evalTierMiss(td)
+		f.entry, f.err = s.evalTierMiss(td, fps.mode)
 		if f.err == nil {
 			stats.evals.Add(1)
 		}
@@ -46,11 +48,25 @@ func (s *Solver) evalTier(td *model.TierDesign, stats *searchStats) (evalEntry, 
 	return f.entry, f.err
 }
 
-// evalTierMiss is the uncached evaluation behind evalTier.
-func (s *Solver) evalTierMiss(td *model.TierDesign) (evalEntry, error) {
-	tm, err := avail.BuildTierModel(td)
-	if err != nil {
-		return evalEntry{}, err
+// evalTierMiss is the uncached evaluation behind evalTier. The resolved
+// effective modes are themselves cached by mode fingerprint: every
+// (active, spare) split of one (option, combo, warmth) shares a single
+// EffectiveModes resolution.
+func (s *Solver) evalTierMiss(td *model.TierDesign, modeFP fp128) (evalEntry, error) {
+	modes, ok := s.modeCache.get(modeFP)
+	if !ok {
+		built, err := avail.BuildTierModes(td)
+		if err != nil {
+			return evalEntry{}, err
+		}
+		modes = s.modeCache.put(modeFP, built)
+	}
+	tm := avail.TierModel{
+		Name:  td.TierName,
+		N:     td.NActive,
+		M:     td.MinActive,
+		S:     td.NSpare,
+		Modes: modes,
 	}
 	res, err := s.opts.Engine.Evaluate([]avail.TierModel{tm})
 	if err != nil {
@@ -88,7 +104,19 @@ type optionSearch struct {
 	nMinPerf int
 	maxTotal int // component-level instance cap; 0 means unlimited
 	combos   [][]model.MechSetting
+
+	// Fingerprint invariants hoisted out of the per-candidate loop: the
+	// (tier, resource) base and each combo's relevant-settings hash.
+	base     fp128
+	comboFPs []fp128
+	// warmSpare is the warmth-level list for candidates with spares,
+	// computed once instead of per (active, spare) split.
+	warmSpare []int
 }
+
+// warmZeroLevels is the warmth list for spare-less candidates: shared,
+// never mutated.
+var warmZeroLevels = []int{0}
 
 // newOptionSearch prepares the enumeration for one resource option,
 // reporting ok=false when the option cannot meet the throughput at any
@@ -112,13 +140,21 @@ func (s *Solver) newOptionSearch(tier *model.Tier, opt *model.ResourceOption, th
 	if err != nil {
 		return nil, false, err
 	}
+	rt := opt.ResourceType()
+	comboFPs := make([]fp128, len(combos))
+	for i, combo := range combos {
+		comboFPs[i] = comboFP(rt, combo)
+	}
 	return &optionSearch{
-		solver:   s,
-		tier:     tier,
-		opt:      opt,
-		nMinPerf: nMinPerf,
-		maxTotal: maxTotal,
-		combos:   combos,
+		solver:    s,
+		tier:      tier,
+		opt:       opt,
+		nMinPerf:  nMinPerf,
+		maxTotal:  maxTotal,
+		combos:    combos,
+		base:      baseFP(tier.Name, rt.Name),
+		comboFPs:  comboFPs,
+		warmSpare: s.warmLevels(rt, 1),
 	}, true, nil
 }
 
@@ -136,31 +172,41 @@ func (s *Solver) warmLevels(rt *model.ResourceType, nSpare int) []int {
 	return out
 }
 
-// candidates yields every candidate at a given total resource count.
-func (o *optionSearch) candidates(total int, yield func(td model.TierDesign, c units.Money) error) error {
+// candidates yields every candidate at a given total resource count,
+// together with its packed cache fingerprints. The fingerprints are
+// assembled from the precomputed per-option parts, so the walk does no
+// per-candidate key allocation.
+func (o *optionSearch) candidates(total int, yield func(td model.TierDesign, fps candFP, c units.Money) error) error {
 	grid := o.opt.NActive
 	for nActive := o.nMinPerf; nActive <= total; nActive++ {
 		if !grid.Contains(float64(nActive)) {
 			continue
 		}
 		nSpare := total - nActive
-		for _, warm := range o.solver.warmLevels(o.opt.ResourceType(), nSpare) {
-			for _, combo := range o.combos {
+		minActive := minActiveFor(o.opt, nActive, o.nMinPerf)
+		warms := warmZeroLevels
+		if nSpare > 0 {
+			warms = o.warmSpare
+		}
+		for _, warm := range warms {
+			for ci, combo := range o.combos {
 				td := model.TierDesign{
 					TierName:   o.tier.Name,
 					Option:     o.opt,
 					NActive:    nActive,
 					NSpare:     nSpare,
 					NMinPerf:   o.nMinPerf,
-					MinActive:  minActiveFor(o.opt, nActive, o.nMinPerf),
+					MinActive:  minActive,
 					SpareWarm:  warm,
 					Mechanisms: combo,
 				}
+				mfp := modeFPOf(o.base, o.comboFPs[ci], warm, nSpare > 0)
+				fps := candFP{avail: availFPOf(mfp, nActive, minActive, nSpare), mode: mfp}
 				c, err := cost.Tier(&td)
 				if err != nil {
 					return err
 				}
-				if err := yield(td, c); err != nil {
+				if err := yield(td, fps, c); err != nil {
 					return err
 				}
 			}
@@ -188,7 +234,7 @@ func (s *Solver) searchOption(tier *model.Tier, opt *model.ResourceOption, throu
 		}
 		minCostAtTotal := math.Inf(1)
 		bestDowntimeAtTotal := math.Inf(1)
-		err := o.candidates(total, func(td model.TierDesign, c units.Money) error {
+		err := o.candidates(total, func(td model.TierDesign, fps candFP, c units.Money) error {
 			stats.candidates.Add(1)
 			if float64(c) < minCostAtTotal {
 				minCostAtTotal = float64(c)
@@ -204,7 +250,7 @@ func (s *Solver) searchOption(tier *model.Tier, opt *model.ResourceOption, throu
 				stats.pruned.Add(1)
 				return nil
 			}
-			entry, err := s.evalTier(&td, stats)
+			entry, err := s.evalTier(&td, fps, stats)
 			if err != nil {
 				return err
 			}
@@ -271,8 +317,9 @@ func (s *Solver) optionFrontier(tier *model.Tier, opt *model.ResourceOption, thr
 		return nil, err
 	}
 	var (
-		all []TierCandidate
-		buf []TierCandidate // per-size batch, reused across sizes
+		all    []TierCandidate
+		buf    []TierCandidate // per-size batch, reused across sizes
+		fpsBuf []candFP        // fingerprints parallel to buf, reused too
 	)
 	bestDowntime := math.Inf(1)
 	stale := 0
@@ -282,16 +329,18 @@ func (s *Solver) optionFrontier(tier *model.Tier, opt *model.ResourceOption, thr
 			break
 		}
 		buf = buf[:0]
-		err := o.candidates(total, func(td model.TierDesign, c units.Money) error {
+		fpsBuf = fpsBuf[:0]
+		err := o.candidates(total, func(td model.TierDesign, fps candFP, c units.Money) error {
 			stats.candidates.Add(1)
 			buf = append(buf, TierCandidate{Design: td, Cost: c})
+			fpsBuf = append(fpsBuf, fps)
 			return nil
 		})
 		if err != nil {
 			return nil, err
 		}
 		err = par.ForEach(s.opts.Workers, len(buf), func(i int) error {
-			entry, err := s.evalTier(&buf[i].Design, stats)
+			entry, err := s.evalTier(&buf[i].Design, fpsBuf[i], stats)
 			if err != nil {
 				return err
 			}

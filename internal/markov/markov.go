@@ -155,21 +155,40 @@ func BirthDeathSteadyState(birth, death []float64) ([]float64, error) {
 	if len(birth) != len(death) {
 		return nil, fmt.Errorf("markov: birth–death needs matching rate slices, got %d and %d", len(birth), len(death))
 	}
+	pi := make([]float64, len(birth)+1)
+	if err := BirthDeathSteadyStateInto(pi, birth, death); err != nil {
+		return nil, err
+	}
+	return pi, nil
+}
+
+// BirthDeathSteadyStateInto is the allocation-free variant of
+// BirthDeathSteadyState: it writes the stationary distribution into
+// dst, which must have length len(birth)+1. Every element of dst is
+// overwritten, so callers may feed reused scratch; the arithmetic is
+// identical to BirthDeathSteadyState, bit for bit.
+func BirthDeathSteadyStateInto(dst, birth, death []float64) error {
+	if len(birth) != len(death) {
+		return fmt.Errorf("markov: birth–death needs matching rate slices, got %d and %d", len(birth), len(death))
+	}
 	n := len(birth)
-	pi := make([]float64, n+1)
+	if len(dst) != n+1 {
+		return fmt.Errorf("markov: birth–death destination needs %d states, got %d", n+1, len(dst))
+	}
+	pi := dst
 	pi[0] = 1
 	cur := 1.0
 	for j := 0; j < n; j++ {
 		b, d := birth[j], death[j]
 		if b < 0 || d < 0 || math.IsNaN(b) || math.IsNaN(d) {
-			return nil, fmt.Errorf("markov: birth–death rates must be non-negative, got b[%d]=%v d[%d]=%v", j, b, j, d)
+			return fmt.Errorf("markov: birth–death rates must be non-negative, got b[%d]=%v d[%d]=%v", j, b, j, d)
 		}
 		if b == 0 {
 			// Remaining states are unreachable.
 			cur = 0
 		} else {
 			if d == 0 {
-				return nil, fmt.Errorf("markov: state %d is absorbing (death rate 0 with positive birth rate)", j+1)
+				return fmt.Errorf("markov: state %d is absorbing (death rate 0 with positive birth rate)", j+1)
 			}
 			cur *= b / d
 		}
@@ -180,12 +199,12 @@ func BirthDeathSteadyState(birth, death []float64) ([]float64, error) {
 		sum += v
 	}
 	if sum <= 0 || math.IsInf(sum, 0) || math.IsNaN(sum) {
-		return nil, fmt.Errorf("markov: birth–death normalisation failed (sum %v)", sum)
+		return fmt.Errorf("markov: birth–death normalisation failed (sum %v)", sum)
 	}
 	for i := range pi {
 		pi[i] /= sum
 	}
-	return pi, nil
+	return nil
 }
 
 // BirthDeathChain materialises a birth–death chain as a dense Chain,
