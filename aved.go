@@ -188,6 +188,22 @@ func SimEngineWorkers(seed int64, years float64, reps, workers int) (Engine, err
 	return e.WithWorkers(workers), nil
 }
 
+// SimEngineAdaptive builds the simulation engine with adaptive-
+// precision replication control: replications run in deterministic
+// batches of batch (0 uses the engine default) and stop once the 95%
+// confidence half-width of the downtime estimate falls under relErr
+// times the running mean, with reps as the budget cap. relErr <= 0
+// keeps the fixed budget. A given (seed, relErr, batch) stops at the
+// same replication count — and produces bit-identical results — at any
+// worker count.
+func SimEngineAdaptive(seed int64, years float64, reps, workers int, relErr float64, batch int) (Engine, error) {
+	e, err := sim.NewEngine(seed, years, reps)
+	if err != nil {
+		return nil, err
+	}
+	return e.WithWorkers(workers).WithPrecision(relErr, batch), nil
+}
+
 // DefaultWorkers reports the worker count a zero Workers option
 // resolves to (GOMAXPROCS).
 func DefaultWorkers() int { return par.Workers(0) }

@@ -70,6 +70,12 @@ func run(args []string, out io.Writer) error {
 		warmSpares  = fs.Bool("warmspares", false, "explore per-component spare operational modes (warmth levels)")
 		describe    = fs.Bool("describe", false, "print a model inventory and design-space size estimate, then exit")
 		workers     = fs.Int("workers", 0, "search worker count: 0 = all CPUs, 1 = sequential (results are identical)")
+		engineName  = fs.String("engine", "markov", "availability engine in the search loop: markov, exact or sim")
+		seed        = fs.Int64("seed", 1, "simulation seed (-engine sim)")
+		years       = fs.Float64("years", 1000, "simulated years per replication (-engine sim)")
+		reps        = fs.Int("reps", 32, "simulation replication budget (-engine sim)")
+		relErr      = fs.Float64("relerr", 0, "adaptive precision: stop replicating once the 95% CI half-width is under this fraction of the mean (0 = full -reps budget)")
+		simBatch    = fs.Int("simbatch", 0, "adaptive replication batch size (0 = engine default)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -82,7 +88,11 @@ func run(args []string, out io.Writer) error {
 	if *describe {
 		return aved.DescribeModel(out, inf, svc, 0)
 	}
-	opts := aved.Options{Registry: reg, ExploreSpareWarmth: *warmSpares, Workers: *workers}
+	engine, err := buildEngine(*engineName, *seed, *years, *reps, *workers, *relErr, *simBatch)
+	if err != nil {
+		return err
+	}
+	opts := aved.Options{Registry: reg, ExploreSpareWarmth: *warmSpares, Workers: *workers, Engine: engine}
 	if *bronze {
 		opts.FixedMechanisms = aved.Bronze()
 	}
@@ -157,6 +167,21 @@ func loadModels(paper, infraPath, servicePath, perfDir string) (*aved.Infrastruc
 		return nil, nil, nil, err
 	}
 	return inf, svc, reg, nil
+}
+
+// buildEngine resolves the -engine flag. A nil return for "markov"
+// keeps the solver's default analytic engine.
+func buildEngine(name string, seed int64, years float64, reps, workers int, relErr float64, batch int) (aved.Engine, error) {
+	switch name {
+	case "", "markov":
+		return nil, nil
+	case "exact":
+		return aved.ExactEngine(), nil
+	case "sim":
+		return aved.SimEngineAdaptive(seed, years, reps, workers, relErr, batch)
+	default:
+		return nil, fmt.Errorf("unknown -engine %q (want markov, exact or sim)", name)
+	}
 }
 
 func buildRequirements(load float64, downtime, jobTime string) (aved.Requirements, error) {

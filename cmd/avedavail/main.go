@@ -37,8 +37,10 @@ func run(args []string, out io.Writer) error {
 		engine    = fs.String("engine", "markov", "engine: markov, exact, sim or all")
 		seed      = fs.Int64("seed", 1, "simulation seed")
 		years     = fs.Float64("years", 1000, "simulated years per replication")
-		reps      = fs.Int("reps", 8, "simulation replications")
+		reps      = fs.Int("reps", 8, "simulation replication budget")
 		workers   = fs.Int("workers", 0, "replication worker count: 0 = all CPUs, 1 = sequential (results are identical)")
+		relErr    = fs.Float64("relerr", 0, "adaptive precision: stop replicating once the 95% CI half-width is under this fraction of the mean (0 = always run the full -reps budget)")
+		simBatch  = fs.Int("simbatch", 0, "adaptive replication batch size (0 = engine default)")
 		mission   = fs.Float64("mission", 0, "also report finite-horizon downtime for a mission of this many years")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -93,7 +95,9 @@ func run(args []string, out io.Writer) error {
 		}
 	}
 
-	simEngine := func() (aved.Engine, error) { return aved.SimEngineWorkers(*seed, *years, *reps, *workers) }
+	simEngine := func() (aved.Engine, error) {
+		return aved.SimEngineAdaptive(*seed, *years, *reps, *workers, *relErr, *simBatch)
+	}
 	switch *engine {
 	case "markov":
 		return runEngine("markov", aved.MarkovEngine())

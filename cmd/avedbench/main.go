@@ -9,10 +9,16 @@
 // counters: engine evaluations admitted by the fingerprint cache versus
 // Markov chains actually solved under the engine's mode memo.
 //
+// The -mode sim suite (sim.go) instead profiles the Monte-Carlo
+// simulator fast path: fixed-budget sequential vs pooled replications
+// and the adaptive-precision controller, behind
+// results/BENCH_sim.json.
+//
 // Usage:
 //
 //	avedbench                   # JSON to stdout
 //	avedbench -o results/BENCH_parallel.json
+//	avedbench -mode sim -o results/BENCH_sim.json
 package main
 
 import (
@@ -90,13 +96,23 @@ func (e *countingEngine) counters() *evalCounters {
 
 func main() {
 	out := flag.String("o", "", "write JSON here instead of stdout")
+	mode := flag.String("mode", "parallel", "benchmark suite: parallel (results/BENCH_parallel.json) or sim (results/BENCH_sim.json)")
 	flag.Parse()
 	// Benchmark at full parallelism even when the environment pinned
 	// GOMAXPROCS down (the bug behind a recorded gomaxprocs of 1).
 	if runtime.GOMAXPROCS(0) < runtime.NumCPU() {
 		runtime.GOMAXPROCS(runtime.NumCPU())
 	}
-	if err := run(*out); err != nil {
+	var err error
+	switch *mode {
+	case "parallel":
+		err = run(*out)
+	case "sim":
+		err = runSim(*out)
+	default:
+		err = fmt.Errorf("unknown -mode %q (want parallel or sim)", *mode)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "avedbench:", err)
 		os.Exit(1)
 	}

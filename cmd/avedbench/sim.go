@@ -1,0 +1,200 @@
+package main
+
+// The -mode sim benchmark: measures the Monte-Carlo simulator's fast
+// path on the paper's e-commerce scenario — the record behind
+// results/BENCH_sim.json. The workload evaluates the availability model
+// of the minimum-cost e-commerce design (the design the search loop
+// would score over and over) three ways: the fixed replication budget
+// sequentially and pooled, and the adaptive-precision controller at a
+// 1% relative-error target. Alongside the timings it reports
+// replications per second, allocations per replication, how much of the
+// fixed budget the adaptive controller actually spent, and the
+// simulator's relative disagreement with the analytic Markov engine as
+// the cross-validation guard.
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"runtime"
+	"testing"
+
+	"aved"
+	"aved/internal/avail"
+	"aved/internal/sim"
+)
+
+// simCase is one measured configuration of the simulator.
+type simCase struct {
+	Name         string  `json:"name"`
+	Workers      int     `json:"workers"`
+	RelErr       float64 `json:"rel_err,omitempty"`
+	NsPerOp      int64   `json:"ns_per_op"`
+	AllocsPerOp  int64   `json:"allocs_per_op"`
+	Replications int     `json:"replications"` // per op, summed over tiers
+	RepsPerSec   float64 `json:"reps_per_sec"`
+	AllocsPerRep float64 `json:"allocs_per_rep"`
+}
+
+type simReport struct {
+	GOMAXPROCS int     `json:"gomaxprocs"`
+	NumCPU     int     `json:"num_cpu"`
+	GoVersion  string  `json:"go_version"`
+	Scenario   string  `json:"scenario"`
+	Tiers      int     `json:"tiers"`
+	Years      float64 `json:"years_per_replication"`
+	FixedReps  int     `json:"fixed_reps_per_tier"`
+	// AdaptiveBudgetFraction is the adaptive controller's replication
+	// spend as a fraction of the fixed budget at the same precision
+	// target's cap.
+	AdaptiveBudgetFraction float64 `json:"adaptive_budget_fraction"`
+	// MarkovRelDiff is |sim − markov| / markov on annual downtime for
+	// the adaptive run — the cross-validation distance.
+	MarkovRelDiff float64   `json:"markov_rel_diff"`
+	Cases         []simCase `json:"cases"`
+}
+
+const (
+	simBenchSeed   = 7
+	simBenchYears  = 100.0
+	simBenchReps   = 4096
+	simBenchRelErr = 0.01
+)
+
+// ecommerceTierModels solves the e-commerce scenario analytically and
+// returns the optimal design's availability models — the tier set the
+// simulator scores when it sits in the search loop.
+func ecommerceTierModels() ([]avail.TierModel, float64, error) {
+	s, err := ecommerceSolver(0, nil)
+	if err != nil {
+		return nil, 0, err
+	}
+	sol, err := s.Solve(ecommerceReq)
+	if err != nil {
+		return nil, 0, err
+	}
+	res, err := aved.EvaluateDesign(&sol.Design, aved.MarkovEngine())
+	if err != nil {
+		return nil, 0, err
+	}
+	tms, err := avail.BuildModels(&sol.Design)
+	if err != nil {
+		return nil, 0, err
+	}
+	return tms, res.DowntimeMinutes, nil
+}
+
+// measureSim benchmarks one engine configuration over the tier models
+// and reports the per-op figures plus the replication count actually
+// used (per Evaluate call, summed over tiers).
+func measureSim(tms []avail.TierModel, workers int, relErr float64) (simCase, error) {
+	build := func() (*sim.Engine, error) {
+		eng, err := sim.NewEngine(simBenchSeed, simBenchYears, simBenchReps)
+		if err != nil {
+			return nil, err
+		}
+		return eng.WithWorkers(workers).WithPrecision(relErr, 0), nil
+	}
+	eng, err := build()
+	if err != nil {
+		return simCase{}, err
+	}
+	var reps int
+	_, sts, err := eng.EvaluateStats(tms)
+	if err != nil {
+		return simCase{}, err
+	}
+	for _, st := range sts {
+		reps += st.Replications
+	}
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := eng.Evaluate(tms); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	c := simCase{
+		Workers:      workers,
+		RelErr:       relErr,
+		NsPerOp:      r.NsPerOp(),
+		AllocsPerOp:  r.AllocsPerOp(),
+		Replications: reps,
+	}
+	if c.NsPerOp > 0 {
+		c.RepsPerSec = float64(reps) / (float64(c.NsPerOp) * 1e-9)
+	}
+	if reps > 0 {
+		c.AllocsPerRep = float64(c.AllocsPerOp) / float64(reps)
+	}
+	return c, nil
+}
+
+// runSim drives the simulator benchmark and writes the JSON report.
+func runSim(outPath string) error {
+	tms, markovDowntime, err := ecommerceTierModels()
+	if err != nil {
+		return err
+	}
+	rep := simReport{
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		GoVersion:  runtime.Version(),
+		Scenario:   "ecommerce-optimal-design",
+		Tiers:      len(tms),
+		Years:      simBenchYears,
+		FixedReps:  simBenchReps,
+	}
+	cases := []struct {
+		name    string
+		workers int
+		relErr  float64
+	}{
+		{"fixed-sequential", 1, 0},
+		{"fixed-pooled", 0, 0},
+		{"adaptive-1pct-pooled", 0, simBenchRelErr},
+	}
+	for _, cfg := range cases {
+		c, err := measureSim(tms, cfg.workers, cfg.relErr)
+		if err != nil {
+			return fmt.Errorf("%s: %w", cfg.name, err)
+		}
+		c.Name = cfg.name
+		rep.Cases = append(rep.Cases, c)
+		fmt.Fprintf(os.Stderr, "%-22s %12d ns/op  %10.0f reps/sec  %6.2f allocs/rep  %d replications\n",
+			c.Name, c.NsPerOp, c.RepsPerSec, c.AllocsPerRep, c.Replications)
+	}
+	adaptive := rep.Cases[len(rep.Cases)-1]
+	fixedBudget := simBenchReps * len(tms)
+	rep.AdaptiveBudgetFraction = float64(adaptive.Replications) / float64(fixedBudget)
+
+	// Cross-validate the adaptive estimate against the analytic engine.
+	eng, err := sim.NewEngine(simBenchSeed, simBenchYears, simBenchReps)
+	if err != nil {
+		return err
+	}
+	res, err := eng.WithPrecision(simBenchRelErr, 0).Evaluate(tms)
+	if err != nil {
+		return err
+	}
+	if markovDowntime > 0 {
+		rep.MarkovRelDiff = math.Abs(res.DowntimeMinutes-markovDowntime) / markovDowntime
+	}
+	fmt.Fprintf(os.Stderr, "adaptive spent %.1f%% of the fixed budget; sim-vs-markov rel diff %.3f\n",
+		100*rep.AdaptiveBudgetFraction, rep.MarkovRelDiff)
+
+	w := os.Stdout
+	if outPath != "" {
+		f, err := os.Create(outPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}

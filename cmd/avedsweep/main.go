@@ -35,23 +35,47 @@ func run(args []string, out io.Writer) error {
 		budgets = fs.Int("budgets", 12, "downtime-budget grid points (figs 6, 8)")
 		points  = fs.Int("points", 15, "job-time requirement points (fig 7)")
 		workers = fs.Int("workers", 0, "sweep worker count: 0 = all CPUs, 1 = sequential (results are identical)")
+		engine  = fs.String("engine", "markov", "availability engine in the search loop: markov, exact or sim")
+		seed    = fs.Int64("seed", 1, "simulation seed (-engine sim)")
+		years   = fs.Float64("years", 1000, "simulated years per replication (-engine sim)")
+		reps    = fs.Int("reps", 32, "simulation replication budget (-engine sim)")
+		relErr  = fs.Float64("relerr", 0, "adaptive precision: stop replicating once the 95% CI half-width is under this fraction of the mean (0 = full -reps budget)")
+		batch   = fs.Int("simbatch", 0, "adaptive replication batch size (0 = engine default)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	eng, err := buildEngine(*engine, *seed, *years, *reps, *workers, *relErr, *batch)
+	if err != nil {
+		return err
+	}
 	switch *fig {
 	case 6:
-		return fig6(out, *loads, *budgets, *workers)
+		return fig6(out, *loads, *budgets, *workers, eng)
 	case 7:
-		return fig7(out, *points, *workers)
+		return fig7(out, *points, *workers, eng)
 	case 8:
-		return fig8(out, *budgets, *workers)
+		return fig8(out, *budgets, *workers, eng)
 	default:
 		return fmt.Errorf("-fig must be 6, 7 or 8 (got %d)", *fig)
 	}
 }
 
-func appTierSolver(workers int) (*aved.Solver, error) {
+// buildEngine resolves the -engine flag; nil keeps the solver default.
+func buildEngine(name string, seed int64, years float64, reps, workers int, relErr float64, batch int) (aved.Engine, error) {
+	switch name {
+	case "", "markov":
+		return nil, nil
+	case "exact":
+		return aved.ExactEngine(), nil
+	case "sim":
+		return aved.SimEngineAdaptive(seed, years, reps, workers, relErr, batch)
+	default:
+		return nil, fmt.Errorf("unknown -engine %q (want markov, exact or sim)", name)
+	}
+}
+
+func appTierSolver(workers int, engine aved.Engine) (*aved.Solver, error) {
 	inf, err := aved.PaperInfrastructure()
 	if err != nil {
 		return nil, err
@@ -60,13 +84,13 @@ func appTierSolver(workers int) (*aved.Solver, error) {
 	if err != nil {
 		return nil, err
 	}
-	return aved.NewSolver(inf, svc, aved.Options{Registry: aved.PaperRegistry(), Workers: workers})
+	return aved.NewSolver(inf, svc, aved.Options{Registry: aved.PaperRegistry(), Workers: workers, Engine: engine})
 }
 
 // fig6 prints the optimal design family at every grid point of the
 // (load, downtime budget) requirement plane, then each family curve.
-func fig6(out io.Writer, loadPoints, budgetPoints, workers int) error {
-	solver, err := appTierSolver(workers)
+func fig6(out io.Writer, loadPoints, budgetPoints, workers int, engine aved.Engine) error {
+	solver, err := appTierSolver(workers, engine)
 	if err != nil {
 		return err
 	}
@@ -101,7 +125,7 @@ func fig6(out io.Writer, loadPoints, budgetPoints, workers int) error {
 
 // fig7 prints the optimal scientific design as a function of the
 // job-completion-time requirement.
-func fig7(out io.Writer, points, workers int) error {
+func fig7(out io.Writer, points, workers int, engine aved.Engine) error {
 	inf, err := aved.PaperInfrastructure()
 	if err != nil {
 		return err
@@ -114,6 +138,7 @@ func fig7(out io.Writer, points, workers int) error {
 		Registry:        aved.PaperRegistry(),
 		FixedMechanisms: aved.Bronze(),
 		Workers:         workers,
+		Engine:          engine,
 	})
 	if err != nil {
 		return err
@@ -137,8 +162,8 @@ func fig7(out io.Writer, points, workers int) error {
 }
 
 // fig8 prints the cost premium curves for the paper's four loads.
-func fig8(out io.Writer, budgetPoints, workers int) error {
-	solver, err := appTierSolver(workers)
+func fig8(out io.Writer, budgetPoints, workers int, engine aved.Engine) error {
+	solver, err := appTierSolver(workers, engine)
 	if err != nil {
 		return err
 	}

@@ -45,6 +45,12 @@ func run(args []string, out io.Writer) error {
 		downtime = fs.String("downtime", "", "max annual downtime, e.g. 2000m (enterprise)")
 		jobTime  = fs.String("jobtime", "", "max expected job time, e.g. 100h (scientific scenario)")
 		workers  = fs.Int("workers", 0, "factor worker count: 0 = all CPUs, 1 = sequential (results are identical)")
+		engine   = fs.String("engine", "markov", "availability engine in the per-factor search: markov, exact or sim")
+		seed     = fs.Int64("seed", 1, "simulation seed (-engine sim)")
+		years    = fs.Float64("years", 1000, "simulated years per replication (-engine sim)")
+		reps     = fs.Int("reps", 32, "simulation replication budget (-engine sim)")
+		relErr   = fs.Float64("relerr", 0, "adaptive precision: stop replicating once the 95% CI half-width is under this fraction of the mean (0 = full -reps budget)")
+		batch    = fs.Int("simbatch", 0, "adaptive replication batch size (0 = engine default)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -89,6 +95,15 @@ func run(args []string, out io.Writer) error {
 	default:
 		return errors.New("need -downtime (with -load) or -jobtime")
 	}
+	// The precision knobs are baked into the engine here rather than
+	// passed via SolverOptions: every factor's solver shares this one
+	// engine, and a pre-configured engine is safe to share (Evaluate
+	// only reads it).
+	eng, err := buildEngine(*engine, *seed, *years, *reps, *workers, *relErr, *batch)
+	if err != nil {
+		return err
+	}
+	cfg.SolverOptions.Engine = eng
 
 	points, err := aved.SensitivitySweep(inf, cfg, knob, facs)
 	if err != nil {
@@ -121,6 +136,20 @@ tier=application
   resource=rF sizing=dynamic failurescope=resource
     nActive=[1-1000,+1] performance(nActive)=perfF.dat
 `
+
+// buildEngine resolves the -engine flag; nil keeps the solver default.
+func buildEngine(name string, seed int64, years float64, reps, workers int, relErr float64, batch int) (aved.Engine, error) {
+	switch name {
+	case "", "markov":
+		return nil, nil
+	case "exact":
+		return aved.ExactEngine(), nil
+	case "sim":
+		return aved.SimEngineAdaptive(seed, years, reps, workers, relErr, batch)
+	default:
+		return nil, fmt.Errorf("unknown -engine %q (want markov, exact or sim)", name)
+	}
+}
 
 func parseFactors(s string) ([]float64, error) {
 	parts := strings.Split(s, ",")

@@ -1,0 +1,51 @@
+package core
+
+import (
+	"testing"
+
+	"aved/internal/avail"
+)
+
+// tunableEngine records the precision knobs NewSolver pushes into a
+// precisionTunable engine; Evaluate delegates to the analytic engine so
+// a solve through it still terminates normally.
+type tunableEngine struct {
+	inner  avail.Engine
+	relErr float64
+	batch  int
+	calls  int
+}
+
+func (e *tunableEngine) Evaluate(tms []avail.TierModel) (avail.Result, error) {
+	return e.inner.Evaluate(tms)
+}
+
+func (e *tunableEngine) SetPrecision(relErr float64, batch int) {
+	e.relErr, e.batch, e.calls = relErr, batch, e.calls+1
+}
+
+func TestSolverForwardsPrecisionKnobs(t *testing.T) {
+	eng := &tunableEngine{inner: avail.NewMarkovEngine()}
+	appTierSolver(t, Options{Engine: eng, SimRelErr: 0.02, SimBatch: 48})
+	if eng.calls != 1 {
+		t.Fatalf("SetPrecision called %d times, want 1", eng.calls)
+	}
+	if eng.relErr != 0.02 || eng.batch != 48 {
+		t.Errorf("engine got relErr=%v batch=%d, want 0.02/48", eng.relErr, eng.batch)
+	}
+}
+
+func TestSolverSkipsPrecisionWhenUnset(t *testing.T) {
+	eng := &tunableEngine{inner: avail.NewMarkovEngine()}
+	appTierSolver(t, Options{Engine: eng})
+	if eng.calls != 0 {
+		t.Errorf("SetPrecision called %d times with zero knobs, want 0", eng.calls)
+	}
+}
+
+// TestSolverPrecisionNonTunableEngine: knobs set against an engine
+// without precision control are documented as ignored — and must not
+// panic or fail solver construction.
+func TestSolverPrecisionNonTunableEngine(t *testing.T) {
+	appTierSolver(t, Options{Engine: avail.NewMarkovEngine(), SimRelErr: 0.01})
+}

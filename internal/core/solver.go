@@ -52,6 +52,23 @@ type Options struct {
 	// 1 forces sequential execution. The setting never changes results
 	// — parallel paths are bit-identical to the sequential order.
 	Workers int
+	// SimRelErr, when positive, tunes adaptive-precision replication on
+	// a Monte-Carlo Engine (sim.Engine): replications stop once the 95%
+	// confidence half-width falls under SimRelErr times the running
+	// mean, capped by the engine's replication budget. Ignored for
+	// engines without precision control (the analytic engines).
+	SimRelErr float64
+	// SimBatch sets the adaptive controller's replication batch size
+	// (0 keeps the engine default). Ignored without precision control.
+	SimBatch int
+}
+
+// precisionTunable is implemented by availability engines whose
+// estimate precision can be tuned between construction and use
+// (sim.Engine). The interface is structural so core carries no
+// dependency on the simulator package.
+type precisionTunable interface {
+	SetPrecision(relErr float64, batch int)
 }
 
 // CombineMethod selects how per-tier frontiers combine into a
@@ -135,13 +152,23 @@ func NewSolver(inf *model.Infrastructure, svc *model.Service, opts Options) (*So
 			}
 		}
 	}
-	return &Solver{
+	s := &Solver{
 		inf:       inf,
 		svc:       svc,
 		opts:      opts.withDefaults(),
 		evalCache: newEvalCache(),
 		modeCache: newModeCache(),
-	}, nil
+	}
+	// Thread the precision knobs into a tunable Monte-Carlo engine,
+	// once, at construction. Callers sharing one engine across
+	// concurrently built solvers should bake the precision into the
+	// engine instead (aved.SimEngineAdaptive) and leave these zero.
+	if s.opts.SimRelErr > 0 || s.opts.SimBatch > 0 {
+		if eng, ok := s.opts.Engine.(precisionTunable); ok {
+			eng.SetPrecision(s.opts.SimRelErr, s.opts.SimBatch)
+		}
+	}
+	return s, nil
 }
 
 // Workers reports the solver's configured worker-pool bound (see

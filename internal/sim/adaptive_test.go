@@ -1,0 +1,156 @@
+package sim
+
+import (
+	"testing"
+
+	"aved/internal/avail"
+	"aved/internal/units"
+)
+
+// adaptiveModel has frequent cheap failover events, so per-replication
+// downtime concentrates and a loose relative-error target is reachable
+// far below the budget cap.
+func adaptiveModel() avail.TierModel {
+	return singleMode(2, 2, 1, 90*units.Day, 8*units.Hour, 5*units.Minute, true)
+}
+
+// TestAdaptiveStoppingDeterministic: the stopping decision folds batch
+// results in replication order, so the replication count — not just the
+// estimate — must be identical at any worker count.
+func TestAdaptiveStoppingDeterministic(t *testing.T) {
+	tm := adaptiveModel()
+	run := func(workers int) Stats {
+		t.Helper()
+		eng, err := NewEngine(5, 25, 2048)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := eng.WithWorkers(workers).WithPrecision(0.05, 64).SimulateTier(&tm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+	st1, st8 := run(1), run(8)
+	if st1 != st8 {
+		t.Errorf("workers=1 %+v != workers=8 %+v", st1, st8)
+	}
+	if st1.Replications >= 2048 {
+		t.Errorf("adaptive rule never engaged: spent the whole budget (%d reps)", st1.Replications)
+	}
+	if st1.Replications%64 != 0 {
+		t.Errorf("replications %d not a whole number of batches", st1.Replications)
+	}
+	if st1.HalfWidth95 > 0.05*st1.MeanMinutes {
+		t.Errorf("stopped with half-width %v above 5%% of mean %v", st1.HalfWidth95, st1.MeanMinutes)
+	}
+}
+
+// TestDesignAdaptiveDeterministic: the greedy design-level allocation
+// must pick the same tiers in the same order regardless of worker
+// count, so per-tier replication counts and the composed result match
+// exactly.
+func TestDesignAdaptiveDeterministic(t *testing.T) {
+	tms := []avail.TierModel{
+		adaptiveModel(),
+		singleMode(3, 3, 1, 200*units.Day, 24*units.Hour, 2*units.Minute, true),
+		singleMode(1, 1, 0, 400*units.Day, 6*units.Hour, 0, false),
+	}
+	for i := range tms {
+		tms[i].Name = []string{"web", "application", "database"}[i]
+	}
+	run := func(workers int) (avail.Result, []Stats) {
+		t.Helper()
+		eng, err := NewEngine(9, 25, 4096)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, sts, err := eng.WithWorkers(workers).WithPrecision(0.05, 64).EvaluateStats(tms)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res, sts
+	}
+	res1, sts1 := run(1)
+	res8, sts8 := run(8)
+	if res1.DowntimeMinutes != res8.DowntimeMinutes || res1.Availability != res8.Availability {
+		t.Errorf("composed result differs: workers=1 %v, workers=8 %v", res1, res8)
+	}
+	var total int
+	for i := range sts1 {
+		if sts1[i] != sts8[i] {
+			t.Errorf("tier %s: workers=1 %+v != workers=8 %+v", tms[i].Name, sts1[i], sts8[i])
+		}
+		total += sts1[i].Replications
+	}
+	if budget := 4096 * len(tms); total >= budget {
+		t.Errorf("design-level rule never engaged: %d of %d replications", total, budget)
+	}
+}
+
+// TestSimulateOnceZeroAllocs pins the hot path at zero steady-state
+// allocations: once a pooled arena has warmed its buffers, further
+// replications must not touch the heap.
+func TestSimulateOnceZeroAllocs(t *testing.T) {
+	tm := avail.TierModel{
+		Name: "application",
+		N:    6,
+		M:    5,
+		S:    1,
+		Modes: []avail.Mode{
+			{Name: "machineA/hard", MTBF: 650 * units.Day, Repair: 38 * units.Hour,
+				Failover: 6 * units.Minute, UsesFailover: true},
+			{Name: "machineA/soft", MTBF: 75 * units.Day, Repair: units.Duration(270 * units.Second)},
+			{Name: "linux/soft", MTBF: 60 * units.Day, Repair: 4 * units.Minute},
+			{Name: "appserverA/soft", MTBF: 60 * units.Day, Repair: 2 * units.Minute},
+		},
+	}
+	if err := tm.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	s := new(tierSim)
+	rg := newRNG(repSeed(11, 0))
+	if _, err := simulateOnce(&tm, &rg, 50, s); err != nil {
+		t.Fatal(err)
+	}
+	rep := 1
+	allocs := testing.AllocsPerRun(200, func() {
+		rg := newRNG(repSeed(11, rep))
+		rep++
+		if _, err := simulateOnce(&tm, &rg, 50, s); err != nil {
+			panic(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("simulateOnce on a warm arena allocates %.1f per replication, want 0", allocs)
+	}
+}
+
+// BenchmarkSimulateTier is the headline fixed-budget number: §5.1
+// application-tier replications per second. Run with -benchmem; the
+// per-op allocation count must stay flat as reps grows.
+func BenchmarkSimulateTier(b *testing.B) {
+	tm := avail.TierModel{
+		Name: "application",
+		N:    6,
+		M:    5,
+		S:    1,
+		Modes: []avail.Mode{
+			{Name: "machineA/hard", MTBF: 650 * units.Day, Repair: 38 * units.Hour,
+				Failover: 6 * units.Minute, UsesFailover: true},
+			{Name: "machineA/soft", MTBF: 75 * units.Day, Repair: units.Duration(270 * units.Second)},
+			{Name: "linux/soft", MTBF: 60 * units.Day, Repair: 4 * units.Minute},
+			{Name: "appserverA/soft", MTBF: 60 * units.Day, Repair: 2 * units.Minute},
+		},
+	}
+	eng, err := NewEngine(7, 50, 256)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.SimulateTier(&tm); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

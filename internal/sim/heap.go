@@ -1,0 +1,68 @@
+package sim
+
+// Typed binary min-heap over events, ordered by (at, seq). The previous
+// implementation went through container/heap, which boxes every event
+// into an `any` on Push and Pop — one heap allocation per event — and
+// dispatches the comparisons through an interface. These two functions
+// are the same sift-up/sift-down algorithm specialized to []event, so
+// the compiler inlines the comparisons and the only memory traffic is
+// the slice itself, which the arena reuses across replications.
+
+// eventLess orders the queue: earliest time first, insertion sequence
+// breaking ties so simulation order is deterministic.
+func eventLess(a, b *event) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+// heapPush appends ev and sifts it up. The sift moves parents down into
+// the hole and writes ev once at the end — half the copies of the
+// classic swap formulation, which matters at a 40-byte element.
+func heapPush(q *[]event, ev event) {
+	h := append(*q, ev)
+	*q = h
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !eventLess(&ev, &h[parent]) {
+			break
+		}
+		h[i] = h[parent]
+		i = parent
+	}
+	h[i] = ev
+}
+
+// heapPop removes and returns the minimum event, sifting the displaced
+// last element down hole-style. The caller must ensure the heap is
+// non-empty.
+func heapPop(q *[]event) event {
+	h := *q
+	top := h[0]
+	n := len(h) - 1
+	last := h[n]
+	h = h[:n]
+	*q = h
+	if n == 0 {
+		return top
+	}
+	i := 0
+	for {
+		child := 2*i + 1
+		if child >= n {
+			break
+		}
+		if right := child + 1; right < n && eventLess(&h[right], &h[child]) {
+			child = right
+		}
+		if !eventLess(&h[child], &last) {
+			break
+		}
+		h[i] = h[child]
+		i = child
+	}
+	h[i] = last
+	return top
+}

@@ -2,7 +2,6 @@ package sim
 
 import (
 	"fmt"
-	"math/rand"
 
 	"aved/internal/par"
 )
@@ -25,12 +24,16 @@ type JobParams struct {
 	// OutageHours is the mean repair outage per failure (exponential),
 	// during which no work proceeds.
 	OutageHours float64
+	// Workers bounds the replication worker pool: 0 uses GOMAXPROCS, 1
+	// runs sequentially. The worker count never changes the estimate.
+	Workers int
 }
 
 // SimulateJob estimates the expected wall-clock hours to finish the
 // job across reps independent replications. Replications run on the
-// shared worker pool with per-replication derived seeds (see repSeed),
-// so the estimate is bit-identical at any parallelism.
+// shared worker pool (p.Workers wide) with per-replication derived
+// seeds (see repSeed), so the estimate is bit-identical at any
+// parallelism.
 func SimulateJob(seed int64, p JobParams, reps int) (float64, error) {
 	if p.ComputeHours <= 0 {
 		return 0, fmt.Errorf("sim: compute time must be positive, got %v", p.ComputeHours)
@@ -49,11 +52,13 @@ func SimulateJob(seed int64, p JobParams, reps int) (float64, error) {
 		lw = p.ComputeHours
 	}
 	samples := make([]float64, reps)
-	par.ForEach(0, reps, func(r int) error {
-		rng := rand.New(rand.NewSource(repSeed(seed, r)))
-		samples[r] = simulateJobOnce(rng, p.ComputeHours, lw, p.MTBFHours, p.OutageHours)
+	if err := par.ForEach(p.Workers, reps, func(r int) error {
+		rg := newRNG(repSeed(seed, r))
+		samples[r] = simulateJobOnce(&rg, p.ComputeHours, lw, p.MTBFHours, p.OutageHours)
 		return nil
-	})
+	}); err != nil {
+		return 0, err
+	}
 	var total float64
 	for _, s := range samples {
 		total += s
@@ -64,14 +69,14 @@ func SimulateJob(seed int64, p JobParams, reps int) (float64, error) {
 // simulateJobOnce walks one job execution: progress accumulates until
 // the next failure; failures roll progress back to the last checkpoint
 // and cost an outage.
-func simulateJobOnce(rng *rand.Rand, compute, lw, mtbf, outage float64) float64 {
+func simulateJobOnce(rg *rng, compute, lw, mtbf, outage float64) float64 {
 	var (
 		wall     float64
 		done     float64 // checkpointed progress
 		inWindow float64 // progress since the last checkpoint
 	)
 	for done < compute {
-		toFailure := rng.ExpFloat64() * mtbf
+		toFailure := rg.Exp() * mtbf
 		// Work achievable before the failure, bounded by the window
 		// end and the job end.
 		for toFailure > 0 && done < compute {
@@ -87,7 +92,7 @@ func simulateJobOnce(rng *rand.Rand, compute, lw, mtbf, outage float64) float64 
 				wall += toFailure
 				inWindow = 0
 				if outage > 0 {
-					wall += rng.ExpFloat64() * outage
+					wall += rg.Exp() * outage
 				}
 				toFailure = 0
 				break

@@ -1,0 +1,78 @@
+package sim
+
+import (
+	"math"
+	"testing"
+)
+
+// TestRNGPinned pins the xoshiro256++ output stream for two seeds. A
+// change here silently reshuffles every simulation sample, so the
+// generator may not drift without also repinning the simulation
+// goldens.
+func TestRNGPinned(t *testing.T) {
+	cases := []struct {
+		seed int64
+		want [4]uint64
+	}{
+		{1, [4]uint64{0xcfc5d07f6f03c29b, 0xbf424132963fe08d, 0x19a37d5757aaf520, 0xbf08119f05cd56d6}},
+		{-42, [4]uint64{0xaef72d54e9f49141, 0xd5674d64ec826d43, 0xa0a876432c9e1866, 0x67241f44084cbc79}},
+	}
+	for _, c := range cases {
+		r := newRNG(c.seed)
+		for i, want := range c.want {
+			if got := r.Uint64(); got != want {
+				t.Errorf("seed %d draw %d = %#016x, want %#016x", c.seed, i, got, want)
+			}
+		}
+	}
+}
+
+func TestRNGFloat64Range(t *testing.T) {
+	r := newRNG(99)
+	for i := 0; i < 1_000_000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("draw %d: Float64() = %v outside [0,1)", i, f)
+		}
+	}
+}
+
+// TestRNGExp checks the exponential variates: strictly positive and
+// finite (the +1 offset keeps log away from zero), with the sample
+// mean and variance near the unit exponential's 1 and 1.
+func TestRNGExp(t *testing.T) {
+	r := newRNG(7)
+	const n = 1_000_000
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		x := r.Exp()
+		if x <= 0 || math.IsInf(x, 0) || math.IsNaN(x) {
+			t.Fatalf("draw %d: Exp() = %v", i, x)
+		}
+		sum += x
+		sumSq += x * x
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean-1) > 0.005 {
+		t.Errorf("Exp() mean = %v, want ≈ 1", mean)
+	}
+	if math.Abs(variance-1) > 0.02 {
+		t.Errorf("Exp() variance = %v, want ≈ 1", variance)
+	}
+}
+
+// TestRNGSeedStreamsDiffer guards the per-replication independence
+// assumption: adjacent seeds must not produce overlapping prefixes.
+func TestRNGSeedStreamsDiffer(t *testing.T) {
+	a, b := newRNG(1), newRNG(2)
+	same := 0
+	for i := 0; i < 64; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Errorf("seeds 1 and 2 agree on %d of 64 draws", same)
+	}
+}

@@ -2,7 +2,6 @@ package sim
 
 import (
 	"math"
-	"math/rand"
 	"testing"
 
 	"aved/internal/avail"
@@ -36,11 +35,23 @@ func TestRepSeedPinned(t *testing.T) {
 	}
 }
 
+// oneRep runs replication r of a tier simulation on a fresh arena,
+// reproducing exactly what the engine's worker does for that index.
+func oneRep(t *testing.T, tm *avail.TierModel, seed int64, r int, years float64) float64 {
+	t.Helper()
+	rg := newRNG(repSeed(seed, r))
+	down, err := simulateOnce(tm, &rg, years, new(tierSim))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return down / years
+}
+
 // TestSimulateTierMatchesPerRepStreams is the replication-independence
-// regression: the engine's estimate must equal the mean of replications
-// computed one at a time from their derived seeds, proving replication
-// r's result does not depend on how many replications precede it or on
-// scheduling.
+// regression: the engine's estimate must equal the replications
+// computed one at a time from their derived seeds and folded through
+// the same streaming statistics, proving replication r's result does
+// not depend on how many replications precede it or on scheduling.
 func TestSimulateTierMatchesPerRepStreams(t *testing.T) {
 	tm := singleMode(2, 2, 1, 100*units.Day, 10*units.Hour, 10*units.Minute, true)
 	const (
@@ -56,17 +67,39 @@ func TestSimulateTierMatchesPerRepStreams(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	var sum float64
+	var w welford
 	for r := 0; r < reps; r++ {
-		rng := rand.New(rand.NewSource(repSeed(seed, r)))
-		down, err := simulateOnce(&tm, rng, years)
-		if err != nil {
-			t.Fatal(err)
-		}
-		sum += down / years
+		w.add(oneRep(t, &tm, seed, r, years))
 	}
-	if want := sum / reps; stats.MeanMinutes != want {
-		t.Errorf("engine mean %v != per-replication mean %v", stats.MeanMinutes, want)
+	if want := w.stats(); stats != want {
+		t.Errorf("engine stats %+v != per-replication stats %+v", stats, want)
+	}
+}
+
+// TestSimulateOnceReusedArenaBitIdentical asserts that arena reuse is
+// invisible: a replication run on an arena still warm from a different
+// tier model produces bit-identically the same sample as one on a
+// fresh arena.
+func TestSimulateOnceReusedArenaBitIdentical(t *testing.T) {
+	warmup := singleMode(4, 3, 2, 30*units.Day, 48*units.Hour, 20*units.Minute, true)
+	tm := singleMode(2, 2, 1, 100*units.Day, 10*units.Hour, 10*units.Minute, true)
+	arena := new(tierSim)
+	rg := newRNG(repSeed(9, 0))
+	if _, err := simulateOnce(&warmup, &rg, 200, arena); err != nil {
+		t.Fatal(err)
+	}
+	rg = newRNG(repSeed(42, 3))
+	reused, err := simulateOnce(&tm, &rg, 50, arena)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rg = newRNG(repSeed(42, 3))
+	fresh, err := simulateOnce(&tm, &rg, 50, new(tierSim))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reused != fresh {
+		t.Errorf("reused arena sample %v != fresh arena sample %v", reused, fresh)
 	}
 }
 
@@ -77,7 +110,7 @@ func TestSimWorkerCountBitIdentical(t *testing.T) {
 	tm := singleMode(3, 2, 1, 200*units.Day, 24*units.Hour, 5*units.Minute, true)
 	var base Stats
 	for i, workers := range []int{1, 2, 4, 8, 0} {
-		eng, err := NewEngine(7, 40, 12)
+		eng, err := NewEngine(15, 40, 12)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -121,36 +154,51 @@ func TestSimEvaluateWorkerCountBitIdentical(t *testing.T) {
 
 // TestSimulateRestartPinnedAndPrefixFree pins the restart-law estimate
 // and checks the per-replication property: adding replications never
-// changes the earlier replications' contribution.
+// changes the earlier replications' contribution. The pinned value is
+// for the xoshiro256++ streams with the ziggurat exponential sampler;
+// it changed when the simulator dropped math/rand (and the pinned seed
+// moved from 17 to 23, whose four replications exercise the restart
+// branch — the estimate staying off the degenerate lw value proves
+// that).
 func TestSimulateRestartPinnedAndPrefixFree(t *testing.T) {
-	got, err := SimulateRestart(17, 100, 50, 4)
+	got, err := SimulateRestart(23, 100, 50, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if want := 86.9808898788136; math.Abs(got-want) > 1e-9 {
-		t.Errorf("SimulateRestart(17,100,50,4) = %.15g, want %.15g", got, want)
+	if want := 61.1292473956506; math.Abs(got-want) > 1e-9 {
+		t.Errorf("SimulateRestart(23,100,50,4) = %.16g, want %.15g", got, want)
 	}
 	// Replication 0 alone must equal its derived stream's sample.
-	one, err := SimulateRestart(17, 100, 50, 1)
+	one, err := SimulateRestart(23, 100, 50, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if want := restartOnce(rand.New(rand.NewSource(repSeed(17, 0))), 100, 50); one != want {
+	rg := newRNG(repSeed(23, 0))
+	if want := restartOnce(&rg, 100, 50); one != want {
 		t.Errorf("single replication %v != derived stream %v", one, want)
 	}
 	// reps=4 is exactly the average of the four per-replication samples,
 	// so the first replications are unchanged by the later ones.
 	var sum float64
 	for r := 0; r < 4; r++ {
-		sum += restartOnce(rand.New(rand.NewSource(repSeed(17, r))), 100, 50)
+		rg := newRNG(repSeed(23, r))
+		sum += restartOnce(&rg, 100, 50)
 	}
 	if want := sum / 4; math.Abs(got-want) > 1e-12 {
 		t.Errorf("reps=4 mean %v != per-replication mean %v", got, want)
 	}
+	// The worker count never changes the estimate.
+	seq, err := SimulateRestartWorkers(23, 100, 50, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq != got {
+		t.Errorf("workers=1 estimate %v != pooled estimate %v", seq, got)
+	}
 }
 
 // TestSimulateJobPrefixFree applies the same independence check to the
-// job walk.
+// job walk, at more than one worker count.
 func TestSimulateJobPrefixFree(t *testing.T) {
 	p := JobParams{ComputeHours: 100, LossWindowHours: 2, MTBFHours: 80, OutageHours: 4}
 	got, err := SimulateJob(11, p, 5)
@@ -159,10 +207,19 @@ func TestSimulateJobPrefixFree(t *testing.T) {
 	}
 	var sum float64
 	for r := 0; r < 5; r++ {
-		rng := rand.New(rand.NewSource(repSeed(11, r)))
-		sum += simulateJobOnce(rng, p.ComputeHours, p.LossWindowHours, p.MTBFHours, p.OutageHours)
+		rg := newRNG(repSeed(11, r))
+		sum += simulateJobOnce(&rg, p.ComputeHours, p.LossWindowHours, p.MTBFHours, p.OutageHours)
 	}
 	if want := sum / 5; math.Abs(got-want) > 1e-12 {
 		t.Errorf("SimulateJob %v != per-replication mean %v", got, want)
+	}
+	seqParams := p
+	seqParams.Workers = 1
+	seq, err := SimulateJob(11, seqParams, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq != got {
+		t.Errorf("workers=1 estimate %v != pooled estimate %v", seq, got)
 	}
 }

@@ -6,6 +6,14 @@
 // with all failure modes interleaved on a shared resource pool, with no
 // per-mode decomposition.
 //
+// The simulator is built to sit inside the design-space search loop,
+// where it is invoked once per candidate design: replications draw from
+// an inline xoshiro256++ generator (rng.go), reuse pooled per-worker
+// arenas and a typed event heap so the steady state allocates nothing,
+// and an adaptive-precision controller (WithPrecision) stops
+// replicating as soon as the confidence interval is tight enough for
+// the search, instead of always burning the full budget.
+//
 // The package also provides SimulateRestart, a Monte-Carlo estimate of
 // the restart law behind the paper's Eq. 1 (mean time to execute a loss
 // window of useful work under failures), used to validate package
@@ -13,14 +21,19 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
-	"math/rand"
+	"sync"
 
 	"aved/internal/avail"
 	"aved/internal/par"
 )
+
+// DefaultBatch is the replication batch size the adaptive-precision
+// controller uses when none is configured: replications run in
+// deterministic batches of this size and the stopping rule is consulted
+// between batches.
+const DefaultBatch = 32
 
 // Engine is a Monte-Carlo availability engine. The zero value is not
 // usable; construct with NewEngine.
@@ -29,16 +42,22 @@ type Engine struct {
 	years   float64
 	reps    int
 	workers int // 0 means GOMAXPROCS
+	// relErr, when positive, enables adaptive-precision replication:
+	// stop as soon as the 95% CI half-width falls under relErr times
+	// the running mean, capped by the reps budget.
+	relErr float64
+	batch  int // adaptive batch size; 0 means DefaultBatch
 }
 
 var _ avail.Engine = (*Engine)(nil)
 
-// NewEngine builds a simulation engine running reps independent
+// NewEngine builds a simulation engine running up to reps independent
 // replications of years simulated years each, seeded deterministically.
 // Replications run across a worker pool (GOMAXPROCS workers by default;
 // see WithWorkers); each replication derives its own PRNG stream from
 // (seed, replication index), so results are bit-identical at any
-// parallelism.
+// parallelism. By default all reps replications run; WithPrecision
+// makes reps a cap instead of a fixed budget.
 func NewEngine(seed int64, years float64, reps int) (*Engine, error) {
 	if years <= 0 {
 		return nil, fmt.Errorf("sim: years must be positive, got %v", years)
@@ -57,6 +76,39 @@ func (e *Engine) WithWorkers(n int) *Engine {
 	return e
 }
 
+// WithPrecision enables adaptive-precision replication and returns the
+// engine: replications run in deterministic batches of batch (0 means
+// DefaultBatch) and stop once the 95% confidence half-width falls under
+// relErr times the running mean downtime, or once the reps budget is
+// exhausted, whichever comes first. relErr <= 0 restores the fixed
+// budget. The stopping rule folds batch statistics in replication-index
+// order, so a given (seed, relErr, batch) stops at the same replication
+// count at any worker count.
+func (e *Engine) WithPrecision(relErr float64, batch int) *Engine {
+	e.SetPrecision(relErr, batch)
+	return e
+}
+
+// SetPrecision is WithPrecision without the chaining return; it exists
+// so configuration layers holding the engine behind an interface (see
+// core.Options) can tune precision structurally.
+func (e *Engine) SetPrecision(relErr float64, batch int) {
+	if relErr < 0 {
+		relErr = 0
+	}
+	if batch < 0 {
+		batch = 0
+	}
+	e.relErr = relErr
+	e.batch = batch
+}
+
+// Precision reports the configured adaptive target and batch size
+// (zeros when the engine runs its fixed budget).
+func (e *Engine) Precision() (relErr float64, batch int) {
+	return e.relErr, e.batch
+}
+
 // repSeed derives replication r's PRNG seed from the base seed with a
 // SplitMix64 finalizer, so a replication's random stream depends only on
 // (seed, r) — not on how many replications precede it or which worker
@@ -72,56 +124,211 @@ func repSeed(seed int64, r int) int64 {
 // Stats summarises replication-level downtime estimates.
 type Stats struct {
 	MeanMinutes float64 // mean annual downtime across replications
-	HalfWidth95 float64 // 95% confidence half-width of the mean
+	HalfWidth95 float64 // 95% confidence half-width of the mean (Student-t)
+	// Replications is how many replications the estimate used: the full
+	// budget under fixed replication, possibly fewer under WithPrecision.
+	Replications int
 }
 
 // Evaluate implements avail.Engine. Tiers are independent in the model,
 // so each simulates separately; tier availabilities compose in series
 // exactly as in the analytic engine.
 func (e *Engine) Evaluate(tms []avail.TierModel) (avail.Result, error) {
+	res, _, err := e.EvaluateStats(tms)
+	return res, err
+}
+
+// EvaluateStats is Evaluate with the per-tier replication statistics
+// alongside the composed result, exposing how the adaptive controller
+// spent its budget.
+//
+// Under WithPrecision a multi-tier evaluation targets the precision of
+// the design-level downtime, not each tier's own mean: tiers whose
+// downtime barely moves the composed figure would otherwise demand
+// enormous replication counts to pin their tiny means to the same
+// relative error. Batches are allocated greedily to whichever tier
+// currently has the widest confidence interval (simulateDesignAdaptive)
+// until the composed estimate meets the target.
+func (e *Engine) EvaluateStats(tms []avail.TierModel) (avail.Result, []Stats, error) {
 	if len(tms) == 0 {
-		return avail.Result{}, fmt.Errorf("sim: no tiers to evaluate")
+		return avail.Result{}, nil, fmt.Errorf("sim: no tiers to evaluate")
+	}
+	var (
+		sts []Stats
+		err error
+	)
+	if e.relErr > 0 && len(tms) > 1 {
+		sts, err = e.simulateDesignAdaptive(tms)
+	} else {
+		sts = make([]Stats, len(tms))
+		for i := range tms {
+			if sts[i], err = e.SimulateTier(&tms[i]); err != nil {
+				break
+			}
+		}
+	}
+	if err != nil {
+		return avail.Result{}, nil, err
 	}
 	res := avail.Result{Availability: 1}
 	for i := range tms {
-		stats, err := e.SimulateTier(&tms[i])
-		if err != nil {
-			return avail.Result{}, err
-		}
-		downFrac := stats.MeanMinutes / avail.MinutesPerYear
+		downFrac := sts[i].MeanMinutes / avail.MinutesPerYear
 		tr := avail.TierResult{
 			Name:            tms[i].Name,
 			Availability:    1 - downFrac,
-			DowntimeMinutes: stats.MeanMinutes,
+			DowntimeMinutes: sts[i].MeanMinutes,
 		}
 		res.Tiers = append(res.Tiers, tr)
 		res.Availability *= tr.Availability
 	}
 	res.DowntimeMinutes = (1 - res.Availability) * avail.MinutesPerYear
-	return res, nil
+	return res, sts, nil
 }
 
+// simulateDesignAdaptive spreads the replication budget across tiers to
+// pin the design-level downtime. Tier estimates are independent and the
+// composed downtime is (to first order) their sum, so the combined 95%
+// half-width is the root-sum-square of the tier half-widths; after a
+// seed batch per tier, each round runs one more batch on the tier with
+// the widest interval (lowest index on ties) until the combined
+// half-width falls under relErr times the combined mean or every tier
+// exhausts its reps budget. All decisions depend only on batch
+// statistics folded in replication order, so the allocation — and the
+// estimate — is bit-identical at any worker count.
+func (e *Engine) simulateDesignAdaptive(tms []avail.TierModel) ([]Stats, error) {
+	for i := range tms {
+		if err := tms[i].Validate(); err != nil {
+			return nil, err
+		}
+	}
+	batch := e.batch
+	if batch <= 0 {
+		batch = DefaultBatch
+	}
+	if batch > e.reps {
+		batch = e.reps
+	}
+	ws := make([]welford, len(tms))
+	buf := make([]float64, batch)
+	for i := range tms {
+		if err := e.runBatch(&tms[i], &ws[i], batch, buf); err != nil {
+			return nil, err
+		}
+	}
+	for {
+		var mean, hw2 float64
+		for i := range ws {
+			st := ws[i].stats()
+			mean += st.MeanMinutes
+			hw2 += st.HalfWidth95 * st.HalfWidth95
+		}
+		if math.Sqrt(hw2) <= e.relErr*mean {
+			break
+		}
+		pick := -1
+		var worst float64
+		for i := range ws {
+			if ws[i].n >= e.reps {
+				continue
+			}
+			if hw := ws[i].stats().HalfWidth95; pick < 0 || hw > worst {
+				pick, worst = i, hw
+			}
+		}
+		if pick < 0 {
+			break // every tier at its budget cap
+		}
+		k := batch
+		if left := e.reps - ws[pick].n; left < k {
+			k = left
+		}
+		if err := e.runBatch(&tms[pick], &ws[pick], k, buf); err != nil {
+			return nil, err
+		}
+	}
+	sts := make([]Stats, len(ws))
+	for i := range ws {
+		sts[i] = ws[i].stats()
+	}
+	return sts, nil
+}
+
+// arenaPool recycles tierSim arenas across replications. sync.Pool
+// keeps a per-P free list, so under par.ForEach each worker effectively
+// owns a private arena and a steady-state replication allocates
+// nothing: the event queue, resource-state and scratch slices all
+// retain their capacity from earlier replications.
+var arenaPool = sync.Pool{New: func() any { return new(tierSim) }}
+
 // SimulateTier estimates one tier's annual downtime distribution.
+//
+// Replications run in deterministic batches: each batch fans across the
+// worker pool writing samples by index, then the samples fold into
+// streaming (Welford) statistics in replication order. Under
+// WithPrecision the stopping rule runs between batches on those
+// statistics alone, so the replication count at which it stops — and
+// therefore the estimate — is bit-identical at any worker count.
 func (e *Engine) SimulateTier(tm *avail.TierModel) (Stats, error) {
 	if err := tm.Validate(); err != nil {
 		return Stats{}, err
 	}
-	samples := make([]float64, e.reps)
-	err := par.ForEach(e.workers, e.reps, func(r int) error {
-		rng := rand.New(rand.NewSource(repSeed(e.seed, r)))
-		down, err := simulateOnce(tm, rng, e.years)
+	batch := e.batch
+	if batch <= 0 {
+		batch = DefaultBatch
+	}
+	if e.relErr <= 0 || batch > e.reps {
+		// Fixed budget (or a budget under one batch): a single pass.
+		batch = e.reps
+	}
+	var w welford
+	buf := make([]float64, batch)
+	for w.n < e.reps {
+		k := batch
+		if left := e.reps - w.n; left < k {
+			k = left
+		}
+		if err := e.runBatch(tm, &w, k, buf); err != nil {
+			return Stats{}, err
+		}
+		if e.relErr > 0 && w.n >= 2 {
+			if st := w.stats(); st.HalfWidth95 <= e.relErr*st.MeanMinutes {
+				return st, nil
+			}
+		}
+	}
+	return w.stats(), nil
+}
+
+// runBatch fans replications [w.n, w.n+k) of tm across the worker pool
+// on pooled arenas, writing samples by index into buf, then folds them
+// into w in replication order — the one fold order that keeps the
+// accumulated statistics independent of scheduling.
+func (e *Engine) runBatch(tm *avail.TierModel, w *welford, k int, buf []float64) error {
+	base := w.n
+	err := par.ForEach(e.workers, k, func(i int) error {
+		s := arenaPool.Get().(*tierSim)
+		rg := newRNG(repSeed(e.seed, base+i))
+		down, err := simulateOnce(tm, &rg, e.years, s)
+		arenaPool.Put(s)
 		if err != nil {
 			return err
 		}
-		samples[r] = down / e.years // minutes per year
+		buf[i] = down / e.years // minutes per year
 		return nil
 	})
 	if err != nil {
-		return Stats{}, err
+		return err
 	}
-	return summarise(samples), nil
+	for _, x := range buf[:k] {
+		w.add(x)
+	}
+	return nil
 }
 
+// summarise is the naive two-pass reference estimator over a complete
+// samples slice. The engine streams through welford instead (one pass,
+// no samples slice); this form is kept as the oracle the streaming
+// statistics are tested against.
 func summarise(samples []float64) Stats {
 	n := float64(len(samples))
 	var sum float64
@@ -129,8 +336,9 @@ func summarise(samples []float64) Stats {
 		sum += s
 	}
 	mean := sum / n
+	st := Stats{MeanMinutes: mean, Replications: len(samples)}
 	if len(samples) < 2 {
-		return Stats{MeanMinutes: mean}
+		return st
 	}
 	var ss float64
 	for _, s := range samples {
@@ -138,7 +346,8 @@ func summarise(samples []float64) Stats {
 		ss += d * d
 	}
 	stderr := math.Sqrt(ss/(n-1)) / math.Sqrt(n)
-	return Stats{MeanMinutes: mean, HalfWidth95: 1.96 * stderr}
+	st.HalfWidth95 = tCrit95(len(samples)-1) * stderr
+	return st
 }
 
 // resourceState is a resource's position in its lifecycle.
@@ -151,12 +360,14 @@ const (
 	stateActivating // spare starting up during a failover window
 )
 
-// eventKind identifies simulation events.
+// eventKind identifies heap-scheduled simulation events. Failures are
+// not among them: the next failure across the whole tier is a single
+// scalar deadline (see tierSim.nextFailAt), so only repair completions
+// and spare activations ever enter the queue.
 type eventKind int
 
 const (
-	evFailure eventKind = iota + 1
-	evRepairDone
+	evRepairDone eventKind = iota + 1
 	evActivationDone
 )
 
@@ -165,97 +376,159 @@ type event struct {
 	seq  uint64  // tie-break for deterministic ordering
 	kind eventKind
 	res  int
-	gen  uint64 // resource lifecycle generation; stale events are ignored
 }
 
-type eventQueue []event
-
-func (q eventQueue) Len() int { return len(q) }
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].at != q[j].at {
-		return q[i].at < q[j].at
-	}
-	return q[i].seq < q[j].seq
-}
-func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
-func (q *eventQueue) Push(x any)   { *q = append(*q, x.(event)) }
-func (q *eventQueue) Pop() any     { old := *q; n := len(old); ev := old[n-1]; *q = old[:n-1]; return ev }
-
-// tierSim is the mutable simulation state for one tier replication.
+// tierSim is the mutable simulation state for one tier replication. It
+// doubles as a reusable arena: reset reslices every buffer in place, so
+// after the first replication warms the capacities, further
+// replications on the same arena allocate nothing.
+//
+// Failure sampling is aggregated: failure modes are exponential, so the
+// superposition of every pending per-resource failure clock is itself
+// exponential at the summed rate, and memorylessness lets the simulator
+// redraw one tier-wide next-failure deadline after every state change
+// instead of keeping a clock per resource in the event queue. The
+// victim resource falls out of the same uniform draw that picked the
+// class. This halves-and-more the heap traffic — the queue holds only
+// in-flight repairs and activations — and is statistically identical to
+// competing per-resource exponentials.
 type tierSim struct {
-	tm     *avail.TierModel
-	rng    *rand.Rand
-	queue  eventQueue
-	seq    uint64
-	state  []resourceState
-	gen    []uint64 // invalidates scheduled events after state changes
-	active int
+	tm         *avail.TierModel
+	rng        rng // by value: keeps the caller's generator off the heap
+	queue      []event
+	seq        uint64
+	state      []resourceState
+	active     int
+	idleSpares int
+	nextFailAt float64 // tier-wide next-failure deadline (+Inf when nothing can fail)
 	// activeRate is the total failure rate of a serving resource;
 	// spareRate covers only the modes whose components run powered on
 	// idle spares (warm/hot spares).
 	activeRate float64
 	spareRate  float64
-	spareModes []int // indices into tm.Modes with SparePowered
+	// invActiveRate/invSpareRate turn victim selection and deadline
+	// sampling divisions into multiplies (0 when the rate itself is 0).
+	invActiveRate float64
+	invSpareRate  float64
+	spareModes    []int     // indices into tm.Modes with SparePowered
+	modeRates     []float64 // per-mode failure rates (1/MTBF hours)
+	// repairHours/failoverHours cache the per-mode Duration→hours
+	// conversions so the event handlers stay arithmetic-only.
+	repairHours   []float64
+	failoverHours []float64
+	usesFailover  []bool
 }
 
-// simulateOnce runs one replication and reports downtime minutes.
-func simulateOnce(tm *avail.TierModel, rng *rand.Rand, years float64) (float64, error) {
+// reset points the arena at a tier model and replication stream and
+// restores the empty initial state, reusing every buffer's capacity.
+func (s *tierSim) reset(tm *avail.TierModel, rg *rng) {
 	total := tm.N + tm.S
-	s := &tierSim{
-		tm:    tm,
-		rng:   rng,
-		state: make([]resourceState, total),
-		gen:   make([]uint64, total),
+	s.tm = tm
+	s.rng = *rg
+	s.queue = s.queue[:0]
+	s.seq = 0
+	s.active = 0
+	s.idleSpares = 0
+	s.activeRate = 0
+	s.spareRate = 0
+	s.invActiveRate = 0
+	s.invSpareRate = 0
+	s.spareModes = s.spareModes[:0]
+	s.modeRates = s.modeRates[:0]
+	s.repairHours = s.repairHours[:0]
+	s.failoverHours = s.failoverHours[:0]
+	s.usesFailover = s.usesFailover[:0]
+	if cap(s.state) < total {
+		s.state = make([]resourceState, total)
+	} else {
+		s.state = s.state[:total]
 	}
-	for mi, m := range tm.Modes {
-		rate := 1 / m.MTBF.Hours()
+	for mi := range tm.Modes {
+		rate := 1 / tm.Modes[mi].MTBF.Hours()
+		s.modeRates = append(s.modeRates, rate)
+		s.repairHours = append(s.repairHours, tm.Modes[mi].Repair.Hours())
+		s.failoverHours = append(s.failoverHours, tm.Modes[mi].Failover.Hours())
+		s.usesFailover = append(s.usesFailover, tm.Modes[mi].UsesFailover)
 		s.activeRate += rate
-		if m.SparePowered {
+		if tm.Modes[mi].SparePowered {
 			s.spareRate += rate
 			s.spareModes = append(s.spareModes, mi)
 		}
 	}
-	for i := 0; i < total; i++ {
+	if s.activeRate > 0 {
+		s.invActiveRate = 1 / s.activeRate
+	}
+	if s.spareRate > 0 {
+		s.invSpareRate = 1 / s.spareRate
+	}
+}
+
+// simulateOnce runs one replication on the given arena and reports
+// downtime minutes. The arena may be freshly zero-valued or reused from
+// an earlier replication; in the steady state (warm arena) the
+// replication performs zero heap allocations.
+func simulateOnce(tm *avail.TierModel, rg *rng, years float64, s *tierSim) (float64, error) {
+	s.reset(tm, rg)
+	// Copy the advanced generator state back out on every return, so the
+	// caller's stream position stays meaningful (and rg itself never
+	// escapes to the heap — the arena works on its own copy).
+	defer func() { *rg = s.rng }()
+	for i := 0; i < tm.N+tm.S; i++ {
 		if i < tm.N {
 			s.state[i] = stateActive
 			s.active++
-			s.scheduleFailure(i, 0, true)
 		} else {
 			s.state[i] = stateIdleSpare
-			s.scheduleFailure(i, 0, false)
+			s.idleSpares++
 		}
 	}
+	s.drawNextFailure(0)
 	horizon := years * 8760
 	var (
 		now       float64
 		downSince float64
 		downHours float64
 	)
-	down := s.active < tm.M
-	if down {
-		downSince = 0
-	}
-	for s.queue.Len() > 0 {
-		ev := heap.Pop(&s.queue).(event)
-		if ev.at > horizon {
+	m := tm.M
+	for {
+		// The next event is the earlier of the heap front (in-flight
+		// repairs and activations) and the tier-wide failure deadline;
+		// the heap wins ties so recovery completes before a
+		// same-instant failure strikes.
+		var (
+			at      float64
+			failure bool
+		)
+		if len(s.queue) > 0 && s.queue[0].at <= s.nextFailAt {
+			at = s.queue[0].at
+		} else if !math.IsInf(s.nextFailAt, 1) {
+			at, failure = s.nextFailAt, true
+		} else {
 			break
 		}
-		if ev.gen != s.gen[ev.res] {
-			continue // stale event from a superseded lifecycle
+		if at > horizon {
+			break
 		}
-		now = ev.at
-		before := s.active < s.tm.M
-		switch ev.kind {
-		case evFailure:
-			s.onFailure(ev.res, now)
-		case evRepairDone:
-			s.onRepairDone(ev.res, now)
-		case evActivationDone:
-			s.onActivationDone(ev.res, now)
-		default:
-			return 0, fmt.Errorf("sim: unknown event kind %d", int(ev.kind))
+		now = at
+		before := s.active < m
+		if failure {
+			s.onFailure(now)
+		} else {
+			ev := heapPop(&s.queue)
+			switch ev.kind {
+			case evRepairDone:
+				s.onRepairDone(ev.res)
+			case evActivationDone:
+				s.onActivationDone(ev.res)
+			default:
+				return 0, fmt.Errorf("sim: unknown event kind %d", int(ev.kind))
+			}
 		}
-		after := s.active < s.tm.M
+		// Any handler may change who can fail; the exponential's
+		// memorylessness makes an unconditional redraw of the aggregate
+		// deadline exact.
+		s.drawNextFailure(now)
+		after := s.active < m
 		if !before && after {
 			downSince = now
 		}
@@ -269,115 +542,149 @@ func simulateOnce(tm *avail.TierModel, rng *rand.Rand, years float64) (float64, 
 	return downHours * 60, nil
 }
 
-// scheduleFailure samples the next failure of a resource. Serving
-// resources fail under every mode; idle spares only under the modes
-// whose components run powered on spares.
-func (s *tierSim) scheduleFailure(res int, now float64, serving bool) {
-	rate := s.activeRate
-	if !serving {
-		rate = s.spareRate
-	}
+// drawNextFailure samples the tier-wide next-failure deadline from the
+// superposed failure clocks: active resources fail under every mode,
+// idle spares only under the spare-powered modes.
+func (s *tierSim) drawNextFailure(now float64) {
+	rate := float64(s.active)*s.activeRate + float64(s.idleSpares)*s.spareRate
 	if rate <= 0 {
+		s.nextFailAt = math.Inf(1)
 		return
 	}
-	dt := s.rng.ExpFloat64() / rate
-	s.push(event{at: now + dt, kind: evFailure, res: res, gen: s.gen[res]})
+	s.nextFailAt = now + s.rng.Exp()/rate
 }
 
-func (s *tierSim) push(ev event) {
+// pushEvent stamps the insertion sequence and queues the event.
+func (s *tierSim) pushEvent(at float64, kind eventKind, res int) {
 	s.seq++
-	ev.seq = s.seq
-	heap.Push(&s.queue, ev)
+	heapPush(&s.queue, event{at: at, seq: s.seq, kind: kind, res: res})
 }
 
 // pickMode chooses which failure mode struck, proportional to rates,
-// drawing from the spare-powered subset for idle spares.
-func (s *tierSim) pickMode(serving bool) *avail.Mode {
+// drawing from the spare-powered subset for idle spares. It returns the
+// mode index so handlers read the cached per-mode tables.
+func (s *tierSim) pickMode(serving bool) int {
 	if serving {
 		x := s.rng.Float64() * s.activeRate
 		var acc float64
-		for i := range s.tm.Modes {
-			acc += 1 / s.tm.Modes[i].MTBF.Hours()
+		for i := range s.modeRates {
+			acc += s.modeRates[i]
 			if x <= acc {
-				return &s.tm.Modes[i]
+				return i
 			}
 		}
-		return &s.tm.Modes[len(s.tm.Modes)-1]
+		return len(s.modeRates) - 1
 	}
 	x := s.rng.Float64() * s.spareRate
 	var acc float64
 	for _, mi := range s.spareModes {
-		acc += 1 / s.tm.Modes[mi].MTBF.Hours()
+		acc += s.modeRates[mi]
 		if x <= acc {
-			return &s.tm.Modes[mi]
+			return mi
 		}
 	}
-	return &s.tm.Modes[s.spareModes[len(s.spareModes)-1]]
+	return s.spareModes[len(s.spareModes)-1]
 }
 
-func (s *tierSim) onFailure(res int, now float64) {
-	wasActive := s.state[res] == stateActive
-	mode := s.pickMode(wasActive || s.state[res] == stateActivating)
-	s.gen[res]++ // cancel this resource's pending events
-	if wasActive {
+// onFailure resolves the aggregate failure deadline into a concrete
+// victim: the class (serving vs idle spare) falls out of one uniform
+// draw proportional to each class's total rate, and the victim within
+// the class out of the same draw's remainder — uniform, since class
+// members carry identical rates. Activating and repairing resources
+// never fail (an activating spare has no serving load yet; a repairing
+// one is already down), matching the per-resource-clock formulation
+// where neither holds a pending failure clock.
+func (s *tierSim) onFailure(now float64) {
+	activeMass := float64(s.active) * s.activeRate
+	total := activeMass + float64(s.idleSpares)*s.spareRate
+	x := s.rng.Float64() * total
+	serving := x < activeMass
+	var res int
+	if serving {
+		k := int(x * s.invActiveRate) // uniform in [0, active)
+		if k >= s.active {
+			k = s.active - 1
+		}
+		res = s.nthInState(stateActive, k)
+	} else {
+		k := int((x - activeMass) * s.invSpareRate) // uniform in [0, idleSpares)
+		if k >= s.idleSpares {
+			k = s.idleSpares - 1
+		}
+		res = s.nthInState(stateIdleSpare, k)
+	}
+	mi := s.pickMode(serving)
+	if serving {
 		s.active--
+	} else {
+		s.idleSpares--
 	}
 	s.state[res] = stateRepairing
-	if mode.Repair <= 0 {
+	if s.repairHours[mi] <= 0 {
 		// Instantaneous repair: the resource resumes immediately.
-		s.finishRepair(res, now)
+		s.finishRepair(res)
 		return
 	}
 	// Repair and activation durations sample exponentially with the
 	// modelled means, matching §4.2's distributional assumptions (the
 	// steady state is insensitive to the choice, but finite-horizon
 	// comparisons against the analytic engines are not).
-	repair := s.rng.ExpFloat64() * mode.Repair.Hours()
-	s.push(event{at: now + repair, kind: evRepairDone, res: res, gen: s.gen[res]})
+	repair := s.rng.Exp() * s.repairHours[mi]
+	s.pushEvent(now+repair, evRepairDone, res)
 	// Failover: an idle spare starts taking over the failed active's
 	// place when the mode warrants it.
-	if wasActive && mode.UsesFailover {
+	if serving && s.usesFailover[mi] {
 		if sp := s.findIdleSpare(); sp >= 0 {
-			s.gen[sp]++
+			s.idleSpares--
 			s.state[sp] = stateActivating
 			activation := 0.0
-			if mode.Failover > 0 {
-				activation = s.rng.ExpFloat64() * mode.Failover.Hours()
+			if s.failoverHours[mi] > 0 {
+				activation = s.rng.Exp() * s.failoverHours[mi]
 			}
-			s.push(event{at: now + activation, kind: evActivationDone, res: sp, gen: s.gen[sp]})
+			s.pushEvent(now+activation, evActivationDone, sp)
 		}
 	}
 }
 
-func (s *tierSim) onRepairDone(res int, now float64) {
-	s.finishRepair(res, now)
+// nthInState returns the index of the k-th resource (in index order)
+// currently in the given state.
+func (s *tierSim) nthInState(st resourceState, k int) int {
+	for i, cur := range s.state {
+		if cur == st {
+			if k == 0 {
+				return i
+			}
+			k--
+		}
+	}
+	return len(s.state) - 1 // unreachable when counts are consistent
+}
+
+func (s *tierSim) onRepairDone(res int) {
+	s.finishRepair(res)
 }
 
 // finishRepair returns a repaired resource to service: it rejoins as
 // active if the tier is short of actives, otherwise as an idle spare.
-func (s *tierSim) finishRepair(res int, now float64) {
-	s.gen[res]++
+func (s *tierSim) finishRepair(res int) {
 	if s.active < s.tm.N {
 		s.state[res] = stateActive
 		s.active++
-		s.scheduleFailure(res, now, true)
 		return
 	}
 	s.state[res] = stateIdleSpare
-	s.scheduleFailure(res, now, false)
+	s.idleSpares++
 }
 
-func (s *tierSim) onActivationDone(res int, now float64) {
-	s.gen[res]++
+func (s *tierSim) onActivationDone(res int) {
 	if s.active < s.tm.N {
 		s.state[res] = stateActive
 		s.active++
-		s.scheduleFailure(res, now, true)
 		return
 	}
 	// The slot was refilled while this spare was starting; stand down.
 	s.state[res] = stateIdleSpare
-	s.scheduleFailure(res, now, false)
+	s.idleSpares++
 }
 
 func (s *tierSim) findIdleSpare() int {
@@ -395,8 +702,17 @@ func (s *tierSim) findIdleSpare() int {
 // law behind the paper's Eq. 1. Failure handling time is excluded, as
 // in the analytic formula. Each replication draws from its own
 // deterministically derived stream (see repSeed), so replication r's
-// sample is independent of reps and of the worker count.
+// sample is independent of reps and of the worker count. Replications
+// fan across the GOMAXPROCS-wide pool; see SimulateRestartWorkers for
+// an explicit worker count.
 func SimulateRestart(seed int64, mtbfHours, lwHours float64, reps int) (float64, error) {
+	return SimulateRestartWorkers(seed, mtbfHours, lwHours, reps, 0)
+}
+
+// SimulateRestartWorkers is SimulateRestart with an explicit
+// replication worker-pool size (0 uses GOMAXPROCS, 1 runs
+// sequentially). The worker count never changes the estimate.
+func SimulateRestartWorkers(seed int64, mtbfHours, lwHours float64, reps, workers int) (float64, error) {
 	if mtbfHours <= 0 || lwHours <= 0 {
 		return 0, fmt.Errorf("sim: restart law needs positive mtbf and loss window, got %v and %v", mtbfHours, lwHours)
 	}
@@ -404,11 +720,13 @@ func SimulateRestart(seed int64, mtbfHours, lwHours float64, reps int) (float64,
 		return 0, fmt.Errorf("sim: need at least one replication, got %d", reps)
 	}
 	samples := make([]float64, reps)
-	par.ForEach(0, reps, func(r int) error {
-		rng := rand.New(rand.NewSource(repSeed(seed, r)))
-		samples[r] = restartOnce(rng, mtbfHours, lwHours)
+	if err := par.ForEach(workers, reps, func(r int) error {
+		rg := newRNG(repSeed(seed, r))
+		samples[r] = restartOnce(&rg, mtbfHours, lwHours)
 		return nil
-	})
+	}); err != nil {
+		return 0, err
+	}
 	var total float64
 	for _, s := range samples {
 		total += s
@@ -418,10 +736,10 @@ func SimulateRestart(seed int64, mtbfHours, lwHours float64, reps int) (float64,
 
 // restartOnce walks one replication of the restart law: elapsed time
 // accumulates until an inter-failure gap finally covers the loss window.
-func restartOnce(rng *rand.Rand, mtbfHours, lwHours float64) float64 {
+func restartOnce(rg *rng, mtbfHours, lwHours float64) float64 {
 	var elapsed float64
 	for {
-		x := rng.ExpFloat64() * mtbfHours
+		x := rg.Exp() * mtbfHours
 		if x >= lwHours {
 			return elapsed + lwHours
 		}

@@ -1,0 +1,87 @@
+package sim
+
+import "math"
+
+// welford accumulates a mean and sum of squared deviations in one
+// streaming pass (Welford's algorithm). The adaptive replication
+// controller consults the confidence interval after every batch, and a
+// two-pass variance over a growing samples slice would make that
+// quadratic — and force the engine to materialize every replication's
+// sample. The update is numerically stable (it never subtracts two
+// large near-equal sums), and adding samples in replication-index order
+// makes the accumulated statistics a pure function of the sample
+// prefix, independent of which workers produced the samples.
+type welford struct {
+	n    int
+	mean float64
+	m2   float64 // sum of squared deviations from the running mean
+}
+
+// add folds one sample into the running statistics.
+func (w *welford) add(x float64) {
+	w.n++
+	d := x - w.mean
+	w.mean += d / float64(w.n)
+	w.m2 += d * (x - w.mean)
+}
+
+// stats reports the mean and its 95% confidence half-width under the
+// Student-t distribution with n−1 degrees of freedom.
+func (w *welford) stats() Stats {
+	st := Stats{MeanMinutes: w.mean, Replications: w.n}
+	if w.n < 2 {
+		return st
+	}
+	n := float64(w.n)
+	stderr := math.Sqrt(w.m2/(n-1)) / math.Sqrt(n)
+	st.HalfWidth95 = tCrit95(w.n-1) * stderr
+	return st
+}
+
+// tTable95 holds two-sided 95% Student-t critical values for 1–30
+// degrees of freedom.
+var tTable95 = [30]float64{
+	12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+	2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+	2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+}
+
+// tAnchors95 anchors the tail of the table; between anchors the
+// critical value is close to linear in 1/df.
+var tAnchors95 = []struct {
+	df   float64
+	crit float64
+}{
+	{30, 2.042}, {40, 2.021}, {60, 2.000}, {120, 1.980},
+}
+
+// zCrit95 is the normal-limit critical value the old summarise applied
+// at every replication count. With a handful of replications — exactly
+// where the adaptive controller may stop — it understates the interval
+// badly (the true 95% multiplier at df=3 is 3.182, not 1.96).
+const zCrit95 = 1.959964
+
+// tCrit95 returns the two-sided 95% Student-t critical value for df
+// degrees of freedom: exact table values through df=30, interpolation
+// in 1/df through df=120, and the normal limit beyond.
+func tCrit95(df int) float64 {
+	if df < 1 {
+		return math.NaN()
+	}
+	if df <= 30 {
+		return tTable95[df-1]
+	}
+	f := float64(df)
+	for i := 0; i+1 < len(tAnchors95); i++ {
+		lo, hi := tAnchors95[i], tAnchors95[i+1]
+		if f <= hi.df {
+			// Interpolate linearly in 1/df between the anchors.
+			t := (1/f - 1/lo.df) / (1/hi.df - 1/lo.df)
+			return lo.crit + t*(hi.crit-lo.crit)
+		}
+	}
+	last := tAnchors95[len(tAnchors95)-1]
+	// Beyond the last anchor, fade to the normal limit as 1/df → 0.
+	t := (1/f - 1/last.df) / (0 - 1/last.df)
+	return last.crit + t*(zCrit95-last.crit)
+}

@@ -1,0 +1,85 @@
+package sim
+
+import (
+	"math"
+	"testing"
+)
+
+// TestWelfordMatchesTwoPass compares the streaming accumulator against
+// the two-pass summarise on pinned samples: same mean, same half-width,
+// to floating-point noise.
+func TestWelfordMatchesTwoPass(t *testing.T) {
+	cases := [][]float64{
+		{3.25, 3.25},
+		{0, 0, 0, 0},
+		{1, 2, 3, 4, 5},
+		{46.3, 0.94, 2.12, 49.4, 0.003, 12.75, 88.8, 46.3},
+		{1e-9, 2e-9, 3e-9, 5e9, 7e9},
+	}
+	for _, xs := range cases {
+		var w welford
+		for _, x := range xs {
+			w.add(x)
+		}
+		got, want := w.stats(), summarise(xs)
+		if got.Replications != want.Replications {
+			t.Fatalf("%v: replications %d != %d", xs, got.Replications, want.Replications)
+		}
+		if math.Abs(got.MeanMinutes-want.MeanMinutes) > 1e-12*math.Abs(want.MeanMinutes) {
+			t.Errorf("%v: mean %v != %v", xs, got.MeanMinutes, want.MeanMinutes)
+		}
+		hwTol := 1e-9 * math.Max(want.HalfWidth95, 1e-300)
+		if math.Abs(got.HalfWidth95-want.HalfWidth95) > hwTol {
+			t.Errorf("%v: half-width %v != %v", xs, got.HalfWidth95, want.HalfWidth95)
+		}
+	}
+}
+
+// TestWelfordLargeStream checks numerical stability where a naive
+// sum-of-squares accumulator loses precision: many samples around a
+// large offset with a tiny spread.
+func TestWelfordLargeStream(t *testing.T) {
+	const n = 100_000
+	xs := make([]float64, n)
+	r := newRNG(3)
+	for i := range xs {
+		xs[i] = 1e9 + r.Float64() // spread 1 around offset 1e9
+	}
+	var w welford
+	for _, x := range xs {
+		w.add(x)
+	}
+	got, want := w.stats(), summarise(xs)
+	if math.Abs(got.MeanMinutes-want.MeanMinutes) > 1e-12*want.MeanMinutes {
+		t.Errorf("mean %v != %v", got.MeanMinutes, want.MeanMinutes)
+	}
+	// The true stddev of U(0,1) is sqrt(1/12) ≈ 0.2887; the streaming
+	// variance must land there even at the 1e9 offset.
+	hw := zCrit95 * math.Sqrt(1.0/12.0/n)
+	if math.Abs(got.HalfWidth95-hw) > 0.05*hw {
+		t.Errorf("half-width %v, want ≈ %v", got.HalfWidth95, hw)
+	}
+}
+
+func TestTCrit95(t *testing.T) {
+	if got := tCrit95(1); math.Abs(got-12.706) > 1e-9 {
+		t.Errorf("tCrit95(1) = %v, want 12.706", got)
+	}
+	if got := tCrit95(30); math.Abs(got-2.042) > 1e-9 {
+		t.Errorf("tCrit95(30) = %v, want 2.042", got)
+	}
+	prev := math.Inf(1)
+	for df := 1; df <= 2000; df++ {
+		got := tCrit95(df)
+		if got > prev {
+			t.Fatalf("tCrit95 not monotone non-increasing at df=%d: %v > %v", df, got, prev)
+		}
+		if got < zCrit95 {
+			t.Fatalf("tCrit95(%d) = %v below the normal limit %v", df, got, zCrit95)
+		}
+		prev = got
+	}
+	if got := tCrit95(100000); math.Abs(got-zCrit95) > 1e-3 {
+		t.Errorf("tCrit95(100000) = %v, want → %v", got, zCrit95)
+	}
+}

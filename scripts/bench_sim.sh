@@ -1,0 +1,12 @@
+#!/bin/sh
+# Regenerates results/BENCH_sim.json: the Monte-Carlo simulator fast
+# path on the e-commerce optimal design — fixed-budget sequential vs
+# pooled replication throughput, allocations per replication, and the
+# adaptive-precision controller's budget spend plus its cross-validation
+# distance from the analytic Markov engine. Run from the repository
+# root.
+set -eu
+cd "$(dirname "$0")/.."
+mkdir -p results
+go run ./cmd/avedbench -mode sim -o results/BENCH_sim.json
+echo "wrote results/BENCH_sim.json"
