@@ -42,6 +42,10 @@ type designReport struct {
 	Candidates      int      `json:"candidatesGenerated"`
 	CostPruned      int      `json:"costPruned"`
 	Evaluations     int      `json:"availabilityEvaluations"`
+	EvalCacheHits   int      `json:"evalCacheHits"`
+	MemoHits        uint64   `json:"modeMemoHits,omitempty"`
+	MemoSolves      uint64   `json:"modeMemoSolves,omitempty"`
+	SimReplications uint64   `json:"simReplications,omitempty"`
 }
 
 type tierJS struct {
@@ -53,7 +57,7 @@ type tierJS struct {
 	Mechanisms map[string]string `json:"mechanisms,omitempty"`
 }
 
-func run(args []string, out io.Writer) error {
+func run(args []string, out io.Writer) (retErr error) {
 	fs := flag.NewFlagSet("aved", flag.ContinueOnError)
 	var (
 		infraPath   = fs.String("infra", "", "infrastructure spec file (Fig. 3 format)")
@@ -76,6 +80,9 @@ func run(args []string, out io.Writer) error {
 		reps        = fs.Int("reps", 32, "simulation replication budget (-engine sim)")
 		relErr      = fs.Float64("relerr", 0, "adaptive precision: stop replicating once the 95% CI half-width is under this fraction of the mean (0 = full -reps budget)")
 		simBatch    = fs.Int("simbatch", 0, "adaptive replication batch size (0 = engine default)")
+		tracePath   = fs.String("trace", "", "write a JSONL search trace to this file")
+		metricsPath = fs.String("metrics", "", "write a metrics JSON snapshot to this file on exit")
+		debugAddr   = fs.String("debug-addr", "", "serve pprof, expvar and /metrics on this address, e.g. :6060")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -96,6 +103,16 @@ func run(args []string, out io.Writer) error {
 	if *bronze {
 		opts.FixedMechanisms = aved.Bronze()
 	}
+	obsSetup, err := aved.NewObsSetup(*tracePath, *metricsPath, *debugAddr)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := obsSetup.Close(); cerr != nil && retErr == nil {
+			retErr = cerr
+		}
+	}()
+	opts = obsSetup.Apply(opts)
 	solver, err := aved.NewSolver(inf, svc, opts)
 	if err != nil {
 		return err
@@ -208,11 +225,15 @@ func buildRequirements(load float64, downtime, jobTime string) (aved.Requirement
 
 func report(out io.Writer, sol *aved.Solution, req aved.Requirements, asJSON, verbose bool) error {
 	rep := designReport{
-		Label:       sol.Design.Label(),
-		CostPerYear: float64(sol.Cost),
-		Candidates:  sol.Stats.CandidatesGenerated,
-		CostPruned:  sol.Stats.CostPruned,
-		Evaluations: sol.Stats.Evaluations,
+		Label:           sol.Design.Label(),
+		CostPerYear:     float64(sol.Cost),
+		Candidates:      sol.Stats.CandidatesGenerated,
+		CostPruned:      sol.Stats.CostPruned,
+		Evaluations:     sol.Stats.Evaluations,
+		EvalCacheHits:   sol.Stats.EvalCacheHits,
+		MemoHits:        sol.Stats.ModeMemoHits,
+		MemoSolves:      sol.Stats.ModeMemoSolves,
+		SimReplications: sol.Stats.SimReplications,
 	}
 	if req.Kind == aved.ReqEnterprise {
 		rep.DowntimeMinutes = sol.DowntimeMinutes
@@ -257,8 +278,14 @@ func report(out io.Writer, sol *aved.Solution, req aved.Requirements, asJSON, ve
 	} else {
 		fmt.Fprintf(out, "expected job completion time: %.2f hours\n", rep.JobTimeHours)
 	}
-	fmt.Fprintf(out, "search: %d candidates, %d cost-pruned, %d availability evaluations\n",
-		rep.Candidates, rep.CostPruned, rep.Evaluations)
+	fmt.Fprintf(out, "search: %d candidates, %d cost-pruned, %d availability evaluations, %d cache hits\n",
+		rep.Candidates, rep.CostPruned, rep.Evaluations, rep.EvalCacheHits)
+	if rep.MemoHits != 0 || rep.MemoSolves != 0 {
+		fmt.Fprintf(out, "engine: %d memo hits, %d chain solves\n", rep.MemoHits, rep.MemoSolves)
+	}
+	if rep.SimReplications != 0 {
+		fmt.Fprintf(out, "engine: %d sim replications\n", rep.SimReplications)
+	}
 	if verbose {
 		fmt.Fprintln(out)
 		return aved.WriteDesignReport(out, &sol.Design, nil)

@@ -29,7 +29,7 @@ func main() {
 	}
 }
 
-func run(args []string, out io.Writer) error {
+func run(args []string, out io.Writer) (retErr error) {
 	fs := flag.NewFlagSet("avedavail", flag.ContinueOnError)
 	var (
 		modelPath = fs.String("model", "", "availability model file")
@@ -42,6 +42,10 @@ func run(args []string, out io.Writer) error {
 		relErr    = fs.Float64("relerr", 0, "adaptive precision: stop replicating once the 95% CI half-width is under this fraction of the mean (0 = always run the full -reps budget)")
 		simBatch  = fs.Int("simbatch", 0, "adaptive replication batch size (0 = engine default)")
 		mission   = fs.Float64("mission", 0, "also report finite-horizon downtime for a mission of this many years")
+
+		tracePath   = fs.String("trace", "", "write a JSONL engine trace to this file")
+		metricsPath = fs.String("metrics", "", "write a metrics JSON snapshot to this file on exit")
+		debugAddr   = fs.String("debug-addr", "", "serve pprof, expvar and /metrics on this address, e.g. :6060")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -49,6 +53,15 @@ func run(args []string, out io.Writer) error {
 	if *modelPath == "" {
 		return fmt.Errorf("need -model file")
 	}
+	setup, err := aved.NewObsSetup(*tracePath, *metricsPath, *debugAddr)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := setup.Close(); cerr != nil && retErr == nil {
+			retErr = cerr
+		}
+	}()
 	f, err := os.Open(*modelPath)
 	if err != nil {
 		return err
@@ -69,6 +82,9 @@ func run(args []string, out io.Writer) error {
 	}
 
 	runEngine := func(name string, eng aved.Engine) error {
+		// No solver sits in front of the engine here, so attach the
+		// observability outputs to the engine directly.
+		aved.InstrumentEngine(eng, setup.Metrics, setup.Tracer)
 		res, err := eng.Evaluate(tms)
 		if err != nil {
 			return err

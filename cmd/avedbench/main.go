@@ -27,7 +27,6 @@ import (
 	"fmt"
 	"os"
 	"runtime"
-	"sync/atomic"
 	"testing"
 
 	"aved"
@@ -48,11 +47,14 @@ type benchResult struct {
 
 // evalCounters records how much evaluation work one instrumented run of
 // the workload performs at each cache level: engine evaluations are the
-// designs the fingerprint cache admitted (Stats.Evaluations); each one
-// demands a chain per failure mode (mode_evaluations in total), of
-// which the engine's memo actually solved only chain_solves — the rest
-// were memo hits. chain_solves falling well below mode_evaluations is
-// the second cache level working.
+// designs the fingerprint cache admitted (Stats.Evaluations, summed
+// over completed solves); each one demands a chain per failure mode
+// (mode_evaluations in total), of which the engine's memo actually
+// solved only chain_solves — the rest were memo hits. chain_solves
+// falling well below mode_evaluations is the second cache level
+// working. The counters come from the observability layer — solver
+// stats, engine memo counters and a metrics registry — cross-checked
+// against each other.
 type evalCounters struct {
 	EngineEvaluations uint64  `json:"engine_evaluations"`
 	ModeEvaluations   uint64  `json:"mode_evaluations"`
@@ -68,22 +70,10 @@ type benchReport struct {
 	Benchmarks []benchResult `json:"benchmarks"`
 }
 
-// countingEngine counts Evaluate calls around the memoizing engine, for
-// workloads (the sweeps) that do not surface solver stats.
-type countingEngine struct {
-	inner avail.MarkovEngine
-	calls atomic.Uint64
-}
-
-func (e *countingEngine) Evaluate(tms []avail.TierModel) (avail.Result, error) {
-	e.calls.Add(1)
-	return e.inner.Evaluate(tms)
-}
-
-func (e *countingEngine) counters() *evalCounters {
-	hits, solves := e.inner.MemoStats()
+// newEvalCounters folds the memo counters into the JSON shape.
+func newEvalCounters(engineEvals, hits, solves uint64) *evalCounters {
 	c := &evalCounters{
-		EngineEvaluations: e.calls.Load(),
+		EngineEvaluations: engineEvals,
 		ModeEvaluations:   hits + solves,
 		ChainSolves:       solves,
 		ModeMemoHits:      hits,
@@ -207,7 +197,7 @@ func simBench(workers int) func(b *testing.B) {
 }
 
 // ecommerceSolver builds a fresh three-tier e-commerce solver.
-func ecommerceSolver(workers int, engine aved.Engine) (*aved.Solver, error) {
+func ecommerceSolver(workers int, engine aved.Engine, metrics *aved.Metrics) (*aved.Solver, error) {
 	inf, err := aved.PaperInfrastructure()
 	if err != nil {
 		return nil, err
@@ -217,7 +207,7 @@ func ecommerceSolver(workers int, engine aved.Engine) (*aved.Solver, error) {
 		return nil, err
 	}
 	return aved.NewSolver(inf, svc, aved.Options{
-		Registry: aved.PaperRegistry(), Workers: workers, Engine: engine,
+		Registry: aved.PaperRegistry(), Workers: workers, Engine: engine, Metrics: metrics,
 	})
 }
 
@@ -232,7 +222,7 @@ func solveBench(workers int) func(b *testing.B) {
 	return func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
-			s, err := ecommerceSolver(workers, nil)
+			s, err := ecommerceSolver(workers, nil, nil)
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -244,10 +234,12 @@ func solveBench(workers int) func(b *testing.B) {
 }
 
 // solveCounters instruments one e-commerce solve: evaluations from the
-// solver's own stats, chain solves and memo hits from the engine.
+// solver's own stats, chain solves and memo hits from the engine's
+// memo deltas, cross-checked against a metrics registry snapshot.
 func solveCounters() (*evalCounters, error) {
-	eng := &countingEngine{inner: avail.NewMarkovEngine()}
-	s, err := ecommerceSolver(0, eng)
+	eng := avail.NewMarkovEngine()
+	reg := aved.NewMetrics()
+	s, err := ecommerceSolver(0, eng, reg)
 	if err != nil {
 		return nil, err
 	}
@@ -255,11 +247,20 @@ func solveCounters() (*evalCounters, error) {
 	if err != nil {
 		return nil, err
 	}
-	c := eng.counters()
-	if got := uint64(sol.Stats.Evaluations); got != c.EngineEvaluations {
-		return nil, fmt.Errorf("stats count %d evaluations but the engine saw %d", got, c.EngineEvaluations)
+	hits, solves := eng.MemoStats()
+	if sol.Stats.ModeMemoHits != hits || sol.Stats.ModeMemoSolves != solves {
+		return nil, fmt.Errorf("stats memo deltas (%d, %d) disagree with the engine (%d, %d)",
+			sol.Stats.ModeMemoHits, sol.Stats.ModeMemoSolves, hits, solves)
 	}
-	return c, nil
+	snap := reg.Snapshot()
+	if got := snap.Counters["core.evaluations"]; got != int64(sol.Stats.Evaluations) {
+		return nil, fmt.Errorf("registry counts %d evaluations but the solve reports %d",
+			got, sol.Stats.Evaluations)
+	}
+	if got := snap.Counters["avail.memo.solves"]; got != int64(solves) {
+		return nil, fmt.Errorf("registry counts %d chain solves but the engine reports %d", got, solves)
+	}
+	return newEvalCounters(uint64(sol.Stats.Evaluations), hits, solves), nil
 }
 
 var (
@@ -268,7 +269,7 @@ var (
 )
 
 // fig6Solver builds a fresh application-tier solver for the sweep.
-func fig6Solver(workers int, engine aved.Engine) (*aved.Solver, error) {
+func fig6Solver(workers int, engine aved.Engine, metrics *aved.Metrics) (*aved.Solver, error) {
 	inf, err := aved.PaperInfrastructure()
 	if err != nil {
 		return nil, err
@@ -278,7 +279,7 @@ func fig6Solver(workers int, engine aved.Engine) (*aved.Solver, error) {
 		return nil, err
 	}
 	return aved.NewSolver(inf, svc, aved.Options{
-		Registry: aved.PaperRegistry(), Workers: workers, Engine: engine,
+		Registry: aved.PaperRegistry(), Workers: workers, Engine: engine, Metrics: metrics,
 	})
 }
 
@@ -287,7 +288,7 @@ func fig6Bench(workers int) func(b *testing.B) {
 	return func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
-			s, err := fig6Solver(workers, nil)
+			s, err := fig6Solver(workers, nil, nil)
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -302,15 +303,30 @@ func fig6Bench(workers int) func(b *testing.B) {
 	}
 }
 
-// fig6Counters instruments one full sweep through a counting engine.
+// fig6Counters instruments one full sweep: evaluations from the
+// per-point stats totals, memo counters from the engine lifetime,
+// cross-checked against a metrics registry snapshot. Sequential so the
+// recorded counters are exactly reproducible — under parallel sweeps
+// the split of shared-cache work between cells is scheduling-dependent.
 func fig6Counters() (*evalCounters, error) {
-	eng := &countingEngine{inner: avail.NewMarkovEngine()}
-	s, err := fig6Solver(0, eng)
+	eng := avail.NewMarkovEngine()
+	reg := aved.NewMetrics()
+	s, err := fig6Solver(1, eng, reg)
 	if err != nil {
 		return nil, err
 	}
-	if _, err := aved.SweepFig6(s, fig6Loads, fig6Budgets); err != nil {
+	res, err := aved.SweepFig6(s, fig6Loads, fig6Budgets)
+	if err != nil {
 		return nil, err
 	}
-	return eng.counters(), nil
+	snap := reg.Snapshot()
+	if got := snap.Counters["core.evaluations"]; got != res.Totals.Evaluations {
+		return nil, fmt.Errorf("registry counts %d evaluations but the sweep totals report %d",
+			got, res.Totals.Evaluations)
+	}
+	hits, solves := eng.MemoStats()
+	if got := snap.Counters["avail.memo.solves"]; got != int64(solves) {
+		return nil, fmt.Errorf("registry counts %d chain solves but the engine reports %d", got, solves)
+	}
+	return newEvalCounters(uint64(res.Totals.Evaluations), hits, solves), nil
 }

@@ -66,7 +66,7 @@ const (
 // returns the optimal design's availability models — the tier set the
 // simulator scores when it sits in the search loop.
 func ecommerceTierModels() ([]avail.TierModel, float64, error) {
-	s, err := ecommerceSolver(0, nil)
+	s, err := ecommerceSolver(0, nil, nil)
 	if err != nil {
 		return nil, 0, err
 	}

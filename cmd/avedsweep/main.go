@@ -27,20 +27,27 @@ func main() {
 	}
 }
 
-func run(args []string, out io.Writer) error {
+// errw receives -progress output; a variable so tests can capture it.
+var errw io.Writer = os.Stderr
+
+func run(args []string, out io.Writer) (retErr error) {
 	fs := flag.NewFlagSet("avedsweep", flag.ContinueOnError)
 	var (
-		fig     = fs.Int("fig", 0, "figure to regenerate: 6, 7 or 8")
-		loads   = fs.Int("loads", 10, "load grid points (figs 6, 8)")
-		budgets = fs.Int("budgets", 12, "downtime-budget grid points (figs 6, 8)")
-		points  = fs.Int("points", 15, "job-time requirement points (fig 7)")
-		workers = fs.Int("workers", 0, "sweep worker count: 0 = all CPUs, 1 = sequential (results are identical)")
-		engine  = fs.String("engine", "markov", "availability engine in the search loop: markov, exact or sim")
-		seed    = fs.Int64("seed", 1, "simulation seed (-engine sim)")
-		years   = fs.Float64("years", 1000, "simulated years per replication (-engine sim)")
-		reps    = fs.Int("reps", 32, "simulation replication budget (-engine sim)")
-		relErr  = fs.Float64("relerr", 0, "adaptive precision: stop replicating once the 95% CI half-width is under this fraction of the mean (0 = full -reps budget)")
-		batch   = fs.Int("simbatch", 0, "adaptive replication batch size (0 = engine default)")
+		fig         = fs.Int("fig", 0, "figure to regenerate: 6, 7 or 8")
+		loads       = fs.Int("loads", 10, "load grid points (figs 6, 8)")
+		budgets     = fs.Int("budgets", 12, "downtime-budget grid points (figs 6, 8)")
+		points      = fs.Int("points", 15, "job-time requirement points (fig 7)")
+		workers     = fs.Int("workers", 0, "sweep worker count: 0 = all CPUs, 1 = sequential (results are identical)")
+		engine      = fs.String("engine", "markov", "availability engine in the search loop: markov, exact or sim")
+		seed        = fs.Int64("seed", 1, "simulation seed (-engine sim)")
+		years       = fs.Float64("years", 1000, "simulated years per replication (-engine sim)")
+		reps        = fs.Int("reps", 32, "simulation replication budget (-engine sim)")
+		relErr      = fs.Float64("relerr", 0, "adaptive precision: stop replicating once the 95% CI half-width is under this fraction of the mean (0 = full -reps budget)")
+		batch       = fs.Int("simbatch", 0, "adaptive replication batch size (0 = engine default)")
+		progress    = fs.Bool("progress", false, "report per-point sweep progress on stderr")
+		tracePath   = fs.String("trace", "", "write a JSONL search trace to this file")
+		metricsPath = fs.String("metrics", "", "write a metrics JSON snapshot to this file on exit")
+		debugAddr   = fs.String("debug-addr", "", "serve pprof, expvar and /metrics on this address, e.g. :6060")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -49,16 +56,42 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
+	setup, err := aved.NewObsSetup(*tracePath, *metricsPath, *debugAddr)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := setup.Close(); cerr != nil && retErr == nil {
+			retErr = cerr
+		}
+	}()
+	if *progress {
+		setup.Tracer = aved.TeeTracers(setup.Tracer, progressTracer(errw))
+	}
 	switch *fig {
 	case 6:
-		return fig6(out, *loads, *budgets, *workers, eng)
+		return fig6(out, *loads, *budgets, *workers, eng, setup)
 	case 7:
-		return fig7(out, *points, *workers, eng)
+		return fig7(out, *points, *workers, eng, setup)
 	case 8:
-		return fig8(out, *budgets, *workers, eng)
+		return fig8(out, *budgets, *workers, eng, setup)
 	default:
 		return fmt.Errorf("-fig must be 6, 7 or 8 (got %d)", *fig)
 	}
+}
+
+// progressTracer renders sweep.point events as one progress line each.
+func progressTracer(w io.Writer) aved.Tracer {
+	return aved.TraceFunc(func(e aved.TraceEvent) {
+		if e.Ev != aved.EvSweepPoint {
+			return
+		}
+		if e.Err != "" {
+			fmt.Fprintf(w, "point %d/%d: %s\n", e.Index, e.Total, e.Err)
+			return
+		}
+		fmt.Fprintf(w, "point %d/%d: cost %.0f (%.0f ms)\n", e.Index, e.Total, e.Cost, e.MS)
+	})
 }
 
 // buildEngine resolves the -engine flag; nil keeps the solver default.
@@ -75,7 +108,7 @@ func buildEngine(name string, seed int64, years float64, reps, workers int, relE
 	}
 }
 
-func appTierSolver(workers int, engine aved.Engine) (*aved.Solver, error) {
+func appTierSolver(workers int, engine aved.Engine, setup *aved.ObsSetup) (*aved.Solver, error) {
 	inf, err := aved.PaperInfrastructure()
 	if err != nil {
 		return nil, err
@@ -84,13 +117,14 @@ func appTierSolver(workers int, engine aved.Engine) (*aved.Solver, error) {
 	if err != nil {
 		return nil, err
 	}
-	return aved.NewSolver(inf, svc, aved.Options{Registry: aved.PaperRegistry(), Workers: workers, Engine: engine})
+	opts := setup.Apply(aved.Options{Registry: aved.PaperRegistry(), Workers: workers, Engine: engine})
+	return aved.NewSolver(inf, svc, opts)
 }
 
 // fig6 prints the optimal design family at every grid point of the
 // (load, downtime budget) requirement plane, then each family curve.
-func fig6(out io.Writer, loadPoints, budgetPoints, workers int, engine aved.Engine) error {
-	solver, err := appTierSolver(workers, engine)
+func fig6(out io.Writer, loadPoints, budgetPoints, workers int, engine aved.Engine, setup *aved.ObsSetup) error {
+	solver, err := appTierSolver(workers, engine, setup)
 	if err != nil {
 		return err
 	}
@@ -120,12 +154,13 @@ func fig6(out io.Writer, loadPoints, budgetPoints, workers int, engine aved.Engi
 		}
 		fmt.Fprintln(out)
 	}
+	fmt.Fprintf(out, "# totals: %s\n", res.Totals)
 	return nil
 }
 
 // fig7 prints the optimal scientific design as a function of the
 // job-completion-time requirement.
-func fig7(out io.Writer, points, workers int, engine aved.Engine) error {
+func fig7(out io.Writer, points, workers int, engine aved.Engine, setup *aved.ObsSetup) error {
 	inf, err := aved.PaperInfrastructure()
 	if err != nil {
 		return err
@@ -134,12 +169,12 @@ func fig7(out io.Writer, points, workers int, engine aved.Engine) error {
 	if err != nil {
 		return err
 	}
-	solver, err := aved.NewSolver(inf, svc, aved.Options{
+	solver, err := aved.NewSolver(inf, svc, setup.Apply(aved.Options{
 		Registry:        aved.PaperRegistry(),
 		FixedMechanisms: aved.Bronze(),
 		Workers:         workers,
 		Engine:          engine,
-	})
+	}))
 	if err != nil {
 		return err
 	}
@@ -153,17 +188,21 @@ func fig7(out io.Writer, points, workers int, engine aved.Engine) error {
 	}
 	fmt.Fprintln(out, "# Fig. 7 — optimal design as a function of execution time requirement")
 	fmt.Fprintln(out, "# req_hours\tresource\tstack\tn\tspares\tckpt_hours\tlocation\tjob_hours\tcost")
+	var tot aved.SweepTotals
 	for _, p := range rows {
 		fmt.Fprintf(out, "%.3g\t%s\t%s\t%d\t%d\t%.3f\t%s\t%.2f\t%s\n",
 			p.RequirementHours, p.Resource, p.Stack, p.NActive, p.NSpare,
 			p.CheckpointHours, p.StorageLocation, p.JobTimeHours, p.Cost)
+		tot.Add(p.Stats)
 	}
+	tot.Infeasible = len(grid) - len(rows)
+	fmt.Fprintf(out, "# totals: %s\n", tot)
 	return nil
 }
 
 // fig8 prints the cost premium curves for the paper's four loads.
-func fig8(out io.Writer, budgetPoints, workers int, engine aved.Engine) error {
-	solver, err := appTierSolver(workers, engine)
+func fig8(out io.Writer, budgetPoints, workers int, engine aved.Engine, setup *aved.ObsSetup) error {
+	solver, err := appTierSolver(workers, engine, setup)
 	if err != nil {
 		return err
 	}
@@ -171,18 +210,25 @@ func fig8(out io.Writer, budgetPoints, workers int, engine aved.Engine) error {
 	if err != nil {
 		return err
 	}
-	curves, err := aved.SweepFig8(solver, []float64{400, 800, 1600, 3200}, budgetGrid)
+	loads := []float64{400, 800, 1600, 3200}
+	curves, err := aved.SweepFig8(solver, loads, budgetGrid)
 	if err != nil {
 		return err
 	}
 	fmt.Fprintln(out, "# Fig. 8 — cost/availability/performance tradeoff (application tier)")
 	fmt.Fprintln(out, "# load\tbudget_min\textra_cost\ttotal_cost\tbaseline_cost")
+	var tot aved.SweepTotals
 	for _, c := range curves {
+		tot.Add(c.BaselineStats)
 		for _, p := range c.Points {
 			fmt.Fprintf(out, "%.0f\t%.3g\t%s\t%s\t%s\n",
 				c.Load, p.BudgetMinutes, p.ExtraCost, p.TotalCost, c.BaselineCost)
+			tot.Add(p.Stats)
 		}
 		fmt.Fprintln(out)
 	}
+	// One baseline cell plus one cell per budget, per load.
+	tot.Infeasible = len(loads)*(len(budgetGrid)+1) - tot.Points
+	fmt.Fprintf(out, "# totals: %s\n", tot)
 	return nil
 }

@@ -35,7 +35,7 @@ func main() {
 	}
 }
 
-func run(args []string, out io.Writer) error {
+func run(args []string, out io.Writer) (retErr error) {
 	fs := flag.NewFlagSet("avedwhatif", flag.ContinueOnError)
 	var (
 		knobName = fs.String("knob", "mtbf", "what to perturb: mtbf, cost or mechcost")
@@ -51,6 +51,10 @@ func run(args []string, out io.Writer) error {
 		reps     = fs.Int("reps", 32, "simulation replication budget (-engine sim)")
 		relErr   = fs.Float64("relerr", 0, "adaptive precision: stop replicating once the 95% CI half-width is under this fraction of the mean (0 = full -reps budget)")
 		batch    = fs.Int("simbatch", 0, "adaptive replication batch size (0 = engine default)")
+
+		tracePath   = fs.String("trace", "", "write a JSONL search trace to this file")
+		metricsPath = fs.String("metrics", "", "write a metrics JSON snapshot to this file on exit")
+		debugAddr   = fs.String("debug-addr", "", "serve pprof, expvar and /metrics on this address, e.g. :6060")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -104,6 +108,16 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 	cfg.SolverOptions.Engine = eng
+	setup, err := aved.NewObsSetup(*tracePath, *metricsPath, *debugAddr)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := setup.Close(); cerr != nil && retErr == nil {
+			retErr = cerr
+		}
+	}()
+	cfg.SolverOptions = setup.Apply(cfg.SolverOptions)
 
 	points, err := aved.SensitivitySweep(inf, cfg, knob, facs)
 	if err != nil {
@@ -111,14 +125,18 @@ func run(args []string, out io.Writer) error {
 	}
 	fmt.Fprintf(out, "# what-if: knob=%s target=%q\n", *knobName, *target)
 	fmt.Fprintln(out, "# factor\tcost\tdowntime_min\tjob_hours\tdesign")
+	var tot aved.SweepTotals
 	for _, p := range points {
 		if p.Infeasible {
+			tot.Infeasible++
 			fmt.Fprintf(out, "%g\t-\t-\t-\t(infeasible)\n", p.Factor)
 			continue
 		}
+		tot.Add(p.Stats)
 		fmt.Fprintf(out, "%g\t%s\t%.1f\t%.1f\t%s\n",
 			p.Factor, p.Cost, p.DowntimeMinutes, p.JobTimeHours, p.Label)
 	}
+	fmt.Fprintf(out, "# totals: %s\n", tot)
 	return nil
 }
 

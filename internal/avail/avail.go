@@ -12,6 +12,7 @@ import (
 
 	"aved/internal/markov"
 	"aved/internal/model"
+	"aved/internal/obs"
 	"aved/internal/units"
 )
 
@@ -221,17 +222,22 @@ func (e MarkovEngine) evaluateMode(tm *TierModel, mode Mode) (ModeContribution, 
 		sparePowered: mode.SparePowered,
 	}
 	if e.memo != nil {
-		if v, ok := e.memo.get(k); ok {
-			return modeContribution(mode.Name, v), v.avail, nil
+		v, hit, err := e.memo.getOrSolve(k)
+		if err != nil {
+			return ModeContribution{}, 0, err
 		}
+		if t := e.memo.obsTracer(); t != nil {
+			ev := obs.EvMemoSolve
+			if hit {
+				ev = obs.EvMemoHit
+			}
+			t.Emit(obs.Event{Ev: ev, Tier: tm.Name, N: k.n, M: k.m, S: k.spares})
+		}
+		return modeContribution(mode.Name, v), v.avail, nil
 	}
 	v, err := solveModeChain(k)
 	if err != nil {
 		return ModeContribution{}, 0, err
-	}
-	if e.memo != nil {
-		e.memo.solves.Add(1)
-		e.memo.put(k, v)
 	}
 	return modeContribution(mode.Name, v), v.avail, nil
 }

@@ -43,6 +43,11 @@ const memoShards = 32
 type modeMemo struct {
 	hits   atomic.Uint64
 	solves atomic.Uint64
+	// tracer holds a tracerBox when the engine is instrumented. It lives
+	// on the memo — the engine's only shared mutable state — because
+	// MarkovEngine is a value type: storing here makes instrumentation
+	// visible through every copy of the engine.
+	tracer atomic.Value
 	shards [memoShards]memoShard
 }
 
@@ -83,24 +88,36 @@ func (k modeKey) shard() uint64 {
 	return memoMix64(h) % memoShards
 }
 
-func (mm *modeMemo) get(k modeKey) (modeVal, bool) {
+// getOrSolve returns k's solved chain, solving it under the shard
+// write lock on first use. Holding the lock across the solve makes
+// each key solve exactly once per memo lifetime — concurrent misses of
+// one key cannot both solve — which keeps the hit/solve counters (and
+// the memo trace events) deterministic at any worker count: solves =
+// distinct keys, hits = requests − solves. Chain solves are
+// microsecond-scale closed forms, so the serialization is cheap and
+// confined to one shard. hit reports whether the value was replayed.
+func (mm *modeMemo) getOrSolve(k modeKey) (v modeVal, hit bool, err error) {
 	sh := &mm.shards[k.shard()]
 	sh.mu.RLock()
 	v, ok := sh.m[k]
 	sh.mu.RUnlock()
 	if ok {
 		mm.hits.Add(1)
+		return v, true, nil
 	}
-	return v, ok
-}
-
-func (mm *modeMemo) put(k modeKey, v modeVal) {
-	sh := &mm.shards[k.shard()]
 	sh.mu.Lock()
-	if _, ok := sh.m[k]; !ok {
-		sh.m[k] = v
+	defer sh.mu.Unlock()
+	if v, ok := sh.m[k]; ok {
+		mm.hits.Add(1)
+		return v, true, nil
 	}
-	sh.mu.Unlock()
+	v, err = solveModeChain(k)
+	if err != nil {
+		return modeVal{}, false, err
+	}
+	sh.m[k] = v
+	mm.solves.Add(1)
+	return v, false, nil
 }
 
 // chainScratch holds the rate and distribution slices one birth–death

@@ -45,8 +45,8 @@ func BenchmarkParetoReduce(b *testing.B) {
 // benchEvalDesigns builds the warmed-cache working set for
 // BenchmarkEvalTier: distinct (size, maintenance level) designs of the
 // application tier.
-func benchEvalDesigns(b *testing.B, s *Solver) []model.TierDesign {
-	b.Helper()
+func benchEvalDesigns(tb testing.TB, s *Solver) []model.TierDesign {
+	tb.Helper()
 	var designs []model.TierDesign
 	for n := 2; n <= 9; n++ {
 		for _, lv := range []string{"bronze", "silver", "gold"} {

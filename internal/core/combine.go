@@ -3,9 +3,11 @@ package core
 import (
 	"fmt"
 	"math"
+	"time"
 
 	"aved/internal/avail"
 	"aved/internal/model"
+	"aved/internal/obs"
 	"aved/internal/par"
 	"aved/internal/units"
 )
@@ -19,19 +21,31 @@ import (
 func (s *Solver) solveEnterprise(req model.Requirements) (*Solution, error) {
 	budget := req.MaxAnnualDowntime.Minutes()
 	var stats searchStats
+	tr := s.opts.Tracer
 
 	// Phase 1: each tier in isolation against the full budget. The
 	// per-tier optimum is a cost lower bound, so if the combination
 	// meets the budget it is the overall optimum.
+	endPhase := s.emitPhase("tier-search")
 	perTier := make([]*TierCandidate, len(s.svc.Tiers))
 	err := par.ForEach(s.opts.Workers, len(s.svc.Tiers), func(i int) error {
+		start := time.Time{}
+		if tr != nil {
+			start = time.Now()
+		}
 		cand, err := s.searchTier(&s.svc.Tiers[i], req.Throughput, budget, &stats)
 		if err != nil {
 			return err
 		}
 		perTier[i] = cand
+		if tr != nil && cand != nil {
+			tr.Emit(obs.Event{Ev: obs.EvTierDone, Tier: s.svc.Tiers[i].Name,
+				Cost: float64(cand.Cost), Down: cand.DowntimeMinutes,
+				MS: float64(time.Since(start)) / float64(time.Millisecond)})
+		}
 		return nil
 	})
+	endPhase()
 	if err != nil {
 		return nil, err
 	}
@@ -50,6 +64,7 @@ func (s *Solver) solveEnterprise(req model.Requirements) (*Solution, error) {
 	// incrementally more aggressive requirements. The frontiers carry
 	// each tier's cost/downtime tradeoff; the combiner picks the
 	// minimum-cost point set whose series composition meets the budget.
+	endPhase = s.emitPhase("frontier")
 	frontiers := make([][]TierCandidate, len(s.svc.Tiers))
 	err = par.ForEach(s.opts.Workers, len(s.svc.Tiers), func(i int) error {
 		f, err := s.tierFrontier(&s.svc.Tiers[i], req.Throughput, &stats)
@@ -59,6 +74,7 @@ func (s *Solver) solveEnterprise(req model.Requirements) (*Solution, error) {
 		frontiers[i] = f
 		return nil
 	})
+	endPhase()
 	if err != nil {
 		return nil, err
 	}
@@ -67,6 +83,7 @@ func (s *Solver) solveEnterprise(req model.Requirements) (*Solution, error) {
 			return nil, &InfeasibleError{Reason: fmt.Sprintf("tier %q has no feasible designs", s.svc.Tiers[i].Name)}
 		}
 	}
+	endPhase = s.emitPhase("combine")
 	var (
 		chosen []*TierCandidate
 		ok     bool
@@ -77,6 +94,7 @@ func (s *Solver) solveEnterprise(req model.Requirements) (*Solution, error) {
 	default:
 		chosen, ok = CombineExact(frontiers, budget)
 	}
+	endPhase()
 	if !ok {
 		return nil, &InfeasibleError{Reason: fmt.Sprintf(
 			"no tier combination meets %v annual downtime at load %v", req.MaxAnnualDowntime, req.Throughput)}
@@ -106,6 +124,12 @@ func (s *Solver) finishEnterprise(chosen []*TierCandidate, stats *searchStats) (
 		return nil, err
 	}
 	stats.evals.Add(1)
+	if tr := s.opts.Tracer; tr != nil {
+		// The final whole-design evaluation is an engine invocation too;
+		// reporting it as a miss keeps eval.miss counts equal to
+		// Stats.Evaluations.
+		tr.Emit(obs.Event{Ev: obs.EvEvalMiss, Tier: "design", Down: res.DowntimeMinutes})
+	}
 	return &Solution{
 		Design:          design,
 		Cost:            total,

@@ -115,6 +115,7 @@ type searchStats struct {
 	candidates atomic.Int64
 	pruned     atomic.Int64
 	evals      atomic.Int64
+	cacheHits  atomic.Int64
 }
 
 func (st *searchStats) snapshot() Stats {
@@ -122,5 +123,6 @@ func (st *searchStats) snapshot() Stats {
 		CandidatesGenerated: int(st.candidates.Load()),
 		CostPruned:          int(st.pruned.Load()),
 		Evaluations:         int(st.evals.Load()),
+		EvalCacheHits:       int(st.cacheHits.Load()),
 	}
 }

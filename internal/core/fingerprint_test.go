@@ -303,10 +303,21 @@ func TestMemoizedEngineBitIdenticalAcrossScenarios(t *testing.T) {
 			}
 			memoized := solve(Options{}) // default: NewMarkovEngine with memo
 			plain := solve(Options{Engine: avail.MarkovEngine{}})
+			// The memo-activity stats describe the memo itself, so they
+			// differ by design; everything else must be bit-identical.
+			if memoized.Stats.ModeMemoSolves == 0 {
+				t.Error("memoized solve reports no mode-chain solves")
+			}
+			if plain.Stats.ModeMemoHits != 0 || plain.Stats.ModeMemoSolves != 0 {
+				t.Errorf("memo-less solve reports memo activity: %+v", plain.Stats)
+			}
+			mStats, pStats := memoized.Stats, plain.Stats
+			mStats.ModeMemoHits, mStats.ModeMemoSolves = 0, 0
+			pStats.ModeMemoHits, pStats.ModeMemoSolves = 0, 0
 			if memoized.Design.Label() != plain.Design.Label() ||
 				memoized.Cost != plain.Cost ||
 				memoized.DowntimeMinutes != plain.DowntimeMinutes ||
-				!reflect.DeepEqual(memoized.Stats, plain.Stats) {
+				!reflect.DeepEqual(mStats, pStats) {
 				t.Errorf("memoized solve diverged from memo-less solve:\n%+v\nvs\n%+v", memoized, plain)
 			}
 		})

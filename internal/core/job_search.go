@@ -8,6 +8,7 @@ import (
 	"aved/internal/cost"
 	"aved/internal/jobtime"
 	"aved/internal/model"
+	"aved/internal/obs"
 	"aved/internal/perf"
 	"aved/internal/units"
 )
@@ -35,6 +36,7 @@ func (s *Solver) solveJob(req model.Requirements) (*Solution, error) {
 		stats searchStats
 		best  *JobCandidate
 	)
+	endPhase := s.emitPhase("job-search")
 	for i := range tier.Options {
 		cand, err := s.searchJobOption(tier, &tier.Options[i], req.MaxJobTime, best, &stats)
 		if err != nil {
@@ -44,6 +46,7 @@ func (s *Solver) solveJob(req model.Requirements) (*Solution, error) {
 			best = cand
 		}
 	}
+	endPhase()
 	if best == nil {
 		return nil, &InfeasibleError{Reason: fmt.Sprintf(
 			"no design completes job size %v within %v", s.svc.JobSize, req.MaxJobTime)}
@@ -189,6 +192,8 @@ func (s *Solver) searchJobOption(tier *model.Tier, opt *model.ResourceOption, ma
 		spareCostByWarm[warm] = c
 	}
 
+	tr := s.opts.Tracer
+	resName := rt.Name
 	best := incumbent
 	prevBestTime := math.Inf(1)
 	degrading := 0
@@ -225,6 +230,10 @@ func (s *Solver) searchJobOption(tier *model.Tier, opt *model.ResourceOption, ma
 						float64(spares)*float64(spareCostByWarm[warm]) +
 						float64(n+spares)*float64(jc.mechCostPerInstance))
 					stats.candidates.Add(1)
+					if tr != nil {
+						tr.Emit(obs.Event{Ev: obs.EvCandGen, Tier: tier.Name, Res: resName,
+							N: n, S: spares, Warm: warm, Cost: float64(c)})
+					}
 					if float64(c) < minCostAtN {
 						minCostAtN = float64(c)
 					}
@@ -234,6 +243,10 @@ func (s *Solver) searchJobOption(tier *model.Tier, opt *model.ResourceOption, ma
 					// design Fig. 7 plots).
 					if best != nil && c > best.Cost {
 						stats.pruned.Add(1)
+						if tr != nil {
+							tr.Emit(obs.Event{Ev: obs.EvCandPrune, Tier: tier.Name, Res: resName,
+								N: n, S: spares, Cost: float64(c)})
+						}
 						continue
 					}
 					if !evaluated[jc.availGroup] {
@@ -260,6 +273,10 @@ func (s *Solver) searchJobOption(tier *model.Tier, opt *model.ResourceOption, ma
 						(best == nil || c < best.Cost || (c == best.Cost && jt < best.JobTime)) {
 						td := s.buildJobDesign(tier, opt, n, spares, warm, jc.settings)
 						best = &JobCandidate{Design: td, Cost: c, JobTime: jt}
+						if tr != nil {
+							tr.Emit(obs.Event{Ev: obs.EvIncumbent, Tier: tier.Name, Res: resName,
+								N: n, S: spares, Warm: warm, Cost: float64(c), JobH: jt.Hours()})
+						}
 					}
 				}
 			}

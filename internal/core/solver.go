@@ -13,6 +13,7 @@ import (
 
 	"aved/internal/avail"
 	"aved/internal/model"
+	"aved/internal/obs"
 	"aved/internal/perf"
 	"aved/internal/units"
 )
@@ -61,6 +62,19 @@ type Options struct {
 	// SimBatch sets the adaptive controller's replication batch size
 	// (0 keeps the engine default). Ignored without precision control.
 	SimBatch int
+	// Tracer receives structured search events (candidate generation,
+	// pruning, cache activity, phase timings). Nil — the default —
+	// disables tracing entirely; the hot paths never construct an event.
+	Tracer obs.Tracer
+	// Metrics, when non-nil, collects search counters and solve-latency
+	// histograms, and exposes engine counters at snapshot time. Nil
+	// disables metrics collection.
+	Metrics *obs.Registry
+	// DebugAddr, when non-empty, starts (or reuses) a process-wide debug
+	// HTTP server on that address serving net/http/pprof, expvar, and a
+	// /metrics JSON snapshot of Metrics. A registry is created on demand
+	// when Metrics is nil.
+	DebugAddr string
 }
 
 // precisionTunable is implemented by availability engines whose
@@ -93,6 +107,9 @@ func (o Options) withDefaults() Options {
 	if o.MaxRedundancy == 0 {
 		o.MaxRedundancy = DefaultMaxRedundancy
 	}
+	if o.DebugAddr != "" && o.Metrics == nil {
+		o.Metrics = obs.NewRegistry()
+	}
 	return o
 }
 
@@ -106,6 +123,20 @@ type Stats struct {
 	CostPruned int
 	// Evaluations counts availability-engine invocations.
 	Evaluations int
+	// EvalCacheHits counts evaluations served from the fingerprint
+	// cache instead of the engine.
+	EvalCacheHits int
+	// ModeMemoHits and ModeMemoSolves count Markov mode-chain memo
+	// activity attributable to this solve (zero for engines without a
+	// memo). They are engine-counter deltas: exact when solves on a
+	// shared engine run serially, apportioned arbitrarily between
+	// overlapping concurrent solves.
+	ModeMemoHits   uint64
+	ModeMemoSolves uint64
+	// SimReplications and SimBatches count Monte-Carlo work for this
+	// solve (zero for analytic engines), with the same delta semantics.
+	SimReplications uint64
+	SimBatches      uint64
 }
 
 // Solution is the search outcome for one requirement point.
@@ -168,12 +199,34 @@ func NewSolver(inf *model.Infrastructure, svc *model.Service, opts Options) (*So
 			eng.SetPrecision(s.opts.SimRelErr, s.opts.SimBatch)
 		}
 	}
+	// Hand the observability sinks to engines that can use them, via the
+	// same structural-interface pattern as precisionTunable. Engine
+	// implementations make this idempotent, so solvers sharing an engine
+	// (sensitivity sweeps) may each call it.
+	if s.opts.Metrics != nil || s.opts.Tracer != nil {
+		if eng, ok := s.opts.Engine.(obsInstrumentable); ok {
+			eng.InstrumentObs(s.opts.Metrics, s.opts.Tracer)
+		}
+	}
+	if s.opts.DebugAddr != "" {
+		if _, err := obs.EnsureServe(s.opts.DebugAddr, s.opts.Metrics); err != nil {
+			return nil, err
+		}
+	}
 	return s, nil
 }
 
 // Workers reports the solver's configured worker-pool bound (see
 // Options.Workers), so sweeps driving the solver share one setting.
 func (s *Solver) Workers() int { return s.opts.Workers }
+
+// Tracer reports the solver's configured trace sink (nil when tracing
+// is off), so sweeps driving the solver can emit into the same stream.
+func (s *Solver) Tracer() obs.Tracer { return s.opts.Tracer }
+
+// Metrics reports the solver's metrics registry (nil when metrics are
+// off), so sweeps and CLIs share one snapshot surface.
+func (s *Solver) Metrics() *obs.Registry { return s.opts.Metrics }
 
 // Solve searches for the minimum-cost design meeting the requirements.
 // Enterprise requirements need a throughput and downtime bound; job
@@ -183,17 +236,24 @@ func (s *Solver) Solve(req model.Requirements) (*Solution, error) {
 	if err := req.Validate(); err != nil {
 		return nil, err
 	}
+	so := s.beginSolve(req)
+	var (
+		sol *Solution
+		err error
+	)
 	switch req.Kind {
 	case model.ReqEnterprise:
-		return s.solveEnterprise(req)
+		sol, err = s.solveEnterprise(req)
 	case model.ReqJob:
 		if !s.svc.HasJobSize {
-			return nil, fmt.Errorf("core: job requirement needs a service with a jobsize, %q has none", s.svc.Name)
+			err = fmt.Errorf("core: job requirement needs a service with a jobsize, %q has none", s.svc.Name)
+		} else {
+			sol, err = s.solveJob(req)
 		}
-		return s.solveJob(req)
 	default:
-		return nil, fmt.Errorf("core: unknown requirement kind %d", int(req.Kind))
+		err = fmt.Errorf("core: unknown requirement kind %d", int(req.Kind))
 	}
+	return s.endSolve(so, sol, err)
 }
 
 // InfeasibleError reports that no design in the space satisfies the

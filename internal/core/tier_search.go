@@ -8,6 +8,7 @@ import (
 	"aved/internal/cost"
 	"aved/internal/jobtime"
 	"aved/internal/model"
+	"aved/internal/obs"
 	"aved/internal/par"
 	"aved/internal/perf"
 	"aved/internal/units"
@@ -39,12 +40,35 @@ type evalEntry struct {
 // does no allocation and no string work at all.
 func (s *Solver) evalTier(td *model.TierDesign, fps candFP, stats *searchStats) (evalEntry, error) {
 	f := s.evalCache.flight(fps.avail)
+	ran := false
 	f.once.Do(func() {
+		ran = true
 		f.entry, f.err = s.evalTierMiss(td, fps.mode)
 		if f.err == nil {
 			stats.evals.Add(1)
 		}
 	})
+	if !ran && f.err == nil {
+		stats.cacheHits.Add(1)
+	}
+	if tr := s.opts.Tracer; tr != nil && f.err == nil {
+		// Hit/miss per fingerprint is deterministic under the
+		// singleflight: exactly one requester observes the miss, however
+		// many goroutines race on the key.
+		ev := obs.EvEvalHit
+		if ran {
+			ev = obs.EvEvalMiss
+		}
+		tr.Emit(obs.Event{
+			Ev:   ev,
+			Tier: td.TierName,
+			FP:   fpHex(fps.avail),
+			N:    td.NActive,
+			M:    td.MinActive,
+			S:    td.NSpare,
+			Down: f.entry.downtimeMinutes,
+		})
+	}
 	return f.entry, f.err
 }
 
@@ -225,6 +249,8 @@ func (s *Solver) searchOption(tier *model.Tier, opt *model.ResourceOption, throu
 	if err != nil || !ok {
 		return nil, err
 	}
+	tr := s.opts.Tracer
+	res := opt.ResourceType().Name
 	best := incumbent
 	prevBestDowntime := math.Inf(1)
 	for extra := 0; extra <= s.opts.MaxRedundancy; extra++ {
@@ -236,6 +262,10 @@ func (s *Solver) searchOption(tier *model.Tier, opt *model.ResourceOption, throu
 		bestDowntimeAtTotal := math.Inf(1)
 		err := o.candidates(total, func(td model.TierDesign, fps candFP, c units.Money) error {
 			stats.candidates.Add(1)
+			if tr != nil {
+				tr.Emit(obs.Event{Ev: obs.EvCandGen, Tier: tier.Name, Res: res,
+					N: td.NActive, S: td.NSpare, Warm: td.SpareWarm, Cost: float64(c)})
+			}
 			if float64(c) < minCostAtTotal {
 				minCostAtTotal = float64(c)
 			}
@@ -248,6 +278,10 @@ func (s *Solver) searchOption(tier *model.Tier, opt *model.ResourceOption, throu
 			// where every candidate is evaluated anyway.
 			if best != nil && c > best.Cost {
 				stats.pruned.Add(1)
+				if tr != nil {
+					tr.Emit(obs.Event{Ev: obs.EvCandPrune, Tier: tier.Name, Res: res,
+						N: td.NActive, S: td.NSpare, Cost: float64(c)})
+				}
 				return nil
 			}
 			entry, err := s.evalTier(&td, fps, stats)
@@ -261,6 +295,11 @@ func (s *Solver) searchOption(tier *model.Tier, opt *model.ResourceOption, throu
 			if down <= budgetMinutes &&
 				(best == nil || c < best.Cost || (c == best.Cost && down < best.DowntimeMinutes)) {
 				best = &TierCandidate{Design: td, Cost: c, DowntimeMinutes: down}
+				if tr != nil {
+					tr.Emit(obs.Event{Ev: obs.EvIncumbent, Tier: tier.Name, Res: res,
+						N: td.NActive, S: td.NSpare, Warm: td.SpareWarm,
+						Cost: float64(c), Down: down})
+				}
 			}
 			return nil
 		})
@@ -316,6 +355,8 @@ func (s *Solver) optionFrontier(tier *model.Tier, opt *model.ResourceOption, thr
 	if err != nil || !ok {
 		return nil, err
 	}
+	tr := s.opts.Tracer
+	res := opt.ResourceType().Name
 	var (
 		all    []TierCandidate
 		buf    []TierCandidate // per-size batch, reused across sizes
@@ -332,6 +373,10 @@ func (s *Solver) optionFrontier(tier *model.Tier, opt *model.ResourceOption, thr
 		fpsBuf = fpsBuf[:0]
 		err := o.candidates(total, func(td model.TierDesign, fps candFP, c units.Money) error {
 			stats.candidates.Add(1)
+			if tr != nil {
+				tr.Emit(obs.Event{Ev: obs.EvCandGen, Tier: tier.Name, Res: res,
+					N: td.NActive, S: td.NSpare, Warm: td.SpareWarm, Cost: float64(c)})
+			}
 			buf = append(buf, TierCandidate{Design: td, Cost: c})
 			fpsBuf = append(fpsBuf, fps)
 			return nil

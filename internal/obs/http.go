@@ -1,0 +1,109 @@
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+	"sync/atomic"
+)
+
+// DebugServer serves the runtime debug endpoints on a private mux:
+//
+//	/debug/pprof/...   net/http/pprof (profile, heap, trace, ...)
+//	/debug/vars        expvar, including the "aved" registry snapshot
+//	/metrics           the registry snapshot as indented JSON
+//
+// A private mux rather than http.DefaultServeMux keeps library users'
+// global handler space untouched.
+type DebugServer struct {
+	ln  net.Listener
+	srv *http.Server
+	reg atomic.Pointer[Registry]
+}
+
+// Addr reports the bound listen address (useful with ":0").
+func (d *DebugServer) Addr() string { return d.ln.Addr().String() }
+
+// SetRegistry points /metrics (and the expvar export, when this server
+// published it) at a different registry.
+func (d *DebugServer) SetRegistry(reg *Registry) { d.reg.Store(reg) }
+
+// Close stops the listener.
+func (d *DebugServer) Close() error { return d.srv.Close() }
+
+// Serve starts a debug server on addr (e.g. ":6060" or "127.0.0.1:0")
+// and returns once the listener is bound. reg may be nil; /metrics then
+// serves an empty snapshot.
+func Serve(addr string, reg *Registry) (*DebugServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: debug listener on %s: %w", addr, err)
+	}
+	d := &DebugServer{ln: ln}
+	d.reg.Store(reg)
+	publishExpvar(d)
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if err := d.reg.Load().WriteJSON(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	d.srv = &http.Server{Handler: mux}
+	go func() { _ = d.srv.Serve(ln) }() // ErrServerClosed on Close; nothing to report
+	return d, nil
+}
+
+// Process-wide debug-server bookkeeping: one server per address, and a
+// single expvar publication (expvar.Publish panics on duplicates). The
+// expvar snapshot follows the most recently started or ensured server.
+var (
+	serveMu      sync.Mutex
+	servers      = map[string]*DebugServer{}
+	expvarServer atomic.Pointer[DebugServer]
+	expvarOnce   sync.Once
+)
+
+func publishExpvar(d *DebugServer) {
+	expvarServer.Store(d)
+	expvarOnce.Do(func() {
+		expvar.Publish("aved", expvar.Func(func() any {
+			if cur := expvarServer.Load(); cur != nil {
+				return cur.reg.Load().Snapshot()
+			}
+			return Snapshot{}
+		}))
+	})
+}
+
+// EnsureServe starts a debug server on addr once per process; later
+// calls for the same address re-point its /metrics at reg and return
+// the running server. This is what lets every solver in a sweep pass
+// the same -debug-addr without bind races.
+func EnsureServe(addr string, reg *Registry) (*DebugServer, error) {
+	serveMu.Lock()
+	defer serveMu.Unlock()
+	if d, ok := servers[addr]; ok {
+		if reg != nil {
+			d.SetRegistry(reg)
+			publishExpvar(d)
+		}
+		return d, nil
+	}
+	d, err := Serve(addr, reg)
+	if err != nil {
+		return nil, err
+	}
+	servers[addr] = d
+	return d, nil
+}

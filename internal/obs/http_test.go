@@ -1,0 +1,85 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"testing"
+)
+
+func getBody(t *testing.T, url string) []byte {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: %s", url, resp.Status)
+	}
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestDebugServerEndpoints(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("core.solves").Add(2)
+	d, err := Serve("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	base := "http://" + d.Addr()
+
+	var snap struct {
+		Counters map[string]int64 `json:"counters"`
+	}
+	if err := json.Unmarshal(getBody(t, base+"/metrics"), &snap); err != nil {
+		t.Fatalf("/metrics is not JSON: %v", err)
+	}
+	if snap.Counters["core.solves"] != 2 {
+		t.Errorf("/metrics counters = %v", snap.Counters)
+	}
+
+	var vars map[string]json.RawMessage
+	if err := json.Unmarshal(getBody(t, base+"/debug/vars"), &vars); err != nil {
+		t.Fatalf("/debug/vars is not JSON: %v", err)
+	}
+	if _, ok := vars["aved"]; !ok {
+		t.Error("/debug/vars missing the aved registry snapshot")
+	}
+
+	if b := getBody(t, base+"/debug/pprof/cmdline"); len(b) == 0 {
+		t.Error("/debug/pprof/cmdline returned nothing")
+	}
+}
+
+func TestEnsureServeReusesAddress(t *testing.T) {
+	r1 := NewRegistry()
+	d1, err := EnsureServe("127.0.0.1:0", r1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d1.Close()
+	r2 := NewRegistry()
+	r2.Counter("later").Add(5)
+	d2, err := EnsureServe("127.0.0.1:0", r2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d1 != d2 {
+		t.Fatal("EnsureServe bound a second server for the same address")
+	}
+	var snap struct {
+		Counters map[string]int64 `json:"counters"`
+	}
+	if err := json.Unmarshal(getBody(t, "http://"+d1.Addr()+"/metrics"), &snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Counters["later"] != 5 {
+		t.Errorf("ensure did not re-point /metrics: %v", snap.Counters)
+	}
+}

@@ -1,0 +1,105 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"os"
+	"sync"
+	"time"
+)
+
+// JSONLTracer writes one JSON object per event, newline-delimited.
+// Events marshal outside the lock; each line lands in a single Write
+// under the lock, so concurrent emitters can never interleave partial
+// lines. Write errors latch: the first one is kept (see Err) and later
+// emissions become no-ops, so a full disk does not spam the solver.
+type JSONLTracer struct {
+	clock func() int64 // nil: stamp T = 0 (deterministic output)
+
+	mu     sync.Mutex
+	w      io.Writer
+	closer io.Closer // optional; set by NewJSONLFileTracer
+	flush  func() error
+	err    error
+}
+
+// NewJSONLTracer wraps an io.Writer. The writer needs no internal
+// locking; the tracer serialises access. Events are stamped with
+// time.Now; see WithClock.
+func NewJSONLTracer(w io.Writer) *JSONLTracer {
+	return &JSONLTracer{w: w, clock: func() int64 { return time.Now().UnixNano() }}
+}
+
+// WithClock replaces the timestamp source and returns the tracer. A nil
+// clock leaves T zero on every event — byte-deterministic output for
+// tests and goldens.
+func (t *JSONLTracer) WithClock(clock func() int64) *JSONLTracer {
+	t.clock = clock
+	return t
+}
+
+// NewJSONLFileTracer creates (truncating) a trace file with a buffered
+// writer. Close flushes and closes the file.
+func NewJSONLFileTracer(path string) (*JSONLTracer, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	bw := bufio.NewWriterSize(f, 1<<16)
+	t := NewJSONLTracer(bw)
+	t.closer = f
+	t.flush = bw.Flush
+	return t, nil
+}
+
+// Emit implements Tracer.
+func (t *JSONLTracer) Emit(e Event) {
+	if c := t.clock; c != nil {
+		e.T = c()
+	}
+	b, err := json.Marshal(e)
+	if err != nil {
+		t.mu.Lock()
+		if t.err == nil {
+			t.err = err
+		}
+		t.mu.Unlock()
+		return
+	}
+	b = append(b, '\n')
+	t.mu.Lock()
+	if t.err == nil {
+		if _, werr := t.w.Write(b); werr != nil {
+			t.err = werr
+		}
+	}
+	t.mu.Unlock()
+}
+
+// Err reports the first write or marshal error, if any.
+func (t *JSONLTracer) Err() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.err
+}
+
+// Close flushes buffered output and closes the underlying file when the
+// tracer owns one. It reports the latched emission error if flushing
+// succeeded, so callers see exactly one failure cause.
+func (t *JSONLTracer) Close() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.flush != nil {
+		if err := t.flush(); err != nil && t.err == nil {
+			t.err = err
+		}
+	}
+	if t.closer != nil {
+		if err := t.closer.Close(); err != nil && t.err == nil {
+			t.err = err
+		}
+		t.closer = nil
+	}
+	return t.err
+}

@@ -1,0 +1,129 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestJSONLConcurrentEmitNoPartialLines is the sink half of the trace
+// determinism satellite: many goroutines emitting concurrently must
+// produce a file of complete, parseable lines — no interleaving, no
+// truncation — and every emitted event must be present exactly once.
+func TestJSONLConcurrentEmitNoPartialLines(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.jsonl")
+	tr, err := NewJSONLFileTracer(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const goroutines, each = 16, 500
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				tr.Emit(Event{
+					Ev:   EvCandGen,
+					Tier: fmt.Sprintf("tier%d", g),
+					N:    i + 1,
+					// A long field makes torn writes likely if lines
+					// were ever written in pieces.
+					Res: strings.Repeat("x", 200),
+				})
+			}
+		}(g)
+	}
+	wg.Wait()
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<16), 1<<20)
+	seen := map[string]int{}
+	lines := 0
+	for sc.Scan() {
+		lines++
+		var e Event
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			t.Fatalf("line %d is not valid JSON: %v\n%s", lines, err, sc.Text())
+		}
+		if e.Ev != EvCandGen || len(e.Res) != 200 {
+			t.Fatalf("line %d corrupted: %+v", lines, e)
+		}
+		seen[fmt.Sprintf("%s/%d", e.Tier, e.N)]++
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if lines != goroutines*each {
+		t.Fatalf("wrote %d lines, want %d", lines, goroutines*each)
+	}
+	for k, n := range seen {
+		if n != 1 {
+			t.Errorf("event %s appears %d times", k, n)
+		}
+	}
+}
+
+func TestJSONLDeterministicWithoutClock(t *testing.T) {
+	var a, b bytes.Buffer
+	for _, w := range []*bytes.Buffer{&a, &b} {
+		tr := NewJSONLTracer(w).WithClock(nil)
+		tr.Emit(Event{Ev: EvSearchStart, Service: "svc", Load: 1000})
+		tr.Emit(Event{Ev: EvSearchEnd, Cost: 28320})
+	}
+	if a.String() != b.String() {
+		t.Errorf("clockless output not deterministic:\n%s\nvs\n%s", a.String(), b.String())
+	}
+	if strings.Contains(a.String(), `"t"`) {
+		t.Errorf("clockless output carries timestamps: %s", a.String())
+	}
+}
+
+func TestJSONLStampsTime(t *testing.T) {
+	var buf bytes.Buffer
+	NewJSONLTracer(&buf).Emit(Event{Ev: EvSearchStart})
+	var e Event
+	if err := json.Unmarshal(buf.Bytes(), &e); err != nil {
+		t.Fatal(err)
+	}
+	if e.T == 0 {
+		t.Error("default tracer left T = 0")
+	}
+}
+
+func TestTee(t *testing.T) {
+	if Tee(nil, nil) != nil {
+		t.Error("Tee of nils should be nil")
+	}
+	var a, b CollectTracer
+	if got := Tee(nil, &a); got != &a {
+		t.Error("single-tracer Tee should return it unchanged")
+	}
+	Tee(&a, &b).Emit(Event{Ev: EvCandGen})
+	if a.Len() != 1 || b.Len() != 1 {
+		t.Errorf("tee delivered %d/%d events, want 1/1", a.Len(), b.Len())
+	}
+}
+
+func TestCollectTracerCopies(t *testing.T) {
+	var c CollectTracer
+	c.Emit(Event{Ev: EvCandGen, N: 1})
+	got := c.Events()
+	got[0].N = 99
+	if c.Events()[0].N != 1 {
+		t.Error("Events() exposed internal storage")
+	}
+}

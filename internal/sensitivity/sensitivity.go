@@ -14,6 +14,7 @@ import (
 
 	"aved/internal/core"
 	"aved/internal/model"
+	"aved/internal/obs"
 	"aved/internal/par"
 	"aved/internal/perf"
 	"aved/internal/sweep"
@@ -130,6 +131,8 @@ type Point struct {
 	Family          sweep.Family
 	Label           string
 	Infeasible      bool
+	// Stats records the factor's search effort (zero when infeasible).
+	Stats core.Stats
 }
 
 // Config drives a sensitivity sweep.
@@ -166,9 +169,17 @@ func Sweep(base *model.Infrastructure, cfg Config, knob Knob, factors []float64)
 	// and builds its own solver — so they fan across the worker pool,
 	// landing by index; the lowest-index error matches the sequential
 	// first error.
+	//
+	// Observability rides on the shared solver options: every factor's
+	// solver inherits the configured tracer and registry, and the sweep
+	// itself reports per-factor progress. Timing spans the whole factor
+	// (clone, perturb, rebind, solve) — that is the unit of work a
+	// what-if consumer waits for.
+	po := sweep.NewPointObs(cfg.SolverOptions.Tracer, cfg.SolverOptions.Metrics, len(factors))
 	out := make([]Point, len(factors))
 	err := par.ForEach(cfg.Workers, len(factors), func(i int) error {
 		f := factors[i]
+		start := po.Begin()
 		inf := base.Clone()
 		if err := knob(inf, f); err != nil {
 			return err
@@ -190,17 +201,23 @@ func Sweep(base *model.Infrastructure, cfg Config, knob Knob, factors []float64)
 		if err != nil {
 			var infErr *core.InfeasibleError
 			if errors.As(err, &infErr) {
+				po.Done(i, start, obs.Event{Factor: f, Err: "infeasible"})
 				out[i] = Point{Factor: f, Infeasible: true}
 				return nil
 			}
 			return fmt.Errorf("sensitivity: factor %v: %w", f, err)
 		}
+		po.Done(i, start, obs.Event{
+			Factor: f, Cost: float64(sol.Cost),
+			Down: sol.DowntimeMinutes, JobH: sol.JobTime.Hours(),
+		})
 		p := Point{
 			Factor:          f,
 			Cost:            sol.Cost,
 			DowntimeMinutes: sol.DowntimeMinutes,
 			JobTimeHours:    sol.JobTime.Hours(),
 			Label:           sol.Design.Label(),
+			Stats:           sol.Stats,
 		}
 		if len(sol.Design.Tiers) > 0 {
 			p.Family = sweep.FamilyOf(&sol.Design.Tiers[0])

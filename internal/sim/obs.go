@@ -1,0 +1,36 @@
+package sim
+
+import "aved/internal/obs"
+
+// tracerBox wraps a Tracer for atomic.Value storage: atomic.Value
+// requires every Store to carry the same concrete type, and tracer
+// implementations differ.
+type tracerBox struct{ t obs.Tracer }
+
+// obsTracer reports the engine's instrumented tracer, nil when none.
+func (e *Engine) obsTracer() obs.Tracer {
+	if b, ok := e.tracer.Load().(tracerBox); ok {
+		return b.t
+	}
+	return nil
+}
+
+// InstrumentObs exposes the engine's replication counters on reg and
+// routes batch events to tr. It implements the solver's structural
+// instrumentation interface. Idempotent and race-safe, so solvers
+// sharing one engine may all call it.
+func (e *Engine) InstrumentObs(reg *obs.Registry, tr obs.Tracer) {
+	reg.RegisterFunc("sim.replications", func() int64 { return int64(e.nreps.Load()) })
+	reg.RegisterFunc("sim.batches", func() int64 { return int64(e.nbatches.Load()) })
+	if tr != nil {
+		e.tracer.Store(tracerBox{t: tr})
+	}
+}
+
+// RepStats reports the engine's lifetime Monte-Carlo work: replications
+// run and batches dispatched, across every evaluation since
+// construction. The solver differences these around a solve to
+// attribute work per solution.
+func (e *Engine) RepStats() (replications, batches uint64) {
+	return e.nreps.Load(), e.nbatches.Load()
+}

@@ -24,8 +24,10 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"sync/atomic"
 
 	"aved/internal/avail"
+	"aved/internal/obs"
 	"aved/internal/par"
 )
 
@@ -47,6 +49,12 @@ type Engine struct {
 	// the running mean, capped by the reps budget.
 	relErr float64
 	batch  int // adaptive batch size; 0 means DefaultBatch
+	// Lifetime work counters (see RepStats) and the optional trace sink
+	// (see InstrumentObs). Maintained per batch, not per replication, so
+	// the accounting stays invisible in replication throughput.
+	nreps    atomic.Uint64
+	nbatches atomic.Uint64
+	tracer   atomic.Value // tracerBox
 }
 
 var _ avail.Engine = (*Engine)(nil)
@@ -321,6 +329,15 @@ func (e *Engine) runBatch(tm *avail.TierModel, w *welford, k int, buf []float64)
 	}
 	for _, x := range buf[:k] {
 		w.add(x)
+	}
+	e.nreps.Add(uint64(k))
+	e.nbatches.Add(1)
+	if t := e.obsTracer(); t != nil {
+		// Post-fold statistics depend only on the replication-order fold,
+		// so the emitted batch events are identical at any worker count.
+		st := w.stats()
+		t.Emit(obs.Event{Ev: obs.EvSimBatch, Tier: tm.Name,
+			Reps: st.Replications, Mean: st.MeanMinutes, HW95: st.HalfWidth95})
 	}
 	return nil
 }

@@ -7,6 +7,7 @@ import (
 
 	"aved/internal/core"
 	"aved/internal/model"
+	"aved/internal/obs"
 	"aved/internal/par"
 	"aved/internal/units"
 )
@@ -21,6 +22,8 @@ type Fig6Point struct {
 	DowntimeMinutes float64
 	Cost            units.Money
 	NActive         int
+	// Stats records the cell's search effort.
+	Stats core.Stats
 }
 
 // Fig6Curve is one design family's trace: the family's estimated
@@ -38,6 +41,9 @@ type Fig6Curve struct {
 type Fig6Result struct {
 	Points []Fig6Point
 	Curves []Fig6Curve
+	// Totals aggregates search effort over the whole plane, counting
+	// the infeasible corners too.
+	Totals Totals
 }
 
 // Fig6 sweeps the requirement plane: for every load and every downtime
@@ -60,8 +66,10 @@ func Fig6(solver *core.Solver, loads, budgetsMinutes []float64) (*Fig6Result, er
 		point Fig6Point
 	}
 	cells := make([]cell, len(loads)*nb)
+	po := solverPointObs(solver, len(cells))
 	err := par.ForEach(solver.Workers(), len(cells), func(i int) error {
 		load, budget := loads[i/nb], budgetsMinutes[i%nb]
+		start := po.Begin()
 		sol, err := solver.Solve(model.Requirements{
 			Kind:              model.ReqEnterprise,
 			Throughput:        load,
@@ -70,10 +78,16 @@ func Fig6(solver *core.Solver, loads, budgetsMinutes []float64) (*Fig6Result, er
 		if err != nil {
 			var infErr *core.InfeasibleError
 			if errors.As(err, &infErr) {
-				return nil // this corner of the plane has no design
+				// This corner of the plane has no design.
+				po.Done(i, start, obs.Event{Load: load, Budget: budget, Err: "infeasible"})
+				return nil
 			}
 			return fmt.Errorf("sweep: fig6 at load %v budget %v: %w", load, budget, err)
 		}
+		po.Done(i, start, obs.Event{
+			Load: load, Budget: budget,
+			Cost: float64(sol.Cost), Down: sol.DowntimeMinutes,
+		})
 		td := &sol.Design.Tiers[0]
 		cells[i] = cell{ok: true, point: Fig6Point{
 			Load:            load,
@@ -83,6 +97,7 @@ func Fig6(solver *core.Solver, loads, budgetsMinutes []float64) (*Fig6Result, er
 			DowntimeMinutes: sol.DowntimeMinutes,
 			Cost:            sol.Cost,
 			NActive:         td.NActive,
+			Stats:           sol.Stats,
 		}}
 		return nil
 	})
@@ -97,9 +112,11 @@ func Fig6(solver *core.Solver, loads, budgetsMinutes []float64) (*Fig6Result, er
 	seen := map[curveKey]float64{} // family+load → downtime estimate
 	for i := range cells {
 		if !cells[i].ok {
+			res.Totals.Infeasible++
 			continue
 		}
 		p := cells[i].point
+		res.Totals.Add(p.Stats)
 		res.Points = append(res.Points, p)
 		seen[curveKey{p.Family, p.Load}] = p.DowntimeMinutes
 	}

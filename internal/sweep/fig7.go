@@ -6,6 +6,7 @@ import (
 
 	"aved/internal/core"
 	"aved/internal/model"
+	"aved/internal/obs"
 	"aved/internal/par"
 	"aved/internal/units"
 )
@@ -22,6 +23,8 @@ type Fig7Point struct {
 	StorageLocation  string
 	JobTimeHours     float64
 	Cost             units.Money
+	// Stats records the point's search effort.
+	Stats core.Stats
 }
 
 // Fig7 sweeps the job-time requirement axis of Fig. 7: for each
@@ -41,8 +44,10 @@ func Fig7(solver *core.Solver, requirementHours []float64) ([]Fig7Point, error) 
 		point Fig7Point
 	}
 	slots := make([]slot, len(requirementHours))
+	po := solverPointObs(solver, len(slots))
 	err := par.ForEach(solver.Workers(), len(slots), func(i int) error {
 		h := requirementHours[i]
+		start := po.Begin()
 		sol, err := solver.Solve(model.Requirements{
 			Kind:       model.ReqJob,
 			MaxJobTime: units.FromHours(h),
@@ -50,10 +55,14 @@ func Fig7(solver *core.Solver, requirementHours []float64) ([]Fig7Point, error) 
 		if err != nil {
 			var infErr *core.InfeasibleError
 			if errors.As(err, &infErr) {
+				po.Done(i, start, obs.Event{ReqH: h, Err: "infeasible"})
 				return nil
 			}
 			return fmt.Errorf("sweep: fig7 at %vh: %w", h, err)
 		}
+		po.Done(i, start, obs.Event{
+			ReqH: h, Cost: float64(sol.Cost), JobH: sol.JobTime.Hours(),
+		})
 		td := &sol.Design.Tiers[0]
 		p := Fig7Point{
 			RequirementHours: h,
@@ -63,6 +72,7 @@ func Fig7(solver *core.Solver, requirementHours []float64) ([]Fig7Point, error) 
 			NSpare:           td.NSpare,
 			JobTimeHours:     sol.JobTime.Hours(),
 			Cost:             sol.Cost,
+			Stats:            sol.Stats,
 		}
 		if ms, ok := td.Mechanism("checkpoint"); ok {
 			if v, ok := ms.Values["checkpoint_interval"]; ok {

@@ -7,6 +7,7 @@ import (
 	"aved/internal/avail"
 	"aved/internal/core"
 	"aved/internal/model"
+	"aved/internal/obs"
 	"aved/internal/par"
 	"aved/internal/units"
 )
@@ -18,13 +19,17 @@ type Fig8Point struct {
 	BudgetMinutes float64
 	ExtraCost     units.Money
 	TotalCost     units.Money
+	// Stats records the point's search effort.
+	Stats core.Stats
 }
 
 // Fig8Curve is the premium curve for one load level.
 type Fig8Curve struct {
 	Load         float64
 	BaselineCost units.Money
-	Points       []Fig8Point
+	// BaselineStats records the baseline solve's search effort.
+	BaselineStats core.Stats
+	Points        []Fig8Point
 }
 
 // Fig8 reproduces the cost/availability/performance tradeoff curves:
@@ -44,13 +49,16 @@ func Fig8(solver *core.Solver, loads, budgetsMinutes []float64) ([]Fig8Curve, er
 	nb := len(budgetsMinutes)
 	stride := nb + 1
 	type cell struct {
-		ok   bool
-		cost units.Money
+		ok    bool
+		cost  units.Money
+		stats core.Stats
 	}
 	cells := make([]cell, len(loads)*stride)
+	po := solverPointObs(solver, len(cells))
 	err := par.ForEach(solver.Workers(), len(cells), func(i int) error {
 		load := loads[i/stride]
 		j := i % stride
+		start := po.Begin()
 		if j == 0 {
 			// No availability requirement: any downtime within the year
 			// is acceptable, so the budget is the whole year.
@@ -62,7 +70,10 @@ func Fig8(solver *core.Solver, loads, budgetsMinutes []float64) ([]Fig8Curve, er
 			if err != nil {
 				return fmt.Errorf("sweep: fig8 baseline at load %v: %w", load, err)
 			}
-			cells[i] = cell{ok: true, cost: base.Cost}
+			po.Done(i, start, obs.Event{
+				Load: load, Budget: avail.MinutesPerYear, Cost: float64(base.Cost),
+			})
+			cells[i] = cell{ok: true, cost: base.Cost, stats: base.Stats}
 			return nil
 		}
 		budget := budgetsMinutes[j-1]
@@ -74,11 +85,13 @@ func Fig8(solver *core.Solver, loads, budgetsMinutes []float64) ([]Fig8Curve, er
 		if err != nil {
 			var infErr *core.InfeasibleError
 			if errors.As(err, &infErr) {
+				po.Done(i, start, obs.Event{Load: load, Budget: budget, Err: "infeasible"})
 				return nil
 			}
 			return fmt.Errorf("sweep: fig8 at load %v budget %v: %w", load, budget, err)
 		}
-		cells[i] = cell{ok: true, cost: sol.Cost}
+		po.Done(i, start, obs.Event{Load: load, Budget: budget, Cost: float64(sol.Cost)})
+		cells[i] = cell{ok: true, cost: sol.Cost, stats: sol.Stats}
 		return nil
 	})
 	if err != nil {
@@ -87,7 +100,7 @@ func Fig8(solver *core.Solver, loads, budgetsMinutes []float64) ([]Fig8Curve, er
 	out := make([]Fig8Curve, 0, len(loads))
 	for li, load := range loads {
 		base := cells[li*stride]
-		curve := Fig8Curve{Load: load, BaselineCost: base.cost}
+		curve := Fig8Curve{Load: load, BaselineCost: base.cost, BaselineStats: base.stats}
 		for j := 0; j < nb; j++ {
 			c := cells[li*stride+1+j]
 			if !c.ok {
@@ -97,6 +110,7 @@ func Fig8(solver *core.Solver, loads, budgetsMinutes []float64) ([]Fig8Curve, er
 				BudgetMinutes: budgetsMinutes[j],
 				ExtraCost:     c.cost - base.cost,
 				TotalCost:     c.cost,
+				Stats:         c.stats,
 			})
 		}
 		out = append(out, curve)

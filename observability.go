@@ -1,0 +1,164 @@
+package aved
+
+import (
+	"fmt"
+	"os"
+
+	"aved/internal/obs"
+	"aved/internal/sweep"
+)
+
+// Observability types. A Solver carries them through Options: set
+// Options.Tracer to stream typed search events, Options.Metrics to
+// accumulate counters, and Options.DebugAddr to expose pprof, expvar
+// and a /metrics JSON snapshot over HTTP. All three default to off and
+// cost nothing when off.
+type (
+	// Tracer consumes typed search-trace events.
+	Tracer = obs.Tracer
+	// TraceEvent is one trace record (flat across the event taxonomy).
+	TraceEvent = obs.Event
+	// Metrics is the concurrent metrics registry (counters, gauges,
+	// log-bucketed histograms).
+	Metrics = obs.Registry
+	// MetricsSnapshot is a point-in-time read of a registry.
+	MetricsSnapshot = obs.Snapshot
+	// TraceCollector accumulates events in memory.
+	TraceCollector = obs.CollectTracer
+	// TraceFunc adapts a function to the Tracer interface.
+	TraceFunc = obs.FuncTracer
+	// JSONLTracer streams events as JSON lines.
+	JSONLTracer = obs.JSONLTracer
+	// SweepTotals aggregates search effort across a sweep.
+	SweepTotals = sweep.Totals
+)
+
+// Trace event types (TraceEvent.Ev values). See the internal obs
+// package for the full taxonomy semantics.
+const (
+	EvSearchStart = obs.EvSearchStart
+	EvSearchEnd   = obs.EvSearchEnd
+	EvSearchError = obs.EvSearchError
+	EvPhaseStart  = obs.EvPhaseStart
+	EvPhaseEnd    = obs.EvPhaseEnd
+	EvTierDone    = obs.EvTierDone
+	EvCandGen     = obs.EvCandGen
+	EvCandPrune   = obs.EvCandPrune
+	EvEvalMiss    = obs.EvEvalMiss
+	EvEvalHit     = obs.EvEvalHit
+	EvIncumbent   = obs.EvIncumbent
+	EvMemoHit     = obs.EvMemoHit
+	EvMemoSolve   = obs.EvMemoSolve
+	EvSimBatch    = obs.EvSimBatch
+	EvSweepPoint  = obs.EvSweepPoint
+)
+
+// NewMetrics builds an empty metrics registry.
+func NewMetrics() *Metrics { return obs.NewRegistry() }
+
+// NewJSONLFileTracer creates (truncating) a JSONL trace file. Close it
+// to flush.
+func NewJSONLFileTracer(path string) (*JSONLTracer, error) { return obs.NewJSONLFileTracer(path) }
+
+// TeeTracers fans events to several tracers; nils are skipped and a
+// nil Tracer comes back when nothing remains.
+func TeeTracers(ts ...Tracer) Tracer { return obs.Tee(ts...) }
+
+// ServeDebug starts (or reuses) the debug HTTP listener on addr,
+// serving net/http/pprof, expvar and a /metrics JSON snapshot of reg.
+// It reports the bound address, useful with ":0".
+func ServeDebug(addr string, reg *Metrics) (string, error) {
+	d, err := obs.EnsureServe(addr, reg)
+	if err != nil {
+		return "", err
+	}
+	return d.Addr(), nil
+}
+
+// InstrumentEngine attaches observability to an availability engine
+// directly — the path for programs that evaluate models without a
+// Solver (a Solver instruments its engine itself). It reports whether
+// the engine supports instrumentation.
+func InstrumentEngine(eng Engine, reg *Metrics, tr Tracer) bool {
+	type instrumentable interface {
+		InstrumentObs(*obs.Registry, obs.Tracer)
+	}
+	if i, ok := eng.(instrumentable); ok {
+		i.InstrumentObs(reg, tr)
+		return true
+	}
+	return false
+}
+
+// ObsSetup bundles the observability wiring shared by the CLIs: an
+// optional JSONL trace file, an optional metrics JSON file written on
+// Close, and an optional debug HTTP listener. Zero paths/addr are
+// skipped; a fully-zero setup is inert.
+type ObsSetup struct {
+	// Tracer is the trace sink, nil when no trace was requested.
+	Tracer Tracer
+	// Metrics is non-nil whenever any observability output needs it.
+	Metrics *Metrics
+
+	metricsPath string
+	jsonl       *JSONLTracer
+}
+
+// NewObsSetup opens the requested observability outputs: tracePath
+// (JSONL trace file), metricsPath (metrics JSON snapshot written on
+// Close) and debugAddr (HTTP listener). Empty strings disable each.
+func NewObsSetup(tracePath, metricsPath, debugAddr string) (*ObsSetup, error) {
+	s := &ObsSetup{metricsPath: metricsPath}
+	if tracePath != "" {
+		jt, err := NewJSONLFileTracer(tracePath)
+		if err != nil {
+			return nil, err
+		}
+		s.jsonl = jt
+		s.Tracer = jt
+	}
+	if metricsPath != "" || debugAddr != "" {
+		s.Metrics = NewMetrics()
+	}
+	if debugAddr != "" {
+		if _, err := ServeDebug(debugAddr, s.Metrics); err != nil {
+			s.Close()
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// Apply threads the setup through solver options.
+func (s *ObsSetup) Apply(o Options) Options {
+	o.Tracer = TeeTracers(o.Tracer, s.Tracer)
+	if o.Metrics == nil {
+		o.Metrics = s.Metrics
+	}
+	return o
+}
+
+// Close flushes the trace file and writes the metrics snapshot.
+func (s *ObsSetup) Close() error {
+	var firstErr error
+	if s.jsonl != nil {
+		if err := s.jsonl.Close(); err != nil {
+			firstErr = fmt.Errorf("aved: trace: %w", err)
+		}
+		s.jsonl = nil
+	}
+	if s.metricsPath != "" && s.Metrics != nil {
+		f, err := os.Create(s.metricsPath)
+		if err == nil {
+			err = s.Metrics.WriteJSON(f)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("aved: metrics: %w", err)
+		}
+		s.metricsPath = ""
+	}
+	return firstErr
+}

@@ -1,0 +1,168 @@
+//go:build ignore
+
+// Command check_metrics validates the observability outputs of one
+// traced search — the CI gate behind scripts/check_metrics.sh. It
+// cross-checks three artifacts written by the same `aved` run:
+//
+//   - the -metrics JSON snapshot (counter keys, histogram counts),
+//   - the -trace JSONL search trace (event multiplicities),
+//   - the -json solution report (the solver's own stats),
+//
+// and fails when a required key is missing or any pair disagrees.
+//
+// Usage: go run scripts/check_metrics.go metrics.json trace.jsonl solution.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+type snapshot struct {
+	Counters   map[string]int64   `json:"counters"`
+	Gauges     map[string]float64 `json:"gauges"`
+	Histograms map[string]struct {
+		Count int64   `json:"count"`
+		Sum   float64 `json:"sum"`
+	} `json:"histograms"`
+}
+
+type solution struct {
+	Candidates  int64 `json:"candidatesGenerated"`
+	CostPruned  int64 `json:"costPruned"`
+	Evaluations int64 `json:"availabilityEvaluations"`
+	CacheHits   int64 `json:"evalCacheHits"`
+}
+
+func main() {
+	if len(os.Args) != 4 {
+		fmt.Fprintln(os.Stderr, "usage: check_metrics metrics.json trace.jsonl solution.json")
+		os.Exit(2)
+	}
+	var errs []string
+	fail := func(format string, args ...any) {
+		errs = append(errs, fmt.Sprintf(format, args...))
+	}
+
+	var snap snapshot
+	readJSON(os.Args[1], &snap)
+	var sol solution
+	readJSON(os.Args[3], &sol)
+	events := readTrace(os.Args[2])
+
+	// Metrics schema: the counters and timing histogram a single
+	// completed solve must flush.
+	for _, key := range []string{
+		"core.solves", "core.candidates", "core.cost_pruned",
+		"core.evaluations", "core.eval_cache_hits",
+		"avail.memo.hits", "avail.memo.solves",
+	} {
+		if _, ok := snap.Counters[key]; !ok {
+			fail("metrics: counter %q missing", key)
+		}
+	}
+	if n := snap.Counters["core.solves"]; n != 1 {
+		fail("metrics: core.solves = %d, want 1", n)
+	}
+	if h, ok := snap.Histograms["core.solve_ms"]; !ok {
+		fail("metrics: histogram core.solve_ms missing")
+	} else if h.Count != 1 {
+		fail("metrics: core.solve_ms count = %d, want 1", h.Count)
+	}
+
+	// Trace shape: one search lifecycle, no errors.
+	if n := events["search.start"]; n != 1 {
+		fail("trace: %d search.start events, want 1", n)
+	}
+	if n := events["search.end"]; n != 1 {
+		fail("trace: %d search.end events, want 1", n)
+	}
+	if n := events["search.error"]; n != 0 {
+		fail("trace: %d search.error events, want 0", n)
+	}
+
+	// Cross-checks: trace multiplicities, metrics counters and the
+	// solution report all describe the same search.
+	cross := []struct {
+		ev      string
+		counter string
+		stat    int64
+	}{
+		{"cand.gen", "core.candidates", sol.Candidates},
+		{"cand.prune", "core.cost_pruned", sol.CostPruned},
+		{"eval.miss", "core.evaluations", sol.Evaluations},
+		{"eval.hit", "core.eval_cache_hits", sol.CacheHits},
+	}
+	for _, c := range cross {
+		if got := events[c.ev]; got != c.stat {
+			fail("trace: %d %s events but the solution reports %d", got, c.ev, c.stat)
+		}
+		if got := snap.Counters[c.counter]; got != c.stat {
+			fail("metrics: %s = %d but the solution reports %d", c.counter, got, c.stat)
+		}
+	}
+	if sol.Candidates == 0 {
+		fail("solution: zero candidates generated — the search did not run")
+	}
+
+	if len(errs) > 0 {
+		for _, e := range errs {
+			fmt.Fprintln(os.Stderr, "check_metrics:", e)
+		}
+		os.Exit(1)
+	}
+	fmt.Printf("check_metrics: ok (%d candidates, %d evaluations, %d trace events)\n",
+		sol.Candidates, sol.Evaluations, total(events))
+}
+
+func readJSON(path string, v any) {
+	data, err := os.ReadFile(path)
+	if err == nil {
+		err = json.Unmarshal(data, v)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "check_metrics: %s: %v\n", path, err)
+		os.Exit(1)
+	}
+}
+
+// readTrace counts trace events by type, failing on any line that is
+// not a JSON object with an "ev" field.
+func readTrace(path string) map[string]int64 {
+	f, err := os.Open(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "check_metrics: %v\n", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	events := make(map[string]int64)
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		var e struct {
+			Ev string `json:"ev"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil || e.Ev == "" {
+			fmt.Fprintf(os.Stderr, "check_metrics: %s:%d: bad trace line: %v\n", path, line, err)
+			os.Exit(1)
+		}
+		events[e.Ev]++
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "check_metrics: %s: %v\n", path, err)
+		os.Exit(1)
+	}
+	return events
+}
+
+func total(events map[string]int64) int64 {
+	var n int64
+	for _, c := range events {
+		n += c
+	}
+	return n
+}

@@ -1,0 +1,13 @@
+#!/bin/sh
+# Runs one traced search and validates its observability outputs
+# against each other: the -metrics JSON schema, the -trace JSONL event
+# multiplicities and the -json solution report must all describe the
+# same search. Run from the repository root; CI runs this on every
+# push.
+set -eu
+cd "$(dirname "$0")/.."
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+go run ./cmd/aved -paper apptier -load 1000 -downtime 60m -json \
+	-trace "$tmp/trace.jsonl" -metrics "$tmp/metrics.json" >"$tmp/solution.json"
+go run scripts/check_metrics.go "$tmp/metrics.json" "$tmp/trace.jsonl" "$tmp/solution.json"
