@@ -25,6 +25,7 @@
 package aved
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"os"
@@ -79,8 +80,15 @@ type (
 	Options = core.Options
 	// Solution is a search outcome.
 	Solution = core.Solution
+	// Stats summarises the search effort behind one solve.
+	Stats = core.Stats
 	// InfeasibleError reports that no design satisfies the requirements.
 	InfeasibleError = core.InfeasibleError
+	// CanceledError reports a solve aborted by context cancellation or
+	// deadline expiry (Options.Deadline, Solver.SolveContext), carrying
+	// the partial search statistics. It unwraps to context.Canceled or
+	// context.DeadlineExceeded.
+	CanceledError = core.CanceledError
 )
 
 // Performance model types.
@@ -225,6 +233,21 @@ func EvaluateDesign(d *Design, eng Engine) (AvailabilityResult, error) {
 	return eng.Evaluate(tms)
 }
 
+// EvaluateModel evaluates standalone tier models through an engine
+// under a context. Engines with a context-aware entry point (the
+// Monte-Carlo engine, whose batches check ctx) get it; analytic engines
+// evaluate synchronously — they are fast enough that a deadline can
+// only matter to Monte-Carlo budgets.
+func EvaluateModel(ctx context.Context, eng Engine, tms []TierModel) (AvailabilityResult, error) {
+	type ctxEngine interface {
+		EvaluateCtx(ctx context.Context, tms []avail.TierModel) (avail.Result, error)
+	}
+	if ce, ok := eng.(ctxEngine); ok {
+		return ce.EvaluateCtx(ctx, tms)
+	}
+	return eng.Evaluate(tms)
+}
+
 // Minutes builds a Duration from a number of minutes.
 func Minutes(m float64) Duration { return Duration(m * float64(units.Minute)) }
 
@@ -240,19 +263,22 @@ func EnumValue(s string) ParamValue { return model.EnumValue(s) }
 // DurationValue builds a numeric mechanism-parameter value in hours.
 func DurationValue(hours float64) ParamValue { return model.DurationValue(hours) }
 
-// SweepFig6 regenerates the Fig. 6 requirement-plane sweep.
-func SweepFig6(solver *Solver, loads, budgetsMinutes []float64) (*Fig6Result, error) {
-	return sweep.Fig6(solver, loads, budgetsMinutes)
+// SweepFig6 regenerates the Fig. 6 requirement-plane sweep. The context
+// cancels the whole sweep: in-flight solves abort at their next
+// candidate and pending cells never start.
+func SweepFig6(ctx context.Context, solver *Solver, loads, budgetsMinutes []float64) (*Fig6Result, error) {
+	return sweep.Fig6(ctx, solver, loads, budgetsMinutes)
 }
 
-// SweepFig7 regenerates the Fig. 7 job-time sweep.
-func SweepFig7(solver *Solver, requirementHours []float64) ([]Fig7Point, error) {
-	return sweep.Fig7(solver, requirementHours)
+// SweepFig7 regenerates the Fig. 7 job-time sweep under the context.
+func SweepFig7(ctx context.Context, solver *Solver, requirementHours []float64) ([]Fig7Point, error) {
+	return sweep.Fig7(ctx, solver, requirementHours)
 }
 
-// SweepFig8 regenerates the Fig. 8 cost-premium curves.
-func SweepFig8(solver *Solver, loads, budgetsMinutes []float64) ([]Fig8Curve, error) {
-	return sweep.Fig8(solver, loads, budgetsMinutes)
+// SweepFig8 regenerates the Fig. 8 cost-premium curves under the
+// context.
+func SweepFig8(ctx context.Context, solver *Solver, loads, budgetsMinutes []float64) ([]Fig8Curve, error) {
+	return sweep.Fig8(ctx, solver, loads, budgetsMinutes)
 }
 
 // LogGrid builds a logarithmically spaced requirement grid.
@@ -328,9 +354,10 @@ func ScaleMechanismCost(mechanism string) SensitivityKnob {
 }
 
 // SensitivitySweep perturbs clones of the infrastructure with the knob
-// at each factor and re-solves the fixed requirement.
-func SensitivitySweep(base *Infrastructure, cfg SensitivityConfig, knob SensitivityKnob, factors []float64) ([]SensitivityPoint, error) {
-	return sensitivity.Sweep(base, cfg, knob, factors)
+// at each factor and re-solves the fixed requirement. The context
+// cancels the whole sweep.
+func SensitivitySweep(ctx context.Context, base *Infrastructure, cfg SensitivityConfig, knob SensitivityKnob, factors []float64) ([]SensitivityPoint, error) {
+	return sensitivity.Sweep(ctx, base, cfg, knob, factors)
 }
 
 // Availability-model exchange (the representations the paper feeds to

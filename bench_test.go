@@ -17,6 +17,7 @@ package aved_test
 //	BenchmarkOverheadModels   — smooth vs literal-hinge Table 1 overhead (ablation)
 
 import (
+	"context"
 	"testing"
 
 	"aved"
@@ -134,7 +135,7 @@ func BenchmarkFig6Sweep(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		s := benchSolver(b, false)
-		res, err := aved.SweepFig6(s, loads, budgets)
+		res, err := aved.SweepFig6(context.Background(), s, loads, budgets)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -171,7 +172,7 @@ func BenchmarkFig7Sweep(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		s := benchSolver(b, true)
-		points, err := aved.SweepFig7(s, reqs)
+		points, err := aved.SweepFig7(context.Background(), s, reqs)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -187,7 +188,7 @@ func BenchmarkFig8Curve(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		s := benchSolver(b, false)
-		curves, err := aved.SweepFig8(s, []float64{1600}, budgets)
+		curves, err := aved.SweepFig8(context.Background(), s, []float64{1600}, budgets)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -447,7 +448,7 @@ func BenchmarkFig6SweepWorkers(b *testing.B) {
 	run := func(b *testing.B, workers int) {
 		for i := 0; i < b.N; i++ {
 			s := benchSolverWorkers(b, false, workers)
-			res, err := aved.SweepFig6(s, loads, budgets)
+			res, err := aved.SweepFig6(context.Background(), s, loads, budgets)
 			if err != nil {
 				b.Fatal(err)
 			}

@@ -1,0 +1,114 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files with current output")
+
+// The golden tests run the real binary end to end — flag parsing,
+// scenario wiring, search, report rendering — and pin its exact stdout.
+// The search is deterministic (fixed seeds, sequential tie-breaking
+// independent of worker count), so any diff is a behaviour change:
+// rerun with -update after verifying the new output is intended.
+
+var buildOnce struct {
+	sync.Once
+	bin string
+	err error
+}
+
+// buildCLI compiles the command under test once per test run.
+func buildCLI(t *testing.T) string {
+	t.Helper()
+	buildOnce.Do(func() {
+		dir, err := os.MkdirTemp("", "aved-golden-*")
+		if err != nil {
+			buildOnce.err = err
+			return
+		}
+		bin := filepath.Join(dir, "aved")
+		out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput()
+		if err != nil {
+			buildOnce.err = err
+			os.RemoveAll(dir)
+			return
+		}
+		_ = out
+		buildOnce.bin = bin
+	})
+	if buildOnce.err != nil {
+		t.Fatalf("building aved: %v", buildOnce.err)
+	}
+	return buildOnce.bin
+}
+
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", "golden", name)
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run `go test -update` to create): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("output differs from %s (rerun with -update if intended)\n--- got ---\n%s\n--- want ---\n%s", path, got, want)
+	}
+}
+
+func TestGoldenCLI(t *testing.T) {
+	bin := buildCLI(t)
+	cases := []struct {
+		name string
+		args []string
+	}{
+		{"apptier.txt", []string{"-paper", "apptier", "-load", "1000", "-downtime", "100m"}},
+		{"apptier.json", []string{"-paper", "apptier", "-load", "1000", "-downtime", "100m", "-json"}},
+		{"apptier_verbose.txt", []string{"-paper", "apptier", "-load", "1000", "-downtime", "100m", "-verbose"}},
+		{"ecommerce.txt", []string{"-paper", "ecommerce", "-load", "1400", "-downtime", "60m"}},
+		{"scientific.txt", []string{"-paper", "scientific", "-jobtime", "50h", "-bronze"}},
+		{"scientific_describe.txt", []string{"-paper", "scientific", "-describe"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var stdout, stderr bytes.Buffer
+			cmd := exec.Command(bin, tc.args...)
+			cmd.Stdout, cmd.Stderr = &stdout, &stderr
+			if err := cmd.Run(); err != nil {
+				t.Fatalf("aved %v: %v\nstderr: %s", tc.args, err, stderr.Bytes())
+			}
+			checkGolden(t, tc.name, stdout.Bytes())
+		})
+	}
+}
+
+// TestGoldenCLIInfeasible pins the failure path: an impossible budget
+// must exit non-zero with the infeasibility diagnosis on stderr.
+func TestGoldenCLIInfeasible(t *testing.T) {
+	bin := buildCLI(t)
+	var stdout, stderr bytes.Buffer
+	cmd := exec.Command(bin, "-paper", "apptier", "-load", "1e9", "-downtime", "100m")
+	cmd.Stdout, cmd.Stderr = &stdout, &stderr
+	err := cmd.Run()
+	if err == nil {
+		t.Fatalf("impossible load succeeded; stdout: %s", stdout.Bytes())
+	}
+	if ee, ok := err.(*exec.ExitError); !ok || ee.ExitCode() == 0 {
+		t.Fatalf("want non-zero exit, got %v", err)
+	}
+	checkGolden(t, "apptier_infeasible.stderr", stderr.Bytes())
+}

@@ -74,6 +74,7 @@ func run(args []string, out io.Writer) (retErr error) {
 		warmSpares  = fs.Bool("warmspares", false, "explore per-component spare operational modes (warmth levels)")
 		describe    = fs.Bool("describe", false, "print a model inventory and design-space size estimate, then exit")
 		workers     = fs.Int("workers", 0, "search worker count: 0 = all CPUs, 1 = sequential (results are identical)")
+		timeout     = fs.Duration("timeout", 0, "abort the search after this long, e.g. 30s (0 = no limit)")
 		engineName  = fs.String("engine", "markov", "availability engine in the search loop: markov, exact or sim")
 		seed        = fs.Int64("seed", 1, "simulation seed (-engine sim)")
 		years       = fs.Float64("years", 1000, "simulated years per replication (-engine sim)")
@@ -99,7 +100,7 @@ func run(args []string, out io.Writer) (retErr error) {
 	if err != nil {
 		return err
 	}
-	opts := aved.Options{Registry: reg, ExploreSpareWarmth: *warmSpares, Workers: *workers, Engine: engine}
+	opts := aved.Options{Registry: reg, ExploreSpareWarmth: *warmSpares, Workers: *workers, Engine: engine, Deadline: *timeout}
 	if *bronze {
 		opts.FixedMechanisms = aved.Bronze()
 	}
@@ -127,6 +128,11 @@ func run(args []string, out io.Writer) (retErr error) {
 		var infErr *aved.InfeasibleError
 		if errors.As(err, &infErr) {
 			return fmt.Errorf("infeasible: %v", err)
+		}
+		var canErr *aved.CanceledError
+		if errors.As(err, &canErr) {
+			return fmt.Errorf("%w (after %d candidates, %d evaluations)",
+				err, canErr.Stats.CandidatesGenerated, canErr.Stats.Evaluations)
 		}
 		return err
 	}

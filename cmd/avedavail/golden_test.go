@@ -1,0 +1,114 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files with current output")
+
+// End-to-end golden tests over a checked-in availability model
+// (testdata/apptier.model, produced by `aved -paper apptier -load 1000
+// -downtime 100m -export`). The simulation engine is included because
+// its results are a pure function of the seed, bit-identical at any
+// worker count, so its rendered output is as stable as the analytic
+// engines'.
+
+var buildOnce struct {
+	sync.Once
+	bin string
+	err error
+}
+
+func buildCLI(t *testing.T) string {
+	t.Helper()
+	buildOnce.Do(func() {
+		dir, err := os.MkdirTemp("", "avedavail-golden-*")
+		if err != nil {
+			buildOnce.err = err
+			return
+		}
+		bin := filepath.Join(dir, "avedavail")
+		if out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput(); err != nil {
+			buildOnce.err = err
+			_ = out
+			os.RemoveAll(dir)
+			return
+		}
+		buildOnce.bin = bin
+	})
+	if buildOnce.err != nil {
+		t.Fatalf("building avedavail: %v", buildOnce.err)
+	}
+	return buildOnce.bin
+}
+
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", "golden", name)
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run `go test -update` to create): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("output differs from %s (rerun with -update if intended)\n--- got ---\n%s\n--- want ---\n%s", path, got, want)
+	}
+}
+
+func TestGoldenAvail(t *testing.T) {
+	bin := buildCLI(t)
+	model := filepath.Join("testdata", "apptier.model")
+	cases := []struct {
+		name string
+		args []string
+	}{
+		{"apptier_markov.txt", []string{"-model", model}},
+		{"apptier_exact.txt", []string{"-model", model, "-engine", "exact"}},
+		{"apptier_sim.txt", []string{"-model", model, "-engine", "sim", "-seed", "7", "-years", "200", "-reps", "8"}},
+		{"apptier_all.txt", []string{"-model", model, "-engine", "all", "-seed", "7", "-years", "200", "-reps", "8"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var stdout, stderr bytes.Buffer
+			cmd := exec.Command(bin, tc.args...)
+			cmd.Stdout, cmd.Stderr = &stdout, &stderr
+			if err := cmd.Run(); err != nil {
+				t.Fatalf("avedavail %v: %v\nstderr: %s", tc.args, err, stderr.Bytes())
+			}
+			checkGolden(t, tc.name, stdout.Bytes())
+		})
+	}
+}
+
+// TestGoldenAvailBadModel pins the error path for a file that is not an
+// availability model.
+func TestGoldenAvailBadModel(t *testing.T) {
+	bin := buildCLI(t)
+	var stderr bytes.Buffer
+	cmd := exec.Command(bin, "-model", filepath.Join("testdata", "golden", "apptier_markov.txt"))
+	cmd.Stderr = &stderr
+	err := cmd.Run()
+	if err == nil {
+		t.Fatal("parsing a report as a model succeeded")
+	}
+	if ee, ok := err.(*exec.ExitError); !ok || ee.ExitCode() == 0 {
+		t.Fatalf("want non-zero exit, got %v", err)
+	}
+	if stderr.Len() == 0 {
+		t.Error("no diagnostic on stderr")
+	}
+}

@@ -14,6 +14,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -42,6 +43,7 @@ func run(args []string, out io.Writer) (retErr error) {
 		relErr    = fs.Float64("relerr", 0, "adaptive precision: stop replicating once the 95% CI half-width is under this fraction of the mean (0 = always run the full -reps budget)")
 		simBatch  = fs.Int("simbatch", 0, "adaptive replication batch size (0 = engine default)")
 		mission   = fs.Float64("mission", 0, "also report finite-horizon downtime for a mission of this many years")
+		timeout   = fs.Duration("timeout", 0, "abort the evaluation after this long, e.g. 30s (0 = no limit)")
 
 		tracePath   = fs.String("trace", "", "write a JSONL engine trace to this file")
 		metricsPath = fs.String("metrics", "", "write a metrics JSON snapshot to this file on exit")
@@ -81,11 +83,17 @@ func run(args []string, out io.Writer) (retErr error) {
 		return err
 	}
 
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 	runEngine := func(name string, eng aved.Engine) error {
 		// No solver sits in front of the engine here, so attach the
 		// observability outputs to the engine directly.
 		aved.InstrumentEngine(eng, setup.Metrics, setup.Tracer)
-		res, err := eng.Evaluate(tms)
+		res, err := aved.EvaluateModel(ctx, eng, tms)
 		if err != nil {
 			return err
 		}

@@ -22,6 +22,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -292,7 +293,7 @@ func fig6Bench(workers int) func(b *testing.B) {
 			if err != nil {
 				b.Fatal(err)
 			}
-			res, err := aved.SweepFig6(s, fig6Loads, fig6Budgets)
+			res, err := aved.SweepFig6(context.Background(), s, fig6Loads, fig6Budgets)
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -315,7 +316,7 @@ func fig6Counters() (*evalCounters, error) {
 	if err != nil {
 		return nil, err
 	}
-	res, err := aved.SweepFig6(s, fig6Loads, fig6Budgets)
+	res, err := aved.SweepFig6(context.Background(), s, fig6Loads, fig6Budgets)
 	if err != nil {
 		return nil, err
 	}

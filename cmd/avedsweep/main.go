@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -45,6 +46,7 @@ func run(args []string, out io.Writer) (retErr error) {
 		relErr      = fs.Float64("relerr", 0, "adaptive precision: stop replicating once the 95% CI half-width is under this fraction of the mean (0 = full -reps budget)")
 		batch       = fs.Int("simbatch", 0, "adaptive replication batch size (0 = engine default)")
 		progress    = fs.Bool("progress", false, "report per-point sweep progress on stderr")
+		timeout     = fs.Duration("timeout", 0, "abort the whole sweep after this long, e.g. 30s (0 = no limit)")
 		tracePath   = fs.String("trace", "", "write a JSONL search trace to this file")
 		metricsPath = fs.String("metrics", "", "write a metrics JSON snapshot to this file on exit")
 		debugAddr   = fs.String("debug-addr", "", "serve pprof, expvar and /metrics on this address, e.g. :6060")
@@ -68,13 +70,19 @@ func run(args []string, out io.Writer) (retErr error) {
 	if *progress {
 		setup.Tracer = aved.TeeTracers(setup.Tracer, progressTracer(errw))
 	}
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 	switch *fig {
 	case 6:
-		return fig6(out, *loads, *budgets, *workers, eng, setup)
+		return fig6(ctx, out, *loads, *budgets, *workers, eng, setup)
 	case 7:
-		return fig7(out, *points, *workers, eng, setup)
+		return fig7(ctx, out, *points, *workers, eng, setup)
 	case 8:
-		return fig8(out, *budgets, *workers, eng, setup)
+		return fig8(ctx, out, *budgets, *workers, eng, setup)
 	default:
 		return fmt.Errorf("-fig must be 6, 7 or 8 (got %d)", *fig)
 	}
@@ -123,7 +131,7 @@ func appTierSolver(workers int, engine aved.Engine, setup *aved.ObsSetup) (*aved
 
 // fig6 prints the optimal design family at every grid point of the
 // (load, downtime budget) requirement plane, then each family curve.
-func fig6(out io.Writer, loadPoints, budgetPoints, workers int, engine aved.Engine, setup *aved.ObsSetup) error {
+func fig6(ctx context.Context, out io.Writer, loadPoints, budgetPoints, workers int, engine aved.Engine, setup *aved.ObsSetup) error {
 	solver, err := appTierSolver(workers, engine, setup)
 	if err != nil {
 		return err
@@ -136,7 +144,7 @@ func fig6(out io.Writer, loadPoints, budgetPoints, workers int, engine aved.Engi
 	if err != nil {
 		return err
 	}
-	res, err := aved.SweepFig6(solver, loadGrid, budgetGrid)
+	res, err := aved.SweepFig6(ctx, solver, loadGrid, budgetGrid)
 	if err != nil {
 		return err
 	}
@@ -160,7 +168,7 @@ func fig6(out io.Writer, loadPoints, budgetPoints, workers int, engine aved.Engi
 
 // fig7 prints the optimal scientific design as a function of the
 // job-completion-time requirement.
-func fig7(out io.Writer, points, workers int, engine aved.Engine, setup *aved.ObsSetup) error {
+func fig7(ctx context.Context, out io.Writer, points, workers int, engine aved.Engine, setup *aved.ObsSetup) error {
 	inf, err := aved.PaperInfrastructure()
 	if err != nil {
 		return err
@@ -182,7 +190,7 @@ func fig7(out io.Writer, points, workers int, engine aved.Engine, setup *aved.Ob
 	if err != nil {
 		return err
 	}
-	rows, err := aved.SweepFig7(solver, grid)
+	rows, err := aved.SweepFig7(ctx, solver, grid)
 	if err != nil {
 		return err
 	}
@@ -201,7 +209,7 @@ func fig7(out io.Writer, points, workers int, engine aved.Engine, setup *aved.Ob
 }
 
 // fig8 prints the cost premium curves for the paper's four loads.
-func fig8(out io.Writer, budgetPoints, workers int, engine aved.Engine, setup *aved.ObsSetup) error {
+func fig8(ctx context.Context, out io.Writer, budgetPoints, workers int, engine aved.Engine, setup *aved.ObsSetup) error {
 	solver, err := appTierSolver(workers, engine, setup)
 	if err != nil {
 		return err
@@ -211,7 +219,7 @@ func fig8(out io.Writer, budgetPoints, workers int, engine aved.Engine, setup *a
 		return err
 	}
 	loads := []float64{400, 800, 1600, 3200}
-	curves, err := aved.SweepFig8(solver, loads, budgetGrid)
+	curves, err := aved.SweepFig8(ctx, solver, loads, budgetGrid)
 	if err != nil {
 		return err
 	}

@@ -17,6 +17,7 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
@@ -51,6 +52,7 @@ func run(args []string, out io.Writer) (retErr error) {
 		reps     = fs.Int("reps", 32, "simulation replication budget (-engine sim)")
 		relErr   = fs.Float64("relerr", 0, "adaptive precision: stop replicating once the 95% CI half-width is under this fraction of the mean (0 = full -reps budget)")
 		batch    = fs.Int("simbatch", 0, "adaptive replication batch size (0 = engine default)")
+		timeout  = fs.Duration("timeout", 0, "abort the whole sweep after this long, e.g. 30s (0 = no limit)")
 
 		tracePath   = fs.String("trace", "", "write a JSONL search trace to this file")
 		metricsPath = fs.String("metrics", "", "write a metrics JSON snapshot to this file on exit")
@@ -119,7 +121,13 @@ func run(args []string, out io.Writer) (retErr error) {
 	}()
 	cfg.SolverOptions = setup.Apply(cfg.SolverOptions)
 
-	points, err := aved.SensitivitySweep(inf, cfg, knob, facs)
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	points, err := aved.SensitivitySweep(ctx, inf, cfg, knob, facs)
 	if err != nil {
 		return err
 	}

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -41,7 +42,7 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	points, err := aved.SweepFig7(solver, grid)
+	points, err := aved.SweepFig7(context.Background(), solver, grid)
 	if err != nil {
 		return err
 	}

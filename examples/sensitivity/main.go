@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -63,7 +64,7 @@ tier=application
 }
 
 func table(inf *aved.Infrastructure, cfg aved.SensitivityConfig, knob aved.SensitivityKnob, factors []float64) error {
-	points, err := aved.SensitivitySweep(inf, cfg, knob, factors)
+	points, err := aved.SensitivitySweep(context.Background(), inf, cfg, knob, factors)
 	if err != nil {
 		return err
 	}

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -37,7 +38,7 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	curves, err := aved.SweepFig8(solver, []float64{400, 800, 1600, 3200}, budgets)
+	curves, err := aved.SweepFig8(context.Background(), solver, []float64{400, 800, 1600, 3200}, budgets)
 	if err != nil {
 		return err
 	}

@@ -2,6 +2,7 @@ package aved_test
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 
@@ -91,7 +92,7 @@ func TestFacadeSurface(t *testing.T) {
 	})
 
 	t.Run("sensitivity", func(t *testing.T) {
-		points, err := aved.SensitivitySweep(inf, aved.SensitivityConfig{
+		points, err := aved.SensitivitySweep(context.Background(), inf, aved.SensitivityConfig{
 			ServiceSpec: strings.ReplaceAll(aved.PaperEcommerceSpec, "application=ecommerce", "application=sens"),
 			Registry:    aved.PaperRegistry(),
 			Requirement: aved.Requirements{
@@ -107,7 +108,7 @@ func TestFacadeSurface(t *testing.T) {
 			t.Errorf("dearer machines must raise cost: %+v", points)
 		}
 		// The remaining knob constructors.
-		if _, err := aved.SensitivitySweep(inf, aved.SensitivityConfig{
+		if _, err := aved.SensitivitySweep(context.Background(), inf, aved.SensitivityConfig{
 			ServiceSpec: aved.PaperScientificSpec,
 			Registry:    aved.PaperRegistry(),
 			SolverOptions: aved.Options{
@@ -117,7 +118,7 @@ func TestFacadeSurface(t *testing.T) {
 		}, aved.ScaleMTBF("machineA"), []float64{1}); err != nil {
 			t.Errorf("job-requirement sensitivity: %v", err)
 		}
-		if _, err := aved.SensitivitySweep(inf, aved.SensitivityConfig{
+		if _, err := aved.SensitivitySweep(context.Background(), inf, aved.SensitivityConfig{
 			ServiceSpec: strings.ReplaceAll(aved.PaperEcommerceSpec, "application=ecommerce", "application=sens2"),
 			Registry:    aved.PaperRegistry(),
 			Requirement: aved.Requirements{

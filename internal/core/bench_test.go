@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"aved/internal/model"
@@ -88,7 +89,7 @@ func BenchmarkEvalTier(b *testing.B) {
 	designs := benchEvalDesigns(b, s)
 	var stats searchStats
 	for i := range designs {
-		if _, err := s.evalTier(&designs[i], fingerprintOf(&designs[i]), &stats); err != nil {
+		if _, err := s.evalTier(context.Background(), &designs[i], fingerprintOf(&designs[i]), &stats); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -97,7 +98,7 @@ func BenchmarkEvalTier(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			td := &designs[i%len(designs)]
-			if _, err := s.evalTier(td, fingerprintOf(td), &stats); err != nil {
+			if _, err := s.evalTier(context.Background(), td, fingerprintOf(td), &stats); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -108,7 +109,7 @@ func BenchmarkEvalTier(b *testing.B) {
 	b.Run("string-key-baseline", func(b *testing.B) {
 		warmed := make(map[string]evalEntry, len(designs))
 		for i := range designs {
-			ev, err := s.evalTier(&designs[i], fingerprintOf(&designs[i]), &stats)
+			ev, err := s.evalTier(context.Background(), &designs[i], fingerprintOf(&designs[i]), &stats)
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -144,7 +145,7 @@ func BenchmarkTierFrontier(b *testing.B) {
 				b.Fatal(err)
 			}
 			var stats searchStats
-			f, err := s.tierFrontier(&s.svc.Tiers[0], 1000, &stats)
+			f, err := s.tierFrontier(context.Background(), &s.svc.Tiers[0], 1000, &stats)
 			if err != nil {
 				b.Fatal(err)
 			}

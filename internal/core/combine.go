@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"time"
@@ -18,7 +19,7 @@ import (
 // independent searches in both phases, so each phase fans them across
 // the worker pool; per-tier results land by index, keeping the outcome
 // identical to the sequential order.
-func (s *Solver) solveEnterprise(req model.Requirements) (*Solution, error) {
+func (s *Solver) solveEnterprise(ctx context.Context, req model.Requirements) (*Solution, error) {
 	budget := req.MaxAnnualDowntime.Minutes()
 	var stats searchStats
 	tr := s.opts.Tracer
@@ -28,12 +29,12 @@ func (s *Solver) solveEnterprise(req model.Requirements) (*Solution, error) {
 	// meets the budget it is the overall optimum.
 	endPhase := s.emitPhase("tier-search")
 	perTier := make([]*TierCandidate, len(s.svc.Tiers))
-	err := par.ForEach(s.opts.Workers, len(s.svc.Tiers), func(i int) error {
+	err := par.ForEachCtx(ctx, s.opts.Workers, len(s.svc.Tiers), func(i int) error {
 		start := time.Time{}
 		if tr != nil {
 			start = time.Now()
 		}
-		cand, err := s.searchTier(&s.svc.Tiers[i], req.Throughput, budget, &stats)
+		cand, err := s.searchTier(ctx, &s.svc.Tiers[i], req.Throughput, budget, &stats)
 		if err != nil {
 			return err
 		}
@@ -47,7 +48,7 @@ func (s *Solver) solveEnterprise(req model.Requirements) (*Solution, error) {
 	})
 	endPhase()
 	if err != nil {
-		return nil, err
+		return nil, wrapCanceled(err, &stats)
 	}
 	for i := range perTier {
 		if perTier[i] == nil {
@@ -57,7 +58,7 @@ func (s *Solver) solveEnterprise(req model.Requirements) (*Solution, error) {
 		}
 	}
 	if combinedDowntime(perTier) <= budget || len(perTier) == 1 {
-		return s.finishEnterprise(perTier, &stats)
+		return s.finishEnterprise(ctx, perTier, &stats)
 	}
 
 	// Phase 2: the combination misses the budget; refine tiers with
@@ -66,8 +67,8 @@ func (s *Solver) solveEnterprise(req model.Requirements) (*Solution, error) {
 	// minimum-cost point set whose series composition meets the budget.
 	endPhase = s.emitPhase("frontier")
 	frontiers := make([][]TierCandidate, len(s.svc.Tiers))
-	err = par.ForEach(s.opts.Workers, len(s.svc.Tiers), func(i int) error {
-		f, err := s.tierFrontier(&s.svc.Tiers[i], req.Throughput, &stats)
+	err = par.ForEachCtx(ctx, s.opts.Workers, len(s.svc.Tiers), func(i int) error {
+		f, err := s.tierFrontier(ctx, &s.svc.Tiers[i], req.Throughput, &stats)
 		if err != nil {
 			return err
 		}
@@ -76,7 +77,7 @@ func (s *Solver) solveEnterprise(req model.Requirements) (*Solution, error) {
 	})
 	endPhase()
 	if err != nil {
-		return nil, err
+		return nil, wrapCanceled(err, &stats)
 	}
 	for i := range frontiers {
 		if len(frontiers[i]) == 0 {
@@ -99,11 +100,11 @@ func (s *Solver) solveEnterprise(req model.Requirements) (*Solution, error) {
 		return nil, &InfeasibleError{Reason: fmt.Sprintf(
 			"no tier combination meets %v annual downtime at load %v", req.MaxAnnualDowntime, req.Throughput)}
 	}
-	return s.finishEnterprise(chosen, &stats)
+	return s.finishEnterprise(ctx, chosen, &stats)
 }
 
 // finishEnterprise assembles the Solution from chosen tier candidates.
-func (s *Solver) finishEnterprise(chosen []*TierCandidate, stats *searchStats) (*Solution, error) {
+func (s *Solver) finishEnterprise(ctx context.Context, chosen []*TierCandidate, stats *searchStats) (*Solution, error) {
 	design := model.Design{Tiers: make([]model.TierDesign, len(chosen))}
 	var total units.Money
 	for i, c := range chosen {
@@ -119,9 +120,9 @@ func (s *Solver) finishEnterprise(chosen []*TierCandidate, stats *searchStats) (
 	if err != nil {
 		return nil, err
 	}
-	res, err := s.opts.Engine.Evaluate(tms)
+	res, err := s.engineEvaluate(ctx, tms)
 	if err != nil {
-		return nil, err
+		return nil, wrapCanceled(err, stats)
 	}
 	stats.evals.Add(1)
 	if tr := s.opts.Tracer; tr != nil {

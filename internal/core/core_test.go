@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"testing"
 
@@ -194,7 +195,7 @@ func TestRequirementPlaneCoverage(t *testing.T) {
 				Values:    map[string]model.ParamValue{"level": model.EnumValue("bronze")},
 			}},
 		}
-		entry, err := s.evalTier(&td, fingerprintOf(&td), &stats)
+		entry, err := s.evalTier(context.Background(), &td, fingerprintOf(&td), &stats)
 		if err != nil {
 			t.Fatal(err)
 		}

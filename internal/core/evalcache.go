@@ -18,7 +18,9 @@ const evalShards = 64
 // same key share one engine evaluation: the first requester computes,
 // the rest block on the flight's once and read the settled result.
 // Errors settle the flight too — engine errors here are deterministic
-// model errors, so retrying could not succeed.
+// model errors, so retrying could not succeed. The one exception is
+// context cancellation, which says nothing about the model: evalTier
+// forgets such flights so later solves re-evaluate (see forget).
 type evalCache struct {
 	shards [evalShards]evalShard
 }
@@ -55,6 +57,19 @@ func (c *evalCache) flight(key fp128) *evalFlight {
 	}
 	sh.mu.Unlock()
 	return f
+}
+
+// forget removes a settled flight so the next request re-runs the
+// evaluation. The identity check makes it idempotent when every waiter
+// on a cancelled flight calls it, and a no-op when a fresh flight has
+// already replaced f under the key.
+func (c *evalCache) forget(key fp128, f *evalFlight) {
+	sh := &c.shards[key.lo%evalShards]
+	sh.mu.Lock()
+	if sh.m[key] == f {
+		delete(sh.m, key)
+	}
+	sh.mu.Unlock()
 }
 
 // modeCacheShards is the shard count of the effective-mode cache. Mode

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -26,7 +27,7 @@ type JobCandidate struct {
 // design dimensions are resource type, resource count, spares, spare
 // mode, and mechanism parameters (notably checkpoint interval and
 // storage location).
-func (s *Solver) solveJob(req model.Requirements) (*Solution, error) {
+func (s *Solver) solveJob(ctx context.Context, req model.Requirements) (*Solution, error) {
 	if len(s.svc.Tiers) != 1 {
 		return nil, fmt.Errorf("core: job solving supports single-tier services, %q has %d tiers",
 			s.svc.Name, len(s.svc.Tiers))
@@ -38,9 +39,9 @@ func (s *Solver) solveJob(req model.Requirements) (*Solution, error) {
 	)
 	endPhase := s.emitPhase("job-search")
 	for i := range tier.Options {
-		cand, err := s.searchJobOption(tier, &tier.Options[i], req.MaxJobTime, best, &stats)
+		cand, err := s.searchJobOption(ctx, tier, &tier.Options[i], req.MaxJobTime, best, &stats)
 		if err != nil {
-			return nil, err
+			return nil, wrapCanceled(err, &stats)
 		}
 		if cand != nil {
 			best = cand
@@ -159,7 +160,7 @@ func (s *Solver) prepareJobCombos(tier *model.Tier, opt *model.ResourceOption) (
 	return out, groupFPs, nil
 }
 
-func (s *Solver) searchJobOption(tier *model.Tier, opt *model.ResourceOption, maxTime units.Duration,
+func (s *Solver) searchJobOption(ctx context.Context, tier *model.Tier, opt *model.ResourceOption, maxTime units.Duration,
 	incumbent *JobCandidate, stats *searchStats) (*JobCandidate, error) {
 
 	curve, err := s.curveFor(opt)
@@ -194,6 +195,7 @@ func (s *Solver) searchJobOption(tier *model.Tier, opt *model.ResourceOption, ma
 
 	tr := s.opts.Tracer
 	resName := rt.Name
+	done := ctx.Done()
 	best := incumbent
 	prevBestTime := math.Inf(1)
 	degrading := 0
@@ -226,6 +228,16 @@ func (s *Solver) searchJobOption(tier *model.Tier, opt *model.ResourceOption, ma
 				perfAtN := curve.Throughput(n)
 				for ci := range combos {
 					jc := &combos[ci]
+					// One ctx check per candidate, same captured-Done
+					// pattern as searchOption: free when the context
+					// cannot be cancelled.
+					if done != nil {
+						select {
+						case <-done:
+							return nil, ctx.Err()
+						default:
+						}
+					}
 					c := units.Money(float64(n)*float64(activeCost) +
 						float64(spares)*float64(spareCostByWarm[warm]) +
 						float64(n+spares)*float64(jc.mechCostPerInstance))
@@ -255,7 +267,7 @@ func (s *Solver) searchJobOption(tier *model.Tier, opt *model.ResourceOption, ma
 						// prepareJobCombos; only the counts vary here.
 						mfp := modeFPOf(base, groupFPs[jc.availGroup], warm, spares > 0)
 						fps := candFP{avail: availFPOf(mfp, td.NActive, td.MinActive, td.NSpare), mode: mfp}
-						entry, err := s.evalTier(&td, fps, stats)
+						entry, err := s.evalTier(ctx, &td, fps, stats)
 						if err != nil {
 							return nil, err
 						}

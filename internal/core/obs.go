@@ -47,13 +47,13 @@ type repStatser interface {
 // beginSolve to endSolve: the wall-clock start and the engine-counter
 // bases the deltas subtract.
 type solveObs struct {
-	start     time.Time
-	kind      string
-	req       model.Requirements
-	memoBase  [2]uint64
-	repBase   [2]uint64
-	hasMemo   bool
-	hasReps   bool
+	start    time.Time
+	kind     string
+	req      model.Requirements
+	memoBase [2]uint64
+	repBase  [2]uint64
+	hasMemo  bool
+	hasReps  bool
 }
 
 func reqKindString(k model.RequirementKind) string {
@@ -104,6 +104,10 @@ func (s *Solver) endSolve(so solveObs, sol *Solution, err error) (*Solution, err
 			var inf *InfeasibleError
 			if errors.As(err, &inf) {
 				reg.Counter("core.infeasible").Inc()
+			}
+			var ce *CanceledError
+			if errors.As(err, &ce) {
+				reg.Counter("core.solve_canceled").Inc()
 			}
 		}
 		if tr := s.opts.Tracer; tr != nil {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"sort"
@@ -227,13 +228,13 @@ func TestObsDisabledZeroAlloc(t *testing.T) {
 	designs := benchEvalDesigns(t, s)
 	var stats searchStats
 	for i := range designs {
-		if _, err := s.evalTier(&designs[i], fingerprintOf(&designs[i]), &stats); err != nil {
+		if _, err := s.evalTier(context.Background(), &designs[i], fingerprintOf(&designs[i]), &stats); err != nil {
 			t.Fatal(err)
 		}
 	}
 	allocs := testing.AllocsPerRun(200, func() {
 		td := &designs[0]
-		if _, err := s.evalTier(td, fingerprintOf(td), &stats); err != nil {
+		if _, err := s.evalTier(context.Background(), td, fingerprintOf(td), &stats); err != nil {
 			t.Fatal(err)
 		}
 	})

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"reflect"
 	"sync"
 	"sync/atomic"
@@ -69,7 +70,7 @@ func TestEvalCacheConcurrentDedup(t *testing.T) {
 		go func() {
 			defer wg.Done()
 			for i := range designs {
-				if _, err := s.evalTier(&designs[i], fingerprintOf(&designs[i]), &stats); err != nil {
+				if _, err := s.evalTier(context.Background(), &designs[i], fingerprintOf(&designs[i]), &stats); err != nil {
 					t.Error(err)
 					return
 				}

@@ -9,7 +9,9 @@
 package core
 
 import (
+	"context"
 	"fmt"
+	"time"
 
 	"aved/internal/avail"
 	"aved/internal/model"
@@ -75,6 +77,13 @@ type Options struct {
 	// /metrics JSON snapshot of Metrics. A registry is created on demand
 	// when Metrics is nil.
 	DebugAddr string
+	// Deadline, when positive, bounds each Solve's wall-clock time: the
+	// solve context gets a deadline this far in the future, and the
+	// search aborts with a CanceledError (unwrapping to
+	// context.DeadlineExceeded) carrying the partial Stats once it
+	// expires. It composes with SolveContext: whichever deadline is
+	// sooner wins.
+	Deadline time.Duration
 }
 
 // precisionTunable is implemented by availability engines whose
@@ -162,6 +171,10 @@ type Solver struct {
 
 	evalCache *evalCache // availability evaluations by design fingerprint
 	modeCache *modeCache // resolved effective modes by mode fingerprint
+
+	// ctxEng is the engine's context-aware entry point, resolved once at
+	// construction (nil when the engine has none).
+	ctxEng ctxEvaluator
 }
 
 // NewSolver validates the inputs and builds a solver.
@@ -213,6 +226,9 @@ func NewSolver(inf *model.Infrastructure, svc *model.Service, opts Options) (*So
 			return nil, err
 		}
 	}
+	if ce, ok := s.opts.Engine.(ctxEvaluator); ok {
+		s.ctxEng = ce
+	}
 	return s, nil
 }
 
@@ -231,10 +247,27 @@ func (s *Solver) Metrics() *obs.Registry { return s.opts.Metrics }
 // Solve searches for the minimum-cost design meeting the requirements.
 // Enterprise requirements need a throughput and downtime bound; job
 // requirements need a completion-time bound and a service with a job
-// size. It reports ErrInfeasible when no design can satisfy them.
+// size. It reports ErrInfeasible when no design can satisfy them. An
+// Options.Deadline still applies; use SolveContext for caller-driven
+// cancellation.
 func (s *Solver) Solve(req model.Requirements) (*Solution, error) {
+	return s.SolveContext(context.Background(), req)
+}
+
+// SolveContext is Solve under a caller context: the search checks ctx
+// once per candidate (and the Monte-Carlo engine once per replication
+// batch), so cancellation or deadline expiry aborts promptly with a
+// CanceledError carrying the partial Stats and unwrapping to ctx's
+// error. With Options.Deadline set, the sooner of that deadline and
+// ctx's own bounds the solve.
+func (s *Solver) SolveContext(ctx context.Context, req model.Requirements) (*Solution, error) {
 	if err := req.Validate(); err != nil {
 		return nil, err
+	}
+	if s.opts.Deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.opts.Deadline)
+		defer cancel()
 	}
 	so := s.beginSolve(req)
 	var (
@@ -243,12 +276,12 @@ func (s *Solver) Solve(req model.Requirements) (*Solution, error) {
 	)
 	switch req.Kind {
 	case model.ReqEnterprise:
-		sol, err = s.solveEnterprise(req)
+		sol, err = s.solveEnterprise(ctx, req)
 	case model.ReqJob:
 		if !s.svc.HasJobSize {
 			err = fmt.Errorf("core: job requirement needs a service with a jobsize, %q has none", s.svc.Name)
 		} else {
-			sol, err = s.solveJob(req)
+			sol, err = s.solveJob(ctx, req)
 		}
 	default:
 		err = fmt.Errorf("core: unknown requirement kind %d", int(req.Kind))

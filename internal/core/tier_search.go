@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"sort"
 
@@ -38,16 +39,24 @@ type evalEntry struct {
 // how many goroutines race on the same key. Callers on the search hot
 // paths assemble fps from per-option precomputed parts, so a cache hit
 // does no allocation and no string work at all.
-func (s *Solver) evalTier(td *model.TierDesign, fps candFP, stats *searchStats) (evalEntry, error) {
+//
+// Context errors never stick: a flight settled by cancellation is
+// forgotten immediately, so the next request for the fingerprint — from
+// a later solve on this solver, or a retried server request — re-runs
+// the evaluation instead of replaying the abort.
+func (s *Solver) evalTier(ctx context.Context, td *model.TierDesign, fps candFP, stats *searchStats) (evalEntry, error) {
 	f := s.evalCache.flight(fps.avail)
 	ran := false
 	f.once.Do(func() {
 		ran = true
-		f.entry, f.err = s.evalTierMiss(td, fps.mode)
+		f.entry, f.err = s.evalTierMiss(ctx, td, fps.mode)
 		if f.err == nil {
 			stats.evals.Add(1)
 		}
 	})
+	if f.err != nil && isCtxErr(f.err) {
+		s.evalCache.forget(fps.avail, f)
+	}
 	if !ran && f.err == nil {
 		stats.cacheHits.Add(1)
 	}
@@ -76,7 +85,7 @@ func (s *Solver) evalTier(td *model.TierDesign, fps candFP, stats *searchStats) 
 // effective modes are themselves cached by mode fingerprint: every
 // (active, spare) split of one (option, combo, warmth) shares a single
 // EffectiveModes resolution.
-func (s *Solver) evalTierMiss(td *model.TierDesign, modeFP fp128) (evalEntry, error) {
+func (s *Solver) evalTierMiss(ctx context.Context, td *model.TierDesign, modeFP fp128) (evalEntry, error) {
 	modes, ok := s.modeCache.get(modeFP)
 	if !ok {
 		built, err := avail.BuildTierModes(td)
@@ -92,7 +101,7 @@ func (s *Solver) evalTierMiss(td *model.TierDesign, modeFP fp128) (evalEntry, er
 		S:     td.NSpare,
 		Modes: modes,
 	}
-	res, err := s.opts.Engine.Evaluate([]avail.TierModel{tm})
+	res, err := s.engineEvaluate(ctx, []avail.TierModel{tm})
 	if err != nil {
 		return evalEntry{}, err
 	}
@@ -242,7 +251,12 @@ func (o *optionSearch) candidates(total int, yield func(td model.TierDesign, fps
 // searchOption finds the option's minimum-cost design meeting the
 // downtime budget, seeding the incumbent from searches of other
 // options so pruning carries across resource types.
-func (s *Solver) searchOption(tier *model.Tier, opt *model.ResourceOption, throughput, budgetMinutes float64,
+//
+// Cancellation: the candidate yield checks ctx once per candidate via a
+// captured Done channel — a non-blocking select against a nil channel
+// when the context cannot be cancelled, so the un-cancelled hot path
+// stays allocation-free and branch-cheap.
+func (s *Solver) searchOption(ctx context.Context, tier *model.Tier, opt *model.ResourceOption, throughput, budgetMinutes float64,
 	incumbent *TierCandidate, stats *searchStats) (*TierCandidate, error) {
 
 	o, ok, err := s.newOptionSearch(tier, opt, throughput)
@@ -251,6 +265,7 @@ func (s *Solver) searchOption(tier *model.Tier, opt *model.ResourceOption, throu
 	}
 	tr := s.opts.Tracer
 	res := opt.ResourceType().Name
+	done := ctx.Done()
 	best := incumbent
 	prevBestDowntime := math.Inf(1)
 	for extra := 0; extra <= s.opts.MaxRedundancy; extra++ {
@@ -261,6 +276,13 @@ func (s *Solver) searchOption(tier *model.Tier, opt *model.ResourceOption, throu
 		minCostAtTotal := math.Inf(1)
 		bestDowntimeAtTotal := math.Inf(1)
 		err := o.candidates(total, func(td model.TierDesign, fps candFP, c units.Money) error {
+			if done != nil {
+				select {
+				case <-done:
+					return ctx.Err()
+				default:
+				}
+			}
 			stats.candidates.Add(1)
 			if tr != nil {
 				tr.Emit(obs.Event{Ev: obs.EvCandGen, Tier: tier.Name, Res: res,
@@ -284,7 +306,7 @@ func (s *Solver) searchOption(tier *model.Tier, opt *model.ResourceOption, throu
 				}
 				return nil
 			}
-			entry, err := s.evalTier(&td, fps, stats)
+			entry, err := s.evalTier(ctx, &td, fps, stats)
 			if err != nil {
 				return err
 			}
@@ -325,10 +347,10 @@ func (s *Solver) searchOption(tier *model.Tier, opt *model.ResourceOption, throu
 }
 
 // searchTier finds the minimum-cost design for one tier in isolation.
-func (s *Solver) searchTier(tier *model.Tier, throughput, budgetMinutes float64, stats *searchStats) (*TierCandidate, error) {
+func (s *Solver) searchTier(ctx context.Context, tier *model.Tier, throughput, budgetMinutes float64, stats *searchStats) (*TierCandidate, error) {
 	var best *TierCandidate
 	for i := range tier.Options {
-		cand, err := s.searchOption(tier, &tier.Options[i], throughput, budgetMinutes, best, stats)
+		cand, err := s.searchOption(ctx, tier, &tier.Options[i], throughput, budgetMinutes, best, stats)
 		if err != nil {
 			return nil, err
 		}
@@ -350,13 +372,14 @@ const frontierImproveEps = 0.01
 // is evaluated regardless of order, so the per-size batch fans its
 // availability evaluations across the worker pool; the batch buffer and
 // append order keep the result bit-identical to the sequential walk.
-func (s *Solver) optionFrontier(tier *model.Tier, opt *model.ResourceOption, throughput float64, stats *searchStats) ([]TierCandidate, error) {
+func (s *Solver) optionFrontier(ctx context.Context, tier *model.Tier, opt *model.ResourceOption, throughput float64, stats *searchStats) ([]TierCandidate, error) {
 	o, ok, err := s.newOptionSearch(tier, opt, throughput)
 	if err != nil || !ok {
 		return nil, err
 	}
 	tr := s.opts.Tracer
 	res := opt.ResourceType().Name
+	done := ctx.Done()
 	var (
 		all    []TierCandidate
 		buf    []TierCandidate // per-size batch, reused across sizes
@@ -372,6 +395,13 @@ func (s *Solver) optionFrontier(tier *model.Tier, opt *model.ResourceOption, thr
 		buf = buf[:0]
 		fpsBuf = fpsBuf[:0]
 		err := o.candidates(total, func(td model.TierDesign, fps candFP, c units.Money) error {
+			if done != nil {
+				select {
+				case <-done:
+					return ctx.Err()
+				default:
+				}
+			}
 			stats.candidates.Add(1)
 			if tr != nil {
 				tr.Emit(obs.Event{Ev: obs.EvCandGen, Tier: tier.Name, Res: res,
@@ -384,8 +414,8 @@ func (s *Solver) optionFrontier(tier *model.Tier, opt *model.ResourceOption, thr
 		if err != nil {
 			return nil, err
 		}
-		err = par.ForEach(s.opts.Workers, len(buf), func(i int) error {
-			entry, err := s.evalTier(&buf[i].Design, fpsBuf[i], stats)
+		err = par.ForEachCtx(ctx, s.opts.Workers, len(buf), func(i int) error {
+			entry, err := s.evalTier(ctx, &buf[i].Design, fpsBuf[i], stats)
 			if err != nil {
 				return err
 			}
@@ -419,10 +449,10 @@ func (s *Solver) optionFrontier(tier *model.Tier, opt *model.ResourceOption, thr
 // sorted by ascending cost (and so descending downtime). Options are
 // independent searches, so they fan across the worker pool; merging in
 // option order keeps the frontier identical to the sequential build.
-func (s *Solver) tierFrontier(tier *model.Tier, throughput float64, stats *searchStats) ([]TierCandidate, error) {
+func (s *Solver) tierFrontier(ctx context.Context, tier *model.Tier, throughput float64, stats *searchStats) ([]TierCandidate, error) {
 	fronts := make([][]TierCandidate, len(tier.Options))
-	err := par.ForEach(s.opts.Workers, len(tier.Options), func(i int) error {
-		f, err := s.optionFrontier(tier, &tier.Options[i], throughput, stats)
+	err := par.ForEachCtx(ctx, s.opts.Workers, len(tier.Options), func(i int) error {
+		f, err := s.optionFrontier(ctx, tier, &tier.Options[i], throughput, stats)
 		if err != nil {
 			return err
 		}

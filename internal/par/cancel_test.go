@@ -1,0 +1,81 @@
+package par
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachCtxPreCanceled(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		var ran atomic.Int64
+		err := ForEachCtx(ctx, workers, 100, func(i int) error {
+			ran.Add(1)
+			return nil
+		})
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("workers=%d: err = %v, want context.Canceled", workers, err)
+		}
+		// At most one in-flight item per worker may slip through the
+		// claim-time check; a pre-canceled context admits none.
+		if got := ran.Load(); got != 0 {
+			t.Errorf("workers=%d: %d items ran under a pre-canceled context", workers, got)
+		}
+	}
+}
+
+func TestForEachCtxCancelMidRun(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		ctx, cancel := context.WithCancel(context.Background())
+		var ran atomic.Int64
+		err := ForEachCtx(ctx, workers, 10_000, func(i int) error {
+			if ran.Add(1) == 5 {
+				cancel()
+			}
+			return nil
+		})
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("workers=%d: err = %v, want context.Canceled", workers, err)
+		}
+		// The pool must stop early: claimed-but-unstarted items are
+		// skipped once the Done channel closes.
+		if got := ran.Load(); got >= 10_000 {
+			t.Errorf("workers=%d: all %d items ran despite mid-run cancellation", workers, got)
+		}
+	}
+}
+
+// TestForEachCtxFnErrorBeatsLaterCancel pins the lowest-index rule
+// across the two error sources: an fn error at a low index wins over
+// the cancellation recorded at the higher indexes that were skipped.
+func TestForEachCtxFnErrorBeatsLaterCancel(t *testing.T) {
+	sentinel := errors.New("sentinel")
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	err := ForEachCtx(ctx, 1, 100, func(i int) error {
+		if i == 2 {
+			cancel()
+			return sentinel
+		}
+		return nil
+	})
+	if !errors.Is(err, sentinel) {
+		t.Errorf("err = %v, want the index-2 fn error to win over the cancellation", err)
+	}
+}
+
+func TestForEachCtxBackgroundMatchesForEach(t *testing.T) {
+	var a, b atomic.Int64
+	if err := ForEach(4, 50, func(i int) error { a.Add(int64(i)); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if err := ForEachCtx(context.Background(), 4, 50, func(i int) error { b.Add(int64(i)); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if a.Load() != b.Load() {
+		t.Errorf("ForEach covered sum %d, ForEachCtx %d", a.Load(), b.Load())
+	}
+}

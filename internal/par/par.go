@@ -7,6 +7,7 @@
 package par
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -29,9 +30,23 @@ func Workers(n int) int {
 // the lowest failing index — the same error a sequential loop would hit
 // first — so error reporting is independent of the worker count.
 func ForEach(workers, n int, fn func(i int) error) error {
+	return ForEachCtx(context.Background(), workers, n, fn)
+}
+
+// ForEachCtx is ForEach with cancellation: each worker checks ctx once
+// per item claim, so a cancelled context stops the pool after at most
+// one in-flight item per worker instead of draining the remaining
+// items. A skipped item counts as failing with ctx.Err() at its index,
+// so the lowest-index error rule covers cancellation too: fn errors
+// below the cancellation point still win, and a run cancelled before
+// any fn error reports ctx.Err(). The ctx check is a non-blocking read
+// of a captured Done channel — context.Background() (nil Done) makes
+// ForEachCtx exactly ForEach, with no per-item overhead or allocation.
+func ForEachCtx(ctx context.Context, workers, n int, fn func(i int) error) error {
 	if n <= 0 {
 		return nil
 	}
+	done := ctx.Done()
 	workers = Workers(workers)
 	if workers > n {
 		workers = n
@@ -39,6 +54,16 @@ func ForEach(workers, n int, fn func(i int) error) error {
 	if workers <= 1 {
 		var firstErr error
 		for i := 0; i < n; i++ {
+			if done != nil {
+				select {
+				case <-done:
+					if firstErr == nil {
+						firstErr = ctx.Err()
+					}
+					return firstErr
+				default:
+				}
+			}
 			if err := fn(i); err != nil && firstErr == nil {
 				firstErr = err
 			}
@@ -52,6 +77,13 @@ func ForEach(workers, n int, fn func(i int) error) error {
 		firstErr error
 		firstIdx = n
 	)
+	record := func(i int, err error) {
+		mu.Lock()
+		if i < firstIdx {
+			firstIdx, firstErr = i, err
+		}
+		mu.Unlock()
+	}
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
 		go func() {
@@ -61,12 +93,16 @@ func ForEach(workers, n int, fn func(i int) error) error {
 				if i >= n {
 					return
 				}
-				if err := fn(i); err != nil {
-					mu.Lock()
-					if i < firstIdx {
-						firstIdx, firstErr = i, err
+				if done != nil {
+					select {
+					case <-done:
+						record(i, ctx.Err())
+						return
+					default:
 					}
-					mu.Unlock()
+				}
+				if err := fn(i); err != nil {
+					record(i, err)
 				}
 			}
 		}()

@@ -1,0 +1,140 @@
+package scenarios_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"aved/internal/avail"
+	"aved/internal/scenarios"
+	"aved/internal/sim"
+)
+
+// TestRandDesignReproducible pins the contract the differential test
+// relies on: a design is a pure function of its seed.
+func TestRandDesignReproducible(t *testing.T) {
+	a := scenarios.RandDesign(rand.New(rand.NewSource(7)))
+	b := scenarios.RandDesign(rand.New(rand.NewSource(7)))
+	if len(a) != len(b) {
+		t.Fatalf("tier counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].N != b[i].N || a[i].M != b[i].M || a[i].S != b[i].S || len(a[i].Modes) != len(b[i].Modes) {
+			t.Fatalf("tier %d differs across same-seed draws: %+v vs %+v", i, a[i], b[i])
+		}
+		for j := range a[i].Modes {
+			if a[i].Modes[j] != b[i].Modes[j] {
+				t.Fatalf("tier %d mode %d differs: %+v vs %+v", i, j, a[i].Modes[j], b[i].Modes[j])
+			}
+		}
+	}
+}
+
+// TestRandDesignValid: every generated design must pass the model's own
+// structural validation — the generator may never hand the engines
+// garbage.
+func TestRandDesignValid(t *testing.T) {
+	for seed := int64(0); seed < 200; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		for _, tm := range scenarios.RandDesign(rng) {
+			if err := tm.Validate(); err != nil {
+				t.Fatalf("seed %d: generated invalid tier: %v", seed, err)
+			}
+		}
+	}
+}
+
+// TestDifferentialMarkovVsSim is the differential property: across
+// random small designs, the analytic engine's annual downtime must
+// fall within the simulator's 95% confidence interval, widened by a
+// modelling allowance for the analytic chain's independence
+// approximations. A disagreement beyond that band means one of the two
+// engines is wrong, and the failing seed reproduces the design.
+func TestDifferentialMarkovVsSim(t *testing.T) {
+	if testing.Short() {
+		t.Skip("differential simulation in -short mode")
+	}
+	analytic := avail.NewMarkovEngine()
+	for seed := int64(1); seed <= 10; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		design := scenarios.RandDesign(rng)
+
+		want, err := analytic.Evaluate(design)
+		if err != nil {
+			t.Fatalf("seed %d: markov: %v", seed, err)
+		}
+		eng, err := sim.NewEngine(seed, 100, 96)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, stats, err := eng.EvaluateStats(design)
+		if err != nil {
+			t.Fatalf("seed %d: sim: %v", seed, err)
+		}
+
+		// Tier downtimes are statistically independent, so the design
+		// estimate's half-width combines in quadrature.
+		var hw2 float64
+		for _, st := range stats {
+			hw2 += st.HalfWidth95 * st.HalfWidth95
+		}
+		band := 3*math.Sqrt(hw2) + 0.10*math.Max(want.DowntimeMinutes, got.DowntimeMinutes)
+		if diff := math.Abs(want.DowntimeMinutes - got.DowntimeMinutes); diff > band {
+			t.Errorf("seed %d: markov %.2f min/yr vs sim %.2f min/yr, |diff| %.2f exceeds band %.2f (design %+v)",
+				seed, want.DowntimeMinutes, got.DowntimeMinutes, diff, band, design)
+		}
+	}
+}
+
+// TestDowntimeMonotoneInSpares: adding a cold spare can only absorb
+// failures, never cause them, so analytic downtime must be
+// non-increasing in the spare count. (Warm spares are excluded: a
+// powered spare is itself failure-prone, so the property does not hold
+// for them unconditionally.)
+func TestDowntimeMonotoneInSpares(t *testing.T) {
+	analytic := avail.NewMarkovEngine()
+	for seed := int64(0); seed < 50; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		tm := scenarios.RandTier(rng, "t")
+		for i := range tm.Modes {
+			tm.Modes[i].SparePowered = false
+		}
+		prev := math.Inf(1)
+		for s := 0; s <= 3; s++ {
+			tm.S = s
+			res, err := analytic.Evaluate([]avail.TierModel{tm})
+			if err != nil {
+				t.Fatalf("seed %d s=%d: %v", seed, s, err)
+			}
+			if res.DowntimeMinutes > prev*(1+1e-9) {
+				t.Errorf("seed %d: downtime rose from %.4f to %.4f min/yr when spares grew to %d",
+					seed, prev, res.DowntimeMinutes, s)
+			}
+			prev = res.DowntimeMinutes
+		}
+	}
+}
+
+// TestDowntimeMonotoneInThreshold: relaxing the minimum-active
+// threshold M makes the up-condition strictly easier, so downtime must
+// be non-increasing as M falls.
+func TestDowntimeMonotoneInThreshold(t *testing.T) {
+	analytic := avail.NewMarkovEngine()
+	for seed := int64(0); seed < 50; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		tm := scenarios.RandTier(rng, "t")
+		prev := math.Inf(1)
+		for m := tm.N; m >= 1; m-- {
+			tm.M = m
+			res, err := analytic.Evaluate([]avail.TierModel{tm})
+			if err != nil {
+				t.Fatalf("seed %d m=%d: %v", seed, m, err)
+			}
+			if res.DowntimeMinutes > prev*(1+1e-9) {
+				t.Errorf("seed %d: downtime rose from %.4f to %.4f min/yr when threshold fell to %d",
+					seed, prev, res.DowntimeMinutes, m)
+			}
+			prev = res.DowntimeMinutes
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package sensitivity
 
 import (
+	"context"
 	"testing"
 
 	"aved/internal/obs"
@@ -17,7 +18,7 @@ func TestSweepObs(t *testing.T) {
 	cfg.SolverOptions.Tracer = &tr
 	cfg.SolverOptions.Metrics = reg
 	factors := []float64{0.5, 1, 2}
-	points, err := Sweep(inf, cfg, ScaleMTBF(""), factors)
+	points, err := Sweep(context.Background(), inf, cfg, ScaleMTBF(""), factors)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package sensitivity
 
 import (
+	"context"
 	"reflect"
 	"testing"
 )
@@ -13,7 +14,7 @@ func TestSweepWorkerCountBitIdentical(t *testing.T) {
 	inf, cfg := baseConfig(t)
 	factors := []float64{0.25, 0.5, 1, 2, 4, 8}
 	cfg.Workers = 1
-	seq, err := Sweep(inf, cfg, ScaleMTBF(""), factors)
+	seq, err := Sweep(context.Background(), inf, cfg, ScaleMTBF(""), factors)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -22,7 +23,7 @@ func TestSweepWorkerCountBitIdentical(t *testing.T) {
 	}
 	for _, workers := range []int{4, 0} {
 		cfg.Workers = workers
-		parl, err := Sweep(inf, cfg, ScaleMTBF(""), factors)
+		parl, err := Sweep(context.Background(), inf, cfg, ScaleMTBF(""), factors)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -39,7 +40,7 @@ func TestSweepParallelDoesNotMutateBase(t *testing.T) {
 	inf, cfg := baseConfig(t)
 	cfg.Workers = 8
 	before := inf.Components["machineA"].Failures[0].MTBF
-	if _, err := Sweep(inf, cfg, ScaleMTBF("machineA"), []float64{0.1, 0.5, 2, 10}); err != nil {
+	if _, err := Sweep(context.Background(), inf, cfg, ScaleMTBF("machineA"), []float64{0.1, 0.5, 2, 10}); err != nil {
 		t.Fatal(err)
 	}
 	if got := inf.Components["machineA"].Failures[0].MTBF; got != before {

@@ -9,6 +9,7 @@
 package sensitivity
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -158,7 +159,7 @@ type Config struct {
 // infrastructure and solves the fixed requirement, reporting one Point
 // per factor. Infeasible factors are reported, not skipped, so callers
 // see where the requirement stops being achievable.
-func Sweep(base *model.Infrastructure, cfg Config, knob Knob, factors []float64) ([]Point, error) {
+func Sweep(ctx context.Context, base *model.Infrastructure, cfg Config, knob Knob, factors []float64) ([]Point, error) {
 	if len(factors) == 0 {
 		return nil, fmt.Errorf("sensitivity: no factors")
 	}
@@ -177,7 +178,7 @@ func Sweep(base *model.Infrastructure, cfg Config, knob Knob, factors []float64)
 	// what-if consumer waits for.
 	po := sweep.NewPointObs(cfg.SolverOptions.Tracer, cfg.SolverOptions.Metrics, len(factors))
 	out := make([]Point, len(factors))
-	err := par.ForEach(cfg.Workers, len(factors), func(i int) error {
+	err := par.ForEachCtx(ctx, cfg.Workers, len(factors), func(i int) error {
 		f := factors[i]
 		start := po.Begin()
 		inf := base.Clone()
@@ -197,7 +198,7 @@ func Sweep(base *model.Infrastructure, cfg Config, knob Knob, factors []float64)
 		if err != nil {
 			return err
 		}
-		sol, err := solver.Solve(cfg.Requirement)
+		sol, err := solver.SolveContext(ctx, cfg.Requirement)
 		if err != nil {
 			var infErr *core.InfeasibleError
 			if errors.As(err, &infErr) {

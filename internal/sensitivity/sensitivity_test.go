@@ -1,6 +1,7 @@
 package sensitivity
 
 import (
+	"context"
 	"testing"
 
 	"aved/internal/core"
@@ -29,7 +30,7 @@ func baseConfig(t *testing.T) (*model.Infrastructure, Config) {
 
 func TestScaleMTBFImprovesDowntime(t *testing.T) {
 	inf, cfg := baseConfig(t)
-	points, err := Sweep(inf, cfg, ScaleMTBF(""), []float64{0.5, 1, 2, 4})
+	points, err := Sweep(context.Background(), inf, cfg, ScaleMTBF(""), []float64{0.5, 1, 2, 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -66,7 +67,7 @@ func TestScaleMTBFImprovesDowntime(t *testing.T) {
 func TestScaleMTBFDoesNotMutateBase(t *testing.T) {
 	inf, cfg := baseConfig(t)
 	before := inf.Components["machineA"].Failures[0].MTBF
-	if _, err := Sweep(inf, cfg, ScaleMTBF("machineA"), []float64{0.1, 10}); err != nil {
+	if _, err := Sweep(context.Background(), inf, cfg, ScaleMTBF("machineA"), []float64{0.1, 10}); err != nil {
 		t.Fatal(err)
 	}
 	if got := inf.Components["machineA"].Failures[0].MTBF; got != before {
@@ -78,7 +79,7 @@ func TestScaleCostShiftsDesignChoice(t *testing.T) {
 	// Making appserverA arbitrarily expensive pushes the design to rD
 	// (appserverB).
 	inf, cfg := baseConfig(t)
-	points, err := Sweep(inf, cfg, ScaleCost("appserverA"), []float64{1, 10})
+	points, err := Sweep(context.Background(), inf, cfg, ScaleCost("appserverA"), []float64{1, 10})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -100,7 +101,7 @@ func TestScaleMechanismCostShiftsContract(t *testing.T) {
 		Throughput:        800,
 		MaxAnnualDowntime: 2000 * units.Minute,
 	}
-	points, err := Sweep(inf, cfg, ScaleMechanismCost("maintenanceA"), []float64{1, 20})
+	points, err := Sweep(context.Background(), inf, cfg, ScaleMechanismCost("maintenanceA"), []float64{1, 20})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -120,7 +121,7 @@ func TestSweepReportsInfeasible(t *testing.T) {
 	cfg.Requirement.MaxAnnualDowntime = 30 * units.Minute
 	// Hardware 50x less reliable at a tight budget: the requirement
 	// may become unachievable; the sweep must report it, not die.
-	points, err := Sweep(inf, cfg, ScaleMTBF(""), []float64{1, 0.002})
+	points, err := Sweep(context.Background(), inf, cfg, ScaleMTBF(""), []float64{1, 0.002})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -134,23 +135,23 @@ func TestSweepReportsInfeasible(t *testing.T) {
 
 func TestKnobErrors(t *testing.T) {
 	inf, cfg := baseConfig(t)
-	if _, err := Sweep(inf, cfg, ScaleMTBF("ghost"), []float64{1}); err == nil {
+	if _, err := Sweep(context.Background(), inf, cfg, ScaleMTBF("ghost"), []float64{1}); err == nil {
 		t.Error("unknown component should fail")
 	}
-	if _, err := Sweep(inf, cfg, ScaleMTBF(""), []float64{-1}); err == nil {
+	if _, err := Sweep(context.Background(), inf, cfg, ScaleMTBF(""), []float64{-1}); err == nil {
 		t.Error("negative factor should fail")
 	}
-	if _, err := Sweep(inf, cfg, ScaleCost(""), []float64{-1}); err == nil {
+	if _, err := Sweep(context.Background(), inf, cfg, ScaleCost(""), []float64{-1}); err == nil {
 		t.Error("negative cost factor should fail")
 	}
-	if _, err := Sweep(inf, cfg, ScaleMechanismCost("ghost"), []float64{1}); err == nil {
+	if _, err := Sweep(context.Background(), inf, cfg, ScaleMechanismCost("ghost"), []float64{1}); err == nil {
 		t.Error("unknown mechanism should fail")
 	}
-	if _, err := Sweep(inf, cfg, ScaleMTBF(""), nil); err == nil {
+	if _, err := Sweep(context.Background(), inf, cfg, ScaleMTBF(""), nil); err == nil {
 		t.Error("empty factors should fail")
 	}
 	cfg.Registry = nil
-	if _, err := Sweep(inf, cfg, ScaleMTBF(""), []float64{1}); err == nil {
+	if _, err := Sweep(context.Background(), inf, cfg, ScaleMTBF(""), []float64{1}); err == nil {
 		t.Error("missing registry should fail")
 	}
 }

@@ -1,0 +1,273 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"aved"
+)
+
+// SolveRequest is the body of POST /v1/solve: the design problem (an
+// infrastructure, a service and one requirement) plus per-request
+// search and engine knobs. Specs come either inline (Fig. 3/4/5 text in
+// InfraSpec/ServiceSpec) or as a built-in paper scenario name.
+type SolveRequest struct {
+	// Paper selects a built-in scenario: "apptier", "ecommerce" or
+	// "scientific". Mutually exclusive with InfraSpec/ServiceSpec.
+	Paper string `json:"paper,omitempty"`
+	// InfraSpec is a Fig. 3 infrastructure spec.
+	InfraSpec string `json:"infraSpec,omitempty"`
+	// ServiceSpec is a Fig. 4/5 service spec.
+	ServiceSpec string `json:"serviceSpec,omitempty"`
+
+	// Load is the required throughput in service units (enterprise).
+	Load float64 `json:"load,omitempty"`
+	// MaxDowntime is the annual downtime budget, e.g. "100m" (enterprise).
+	MaxDowntime string `json:"maxDowntime,omitempty"`
+	// MaxJobTime is the job-completion-time budget, e.g. "50h" (jobs).
+	MaxJobTime string `json:"maxJobTime,omitempty"`
+
+	// Bronze pins maintenance contracts to bronze (the §5.2 setup).
+	Bronze bool `json:"bronze,omitempty"`
+	// WarmSpares explores per-component spare operational modes.
+	WarmSpares bool `json:"warmSpares,omitempty"`
+	// Workers bounds the search worker pool (0 = server default).
+	Workers int `json:"workers,omitempty"`
+
+	// Engine selects the availability engine: "", "markov", "exact" or
+	// "sim".
+	Engine string `json:"engine,omitempty"`
+	// Seed, Years, Reps, RelErr and SimBatch configure -engine sim; they
+	// mirror the CLI flags of the same names.
+	Seed     int64   `json:"seed,omitempty"`
+	Years    float64 `json:"years,omitempty"`
+	Reps     int     `json:"reps,omitempty"`
+	RelErr   float64 `json:"relErr,omitempty"`
+	SimBatch int     `json:"simBatch,omitempty"`
+
+	// TimeoutMS is the per-request deadline in milliseconds. Zero means
+	// the server default; the server's max-timeout caps it either way.
+	TimeoutMS int64 `json:"timeoutMs,omitempty"`
+	// NoCache skips the response cache (the request still joins an
+	// identical in-flight solve).
+	NoCache bool `json:"noCache,omitempty"`
+}
+
+// TierReport describes one tier of the returned design.
+type TierReport struct {
+	Tier       string            `json:"tier"`
+	Resource   string            `json:"resource"`
+	Actives    int               `json:"actives"`
+	Spares     int               `json:"spares"`
+	SpareMode  string            `json:"spareMode,omitempty"`
+	Mechanisms map[string]string `json:"mechanisms,omitempty"`
+}
+
+// SearchStats mirrors aved.Solution.Stats for the wire.
+type SearchStats struct {
+	Candidates      int    `json:"candidatesGenerated"`
+	CostPruned      int    `json:"costPruned"`
+	Evaluations     int    `json:"availabilityEvaluations"`
+	EvalCacheHits   int    `json:"evalCacheHits"`
+	ModeMemoHits    uint64 `json:"modeMemoHits,omitempty"`
+	ModeMemoSolves  uint64 `json:"modeMemoSolves,omitempty"`
+	SimReplications uint64 `json:"simReplications,omitempty"`
+}
+
+// SolveResponse is the body of a successful POST /v1/solve.
+type SolveResponse struct {
+	Label           string       `json:"label"`
+	CostPerYear     float64      `json:"costPerYear"`
+	Cost            string       `json:"cost"`
+	DowntimeMinutes float64      `json:"downtimeMinutes,omitempty"`
+	JobTimeHours    float64      `json:"jobTimeHours,omitempty"`
+	Tiers           []TierReport `json:"tiers"`
+	Stats           SearchStats  `json:"stats"`
+
+	// Cached marks a response served from the cross-request cache;
+	// Shared marks one computed by an identical concurrent request the
+	// caller joined. ElapsedMS is this request's wall time either way.
+	Cached    bool    `json:"cached,omitempty"`
+	Shared    bool    `json:"shared,omitempty"`
+	ElapsedMS float64 `json:"elapsedMs"`
+}
+
+// ErrorResponse is the body of every non-2xx reply.
+type ErrorResponse struct {
+	// Error is the human-readable message.
+	Error string `json:"error"`
+	// Kind classifies it: "bad_request", "infeasible", "canceled",
+	// "overloaded" or "internal".
+	Kind string `json:"kind"`
+	// Stats carries the partial search effort for canceled solves.
+	Stats *SearchStats `json:"stats,omitempty"`
+}
+
+// validate checks the request shape without doing any parsing work.
+func (r *SolveRequest) validate() error {
+	switch {
+	case r.Paper != "" && (r.InfraSpec != "" || r.ServiceSpec != ""):
+		return errors.New("paper and inline specs are mutually exclusive")
+	case r.Paper == "" && (r.InfraSpec == "" || r.ServiceSpec == ""):
+		return errors.New("need either paper or both infraSpec and serviceSpec")
+	}
+	if r.MaxDowntime == "" && r.MaxJobTime == "" {
+		return errors.New("need maxDowntime (with load) or maxJobTime")
+	}
+	if r.MaxDowntime != "" && r.MaxJobTime != "" {
+		return errors.New("maxDowntime and maxJobTime are mutually exclusive")
+	}
+	if r.MaxDowntime != "" && r.Load <= 0 {
+		return errors.New("enterprise requirements need load > 0")
+	}
+	if r.TimeoutMS < 0 {
+		return fmt.Errorf("negative timeoutMs %d", r.TimeoutMS)
+	}
+	return nil
+}
+
+// models resolves the request's infrastructure and service.
+func (r *SolveRequest) models() (*aved.Infrastructure, *aved.Service, error) {
+	if r.Paper != "" {
+		inf, err := aved.PaperInfrastructure()
+		if err != nil {
+			return nil, nil, err
+		}
+		var svc *aved.Service
+		switch r.Paper {
+		case "apptier":
+			svc, err = aved.PaperApplicationTier(inf)
+		case "ecommerce":
+			svc, err = aved.PaperEcommerce(inf)
+		case "scientific":
+			svc, err = aved.PaperScientific(inf)
+		default:
+			return nil, nil, fmt.Errorf("unknown paper scenario %q (want apptier, ecommerce or scientific)", r.Paper)
+		}
+		if err != nil {
+			return nil, nil, err
+		}
+		return inf, svc, nil
+	}
+	inf, err := aved.LoadInfrastructure(r.InfraSpec)
+	if err != nil {
+		return nil, nil, fmt.Errorf("infraSpec: %w", err)
+	}
+	svc, err := aved.LoadService(r.ServiceSpec, inf)
+	if err != nil {
+		return nil, nil, fmt.Errorf("serviceSpec: %w", err)
+	}
+	return inf, svc, nil
+}
+
+// requirements resolves the request's requirement.
+func (r *SolveRequest) requirements() (aved.Requirements, error) {
+	if r.MaxJobTime != "" {
+		d, err := aved.ParseDuration(r.MaxJobTime)
+		if err != nil {
+			return aved.Requirements{}, fmt.Errorf("maxJobTime: %w", err)
+		}
+		return aved.Requirements{Kind: aved.ReqJob, MaxJobTime: d}, nil
+	}
+	d, err := aved.ParseDuration(r.MaxDowntime)
+	if err != nil {
+		return aved.Requirements{}, fmt.Errorf("maxDowntime: %w", err)
+	}
+	return aved.Requirements{Kind: aved.ReqEnterprise, Throughput: r.Load, MaxAnnualDowntime: d}, nil
+}
+
+// engine builds the configured availability engine; nil keeps the
+// solver's default analytic engine.
+func (r *SolveRequest) engine() (aved.Engine, error) {
+	switch r.Engine {
+	case "", "markov":
+		return nil, nil
+	case "exact":
+		return aved.ExactEngine(), nil
+	case "sim":
+		seed, years, reps := r.Seed, r.Years, r.Reps
+		if seed == 0 {
+			seed = 1
+		}
+		if years == 0 {
+			years = 1000
+		}
+		if reps == 0 {
+			reps = 32
+		}
+		return aved.SimEngineAdaptive(seed, years, reps, r.Workers, r.RelErr, r.SimBatch)
+	default:
+		return nil, fmt.Errorf("unknown engine %q (want markov, exact or sim)", r.Engine)
+	}
+}
+
+// timeout resolves the effective per-request deadline: the request's
+// own, else the server default, capped by the server maximum in either
+// case. Zero means no deadline.
+func (r *SolveRequest) timeout(def, max time.Duration) time.Duration {
+	d := time.Duration(r.TimeoutMS) * time.Millisecond
+	if d <= 0 {
+		d = def
+	}
+	if max > 0 && (d <= 0 || d > max) {
+		d = max
+	}
+	return d
+}
+
+// buildResponse flattens a solution into the wire shape.
+func buildResponse(sol *aved.Solution, req aved.Requirements) *SolveResponse {
+	resp := &SolveResponse{
+		Label:       sol.Design.Label(),
+		CostPerYear: float64(sol.Cost),
+		Cost:        sol.Cost.String(),
+		Stats:       statsReport(sol.Stats),
+	}
+	if req.Kind == aved.ReqEnterprise {
+		resp.DowntimeMinutes = sol.DowntimeMinutes
+	} else {
+		resp.JobTimeHours = sol.JobTime.Hours()
+	}
+	for i := range sol.Design.Tiers {
+		td := &sol.Design.Tiers[i]
+		tr := TierReport{
+			Tier:     td.TierName,
+			Resource: td.Resource().Name,
+			Actives:  td.NActive,
+			Spares:   td.NSpare,
+		}
+		if td.NSpare > 0 {
+			switch td.SpareWarm {
+			case 0:
+				tr.SpareMode = "cold"
+			case len(td.Resource().Components):
+				tr.SpareMode = "hot"
+			default:
+				tr.SpareMode = fmt.Sprintf("warm%d", td.SpareWarm)
+			}
+		}
+		for _, ms := range td.Mechanisms {
+			for name, v := range ms.Values {
+				if tr.Mechanisms == nil {
+					tr.Mechanisms = map[string]string{}
+				}
+				tr.Mechanisms[ms.Mechanism.Name+"."+name] = v.String()
+			}
+		}
+		resp.Tiers = append(resp.Tiers, tr)
+	}
+	return resp
+}
+
+func statsReport(st aved.Stats) SearchStats {
+	return SearchStats{
+		Candidates:      st.CandidatesGenerated,
+		CostPruned:      st.CostPruned,
+		Evaluations:     st.Evaluations,
+		EvalCacheHits:   st.EvalCacheHits,
+		ModeMemoHits:    st.ModeMemoHits,
+		ModeMemoSolves:  st.ModeMemoSolves,
+		SimReplications: st.SimReplications,
+	}
+}

@@ -1,0 +1,417 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+const apptierBody = `{"paper":"apptier","load":1000,"maxDowntime":"100m"}`
+
+func post(t *testing.T, h http.Handler, path, body string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodPost, path, strings.NewReader(body))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	return rec
+}
+
+func decodeSolve(t *testing.T, rec *httptest.ResponseRecorder) *SolveResponse {
+	t.Helper()
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d, body %s", rec.Code, rec.Body.String())
+	}
+	var resp SolveResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatalf("decoding response: %v", err)
+	}
+	return &resp
+}
+
+func decodeError(t *testing.T, rec *httptest.ResponseRecorder, wantCode int, wantKind string) *ErrorResponse {
+	t.Helper()
+	if rec.Code != wantCode {
+		t.Fatalf("status %d, want %d; body %s", rec.Code, wantCode, rec.Body.String())
+	}
+	var resp ErrorResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatalf("decoding error response: %v", err)
+	}
+	if resp.Kind != wantKind {
+		t.Fatalf("kind %q, want %q (error: %s)", resp.Kind, wantKind, resp.Error)
+	}
+	return &resp
+}
+
+func TestSolveApptier(t *testing.T) {
+	s := New(Config{})
+	defer s.Close()
+	resp := decodeSolve(t, post(t, s.Handler(), "/v1/solve", apptierBody))
+	if resp.Label == "" || resp.CostPerYear <= 0 {
+		t.Errorf("empty solution: %+v", resp)
+	}
+	if resp.DowntimeMinutes <= 0 || resp.DowntimeMinutes > 100 {
+		t.Errorf("downtime %.2f min outside (0, 100]", resp.DowntimeMinutes)
+	}
+	if resp.Stats.Candidates == 0 || resp.Stats.Evaluations == 0 {
+		t.Errorf("missing search stats: %+v", resp.Stats)
+	}
+	if resp.Cached || resp.Shared {
+		t.Errorf("first solve marked cached=%v shared=%v", resp.Cached, resp.Shared)
+	}
+}
+
+func TestSolveScientificJob(t *testing.T) {
+	s := New(Config{})
+	defer s.Close()
+	resp := decodeSolve(t, post(t, s.Handler(), "/v1/solve",
+		`{"paper":"scientific","maxJobTime":"50h","bronze":true}`))
+	if resp.JobTimeHours <= 0 || resp.JobTimeHours > 50 {
+		t.Errorf("job time %.2f h outside (0, 50]", resp.JobTimeHours)
+	}
+}
+
+func TestSolveInlineSpecRejected(t *testing.T) {
+	s := New(Config{})
+	defer s.Close()
+	h := s.Handler()
+	for name, body := range map[string]string{
+		"no specs":       `{"load":1000,"maxDowntime":"100m"}`,
+		"no requirement": `{"paper":"apptier"}`,
+		"both reqs":      `{"paper":"apptier","load":1,"maxDowntime":"1m","maxJobTime":"1h"}`,
+		"unknown paper":  `{"paper":"nope","load":1000,"maxDowntime":"100m"}`,
+		"unknown field":  `{"paper":"apptier","load":1000,"maxDowntime":"100m","zzz":1}`,
+		"bad engine":     `{"paper":"apptier","load":1000,"maxDowntime":"100m","engine":"quantum"}`,
+		"bad duration":   `{"paper":"apptier","load":1000,"maxDowntime":"100 parsecs"}`,
+	} {
+		rec := post(t, h, "/v1/solve", body)
+		if rec.Code != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400 (body %s)", name, rec.Code, rec.Body.String())
+		}
+	}
+}
+
+func TestSolveInfeasible(t *testing.T) {
+	s := New(Config{})
+	defer s.Close()
+	rec := post(t, s.Handler(), "/v1/solve", `{"paper":"apptier","load":1e9,"maxDowntime":"100m"}`)
+	decodeError(t, rec, http.StatusUnprocessableEntity, "infeasible")
+}
+
+// TestSolveDeadlinePrompt pins the acceptance criterion: a request with
+// a 1ms deadline returns promptly with a deadline error and partial
+// stats, even though the underlying search (a Monte-Carlo engine with a
+// large replication budget) would take far longer.
+func TestSolveDeadlinePrompt(t *testing.T) {
+	s := New(Config{})
+	defer s.Close()
+	body := `{"paper":"apptier","load":1000,"maxDowntime":"100m",
+		"engine":"sim","years":5000,"reps":4096,"timeoutMs":1}`
+	start := time.Now()
+	rec := post(t, s.Handler(), "/v1/solve", body)
+	elapsed := time.Since(start)
+	resp := decodeError(t, rec, http.StatusGatewayTimeout, "canceled")
+	if elapsed > 10*time.Second {
+		t.Errorf("1ms-deadline request took %v", elapsed)
+	}
+	if resp.Stats == nil {
+		t.Error("canceled response carries no partial stats")
+	}
+}
+
+func TestResponseCache(t *testing.T) {
+	s := New(Config{CacheSize: 8})
+	defer s.Close()
+	h := s.Handler()
+	first := decodeSolve(t, post(t, h, "/v1/solve", apptierBody))
+	second := decodeSolve(t, post(t, h, "/v1/solve", apptierBody))
+	if second.Label != first.Label || second.CostPerYear != first.CostPerYear {
+		t.Errorf("cached solve differs: %+v vs %+v", second, first)
+	}
+	if !second.Cached {
+		t.Error("second identical request not served from cache")
+	}
+	third := decodeSolve(t, post(t, h, "/v1/solve",
+		`{"paper":"apptier","load":1000,"maxDowntime":"100m","noCache":true}`))
+	if third.Cached {
+		t.Error("noCache request served from cache")
+	}
+}
+
+func TestCacheDisabled(t *testing.T) {
+	s := New(Config{CacheSize: 0})
+	defer s.Close()
+	h := s.Handler()
+	decodeSolve(t, post(t, h, "/v1/solve", apptierBody))
+	if resp := decodeSolve(t, post(t, h, "/v1/solve", apptierBody)); resp.Cached {
+		t.Error("cache hit with CacheSize 0")
+	}
+}
+
+// TestSingleflight holds the only solve slot, fires two identical
+// requests (both must queue behind the held slot and share one flight),
+// then releases the slot: exactly one search runs and the joiner's
+// response is marked Shared.
+func TestSingleflight(t *testing.T) {
+	s := New(Config{MaxConcurrent: 1, MaxQueue: 4, CacheSize: 0})
+	defer s.Close()
+	h := s.Handler()
+	s.sem <- struct{}{} // occupy the slot
+
+	results := make(chan *SolveResponse, 2)
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			results <- decodeSolve(t, post(t, h, "/v1/solve", apptierBody))
+		}()
+		// Order the arrivals so the second request reliably joins the
+		// flight the first one registered.
+		time.Sleep(100 * time.Millisecond)
+	}
+	<-s.sem // release; the shared solve proceeds
+	wg.Wait()
+	close(results)
+	var shared, solved int
+	for resp := range results {
+		if resp.Shared {
+			shared++
+		} else {
+			solved++
+		}
+	}
+	if solved != 1 || shared != 1 {
+		t.Errorf("got %d solver(s) and %d sharer(s), want exactly 1 of each", solved, shared)
+	}
+}
+
+func TestAdmissionOverflow429(t *testing.T) {
+	s := New(Config{MaxConcurrent: 1, MaxQueue: -1})
+	defer s.Close()
+	s.sem <- struct{}{} // occupy the only slot; no queue allowed
+	rec := post(t, s.Handler(), "/v1/solve", apptierBody)
+	decodeError(t, rec, http.StatusTooManyRequests, "overloaded")
+	<-s.sem
+}
+
+func TestHealthz(t *testing.T) {
+	s := New(Config{})
+	req := httptest.NewRequest(http.MethodGet, "/v1/healthz", nil)
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("healthz status %d", rec.Code)
+	}
+	var hz struct {
+		Status string `json:"status"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &hz); err != nil || hz.Status != "ok" {
+		t.Fatalf("healthz body %s (err %v)", rec.Body.String(), err)
+	}
+
+	if err := s.Shutdown(context.Background()); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	rec = httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/v1/healthz", nil))
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Errorf("draining healthz status %d, want 503", rec.Code)
+	}
+}
+
+func TestShutdownRefusesNewWork(t *testing.T) {
+	s := New(Config{})
+	if err := s.Shutdown(context.Background()); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	rec := post(t, s.Handler(), "/v1/solve", apptierBody)
+	decodeError(t, rec, http.StatusServiceUnavailable, "overloaded")
+}
+
+// TestShutdownDrains starts a solve, then shuts down while it runs: the
+// solve must complete (not be aborted) and Shutdown must return only
+// after it does.
+func TestShutdownDrains(t *testing.T) {
+	s := New(Config{MaxConcurrent: 1, CacheSize: 0})
+	h := s.Handler()
+	s.sem <- struct{}{} // park the request in the queue first
+	done := make(chan *SolveResponse, 1)
+	go func() {
+		done <- decodeSolve(t, post(t, h, "/v1/solve", apptierBody))
+	}()
+	time.Sleep(100 * time.Millisecond)
+	<-s.sem // let it start solving
+	time.Sleep(10 * time.Millisecond)
+	if err := s.Shutdown(context.Background()); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	select {
+	case resp := <-done:
+		if resp.Label == "" {
+			t.Error("drained solve returned an empty solution")
+		}
+	default:
+		t.Error("Shutdown returned before the in-flight solve finished")
+	}
+}
+
+func TestConcurrentSolves(t *testing.T) {
+	s := New(Config{MaxConcurrent: 2, MaxQueue: 64, CacheSize: 16})
+	defer s.Close()
+	h := s.Handler()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		load := 600 + 100*float64(i%4)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			body := fmt.Sprintf(`{"paper":"apptier","load":%g,"maxDowntime":"200m"}`, load)
+			resp := decodeSolve(t, post(t, h, "/v1/solve", body))
+			if resp.CostPerYear <= 0 {
+				t.Errorf("load %g: bad cost %v", load, resp.CostPerYear)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestSweepFig7(t *testing.T) {
+	s := New(Config{})
+	defer s.Close()
+	rec := post(t, s.Handler(), "/v1/sweep", `{"fig":7,"points":3}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("sweep status %d, body %s", rec.Code, rec.Body.String())
+	}
+	var resp SweepResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Fig != 7 || len(resp.Fig7) == 0 {
+		t.Errorf("empty fig 7 sweep: %+v", resp)
+	}
+}
+
+func TestSweepBadFig(t *testing.T) {
+	s := New(Config{})
+	defer s.Close()
+	rec := post(t, s.Handler(), "/v1/sweep", `{"fig":5}`)
+	decodeError(t, rec, http.StatusBadRequest, "bad_request")
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	s := New(Config{})
+	defer s.Close()
+	h := s.Handler()
+	decodeSolve(t, post(t, h, "/v1/solve", apptierBody))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/metrics", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/metrics status %d", rec.Code)
+	}
+	var snap struct {
+		Counters map[string]int64 `json:"counters"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Counters["server.requests"] == 0 || snap.Counters["server.ok"] == 0 {
+		t.Errorf("request counters missing from snapshot: %v", snap.Counters)
+	}
+	if snap.Counters["core.solves"] == 0 {
+		t.Errorf("solver metrics not wired through: %v", snap.Counters)
+	}
+}
+
+func TestFingerprintStability(t *testing.T) {
+	a := SolveRequest{Paper: "apptier", Load: 1000, MaxDowntime: "100m"}
+	b := a
+	if a.fingerprint() != b.fingerprint() {
+		t.Error("identical requests fingerprint differently")
+	}
+	b.TimeoutMS = 500
+	b.NoCache = true
+	if a.fingerprint() != b.fingerprint() {
+		t.Error("delivery knobs (timeoutMs, noCache) must not change the fingerprint")
+	}
+	c := a
+	c.Load = 1001
+	if a.fingerprint() == c.fingerprint() {
+		t.Error("different loads share a fingerprint")
+	}
+	d := a
+	d.Engine = "exact"
+	if a.fingerprint() == d.fingerprint() {
+		t.Error("different engines share a fingerprint")
+	}
+	e := a
+	e.MaxDowntime, e.MaxJobTime = "", "100m" // same string, different field
+	if a.fingerprint() == e.fingerprint() {
+		t.Error("downtime and job-time requirements share a fingerprint")
+	}
+}
+
+func TestFlightGroupLastWaiterCancels(t *testing.T) {
+	g := newFlightGroup(0)
+	canceled := make(chan struct{})
+	f, owner := g.begin(reqFP{1, 2}, func() { close(canceled) })
+	if !owner {
+		t.Fatal("first begin did not own the flight")
+	}
+	if j := g.join(reqFP{1, 2}); j != f {
+		t.Fatal("join did not find the flight")
+	}
+	g.leave(f)
+	select {
+	case <-canceled:
+		t.Fatal("cancel fired with a waiter remaining")
+	default:
+	}
+	g.leave(f)
+	select {
+	case <-canceled:
+	case <-time.After(time.Second):
+		t.Fatal("cancel did not fire after the last waiter left")
+	}
+}
+
+func TestFlightGroupCtxErrorNotCached(t *testing.T) {
+	g := newFlightGroup(4)
+	key := reqFP{3, 4}
+	f, _ := g.begin(key, func() {})
+	g.settle(key, f, nil, context.DeadlineExceeded, true)
+	if _, ok := g.lookup(key); ok {
+		t.Error("context-error outcome was cached")
+	}
+	if g.join(key) != nil {
+		t.Error("settled flight still joinable")
+	}
+	f2, _ := g.begin(key, func() {})
+	g.settle(key, f2, &SolveResponse{Label: "x"}, nil, false)
+	if resp, ok := g.lookup(key); !ok || resp.Label != "x" {
+		t.Error("successful outcome missing from cache")
+	}
+}
+
+func TestFlightGroupCacheEviction(t *testing.T) {
+	g := newFlightGroup(2)
+	for i := uint64(0); i < 3; i++ {
+		key := reqFP{i, i}
+		f, _ := g.begin(key, func() {})
+		g.settle(key, f, &SolveResponse{Label: fmt.Sprint(i)}, nil, false)
+	}
+	if _, ok := g.lookup(reqFP{0, 0}); ok {
+		t.Error("oldest entry not evicted at capacity 2")
+	}
+	for i := uint64(1); i < 3; i++ {
+		if _, ok := g.lookup(reqFP{i, i}); !ok {
+			t.Errorf("entry %d missing after eviction", i)
+		}
+	}
+}

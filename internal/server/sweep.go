@@ -1,0 +1,176 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"time"
+
+	"aved"
+)
+
+// SweepRequest is the body of POST /v1/sweep: regenerate one of the
+// paper's evaluation figures over the built-in Fig. 3/4/5 inputs, with
+// configurable grid resolution. Sweeps are admitted through the same
+// bounded slot pool as solves (one slot per sweep; the sweep fans its
+// points over its own worker pool) but are neither deduplicated nor
+// cached — they are batch work, not the interactive path.
+type SweepRequest struct {
+	// Fig selects the figure: 6, 7 or 8.
+	Fig int `json:"fig"`
+	// Loads and Budgets set the grid resolution for figs 6 and 8.
+	Loads   int `json:"loads,omitempty"`
+	Budgets int `json:"budgets,omitempty"`
+	// Points sets the requirement grid for fig 7.
+	Points int `json:"points,omitempty"`
+	// Workers bounds the sweep worker pool (0 = server default).
+	Workers int `json:"workers,omitempty"`
+
+	// Engine knobs, as in SolveRequest.
+	Engine   string  `json:"engine,omitempty"`
+	Seed     int64   `json:"seed,omitempty"`
+	Years    float64 `json:"years,omitempty"`
+	Reps     int     `json:"reps,omitempty"`
+	RelErr   float64 `json:"relErr,omitempty"`
+	SimBatch int     `json:"simBatch,omitempty"`
+
+	// TimeoutMS is the per-request deadline in milliseconds.
+	TimeoutMS int64 `json:"timeoutMs,omitempty"`
+}
+
+// SweepResponse carries the requested figure's data series.
+type SweepResponse struct {
+	Fig       int              `json:"fig"`
+	Fig6      *aved.Fig6Result `json:"fig6,omitempty"`
+	Fig7      []aved.Fig7Point `json:"fig7,omitempty"`
+	Fig8      []aved.Fig8Curve `json:"fig8,omitempty"`
+	ElapsedMS float64          `json:"elapsedMs"`
+}
+
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	s.metrics.Counter("server.requests").Inc()
+	var req SweepRequest
+	if err := decodeJSON(w, r, &req); err != nil {
+		s.writeError(w, badRequestError{err}, nil)
+		return
+	}
+	if req.Fig < 6 || req.Fig > 8 {
+		s.writeError(w, badRequestError{fmt.Errorf("fig must be 6, 7 or 8 (got %d)", req.Fig)}, nil)
+		return
+	}
+	if s.draining.Load() {
+		s.writeError(w, errShuttingDown, nil)
+		return
+	}
+
+	ctx := r.Context()
+	sr := SolveRequest{TimeoutMS: req.TimeoutMS}
+	if d := sr.timeout(s.cfg.DefaultTimeout, s.cfg.MaxTimeout); d > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, d)
+		defer cancel()
+	}
+
+	s.inflight.Add(1)
+	defer s.inflight.Done()
+	release, err := s.acquire(ctx)
+	if err != nil {
+		s.writeError(w, err, nil)
+		return
+	}
+	defer release()
+
+	resp, err := s.runSweep(ctx, &req)
+	if err != nil {
+		s.writeError(w, err, nil)
+		return
+	}
+	ms := float64(time.Since(start)) / float64(time.Millisecond)
+	resp.ElapsedMS = ms
+	s.metrics.Counter("server.ok").Inc()
+	s.metrics.Histogram("server.request_ms").Observe(ms)
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// runSweep builds the figure's solver and grids and runs it under ctx.
+func (s *Server) runSweep(ctx context.Context, req *SweepRequest) (*SweepResponse, error) {
+	eng, err := (&SolveRequest{
+		Engine: req.Engine, Seed: req.Seed, Years: req.Years,
+		Reps: req.Reps, RelErr: req.RelErr, SimBatch: req.SimBatch,
+		Workers: req.Workers,
+	}).engine()
+	if err != nil {
+		return nil, badRequestError{err}
+	}
+	workers := req.Workers
+	if workers == 0 {
+		workers = s.cfg.Workers
+	}
+	loads, budgets, points := req.Loads, req.Budgets, req.Points
+	if loads == 0 {
+		loads = 10
+	}
+	if budgets == 0 {
+		budgets = 12
+	}
+	if points == 0 {
+		points = 15
+	}
+	inf, err := aved.PaperInfrastructure()
+	if err != nil {
+		return nil, err
+	}
+	resp := &SweepResponse{Fig: req.Fig}
+	switch req.Fig {
+	case 6, 8:
+		svc, err := aved.PaperApplicationTier(inf)
+		if err != nil {
+			return nil, err
+		}
+		solver, err := aved.NewSolver(inf, svc, aved.Options{
+			Registry: aved.PaperRegistry(), Workers: workers, Engine: eng,
+			Metrics: s.metrics, Tracer: s.cfg.Tracer,
+		})
+		if err != nil {
+			return nil, err
+		}
+		if req.Fig == 6 {
+			loadGrid, err := aved.LinGrid(400, 5000, loads)
+			if err != nil {
+				return nil, badRequestError{err}
+			}
+			budgetGrid, err := aved.LogGrid(0.1, 10000, budgets)
+			if err != nil {
+				return nil, badRequestError{err}
+			}
+			resp.Fig6, err = aved.SweepFig6(ctx, solver, loadGrid, budgetGrid)
+			return resp, err
+		}
+		budgetGrid, err := aved.LogGrid(0.1, 100, budgets)
+		if err != nil {
+			return nil, badRequestError{err}
+		}
+		resp.Fig8, err = aved.SweepFig8(ctx, solver, []float64{400, 800, 1600, 3200}, budgetGrid)
+		return resp, err
+	default: // 7
+		svc, err := aved.PaperScientific(inf)
+		if err != nil {
+			return nil, err
+		}
+		solver, err := aved.NewSolver(inf, svc, aved.Options{
+			Registry: aved.PaperRegistry(), FixedMechanisms: aved.Bronze(),
+			Workers: workers, Engine: eng,
+			Metrics: s.metrics, Tracer: s.cfg.Tracer,
+		})
+		if err != nil {
+			return nil, err
+		}
+		grid, err := aved.LogGrid(1, 1000, points)
+		if err != nil {
+			return nil, badRequestError{err}
+		}
+		resp.Fig7, err = aved.SweepFig7(ctx, solver, grid)
+		return resp, err
+	}
+}

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 
 	"aved/internal/par"
@@ -35,6 +36,15 @@ type JobParams struct {
 // seeds (see repSeed), so the estimate is bit-identical at any
 // parallelism.
 func SimulateJob(seed int64, p JobParams, reps int) (float64, error) {
+	return SimulateJobCtx(context.Background(), seed, p, reps)
+}
+
+// SimulateJobCtx is SimulateJob under a caller context. The worker pool
+// checks ctx once per replication claim, so cancellation stops the
+// estimate mid-budget — after at most one in-flight replication per
+// worker — instead of completing the full budget; the partial samples
+// are discarded and ctx's error returned.
+func SimulateJobCtx(ctx context.Context, seed int64, p JobParams, reps int) (float64, error) {
 	if p.ComputeHours <= 0 {
 		return 0, fmt.Errorf("sim: compute time must be positive, got %v", p.ComputeHours)
 	}
@@ -52,7 +62,7 @@ func SimulateJob(seed int64, p JobParams, reps int) (float64, error) {
 		lw = p.ComputeHours
 	}
 	samples := make([]float64, reps)
-	if err := par.ForEach(p.Workers, reps, func(r int) error {
+	if err := par.ForEachCtx(ctx, p.Workers, reps, func(r int) error {
 		rg := newRNG(repSeed(seed, r))
 		samples[r] = simulateJobOnce(&rg, p.ComputeHours, lw, p.MTBFHours, p.OutageHours)
 		return nil

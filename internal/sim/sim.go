@@ -21,6 +21,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sync"
@@ -142,7 +143,17 @@ type Stats struct {
 // so each simulates separately; tier availabilities compose in series
 // exactly as in the analytic engine.
 func (e *Engine) Evaluate(tms []avail.TierModel) (avail.Result, error) {
-	res, _, err := e.EvaluateStats(tms)
+	res, _, err := e.EvaluateStatsCtx(context.Background(), tms)
+	return res, err
+}
+
+// EvaluateCtx is Evaluate under a caller context: replication batches
+// check ctx between batches (and each batch's worker pool once per
+// replication claim), so a cancelled evaluation stops after at most one
+// in-flight batch instead of burning the remaining budget. It is the
+// entry point core.Solver uses when it holds a cancellable context.
+func (e *Engine) EvaluateCtx(ctx context.Context, tms []avail.TierModel) (avail.Result, error) {
+	res, _, err := e.EvaluateStatsCtx(ctx, tms)
 	return res, err
 }
 
@@ -158,6 +169,12 @@ func (e *Engine) Evaluate(tms []avail.TierModel) (avail.Result, error) {
 // currently has the widest confidence interval (simulateDesignAdaptive)
 // until the composed estimate meets the target.
 func (e *Engine) EvaluateStats(tms []avail.TierModel) (avail.Result, []Stats, error) {
+	return e.EvaluateStatsCtx(context.Background(), tms)
+}
+
+// EvaluateStatsCtx is EvaluateStats under a caller context; see
+// EvaluateCtx for the cancellation granularity.
+func (e *Engine) EvaluateStatsCtx(ctx context.Context, tms []avail.TierModel) (avail.Result, []Stats, error) {
 	if len(tms) == 0 {
 		return avail.Result{}, nil, fmt.Errorf("sim: no tiers to evaluate")
 	}
@@ -166,11 +183,11 @@ func (e *Engine) EvaluateStats(tms []avail.TierModel) (avail.Result, []Stats, er
 		err error
 	)
 	if e.relErr > 0 && len(tms) > 1 {
-		sts, err = e.simulateDesignAdaptive(tms)
+		sts, err = e.simulateDesignAdaptive(ctx, tms)
 	} else {
 		sts = make([]Stats, len(tms))
 		for i := range tms {
-			if sts[i], err = e.SimulateTier(&tms[i]); err != nil {
+			if sts[i], err = e.SimulateTierCtx(ctx, &tms[i]); err != nil {
 				break
 			}
 		}
@@ -203,7 +220,7 @@ func (e *Engine) EvaluateStats(tms []avail.TierModel) (avail.Result, []Stats, er
 // exhausts its reps budget. All decisions depend only on batch
 // statistics folded in replication order, so the allocation — and the
 // estimate — is bit-identical at any worker count.
-func (e *Engine) simulateDesignAdaptive(tms []avail.TierModel) ([]Stats, error) {
+func (e *Engine) simulateDesignAdaptive(ctx context.Context, tms []avail.TierModel) ([]Stats, error) {
 	for i := range tms {
 		if err := tms[i].Validate(); err != nil {
 			return nil, err
@@ -216,14 +233,25 @@ func (e *Engine) simulateDesignAdaptive(tms []avail.TierModel) ([]Stats, error) 
 	if batch > e.reps {
 		batch = e.reps
 	}
+	done := ctx.Done()
 	ws := make([]welford, len(tms))
 	buf := make([]float64, batch)
 	for i := range tms {
-		if err := e.runBatch(&tms[i], &ws[i], batch, buf); err != nil {
+		if err := e.runBatch(ctx, &tms[i], &ws[i], batch, buf); err != nil {
 			return nil, err
 		}
 	}
 	for {
+		// The allocation loop re-checks ctx every round: a round runs one
+		// batch, so this is the same between-batch granularity as
+		// SimulateTierCtx and the whole evaluation stops mid-budget.
+		if done != nil {
+			select {
+			case <-done:
+				return nil, ctx.Err()
+			default:
+			}
+		}
 		var mean, hw2 float64
 		for i := range ws {
 			st := ws[i].stats()
@@ -250,7 +278,7 @@ func (e *Engine) simulateDesignAdaptive(tms []avail.TierModel) ([]Stats, error) 
 		if left := e.reps - ws[pick].n; left < k {
 			k = left
 		}
-		if err := e.runBatch(&tms[pick], &ws[pick], k, buf); err != nil {
+		if err := e.runBatch(ctx, &tms[pick], &ws[pick], k, buf); err != nil {
 			return nil, err
 		}
 	}
@@ -277,6 +305,16 @@ var arenaPool = sync.Pool{New: func() any { return new(tierSim) }}
 // statistics alone, so the replication count at which it stops — and
 // therefore the estimate — is bit-identical at any worker count.
 func (e *Engine) SimulateTier(tm *avail.TierModel) (Stats, error) {
+	return e.SimulateTierCtx(context.Background(), tm)
+}
+
+// SimulateTierCtx is SimulateTier under a caller context. Cancellation
+// is honoured mid-budget: the batch loop checks ctx between batches and
+// the in-flight batch's worker pool checks it per replication claim, so
+// an expired deadline stops the simulation without draining the
+// remaining replications. The partial statistics are discarded — a
+// cancelled estimate never folds into caches or results.
+func (e *Engine) SimulateTierCtx(ctx context.Context, tm *avail.TierModel) (Stats, error) {
 	if err := tm.Validate(); err != nil {
 		return Stats{}, err
 	}
@@ -295,7 +333,7 @@ func (e *Engine) SimulateTier(tm *avail.TierModel) (Stats, error) {
 		if left := e.reps - w.n; left < k {
 			k = left
 		}
-		if err := e.runBatch(tm, &w, k, buf); err != nil {
+		if err := e.runBatch(ctx, tm, &w, k, buf); err != nil {
 			return Stats{}, err
 		}
 		if e.relErr > 0 && w.n >= 2 {
@@ -310,10 +348,12 @@ func (e *Engine) SimulateTier(tm *avail.TierModel) (Stats, error) {
 // runBatch fans replications [w.n, w.n+k) of tm across the worker pool
 // on pooled arenas, writing samples by index into buf, then folds them
 // into w in replication order — the one fold order that keeps the
-// accumulated statistics independent of scheduling.
-func (e *Engine) runBatch(tm *avail.TierModel, w *welford, k int, buf []float64) error {
+// accumulated statistics independent of scheduling. On any error —
+// including cancellation mid-batch — it returns before folding, so w
+// never absorbs a partially executed batch's zero-valued samples.
+func (e *Engine) runBatch(ctx context.Context, tm *avail.TierModel, w *welford, k int, buf []float64) error {
 	base := w.n
-	err := par.ForEach(e.workers, k, func(i int) error {
+	err := par.ForEachCtx(ctx, e.workers, k, func(i int) error {
 		s := arenaPool.Get().(*tierSim)
 		rg := newRNG(repSeed(e.seed, base+i))
 		down, err := simulateOnce(tm, &rg, e.years, s)

@@ -1,6 +1,7 @@
 package sweep
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -51,7 +52,7 @@ type Fig6Result struct {
 // family. The per-family curves reproduce the structure of Fig. 6:
 // each curve traces the downtime estimate of a family across the loads
 // where it is optimal for some requirement level.
-func Fig6(solver *core.Solver, loads, budgetsMinutes []float64) (*Fig6Result, error) {
+func Fig6(ctx context.Context, solver *core.Solver, loads, budgetsMinutes []float64) (*Fig6Result, error) {
 	if len(loads) == 0 || len(budgetsMinutes) == 0 {
 		return nil, fmt.Errorf("sweep: fig6 needs non-empty load and budget grids")
 	}
@@ -67,10 +68,10 @@ func Fig6(solver *core.Solver, loads, budgetsMinutes []float64) (*Fig6Result, er
 	}
 	cells := make([]cell, len(loads)*nb)
 	po := solverPointObs(solver, len(cells))
-	err := par.ForEach(solver.Workers(), len(cells), func(i int) error {
+	err := par.ForEachCtx(ctx, solver.Workers(), len(cells), func(i int) error {
 		load, budget := loads[i/nb], budgetsMinutes[i%nb]
 		start := po.Begin()
-		sol, err := solver.Solve(model.Requirements{
+		sol, err := solver.SolveContext(ctx, model.Requirements{
 			Kind:              model.ReqEnterprise,
 			Throughput:        load,
 			MaxAnnualDowntime: units.Duration(budget * float64(units.Minute)),

@@ -1,6 +1,7 @@
 package sweep
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -32,7 +33,7 @@ type Fig7Point struct {
 // dimensions the figure plots — resource type, resource count, spares,
 // checkpoint interval and storage location. Infeasible requirements
 // are skipped (the left edge of the axis).
-func Fig7(solver *core.Solver, requirementHours []float64) ([]Fig7Point, error) {
+func Fig7(ctx context.Context, solver *core.Solver, requirementHours []float64) ([]Fig7Point, error) {
 	if len(requirementHours) == 0 {
 		return nil, fmt.Errorf("sweep: fig7 needs a non-empty requirement grid")
 	}
@@ -45,10 +46,10 @@ func Fig7(solver *core.Solver, requirementHours []float64) ([]Fig7Point, error) 
 	}
 	slots := make([]slot, len(requirementHours))
 	po := solverPointObs(solver, len(slots))
-	err := par.ForEach(solver.Workers(), len(slots), func(i int) error {
+	err := par.ForEachCtx(ctx, solver.Workers(), len(slots), func(i int) error {
 		h := requirementHours[i]
 		start := po.Begin()
-		sol, err := solver.Solve(model.Requirements{
+		sol, err := solver.SolveContext(ctx, model.Requirements{
 			Kind:       model.ReqJob,
 			MaxJobTime: units.FromHours(h),
 		})

@@ -1,6 +1,7 @@
 package sweep
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -36,7 +37,7 @@ type Fig8Curve struct {
 // for each load, the baseline is the minimum-cost design with no
 // availability requirement; each point reports how much more per year
 // a given downtime bound costs (§5.3). Infeasible budgets are skipped.
-func Fig8(solver *core.Solver, loads, budgetsMinutes []float64) ([]Fig8Curve, error) {
+func Fig8(ctx context.Context, solver *core.Solver, loads, budgetsMinutes []float64) ([]Fig8Curve, error) {
 	if len(loads) == 0 || len(budgetsMinutes) == 0 {
 		return nil, fmt.Errorf("sweep: fig8 needs non-empty load and budget grids")
 	}
@@ -55,14 +56,14 @@ func Fig8(solver *core.Solver, loads, budgetsMinutes []float64) ([]Fig8Curve, er
 	}
 	cells := make([]cell, len(loads)*stride)
 	po := solverPointObs(solver, len(cells))
-	err := par.ForEach(solver.Workers(), len(cells), func(i int) error {
+	err := par.ForEachCtx(ctx, solver.Workers(), len(cells), func(i int) error {
 		load := loads[i/stride]
 		j := i % stride
 		start := po.Begin()
 		if j == 0 {
 			// No availability requirement: any downtime within the year
 			// is acceptable, so the budget is the whole year.
-			base, err := solver.Solve(model.Requirements{
+			base, err := solver.SolveContext(ctx, model.Requirements{
 				Kind:              model.ReqEnterprise,
 				Throughput:        load,
 				MaxAnnualDowntime: units.Duration(avail.MinutesPerYear * float64(units.Minute)),
@@ -77,7 +78,7 @@ func Fig8(solver *core.Solver, loads, budgetsMinutes []float64) ([]Fig8Curve, er
 			return nil
 		}
 		budget := budgetsMinutes[j-1]
-		sol, err := solver.Solve(model.Requirements{
+		sol, err := solver.SolveContext(ctx, model.Requirements{
 			Kind:              model.ReqEnterprise,
 			Throughput:        load,
 			MaxAnnualDowntime: units.Duration(budget * float64(units.Minute)),

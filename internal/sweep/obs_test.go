@@ -1,6 +1,7 @@
 package sweep
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -51,7 +52,7 @@ func TestFig6SweepObs(t *testing.T) {
 	solver := obsAppSolver(t, &tr, reg)
 	loads := []float64{400, 1400}
 	budgets := []float64{0.2, 100, 1000} // 0.2 min is infeasible at these loads
-	res, err := Fig6(solver, loads, budgets)
+	res, err := Fig6(context.Background(), solver, loads, budgets)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -112,7 +113,7 @@ func TestFig6SweepObs(t *testing.T) {
 // TestFig7Fig8PointStats: the job-axis and premium sweeps carry each
 // point's search effort, baselines included.
 func TestFig7Fig8PointStats(t *testing.T) {
-	points, err := Fig7(sciSolver(t), []float64{20, 200})
+	points, err := Fig7(context.Background(), sciSolver(t), []float64{20, 200})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -124,7 +125,7 @@ func TestFig7Fig8PointStats(t *testing.T) {
 			t.Errorf("fig7 point %vh has empty stats", p.RequirementHours)
 		}
 	}
-	curves, err := Fig8(appSolver(t), []float64{800}, []float64{100, 1000})
+	curves, err := Fig8(context.Background(), appSolver(t), []float64{800}, []float64{100, 1000})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -143,7 +144,7 @@ func TestFig7Fig8PointStats(t *testing.T) {
 // TestUntracedSweepEmitsNothing: a solver without observability leaves
 // the sweep's instrumentation inert.
 func TestUntracedSweepEmitsNothing(t *testing.T) {
-	res, err := Fig6(appSolver(t), []float64{400}, []float64{100})
+	res, err := Fig6(context.Background(), appSolver(t), []float64{400}, []float64{100})
 	if err != nil {
 		t.Fatal(err)
 	}

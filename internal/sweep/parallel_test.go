@@ -1,6 +1,7 @@
 package sweep
 
 import (
+	"context"
 	"reflect"
 	"testing"
 
@@ -79,7 +80,7 @@ func TestFig6WorkerCountBitIdentical(t *testing.T) {
 		}
 		return out
 	}
-	seq, err := Fig6(appSolverWorkers(t, 1), loads, budgets)
+	seq, err := Fig6(context.Background(), appSolverWorkers(t, 1), loads, budgets)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -87,7 +88,7 @@ func TestFig6WorkerCountBitIdentical(t *testing.T) {
 		t.Fatalf("degenerate fixture: %d points, %d curves", len(seq.Points), len(seq.Curves))
 	}
 	for _, workers := range []int{4, 0} {
-		parl, err := Fig6(appSolverWorkers(t, workers), loads, budgets)
+		parl, err := Fig6(context.Background(), appSolverWorkers(t, workers), loads, budgets)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -110,7 +111,7 @@ func TestFig7WorkerCountBitIdentical(t *testing.T) {
 		}
 		return out
 	}
-	seq, err := Fig7(sciSolverWorkers(t, 1), hours)
+	seq, err := Fig7(context.Background(), sciSolverWorkers(t, 1), hours)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -118,7 +119,7 @@ func TestFig7WorkerCountBitIdentical(t *testing.T) {
 		t.Fatal("degenerate fixture: no points")
 	}
 	for _, workers := range []int{4, 0} {
-		parl, err := Fig7(sciSolverWorkers(t, workers), hours)
+		parl, err := Fig7(context.Background(), sciSolverWorkers(t, workers), hours)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -144,7 +145,7 @@ func TestFig8WorkerCountBitIdentical(t *testing.T) {
 		}
 		return out
 	}
-	seq, err := Fig8(appSolverWorkers(t, 1), loads, budgets)
+	seq, err := Fig8(context.Background(), appSolverWorkers(t, 1), loads, budgets)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -152,7 +153,7 @@ func TestFig8WorkerCountBitIdentical(t *testing.T) {
 		t.Fatalf("curves = %d, want %d", len(seq), len(loads))
 	}
 	for _, workers := range []int{4, 0} {
-		parl, err := Fig8(appSolverWorkers(t, workers), loads, budgets)
+		parl, err := Fig8(context.Background(), appSolverWorkers(t, workers), loads, budgets)
 		if err != nil {
 			t.Fatal(err)
 		}

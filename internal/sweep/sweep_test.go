@@ -1,6 +1,7 @@
 package sweep
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -87,7 +88,7 @@ func TestFig6SmallSweep(t *testing.T) {
 	solver := appSolver(t)
 	loads := []float64{400, 1400, 3200}
 	budgets := []float64{10, 100, 1000, 8000}
-	res, err := Fig6(solver, loads, budgets)
+	res, err := Fig6(context.Background(), solver, loads, budgets)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -131,7 +132,7 @@ func TestFig6SmallSweep(t *testing.T) {
 func TestFig7SmallSweep(t *testing.T) {
 	solver := sciSolver(t)
 	reqs := []float64{2, 20, 200, 1000}
-	points, err := Fig7(solver, reqs)
+	points, err := Fig7(context.Background(), solver, reqs)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -174,7 +175,7 @@ func TestFig7SmallSweep(t *testing.T) {
 
 func TestFig8SmallSweep(t *testing.T) {
 	solver := appSolver(t)
-	curves, err := Fig8(solver, []float64{400, 1600}, []float64{1, 10, 100, 1000})
+	curves, err := Fig8(context.Background(), solver, []float64{400, 1600}, []float64{1, 10, 100, 1000})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -238,13 +239,13 @@ func TestFamilyOfAndString(t *testing.T) {
 
 func TestSweepInputValidation(t *testing.T) {
 	solver := appSolver(t)
-	if _, err := Fig6(solver, nil, []float64{1}); err == nil {
+	if _, err := Fig6(context.Background(), solver, nil, []float64{1}); err == nil {
 		t.Error("Fig6 empty loads should fail")
 	}
-	if _, err := Fig7(sciSolver(t), nil); err == nil {
+	if _, err := Fig7(context.Background(), sciSolver(t), nil); err == nil {
 		t.Error("Fig7 empty grid should fail")
 	}
-	if _, err := Fig8(solver, nil, nil); err == nil {
+	if _, err := Fig8(context.Background(), solver, nil, nil); err == nil {
 		t.Error("Fig8 empty grids should fail")
 	}
 }
