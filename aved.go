@@ -89,7 +89,27 @@ type (
 	// the partial search statistics. It unwraps to context.Canceled or
 	// context.DeadlineExceeded.
 	CanceledError = core.CanceledError
+	// SearchMode selects the tier-search strategy (Options.Search).
+	SearchMode = core.SearchMode
+	// Delta describes which parts of the infrastructure changed between
+	// solves, for warm-started re-solves (Solver.Rebind / Resolve).
+	Delta = core.Delta
 )
+
+// Search strategies.
+const (
+	// SearchBnB is the default best-first branch-and-bound search with
+	// admissible bounds; bit-identical to exhaustive, far fewer
+	// availability evaluations.
+	SearchBnB = core.SearchBnB
+	// SearchExhaustive is the full grid enumeration with cost pruning
+	// only, kept as the reference oracle.
+	SearchExhaustive = core.SearchExhaustive
+)
+
+// ParseSearchMode resolves a search-strategy name ("bnb", "exhaustive"
+// or empty for the default) as the CLIs accept it.
+func ParseSearchMode(name string) (SearchMode, error) { return core.ParseSearchMode(name) }
 
 // Performance model types.
 type (
@@ -358,6 +378,15 @@ func ScaleMechanismCost(mechanism string) SensitivityKnob {
 // cancels the whole sweep.
 func SensitivitySweep(ctx context.Context, base *Infrastructure, cfg SensitivityConfig, knob SensitivityKnob, factors []float64) ([]SensitivityPoint, error) {
 	return sensitivity.Sweep(ctx, base, cfg, knob, factors)
+}
+
+// AvailScope reports the warm-start invalidation scope of a
+// perturbation touching one component's availability inputs: the
+// resource types embedding it (SensitivityConfig.WarmDelta). Empty
+// component means everything; price-only knobs should use a zero Delta
+// instead.
+func AvailScope(inf *Infrastructure, component string) Delta {
+	return sensitivity.AvailScope(inf, component)
 }
 
 // Availability-model exchange (the representations the paper feeds to

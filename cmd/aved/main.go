@@ -41,8 +41,10 @@ type designReport struct {
 	Tiers           []tierJS `json:"tiers"`
 	Candidates      int      `json:"candidatesGenerated"`
 	CostPruned      int      `json:"costPruned"`
+	BoundPruned     int      `json:"boundPruned"`
 	Evaluations     int      `json:"availabilityEvaluations"`
 	EvalCacheHits   int      `json:"evalCacheHits"`
+	WarmStartReuse  int      `json:"warmStartReuse,omitempty"`
 	MemoHits        uint64   `json:"modeMemoHits,omitempty"`
 	MemoSolves      uint64   `json:"modeMemoSolves,omitempty"`
 	SimReplications uint64   `json:"simReplications,omitempty"`
@@ -74,6 +76,7 @@ func run(args []string, out io.Writer) (retErr error) {
 		warmSpares  = fs.Bool("warmspares", false, "explore per-component spare operational modes (warmth levels)")
 		describe    = fs.Bool("describe", false, "print a model inventory and design-space size estimate, then exit")
 		workers     = fs.Int("workers", 0, "search worker count: 0 = all CPUs, 1 = sequential (results are identical)")
+		searchName  = fs.String("search", "bnb", "search strategy: bnb (branch-and-bound) or exhaustive (results are identical)")
 		timeout     = fs.Duration("timeout", 0, "abort the search after this long, e.g. 30s (0 = no limit)")
 		engineName  = fs.String("engine", "markov", "availability engine in the search loop: markov, exact or sim")
 		seed        = fs.Int64("seed", 1, "simulation seed (-engine sim)")
@@ -100,7 +103,11 @@ func run(args []string, out io.Writer) (retErr error) {
 	if err != nil {
 		return err
 	}
-	opts := aved.Options{Registry: reg, ExploreSpareWarmth: *warmSpares, Workers: *workers, Engine: engine, Deadline: *timeout}
+	search, err := aved.ParseSearchMode(*searchName)
+	if err != nil {
+		return err
+	}
+	opts := aved.Options{Registry: reg, ExploreSpareWarmth: *warmSpares, Workers: *workers, Engine: engine, Deadline: *timeout, Search: search}
 	if *bronze {
 		opts.FixedMechanisms = aved.Bronze()
 	}
@@ -235,8 +242,10 @@ func report(out io.Writer, sol *aved.Solution, req aved.Requirements, asJSON, ve
 		CostPerYear:     float64(sol.Cost),
 		Candidates:      sol.Stats.CandidatesGenerated,
 		CostPruned:      sol.Stats.CostPruned,
+		BoundPruned:     sol.Stats.BoundPruned,
 		Evaluations:     sol.Stats.Evaluations,
 		EvalCacheHits:   sol.Stats.EvalCacheHits,
+		WarmStartReuse:  sol.Stats.WarmStartReuse,
 		MemoHits:        sol.Stats.ModeMemoHits,
 		MemoSolves:      sol.Stats.ModeMemoSolves,
 		SimReplications: sol.Stats.SimReplications,
@@ -284,8 +293,11 @@ func report(out io.Writer, sol *aved.Solution, req aved.Requirements, asJSON, ve
 	} else {
 		fmt.Fprintf(out, "expected job completion time: %.2f hours\n", rep.JobTimeHours)
 	}
-	fmt.Fprintf(out, "search: %d candidates, %d cost-pruned, %d availability evaluations, %d cache hits\n",
-		rep.Candidates, rep.CostPruned, rep.Evaluations, rep.EvalCacheHits)
+	fmt.Fprintf(out, "search: %d candidates, %d cost-pruned, %d bound-pruned, %d availability evaluations, %d cache hits\n",
+		rep.Candidates, rep.CostPruned, rep.BoundPruned, rep.Evaluations, rep.EvalCacheHits)
+	if rep.WarmStartReuse != 0 {
+		fmt.Fprintf(out, "warm start: %d evaluations reused from earlier solves\n", rep.WarmStartReuse)
+	}
 	if rep.MemoHits != 0 || rep.MemoSolves != 0 {
 		fmt.Fprintf(out, "engine: %d memo hits, %d chain solves\n", rep.MemoHits, rep.MemoSolves)
 	}

@@ -14,11 +14,16 @@
 // and the adaptive-precision controller, behind
 // results/BENCH_sim.json.
 //
+// The -mode bnb suite (bnb.go) records the branch-and-bound search
+// effort against the exhaustive reference walk, plus the warm-start
+// payoff of what-if re-solves, behind results/BENCH_bnb.json.
+//
 // Usage:
 //
 //	avedbench                   # JSON to stdout
 //	avedbench -o results/BENCH_parallel.json
 //	avedbench -mode sim -o results/BENCH_sim.json
+//	avedbench -mode bnb -o results/BENCH_bnb.json
 package main
 
 import (
@@ -65,9 +70,13 @@ type evalCounters struct {
 }
 
 type benchReport struct {
-	GOMAXPROCS int           `json:"gomaxprocs"`
-	NumCPU     int           `json:"num_cpu"`
-	GoVersion  string        `json:"go_version"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	NumCPU     int    `json:"num_cpu"`
+	GoVersion  string `json:"go_version"`
+	// Note flags host limitations a reader needs to interpret the
+	// numbers — most importantly a single-CPU host, where the parallel
+	// runs cannot beat the sequential baseline by construction.
+	Note       string        `json:"note,omitempty"`
 	Benchmarks []benchResult `json:"benchmarks"`
 }
 
@@ -87,7 +96,7 @@ func newEvalCounters(engineEvals, hits, solves uint64) *evalCounters {
 
 func main() {
 	out := flag.String("o", "", "write JSON here instead of stdout")
-	mode := flag.String("mode", "parallel", "benchmark suite: parallel (results/BENCH_parallel.json) or sim (results/BENCH_sim.json)")
+	mode := flag.String("mode", "parallel", "benchmark suite: parallel (results/BENCH_parallel.json), sim (results/BENCH_sim.json) or bnb (results/BENCH_bnb.json)")
 	flag.Parse()
 	// Benchmark at full parallelism even when the environment pinned
 	// GOMAXPROCS down (the bug behind a recorded gomaxprocs of 1).
@@ -100,8 +109,10 @@ func main() {
 		err = run(*out)
 	case "sim":
 		err = runSim(*out)
+	case "bnb":
+		err = runBnB(*out)
 	default:
-		err = fmt.Errorf("unknown -mode %q (want parallel or sim)", *mode)
+		err = fmt.Errorf("unknown -mode %q (want parallel, sim or bnb)", *mode)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "avedbench:", err)
@@ -123,6 +134,10 @@ func run(outPath string) error {
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		NumCPU:     runtime.NumCPU(),
 		GoVersion:  runtime.Version(),
+	}
+	if rep.NumCPU == 1 {
+		rep.Note = "single-CPU host: the pooled runs cannot beat the sequential baseline; " +
+			"speedups near 1.0x measure pool overhead, not parallel scaling"
 	}
 	for _, c := range cases {
 		seq := testing.Benchmark(c.fn(1))

@@ -46,6 +46,8 @@ func run(args []string, out io.Writer) (retErr error) {
 		downtime = fs.String("downtime", "", "max annual downtime, e.g. 2000m (enterprise)")
 		jobTime  = fs.String("jobtime", "", "max expected job time, e.g. 100h (scientific scenario)")
 		workers  = fs.Int("workers", 0, "factor worker count: 0 = all CPUs, 1 = sequential (results are identical)")
+		warm     = fs.Bool("warm", true, "warm-start each factor's solve from the previous one on a shared solver (results are identical; factors then run sequentially)")
+		search   = fs.String("search", "bnb", "per-factor search strategy: bnb (branch-and-bound) or exhaustive (results are identical)")
 		engine   = fs.String("engine", "markov", "availability engine in the per-factor search: markov, exact or sim")
 		seed     = fs.Int64("seed", 1, "simulation seed (-engine sim)")
 		years    = fs.Float64("years", 1000, "simulated years per replication (-engine sim)")
@@ -74,6 +76,17 @@ func run(args []string, out io.Writer) (retErr error) {
 		return err
 	}
 	cfg := aved.SensitivityConfig{Registry: aved.PaperRegistry(), Workers: *workers}
+	if *warm {
+		// Warm-started re-solves share one solver across factors; the
+		// delta names what each knob application may invalidate. The
+		// mtbf knob moves availability inputs of the target component's
+		// resource types; cost knobs move prices only, which the
+		// evaluation cache never stores.
+		cfg.WarmStart = true
+		if *knobName == "mtbf" {
+			cfg.WarmDelta = aved.AvailScope(inf, *target)
+		}
+	}
 	switch {
 	case *jobTime != "":
 		d, err := aved.ParseDuration(*jobTime)
@@ -110,6 +123,10 @@ func run(args []string, out io.Writer) (retErr error) {
 		return err
 	}
 	cfg.SolverOptions.Engine = eng
+	cfg.SolverOptions.Search, err = aved.ParseSearchMode(*search)
+	if err != nil {
+		return err
+	}
 	setup, err := aved.NewObsSetup(*tracePath, *metricsPath, *debugAddr)
 	if err != nil {
 		return err
@@ -145,6 +162,9 @@ func run(args []string, out io.Writer) (retErr error) {
 			p.Factor, p.Cost, p.DowntimeMinutes, p.JobTimeHours, p.Label)
 	}
 	fmt.Fprintf(out, "# totals: %s\n", tot)
+	if tot.WarmStartReuse > 0 {
+		fmt.Fprintf(out, "# warm start: %d evaluations reused across factors\n", tot.WarmStartReuse)
+	}
 	return nil
 }
 

@@ -22,23 +22,41 @@ import (
 func (s *Solver) solveEnterprise(ctx context.Context, req model.Requirements) (*Solution, error) {
 	budget := req.MaxAnnualDowntime.Minutes()
 	var stats searchStats
+	stats.gen = s.gen.Add(1)
 	tr := s.opts.Tracer
+
+	// The combination bounds may engage under branch-and-bound with the
+	// exact combiner; phase 1 then already collects (cost, downtime)
+	// pools for the upper bound's mini-combination (see combineBounds).
+	// Whether the bounds actually hold is known only after phase 1, from
+	// its per-tier certificates.
+	useBounds := s.opts.Search != SearchExhaustive &&
+		s.opts.Combiner != CombineMethodGreedy && len(s.svc.Tiers) > 1
+	if useBounds {
+		stats.poolIdx = make(map[string]int, len(s.svc.Tiers))
+		stats.pools = make([][]TierCandidate, len(s.svc.Tiers))
+		for i := range s.svc.Tiers {
+			stats.poolIdx[s.svc.Tiers[i].Name] = i
+		}
+	}
 
 	// Phase 1: each tier in isolation against the full budget. The
 	// per-tier optimum is a cost lower bound, so if the combination
 	// meets the budget it is the overall optimum.
 	endPhase := s.emitPhase("tier-search")
 	perTier := make([]*TierCandidate, len(s.svc.Tiers))
+	certified := make([]bool, len(s.svc.Tiers))
 	err := par.ForEachCtx(ctx, s.opts.Workers, len(s.svc.Tiers), func(i int) error {
 		start := time.Time{}
 		if tr != nil {
 			start = time.Now()
 		}
-		cand, err := s.searchTier(ctx, &s.svc.Tiers[i], req.Throughput, budget, &stats)
+		cand, cert, err := s.searchTier(ctx, &s.svc.Tiers[i], req.Throughput, budget, &stats)
 		if err != nil {
 			return err
 		}
 		perTier[i] = cand
+		certified[i] = cert
 		if tr != nil && cand != nil {
 			tr.Emit(obs.Event{Ev: obs.EvTierDone, Tier: s.svc.Tiers[i].Name,
 				Cost: float64(cand.Cost), Down: cand.DowntimeMinutes,
@@ -65,42 +83,256 @@ func (s *Solver) solveEnterprise(ctx context.Context, req model.Requirements) (*
 	// incrementally more aggressive requirements. The frontiers carry
 	// each tier's cost/downtime tradeoff; the combiner picks the
 	// minimum-cost point set whose series composition meets the budget.
-	endPhase = s.emitPhase("frontier")
-	frontiers := make([][]TierCandidate, len(s.svc.Tiers))
-	err = par.ForEachCtx(ctx, s.opts.Workers, len(s.svc.Tiers), func(i int) error {
-		f, err := s.tierFrontier(ctx, &s.svc.Tiers[i], req.Throughput, &stats)
-		if err != nil {
-			return err
+	//
+	// Under SearchBnB with the exact combiner, an admissible cost bound
+	// truncates the frontier build first: combineBounds finds a feasible
+	// combination whose total cost UB bounds the optimum from above; and
+	// any tier's point in a budget-feasible combination must itself meet
+	// the full budget in isolation, so it costs at least the tier's
+	// phase-1 optimum. A tier may therefore only contribute points
+	// costing at most UB - sum(other tiers' phase-1 costs), and its
+	// frontier build can skip every size subtree above that threshold.
+	//
+	// The truncation is validated after combining: the truncated
+	// frontiers are exactly the ≤-threshold prefixes of the full ones,
+	// so if the combined cost lands within UB, every optimal
+	// combination of the full frontiers survived truncation and the
+	// branch-and-bound result is bit-identical to the exhaustive one.
+	// If it lands above UB, the frontiers are rebuilt unbounded — the
+	// evaluation cache makes the rebuild re-evaluate only the skipped
+	// candidates — and combined again.
+	//
+	// The thresholds are only admissible when every phase-1 optimum is a
+	// certified lower bound over its tier's whole candidate space (see
+	// searchTier); an uncertified tier disables the bounds for the solve.
+	if useBounds {
+		for _, cert := range certified {
+			if !cert {
+				useBounds = false
+				break
+			}
 		}
-		frontiers[i] = f
-		return nil
-	})
-	endPhase()
+	}
+	var thresholds []float64
+	ub := math.Inf(1)
+	if useBounds {
+		var err error
+		ub, thresholds, err = s.combineBounds(ctx, req, perTier, &stats)
+		if err != nil {
+			return nil, wrapCanceled(err, &stats)
+		}
+	} else {
+		stats.pools = nil
+	}
+	buildFrontiers := func(thresholds []float64) ([][]TierCandidate, error) {
+		endPhase := s.emitPhase("frontier")
+		defer endPhase()
+		frontiers := make([][]TierCandidate, len(s.svc.Tiers))
+		err := par.ForEachCtx(ctx, s.opts.Workers, len(s.svc.Tiers), func(i int) error {
+			maxCost := math.Inf(1)
+			if thresholds != nil {
+				maxCost = thresholds[i]
+			}
+			f, err := s.tierFrontier(ctx, &s.svc.Tiers[i], req.Throughput, maxCost, &stats)
+			if err != nil {
+				return err
+			}
+			frontiers[i] = f
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		return frontiers, nil
+	}
+	combine := func(frontiers [][]TierCandidate) ([]*TierCandidate, bool) {
+		for i := range frontiers {
+			if len(frontiers[i]) == 0 {
+				return nil, false
+			}
+		}
+		endPhase := s.emitPhase("combine")
+		defer endPhase()
+		if s.opts.Combiner == CombineMethodGreedy {
+			return CombineGreedy(frontiers, budget)
+		}
+		return CombineExact(frontiers, budget)
+	}
+	frontiers, err := buildFrontiers(thresholds)
 	if err != nil {
 		return nil, wrapCanceled(err, &stats)
 	}
-	for i := range frontiers {
-		if len(frontiers[i]) == 0 {
-			return nil, &InfeasibleError{Reason: fmt.Sprintf("tier %q has no feasible designs", s.svc.Tiers[i].Name)}
+	chosen, ok := combine(frontiers)
+	if thresholds != nil && (!ok || combinedCost(chosen) > ub+math.Abs(ub)*1e-9) {
+		// Validity check failed: the truncated search cannot prove the
+		// result optimal, so fall back to the full build.
+		frontiers, err = buildFrontiers(nil)
+		if err != nil {
+			return nil, wrapCanceled(err, &stats)
 		}
+		chosen, ok = combine(frontiers)
 	}
-	endPhase = s.emitPhase("combine")
-	var (
-		chosen []*TierCandidate
-		ok     bool
-	)
-	switch s.opts.Combiner {
-	case CombineMethodGreedy:
-		chosen, ok = CombineGreedy(frontiers, budget)
-	default:
-		chosen, ok = CombineExact(frontiers, budget)
-	}
-	endPhase()
 	if !ok {
+		for i := range frontiers {
+			if len(frontiers[i]) == 0 {
+				return nil, &InfeasibleError{Reason: fmt.Sprintf("tier %q has no feasible designs", s.svc.Tiers[i].Name)}
+			}
+		}
 		return nil, &InfeasibleError{Reason: fmt.Sprintf(
 			"no tier combination meets %v annual downtime at load %v", req.MaxAnnualDowntime, req.Throughput)}
 	}
 	return s.finishEnterprise(ctx, chosen, &stats)
+}
+
+// combineBounds computes the combination phase's admissible cost
+// bounds: an upper bound UB on the optimal combined cost, and per-tier
+// cost thresholds UB - sum(other tiers' phase-1 costs) that truncate
+// each frontier build.
+//
+// UB construction is adaptive. A waterfilling pass splits the downtime
+// budget across tiers proportionally to their current downtimes and
+// re-solves each tier at its share — tier downtimes compose
+// sub-additively in series, so shares summing within the budget give a
+// feasible stack; tiers that cannot meet their share are pinned at
+// their best known design and the remaining budget is re-split among
+// the rest. A final mini-combination over every (cost, downtime) pair
+// evaluated so far — collected during phase 1 and the waterfilling
+// solves at no extra engine work — then mixes designs across the
+// different share splits, usually tightening UB further. It reports
+// +Inf and nil thresholds when no feasible combination surfaces — then
+// the frontiers build unbounded, exactly as under SearchExhaustive.
+func (s *Solver) combineBounds(ctx context.Context, req model.Requirements, perTier []*TierCandidate, stats *searchStats) (float64, []float64, error) {
+	n := len(s.svc.Tiers)
+	budget := req.MaxAnnualDowntime.Minutes()
+	endPhase := s.emitPhase("bound")
+	// A solver that already solved once seeds the UB from its previous
+	// optimal combination instead of waterfilling: re-pricing it under
+	// the current models replays every untouched tier from the warm
+	// cache, so a what-if re-solve pays about one engine evaluation for
+	// a near-optimal bound where the probe pass would re-search the
+	// perturbed tier at several tightened budgets.
+	if c, ok, err := s.seedUB(ctx, req, stats); err != nil {
+		endPhase()
+		return math.Inf(1), nil, err
+	} else if ok {
+		endPhase()
+		return s.finishBounds(c, budget, perTier, stats)
+	}
+	cur := make([]*TierCandidate, n)
+	copy(cur, perTier)
+	pinned := make([]bool, n)
+	next := make([]*TierCandidate, n)
+	for round := 0; round < n; round++ {
+		rem, sumUn := budget, 0.0
+		for i := range cur {
+			if pinned[i] {
+				rem -= cur[i].DowntimeMinutes
+			} else {
+				sumUn += cur[i].DowntimeMinutes
+			}
+		}
+		if combinedDowntime(cur) <= budget || sumUn <= rem || rem <= 0 || sumUn == 0 {
+			break
+		}
+		scale := rem / sumUn
+		for i := range next {
+			next[i] = nil
+		}
+		err := par.ForEachCtx(ctx, s.opts.Workers, n, func(i int) error {
+			if pinned[i] {
+				return nil
+			}
+			cand, _, err := s.searchTier(ctx, &s.svc.Tiers[i], req.Throughput, cur[i].DowntimeMinutes*scale, stats)
+			if err != nil {
+				return err
+			}
+			next[i] = cand
+			return nil
+		})
+		if err != nil {
+			endPhase()
+			return math.Inf(1), nil, err
+		}
+		progress := false
+		for i := range next {
+			if pinned[i] {
+				continue
+			}
+			if next[i] == nil {
+				pinned[i] = true
+			} else {
+				cur[i] = next[i]
+				progress = true
+			}
+		}
+		if !progress {
+			break
+		}
+	}
+	endPhase()
+	ub := math.Inf(1)
+	if combinedDowntime(cur) <= budget {
+		ub = combinedCost(cur)
+	}
+	return s.finishBounds(ub, budget, perTier, stats)
+}
+
+// finishBounds turns a candidate upper bound into the per-tier frontier
+// thresholds: a mini-combination over the evaluated pools first tries
+// to tighten it — the optimal mix of everything the searches have
+// already priced, at no extra engine work — then each tier's threshold
+// is what the UB leaves after paying every other tier's certified
+// phase-1 minimum.
+func (s *Solver) finishBounds(ub, budget float64, perTier []*TierCandidate, stats *searchStats) (float64, []float64, error) {
+	n := len(perTier)
+	// Pool collection stops here — frontier evaluations can no longer
+	// influence the bound.
+	if pools := stats.pools; pools != nil {
+		stats.pools = nil
+		reduced := make([][]TierCandidate, n)
+		complete := true
+		for i := range pools {
+			reduced[i] = paretoReduce(pools[i])
+			if len(reduced[i]) == 0 {
+				complete = false
+			}
+		}
+		if complete {
+			if combo, ok := CombineExact(reduced, budget); ok {
+				if c := combinedCost(combo); c < ub {
+					ub = c
+				}
+			}
+		}
+	}
+	if math.IsInf(ub, 1) {
+		return ub, nil, nil
+	}
+	phase1Sum := 0.0
+	for i := range perTier {
+		phase1Sum += float64(perTier[i].Cost)
+	}
+	// Relative slack absorbs the rounding of the float sums above: when
+	// the optimal combination's cost IS the UB, the exact threshold
+	// UB - sum(others' phase-1 costs) can land a few ulps below the
+	// optimal point's own cost and prune the very point the bound was
+	// built from, forcing a pointless full rebuild. Widening the
+	// thresholds only prunes less, which is always admissible.
+	slack := math.Abs(ub) * 1e-9
+	thresholds := make([]float64, n)
+	for i := range thresholds {
+		thresholds[i] = ub + slack - (phase1Sum - float64(perTier[i].Cost))
+	}
+	return ub, thresholds, nil
+}
+
+// combinedCost sums the chosen tier candidates' costs.
+func combinedCost(chosen []*TierCandidate) float64 {
+	var total float64
+	for _, c := range chosen {
+		total += float64(c.Cost)
+	}
+	return total
 }
 
 // finishEnterprise assembles the Solution from chosen tier candidates.
@@ -131,6 +363,7 @@ func (s *Solver) finishEnterprise(ctx context.Context, chosen []*TierCandidate, 
 		// Stats.Evaluations.
 		tr.Emit(obs.Event{Ev: obs.EvEvalMiss, Tier: "design", Down: res.DowntimeMinutes})
 	}
+	s.rememberCombo(chosen)
 	return &Solution{
 		Design:          design,
 		Cost:            total,

@@ -227,9 +227,11 @@ func TestTighterBudgetCostsMore(t *testing.T) {
 }
 
 // TestCostPruningEngages: after the first feasible design the search
-// rejects dearer candidates without availability evaluations.
+// rejects dearer candidates without availability evaluations — via the
+// §4.1 incumbent prune under SearchExhaustive, via the sorted
+// branch-and-bound cut under the default SearchBnB.
 func TestCostPruningEngages(t *testing.T) {
-	s := appTierSolver(t, Options{})
+	s := appTierSolver(t, Options{Search: SearchExhaustive})
 	sol, err := s.Solve(enterpriseReq(1000, 1000))
 	if err != nil {
 		t.Fatal(err)
@@ -237,11 +239,34 @@ func TestCostPruningEngages(t *testing.T) {
 	if sol.Stats.CostPruned == 0 {
 		t.Error("expected cost-pruned candidates")
 	}
+	if sol.Stats.BoundPruned != 0 {
+		t.Errorf("exhaustive search bound-pruned %d candidates, want 0", sol.Stats.BoundPruned)
+	}
 	if sol.Stats.CandidatesGenerated <= sol.Stats.CostPruned {
 		t.Error("candidate accounting inconsistent")
 	}
 	if sol.Stats.Evaluations == 0 {
 		t.Error("expected availability evaluations")
+	}
+
+	b := appTierSolver(t, Options{})
+	bnb, err := b.Solve(enterpriseReq(1000, 1000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bnb.Stats.BoundPruned == 0 {
+		t.Error("expected bound-pruned candidates under branch-and-bound")
+	}
+	if bnb.Stats.CostPruned != 0 {
+		t.Errorf("branch-and-bound cost-pruned %d candidates, want 0", bnb.Stats.CostPruned)
+	}
+	if bnb.Stats.Evaluations > sol.Stats.Evaluations {
+		t.Errorf("branch-and-bound ran %d evaluations, exhaustive only %d",
+			bnb.Stats.Evaluations, sol.Stats.Evaluations)
+	}
+	if bnb.Cost != sol.Cost || bnb.DowntimeMinutes != sol.DowntimeMinutes {
+		t.Errorf("branch-and-bound result (%v, %.3f) differs from exhaustive (%v, %.3f)",
+			bnb.Cost, bnb.DowntimeMinutes, sol.Cost, sol.DowntimeMinutes)
 	}
 }
 

@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 
 	"aved/internal/avail"
+	"aved/internal/units"
 )
 
 // evalShards is the shard count of the availability-evaluation cache.
@@ -34,6 +35,9 @@ type evalFlight struct {
 	once  sync.Once
 	entry evalEntry
 	err   error
+	// gen is the solve generation that created the flight (see
+	// Solver.gen): a hit from a later generation is warm-start reuse.
+	gen uint64
 }
 
 func newEvalCache() *evalCache {
@@ -45,14 +49,15 @@ func newEvalCache() *evalCache {
 }
 
 // flight returns the singleflight slot for a key, creating it if
-// absent. The lo word is already avalanche-mixed, so it shards
+// absent and stamping a new flight with the requesting solve's
+// generation. The lo word is already avalanche-mixed, so it shards
 // directly; the lookup itself is allocation-free.
-func (c *evalCache) flight(key fp128) *evalFlight {
+func (c *evalCache) flight(key fp128, gen uint64) *evalFlight {
 	sh := &c.shards[key.lo%evalShards]
 	sh.mu.Lock()
 	f, ok := sh.m[key]
 	if !ok {
-		f = &evalFlight{}
+		f = &evalFlight{gen: gen}
 		sh.m[key] = f
 	}
 	sh.mu.Unlock()
@@ -127,10 +132,33 @@ func (c *modeCache) put(key fp128, modes []avail.Mode) []avail.Mode {
 // singleflight cache, Evaluations counts actual engine invocations —
 // concurrent requests for one fingerprint still count once.
 type searchStats struct {
-	candidates atomic.Int64
-	pruned     atomic.Int64
-	evals      atomic.Int64
-	cacheHits  atomic.Int64
+	candidates  atomic.Int64
+	pruned      atomic.Int64
+	evals       atomic.Int64
+	cacheHits   atomic.Int64
+	boundPruned atomic.Int64
+	warmReuse   atomic.Int64
+	// gen is this solve's generation (Solver.gen at solve start). Set
+	// once before any concurrency, read-only afterwards.
+	gen uint64
+	// pools, when non-nil, collect every evaluated (cost, downtime)
+	// pair per tier — raw material for the combination upper bound,
+	// gathered free of extra engine work (see combineBounds). Each
+	// tier's searches run on one goroutine at a time with phase barriers
+	// in between, so the per-tier slices need no lock.
+	pools   [][]TierCandidate
+	poolIdx map[string]int
+}
+
+// poolAdd records one evaluated candidate's (cost, downtime) pair for
+// the tier's bound pool. A no-op (one nil check) when collection is off.
+func (st *searchStats) poolAdd(tierName string, c units.Money, down float64) {
+	if st.pools == nil {
+		return
+	}
+	if i, ok := st.poolIdx[tierName]; ok {
+		st.pools[i] = append(st.pools[i], TierCandidate{Cost: c, DowntimeMinutes: down})
+	}
 }
 
 func (st *searchStats) snapshot() Stats {
@@ -139,5 +167,7 @@ func (st *searchStats) snapshot() Stats {
 		CostPruned:          int(st.pruned.Load()),
 		Evaluations:         int(st.evals.Load()),
 		EvalCacheHits:       int(st.cacheHits.Load()),
+		BoundPruned:         int(st.boundPruned.Load()),
+		WarmStartReuse:      int(st.warmReuse.Load()),
 	}
 }

@@ -37,6 +37,7 @@ func (s *Solver) solveJob(ctx context.Context, req model.Requirements) (*Solutio
 		stats searchStats
 		best  *JobCandidate
 	)
+	stats.gen = s.gen.Add(1)
 	endPhase := s.emitPhase("job-search")
 	for i := range tier.Options {
 		cand, err := s.searchJobOption(ctx, tier, &tier.Options[i], req.MaxJobTime, best, &stats)
@@ -172,7 +173,7 @@ func (s *Solver) searchJobOption(ctx context.Context, tier *model.Tier, opt *mod
 		return nil, err
 	}
 	groupCount := len(groupFPs)
-	base := baseFP(tier.Name, opt.ResourceType().Name)
+	base := s.baseFPFor(tier.Name, opt.ResourceType().Name)
 	// Per-instance component costs are count-independent; spare cost
 	// depends on the warmth prefix.
 	rt := opt.ResourceType()

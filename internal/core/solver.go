@@ -11,6 +11,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"aved/internal/avail"
@@ -26,6 +27,50 @@ import (
 // is a safety net for degenerate inputs.
 const DefaultMaxRedundancy = 12
 
+// SearchMode selects the per-tier search strategy.
+type SearchMode int
+
+const (
+	// SearchBnB is best-first branch-and-bound with admissible cost
+	// bounds: within each resource total, candidates evaluate in
+	// ascending-cost order and the tail dearer than the incumbent is
+	// pruned without an engine evaluation; in the frontier phase, whole
+	// size subtrees whose cheapest candidate exceeds the combination
+	// upper bound are skipped. Results are bit-identical to
+	// SearchExhaustive (Design, Cost, DowntimeMinutes); only the effort
+	// counters differ. The default.
+	SearchBnB SearchMode = iota
+	// SearchExhaustive is the original enumeration order with §4.1
+	// incumbent cost pruning only. Kept for the ablation benchmarks and
+	// the bit-identity property tests.
+	SearchExhaustive
+)
+
+// String renders the mode as its flag spelling.
+func (m SearchMode) String() string {
+	switch m {
+	case SearchBnB:
+		return "bnb"
+	case SearchExhaustive:
+		return "exhaustive"
+	default:
+		return fmt.Sprintf("SearchMode(%d)", int(m))
+	}
+}
+
+// ParseSearchMode resolves a search-strategy name as the CLIs and the
+// server accept it. The empty string is the default strategy.
+func ParseSearchMode(name string) (SearchMode, error) {
+	switch name {
+	case "", "bnb":
+		return SearchBnB, nil
+	case "exhaustive":
+		return SearchExhaustive, nil
+	default:
+		return SearchBnB, fmt.Errorf("unknown search strategy %q (want bnb or exhaustive)", name)
+	}
+}
+
 // Options configure a Solver.
 type Options struct {
 	// Engine evaluates availability models. Defaults to the analytic
@@ -33,6 +78,9 @@ type Options struct {
 	Engine avail.Engine
 	// Registry resolves performance references. Required.
 	Registry *perf.Registry
+	// Search selects the per-tier search strategy. The zero value is
+	// SearchBnB; both modes return bit-identical solutions.
+	Search SearchMode
 	// ExploreSpareWarmth makes the search enumerate per-component spare
 	// operational modes (§4, dimension 4) as warmth levels: 0 (cold,
 	// everything inactive) up to the resource's component count (hot).
@@ -135,6 +183,16 @@ type Stats struct {
 	// EvalCacheHits counts evaluations served from the fingerprint
 	// cache instead of the engine.
 	EvalCacheHits int
+	// BoundPruned counts candidates rejected by an admissible
+	// branch-and-bound bound without an availability evaluation: the
+	// sorted within-total tail cut and skipped frontier size subtrees.
+	// Zero under SearchExhaustive.
+	BoundPruned int
+	// WarmStartReuse counts eval-cache hits on entries computed by an
+	// earlier solve on this solver — the reuse a warm-started what-if
+	// re-solve or repeat server request gets for free. Always a subset
+	// of EvalCacheHits; zero on a solver's first solve.
+	WarmStartReuse int
 	// ModeMemoHits and ModeMemoSolves count Markov mode-chain memo
 	// activity attributable to this solve (zero for engines without a
 	// memo). They are engine-counter deltas: exact when solves on a
@@ -172,29 +230,58 @@ type Solver struct {
 	evalCache *evalCache // availability evaluations by design fingerprint
 	modeCache *modeCache // resolved effective modes by mode fingerprint
 
+	// epochs carries one invalidation epoch per resource-type name.
+	// Rebind bumps the epochs of the resource types a delta touches; the
+	// epoch mixes into every fingerprint rooted at that resource, so
+	// cache entries from before the bump become unreachable without any
+	// scan. A fresh solver has every epoch at zero, which keeps its
+	// fingerprints identical to the epoch-free construction. Written
+	// only by Rebind, which must not race with in-flight solves.
+	epochs map[string]uint64
+
+	// gen numbers the solves this solver has run; each flight in the
+	// eval cache records the generation that created it, so a later
+	// solve can tell warm-start reuse (a hit on another solve's entry)
+	// apart from within-solve sharing.
+	gen atomic.Uint64
+
+	// lastCombo holds the coordinates of the most recent successful
+	// enterprise solution, seeding the next solve's combination upper
+	// bound in place of the waterfilling probe pass (see seedUB). Nil
+	// until a first solve succeeds.
+	lastCombo atomic.Pointer[comboSeed]
+
 	// ctxEng is the engine's context-aware entry point, resolved once at
 	// construction (nil when the engine has none).
 	ctxEng ctxEvaluator
 }
 
-// NewSolver validates the inputs and builds a solver.
-func NewSolver(inf *model.Infrastructure, svc *model.Service, opts Options) (*Solver, error) {
+// validateModels checks the model pair every solve runs against.
+func validateModels(inf *model.Infrastructure, svc *model.Service) error {
 	if inf == nil {
-		return nil, fmt.Errorf("core: nil infrastructure")
+		return fmt.Errorf("core: nil infrastructure")
 	}
 	if svc == nil {
-		return nil, fmt.Errorf("core: nil service")
-	}
-	if opts.Registry == nil {
-		return nil, fmt.Errorf("core: options need a performance registry")
+		return fmt.Errorf("core: nil service")
 	}
 	for i := range svc.Tiers {
 		for j := range svc.Tiers[i].Options {
 			if svc.Tiers[i].Options[j].ResourceType() == nil {
-				return nil, fmt.Errorf("core: service %q is not resolved against the infrastructure (tier %q)",
+				return fmt.Errorf("core: service %q is not resolved against the infrastructure (tier %q)",
 					svc.Name, svc.Tiers[i].Name)
 			}
 		}
+	}
+	return nil
+}
+
+// NewSolver validates the inputs and builds a solver.
+func NewSolver(inf *model.Infrastructure, svc *model.Service, opts Options) (*Solver, error) {
+	if err := validateModels(inf, svc); err != nil {
+		return nil, err
+	}
+	if opts.Registry == nil {
+		return nil, fmt.Errorf("core: options need a performance registry")
 	}
 	s := &Solver{
 		inf:       inf,
@@ -202,6 +289,7 @@ func NewSolver(inf *model.Infrastructure, svc *model.Service, opts Options) (*So
 		opts:      opts.withDefaults(),
 		evalCache: newEvalCache(),
 		modeCache: newModeCache(),
+		epochs:    map[string]uint64{},
 	}
 	// Thread the precision knobs into a tunable Monte-Carlo engine,
 	// once, at construction. Callers sharing one engine across
@@ -287,6 +375,66 @@ func (s *Solver) SolveContext(ctx context.Context, req model.Requirements) (*Sol
 		err = fmt.Errorf("core: unknown requirement kind %d", int(req.Kind))
 	}
 	return s.endSolve(so, sol, err)
+}
+
+// Delta describes the scope of a Rebind: which resource types had any
+// availability-relevant input (failure MTBFs, repair times, mechanism
+// effects on them, startup/detection times, spare semantics) changed.
+// The zero value declares a change that touches no availability input
+// at all — prices only — which invalidates nothing: the evaluation
+// cache stores downtime and MTBF, never cost, and every solve reprices
+// candidates from the current model. A caller unsure of the scope must
+// set All; an understated delta silently serves stale evaluations.
+type Delta struct {
+	// Resources names the resource types whose availability inputs
+	// changed.
+	Resources []string
+	// All invalidates every resource type, regardless of Resources.
+	All bool
+}
+
+// Rebind swaps the solver's models for a what-if re-solve, keeping the
+// evaluation caches warm for everything the delta does not touch. The
+// service must be resolved against the new infrastructure. Rebind bumps
+// the invalidation epoch of each touched resource type, making cached
+// evaluations that depended on it unreachable; all other entries keep
+// serving hits, so a single-parameter what-if re-solve re-evaluates
+// only the affected slice of the grid (counted in Stats.WarmStartReuse).
+// Rebind is not safe to call concurrently with in-flight solves on the
+// same solver.
+func (s *Solver) Rebind(inf *model.Infrastructure, svc *model.Service, delta Delta) error {
+	if err := validateModels(inf, svc); err != nil {
+		return err
+	}
+	s.inf = inf
+	s.svc = svc
+	if delta.All {
+		for _, name := range inf.ResourceNames() {
+			s.epochs[name]++
+		}
+		// Resource types the new model no longer declares stay bumped
+		// too, in case a later Rebind brings them back.
+		for name := range s.epochs {
+			if inf.Resources[name] == nil {
+				s.epochs[name]++
+			}
+		}
+		return nil
+	}
+	for _, name := range delta.Resources {
+		s.epochs[name]++
+	}
+	return nil
+}
+
+// Resolve is Rebind followed by SolveContext: the warm-started what-if
+// entry point. The caller supplies the perturbed models and the delta
+// describing what the perturbation touched.
+func (s *Solver) Resolve(ctx context.Context, inf *model.Infrastructure, svc *model.Service, delta Delta, req model.Requirements) (*Solution, error) {
+	if err := s.Rebind(inf, svc, delta); err != nil {
+		return nil, err
+	}
+	return s.SolveContext(ctx, req)
 }
 
 // InfeasibleError reports that no design in the space satisfies the

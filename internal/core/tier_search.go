@@ -45,7 +45,7 @@ type evalEntry struct {
 // a later solve on this solver, or a retried server request — re-runs
 // the evaluation instead of replaying the abort.
 func (s *Solver) evalTier(ctx context.Context, td *model.TierDesign, fps candFP, stats *searchStats) (evalEntry, error) {
-	f := s.evalCache.flight(fps.avail)
+	f := s.evalCache.flight(fps.avail, stats.gen)
 	ran := false
 	f.once.Do(func() {
 		ran = true
@@ -57,8 +57,16 @@ func (s *Solver) evalTier(ctx context.Context, td *model.TierDesign, fps candFP,
 	if f.err != nil && isCtxErr(f.err) {
 		s.evalCache.forget(fps.avail, f)
 	}
+	warm := false
 	if !ran && f.err == nil {
 		stats.cacheHits.Add(1)
+		// A hit on a flight another solve generation created is
+		// warm-start reuse: the evaluation this solve got for free from
+		// an earlier (or concurrent) solve on the same solver.
+		if f.gen != stats.gen {
+			warm = true
+			stats.warmReuse.Add(1)
+		}
 	}
 	if tr := s.opts.Tracer; tr != nil && f.err == nil {
 		// Hit/miss per fingerprint is deterministic under the
@@ -77,6 +85,15 @@ func (s *Solver) evalTier(ctx context.Context, td *model.TierDesign, fps candFP,
 			S:    td.NSpare,
 			Down: f.entry.downtimeMinutes,
 		})
+		if warm {
+			tr.Emit(obs.Event{
+				Ev:   obs.EvWarmReuse,
+				Tier: td.TierName,
+				FP:   fpHex(fps.avail),
+				N:    td.NActive,
+				S:    td.NSpare,
+			})
+		}
 	}
 	return f.entry, f.err
 }
@@ -145,6 +162,41 @@ type optionSearch struct {
 	// warmSpare is the warmth-level list for candidates with spares,
 	// computed once instead of per (active, spare) split.
 	warmSpare []int
+	// contiguous reports that the active-count grid contains every
+	// integer the search can explore. The frontier cost cut relies on
+	// the option's minimum cost being non-decreasing in the total, whose
+	// proof maps a candidate at total t+1 to one at t by dropping an
+	// instance — valid only on a step-1 grid. Non-contiguous options
+	// build their frontiers uncut.
+	contiguous bool
+	// Closed-form per-instance cost floors for tailCostLB: the active
+	// per-instance component cost, the cheapest per-instance cost over
+	// actives and every allowed spare warmth, and the cheapest mechanism
+	// combination cost per covered instance. costFloorOK is false when a
+	// component or mechanism prices negative — then no closed-form bound
+	// exists and tailCostLB reports -Inf.
+	activeInstCost float64
+	minInstCost    float64
+	mechMinCost    float64
+	costFloorOK    bool
+}
+
+// tailCostLB lower-bounds, in closed form, the cost of every candidate
+// at total size t or beyond: at least nMinPerf instances run active,
+// every further instance adds at least the cheapest per-instance cost,
+// and every instance carries at least the cheapest mechanism
+// combination. It is monotone in t, making it an admissible bound on
+// whole unexplored size tails regardless of grid contiguity.
+func (o *optionSearch) tailCostLB(t int) float64 {
+	if !o.costFloorOK {
+		return math.Inf(-1)
+	}
+	extra := float64(t - o.nMinPerf)
+	if extra < 0 {
+		extra = 0
+	}
+	return float64(o.nMinPerf)*(o.activeInstCost+o.mechMinCost) +
+		extra*(o.minInstCost+o.mechMinCost)
 }
 
 // warmZeroLevels is the warmth list for spare-less candidates: shared,
@@ -178,16 +230,82 @@ func (s *Solver) newOptionSearch(tier *model.Tier, opt *model.ResourceOption, th
 	for i, combo := range combos {
 		comboFPs[i] = comboFP(rt, combo)
 	}
+	contiguous := true
+	for n := nMinPerf; n <= nMinPerf+s.opts.MaxRedundancy; n++ {
+		if maxTotal > 0 && n > maxTotal {
+			break
+		}
+		if !opt.NActive.Contains(float64(n)) {
+			contiguous = false
+			break
+		}
+	}
+	warmSpare := s.warmLevels(rt, 1)
+	// Closed-form cost floors (see tailCostLB): the active per-instance
+	// component cost, the cheapest spare per-instance cost over the
+	// allowed warmth levels, and the cheapest mechanism combination per
+	// covered instance. The bound needs per-size minimum cost to be
+	// non-decreasing beyond any size, which holds exactly when adding an
+	// instance cannot reduce cost: min(active, spare) + mechMin >= 0.
+	var activeInst float64
+	for _, rc := range rt.Components {
+		activeInst += float64(rc.Component.Cost(model.ModeActive))
+	}
+	minSpare := math.Inf(1)
+	for _, w := range warmSpare {
+		var c float64
+		for i, rc := range rt.Components {
+			mode := model.ModeInactive
+			if i < w {
+				mode = model.ModeActive
+			}
+			c += float64(rc.Component.Cost(mode))
+		}
+		if c < minSpare {
+			minSpare = c
+		}
+	}
+	mechMin := math.Inf(1)
+	floorOK := true
+	for _, combo := range combos {
+		var per float64
+		for i := range combo {
+			p, err := combo[i].CostPerInstance()
+			if err != nil {
+				floorOK = false
+				break
+			}
+			per += float64(p)
+		}
+		if !floorOK {
+			break
+		}
+		if per < mechMin {
+			mechMin = per
+		}
+	}
+	if len(combos) == 0 {
+		mechMin = 0
+	}
+	minInst := activeInst
+	if minSpare < minInst {
+		minInst = minSpare
+	}
 	return &optionSearch{
-		solver:    s,
-		tier:      tier,
-		opt:       opt,
-		nMinPerf:  nMinPerf,
-		maxTotal:  maxTotal,
-		combos:    combos,
-		base:      baseFP(tier.Name, rt.Name),
-		comboFPs:  comboFPs,
-		warmSpare: s.warmLevels(rt, 1),
+		solver:         s,
+		tier:           tier,
+		opt:            opt,
+		nMinPerf:       nMinPerf,
+		maxTotal:       maxTotal,
+		combos:         combos,
+		base:           s.baseFPFor(tier.Name, rt.Name),
+		comboFPs:       comboFPs,
+		warmSpare:      warmSpare,
+		contiguous:     contiguous,
+		activeInstCost: activeInst,
+		minInstCost:    minInst,
+		mechMinCost:    mechMin,
+		costFloorOK:    floorOK && minInst+mechMin >= 0,
 	}, true, nil
 }
 
@@ -252,21 +370,47 @@ func (o *optionSearch) candidates(total int, yield func(td model.TierDesign, fps
 // downtime budget, seeding the incumbent from searches of other
 // options so pruning carries across resource types.
 //
+// Two strategies share the outer size loop and the termination rules.
+// SearchExhaustive walks candidates in enumeration order, pruning those
+// dearer than the incumbent (§4.1). SearchBnB evaluates each size's
+// batch in ascending-cost order instead: the first feasible candidate
+// is the size's cheapest, so every candidate after the cut line —
+// strictly dearer than the incumbent — is pruned in one stroke without
+// an engine evaluation, including whole dominated option subtrees
+// (their first size cuts at zero evaluations and the size rule ends the
+// option). Both orders leave the same incumbent: the final best is the
+// cheapest feasible candidate with ties broken toward lower downtime
+// and then enumeration order, which the (cost, index) sort preserves.
+//
 // Cancellation: the candidate yield checks ctx once per candidate via a
 // captured Done channel — a non-blocking select against a nil channel
 // when the context cannot be cancelled, so the un-cancelled hot path
 // stays allocation-free and branch-cheap.
+//
+// The second return is the option's tail certificate: a proven lower
+// bound on the cost of every candidate the size loop did NOT visit
+// (+Inf when it exhausted the whole size grid). searchTier compares the
+// certificates against the tier's final optimum to certify it as a true
+// cost lower bound over the tier's entire candidate space — what the
+// combination bounds in solveEnterprise rely on.
 func (s *Solver) searchOption(ctx context.Context, tier *model.Tier, opt *model.ResourceOption, throughput, budgetMinutes float64,
-	incumbent *TierCandidate, stats *searchStats) (*TierCandidate, error) {
+	incumbent *TierCandidate, stats *searchStats) (*TierCandidate, float64, error) {
 
+	tail := math.Inf(1)
 	o, ok, err := s.newOptionSearch(tier, opt, throughput)
 	if err != nil || !ok {
-		return nil, err
+		return nil, tail, err
 	}
 	tr := s.opts.Tracer
 	res := opt.ResourceType().Name
 	done := ctx.Done()
 	best := incumbent
+	bnb := s.opts.Search != SearchExhaustive
+	var (
+		buf    []TierCandidate // B&B per-size batch, reused across sizes
+		fpsBuf []candFP
+		order  []int
+	)
 	prevBestDowntime := math.Inf(1)
 	for extra := 0; extra <= s.opts.MaxRedundancy; extra++ {
 		total := o.nMinPerf + extra
@@ -275,90 +419,200 @@ func (s *Solver) searchOption(ctx context.Context, tier *model.Tier, opt *model.
 		}
 		minCostAtTotal := math.Inf(1)
 		bestDowntimeAtTotal := math.Inf(1)
-		err := o.candidates(total, func(td model.TierDesign, fps candFP, c units.Money) error {
-			if done != nil {
-				select {
-				case <-done:
-					return ctx.Err()
-				default:
+		if bnb {
+			buf, fpsBuf = buf[:0], fpsBuf[:0]
+			err := o.candidates(total, func(td model.TierDesign, fps candFP, c units.Money) error {
+				if done != nil {
+					select {
+					case <-done:
+						return ctx.Err()
+					default:
+					}
+				}
+				stats.candidates.Add(1)
+				if tr != nil {
+					tr.Emit(obs.Event{Ev: obs.EvCandGen, Tier: tier.Name, Res: res,
+						N: td.NActive, S: td.NSpare, Warm: td.SpareWarm, Cost: float64(c)})
+				}
+				if float64(c) < minCostAtTotal {
+					minCostAtTotal = float64(c)
+				}
+				buf = append(buf, TierCandidate{Design: td, Cost: c})
+				fpsBuf = append(fpsBuf, fps)
+				return nil
+			})
+			if err != nil {
+				return nil, tail, err
+			}
+			// Best-first within the size: ascending cost, enumeration
+			// index as the deterministic tie-break.
+			order = order[:0]
+			for i := range buf {
+				order = append(order, i)
+			}
+			sort.Slice(order, func(a, b int) bool {
+				ia, ib := order[a], order[b]
+				if buf[ia].Cost != buf[ib].Cost {
+					return buf[ia].Cost < buf[ib].Cost
+				}
+				return ia < ib
+			})
+			cut := len(order)
+			for k, i := range order {
+				c := buf[i].Cost
+				if best != nil && c > best.Cost {
+					// Admissible bound: costs are sorted, so every
+					// remaining candidate is dearer than the incumbent
+					// and cannot replace it.
+					cut = k
+					break
+				}
+				entry, err := s.evalTier(ctx, &buf[i].Design, fpsBuf[i], stats)
+				if err != nil {
+					return nil, tail, err
+				}
+				down := entry.downtimeMinutes
+				stats.poolAdd(tier.Name, c, down)
+				if down < bestDowntimeAtTotal {
+					bestDowntimeAtTotal = down
+				}
+				if down <= budgetMinutes &&
+					(best == nil || c < best.Cost || (c == best.Cost && down < best.DowntimeMinutes)) {
+					b := buf[i]
+					b.DowntimeMinutes = down
+					best = &b
+					if tr != nil {
+						tr.Emit(obs.Event{Ev: obs.EvIncumbent, Tier: tier.Name, Res: res,
+							N: b.Design.NActive, S: b.Design.NSpare, Warm: b.Design.SpareWarm,
+							Cost: float64(c), Down: down})
+					}
 				}
 			}
-			stats.candidates.Add(1)
-			if tr != nil {
-				tr.Emit(obs.Event{Ev: obs.EvCandGen, Tier: tier.Name, Res: res,
-					N: td.NActive, S: td.NSpare, Warm: td.SpareWarm, Cost: float64(c)})
-			}
-			if float64(c) < minCostAtTotal {
-				minCostAtTotal = float64(c)
-			}
-			// §4.1: once a feasible design is known, evaluate cost
-			// first and reject dearer candidates without an
-			// availability evaluation. Equal-cost candidates still
-			// evaluate so ties break toward lower downtime. This
-			// incumbent chain is order-dependent, so the walk stays
-			// sequential; parallelism lives in the frontier path,
-			// where every candidate is evaluated anyway.
-			if best != nil && c > best.Cost {
-				stats.pruned.Add(1)
+			if n := len(order) - cut; n > 0 {
+				stats.boundPruned.Add(int64(n))
 				if tr != nil {
-					tr.Emit(obs.Event{Ev: obs.EvCandPrune, Tier: tier.Name, Res: res,
-						N: td.NActive, S: td.NSpare, Cost: float64(c)})
+					for _, i := range order[cut:] {
+						tr.Emit(obs.Event{Ev: obs.EvBoundPrune, Tier: tier.Name, Res: res,
+							N: buf[i].Design.NActive, S: buf[i].Design.NSpare, Cost: float64(buf[i].Cost)})
+					}
+				}
+			}
+		} else {
+			err := o.candidates(total, func(td model.TierDesign, fps candFP, c units.Money) error {
+				if done != nil {
+					select {
+					case <-done:
+						return ctx.Err()
+					default:
+					}
+				}
+				stats.candidates.Add(1)
+				if tr != nil {
+					tr.Emit(obs.Event{Ev: obs.EvCandGen, Tier: tier.Name, Res: res,
+						N: td.NActive, S: td.NSpare, Warm: td.SpareWarm, Cost: float64(c)})
+				}
+				if float64(c) < minCostAtTotal {
+					minCostAtTotal = float64(c)
+				}
+				// §4.1: once a feasible design is known, evaluate cost
+				// first and reject dearer candidates without an
+				// availability evaluation. Equal-cost candidates still
+				// evaluate so ties break toward lower downtime. This
+				// incumbent chain is order-dependent, so the walk stays
+				// sequential; parallelism lives in the frontier path,
+				// where every candidate is evaluated anyway.
+				if best != nil && c > best.Cost {
+					stats.pruned.Add(1)
+					if tr != nil {
+						tr.Emit(obs.Event{Ev: obs.EvCandPrune, Tier: tier.Name, Res: res,
+							N: td.NActive, S: td.NSpare, Cost: float64(c)})
+					}
+					return nil
+				}
+				entry, err := s.evalTier(ctx, &td, fps, stats)
+				if err != nil {
+					return err
+				}
+				down := entry.downtimeMinutes
+				stats.poolAdd(tier.Name, c, down)
+				if down < bestDowntimeAtTotal {
+					bestDowntimeAtTotal = down
+				}
+				if down <= budgetMinutes &&
+					(best == nil || c < best.Cost || (c == best.Cost && down < best.DowntimeMinutes)) {
+					best = &TierCandidate{Design: td, Cost: c, DowntimeMinutes: down}
+					if tr != nil {
+						tr.Emit(obs.Event{Ev: obs.EvIncumbent, Tier: tier.Name, Res: res,
+							N: td.NActive, S: td.NSpare, Warm: td.SpareWarm,
+							Cost: float64(c), Down: down})
+					}
 				}
 				return nil
-			}
-			entry, err := s.evalTier(ctx, &td, fps, stats)
+			})
 			if err != nil {
-				return err
+				return nil, tail, err
 			}
-			down := entry.downtimeMinutes
-			if down < bestDowntimeAtTotal {
-				bestDowntimeAtTotal = down
-			}
-			if down <= budgetMinutes &&
-				(best == nil || c < best.Cost || (c == best.Cost && down < best.DowntimeMinutes)) {
-				best = &TierCandidate{Design: td, Cost: c, DowntimeMinutes: down}
-				if tr != nil {
-					tr.Emit(obs.Event{Ev: obs.EvIncumbent, Tier: tier.Name, Res: res,
-						N: td.NActive, S: td.NSpare, Warm: td.SpareWarm,
-						Cost: float64(c), Down: down})
-				}
-			}
-			return nil
-		})
-		if err != nil {
-			return nil, err
 		}
 		// Termination: when every candidate at this size already costs
-		// at least the incumbent, larger sizes only cost more.
+		// at least the incumbent, larger sizes only cost more. The tail
+		// certificate for the unvisited sizes is this size's minimum cost
+		// when the grid is contiguous (per-size minimum cost is then
+		// non-decreasing), and the closed-form floor otherwise.
 		if best != nil && minCostAtTotal >= float64(best.Cost) {
+			if o.contiguous {
+				tail = minCostAtTotal
+			} else {
+				tail = o.tailCostLB(total + 1)
+			}
 			break
 		}
 		// Infeasibility: no feasible design yet and the availability
-		// metric degrades as resources grow (§4.1).
+		// metric degrades as resources grow (§4.1). Nothing beyond this
+		// size was priced, so only the closed-form floor certifies it.
 		if best == nil && bestDowntimeAtTotal > prevBestDowntime {
+			tail = o.tailCostLB(total + 1)
 			break
 		}
 		prevBestDowntime = bestDowntimeAtTotal
 	}
 	if best == incumbent {
-		return nil, nil // no improvement from this option
+		return nil, tail, nil // no improvement from this option
 	}
-	return best, nil
+	return best, tail, nil
 }
 
 // searchTier finds the minimum-cost design for one tier in isolation.
-func (s *Solver) searchTier(ctx context.Context, tier *model.Tier, throughput, budgetMinutes float64, stats *searchStats) (*TierCandidate, error) {
+//
+// certified reports that the result is a proven cost lower bound over
+// the tier's ENTIRE candidate space, not just the visited part: every
+// option's tail certificate — the lower bound on whatever its size loop
+// left unexplored — is at least the final optimum's cost. Candidates at
+// visited sizes need no certificate: evaluated ones competed for the
+// incumbency directly and pruned ones were dearer than an incumbent the
+// final optimum only improved on.
+func (s *Solver) searchTier(ctx context.Context, tier *model.Tier, throughput, budgetMinutes float64, stats *searchStats) (*TierCandidate, bool, error) {
 	var best *TierCandidate
+	tails := make([]float64, len(tier.Options))
 	for i := range tier.Options {
-		cand, err := s.searchOption(ctx, tier, &tier.Options[i], throughput, budgetMinutes, best, stats)
+		cand, tail, err := s.searchOption(ctx, tier, &tier.Options[i], throughput, budgetMinutes, best, stats)
 		if err != nil {
-			return nil, err
+			return nil, false, err
 		}
+		tails[i] = tail
 		if cand != nil {
 			best = cand
 		}
 	}
-	return best, nil
+	certified := best != nil
+	if certified {
+		for _, tail := range tails {
+			if tail < float64(best.Cost) {
+				certified = false
+				break
+			}
+		}
+	}
+	return best, certified, nil
 }
 
 // frontierImproveEps is the minimum relative downtime improvement a
@@ -366,35 +620,84 @@ func (s *Solver) searchTier(ctx context.Context, tier *model.Tier, throughput, b
 // resource option.
 const frontierImproveEps = 0.01
 
+// sizeBatch holds one size's generated candidates for the frontier
+// walk. Two instances alternate so the lookahead generation reuses
+// buffers instead of reallocating per size.
+type sizeBatch struct {
+	cands   []TierCandidate
+	fps     []candFP
+	minCost float64
+	total   int
+	ok      bool // size exists within the redundancy and instance caps
+}
+
 // optionFrontier collects the option's Pareto-optimal (cost, downtime)
 // candidates, exploring sizes until added resources stop improving the
 // best achievable downtime. Unlike searchOption, every candidate here
 // is evaluated regardless of order, so the per-size batch fans its
 // availability evaluations across the worker pool; the batch buffer and
 // append order keep the result bit-identical to the sequential walk.
-func (s *Solver) optionFrontier(ctx context.Context, tier *model.Tier, opt *model.ResourceOption, throughput float64, stats *searchStats) ([]TierCandidate, error) {
+//
+// maxCost is the branch-and-bound cut (+Inf disables it). Three prunes
+// apply, each before any engine evaluation:
+//
+//   - Size subtree: on a contiguous grid, per-size minimum cost is
+//     non-decreasing, so once a size's cheapest candidate is over the
+//     bound, the whole remaining size tail is cut.
+//   - Last-size candidates: individual over-bound candidates are
+//     skipped only at the LAST admitted size (the next size is over the
+//     bound or off the grid). Earlier sizes must evaluate everything:
+//     the improvement rule below consumes evaluated downtimes, and a
+//     skip there could change which sizes this walk explores relative
+//     to the unbounded one. At the last size no later size can
+//     contribute in-bound points, so the termination divergence is
+//     irrelevant. The generation lookahead this needs is deferred-
+//     counted: a looked-ahead batch joins the stats (and the trace)
+//     only when the walk actually reaches or prunes it, keeping
+//     candidate counts identical to the unbounded walk.
+//   - Whole option: a non-contiguous grid breaks the per-size
+//     monotonicity argument, so the only admissible cut is the closed-
+//     form floor over the whole option (tailCostLB at the performance
+//     minimum). Over the bound, the option is skipped as one pruned
+//     subtree; otherwise it builds unbounded.
+//
+// Every cut removes only candidates dearer than maxCost, and removing a
+// dearer-than-threshold candidate can never change which ≤-threshold
+// points survive Pareto reduction — so the reduced frontier is exactly
+// the ≤ maxCost prefix of the unbounded one (see tierFrontier).
+func (s *Solver) optionFrontier(ctx context.Context, tier *model.Tier, opt *model.ResourceOption, throughput, maxCost float64, stats *searchStats) ([]TierCandidate, error) {
 	o, ok, err := s.newOptionSearch(tier, opt, throughput)
 	if err != nil || !ok {
 		return nil, err
 	}
 	tr := s.opts.Tracer
 	res := opt.ResourceType().Name
-	done := ctx.Done()
-	var (
-		all    []TierCandidate
-		buf    []TierCandidate // per-size batch, reused across sizes
-		fpsBuf []candFP        // fingerprints parallel to buf, reused too
-	)
-	bestDowntime := math.Inf(1)
-	stale := 0
-	for extra := 0; extra <= s.opts.MaxRedundancy; extra++ {
-		total := o.nMinPerf + extra
-		if o.maxTotal > 0 && total > o.maxTotal {
-			break
+	bounded := !math.IsInf(maxCost, 1)
+	if bounded && !o.contiguous {
+		if lb := o.tailCostLB(o.nMinPerf); lb > maxCost {
+			// Whole-option subtree prune: even the closed-form floor over
+			// every size is over the bound. Counted as one pruned subtree —
+			// its candidates were never generated.
+			stats.boundPruned.Add(1)
+			if tr != nil {
+				tr.Emit(obs.Event{Ev: obs.EvBoundPrune, Tier: tier.Name, Res: res,
+					N: o.nMinPerf, Cost: lb})
+			}
+			return nil, nil
 		}
-		buf = buf[:0]
-		fpsBuf = fpsBuf[:0]
-		err := o.candidates(total, func(td model.TierDesign, fps candFP, c units.Money) error {
+		bounded = false
+		maxCost = math.Inf(1)
+	}
+	done := ctx.Done()
+	gen := func(total int, b *sizeBatch) error {
+		b.cands, b.fps = b.cands[:0], b.fps[:0]
+		b.minCost = math.Inf(1)
+		b.total = total
+		b.ok = total <= o.nMinPerf+s.opts.MaxRedundancy && (o.maxTotal == 0 || total <= o.maxTotal)
+		if !b.ok {
+			return nil
+		}
+		return o.candidates(total, func(td model.TierDesign, fps candFP, c units.Money) error {
 			if done != nil {
 				select {
 				case <-done:
@@ -402,36 +705,98 @@ func (s *Solver) optionFrontier(ctx context.Context, tier *model.Tier, opt *mode
 				default:
 				}
 			}
-			stats.candidates.Add(1)
-			if tr != nil {
-				tr.Emit(obs.Event{Ev: obs.EvCandGen, Tier: tier.Name, Res: res,
-					N: td.NActive, S: td.NSpare, Warm: td.SpareWarm, Cost: float64(c)})
+			if float64(c) < b.minCost {
+				b.minCost = float64(c)
 			}
-			buf = append(buf, TierCandidate{Design: td, Cost: c})
-			fpsBuf = append(fpsBuf, fps)
+			b.cands = append(b.cands, TierCandidate{Design: td, Cost: c})
+			b.fps = append(b.fps, fps)
 			return nil
 		})
-		if err != nil {
+	}
+	// admit counts a generated batch into the stats and the trace; prune
+	// marks an admitted batch (or part of one) bound-pruned.
+	admit := func(b *sizeBatch) {
+		stats.candidates.Add(int64(len(b.cands)))
+		if tr != nil {
+			for i := range b.cands {
+				td := &b.cands[i].Design
+				tr.Emit(obs.Event{Ev: obs.EvCandGen, Tier: tier.Name, Res: res,
+					N: td.NActive, S: td.NSpare, Warm: td.SpareWarm, Cost: float64(b.cands[i].Cost)})
+			}
+		}
+	}
+	prune := func(cands []TierCandidate) {
+		stats.boundPruned.Add(int64(len(cands)))
+		if tr != nil {
+			for i := range cands {
+				tr.Emit(obs.Event{Ev: obs.EvBoundPrune, Tier: tier.Name, Res: res,
+					N: cands[i].Design.NActive, S: cands[i].Design.NSpare, Cost: float64(cands[i].Cost)})
+			}
+		}
+	}
+	var (
+		all     []TierCandidate
+		evalIdx []int
+		skipped []TierCandidate
+	)
+	cur, nxt := &sizeBatch{}, &sizeBatch{}
+	if err := gen(o.nMinPerf, cur); err != nil {
+		return nil, err
+	}
+	bestDowntime := math.Inf(1)
+	stale := 0
+	for cur.ok {
+		admit(cur)
+		if cur.minCost > maxCost {
+			// Size subtree cut: this size's cheapest candidate is already
+			// over the bound, and larger sizes only cost more.
+			prune(cur.cands)
+			break
+		}
+		if err := gen(cur.total+1, nxt); err != nil {
 			return nil, err
 		}
-		err = par.ForEachCtx(ctx, s.opts.Workers, len(buf), func(i int) error {
-			entry, err := s.evalTier(ctx, &buf[i].Design, fpsBuf[i], stats)
+		last := bounded && (!nxt.ok || nxt.minCost > maxCost)
+		evalIdx = evalIdx[:0]
+		skipped = skipped[:0]
+		for i := range cur.cands {
+			if last && float64(cur.cands[i].Cost) > maxCost {
+				skipped = append(skipped, cur.cands[i])
+				continue
+			}
+			evalIdx = append(evalIdx, i)
+		}
+		prune(skipped)
+		err = par.ForEachCtx(ctx, s.opts.Workers, len(evalIdx), func(k int) error {
+			i := evalIdx[k]
+			entry, err := s.evalTier(ctx, &cur.cands[i].Design, cur.fps[i], stats)
 			if err != nil {
 				return err
 			}
-			buf[i].DowntimeMinutes = entry.downtimeMinutes
+			cur.cands[i].DowntimeMinutes = entry.downtimeMinutes
 			return nil
 		})
 		if err != nil {
 			return nil, err
 		}
 		improvedTo := bestDowntime
-		for i := range buf {
-			if buf[i].DowntimeMinutes < improvedTo {
-				improvedTo = buf[i].DowntimeMinutes
+		for _, i := range evalIdx {
+			if cur.cands[i].DowntimeMinutes < improvedTo {
+				improvedTo = cur.cands[i].DowntimeMinutes
 			}
 		}
-		all = append(all, buf...)
+		for _, i := range evalIdx {
+			all = append(all, cur.cands[i])
+		}
+		if last {
+			if nxt.ok {
+				// The looked-ahead size is over the bound: account it and
+				// cut the remaining size tail.
+				admit(nxt)
+				prune(nxt.cands)
+			}
+			break
+		}
 		if improvedTo < bestDowntime*(1-frontierImproveEps) {
 			bestDowntime = improvedTo
 			stale = 0
@@ -441,6 +806,7 @@ func (s *Solver) optionFrontier(ctx context.Context, tier *model.Tier, opt *mode
 				break
 			}
 		}
+		cur, nxt = nxt, cur
 	}
 	return paretoReduce(all), nil
 }
@@ -449,10 +815,17 @@ func (s *Solver) optionFrontier(ctx context.Context, tier *model.Tier, opt *mode
 // sorted by ascending cost (and so descending downtime). Options are
 // independent searches, so they fan across the worker pool; merging in
 // option order keeps the frontier identical to the sequential build.
-func (s *Solver) tierFrontier(ctx context.Context, tier *model.Tier, throughput float64, stats *searchStats) ([]TierCandidate, error) {
+//
+// maxCost, when finite, truncates the result to points the combination
+// phase can actually use: designs dearer than the tier's admissible
+// cost threshold cannot appear in any combination cheaper than the
+// solve's upper bound. The truncated frontier is exactly the ≤ maxCost
+// prefix of the untruncated one, which is what the combiner's
+// post-combination validity check relies on (see solveEnterprise).
+func (s *Solver) tierFrontier(ctx context.Context, tier *model.Tier, throughput, maxCost float64, stats *searchStats) ([]TierCandidate, error) {
 	fronts := make([][]TierCandidate, len(tier.Options))
 	err := par.ForEachCtx(ctx, s.opts.Workers, len(tier.Options), func(i int) error {
-		f, err := s.optionFrontier(ctx, tier, &tier.Options[i], throughput, stats)
+		f, err := s.optionFrontier(ctx, tier, &tier.Options[i], throughput, maxCost, stats)
 		if err != nil {
 			return err
 		}
@@ -470,7 +843,13 @@ func (s *Solver) tierFrontier(ctx context.Context, tier *model.Tier, throughput 
 	for _, f := range fronts {
 		all = append(all, f...)
 	}
-	return paretoReduce(all), nil
+	out := paretoReduce(all)
+	if !math.IsInf(maxCost, 1) {
+		for len(out) > 0 && float64(out[len(out)-1].Cost) > maxCost {
+			out = out[:len(out)-1]
+		}
+	}
+	return out, nil
 }
 
 // paretoReduce keeps only candidates not dominated in (cost, downtime),

@@ -1,0 +1,166 @@
+package core
+
+import (
+	"context"
+
+	"aved/internal/cost"
+	"aved/internal/model"
+)
+
+// comboSeed records the coordinates of the most recent successful
+// enterprise solution: enough to re-locate each chosen tier design in a
+// later solve's (possibly rebound) models without holding pointers into
+// the old ones. Mechanism settings are matched by name and value, so a
+// price or MTBF perturbation that leaves the structure alone still
+// resolves the same combination.
+type comboSeed struct {
+	tiers []seedCoord
+}
+
+type seedCoord struct {
+	tierName   string
+	resource   string
+	nActive    int
+	nSpare     int
+	warm       int
+	mechanisms []model.MechSetting
+}
+
+// rememberCombo stores the solved combination for the next solve's
+// upper-bound seed.
+func (s *Solver) rememberCombo(chosen []*TierCandidate) {
+	seed := &comboSeed{tiers: make([]seedCoord, len(chosen))}
+	for i, c := range chosen {
+		seed.tiers[i] = seedCoord{
+			tierName:   c.Design.TierName,
+			resource:   c.Design.Option.ResourceType().Name,
+			nActive:    c.Design.NActive,
+			nSpare:     c.Design.NSpare,
+			warm:       c.Design.SpareWarm,
+			mechanisms: c.Design.Mechanisms,
+		}
+	}
+	s.lastCombo.Store(seed)
+}
+
+// seedUB re-prices the previous solve's optimal combination under the
+// current models and requirement, reporting its total cost as a
+// combination upper bound when it is still inside the search space and
+// still meets the downtime budget. Tiers the rebind did not touch
+// replay from the warm evaluation cache, so a single-parameter what-if
+// re-solve gets a near-optimal UB for about one engine evaluation —
+// where a cold solve needs the full waterfilling probe pass. Any
+// structural mismatch (different tiers, vanished option, setting no
+// longer enumerated, size off the grid) reports ok=false and the caller
+// falls back to waterfilling.
+func (s *Solver) seedUB(ctx context.Context, req model.Requirements, stats *searchStats) (float64, bool, error) {
+	seed := s.lastCombo.Load()
+	if seed == nil || len(seed.tiers) != len(s.svc.Tiers) {
+		return 0, false, nil
+	}
+	budget := req.MaxAnnualDowntime.Minutes()
+	cands := make([]*TierCandidate, len(seed.tiers))
+	for i := range seed.tiers {
+		sc := &seed.tiers[i]
+		tier := &s.svc.Tiers[i]
+		if tier.Name != sc.tierName {
+			return 0, false, nil
+		}
+		var opt *model.ResourceOption
+		for j := range tier.Options {
+			if tier.Options[j].ResourceType().Name == sc.resource {
+				opt = &tier.Options[j]
+				break
+			}
+		}
+		if opt == nil {
+			return 0, false, nil
+		}
+		o, ok, err := s.newOptionSearch(tier, opt, req.Throughput)
+		if err != nil || !ok {
+			return 0, false, err
+		}
+		// The re-located design must lie inside the space this solve
+		// searches: an out-of-space combination could undercut the true
+		// optimum and the derived thresholds would no longer be admissible.
+		total := sc.nActive + sc.nSpare
+		if sc.nActive < o.nMinPerf || !opt.NActive.Contains(float64(sc.nActive)) ||
+			total > o.nMinPerf+s.opts.MaxRedundancy ||
+			(o.maxTotal > 0 && total > o.maxTotal) ||
+			!warmAllowed(o, sc.nSpare, sc.warm) {
+			return 0, false, nil
+		}
+		ci := -1
+		for k := range o.combos {
+			if sameSettings(o.combos[k], sc.mechanisms) {
+				ci = k
+				break
+			}
+		}
+		if ci < 0 {
+			return 0, false, nil
+		}
+		minActive := minActiveFor(opt, sc.nActive, o.nMinPerf)
+		td := model.TierDesign{
+			TierName:   tier.Name,
+			Option:     opt,
+			NActive:    sc.nActive,
+			NSpare:     sc.nSpare,
+			NMinPerf:   o.nMinPerf,
+			MinActive:  minActive,
+			SpareWarm:  sc.warm,
+			Mechanisms: o.combos[ci],
+		}
+		mfp := modeFPOf(o.base, o.comboFPs[ci], sc.warm, sc.nSpare > 0)
+		fps := candFP{avail: availFPOf(mfp, sc.nActive, minActive, sc.nSpare), mode: mfp}
+		c, err := cost.Tier(&td)
+		if err != nil {
+			return 0, false, err
+		}
+		entry, err := s.evalTier(ctx, &td, fps, stats)
+		if err != nil {
+			return 0, false, err
+		}
+		stats.poolAdd(tier.Name, c, entry.downtimeMinutes)
+		cands[i] = &TierCandidate{Design: td, Cost: c, DowntimeMinutes: entry.downtimeMinutes}
+	}
+	if combinedDowntime(cands) > budget {
+		return 0, false, nil
+	}
+	return combinedCost(cands), true, nil
+}
+
+// warmAllowed reports whether the warmth level is one the current
+// search would enumerate for that spare count.
+func warmAllowed(o *optionSearch, nSpare, warm int) bool {
+	if nSpare == 0 {
+		return warm == 0
+	}
+	for _, w := range o.warmSpare {
+		if w == warm {
+			return true
+		}
+	}
+	return false
+}
+
+// sameSettings compares mechanism settings by mechanism name and
+// parameter values — the identity that survives a model rebind.
+func sameSettings(a, b []model.MechSetting) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Mechanism == nil || b[i].Mechanism == nil ||
+			a[i].Mechanism.Name != b[i].Mechanism.Name ||
+			len(a[i].Values) != len(b[i].Values) {
+			return false
+		}
+		for k, v := range a[i].Values {
+			if w, ok := b[i].Values[k]; !ok || v != w {
+				return false
+			}
+		}
+	}
+	return true
+}

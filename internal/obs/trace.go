@@ -41,6 +41,16 @@ const (
 	// EvCandPrune is a candidate rejected on cost alone, without an
 	// availability evaluation.
 	EvCandPrune = "cand.prune"
+	// EvBoundPrune is a candidate rejected by an admissible
+	// branch-and-bound bound without an availability evaluation: the
+	// sorted within-size tail dearer than the incumbent, or a whole
+	// frontier size subtree over the combination cost threshold.
+	EvBoundPrune = "bound.prune"
+	// EvWarmReuse is an eval-cache hit on an entry computed by an
+	// earlier solve on the same solver — the reuse a warm-started
+	// what-if re-solve gets. Always paired with an eval.hit for the
+	// same fingerprint.
+	EvWarmReuse = "warm.reuse"
 	// EvEvalMiss is an availability evaluation actually run by the
 	// engine (an eval-cache miss); EvEvalHit is a request served from
 	// the fingerprint cache. The final whole-design evaluation is
@@ -107,13 +117,15 @@ type Event struct {
 	HW95 float64 `json:"hw95,omitempty"`
 
 	// Final counters (search.end).
-	Candidates int64  `json:"cand,omitempty"`
-	Pruned     int64  `json:"pruned,omitempty"`
-	Evals      int64  `json:"evals,omitempty"`
-	CacheHits  int64  `json:"hits,omitempty"`
-	MemoHits   uint64 `json:"memoh,omitempty"`
-	MemoSolves uint64 `json:"memos,omitempty"`
-	SimReps    uint64 `json:"simreps,omitempty"`
+	Candidates  int64  `json:"cand,omitempty"`
+	Pruned      int64  `json:"pruned,omitempty"`
+	Evals       int64  `json:"evals,omitempty"`
+	CacheHits   int64  `json:"hits,omitempty"`
+	BoundPruned int64  `json:"bpruned,omitempty"`
+	WarmReuse   int64  `json:"wreuse,omitempty"`
+	MemoHits    uint64 `json:"memoh,omitempty"`
+	MemoSolves  uint64 `json:"memos,omitempty"`
+	SimReps     uint64 `json:"simreps,omitempty"`
 
 	// Timing and progress.
 	MS    float64 `json:"ms,omitempty"`

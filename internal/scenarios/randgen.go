@@ -2,9 +2,13 @@ package scenarios
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
+	"sort"
+	"strings"
 
 	"aved/internal/avail"
+	"aved/internal/model"
 	"aved/internal/units"
 )
 
@@ -65,4 +69,101 @@ func RandDesign(rng *rand.Rand) []avail.TierModel {
 		tms = append(tms, RandTier(rng, fmt.Sprintf("tier%d", i)))
 	}
 	return tms
+}
+
+// SolveScenario is one drawn full-solver problem for differential
+// search testing: a price- and reliability-perturbed clone of the
+// paper infrastructure, a service over a random subset of its resource
+// types, and an enterprise requirement. The perturbations move the
+// cost orderings the branch-and-bound search prunes by, so a corpus of
+// these exercises bound math the fixed paper scenarios never reach.
+type SolveScenario struct {
+	Inf *model.Infrastructure
+	Svc *model.Service
+	Req model.Requirements
+	// Spec is the service spec text Svc was parsed from, for callers
+	// that rebind the service themselves (e.g. sensitivity sweeps).
+	Spec string
+}
+
+// RandSolveScenario draws one solver scenario from rng. The same seed
+// reproduces the same scenario bit for bit: all random draws happen in
+// a sorted, deterministic order.
+func RandSolveScenario(rng *rand.Rand) (*SolveScenario, error) {
+	inf, err := Infrastructure()
+	if err != nil {
+		return nil, err
+	}
+	// Perturb every component: prices by a log-uniform factor in
+	// [1/4, 4] (both modes together, preserving inactive ≤ active),
+	// MTBFs by a factor in [1/2, 4] (staying in the failure-rate ≪
+	// repair-rate regime the analytic engine assumes).
+	names := make([]string, 0, len(inf.Components))
+	for name := range inf.Components {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		c := inf.Components[name]
+		cf := math.Exp((2*rng.Float64() - 1) * math.Ln2 * 2)
+		c.CostInactive = units.Money(float64(c.CostInactive) * cf)
+		c.CostActive = units.Money(float64(c.CostActive) * cf)
+		mf := 0.5 + 3.5*rng.Float64()
+		for i := range c.Failures {
+			c.Failures[i].MTBF = units.Duration(float64(c.Failures[i].MTBF) * mf)
+		}
+	}
+	spec := randServiceSpec(rng)
+	svc, err := service("random", spec, inf)
+	if err != nil {
+		return nil, err
+	}
+	budgets := []float64{30, 60, 100, 300, 1000, 2000} // minutes/year
+	req := model.Requirements{
+		Kind:              model.ReqEnterprise,
+		Throughput:        200 + float64(rng.Intn(13))*200,
+		MaxAnnualDowntime: units.Duration(budgets[rng.Intn(len(budgets))] * float64(units.Minute)),
+	}
+	return &SolveScenario{Inf: inf, Svc: svc, Req: req, Spec: spec}, nil
+}
+
+// randServiceSpec assembles a service over the paper's resource types:
+// the application tier always (a nonempty subset of rC–rF), the web
+// tier (subset of rA/rB) and the static database tier each with
+// two-in-three odds.
+func randServiceSpec(rng *rand.Rand) string {
+	var b strings.Builder
+	b.WriteString("application=randsvc\n")
+	if rng.Intn(3) > 0 {
+		b.WriteString("tier=web\n")
+		b.WriteString(randSubset(rng, []string{"rA", "rB"}))
+	}
+	b.WriteString("tier=application\n")
+	b.WriteString(randSubset(rng, []string{"rC", "rD", "rE", "rF"}))
+	if rng.Intn(3) > 0 {
+		b.WriteString("tier=database\n")
+		b.WriteString(resourceStanza("rG"))
+	}
+	return b.String()
+}
+
+// randSubset writes the stanzas of a uniformly drawn nonempty subset.
+func randSubset(rng *rand.Rand, resources []string) string {
+	var b strings.Builder
+	mask := 1 + rng.Intn(1<<len(resources)-1)
+	for i, r := range resources {
+		if mask&(1<<i) != 0 {
+			b.WriteString(resourceStanza(r))
+		}
+	}
+	return b.String()
+}
+
+func resourceStanza(r string) string {
+	if r == "rG" {
+		return "  resource=rG sizing=static failurescope=resource\n" +
+			"    nActive=[1] performance=10000\n"
+	}
+	return fmt.Sprintf("  resource=%s sizing=dynamic failurescope=resource\n"+
+		"    nActive=[1-1000,+1] performance(nActive)=perf%s.dat\n", r, r[1:])
 }

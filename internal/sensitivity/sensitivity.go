@@ -123,6 +123,28 @@ func scaleEffect(e *model.Effect, factor float64) error {
 	return nil
 }
 
+// AvailScope reports the warm-start invalidation scope of a
+// perturbation touching one component's availability inputs: the
+// resource types embedding that component. An empty component name
+// (perturb everything) scopes to the whole infrastructure. Price-only
+// knobs need no scope at all — the evaluation cache stores downtime
+// and MTBF, never cost — and should pass a zero Delta instead.
+func AvailScope(inf *model.Infrastructure, component string) core.Delta {
+	if component == "" {
+		return core.Delta{All: true}
+	}
+	var rs []string
+	for name, rt := range inf.Resources {
+		for _, rc := range rt.Components {
+			if rc.Component != nil && rc.Component.Name == component {
+				rs = append(rs, name)
+				break
+			}
+		}
+	}
+	return core.Delta{Resources: rs}
+}
+
 // Point is the search outcome at one perturbation factor.
 type Point struct {
 	Factor          float64
@@ -153,6 +175,21 @@ type Config struct {
 	// infrastructure clone and solver, so the reported points are
 	// identical at any worker count.
 	Workers int
+	// WarmStart runs the factors sequentially on ONE shared solver,
+	// warm-starting each factor's solve from the previous one via
+	// Solver.Resolve: only the cache slice WarmDelta invalidates is
+	// re-evaluated, the rest replays as warm hits. Points are identical
+	// to the cold sweep (the epoch invalidation is exact for an accurate
+	// delta); only the effort counters differ. Factor-level parallelism
+	// is off in this mode — the solver's own Workers still apply inside
+	// each solve.
+	WarmStart bool
+	// WarmDelta is the invalidation scope of one knob application: which
+	// resource types have availability-relevant inputs the knob touches
+	// (see AvailScope). The zero value declares a price-only knob and
+	// invalidates nothing. An understated delta returns stale results —
+	// when unsure, set All.
+	WarmDelta core.Delta
 }
 
 // Sweep applies the knob at each factor to a fresh clone of the base
@@ -177,6 +214,9 @@ func Sweep(ctx context.Context, base *model.Infrastructure, cfg Config, knob Kno
 	// (clone, perturb, rebind, solve) — that is the unit of work a
 	// what-if consumer waits for.
 	po := sweep.NewPointObs(cfg.SolverOptions.Tracer, cfg.SolverOptions.Metrics, len(factors))
+	if cfg.WarmStart {
+		return sweepWarm(ctx, base, cfg, knob, factors, po)
+	}
 	out := make([]Point, len(factors))
 	err := par.ForEachCtx(ctx, cfg.Workers, len(factors), func(i int) error {
 		f := factors[i]
@@ -212,22 +252,75 @@ func Sweep(ctx context.Context, base *model.Infrastructure, cfg Config, knob Kno
 			Factor: f, Cost: float64(sol.Cost),
 			Down: sol.DowntimeMinutes, JobH: sol.JobTime.Hours(),
 		})
-		p := Point{
-			Factor:          f,
-			Cost:            sol.Cost,
-			DowntimeMinutes: sol.DowntimeMinutes,
-			JobTimeHours:    sol.JobTime.Hours(),
-			Label:           sol.Design.Label(),
-			Stats:           sol.Stats,
-		}
-		if len(sol.Design.Tiers) > 0 {
-			p.Family = sweep.FamilyOf(&sol.Design.Tiers[0])
-		}
-		out[i] = p
+		out[i] = pointOf(f, sol)
 		return nil
 	})
 	if err != nil {
 		return nil, err
 	}
 	return out, nil
+}
+
+// sweepWarm is the Config.WarmStart path: one solver, factors in
+// order, each solve warm-started from the previous via Rebind with the
+// configured delta.
+func sweepWarm(ctx context.Context, base *model.Infrastructure, cfg Config, knob Knob, factors []float64, po sweep.PointObs) ([]Point, error) {
+	out := make([]Point, len(factors))
+	var solver *core.Solver
+	for i, f := range factors {
+		start := po.Begin()
+		inf := base.Clone()
+		if err := knob(inf, f); err != nil {
+			return nil, err
+		}
+		svc, err := model.ParseService(cfg.ServiceSpec)
+		if err != nil {
+			return nil, fmt.Errorf("sensitivity: %w", err)
+		}
+		if err := svc.Resolve(inf); err != nil {
+			return nil, fmt.Errorf("sensitivity: %w", err)
+		}
+		var sol *core.Solution
+		if solver == nil {
+			opts := cfg.SolverOptions
+			opts.Registry = cfg.Registry
+			solver, err = core.NewSolver(inf, svc, opts)
+			if err != nil {
+				return nil, err
+			}
+			sol, err = solver.SolveContext(ctx, cfg.Requirement)
+		} else {
+			sol, err = solver.Resolve(ctx, inf, svc, cfg.WarmDelta, cfg.Requirement)
+		}
+		if err != nil {
+			var infErr *core.InfeasibleError
+			if errors.As(err, &infErr) {
+				po.Done(i, start, obs.Event{Factor: f, Err: "infeasible"})
+				out[i] = Point{Factor: f, Infeasible: true}
+				continue
+			}
+			return nil, fmt.Errorf("sensitivity: factor %v: %w", f, err)
+		}
+		po.Done(i, start, obs.Event{
+			Factor: f, Cost: float64(sol.Cost),
+			Down: sol.DowntimeMinutes, JobH: sol.JobTime.Hours(),
+		})
+		out[i] = pointOf(f, sol)
+	}
+	return out, nil
+}
+
+func pointOf(f float64, sol *core.Solution) Point {
+	p := Point{
+		Factor:          f,
+		Cost:            sol.Cost,
+		DowntimeMinutes: sol.DowntimeMinutes,
+		JobTimeHours:    sol.JobTime.Hours(),
+		Label:           sol.Design.Label(),
+		Stats:           sol.Stats,
+	}
+	if len(sol.Design.Tiers) > 0 {
+		p.Family = sweep.FamilyOf(&sol.Design.Tiers[0])
+	}
+	return p
 }

@@ -1,0 +1,145 @@
+package sensitivity
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"aved/internal/core"
+	"aved/internal/model"
+	"aved/internal/scenarios"
+	"aved/internal/units"
+)
+
+// These tests pin the warm-start sweep contract: a WarmStart sweep
+// reports points bit-identical to the cold sweep — only the effort
+// counters may differ — and the warm effort is strictly smaller. The
+// e-commerce case pins the headline acceptance number: a re-solve
+// after a single-component perturbation re-evaluates less than 20% of
+// the cold candidate set.
+
+// samePoints fails unless the two sweeps reported identical results at
+// every factor, ignoring the Stats effort counters (which are exactly
+// what warm starting changes).
+func samePoints(t *testing.T, cold, warm []Point) {
+	t.Helper()
+	if len(cold) != len(warm) {
+		t.Fatalf("point counts differ: cold %d, warm %d", len(cold), len(warm))
+	}
+	for i := range cold {
+		c, w := cold[i], warm[i]
+		c.Stats, w.Stats = core.Stats{}, core.Stats{}
+		if c != w {
+			t.Errorf("factor %v: warm point differs from cold:\n  cold %+v\n  warm %+v",
+				cold[i].Factor, c, w)
+		}
+	}
+}
+
+// TestWarmSweepSingleComponentDelta is the acceptance pin: perturbing
+// only the database component's MTBF invalidates only resource rG, so
+// each warm re-solve replays the web- and application-tier grids from
+// cache and re-evaluates under 20% of what the matching cold solve
+// evaluates.
+func TestWarmSweepSingleComponentDelta(t *testing.T) {
+	inf, err := scenarios.Infrastructure()
+	if err != nil {
+		t.Fatal(err)
+	}
+	delta := AvailScope(inf, "database")
+	if delta.All || len(delta.Resources) != 1 || delta.Resources[0] != "rG" {
+		t.Fatalf("AvailScope(database) = %+v, want exactly [rG]", delta)
+	}
+	cfg := Config{
+		ServiceSpec:   scenarios.EcommerceSpec,
+		Registry:      scenarios.Registry(),
+		SolverOptions: core.Options{Workers: 1},
+		Requirement: model.Requirements{
+			Kind:              model.ReqEnterprise,
+			Throughput:        1400,
+			MaxAnnualDowntime: 60 * units.Minute,
+		},
+		Workers: 1,
+	}
+	factors := []float64{1, 2, 4, 8}
+	ctx := context.Background()
+	cold, err := Sweep(ctx, inf, cfg, ScaleMTBF("database"), factors)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warmCfg := cfg
+	warmCfg.WarmStart = true
+	warmCfg.WarmDelta = delta
+	warm, err := Sweep(ctx, inf, warmCfg, ScaleMTBF("database"), factors)
+	if err != nil {
+		t.Fatal(err)
+	}
+	samePoints(t, cold, warm)
+	// The first factor is a cold solve either way; every later factor
+	// must warm-start.
+	for i := 1; i < len(factors); i++ {
+		c, w := cold[i].Stats, warm[i].Stats
+		if w.WarmStartReuse == 0 {
+			t.Errorf("factor %v: warm solve reused nothing from the previous epoch", factors[i])
+		}
+		if w.Evaluations*5 >= c.Evaluations {
+			t.Errorf("factor %v: warm solve ran %d evaluations, not under 20%% of the cold solve's %d",
+				factors[i], w.Evaluations, c.Evaluations)
+		}
+	}
+}
+
+// TestWarmSweepPriceOnlyCorpus sweeps a price knob over generated
+// scenarios with a zero WarmDelta (prices never enter the evaluation
+// cache): the warm sweep must reproduce the cold points exactly — the
+// optimum genuinely moves with price, exercising Resolve's re-search
+// over cached availability — and never evaluate more than the cold
+// sweep at any factor.
+func TestWarmSweepPriceOnlyCorpus(t *testing.T) {
+	factors := []float64{1, 0.5, 2, 1.25}
+	ctx := context.Background()
+	var reused, feasible int
+	for seed := int64(1); seed <= 10; seed++ {
+		sc, err := scenarios.RandSolveScenario(rand.New(rand.NewSource(seed)))
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		cfg := Config{
+			ServiceSpec:   sc.Spec,
+			Registry:      scenarios.Registry(),
+			SolverOptions: core.Options{Workers: 1},
+			Requirement:   sc.Req,
+			Workers:       1,
+		}
+		cold, err := Sweep(ctx, sc.Inf, cfg, ScaleCost(""), factors)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		warmCfg := cfg
+		warmCfg.WarmStart = true // zero WarmDelta: price-only knob
+		warm, err := Sweep(ctx, sc.Inf, warmCfg, ScaleCost(""), factors)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		samePoints(t, cold, warm)
+		for i := range factors {
+			c, w := cold[i].Stats, warm[i].Stats
+			if w.Evaluations > c.Evaluations {
+				t.Errorf("seed %d factor %v: warm solve ran %d evaluations, cold only %d",
+					seed, factors[i], w.Evaluations, c.Evaluations)
+			}
+			if !warm[i].Infeasible {
+				feasible++
+			}
+			if i > 0 && w.WarmStartReuse > 0 {
+				reused++
+			}
+		}
+	}
+	if feasible == 0 {
+		t.Error("corpus produced no feasible sweep points")
+	}
+	if reused == 0 {
+		t.Error("no warm solve reused a prior epoch's evaluations — the property test is vacuous")
+	}
+}

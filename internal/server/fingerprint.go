@@ -74,6 +74,12 @@ func (r *SolveRequest) fingerprint() reqFP {
 	fp = fp.mixString(r.MaxJobTime)
 	fp = fp.mixBool(r.Bronze)
 	fp = fp.mixBool(r.WarmSpares)
+	// Normalized so "" and "bnb" share a cache line. The design is
+	// identical across modes, but the effort counters in a cached
+	// response must match the mode the request asked for. validate()
+	// rejects unknown modes before any fingerprinting.
+	mode, _ := r.searchMode()
+	fp = fp.mixUint(uint64(mode))
 	fp = fp.mixString(r.Engine)
 	fp = fp.mixUint(uint64(r.Seed))
 	fp = fp.mixFloat(r.Years)

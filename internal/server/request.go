@@ -35,6 +35,12 @@ type SolveRequest struct {
 	// Workers bounds the search worker pool (0 = server default).
 	Workers int `json:"workers,omitempty"`
 
+	// Search selects the tier-search strategy: "" or "bnb" for
+	// branch-and-bound, "exhaustive" for the reference grid walk. The
+	// returned design is identical either way; only the effort counters
+	// differ.
+	Search string `json:"search,omitempty"`
+
 	// Engine selects the availability engine: "", "markov", "exact" or
 	// "sim".
 	Engine string `json:"engine,omitempty"`
@@ -68,8 +74,10 @@ type TierReport struct {
 type SearchStats struct {
 	Candidates      int    `json:"candidatesGenerated"`
 	CostPruned      int    `json:"costPruned"`
+	BoundPruned     int    `json:"boundPruned"`
 	Evaluations     int    `json:"availabilityEvaluations"`
 	EvalCacheHits   int    `json:"evalCacheHits"`
+	WarmStartReuse  int    `json:"warmStartReuse,omitempty"`
 	ModeMemoHits    uint64 `json:"modeMemoHits,omitempty"`
 	ModeMemoSolves  uint64 `json:"modeMemoSolves,omitempty"`
 	SimReplications uint64 `json:"simReplications,omitempty"`
@@ -121,10 +129,18 @@ func (r *SolveRequest) validate() error {
 	if r.MaxDowntime != "" && r.Load <= 0 {
 		return errors.New("enterprise requirements need load > 0")
 	}
+	if _, err := aved.ParseSearchMode(r.Search); err != nil {
+		return err
+	}
 	if r.TimeoutMS < 0 {
 		return fmt.Errorf("negative timeoutMs %d", r.TimeoutMS)
 	}
 	return nil
+}
+
+// searchMode resolves the request's search strategy.
+func (r *SolveRequest) searchMode() (aved.SearchMode, error) {
+	return aved.ParseSearchMode(r.Search)
 }
 
 // models resolves the request's infrastructure and service.
@@ -264,8 +280,10 @@ func statsReport(st aved.Stats) SearchStats {
 	return SearchStats{
 		Candidates:      st.CandidatesGenerated,
 		CostPruned:      st.CostPruned,
+		BoundPruned:     st.BoundPruned,
 		Evaluations:     st.Evaluations,
 		EvalCacheHits:   st.EvalCacheHits,
+		WarmStartReuse:  st.WarmStartReuse,
 		ModeMemoHits:    st.ModeMemoHits,
 		ModeMemoSolves:  st.ModeMemoSolves,
 		SimReplications: st.SimReplications,

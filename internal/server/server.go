@@ -340,6 +340,10 @@ func (s *Server) runSolve(ctx context.Context, req *SolveRequest) (*SolveRespons
 	if err != nil {
 		return nil, badRequestError{err}
 	}
+	search, err := req.searchMode()
+	if err != nil {
+		return nil, badRequestError{err}
+	}
 	workers := req.Workers
 	if workers == 0 {
 		workers = s.cfg.Workers
@@ -353,6 +357,7 @@ func (s *Server) runSolve(ctx context.Context, req *SolveRequest) (*SolveRespons
 		Registry:           aved.PaperRegistry(),
 		Workers:            workers,
 		Engine:             eng,
+		Search:             search,
 		ExploreSpareWarmth: req.WarmSpares,
 		Metrics:            s.metrics,
 		Tracer:             tracer,

@@ -67,6 +67,34 @@ func TestSolveApptier(t *testing.T) {
 	}
 }
 
+// TestSolveSearchModesAgree: the explicit exhaustive walk returns the
+// same design as the default branch-and-bound, which in turn reports
+// bound prunes and strictly fewer engine evaluations.
+func TestSolveSearchModesAgree(t *testing.T) {
+	s := New(Config{})
+	defer s.Close()
+	h := s.Handler()
+	bnb := decodeSolve(t, post(t, h, "/v1/solve", apptierBody))
+	ex := decodeSolve(t, post(t, h, "/v1/solve",
+		`{"paper":"apptier","load":1000,"maxDowntime":"100m","search":"exhaustive"}`))
+	if ex.Cached {
+		t.Fatal("exhaustive request hit the bnb cache line")
+	}
+	if bnb.Label != ex.Label || bnb.CostPerYear != ex.CostPerYear || bnb.DowntimeMinutes != ex.DowntimeMinutes {
+		t.Errorf("search modes disagree: bnb %+v vs exhaustive %+v", bnb, ex)
+	}
+	if bnb.Stats.BoundPruned == 0 {
+		t.Errorf("default search reports no bound prunes: %+v", bnb.Stats)
+	}
+	if ex.Stats.BoundPruned != 0 {
+		t.Errorf("exhaustive search reports bound prunes: %+v", ex.Stats)
+	}
+	if bnb.Stats.Evaluations >= ex.Stats.Evaluations {
+		t.Errorf("bnb evaluations %d not below exhaustive %d",
+			bnb.Stats.Evaluations, ex.Stats.Evaluations)
+	}
+}
+
 func TestSolveScientificJob(t *testing.T) {
 	s := New(Config{})
 	defer s.Close()
@@ -88,6 +116,7 @@ func TestSolveInlineSpecRejected(t *testing.T) {
 		"unknown paper":  `{"paper":"nope","load":1000,"maxDowntime":"100m"}`,
 		"unknown field":  `{"paper":"apptier","load":1000,"maxDowntime":"100m","zzz":1}`,
 		"bad engine":     `{"paper":"apptier","load":1000,"maxDowntime":"100m","engine":"quantum"}`,
+		"bad search":     `{"paper":"apptier","load":1000,"maxDowntime":"100m","search":"dfs"}`,
 		"bad duration":   `{"paper":"apptier","load":1000,"maxDowntime":"100 parsecs"}`,
 	} {
 		rec := post(t, h, "/v1/solve", body)
@@ -354,6 +383,15 @@ func TestFingerprintStability(t *testing.T) {
 	e.MaxDowntime, e.MaxJobTime = "", "100m" // same string, different field
 	if a.fingerprint() == e.fingerprint() {
 		t.Error("downtime and job-time requirements share a fingerprint")
+	}
+	f := a
+	f.Search = "bnb" // the default spelled out
+	if a.fingerprint() != f.fingerprint() {
+		t.Error("\"\" and \"bnb\" search modes must share a fingerprint")
+	}
+	f.Search = "exhaustive"
+	if a.fingerprint() == f.fingerprint() {
+		t.Error("different search modes share a fingerprint (cached stats would lie)")
 	}
 }
 

@@ -29,8 +29,14 @@ type Totals struct {
 
 	Candidates    int64
 	CostPruned    int64
+	BoundPruned   int64
 	Evaluations   int64
 	EvalCacheHits int64
+	// WarmStartReuse sums eval-cache hits on earlier solves' entries; in
+	// warm-started sequential sweeps it is exact, with concurrently
+	// overlapping solves on one solver it is a scheduling-dependent
+	// approximation like the raw hit/miss split.
+	WarmStartReuse int64
 
 	ModeMemoHits   uint64
 	ModeMemoSolves uint64
@@ -44,8 +50,10 @@ func (t *Totals) Add(st core.Stats) {
 	t.Points++
 	t.Candidates += int64(st.CandidatesGenerated)
 	t.CostPruned += int64(st.CostPruned)
+	t.BoundPruned += int64(st.BoundPruned)
 	t.Evaluations += int64(st.Evaluations)
 	t.EvalCacheHits += int64(st.EvalCacheHits)
+	t.WarmStartReuse += int64(st.WarmStartReuse)
 	t.ModeMemoHits += st.ModeMemoHits
 	t.ModeMemoSolves += st.ModeMemoSolves
 	t.SimReplications += st.SimReplications
@@ -60,8 +68,8 @@ func (t Totals) String() string {
 	if t.Infeasible > 0 {
 		s += fmt.Sprintf(" (%d infeasible)", t.Infeasible)
 	}
-	s += fmt.Sprintf(": %d candidates, %d cost-pruned, %d evaluations (incl. cache replays)",
-		t.Candidates, t.CostPruned, t.Evaluations+t.EvalCacheHits)
+	s += fmt.Sprintf(": %d candidates, %d cost-pruned, %d bound-pruned, %d evaluations (incl. cache replays)",
+		t.Candidates, t.CostPruned, t.BoundPruned, t.Evaluations+t.EvalCacheHits)
 	return s
 }
 

@@ -161,7 +161,7 @@ func TestUntracedSweepEmitsNothing(t *testing.T) {
 func TestTotalsString(t *testing.T) {
 	tot := Totals{Points: 5, Candidates: 100, CostPruned: 40, Evaluations: 50, EvalCacheHits: 10}
 	got := tot.String()
-	want := "5 points: 100 candidates, 40 cost-pruned, 60 evaluations (incl. cache replays)"
+	want := "5 points: 100 candidates, 40 cost-pruned, 0 bound-pruned, 60 evaluations (incl. cache replays)"
 	if got != want {
 		t.Errorf("String() = %q, want %q", got, want)
 	}

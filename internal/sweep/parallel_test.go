@@ -62,6 +62,10 @@ func normStats(st core.Stats) core.Stats {
 	st.EvalCacheHits = 0
 	st.ModeMemoHits, st.ModeMemoSolves = 0, 0
 	st.SimReplications, st.SimBatches = 0, 0
+	// Warm-start reuse counts hits on flights another solve generation
+	// created; with cells overlapping on one solver, which generation
+	// creates a flight is a scheduling accident too.
+	st.WarmStartReuse = 0
 	return st
 }
 

@@ -1,0 +1,13 @@
+#!/bin/sh
+# Regenerates results/BENCH_bnb.json: the branch-and-bound search
+# effort record — per-scenario candidates / prunes / evaluations /
+# cache hits under the exhaustive walk vs branch-and-bound (the run
+# fails unless both modes return identical designs), plus the
+# warm-start what-if re-solve comparison. Counters are from sequential
+# (Workers=1) solves, so they are exactly reproducible on any host.
+# Run from the repository root.
+set -eu
+cd "$(dirname "$0")/.."
+mkdir -p results
+go run ./cmd/avedbench -mode bnb -o results/BENCH_bnb.json
+echo "wrote results/BENCH_bnb.json"

@@ -1,9 +1,13 @@
 #!/bin/sh
 # Regenerates results/BENCH_parallel.json: ns/op for the parallel
 # evaluation layer's sequential (-workers 1) vs pooled (-workers 0)
-# runs of the same workloads. Run from the repository root.
+# runs of the same workloads. The recorded gomaxprocs/num_cpu are the
+# host's real core count (printed below); on a single-CPU host the
+# pooled runs cannot beat the baseline and the JSON carries a note
+# saying so. Run from the repository root.
 set -eu
 cd "$(dirname "$0")/.."
 mkdir -p results
+echo "benchmarking on $(nproc) CPU(s)"
 go run ./cmd/avedbench -o results/BENCH_parallel.json
 echo "wrote results/BENCH_parallel.json"

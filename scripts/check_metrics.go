@@ -32,8 +32,10 @@ type snapshot struct {
 type solution struct {
 	Candidates  int64 `json:"candidatesGenerated"`
 	CostPruned  int64 `json:"costPruned"`
+	BoundPruned int64 `json:"boundPruned"`
 	Evaluations int64 `json:"availabilityEvaluations"`
 	CacheHits   int64 `json:"evalCacheHits"`
+	WarmReuse   int64 `json:"warmStartReuse"`
 }
 
 func main() {
@@ -56,6 +58,7 @@ func main() {
 	// completed solve must flush.
 	for _, key := range []string{
 		"core.solves", "core.candidates", "core.cost_pruned",
+		"core.bound_pruned", "core.warm_reuse",
 		"core.evaluations", "core.eval_cache_hits",
 		"avail.memo.hits", "avail.memo.solves",
 	} {
@@ -92,8 +95,13 @@ func main() {
 	}{
 		{"cand.gen", "core.candidates", sol.Candidates},
 		{"cand.prune", "core.cost_pruned", sol.CostPruned},
+		// A whole-option subtree prune emits one bound.prune event and
+		// counts one bound-pruned candidate, so the identity holds for
+		// per-candidate and per-subtree prunes alike.
+		{"bound.prune", "core.bound_pruned", sol.BoundPruned},
 		{"eval.miss", "core.evaluations", sol.Evaluations},
 		{"eval.hit", "core.eval_cache_hits", sol.CacheHits},
+		{"warm.reuse", "core.warm_reuse", sol.WarmReuse},
 	}
 	for _, c := range cross {
 		if got := events[c.ev]; got != c.stat {
