@@ -2,10 +2,8 @@ package main
 
 import (
 	"context"
-	"encoding/json"
 	"fmt"
 	"os"
-	"runtime"
 
 	"aved"
 )
@@ -70,11 +68,9 @@ type bnbWhatIf struct {
 }
 
 type bnbReport struct {
-	GOMAXPROCS int           `json:"gomaxprocs"`
-	NumCPU     int           `json:"num_cpu"`
-	GoVersion  string        `json:"go_version"`
-	Scenarios  []bnbScenario `json:"scenarios"`
-	WhatIf     []bnbWhatIf   `json:"what_if"`
+	hostInfo
+	Scenarios []bnbScenario `json:"scenarios"`
+	WhatIf    []bnbWhatIf   `json:"what_if"`
 }
 
 func runBnB(outPath string) error {
@@ -102,11 +98,7 @@ func runBnB(outPath string) error {
 			aved.Requirements{Kind: aved.ReqJob, MaxJobTime: aved.Hours(100)},
 			aved.Options{FixedMechanisms: aved.Bronze()}},
 	}
-	rep := bnbReport{
-		GOMAXPROCS: runtime.GOMAXPROCS(0),
-		NumCPU:     runtime.NumCPU(),
-		GoVersion:  runtime.Version(),
-	}
+	rep := bnbReport{hostInfo: stampHost()}
 	solveMode := func(c int, mode aved.SearchMode) (*aved.Solution, error) {
 		svc, err := cases[c].svc(inf)
 		if err != nil {
@@ -155,18 +147,7 @@ func runBnB(outPath string) error {
 	}
 	rep.WhatIf = append(rep.WhatIf, *warm)
 
-	w := os.Stdout
-	if outPath != "" {
-		f, err := os.Create(outPath)
-		if err != nil {
-			return err
-		}
-		defer f.Close()
-		w = f
-	}
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	return enc.Encode(rep)
+	return writeReport(outPath, rep)
 }
 
 // runWhatIf measures the warm-start payoff on the paper's e-commerce

@@ -18,17 +18,22 @@
 // effort against the exhaustive reference walk, plus the warm-start
 // payoff of what-if re-solves, behind results/BENCH_bnb.json.
 //
+// The -mode batch suite (batch.go) records the batched
+// structure-of-arrays Markov kernel against the per-chain reference
+// solve, plus the allocation footprint of cold and warm solves over
+// the arena-backed search, behind results/BENCH_batch.json.
+//
 // Usage:
 //
 //	avedbench                   # JSON to stdout
 //	avedbench -o results/BENCH_parallel.json
 //	avedbench -mode sim -o results/BENCH_sim.json
 //	avedbench -mode bnb -o results/BENCH_bnb.json
+//	avedbench -mode batch -o results/BENCH_batch.json
 package main
 
 import (
 	"context"
-	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -70,13 +75,7 @@ type evalCounters struct {
 }
 
 type benchReport struct {
-	GOMAXPROCS int    `json:"gomaxprocs"`
-	NumCPU     int    `json:"num_cpu"`
-	GoVersion  string `json:"go_version"`
-	// Note flags host limitations a reader needs to interpret the
-	// numbers — most importantly a single-CPU host, where the parallel
-	// runs cannot beat the sequential baseline by construction.
-	Note       string        `json:"note,omitempty"`
+	hostInfo
 	Benchmarks []benchResult `json:"benchmarks"`
 }
 
@@ -96,7 +95,7 @@ func newEvalCounters(engineEvals, hits, solves uint64) *evalCounters {
 
 func main() {
 	out := flag.String("o", "", "write JSON here instead of stdout")
-	mode := flag.String("mode", "parallel", "benchmark suite: parallel (results/BENCH_parallel.json), sim (results/BENCH_sim.json) or bnb (results/BENCH_bnb.json)")
+	mode := flag.String("mode", "parallel", "benchmark suite: parallel (results/BENCH_parallel.json), sim (results/BENCH_sim.json), bnb (results/BENCH_bnb.json) or batch (results/BENCH_batch.json)")
 	flag.Parse()
 	// Benchmark at full parallelism even when the environment pinned
 	// GOMAXPROCS down (the bug behind a recorded gomaxprocs of 1).
@@ -111,8 +110,10 @@ func main() {
 		err = runSim(*out)
 	case "bnb":
 		err = runBnB(*out)
+	case "batch":
+		err = runBatch(*out)
 	default:
-		err = fmt.Errorf("unknown -mode %q (want parallel, sim or bnb)", *mode)
+		err = fmt.Errorf("unknown -mode %q (want parallel, sim, bnb or batch)", *mode)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "avedbench:", err)
@@ -130,15 +131,7 @@ func run(outPath string) error {
 		{"ecommerce-solve", solveBench, solveCounters},
 		{"fig6-sweep", fig6Bench, fig6Counters},
 	}
-	rep := benchReport{
-		GOMAXPROCS: runtime.GOMAXPROCS(0),
-		NumCPU:     runtime.NumCPU(),
-		GoVersion:  runtime.Version(),
-	}
-	if rep.NumCPU == 1 {
-		rep.Note = "single-CPU host: the pooled runs cannot beat the sequential baseline; " +
-			"speedups near 1.0x measure pool overhead, not parallel scaling"
-	}
+	rep := benchReport{hostInfo: stampHost()}
 	for _, c := range cases {
 		seq := testing.Benchmark(c.fn(1))
 		par := testing.Benchmark(c.fn(0))
@@ -168,18 +161,7 @@ func run(outPath string) error {
 				r.Counters.ChainSolves, 100*r.Counters.MemoHitRate)
 		}
 	}
-	w := os.Stdout
-	if outPath != "" {
-		f, err := os.Create(outPath)
-		if err != nil {
-			return err
-		}
-		defer f.Close()
-		w = f
-	}
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	return enc.Encode(rep)
+	return writeReport(outPath, rep)
 }
 
 // simBench: Monte-Carlo replications of the §5.1-style tier model.

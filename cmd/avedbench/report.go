@@ -1,0 +1,59 @@
+package main
+
+// report.go is the one place avedbench reports leave the process: every
+// suite (-mode parallel, sim, bnb, batch) embeds the same host stamp in
+// its report struct and hands the finished report to writeReport, so
+// the JSON files under results/ share a header and an emission path.
+
+import (
+	"encoding/json"
+	"os"
+	"runtime"
+)
+
+// hostInfo is the environment stamp shared by every suite's report.
+// SingleCPU is the machine-readable flag consumers (and CI) check
+// before trusting any sequential-vs-parallel ratio: on a one-CPU host
+// the pooled runs cannot beat their sequential baselines by
+// construction, so speedups near 1.0x measure scheduling overhead, not
+// scaling.
+type hostInfo struct {
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	NumCPU     int    `json:"num_cpu"`
+	SingleCPU  bool   `json:"single_cpu,omitempty"`
+	GoVersion  string `json:"go_version"`
+	// Note spells out the SingleCPU caveat for human readers.
+	Note string `json:"note,omitempty"`
+}
+
+// stampHost records the benchmark host, flagging single-CPU machines.
+func stampHost() hostInfo {
+	h := hostInfo{
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		GoVersion:  runtime.Version(),
+	}
+	if h.NumCPU == 1 {
+		h.SingleCPU = true
+		h.Note = "single-CPU host: pooled runs cannot beat their sequential baselines; " +
+			"speedups near 1.0x measure scheduling overhead, not parallel scaling"
+	}
+	return h
+}
+
+// writeReport emits a suite's report as indented JSON to outPath, or to
+// stdout when outPath is empty.
+func writeReport(outPath string, rep any) error {
+	w := os.Stdout
+	if outPath != "" {
+		f, err := os.Create(outPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}

@@ -13,11 +13,9 @@ package main
 // the cross-validation guard.
 
 import (
-	"encoding/json"
 	"fmt"
 	"math"
 	"os"
-	"runtime"
 	"testing"
 
 	"aved"
@@ -38,10 +36,8 @@ type simCase struct {
 }
 
 type simReport struct {
-	GOMAXPROCS int     `json:"gomaxprocs"`
-	NumCPU     int     `json:"num_cpu"`
-	GoVersion  string  `json:"go_version"`
-	Scenario   string  `json:"scenario"`
+	hostInfo
+	Scenario string  `json:"scenario"`
 	Tiers      int     `json:"tiers"`
 	Years      float64 `json:"years_per_replication"`
 	FixedReps  int     `json:"fixed_reps_per_tier"`
@@ -139,13 +135,11 @@ func runSim(outPath string) error {
 		return err
 	}
 	rep := simReport{
-		GOMAXPROCS: runtime.GOMAXPROCS(0),
-		NumCPU:     runtime.NumCPU(),
-		GoVersion:  runtime.Version(),
-		Scenario:   "ecommerce-optimal-design",
-		Tiers:      len(tms),
-		Years:      simBenchYears,
-		FixedReps:  simBenchReps,
+		hostInfo:  stampHost(),
+		Scenario:  "ecommerce-optimal-design",
+		Tiers:     len(tms),
+		Years:     simBenchYears,
+		FixedReps: simBenchReps,
 	}
 	cases := []struct {
 		name    string
@@ -185,16 +179,5 @@ func runSim(outPath string) error {
 	fmt.Fprintf(os.Stderr, "adaptive spent %.1f%% of the fixed budget; sim-vs-markov rel diff %.3f\n",
 		100*rep.AdaptiveBudgetFraction, rep.MarkovRelDiff)
 
-	w := os.Stdout
-	if outPath != "" {
-		f, err := os.Create(outPath)
-		if err != nil {
-			return err
-		}
-		defer f.Close()
-		w = f
-	}
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	return enc.Encode(rep)
+	return writeReport(outPath, rep)
 }

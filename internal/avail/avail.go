@@ -143,8 +143,19 @@ type Engine interface {
 // the engine boundary — results are bit-identical with or without it,
 // and callers' evaluation counts are unchanged. The zero value
 // MarkovEngine{} evaluates without a memo.
+//
+// Memo-carrying engines resolve a tier's modes as one batch: every
+// memo miss of the tier packs into a single markov.BatchPlan and
+// solves in one structure-of-arrays pass (see getOrSolveBatch). The
+// batching is mechanical — values, hit flags and counter totals are
+// identical to the per-mode path, which NewMarkovEngineUnbatched keeps
+// available as the differential reference.
 type MarkovEngine struct {
 	memo *modeMemo
+	// unbatched pins the per-mode getOrSolve path on a memo-carrying
+	// engine — the reference the equivalence tests and the
+	// results/BENCH_batch.json comparison run against.
+	unbatched bool
 }
 
 var _ Engine = MarkovEngine{}
@@ -152,6 +163,15 @@ var _ Engine = MarkovEngine{}
 // NewMarkovEngine builds the analytic engine with a fresh mode-chain
 // memo.
 func NewMarkovEngine() MarkovEngine { return MarkovEngine{memo: newModeMemo()} }
+
+// NewMarkovEngineUnbatched builds a memo-carrying engine that resolves
+// modes one chain at a time instead of batching a tier's misses into
+// one BatchPlan pass. Results, memo contents and counters are
+// bit-identical to NewMarkovEngine's; it exists as the per-chain
+// baseline for the differential tests and the batch benchmarks.
+func NewMarkovEngineUnbatched() MarkovEngine {
+	return MarkovEngine{memo: newModeMemo(), unbatched: true}
+}
 
 // MemoStats reports the engine's mode-chain memo counters: cache hits
 // and birth–death chains actually solved. A zero engine (no memo)
@@ -182,36 +202,50 @@ func (e MarkovEngine) Evaluate(tms []TierModel) (Result, error) {
 }
 
 // evaluateTier evaluates one tier: each failure mode gets an
-// independent birth–death chain; mode availabilities multiply.
+// independent birth–death chain; mode availabilities multiply. On a
+// memo-carrying engine the tier's modes resolve as one batch.
 func (e MarkovEngine) evaluateTier(tm *TierModel) (TierResult, error) {
 	if err := tm.Validate(); err != nil {
 		return TierResult{}, err
 	}
 	tr := TierResult{Name: tm.Name, Availability: 1, Contributions: make([]ModeContribution, 0, len(tm.Modes))}
-	for _, mode := range tm.Modes {
-		mc, avail, err := e.evaluateMode(tm, mode)
-		if err != nil {
-			return TierResult{}, fmt.Errorf("tier %q mode %q: %w", tm.Name, mode.Name, err)
-		}
-		tr.Contributions = append(tr.Contributions, mc)
-		tr.Availability *= avail
+	var err error
+	tr.Availability, err = e.priceModes(tm, &tr)
+	if err != nil {
+		return TierResult{}, err
 	}
 	tr.DowntimeMinutes = (1 - tr.Availability) * MinutesPerYear
 	return tr, nil
 }
 
-// evaluateMode reports one failure mode's downtime contribution and
-// availability, solving its birth–death chain on a memo miss and
-// replaying the solved figures on a hit.
-func (e MarkovEngine) evaluateMode(tm *TierModel, mode Mode) (ModeContribution, float64, error) {
-	// Spares only participate for modes that fail over (§4.2 considers
-	// failover only when repair exceeds failover time), so the memo key
-	// carries the effective spare count.
+// PriceTier reports one tier's expected annual downtime without
+// assembling a Result or its per-mode contributions — the lean entry
+// point the solver's search hot path uses. It is bit-identical to
+// Evaluate([]TierModel{*tm}).DowntimeMinutes: the mode availabilities
+// multiply in the same order, and the series composition over a single
+// tier multiplies by 1, which is exact. Memo counters and trace events
+// are the same as the full evaluation's.
+func (e MarkovEngine) PriceTier(tm *TierModel) (float64, error) {
+	if err := tm.Validate(); err != nil {
+		return 0, err
+	}
+	availability, err := e.priceModes(tm, nil)
+	if err != nil {
+		return 0, err
+	}
+	return (1 - availability) * MinutesPerYear, nil
+}
+
+// modeKeyFor builds the memo key of one mode in one tier. Spares only
+// participate for modes that fail over (§4.2 considers failover only
+// when repair exceeds failover time), so the key carries the effective
+// spare count.
+func modeKeyFor(tm *TierModel, mode *Mode) modeKey {
 	spares := 0
 	if mode.UsesFailover {
 		spares = tm.S
 	}
-	k := modeKey{
+	return modeKey{
 		n:            tm.N,
 		m:            tm.M,
 		spares:       spares,
@@ -221,10 +255,63 @@ func (e MarkovEngine) evaluateMode(tm *TierModel, mode Mode) (ModeContribution, 
 		usesFailover: mode.UsesFailover,
 		sparePowered: mode.SparePowered,
 	}
+}
+
+// priceModes resolves every failure mode of tm and reports the tier's
+// availability — the product of mode availabilities in mode order.
+// When out is non-nil the per-mode contributions are appended to it.
+// Memo-carrying engines resolve all modes through one batched memo
+// request; the zero-value engine solves each chain directly.
+func (e MarkovEngine) priceModes(tm *TierModel, out *TierResult) (float64, error) {
+	availability := 1.0
+	if e.memo == nil || e.unbatched {
+		for i := range tm.Modes {
+			mode := &tm.Modes[i]
+			v, err := e.resolveMode(tm, modeKeyFor(tm, mode))
+			if err != nil {
+				return 0, fmt.Errorf("tier %q mode %q: %w", tm.Name, mode.Name, err)
+			}
+			if out != nil {
+				out.Contributions = append(out.Contributions, modeContribution(mode.Name, v))
+			}
+			availability *= v.avail
+		}
+		return availability, nil
+	}
+	sc := batchScratchPool.Get().(*batchScratch)
+	defer batchScratchPool.Put(sc)
+	n := len(tm.Modes)
+	keys, vals, hit := sc.request(n)
+	for i := range tm.Modes {
+		keys[i] = modeKeyFor(tm, &tm.Modes[i])
+	}
+	if failed, err := e.memo.getOrSolveBatch(sc, keys, vals, hit); err != nil {
+		return 0, fmt.Errorf("tier %q mode %q: %w", tm.Name, tm.Modes[failed].Name, err)
+	}
+	t := e.memo.obsTracer()
+	for i := range tm.Modes {
+		if t != nil {
+			ev := obs.EvMemoSolve
+			if hit[i] {
+				ev = obs.EvMemoHit
+			}
+			t.Emit(obs.Event{Ev: ev, Tier: tm.Name, N: keys[i].n, M: keys[i].m, S: keys[i].spares})
+		}
+		if out != nil {
+			out.Contributions = append(out.Contributions, modeContribution(tm.Modes[i].Name, vals[i]))
+		}
+		availability *= vals[i].avail
+	}
+	return availability, nil
+}
+
+// resolveMode is the per-mode path: through the memo when the engine
+// has one (the unbatched reference), else a direct solve.
+func (e MarkovEngine) resolveMode(tm *TierModel, k modeKey) (modeVal, error) {
 	if e.memo != nil {
 		v, hit, err := e.memo.getOrSolve(k)
 		if err != nil {
-			return ModeContribution{}, 0, err
+			return modeVal{}, err
 		}
 		if t := e.memo.obsTracer(); t != nil {
 			ev := obs.EvMemoSolve
@@ -233,13 +320,9 @@ func (e MarkovEngine) evaluateMode(tm *TierModel, mode Mode) (ModeContribution, 
 			}
 			t.Emit(obs.Event{Ev: ev, Tier: tm.Name, N: k.n, M: k.m, S: k.spares})
 		}
-		return modeContribution(mode.Name, v), v.avail, nil
+		return v, nil
 	}
-	v, err := solveModeChain(k)
-	if err != nil {
-		return ModeContribution{}, 0, err
-	}
-	return modeContribution(mode.Name, v), v.avail, nil
+	return solveModeChain(k)
 }
 
 func modeContribution(name string, v modeVal) ModeContribution {
@@ -255,37 +338,65 @@ func modeContribution(name string, v modeVal) ModeContribution {
 // key. It is a pure function of the key — the guarantee that makes the
 // memo transparent — and draws its rate and distribution slices from a
 // pooled scratch, so a solve allocates nothing once the pool is warm.
+// The batched path runs the same three pieces (modeValClosed,
+// fillModeRates, finishModeVal) over BatchPlan slabs instead of the
+// pooled scratch, which keeps the two paths bit-identical.
 func solveModeChain(k modeKey) (modeVal, error) {
-	var v modeVal
-	lambda := 1 / k.mtbf.Hours() // failures per powered resource-hour
-	total := k.n + k.spares
-
-	if k.repair <= 0 {
-		// Instantaneous repair: the mode never accumulates failed
-		// resources and never causes downtime. Still report its event
-		// rate for visibility.
-		v.eventsPerYear = float64(poweredAt(k, 0, total)) * lambda * 8760
-		v.avail = 1
+	if v, ok := modeValClosed(k); ok {
 		return v, nil
 	}
-	mu := 1 / k.repair.Hours()
-
+	total := k.n + k.spares
 	sc := chainScratchPool.Get().(*chainScratch)
 	defer chainScratchPool.Put(sc)
 	birth, death, pi := sc.slices(total)
+	fillModeRates(k, birth, death)
+	if err := markov.BirthDeathSteadyStateInto(pi, birth, death); err != nil {
+		return modeVal{}, err
+	}
+	return finishModeVal(k, birth, pi), nil
+}
+
+// modeValClosed reports the closed-form value of keys that need no
+// chain: instantaneous repair never accumulates failed resources and
+// never causes downtime (the event rate is still reported for
+// visibility).
+func modeValClosed(k modeKey) (modeVal, bool) {
+	if k.repair > 0 {
+		return modeVal{}, false
+	}
+	lambda := 1 / k.mtbf.Hours() // failures per powered resource-hour
+	total := k.n + k.spares
+	return modeVal{
+		eventsPerYear: float64(poweredAt(k, 0, total)) * lambda * 8760,
+		avail:         1,
+	}, true
+}
+
+// fillModeRates writes the key's birth–death chain rates into the
+// len(total) rate slices: state j has j failed resources, failures
+// arrive from every powered resource, repairs run in parallel.
+func fillModeRates(k modeKey, birth, death []float64) {
+	lambda := 1 / k.mtbf.Hours()
+	mu := 1 / k.repair.Hours()
+	total := len(birth)
 	for j := 0; j < total; j++ {
 		birth[j] = float64(poweredAt(k, j, total)) * lambda
 		death[j] = float64(j+1) * mu
 	}
-	if err := markov.BirthDeathSteadyStateInto(pi, birth, death); err != nil {
-		return modeVal{}, err
-	}
+}
 
+// finishModeVal reduces a solved chain to the mode's figures. birth is
+// the rate slice fillModeRates produced; pi its stationary
+// distribution (len(birth)+1 states).
+func finishModeVal(k modeKey, birth, pi []float64) modeVal {
 	var (
+		v             modeVal
 		steadyDown    float64 // probability mass with fewer than M actives
 		transientFrac float64 // fraction of time inside failover transients
 		eventsPerHour float64
 	)
+	lambda := 1 / k.mtbf.Hours()
+	total := len(birth)
 	failoverHours := k.failover.Hours()
 	for j := 0; j <= total; j++ {
 		actives := activeAt(k.n, j, total)
@@ -314,7 +425,7 @@ func solveModeChain(k modeKey) (modeVal, error) {
 	if v.avail < 0 {
 		v.avail = 0
 	}
-	return v, nil
+	return v
 }
 
 // activeAt reports the number of active resources when j of total are
@@ -350,8 +461,12 @@ func BuildTierModes(td *model.TierDesign) ([]Mode, error) {
 	}
 	modes := make([]Mode, 0, len(ems))
 	for _, em := range ems {
+		name := em.Qual
+		if name == "" {
+			name = em.Component + "/" + em.Mode
+		}
 		modes = append(modes, Mode{
-			Name:         em.Component + "/" + em.Mode,
+			Name:         name,
 			MTBF:         em.MTBF,
 			Repair:       em.RepairTime,
 			Failover:     em.FailoverTime,

@@ -1,0 +1,206 @@
+package avail
+
+import (
+	"sync"
+
+	"aved/internal/markov"
+)
+
+// batchScratch carries the reusable state of one batched memo request:
+// the key/value/hit request slices, the miss bookkeeping, and the
+// structure-of-arrays chain plan. Pooled, and every slice grows by
+// powers of two, so a warm engine's batched tier evaluation allocates
+// nothing.
+type batchScratch struct {
+	keys []modeKey
+	vals []modeVal
+	hit  []bool
+	miss []batchMiss
+	uniq []batchUniq
+	plan markov.BatchPlan
+}
+
+// batchMiss records one request index that missed the memo's read
+// pass, and which distinct key (uniq entry) it resolves through.
+type batchMiss struct {
+	idx  int // index into the request slices
+	uniq int // index into batchScratch.uniq
+}
+
+// batchUniq is one distinct missing key: where it shards, which plan
+// chain solves it (-1 for the closed form), and its resolved value.
+type batchUniq struct {
+	key   modeKey
+	val   modeVal
+	shard uint32
+	chain int
+	first int  // request index of the key's first miss — the one solve
+	done  bool // resolved by the write-locked recheck (a hit)
+}
+
+var batchScratchPool = sync.Pool{New: func() any { return new(batchScratch) }}
+
+// request returns the scratch's key/value/hit slices sized for n
+// modes, growing the backing arrays by powers of two.
+func (sc *batchScratch) request(n int) ([]modeKey, []modeVal, []bool) {
+	if cap(sc.keys) < n {
+		c := nextPow2(n)
+		sc.keys = make([]modeKey, c)
+		sc.vals = make([]modeVal, c)
+		sc.hit = make([]bool, c)
+	}
+	return sc.keys[:n], sc.vals[:n], sc.hit[:n]
+}
+
+// getOrSolveBatch resolves keys[i] into vals[i] and hit[i] for every
+// i, with the same semantics as len(keys) sequential getOrSolve calls
+// in index order: identical values bitwise, identical hit flags,
+// identical hit/solve counter totals, one solve per distinct key. Only
+// the mechanics differ — every missing chain of the batch packs into
+// one markov.BatchPlan and solves in a single pass over its slabs,
+// under one write-lock acquisition per touched shard instead of one
+// per miss.
+//
+// Shards lock in ascending index order, so batched requests cannot
+// deadlock against each other or against single-key getOrSolve calls
+// (which hold one shard lock at a time). Solving under the shard locks
+// preserves the memo's determinism invariant: concurrent misses of one
+// key cannot both solve, so solves = distinct keys and hits =
+// requests − solves at any worker count.
+//
+// On error, failed is the request index whose key failed to solve
+// (callers attribute the error to that mode); on success failed is -1.
+func (mm *modeMemo) getOrSolveBatch(sc *batchScratch, keys []modeKey, vals []modeVal, hit []bool) (failed int, err error) {
+	sc.miss = sc.miss[:0]
+	sc.uniq = sc.uniq[:0]
+	var nHits, nSolves uint64
+	// Read pass: serve what the memo already holds, dedup the rest. The
+	// first miss of a distinct key will solve it; later misses of the
+	// same key replay the solved value, exactly as sequential calls
+	// would hit the memo entry the first one inserted.
+	for i := range keys {
+		shard := uint32(keys[i].shard())
+		sh := &mm.shards[shard]
+		sh.mu.RLock()
+		v, ok := sh.m[keys[i]]
+		sh.mu.RUnlock()
+		if ok {
+			vals[i], hit[i] = v, true
+			nHits++
+			continue
+		}
+		u := -1
+		for j := range sc.uniq {
+			if sc.uniq[j].key == keys[i] {
+				u = j
+				break
+			}
+		}
+		if u < 0 {
+			u = len(sc.uniq)
+			sc.uniq = append(sc.uniq, batchUniq{key: keys[i], shard: shard, chain: -1, first: i})
+		}
+		sc.miss = append(sc.miss, batchMiss{idx: i, uniq: u})
+	}
+	if len(sc.uniq) == 0 {
+		mm.hits.Add(nHits)
+		return -1, nil
+	}
+	// Write pass: lock every touched shard in ascending order, recheck
+	// under the locks (a concurrent request may have solved a key since
+	// the read pass), and pack the still-missing chains into the plan.
+	var mask uint32
+	for j := range sc.uniq {
+		mask |= 1 << sc.uniq[j].shard
+	}
+	for b := uint32(0); b < memoShards; b++ {
+		if mask&(1<<b) != 0 {
+			mm.shards[b].mu.Lock()
+		}
+	}
+	unlock := func() {
+		for b := uint32(0); b < memoShards; b++ {
+			if mask&(1<<b) != 0 {
+				mm.shards[b].mu.Unlock()
+			}
+		}
+	}
+	sc.plan.Reset()
+	for j := range sc.uniq {
+		u := &sc.uniq[j]
+		if v, ok := mm.shards[u.shard].m[u.key]; ok {
+			u.val, u.done = v, true
+			nHits++
+			continue
+		}
+		if v, ok := modeValClosed(u.key); ok {
+			u.val = v // no chain; inserted below as a solve
+			continue
+		}
+		birth, death := sc.plan.Add(u.key.n + u.key.spares)
+		fillModeRates(u.key, birth, death)
+		u.chain = sc.plan.Len() - 1
+	}
+	// One pass over the slabs solves every missing chain. A failure
+	// (invalid rates) falls back to replaying the batch key-at-a-time
+	// through solveModeChain, which reproduces the sequential path's
+	// side effects exactly: keys before the failing one insert and
+	// count, and the surfaced error is the per-chain solver's own.
+	if solveErr := sc.plan.Solve(); solveErr != nil {
+		for j := range sc.uniq {
+			u := &sc.uniq[j]
+			if u.done {
+				continue
+			}
+			v, err := solveModeChain(u.key)
+			if err != nil {
+				unlock()
+				mm.hits.Add(nHits)
+				mm.solves.Add(nSolves)
+				return u.first, err
+			}
+			mm.shards[u.shard].insert(u.key, v)
+			u.val = v
+			nSolves++
+		}
+	} else {
+		for j := range sc.uniq {
+			u := &sc.uniq[j]
+			if u.done {
+				continue
+			}
+			if u.chain >= 0 {
+				birth, _, pi := sc.plan.Chain(u.chain)
+				u.val = finishModeVal(u.key, birth, pi)
+			}
+			mm.shards[u.shard].insert(u.key, u.val)
+			nSolves++
+		}
+	}
+	unlock()
+	for _, ms := range sc.miss {
+		u := &sc.uniq[ms.uniq]
+		vals[ms.idx] = u.val
+		// A duplicate miss replays the first one's solve — a memo hit in
+		// the sequential order; the recheck case is a hit for every miss
+		// of the key, first included.
+		replay := ms.idx != u.first
+		hit[ms.idx] = u.done || replay
+		if replay {
+			nHits++
+		}
+	}
+	mm.hits.Add(nHits)
+	mm.solves.Add(nSolves)
+	return -1, nil
+}
+
+// insert stores a solved value; the caller holds the shard's write
+// lock. The shard map initializes lazily here so engines that never
+// miss into a shard never build its map.
+func (sh *memoShard) insert(k modeKey, v modeVal) {
+	if sh.m == nil {
+		sh.m = make(map[modeKey]modeVal, 8)
+	}
+	sh.m[k] = v
+}

@@ -1,0 +1,235 @@
+package avail
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+
+	"aved/internal/units"
+)
+
+// randomTierWithEdges extends randomTier's range with the shapes the
+// batch path special-cases: instantaneous repair (closed form, no
+// chain), powered spares, and duplicate modes (duplicate memo keys in
+// one batch).
+func randomTierWithEdges(rng *rand.Rand) TierModel {
+	tm := randomTier(rng)
+	for i := range tm.Modes {
+		switch rng.Intn(6) {
+		case 0:
+			tm.Modes[i].Repair = 0 // closed-form key
+		case 1:
+			tm.Modes[i].SparePowered = true
+		}
+	}
+	if len(tm.Modes) > 1 && rng.Intn(3) == 0 {
+		tm.Modes[1] = tm.Modes[0] // duplicate key inside one batch
+	}
+	return tm
+}
+
+// TestBatchedEngineBitIdentical is the tentpole equivalence property:
+// a batched engine and the per-chain unbatched reference produce
+// bit-identical Results and identical memo counters over seeded random
+// models, on both the cold (all solves) and warm (all hits) passes.
+func TestBatchedEngineBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(20260809))
+	for round := 0; round < 200; round++ {
+		batched := NewMarkovEngine()
+		reference := NewMarkovEngineUnbatched()
+		tms := make([]TierModel, 1+rng.Intn(3))
+		for i := range tms {
+			tms[i] = randomTierWithEdges(rng)
+		}
+		for pass := 0; pass < 2; pass++ {
+			want, wantErr := reference.Evaluate(tms)
+			got, gotErr := batched.Evaluate(tms)
+			if (wantErr == nil) != (gotErr == nil) {
+				t.Fatalf("round %d pass %d: error mismatch: %v vs %v", round, pass, wantErr, gotErr)
+			}
+			if wantErr != nil {
+				if wantErr.Error() != gotErr.Error() {
+					t.Fatalf("round %d pass %d: error text %q vs %q", round, pass, wantErr, gotErr)
+				}
+				continue
+			}
+			if !reflect.DeepEqual(want, got) {
+				t.Fatalf("round %d pass %d: results differ:\nunbatched: %+v\nbatched:   %+v", round, pass, want, got)
+			}
+			wh, ws := reference.MemoStats()
+			gh, gs := batched.MemoStats()
+			if wh != gh || ws != gs {
+				t.Fatalf("round %d pass %d: memo stats differ: unbatched %d/%d, batched %d/%d",
+					round, pass, wh, ws, gh, gs)
+			}
+		}
+	}
+}
+
+// TestPriceTierMatchesEvaluate pins the lean pricing entry point: for
+// every engine flavour, PriceTier equals the single-tier Evaluate's
+// DowntimeMinutes bitwise.
+func TestPriceTierMatchesEvaluate(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	engines := map[string]MarkovEngine{
+		"zero":      {},
+		"batched":   NewMarkovEngine(),
+		"unbatched": NewMarkovEngineUnbatched(),
+	}
+	for round := 0; round < 100; round++ {
+		tm := randomTierWithEdges(rng)
+		for name, e := range engines {
+			res, err := e.Evaluate([]TierModel{tm})
+			if err != nil {
+				t.Fatalf("round %d %s: %v", round, name, err)
+			}
+			dt, err := e.PriceTier(&tm)
+			if err != nil {
+				t.Fatalf("round %d %s: PriceTier: %v", round, name, err)
+			}
+			if math.Float64bits(dt) != math.Float64bits(res.Tiers[0].DowntimeMinutes) {
+				t.Fatalf("round %d %s: PriceTier %v != Evaluate %v", round, name, dt, res.Tiers[0].DowntimeMinutes)
+			}
+		}
+	}
+}
+
+// TestBatchErrorMatchesSerial: a mode whose chain fails (absorbing:
+// zero repair rate is impossible here, so force MTBF-driven absorbing
+// via zero death by a negative-free construction is not available —
+// instead an invalid model is caught by Validate; the chain-level
+// error path is exercised through a key with repair > 0 but an
+// absorbing edge cannot arise from fillModeRates since mu > 0 for all
+// states). What can differ is error attribution for invalid models, so
+// pin that batched and unbatched engines surface identical errors.
+func TestBatchErrorMatchesSerial(t *testing.T) {
+	bad := TierModel{Name: "t", N: 2, M: 1, Modes: []Mode{
+		{Name: "ok", MTBF: 100 * units.Hour, Repair: units.Hour},
+		{Name: "bad", MTBF: -1, Repair: units.Hour},
+	}}
+	_, errB := NewMarkovEngine().Evaluate([]TierModel{bad})
+	_, errU := NewMarkovEngineUnbatched().Evaluate([]TierModel{bad})
+	if errB == nil || errU == nil {
+		t.Fatalf("invalid model accepted: batched=%v unbatched=%v", errB, errU)
+	}
+	if errB.Error() != errU.Error() {
+		t.Fatalf("error text differs: batched %q, unbatched %q", errB, errU)
+	}
+}
+
+// TestBatchedConcurrentMix hammers one memo from batched and
+// single-key paths concurrently; under the race detector this checks
+// the multi-shard lock discipline, and the final counters must obey
+// the determinism invariant: solves = distinct keys, hits = requests −
+// solves.
+func TestBatchedConcurrentMix(t *testing.T) {
+	batched := NewMarkovEngine()
+	unbatched := MarkovEngine{memo: batched.memo, unbatched: true}
+	rng := rand.New(rand.NewSource(99))
+	tms := make([]TierModel, 24)
+	for i := range tms {
+		tms[i] = randomTierWithEdges(rng)
+	}
+	const workers = 8
+	const rounds = 30
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		e := batched
+		if w%2 == 1 {
+			e = unbatched
+		}
+		wg.Add(1)
+		go func(e MarkovEngine, w int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				tm := tms[(w+r)%len(tms)]
+				if _, err := e.Evaluate([]TierModel{tm}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(e, w)
+	}
+	wg.Wait()
+
+	distinct := map[modeKey]bool{}
+	requests := uint64(0)
+	for i := range tms {
+		for j := range tms[i].Modes {
+			distinct[modeKeyFor(&tms[i], &tms[i].Modes[j])] = true
+		}
+	}
+	for w := 0; w < workers; w++ {
+		for r := 0; r < rounds; r++ {
+			requests += uint64(len(tms[(w+r)%len(tms)].Modes))
+		}
+	}
+	hits, solves := batched.MemoStats()
+	if solves != uint64(len(distinct)) || hits != requests-solves {
+		t.Fatalf("memo counters hits=%d solves=%d, want solves=%d hits=%d",
+			hits, solves, len(distinct), requests-uint64(len(distinct)))
+	}
+}
+
+// TestChainScratchPow2Growth is the regression for the exact-size
+// regrowth bug: feeding slowly growing chain lengths must reallocate
+// O(log n) times, not once per new maximum.
+func TestChainScratchPow2Growth(t *testing.T) {
+	var sc chainScratch
+	reallocs := 0
+	var lastCap int
+	for total := 1; total <= 256; total++ {
+		birth, death, pi := sc.slices(total)
+		if len(birth) != total || len(death) != total || len(pi) != total+1 {
+			t.Fatalf("total=%d: lengths %d/%d/%d", total, len(birth), len(death), len(pi))
+		}
+		if cap(sc.birth) != lastCap {
+			reallocs++
+			lastCap = cap(sc.birth)
+			if c := cap(sc.birth); c&(c-1) != 0 {
+				t.Fatalf("total=%d: capacity %d not a power of two", total, c)
+			}
+		}
+	}
+	if reallocs > 9 { // 1,2,4,...,256
+		t.Fatalf("%d reallocations over 256 growing chains, want O(log n)", reallocs)
+	}
+}
+
+// BenchmarkModePricingStorm is the chain-solve-bound workload behind
+// results/BENCH_batch.json's headline number: streams of distinct-key
+// tiers (every mode a memo miss) priced through the batched engine vs
+// the per-chain unbatched reference at equal GOMAXPROCS.
+func BenchmarkModePricingStorm(b *testing.B) {
+	const nTiers = 256
+	const nModes = 16
+	tms := make([]TierModel, nTiers)
+	for i := range tms {
+		modes := make([]Mode, nModes)
+		for j := range modes {
+			modes[j] = Mode{
+				Name:         "m",
+				MTBF:         units.Duration(int(units.Hour) * (1000 + i*nModes + j)),
+				Repair:       4 * units.Hour,
+				Failover:     units.Hour / 10,
+				UsesFailover: j%2 == 0,
+			}
+		}
+		tms[i] = TierModel{Name: "t", N: 4, M: 3, S: 1, Modes: modes}
+	}
+	run := func(b *testing.B, mk func() MarkovEngine) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			e := mk() // fresh memo: every key is a miss
+			for t := range tms {
+				if _, err := e.PriceTier(&tms[t]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+	b.Run("unbatched", func(b *testing.B) { run(b, NewMarkovEngineUnbatched) })
+	b.Run("batched", func(b *testing.B) { run(b, NewMarkovEngine) })
+}

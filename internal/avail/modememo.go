@@ -56,12 +56,11 @@ type memoShard struct {
 	m  map[modeKey]modeVal
 }
 
+// newModeMemo builds an empty memo. Shard maps initialize lazily on
+// first insert — reads on a nil map are safe — so engine construction
+// allocates one object, not one per shard.
 func newModeMemo() *modeMemo {
-	mm := &modeMemo{}
-	for i := range mm.shards {
-		mm.shards[i].m = map[modeKey]modeVal{}
-	}
-	return mm
+	return &modeMemo{}
 }
 
 // memoMix64 is the SplitMix64 finalizer, used to shard keys.
@@ -115,6 +114,9 @@ func (mm *modeMemo) getOrSolve(k modeKey) (v modeVal, hit bool, err error) {
 	if err != nil {
 		return modeVal{}, false, err
 	}
+	if sh.m == nil {
+		sh.m = map[modeKey]modeVal{}
+	}
 	sh.m[k] = v
 	mm.solves.Add(1)
 	return v, false, nil
@@ -132,14 +134,26 @@ var chainScratchPool = sync.Pool{New: func() any { return new(chainScratch) }}
 
 // slices returns rate slices of length total and a distribution slice
 // of length total+1, growing the backing arrays only when a larger
-// chain than any before appears.
+// chain than any before appears. Growth rounds the capacity up to the
+// next power of two: a corpus-scale stream of slowly growing chains
+// reallocates O(log n) times instead of once per new maximum.
 func (s *chainScratch) slices(total int) (birth, death, pi []float64) {
 	if cap(s.birth) < total {
-		s.birth = make([]float64, total)
-		s.death = make([]float64, total)
+		n := nextPow2(total)
+		s.birth = make([]float64, n)
+		s.death = make([]float64, n)
 	}
 	if cap(s.pi) < total+1 {
-		s.pi = make([]float64, total+1)
+		s.pi = make([]float64, nextPow2(total+1))
 	}
 	return s.birth[:total], s.death[:total], s.pi[: total+1 : total+1]
+}
+
+// nextPow2 rounds n up to a power of two.
+func nextPow2(n int) int {
+	c := 1
+	for c < n {
+		c <<= 1
+	}
+	return c
 }

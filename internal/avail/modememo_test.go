@@ -87,51 +87,76 @@ func TestZeroValueEngineHasNoMemo(t *testing.T) {
 	}
 }
 
-// TestEvaluateModeHitAllocFree is the allocation regression for the
-// engine hot path: once a chain is memoized, re-evaluating its mode
+// TestResolveModeHitAllocFree is the allocation regression for the
+// per-mode memo path: once a chain is memoized, re-resolving its mode
 // must not allocate.
-func TestEvaluateModeHitAllocFree(t *testing.T) {
+func TestResolveModeHitAllocFree(t *testing.T) {
 	e := NewMarkovEngine()
 	tm := TierModel{Name: "t", N: 4, M: 3, S: 1, Modes: []Mode{
 		{Name: "hw", MTBF: 3000 * units.Hour, Repair: 8 * units.Hour, Failover: units.Hour, UsesFailover: true},
 	}}
-	if _, _, err := e.evaluateMode(&tm, tm.Modes[0]); err != nil { // warm the memo
+	k := modeKeyFor(&tm, &tm.Modes[0])
+	if _, err := e.resolveMode(&tm, k); err != nil { // warm the memo
 		t.Fatal(err)
 	}
 	allocs := testing.AllocsPerRun(200, func() {
-		if _, _, err := e.evaluateMode(&tm, tm.Modes[0]); err != nil {
+		if _, err := e.resolveMode(&tm, k); err != nil {
 			t.Fatal(err)
 		}
 	})
 	if allocs != 0 {
-		t.Errorf("memoized evaluateMode allocates %.1f objects per run, want 0", allocs)
+		t.Errorf("memoized resolveMode allocates %.1f objects per run, want 0", allocs)
 	}
 }
 
-// BenchmarkEvaluateMode measures one mode evaluation cold (memo-less
+// TestPriceTierHitAllocFree is the allocation regression for the
+// search hot path: a warm memo-carrying engine prices a tier through
+// the batched memo request without allocating.
+func TestPriceTierHitAllocFree(t *testing.T) {
+	e := NewMarkovEngine()
+	tm := TierModel{Name: "t", N: 4, M: 3, S: 1, Modes: []Mode{
+		{Name: "hw", MTBF: 3000 * units.Hour, Repair: 8 * units.Hour, Failover: units.Hour, UsesFailover: true},
+		{Name: "sw", MTBF: 500 * units.Hour, Repair: units.Hour},
+		{Name: "op", MTBF: 8760 * units.Hour, Repair: 0},
+	}}
+	if _, err := e.PriceTier(&tm); err != nil { // warm the memo and the scratch pool
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		if _, err := e.PriceTier(&tm); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("warm PriceTier allocates %.1f objects per run, want 0", allocs)
+	}
+}
+
+// BenchmarkResolveMode measures one mode resolution cold (memo-less
 // zero value, solving the chain each time) and warm (memo hit).
-func BenchmarkEvaluateMode(b *testing.B) {
+func BenchmarkResolveMode(b *testing.B) {
 	tm := TierModel{Name: "t", N: 6, M: 5, S: 1, Modes: []Mode{
 		{Name: "hw", MTBF: 650 * 24 * units.Hour, Repair: 38 * units.Hour,
 			Failover: units.Hour / 10, UsesFailover: true},
 	}}
+	k := modeKeyFor(&tm, &tm.Modes[0])
 	b.Run("cold", func(b *testing.B) {
 		e := MarkovEngine{}
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
-			if _, _, err := e.evaluateMode(&tm, tm.Modes[0]); err != nil {
+			if _, err := e.resolveMode(&tm, k); err != nil {
 				b.Fatal(err)
 			}
 		}
 	})
 	b.Run("memoized", func(b *testing.B) {
 		e := NewMarkovEngine()
-		if _, _, err := e.evaluateMode(&tm, tm.Modes[0]); err != nil {
+		if _, err := e.resolveMode(&tm, k); err != nil {
 			b.Fatal(err)
 		}
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
-			if _, _, err := e.evaluateMode(&tm, tm.Modes[0]); err != nil {
+			if _, err := e.resolveMode(&tm, k); err != nil {
 				b.Fatal(err)
 			}
 		}

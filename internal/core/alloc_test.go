@@ -1,0 +1,49 @@
+package core
+
+import (
+	"testing"
+
+	"aved/internal/model"
+	"aved/internal/scenarios"
+	"aved/internal/units"
+)
+
+// TestWarmSolveAllocBudget is the allocation regression for the
+// arena-backed search: a re-solve on a warm solver draws its frontier
+// batches from the pooled search scratch, its evaluations from the
+// fingerprint cache and its flights from the slab allocator, so the
+// whole three-tier solve should cost a small bounded number of
+// allocations — the Pareto-reduced outputs, the combination, and the
+// Solution itself. Measured ~155 on the e-commerce scenario; the budget
+// leaves headroom for map-growth jitter without letting a per-candidate
+// allocation (hundreds of candidates per solve) sneak back in.
+func TestWarmSolveAllocBudget(t *testing.T) {
+	inf, err := model.ParseInfrastructure(scenarios.InfrastructureSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc, err := model.ParseService(scenarios.EcommerceSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.Resolve(inf); err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewSolver(inf, svc, Options{Registry: scenarios.Registry(), Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := model.Requirements{Kind: model.ReqEnterprise, Throughput: 2000, MaxAnnualDowntime: 60 * units.Minute}
+	if _, err := s.Solve(req); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(5, func() {
+		if _, err := s.Solve(req); err != nil {
+			t.Fatal(err)
+		}
+	})
+	const budget = 300
+	if allocs > budget {
+		t.Errorf("warm re-solve allocates %.0f objects per run, want <= %d", allocs, budget)
+	}
+}

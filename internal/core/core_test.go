@@ -439,15 +439,15 @@ func TestNewSolverValidation(t *testing.T) {
 func TestMechCombosCounts(t *testing.T) {
 	s := appTierSolver(t, Options{})
 	rC := s.inf.Resources["rC"]
-	combos, err := s.mechCombos(rC)
+	cs, err := s.mechCombos(rC)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(combos) != 4 {
-		t.Errorf("rC combos = %d, want 4 maintenance levels", len(combos))
+	if len(cs.combos) != 4 {
+		t.Errorf("rC combos = %d, want 4 maintenance levels", len(cs.combos))
 	}
 	rH := s.inf.Resources["rH"]
-	combos, err = s.mechCombos(rH)
+	cs, err = s.mechCombos(rH)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -455,8 +455,8 @@ func TestMechCombosCounts(t *testing.T) {
 	ck := s.inf.Mechanisms["checkpoint"]
 	cpi, _ := ck.Param("checkpoint_interval")
 	want := 4 * 2 * cpi.Grid.Len()
-	if len(combos) != want {
-		t.Errorf("rH combos = %d, want %d", len(combos), want)
+	if len(cs.combos) != want {
+		t.Errorf("rH combos = %d, want %d", len(cs.combos), want)
 	}
 }
 
@@ -466,15 +466,15 @@ func TestMechCombosFixedPin(t *testing.T) {
 			"maintenanceA": {"level": model.EnumValue("gold")},
 		},
 	})
-	combos, err := s.mechCombos(s.inf.Resources["rC"])
+	cs, err := s.mechCombos(s.inf.Resources["rC"])
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(combos) != 1 {
-		t.Fatalf("pinned combos = %d, want 1", len(combos))
+	if len(cs.combos) != 1 {
+		t.Fatalf("pinned combos = %d, want 1", len(cs.combos))
 	}
-	if combos[0][0].Values["level"].Str != "gold" {
-		t.Errorf("pinned level = %v", combos[0][0].Values["level"])
+	if cs.combos[0][0].Values["level"].Str != "gold" {
+		t.Errorf("pinned level = %v", cs.combos[0][0].Values["level"])
 	}
 }
 

@@ -24,11 +24,33 @@ const evalShards = 64
 // forgets such flights so later solves re-evaluate (see forget).
 type evalCache struct {
 	shards [evalShards]evalShard
+	// slabMu guards slab, the cache-wide flight allocator: flights are
+	// carved out of block allocations instead of one heap object per
+	// miss. Blocks are never reclaimed individually — flights live as
+	// long as the cache — so carving is safe, and misses cost
+	// 1/flightSlabLen allocations. The allocator is cache-wide rather
+	// than per shard because it is touched only on misses (one per
+	// distinct fingerprint), far too rarely to contend.
+	slabMu sync.Mutex
+	slab   []evalFlight
 }
 
 type evalShard struct {
 	mu sync.Mutex
 	m  map[fp128]*evalFlight
+}
+
+// newFlight carves one flight off the shared slab.
+func (c *evalCache) newFlight(gen uint64) *evalFlight {
+	c.slabMu.Lock()
+	if len(c.slab) == 0 {
+		c.slab = make([]evalFlight, flightSlabLen)
+	}
+	f := &c.slab[0]
+	c.slab = c.slab[1:]
+	c.slabMu.Unlock()
+	f.gen = gen
+	return f
 }
 
 type evalFlight struct {
@@ -40,12 +62,17 @@ type evalFlight struct {
 	gen uint64
 }
 
+// flightSlabLen is the per-shard flight block size: small enough that a
+// tiny solve wastes little, large enough to amortize the per-miss
+// allocation to noise.
+const flightSlabLen = 64
+
+// newEvalCache builds an empty cache. Shard maps initialize lazily on
+// first insert — map reads on a nil map are safe — so construction
+// itself allocates nothing per shard; solvers are built once per model
+// pair, sometimes per request.
 func newEvalCache() *evalCache {
-	c := &evalCache{}
-	for i := range c.shards {
-		c.shards[i].m = map[fp128]*evalFlight{}
-	}
-	return c
+	return &evalCache{}
 }
 
 // flight returns the singleflight slot for a key, creating it if
@@ -57,7 +84,10 @@ func (c *evalCache) flight(key fp128, gen uint64) *evalFlight {
 	sh.mu.Lock()
 	f, ok := sh.m[key]
 	if !ok {
-		f = &evalFlight{gen: gen}
+		f = c.newFlight(gen)
+		if sh.m == nil {
+			sh.m = map[fp128]*evalFlight{}
+		}
 		sh.m[key] = f
 	}
 	sh.mu.Unlock()
@@ -97,12 +127,10 @@ type modeCacheShard struct {
 	m  map[fp128][]avail.Mode
 }
 
+// newModeCache builds an empty cache; shard maps initialize lazily on
+// first put, like newEvalCache's.
 func newModeCache() *modeCache {
-	c := &modeCache{}
-	for i := range c.shards {
-		c.shards[i].m = map[fp128][]avail.Mode{}
-	}
-	return c
+	return &modeCache{}
 }
 
 func (c *modeCache) get(key fp128) ([]avail.Mode, bool) {
@@ -121,6 +149,9 @@ func (c *modeCache) put(key fp128, modes []avail.Mode) []avail.Mode {
 	if prev, ok := sh.m[key]; ok {
 		modes = prev
 	} else {
+		if sh.m == nil {
+			sh.m = map[fp128][]avail.Mode{}
+		}
 		sh.m[key] = modes
 	}
 	sh.mu.Unlock()

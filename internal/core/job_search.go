@@ -101,10 +101,11 @@ type comboOverhead struct {
 // relevant-settings fingerprint of each group, computed once here so
 // the search loop reuses it instead of re-fingerprinting per probe.
 func (s *Solver) prepareJobCombos(tier *model.Tier, opt *model.ResourceOption) ([]jobCombo, []fp128, error) {
-	combos, err := s.mechCombos(opt.ResourceType())
+	cs, err := s.mechCombos(opt.ResourceType())
 	if err != nil {
 		return nil, nil, err
 	}
+	combos := cs.combos
 	groups := map[fp128]int{}
 	var groupFPs []fp128
 	out := make([]jobCombo, 0, len(combos))

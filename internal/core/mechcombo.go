@@ -6,12 +6,57 @@ import (
 	"aved/internal/model"
 )
 
-// mechCombos enumerates every combination of parameter settings for the
-// mechanisms a resource type references, honouring FixedMechanisms
+// comboSet is one resource type's memoized mechanism enumeration: the
+// combinations plus each combo's relevant-settings fingerprint, both
+// shared read-only by every option walk over the type.
+type comboSet struct {
+	combos [][]model.MechSetting
+	fps    []fp128
+}
+
+// mechCombos returns the combination set for a resource type, building
+// it on first use (see buildCombos) and serving the memoized set —
+// combinations and fingerprints alike — afterwards. The set depends
+// only on inputs fixed between Rebinds, so memoization cannot change
+// results; it exists because a solve walks each resource type's options
+// several times (per-tier search, frontier build) and the enumeration
+// is allocation-heavy.
+func (s *Solver) mechCombos(rt *model.ResourceType) (*comboSet, error) {
+	s.comboMu.Lock()
+	cs, ok := s.comboCache[rt]
+	s.comboMu.Unlock()
+	if ok {
+		return cs, nil
+	}
+	combos, err := s.buildCombos(rt)
+	if err != nil {
+		return nil, err
+	}
+	cs = &comboSet{combos: combos, fps: make([]fp128, len(combos))}
+	for i, combo := range combos {
+		cs.fps[i] = comboFP(rt, combo)
+	}
+	s.comboMu.Lock()
+	if prev, ok := s.comboCache[rt]; ok {
+		// A concurrent walk built the same set first; converge on the
+		// canonical value.
+		cs = prev
+	} else {
+		if s.comboCache == nil {
+			s.comboCache = map[*model.ResourceType]*comboSet{}
+		}
+		s.comboCache[rt] = cs
+	}
+	s.comboMu.Unlock()
+	return cs, nil
+}
+
+// buildCombos enumerates every combination of parameter settings for
+// the mechanisms a resource type references, honouring FixedMechanisms
 // pins. Combinations are generated deterministically: mechanisms in
 // first-reference order, enumerated parameters in declaration order,
 // numeric grids ascending.
-func (s *Solver) mechCombos(rt *model.ResourceType) ([][]model.MechSetting, error) {
+func (s *Solver) buildCombos(rt *model.ResourceType) ([][]model.MechSetting, error) {
 	names := rt.Mechanisms()
 	combos := [][]model.MechSetting{nil}
 	for _, name := range names {

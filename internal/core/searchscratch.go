@@ -1,0 +1,42 @@
+package core
+
+import "sync"
+
+// searchScratch pools the per-call slice buffers of the option walks:
+// searchOption's per-size batch (candidates, fingerprints, evaluation
+// order) and optionFrontier's accumulation buffers plus its two
+// alternating size batches. One walk owns one scratch for its whole
+// run — walks on different goroutines draw different instances — so a
+// warm solver's searches reuse grown buffers instead of reallocating
+// them per option.
+type searchScratch struct {
+	buf     []TierCandidate
+	fps     []candFP
+	order   []int
+	evalIdx []int
+	skipped []TierCandidate
+	all     []TierCandidate
+	a, b    sizeBatch
+}
+
+var searchScratchPool = sync.Pool{New: func() any { return new(searchScratch) }}
+
+// insertSortByCost sorts order — initially ascending indices into buf —
+// by ascending buf[i].Cost. Insertion sort is stable, so equal costs
+// keep their initial (enumeration-index) order: exactly the
+// (cost, index) order searchOption's branch-and-bound cut relies on.
+// It replaces sort.Slice because per-size batches are small (the
+// splits × warmth × combos of one total) and sort.Slice allocates its
+// reflection-based swapper on every call.
+func insertSortByCost(order []int, buf []TierCandidate) {
+	for k := 1; k < len(order); k++ {
+		i := order[k]
+		c := buf[i].Cost
+		j := k - 1
+		for j >= 0 && buf[order[j]].Cost > c {
+			order[j+1] = order[j]
+			j--
+		}
+		order[j+1] = i
+	}
+}

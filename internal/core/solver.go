@@ -11,6 +11,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -142,6 +143,18 @@ type precisionTunable interface {
 	SetPrecision(relErr float64, batch int)
 }
 
+// tierPricer is implemented by engines that can price a single tier's
+// annual downtime without assembling a full multi-tier Result
+// (avail.MarkovEngine.PriceTier). The tier search only needs the
+// downtime scalar, so routing cache misses through this entry point
+// skips the Result/TierResult/Contributions construction of a full
+// Evaluate. PriceTier is documented bit-identical to Evaluate — same
+// downtime, same memo counters, same trace events — so using it never
+// changes results or stats. Structural, like precisionTunable.
+type tierPricer interface {
+	PriceTier(*avail.TierModel) (float64, error)
+}
+
 // CombineMethod selects how per-tier frontiers combine into a
 // multi-tier design.
 type CombineMethod int
@@ -254,6 +267,23 @@ type Solver struct {
 	// ctxEng is the engine's context-aware entry point, resolved once at
 	// construction (nil when the engine has none).
 	ctxEng ctxEvaluator
+
+	// pricer is the engine's lean single-tier pricing entry point,
+	// resolved once at construction. Left nil when the engine is
+	// context-aware: EvaluateCtx must keep observing cancellation, and
+	// context-aware engines (the simulator) are exactly the ones whose
+	// evaluations run long enough for that to matter.
+	pricer tierPricer
+
+	// comboCache memoizes mechCombos per resource type: the combination
+	// set (and its per-combo fingerprints) is a pure function of the
+	// resource type, the infrastructure's mechanisms and the solver's
+	// pins, so every option walk over one resource type — and there are
+	// several per solve — shares a single enumeration. Cleared by Rebind
+	// (the infrastructure, and with it the resource-type identities, may
+	// change).
+	comboMu    sync.Mutex
+	comboCache map[*model.ResourceType]*comboSet
 }
 
 // validateModels checks the model pair every solve runs against.
@@ -316,6 +346,11 @@ func NewSolver(inf *model.Infrastructure, svc *model.Service, opts Options) (*So
 	}
 	if ce, ok := s.opts.Engine.(ctxEvaluator); ok {
 		s.ctxEng = ce
+	}
+	if s.ctxEng == nil {
+		if tp, ok := s.opts.Engine.(tierPricer); ok {
+			s.pricer = tp
+		}
 	}
 	return s, nil
 }
@@ -408,6 +443,11 @@ func (s *Solver) Rebind(inf *model.Infrastructure, svc *model.Service, delta Del
 	}
 	s.inf = inf
 	s.svc = svc
+	// The combination sets hang off the old infrastructure's resource
+	// types; drop them wholesale rather than tracking which survived.
+	s.comboMu.Lock()
+	s.comboCache = nil
+	s.comboMu.Unlock()
 	if delta.All {
 		for _, name := range inf.ResourceNames() {
 			s.epochs[name]++

@@ -118,6 +118,19 @@ func (s *Solver) evalTierMiss(ctx context.Context, td *model.TierDesign, modeFP 
 		S:     td.NSpare,
 		Modes: modes,
 	}
+	if s.pricer != nil {
+		// Lean single-tier pricing: bit-identical downtime without the
+		// full Result construction (see tierPricer).
+		down, err := s.pricer.PriceTier(&tm)
+		if err != nil {
+			return evalEntry{}, err
+		}
+		sysMTBF, err := jobtime.SystemMTBF(tm.Modes, td.NActive)
+		if err != nil {
+			return evalEntry{}, err
+		}
+		return evalEntry{downtimeMinutes: down, sysMTBF: sysMTBF}, nil
+	}
 	res, err := s.engineEvaluate(ctx, []avail.TierModel{tm})
 	if err != nil {
 		return evalEntry{}, err
@@ -221,15 +234,12 @@ func (s *Solver) newOptionSearch(tier *model.Tier, opt *model.ResourceOption, th
 		// even meets the performance requirement.
 		return nil, false, nil
 	}
-	combos, err := s.mechCombos(opt.ResourceType())
+	cs, err := s.mechCombos(opt.ResourceType())
 	if err != nil {
 		return nil, false, err
 	}
 	rt := opt.ResourceType()
-	comboFPs := make([]fp128, len(combos))
-	for i, combo := range combos {
-		comboFPs[i] = comboFP(rt, combo)
-	}
+	combos, comboFPs := cs.combos, cs.fps
 	contiguous := true
 	for n := nMinPerf; n <= nMinPerf+s.opts.MaxRedundancy; n++ {
 		if maxTotal > 0 && n > maxTotal {
@@ -314,7 +324,7 @@ func (s *Solver) newOptionSearch(tier *model.Tier, opt *model.ResourceOption, th
 // dependency-closed prefix when the search explores warmth.
 func (s *Solver) warmLevels(rt *model.ResourceType, nSpare int) []int {
 	if nSpare == 0 || !s.opts.ExploreSpareWarmth {
-		return []int{0}
+		return warmZeroLevels
 	}
 	out := make([]int, len(rt.Components)+1)
 	for i := range out {
@@ -406,11 +416,14 @@ func (s *Solver) searchOption(ctx context.Context, tier *model.Tier, opt *model.
 	done := ctx.Done()
 	best := incumbent
 	bnb := s.opts.Search != SearchExhaustive
-	var (
-		buf    []TierCandidate // B&B per-size batch, reused across sizes
-		fpsBuf []candFP
-		order  []int
-	)
+	// B&B per-size batch, reused across sizes within the walk and pooled
+	// across walks.
+	sc := searchScratchPool.Get().(*searchScratch)
+	buf, fpsBuf, order := sc.buf, sc.fps, sc.order
+	defer func() {
+		sc.buf, sc.fps, sc.order = buf[:0], fpsBuf[:0], order[:0]
+		searchScratchPool.Put(sc)
+	}()
 	prevBestDowntime := math.Inf(1)
 	for extra := 0; extra <= s.opts.MaxRedundancy; extra++ {
 		total := o.nMinPerf + extra
@@ -450,13 +463,7 @@ func (s *Solver) searchOption(ctx context.Context, tier *model.Tier, opt *model.
 			for i := range buf {
 				order = append(order, i)
 			}
-			sort.Slice(order, func(a, b int) bool {
-				ia, ib := order[a], order[b]
-				if buf[ia].Cost != buf[ib].Cost {
-					return buf[ia].Cost < buf[ib].Cost
-				}
-				return ia < ib
-			})
+			insertSortByCost(order, buf)
 			cut := len(order)
 			for k, i := range order {
 				c := buf[i].Cost
@@ -734,12 +741,15 @@ func (s *Solver) optionFrontier(ctx context.Context, tier *model.Tier, opt *mode
 			}
 		}
 	}
-	var (
-		all     []TierCandidate
-		evalIdx []int
-		skipped []TierCandidate
-	)
-	cur, nxt := &sizeBatch{}, &sizeBatch{}
+	sc := searchScratchPool.Get().(*searchScratch)
+	all, evalIdx, skipped := sc.all[:0], sc.evalIdx[:0], sc.skipped[:0]
+	cur, nxt := &sc.a, &sc.b
+	defer func() {
+		// paretoReduce copies the surviving candidates out, so the
+		// accumulation buffer goes straight back to the pool.
+		sc.all, sc.evalIdx, sc.skipped = all[:0], evalIdx[:0], skipped[:0]
+		searchScratchPool.Put(sc)
+	}()
 	if err := gen(o.nMinPerf, cur); err != nil {
 		return nil, err
 	}

@@ -1,0 +1,320 @@
+package markov
+
+import (
+	"fmt"
+	"math"
+
+	"aved/internal/par"
+)
+
+// BatchPlan packs many birth–death chains into contiguous
+// structure-of-arrays slabs — one birth-rate slab, one death-rate slab,
+// one distribution slab, with per-chain offsets — so a candidate set's
+// chains solve in a single pass over dense memory instead of one call
+// (and one scattered scratch) per chain. The slabs grow by powers of
+// two and are retained across Reset, so a warm plan's steady state
+// allocates nothing.
+//
+// Usage: Reset, then for each chain Add(n) and fill the returned rate
+// slices, then Solve (or SolveWorkers), then read each chain's
+// distribution back with Pi or Chain. The arithmetic per chain is
+// exactly BirthDeathSteadyStateInto's — both run the shared
+// birthDeathSolve — so batched results are bit-identical to per-chain
+// solves.
+//
+// A BatchPlan is not safe for concurrent mutation; SolveWorkers is the
+// only method that may touch one plan from several goroutines, and
+// only over disjoint chain ranges.
+type BatchPlan struct {
+	birth []float64 // concatenated birth-rate segments
+	death []float64 // concatenated death-rate segments
+	pi    []float64 // concatenated distributions (one more state per chain)
+	q     []float64 // birth/death quotients, filled per solve by the fast kernel
+	s     []float64 // per-chain probability masses, filled per solve
+	ns    []int     // per-chain transition counts, filled by Add
+	off   []int     // per-chain segment start in birth/death
+}
+
+// Reset empties the plan, keeping every slab's capacity for reuse.
+func (p *BatchPlan) Reset() {
+	p.birth = p.birth[:0]
+	p.death = p.death[:0]
+	p.pi = p.pi[:0]
+	p.ns = p.ns[:0]
+	p.off = p.off[:0]
+}
+
+// Len reports the number of chains added since the last Reset.
+func (p *BatchPlan) Len() int { return len(p.off) }
+
+// Add appends a chain with n up-transitions (n+1 states; n may be 0
+// for a single-state chain) and returns its birth and death rate
+// segments for the caller to fill. The segments alias the plan's slabs
+// and are invalidated by the next Add or Reset.
+func (p *BatchPlan) Add(n int) (birth, death []float64) {
+	if n < 0 {
+		panic(fmt.Sprintf("markov: batch chain with %d transitions", n))
+	}
+	start := len(p.birth)
+	p.off = growInts(p.off, len(p.off)+1)
+	p.off[len(p.off)-1] = start
+	p.ns = growInts(p.ns, len(p.ns)+1)
+	p.ns[len(p.ns)-1] = n
+	p.birth = growFloats(p.birth, start+n)
+	p.death = growFloats(p.death, start+n)
+	p.pi = growFloats(p.pi, len(p.pi)+n+1)
+	return p.birth[start : start+n : start+n], p.death[start : start+n : start+n]
+}
+
+// bounds reports chain i's [lo, hi) range in the rate slabs. Its pi
+// segment is [lo+i, hi+i+1): each earlier chain contributes one extra
+// state, so the distribution offset needs no separate bookkeeping.
+func (p *BatchPlan) bounds(i int) (lo, hi int) {
+	lo = p.off[i]
+	if i+1 < len(p.off) {
+		return lo, p.off[i+1]
+	}
+	return lo, len(p.birth)
+}
+
+// Chain returns chain i's birth/death rate segments and its
+// distribution segment (meaningful after Solve). The slices alias the
+// plan's slabs.
+func (p *BatchPlan) Chain(i int) (birth, death, pi []float64) {
+	lo, hi := p.bounds(i)
+	return p.birth[lo:hi:hi], p.death[lo:hi:hi], p.pi[lo+i : hi+i+1 : hi+i+1]
+}
+
+// Pi returns chain i's stationary distribution, valid after Solve.
+func (p *BatchPlan) Pi(i int) []float64 {
+	lo, hi := p.bounds(i)
+	return p.pi[lo+i : hi+i+1 : hi+i+1]
+}
+
+// Solve computes every chain's stationary distribution in one pass
+// over the slabs. The first failing chain aborts the pass — chains
+// before it hold their solved distributions, chains after it are
+// untouched.
+func (p *BatchPlan) Solve() error {
+	p.ensureQ()
+	return p.solveRange(0, p.Len())
+}
+
+// SolveChain solves the single chain i in place.
+func (p *BatchPlan) SolveChain(i int) error {
+	b, d, pi := p.Chain(i)
+	if err := birthDeathSolve(pi, b, d); err != nil {
+		return fmt.Errorf("markov: batch chain %d: %w", i, err)
+	}
+	return nil
+}
+
+// solveRange solves chains [lo, hi). Clean ranges — every rate a
+// positive finite float, the overwhelmingly common case, since the
+// availability models only produce positive rates — run the fast
+// structure-of-arrays kernel:
+//
+//  1. every quotient q[j] = birth[j]/death[j] of the range computes in
+//     one vectorized pass over the rate slabs (the divides are mutually
+//     independent, and packed IEEE division rounds each element exactly
+//     like the scalar divide birthDeathSolve runs);
+//  2. each chain's recurrence pi[j+1] = pi[j]·q[j] runs as a bare
+//     multiply chain with the probability sum fused in — the additions
+//     accumulate in pi-index order, exactly birthDeathSolve's order;
+//  3. each chain normalises through one vectorized divide-by-scalar
+//     pass (again element-wise independent, identically rounded).
+//
+// Every floating-point operation a chain sees has the same operands,
+// order and rounding as birthDeathSolve, so the fast kernel's pi
+// vectors are bit-identical to the per-chain path's. What the batch
+// buys is throughput: a lone chain serialises on the divide and the
+// running product, while the slab passes keep the divider pipeline
+// full across chains.
+//
+// Anything irregular — zero or negative rates, NaNs, a normalisation
+// failure — falls back to the per-chain sequential pass, which
+// reproduces birthDeathSolve's error semantics exactly.
+func (p *BatchPlan) solveRange(lo, hi int) error {
+	if hi <= lo {
+		return nil
+	}
+	blo := p.off[lo]
+	_, bhi := p.bounds(hi - 1)
+	// One pass divides the rate slabs element-wise and reports the
+	// smallest rate seen. A non-positive minimum means a zero or
+	// negative rate somewhere — fall back before trusting any quotient.
+	// NaN rates may slip past the minimum, but they always produce NaN
+	// quotients, which the per-chain sum check below catches.
+	if m := divSlabMin(p.q[blo:bhi], p.birth[blo:bhi], p.death[blo:bhi]); !(m > 0) {
+		return p.solveRangeSeq(lo, hi)
+	}
+	lens := p.ns[lo:hi]
+	sums := p.s[lo:hi]
+	if bhi-blo >= fuseMin*(hi-lo) {
+		// Long chains: a lone running product no longer overlaps its
+		// neighbours' in the out-of-order window, so lock-step pairs.
+		for c := lo; c+1 < hi; c += 2 {
+			p.fuse2(c, c+1, sums[c-lo:])
+		}
+		if n := hi - lo; n%2 != 0 {
+			c := hi - 1
+			clo, chi := p.bounds(c)
+			fuseSolve(p.q[clo:chi], p.pi[clo+c:chi+c+1], lens[n-1:], sums[n-1:])
+		}
+	} else {
+		// Short chains: one slab walk runs every recurrence with no
+		// per-chain call overhead; the out-of-order window overlaps
+		// neighbouring chains' running products on its own.
+		fuseSolve(p.q[blo:bhi], p.pi[blo+lo:bhi+hi], lens, sums)
+	}
+	for _, sum := range sums {
+		// birthDeathSolve's mass sanity check, hoisted out of the
+		// kernel; sum > MaxFloat64 is IsInf for an already-positive sum.
+		if !(sum > 0) || sum > math.MaxFloat64 {
+			return p.solveRangeSeq(lo, hi)
+		}
+	}
+	divNorm(p.pi[blo+lo:bhi+hi], lens, sums)
+	return nil
+}
+
+// fuseMin is the mean transition count beyond which a chain's running
+// product no longer fits the out-of-order window alongside its
+// neighbour's, making explicit lock-stepping (fuse2) worthwhile.
+const fuseMin = 16
+
+// fuse2 runs two chains' recurrences in lock-step: each chain's
+// running product is a serial multiply chain, so a lone chain runs at
+// multiply latency, while two independent chains interleave at
+// multiply throughput. Per chain, the operations and their order are
+// exactly fuseSolve's — bit-identity is untouched, only the
+// instruction schedule changes. The chains' unchecked masses land in
+// sums[0] and sums[1].
+func (p *BatchPlan) fuse2(a, b int, sums []float64) {
+	alo, ahi := p.bounds(a)
+	blo, bhi := p.bounds(b)
+	qa := p.q[alo:ahi]
+	qb := p.q[blo:bhi]
+	outA := p.pi[alo+a : ahi+a+1 : ahi+a+1]
+	outB := p.pi[blo+b : bhi+b+1 : bhi+b+1]
+	curA, sumA := 1.0, 1.0
+	curB, sumB := 1.0, 1.0
+	outA[0] = 1
+	outB[0] = 1
+	n := len(qa)
+	if len(qb) < n {
+		n = len(qb)
+	}
+	for j := 0; j < n; j++ {
+		curA *= qa[j]
+		outA[j+1] = curA
+		sumA += curA
+		curB *= qb[j]
+		outB[j+1] = curB
+		sumB += curB
+	}
+	for j := n; j < len(qa); j++ {
+		curA *= qa[j]
+		outA[j+1] = curA
+		sumA += curA
+	}
+	for j := n; j < len(qb); j++ {
+		curB *= qb[j]
+		outB[j+1] = curB
+		sumB += curB
+	}
+	sums[0] = sumA
+	sums[1] = sumB
+}
+
+// solveRangeSeq is the reference pass: one birthDeathSolve per chain,
+// in order, stopping at the first failure.
+func (p *BatchPlan) solveRangeSeq(lo, hi int) error {
+	for i := lo; i < hi; i++ {
+		b, d, pi := p.Chain(i)
+		if err := birthDeathSolve(pi, b, d); err != nil {
+			return fmt.Errorf("markov: batch chain %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// ensureQ sizes the solve-time scratch slabs — quotients and per-chain
+// masses — to match the plan. Called before solving (never inside
+// sharded ranges, which would race); sharded ranges then work on
+// disjoint subslices.
+func (p *BatchPlan) ensureQ() {
+	if cap(p.q) < len(p.birth) {
+		p.q = make([]float64, nextPow2(len(p.birth)))
+	}
+	p.q = p.q[:len(p.birth)]
+	n := p.Len()
+	if cap(p.s) < n {
+		p.s = make([]float64, nextPow2(n))
+	}
+	p.s = p.s[:n]
+}
+
+// batchShardMin is the smallest per-shard chain count SolveWorkers
+// bothers to split: chains are sub-microsecond solves, so smaller
+// shards would pay more in goroutine scheduling than they recover.
+const batchShardMin = 64
+
+// SolveWorkers is Solve with the chain ranges sharded across the
+// worker pool (workers ≤ 0 means GOMAXPROCS). Shards are contiguous
+// chain ranges solved independently — segments never overlap — and the
+// reported error is the one the sequential pass would hit first, so
+// results and errors are identical to Solve at any worker count.
+func (p *BatchPlan) SolveWorkers(workers int) error {
+	n := p.Len()
+	if par.Workers(workers) <= 1 || n < 2*batchShardMin {
+		return p.Solve()
+	}
+	p.ensureQ()
+	shards := (n + batchShardMin - 1) / batchShardMin
+	if w := par.Workers(workers); shards > w {
+		shards = w
+	}
+	size := (n + shards - 1) / shards
+	return par.ForEach(workers, shards, func(si int) error {
+		lo := si * size
+		hi := lo + size
+		if hi > n {
+			hi = n
+		}
+		return p.solveRange(lo, hi)
+	})
+}
+
+// growFloats returns s with length n, reallocating to the next power
+// of two only when n exceeds the current capacity. Newly exposed
+// elements hold stale values; callers overwrite every element they
+// read.
+func growFloats(s []float64, n int) []float64 {
+	if n <= cap(s) {
+		return s[:n]
+	}
+	ns := make([]float64, n, nextPow2(n))
+	copy(ns, s)
+	return ns
+}
+
+// growInts is growFloats for the offset slab.
+func growInts(s []int, n int) []int {
+	if n <= cap(s) {
+		return s[:n]
+	}
+	ns := make([]int, n, nextPow2(n))
+	copy(ns, s)
+	return ns
+}
+
+// nextPow2 rounds n up to a power of two, so repeated growth over a
+// corpus-scale batch reallocates O(log n) times instead of per chain.
+func nextPow2(n int) int {
+	c := 1
+	for c < n {
+		c <<= 1
+	}
+	return c
+}

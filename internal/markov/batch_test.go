@@ -1,0 +1,421 @@
+package markov
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// randChainRates draws one birth–death chain's rates, spanning the
+// shapes the availability models produce: short chains, single-state
+// chains, rate magnitudes across several decades, and occasional zero
+// birth rates (unreachable tails).
+func randChainRates(rng *rand.Rand) (birth, death []float64) {
+	n := rng.Intn(9) // 0..8 transitions, so 1..9 states
+	birth = make([]float64, n)
+	death = make([]float64, n)
+	for j := 0; j < n; j++ {
+		birth[j] = math.Exp(rng.Float64()*12 - 6)
+		if rng.Intn(12) == 0 {
+			birth[j] = 0
+		}
+		death[j] = math.Exp(rng.Float64()*12 - 6)
+	}
+	return birth, death
+}
+
+// TestBatchPlanBitIdentical packs seeded random chains into one plan
+// and demands bitwise equality with per-chain
+// BirthDeathSteadyStateInto over every state.
+func TestBatchPlanBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(20260809))
+	var plan BatchPlan
+	for round := 0; round < 50; round++ {
+		plan.Reset()
+		nChains := 1 + rng.Intn(200)
+		ref := make([][3][]float64, 0, nChains) // birth, death, want
+		for c := 0; c < nChains; c++ {
+			birth, death := randChainRates(rng)
+			pb, pd := plan.Add(len(birth))
+			copy(pb, birth)
+			copy(pd, death)
+			want := make([]float64, len(birth)+1)
+			if err := BirthDeathSteadyStateInto(want, birth, death); err != nil {
+				t.Fatalf("round %d chain %d: reference solve: %v", round, c, err)
+			}
+			ref = append(ref, [3][]float64{birth, death, want})
+		}
+		if err := plan.Solve(); err != nil {
+			t.Fatalf("round %d: batch solve: %v", round, err)
+		}
+		if plan.Len() != nChains {
+			t.Fatalf("round %d: plan has %d chains, want %d", round, plan.Len(), nChains)
+		}
+		for c := 0; c < nChains; c++ {
+			b, d, pi := plan.Chain(c)
+			for j := range ref[c][0] {
+				if b[j] != ref[c][0][j] || d[j] != ref[c][1][j] {
+					t.Fatalf("round %d chain %d: rates clobbered at %d", round, c, j)
+				}
+			}
+			want := ref[c][2]
+			if len(pi) != len(want) {
+				t.Fatalf("round %d chain %d: pi length %d, want %d", round, c, len(pi), len(want))
+			}
+			for j := range want {
+				if math.Float64bits(pi[j]) != math.Float64bits(want[j]) {
+					t.Fatalf("round %d chain %d state %d: batch %x per-chain %x",
+						round, c, j, math.Float64bits(pi[j]), math.Float64bits(want[j]))
+				}
+			}
+		}
+	}
+}
+
+// TestBatchPlanEdgeCases pins the degenerate shapes: a single-state
+// chain (no transitions), a chain whose tail is unreachable, and an
+// absorbing chain, which must fail with the chain's index and leave
+// earlier chains solved.
+func TestBatchPlanEdgeCases(t *testing.T) {
+	var plan BatchPlan
+
+	// Single-state chain: pi = [1].
+	plan.Reset()
+	plan.Add(0)
+	if err := plan.Solve(); err != nil {
+		t.Fatalf("single-state solve: %v", err)
+	}
+	if pi := plan.Pi(0); len(pi) != 1 || pi[0] != 1 {
+		t.Fatalf("single-state pi = %v, want [1]", pi)
+	}
+
+	// Unreachable tail: zero birth rate truncates the distribution.
+	plan.Reset()
+	b, d := plan.Add(3)
+	b[0], b[1], b[2] = 2, 0, 5
+	d[0], d[1], d[2] = 4, 1, 1
+	if err := plan.Solve(); err != nil {
+		t.Fatalf("unreachable-tail solve: %v", err)
+	}
+	pi := plan.Pi(0)
+	if pi[2] != 0 || pi[3] != 0 {
+		t.Fatalf("unreachable states got mass: %v", pi)
+	}
+	want := make([]float64, 4)
+	if err := BirthDeathSteadyStateInto(want, []float64{2, 0, 5}, []float64{4, 1, 1}); err != nil {
+		t.Fatal(err)
+	}
+	for j := range want {
+		if math.Float64bits(pi[j]) != math.Float64bits(want[j]) {
+			t.Fatalf("state %d: %v != %v", j, pi[j], want[j])
+		}
+	}
+
+	// Absorbing edge (positive birth into a zero death rate) fails with
+	// the offending chain's batch index; the chain before it solved.
+	plan.Reset()
+	b, d = plan.Add(1)
+	b[0], d[0] = 1, 2
+	b, d = plan.Add(2)
+	b[0], b[1] = 1, 1
+	d[0], d[1] = 3, 0
+	err := plan.Solve()
+	if err == nil || !strings.Contains(err.Error(), "batch chain 1") || !strings.Contains(err.Error(), "absorbing") {
+		t.Fatalf("absorbing chain: got %v", err)
+	}
+	if pi := plan.Pi(0); math.Float64bits(pi[0]) != math.Float64bits(2.0/3.0) {
+		t.Fatalf("chain before the failure not solved: %v", pi)
+	}
+}
+
+// TestBatchPlanSolveWorkers checks the sharded solve against the
+// sequential pass, bit for bit, at several worker counts.
+func TestBatchPlanSolveWorkers(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	var seq, shard BatchPlan
+	nChains := 500
+	for c := 0; c < nChains; c++ {
+		birth, death := randChainRates(rng)
+		sb, sd := seq.Add(len(birth))
+		copy(sb, birth)
+		copy(sd, death)
+		pb, pd := shard.Add(len(birth))
+		copy(pb, birth)
+		copy(pd, death)
+	}
+	if err := seq.Solve(); err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 3, 8} {
+		if err := shard.SolveWorkers(workers); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for c := 0; c < nChains; c++ {
+			want, got := seq.Pi(c), shard.Pi(c)
+			for j := range want {
+				if math.Float64bits(got[j]) != math.Float64bits(want[j]) {
+					t.Fatalf("workers=%d chain %d state %d: %v != %v", workers, c, j, got[j], want[j])
+				}
+			}
+		}
+	}
+}
+
+// TestBatchPlanSteadyStateZeroAlloc pins the arena property: once the
+// slabs are warm, a Reset/Add/Solve cycle allocates nothing.
+func TestBatchPlanSteadyStateZeroAlloc(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	nChains := 64
+	births := make([][]float64, nChains)
+	deaths := make([][]float64, nChains)
+	for c := range births {
+		births[c], deaths[c] = randChainRates(rng)
+		for len(births[c]) > 0 && births[c][len(births[c])-1] == 0 {
+			births[c] = births[c][:len(births[c])-1] // keep every chain solvable
+			deaths[c] = deaths[c][:len(deaths[c])-1]
+		}
+		for j := range births[c] {
+			if births[c][j] == 0 {
+				births[c][j] = 1
+			}
+		}
+	}
+	var plan BatchPlan
+	cycle := func() {
+		plan.Reset()
+		for c := range births {
+			b, d := plan.Add(len(births[c]))
+			copy(b, births[c])
+			copy(d, deaths[c])
+		}
+		if err := plan.Solve(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cycle() // warm the slabs
+	if allocs := testing.AllocsPerRun(20, cycle); allocs != 0 {
+		t.Fatalf("warm batch cycle allocates %v per run, want 0", allocs)
+	}
+}
+
+// TestBatchPlanLongChainsBitIdentical drives the long-chain kernel
+// path — lock-stepped pairs plus an odd tail — with all-positive rates
+// so the fast path runs end to end, and demands bitwise equality with
+// the per-chain reference. 33 chains of 100–300 transitions keep the
+// mean well past fuseMin; unequal lengths exercise fuse2's drain loops.
+func TestBatchPlanLongChainsBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	var plan BatchPlan
+	nChains := 33
+	ref := make([][]float64, nChains)
+	for c := 0; c < nChains; c++ {
+		n := 100 + rng.Intn(200)
+		birth := make([]float64, n)
+		death := make([]float64, n)
+		for j := 0; j < n; j++ {
+			birth[j] = math.Exp(rng.Float64()*2 - 1)
+			death[j] = math.Exp(rng.Float64()*2+1) * float64(j+1)
+		}
+		pb, pd := plan.Add(n)
+		copy(pb, birth)
+		copy(pd, death)
+		ref[c] = make([]float64, n+1)
+		if err := BirthDeathSteadyStateInto(ref[c], birth, death); err != nil {
+			t.Fatalf("chain %d: reference solve: %v", c, err)
+		}
+	}
+	if err := plan.Solve(); err != nil {
+		t.Fatal(err)
+	}
+	for c := 0; c < nChains; c++ {
+		pi := plan.Pi(c)
+		for j := range ref[c] {
+			if math.Float64bits(pi[j]) != math.Float64bits(ref[c][j]) {
+				t.Fatalf("chain %d state %d: batch %x per-chain %x",
+					c, j, math.Float64bits(pi[j]), math.Float64bits(ref[c][j]))
+			}
+		}
+	}
+}
+
+// TestDivKernelsBitIdentical pins the hand-written slab routines
+// against plain scalar loops, bitwise, across awkward lengths (packed
+// tails) and magnitudes (denormals, huge and tiny finite values). On
+// amd64 this is asm-vs-Go; elsewhere it is Go-vs-Go and trivially true.
+func TestDivKernelsBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	draw := func() float64 {
+		switch rng.Intn(8) {
+		case 0:
+			return 1e300 * rng.Float64()
+		case 1:
+			return 1e-300 * rng.Float64()
+		case 2:
+			return math.SmallestNonzeroFloat64 * float64(1+rng.Intn(1000))
+		default:
+			return math.Exp(rng.Float64()*40 - 20)
+		}
+	}
+	for _, n := range []int{0, 1, 2, 3, 4, 5, 7, 8, 9, 16, 33} {
+		num := make([]float64, n)
+		den := make([]float64, n)
+		dst := make([]float64, n)
+		want := make([]float64, n)
+		wantMin := math.Inf(1)
+		for i := 0; i < n; i++ {
+			num[i] = draw()
+			den[i] = draw()
+			want[i] = num[i] / den[i]
+			wantMin = math.Min(wantMin, math.Min(num[i], den[i]))
+		}
+		gotMin := divSlabMin(dst, num, den)
+		if math.Float64bits(gotMin) != math.Float64bits(wantMin) {
+			t.Fatalf("n=%d: divSlabMin min %v, want %v", n, gotMin, wantMin)
+		}
+		for i := range want {
+			if math.Float64bits(dst[i]) != math.Float64bits(want[i]) {
+				t.Fatalf("n=%d: quotient %d: %x != %x", n, i, math.Float64bits(dst[i]), math.Float64bits(want[i]))
+			}
+		}
+	}
+
+	// fuseSolve and divNorm walk chains of varied lengths in one call.
+	lens := []int{0, 1, 2, 3, 5, 8, 17, 0, 4}
+	total := 0
+	for _, n := range lens {
+		total += n
+	}
+	q := make([]float64, total)
+	for i := range q {
+		q[i] = math.Exp(rng.Float64()*4 - 2)
+	}
+	pi := make([]float64, total+len(lens))
+	sums := make([]float64, len(lens))
+	fuseSolve(q, pi, lens, sums)
+	wantPi := make([]float64, len(pi))
+	wantSums := make([]float64, len(lens))
+	i, k := 0, 0
+	for c, n := range lens {
+		cur, sum := 1.0, 1.0
+		wantPi[k] = 1
+		k++
+		for j := 0; j < n; j++ {
+			cur *= q[i]
+			wantPi[k] = cur
+			sum += cur
+			i++
+			k++
+		}
+		wantSums[c] = sum
+	}
+	for c := range wantSums {
+		if math.Float64bits(sums[c]) != math.Float64bits(wantSums[c]) {
+			t.Fatalf("fuseSolve sums[%d] = %x, want %x", c, math.Float64bits(sums[c]), math.Float64bits(wantSums[c]))
+		}
+	}
+	for j := range wantPi {
+		if math.Float64bits(pi[j]) != math.Float64bits(wantPi[j]) {
+			t.Fatalf("fuseSolve pi[%d] = %x, want %x", j, math.Float64bits(pi[j]), math.Float64bits(wantPi[j]))
+		}
+	}
+
+	divNorm(pi, lens, sums)
+	k = 0
+	for c, n := range lens {
+		for j := 0; j <= n; j++ {
+			if math.Float64bits(pi[k]) != math.Float64bits(wantPi[k]/wantSums[c]) {
+				t.Fatalf("divNorm pi[%d] = %x, want %x", k, math.Float64bits(pi[k]), math.Float64bits(wantPi[k]/wantSums[c]))
+			}
+			k++
+		}
+	}
+}
+
+// BenchmarkBatchVsPerChainLong is the kernel benchmark at
+// ecommerce-chain scale: 64 chains of 1024 transitions, where each
+// chain's running product is long enough to serialise on multiply
+// latency without the lock-stepped pair schedule.
+func BenchmarkBatchVsPerChainLong(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	const nChains = 64
+	const n = 1024
+	births := make([][]float64, nChains)
+	deaths := make([][]float64, nChains)
+	pis := make([][]float64, nChains)
+	var plan BatchPlan
+	for c := 0; c < nChains; c++ {
+		births[c] = make([]float64, n)
+		deaths[c] = make([]float64, n)
+		pis[c] = make([]float64, n+1)
+		for j := 0; j < n; j++ {
+			births[c][j] = math.Exp(rng.Float64()*2 - 1)
+			deaths[c][j] = math.Exp(rng.Float64()*2+1) * float64(j+1)
+		}
+		pb, pd := plan.Add(n)
+		copy(pb, births[c])
+		copy(pd, deaths[c])
+	}
+	b.Run("per-chain", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for c := 0; c < nChains; c++ {
+				if err := BirthDeathSteadyStateInto(pis[c], births[c], deaths[c]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.Run("batch", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if err := plan.Solve(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkBatchVsPerChain compares the batched slab solve with the
+// equivalent loop of per-chain BirthDeathSteadyStateInto calls over
+// scattered per-chain scratch — the raw-kernel half of the
+// results/BENCH_batch.json record.
+func BenchmarkBatchVsPerChain(b *testing.B) {
+	rng := rand.New(rand.NewSource(99))
+	const nChains = 1024
+	births := make([][]float64, nChains)
+	deaths := make([][]float64, nChains)
+	pis := make([][]float64, nChains)
+	var plan BatchPlan
+	for c := 0; c < nChains; c++ {
+		n := 1 + rng.Intn(8)
+		births[c] = make([]float64, n)
+		deaths[c] = make([]float64, n)
+		pis[c] = make([]float64, n+1)
+		for j := 0; j < n; j++ {
+			births[c][j] = math.Exp(rng.Float64()*12 - 6)
+			deaths[c][j] = math.Exp(rng.Float64()*12 - 6)
+		}
+		pb, pd := plan.Add(n)
+		copy(pb, births[c])
+		copy(pd, deaths[c])
+	}
+	b.Run("per-chain", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for c := 0; c < nChains; c++ {
+				if err := BirthDeathSteadyStateInto(pis[c], births[c], deaths[c]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.Run("batch", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if err := plan.Solve(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -1,0 +1,34 @@
+//go:build amd64
+
+package markov
+
+// divSlabMin writes dst[i] = num[i] / den[i] for every element, two
+// packed IEEE divides per loop, and returns the smallest rate seen
+// across both input slabs. Packed double division rounds each element
+// exactly as the scalar divide does, so the quotients are bit-identical
+// to a scalar loop — the batch kernel leans on this. The minimum is a
+// validity gate only: callers test min > 0, and NaN inputs (which MINPD
+// may drop) are caught downstream through their NaN quotients. All
+// three slices must have the same length.
+//
+//go:noescape
+func divSlabMin(dst, num, den []float64) float64
+
+// fuseSolve runs every chain's product-form recurrence over the packed
+// quotient slab in one call: chain c (lens[c] transitions) reads its q
+// segment, writes its pi segment (lens[c]+1 states, starting at 1) and
+// leaves its unchecked probability mass in sums[c]. The multiplies and
+// the mass additions are scalar, in exactly birthDeathSolve's operand
+// order, so results are bit-identical to the per-chain loop; pi must
+// hold len(q)+len(lens) elements.
+//
+//go:noescape
+func fuseSolve(q, pi []float64, lens []int, sums []float64)
+
+// divNorm normalises every chain in the packed pi slab in one call:
+// chain c's lens[c]+1 states divide by sums[c], packed. Each divide is
+// element-wise independent and identically rounded to the scalar
+// pi[i] /= sum, so normalisation stays bit-identical.
+//
+//go:noescape
+func divNorm(pi []float64, lens []int, sums []float64)

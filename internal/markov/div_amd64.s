@@ -1,0 +1,188 @@
+//go:build amd64
+
+#include "textflag.h"
+
+// func divSlabMin(dst, num, den []float64) float64
+// dst[i] = num[i] / den[i], 4 elements per iteration via two packed
+// divides, accumulating the minimum of every input rate in X5. DIVPD
+// rounds each lane exactly like DIVSD, so the quotients are
+// bit-identical to the scalar loop in div_generic.go. The returned
+// minimum is only a positivity gate; NaN propagation through MINPD is
+// best-effort (NaN inputs surface as NaN quotients downstream).
+TEXT ·divSlabMin(SB), NOSPLIT, $0-80
+	MOVQ dst_base+0(FP), DI
+	MOVQ num_base+24(FP), SI
+	MOVQ den_base+48(FP), DX
+	MOVQ dst_len+8(FP), CX
+	MOVQ $0x7FF0000000000000, AX // +Inf
+	MOVQ AX, X5
+	UNPCKLPD X5, X5
+
+	// Four independent minimum accumulators: a single accumulator
+	// would serialise four MINPDs per iteration into a latency chain
+	// longer than the divider's throughput bound.
+	MOVAPD X5, X6
+	MOVAPD X5, X8
+	MOVAPD X5, X9
+	XORQ AX, AX
+	MOVQ CX, BX
+	ANDQ $-4, BX
+
+loop4:
+	CMPQ AX, BX
+	JGE  tail
+	MOVUPD (SI)(AX*8), X0
+	MOVUPD 16(SI)(AX*8), X1
+	MOVUPD (DX)(AX*8), X2
+	MOVUPD 16(DX)(AX*8), X3
+	MINPD  X0, X5
+	MINPD  X1, X6
+	MINPD  X2, X8
+	MINPD  X3, X9
+	DIVPD  X2, X0
+	DIVPD  X3, X1
+	MOVUPD X0, (DI)(AX*8)
+	MOVUPD X1, 16(DI)(AX*8)
+	ADDQ   $4, AX
+	JMP    loop4
+
+tail:
+	CMPQ AX, CX
+	JGE  done
+	MOVSD (SI)(AX*8), X0
+	MOVSD (DX)(AX*8), X2
+	MINSD X0, X5
+	MINSD X2, X5
+	DIVSD X2, X0
+	MOVSD X0, (DI)(AX*8)
+	INCQ  AX
+	JMP   tail
+
+done:
+	MINPD    X6, X5
+	MINPD    X9, X8
+	MINPD    X8, X5
+	MOVAPD   X5, X6
+	UNPCKHPD X6, X6
+	MINSD    X6, X5
+	MOVSD    X5, ret+72(FP)
+	RET
+
+// func fuseSolve(q, pi []float64, lens []int, sums []float64)
+// One slab walk runs every chain's recurrence: for chain c with
+// n = lens[c] transitions, pi[k] = 1, then pi[k+j+1] = pi[k+j]·q[i+j]
+// with the probability mass accumulated in register, landing in
+// sums[c]. MULSD/ADDSD in exactly birthDeathSolve's operand order keep
+// the results bit-identical; the walk exists to kill per-chain call
+// overhead, and the out-of-order window overlaps neighbouring chains'
+// multiply chains on its own. The inner loop is unrolled by two to
+// halve loop-carried bookkeeping.
+TEXT ·fuseSolve(SB), NOSPLIT, $0-96
+	MOVQ q_base+0(FP), SI
+	MOVQ pi_base+24(FP), DI
+	MOVQ lens_base+48(FP), R8
+	MOVQ lens_len+56(FP), R9
+	MOVQ sums_base+72(FP), R10
+	MOVQ $0x3FF0000000000000, AX // 1.0
+	MOVQ AX, X7
+	XORQ AX, AX                  // q index
+	XORQ BX, BX                  // pi index
+	XORQ CX, CX                  // chain index
+
+fchain:
+	CMPQ   CX, R9
+	JGE    fdone
+	MOVQ   (R8)(CX*8), R11 // n = lens[c]
+	MOVAPD X7, X0          // cur = 1
+	MOVAPD X7, X1          // sum = 1
+	MOVSD  X7, (DI)(BX*8)  // pi[k] = 1
+	INCQ   BX
+	XORQ   R12, R12
+	MOVQ   R11, R13
+	ANDQ   $-2, R13
+
+finner2:
+	CMPQ  R12, R13
+	JGE   finner1
+	MULSD (SI)(AX*8), X0
+	MOVSD X0, (DI)(BX*8)
+	ADDSD X0, X1
+	MULSD 8(SI)(AX*8), X0
+	MOVSD X0, 8(DI)(BX*8)
+	ADDSD X0, X1
+	ADDQ  $2, AX
+	ADDQ  $2, BX
+	ADDQ  $2, R12
+	JMP   finner2
+
+finner1:
+	CMPQ  R12, R11
+	JGE   fendchain
+	MULSD (SI)(AX*8), X0
+	MOVSD X0, (DI)(BX*8)
+	ADDSD X0, X1
+	INCQ  AX
+	INCQ  BX
+	INCQ  R12
+	JMP   finner1
+
+fendchain:
+	MOVSD X1, (R10)(CX*8) // sums[c] = sum
+	INCQ  CX
+	JMP   fchain
+
+fdone:
+	RET
+
+// func divNorm(pi []float64, lens []int, sums []float64)
+// One slab walk normalises every chain: chain c's lens[c]+1 states
+// divide by the broadcast sums[c], four states per iteration via two
+// packed divides plus a scalar tail. DIVPD rounds each lane exactly
+// like DIVSD, so normalisation is bit-identical to the scalar loop.
+TEXT ·divNorm(SB), NOSPLIT, $0-72
+	MOVQ pi_base+0(FP), DI
+	MOVQ lens_base+24(FP), R8
+	MOVQ lens_len+32(FP), R9
+	MOVQ sums_base+48(FP), R10
+	XORQ BX, BX // pi index
+	XORQ CX, CX // chain index
+
+nchain:
+	CMPQ     CX, R9
+	JGE      ndone
+	MOVQ     (R8)(CX*8), R11 // n transitions
+	INCQ     R11             // n+1 states
+	MOVSD    (R10)(CX*8), X4
+	UNPCKLPD X4, X4
+	LEAQ     (BX)(R11*1), DX // chain end in pi
+	MOVQ     R11, R13
+	ANDQ     $-4, R13
+	LEAQ     (BX)(R13*1), R13 // packed end in pi
+
+nloop4:
+	CMPQ   BX, R13
+	JGE    ntail
+	MOVUPD (DI)(BX*8), X0
+	MOVUPD 16(DI)(BX*8), X1
+	DIVPD  X4, X0
+	DIVPD  X4, X1
+	MOVUPD X0, (DI)(BX*8)
+	MOVUPD X1, 16(DI)(BX*8)
+	ADDQ   $4, BX
+	JMP    nloop4
+
+ntail:
+	CMPQ  BX, DX
+	JGE   nnext
+	MOVSD (DI)(BX*8), X0
+	DIVSD X4, X0
+	MOVSD X0, (DI)(BX*8)
+	INCQ  BX
+	JMP   ntail
+
+nnext:
+	INCQ CX
+	JMP  nchain
+
+ndone:
+	RET

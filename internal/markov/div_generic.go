@@ -1,0 +1,61 @@
+//go:build !amd64
+
+package markov
+
+import "math"
+
+// divSlabMin writes dst[i] = num[i] / den[i] for every element and
+// returns the smallest rate seen across both input slabs — the
+// portable counterpart of the amd64 packed-divide routine. The minimum
+// is a validity gate only: callers test min > 0, and NaN inputs (which
+// the < comparisons skip) are caught downstream through their NaN
+// quotients. All three slices must have the same length.
+func divSlabMin(dst, num, den []float64) float64 {
+	m := math.Inf(1)
+	for i := range dst {
+		b, d := num[i], den[i]
+		dst[i] = b / d
+		if b < m {
+			m = b
+		}
+		if d < m {
+			m = d
+		}
+	}
+	return m
+}
+
+// fuseSolve runs every chain's product-form recurrence over the packed
+// quotient slab: chain c (lens[c] transitions) reads its q segment,
+// writes its pi segment (lens[c]+1 states, starting at 1) and leaves
+// its unchecked probability mass in sums[c]. Operand order matches
+// birthDeathSolve exactly; pi must hold len(q)+len(lens) elements.
+func fuseSolve(q, pi []float64, lens []int, sums []float64) {
+	i, k := 0, 0
+	for c, n := range lens {
+		cur, sum := 1.0, 1.0
+		pi[k] = 1
+		k++
+		for j := 0; j < n; j++ {
+			cur *= q[i]
+			pi[k] = cur
+			sum += cur
+			i++
+			k++
+		}
+		sums[c] = sum
+	}
+}
+
+// divNorm normalises every chain in the packed pi slab: chain c's
+// lens[c]+1 states divide by sums[c].
+func divNorm(pi []float64, lens []int, sums []float64) {
+	k := 0
+	for c, n := range lens {
+		s := sums[c]
+		for j := 0; j <= n; j++ {
+			pi[k] /= s
+			k++
+		}
+	}
+}

@@ -171,11 +171,19 @@ func BirthDeathSteadyStateInto(dst, birth, death []float64) error {
 	if len(birth) != len(death) {
 		return fmt.Errorf("markov: birth–death needs matching rate slices, got %d and %d", len(birth), len(death))
 	}
-	n := len(birth)
-	if len(dst) != n+1 {
-		return fmt.Errorf("markov: birth–death destination needs %d states, got %d", n+1, len(dst))
+	if len(dst) != len(birth)+1 {
+		return fmt.Errorf("markov: birth–death destination needs %d states, got %d", len(birth)+1, len(dst))
 	}
-	pi := dst
+	return birthDeathSolve(dst, birth, death)
+}
+
+// birthDeathSolve is the shared product-form recurrence behind both the
+// per-chain entry points and BatchPlan: lengths are already validated
+// (len(pi) == len(birth)+1 == len(death)+1). Both paths run this exact
+// function, which is what makes batched and per-chain results
+// bit-identical by construction.
+func birthDeathSolve(pi, birth, death []float64) error {
+	n := len(birth)
 	pi[0] = 1
 	cur := 1.0
 	for j := 0; j < n; j++ {

@@ -162,6 +162,7 @@ func (b *infraBinder) failure(c *spec.Clause) error {
 	if fm.MTBF == 0 && fm.MTBFRef == "" {
 		return fmt.Errorf("spec:%s: failure %q: missing mtbf", c.Pos, c.Name)
 	}
+	fm.qual = b.curComponent.Name + "/" + fm.Name
 	b.curComponent.Failures = append(b.curComponent.Failures, fm)
 	return nil
 }

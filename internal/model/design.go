@@ -298,7 +298,11 @@ func (td *TierDesign) LossWindow() (units.Duration, bool, error) {
 type EffectiveMode struct {
 	Component string
 	Mode      string
-	MTBF      units.Duration
+	// Qual is the "component/mode" display name, precomputed at bind
+	// time. Empty when the failure mode was built by hand rather than
+	// bound from a spec; consumers concatenate as a fallback.
+	Qual string
+	MTBF units.Duration
 	// RepairTime is the full outage length when the failure is repaired
 	// in place: detection + repair + restart of affected components.
 	RepairTime units.Duration
@@ -324,7 +328,11 @@ func (td *TierDesign) EffectiveModes() ([]EffectiveMode, error) {
 	for i := td.SpareWarm; i < len(rt.Components); i++ {
 		spareActivation += rt.Components[i].Startup
 	}
-	var out []EffectiveMode
+	nModes := 0
+	for _, rc := range rt.Components {
+		nModes += len(rc.Component.Failures)
+	}
+	out := make([]EffectiveMode, 0, nModes)
 	for ci, rc := range rt.Components {
 		comp := rc.Component
 		restart := rt.RestartTime(comp.Name)
@@ -364,6 +372,7 @@ func (td *TierDesign) EffectiveModes() ([]EffectiveMode, error) {
 			em := EffectiveMode{
 				Component:    comp.Name,
 				Mode:         f.Name,
+				Qual:         f.qual,
 				MTBF:         mtbf,
 				RepairTime:   f.DetectTime + mttr + restart,
 				FailoverTime: f.DetectTime + rt.ReconfigTime + spareActivation,

@@ -8,6 +8,7 @@ package model
 
 import (
 	"fmt"
+	"math/bits"
 
 	"aved/internal/units"
 )
@@ -43,6 +44,11 @@ type FailureMode struct {
 	MTTR       units.Duration // repair time once detected; used when MTTRRef is empty
 	MTTRRef    string         // mechanism supplying the repair time (mttr=<maintenanceA>)
 	DetectTime units.Duration
+	// qual is the precomputed "component/mode" display name, filled at
+	// bind time so the search's effective-mode resolutions need no
+	// per-candidate string concatenation. Empty on hand-built values;
+	// consumers fall back to concatenating (see EffectiveMode.Qual).
+	qual string
 }
 
 // Component is the basic unit of fault management (§3.1.1).
@@ -179,13 +185,45 @@ func (r *ResourceType) Affected(name string) []ResourceComponent {
 
 // RestartTime reports the serial startup latency of the named component
 // and its transitive dependents — the paper's "startup times of the
-// components affected by the failure".
+// components affected by the failure". It runs on the design-search hot
+// path (every effective-mode resolution), so the affected set is
+// tracked as an index bitmask rather than Affected's map, which keeps
+// the common case allocation-free.
 func (r *ResourceType) RestartTime(name string) units.Duration {
+	if len(r.Components) > 64 {
+		var total units.Duration
+		for _, rc := range r.Affected(name) {
+			total += rc.Startup
+		}
+		return total
+	}
+	var mask uint64
 	var total units.Duration
-	for _, rc := range r.Affected(name) {
-		total += rc.Startup
+	for i, rc := range r.Components {
+		if r.inAffected(mask, rc.Component.Name, name) ||
+			(rc.DependsOn != "" && r.inAffected(mask, rc.DependsOn, name)) {
+			mask |= 1 << uint(i)
+			total += rc.Startup
+		}
 	}
 	return total
+}
+
+// inAffected reports whether s names the failed component or any
+// already-masked member — the bitmask counterpart of Affected's set
+// lookup.
+func (r *ResourceType) inAffected(mask uint64, s, failed string) bool {
+	if s == failed {
+		return true
+	}
+	for mask != 0 {
+		i := bits.TrailingZeros64(mask)
+		if r.Components[i].Component.Name == s {
+			return true
+		}
+		mask &= mask - 1
+	}
+	return false
 }
 
 // FullStartup reports the serial startup latency of every component:

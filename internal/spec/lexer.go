@@ -20,10 +20,12 @@ func newLexer(src string) *lexer {
 }
 
 // Lex tokenises the whole input, returning the token stream terminated
-// by an EOF token.
+// by an EOF token. Token text slices the source wherever possible —
+// words, references and already-normalized bracket groups share src's
+// backing — so lexing a document costs a handful of allocations.
 func Lex(src string) ([]Token, error) {
 	lx := newLexer(src)
-	var toks []Token
+	toks := make([]Token, 0, len(src)/8)
 	for {
 		tok, err := lx.next()
 		if err != nil {
@@ -136,25 +138,23 @@ func (l *lexer) next() (Token, error) {
 	}
 }
 
-// lexBracket consumes a [ ... ] group, preserving the raw inner text.
-// Nested brackets are not part of the language and are rejected.
+// lexBracket consumes a [ ... ] group, preserving the raw inner text
+// (bracket groups may wrap across lines in the listings; normalization
+// collapses the line breaks). Nested brackets are not part of the
+// language and are rejected.
 func (l *lexer) lexBracket(start Pos) (Token, error) {
 	l.advance() // consume '['
-	var sb strings.Builder
+	o := l.off
 	for l.off < len(l.src) {
-		c := l.peek()
-		switch c {
+		switch l.peek() {
 		case ']':
+			text := normalizeSpace(l.src[o:l.off])
 			l.advance()
-			return Token{Kind: TokenBracket, Text: normalizeSpace(sb.String()), Pos: start}, nil
+			return Token{Kind: TokenBracket, Text: text, Pos: start}, nil
 		case '[':
 			return Token{}, errorAt(l.pos(), "nested '[' inside bracket group")
-		case '\n':
-			// Bracket groups may wrap across lines in the listings.
-			l.advance()
-			sb.WriteByte(' ')
 		default:
-			sb.WriteByte(l.advance())
+			l.advance()
 		}
 	}
 	return Token{}, errorAt(start, "unterminated bracket group")
@@ -163,12 +163,12 @@ func (l *lexer) lexBracket(start Pos) (Token, error) {
 // lexRef consumes a <name> mechanism reference.
 func (l *lexer) lexRef(start Pos) (Token, error) {
 	l.advance() // consume '<'
-	var sb strings.Builder
+	o := l.off
 	for l.off < len(l.src) {
 		c := l.peek()
 		if c == '>' {
+			name := strings.TrimSpace(l.src[o:l.off])
 			l.advance()
-			name := strings.TrimSpace(sb.String())
 			if name == "" {
 				return Token{}, errorAt(start, "empty <> reference")
 			}
@@ -177,26 +177,49 @@ func (l *lexer) lexRef(start Pos) (Token, error) {
 		if c == '\n' {
 			return Token{}, errorAt(start, "unterminated <> reference")
 		}
-		sb.WriteByte(l.advance())
+		l.advance()
 	}
 	return Token{}, errorAt(start, "unterminated <> reference")
 }
 
 func (l *lexer) lexWord(start Pos) (Token, error) {
-	var sb strings.Builder
+	o := l.off
 	for l.off < len(l.src) && isWordByte(l.peek()) {
-		sb.WriteByte(l.advance())
+		l.advance()
 	}
-	w := sb.String()
-	if w == "" {
+	if l.off == o {
 		return Token{}, errorAt(start, "unexpected character %q", string(l.peek()))
 	}
-	return Token{Kind: TokenWord, Text: w, Pos: start}, nil
+	return Token{Kind: TokenWord, Text: l.src[o:l.off], Pos: start}, nil
 }
 
 // normalizeSpace collapses runs of whitespace to single spaces and trims
-// the ends, so bracket contents compare stably.
+// the ends, so bracket contents compare stably. Already-canonical ASCII
+// text — the overwhelmingly common case — is returned as-is, sharing
+// the source's backing.
 func normalizeSpace(s string) string {
+	if spaceNormalized(s) {
+		return s
+	}
 	fields := strings.FieldsFunc(s, unicode.IsSpace)
 	return strings.Join(fields, " ")
+}
+
+// spaceNormalized reports that s is pure ASCII with no whitespace other
+// than single interior spaces — normalizeSpace would return it
+// unchanged. Non-ASCII text conservatively reports false (it may hold
+// unicode whitespace).
+func spaceNormalized(s string) bool {
+	prev := byte(' ')
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c >= 0x80 || c == '\t' || c == '\n' || c == '\r' || c == '\v' || c == '\f' {
+			return false
+		}
+		if c == ' ' && prev == ' ' {
+			return false
+		}
+		prev = c
+	}
+	return prev != ' ' || s == ""
 }

@@ -1,0 +1,16 @@
+#!/bin/sh
+# Regenerates results/BENCH_batch.json: the batched structure-of-arrays
+# Markov kernel record — slab solve vs per-chain loop on short and long
+# chains, batched vs per-mode memo-miss pricing storms at two tier
+# widths, and the cold/warm allocation footprint of the arena-backed
+# e-commerce solve. The run itself fails if the cold solve exceeds its
+# allocation budget. Run from the repository root.
+set -eu
+cd "$(dirname "$0")/.."
+mkdir -p results
+if [ "$(nproc)" = 1 ]; then
+    echo "WARNING: single-CPU host; the JSON will carry single_cpu=true" >&2
+fi
+echo "benchmarking on $(nproc) CPU(s)"
+go run ./cmd/avedbench -mode batch -o results/BENCH_batch.json
+echo "wrote results/BENCH_batch.json"

@@ -8,6 +8,10 @@
 set -eu
 cd "$(dirname "$0")/.."
 mkdir -p results
+if [ "$(nproc)" = 1 ]; then
+    echo "WARNING: single-CPU host; speedups will measure scheduling overhead" \
+        "and the JSON will carry single_cpu=true" >&2
+fi
 echo "benchmarking on $(nproc) CPU(s)"
 go run ./cmd/avedbench -o results/BENCH_parallel.json
 echo "wrote results/BENCH_parallel.json"

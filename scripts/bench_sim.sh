@@ -8,5 +8,9 @@
 set -eu
 cd "$(dirname "$0")/.."
 mkdir -p results
+if [ "$(nproc)" = 1 ]; then
+    echo "WARNING: single-CPU host; pooled-vs-sequential ratios will measure" \
+        "scheduling overhead and the JSON will carry single_cpu=true" >&2
+fi
 go run ./cmd/avedbench -mode sim -o results/BENCH_sim.json
 echo "wrote results/BENCH_sim.json"
