@@ -94,7 +94,20 @@ type (
 	// Delta describes which parts of the infrastructure changed between
 	// solves, for warm-started re-solves (Solver.Rebind / Resolve).
 	Delta = core.Delta
+	// ComboSeed is an opaque combination-seed token extracted from a
+	// Solution (Solution.Seed) and passed to Solver.SolveCell to seed a
+	// grid cell's combination upper bound.
+	ComboSeed = core.ComboSeed
+	// CellOptions configure one Solver.SolveCell grid-cell solve: an
+	// explicit combination seed and a chain frontier set.
+	CellOptions = core.CellOptions
+	// FrontierSet caches per-tier Pareto frontiers across the SolveCell
+	// calls of one sequential grid chain (CellOptions.Frontiers).
+	FrontierSet = core.FrontierSet
 )
+
+// NewFrontierSet creates an empty frontier cache for one grid chain.
+func NewFrontierSet() *FrontierSet { return core.NewFrontierSet() }
 
 // Search strategies.
 const (

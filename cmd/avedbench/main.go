@@ -23,6 +23,11 @@
 // solve, plus the allocation footprint of cold and warm solves over
 // the arena-backed search, behind results/BENCH_batch.json.
 //
+// The -mode sweep suite (sweep.go) records the grid-aware sweep
+// scheduling — budget-chain warm seeding plus per-chain frontier sets —
+// against per-cell cold solves of the same Fig 6 and Fig 8 grids,
+// behind results/BENCH_sweep.json.
+//
 // Usage:
 //
 //	avedbench                   # JSON to stdout
@@ -30,6 +35,7 @@
 //	avedbench -mode sim -o results/BENCH_sim.json
 //	avedbench -mode bnb -o results/BENCH_bnb.json
 //	avedbench -mode batch -o results/BENCH_batch.json
+//	avedbench -mode sweep -o results/BENCH_sweep.json
 package main
 
 import (
@@ -95,7 +101,7 @@ func newEvalCounters(engineEvals, hits, solves uint64) *evalCounters {
 
 func main() {
 	out := flag.String("o", "", "write JSON here instead of stdout")
-	mode := flag.String("mode", "parallel", "benchmark suite: parallel (results/BENCH_parallel.json), sim (results/BENCH_sim.json), bnb (results/BENCH_bnb.json) or batch (results/BENCH_batch.json)")
+	mode := flag.String("mode", "parallel", "benchmark suite: parallel (results/BENCH_parallel.json), sim (results/BENCH_sim.json), bnb (results/BENCH_bnb.json), batch (results/BENCH_batch.json) or sweep (results/BENCH_sweep.json)")
 	flag.Parse()
 	// Benchmark at full parallelism even when the environment pinned
 	// GOMAXPROCS down (the bug behind a recorded gomaxprocs of 1).
@@ -112,8 +118,10 @@ func main() {
 		err = runBnB(*out)
 	case "batch":
 		err = runBatch(*out)
+	case "sweep":
+		err = runSweep(*out)
 	default:
-		err = fmt.Errorf("unknown -mode %q (want parallel, sim, bnb or batch)", *mode)
+		err = fmt.Errorf("unknown -mode %q (want parallel, sim, bnb, batch or sweep)", *mode)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "avedbench:", err)

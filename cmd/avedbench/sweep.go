@@ -1,0 +1,244 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"time"
+
+	"aved"
+	"aved/internal/avail"
+)
+
+// sweep.go is the -mode sweep suite behind results/BENCH_sweep.json:
+// the grid-aware sweep acceleration record. Each grid runs twice at
+// Workers=1 — per-cell cold (a fresh solver per requirement, the
+// pre-acceleration cost model) and as one grid-aware sweep (shared
+// solver, budget-chain seeding, chain frontier sets) — and the run
+// fails unless every cell's feasibility and cost agree; only then is
+// the evaluation ratio the pure scheduling payoff. Cells infeasible on
+// both sides report no stats on either, so the comparison covers
+// exactly the feasible cells. The multi-tier e-commerce grids must
+// clear a 3x evaluation cut, the acceptance floor the
+// TestSweepEvalCeilings gate also pins.
+
+// sweepEffort is a sweep's aggregate effort, lifted from aved.SweepTotals.
+type sweepEffort struct {
+	Points         int   `json:"points"`
+	Infeasible     int   `json:"infeasible,omitempty"`
+	Candidates     int64 `json:"candidates"`
+	CostPruned     int64 `json:"cost_pruned"`
+	BoundPruned    int64 `json:"bound_pruned"`
+	Evaluations    int64 `json:"evaluations"`
+	CacheHits      int64 `json:"cache_hits"`
+	WarmStartReuse int64 `json:"warm_start_reuse,omitempty"`
+	FrontierReuse  int64 `json:"frontier_reuse,omitempty"`
+}
+
+func sweepEffortOf(t aved.SweepTotals) sweepEffort {
+	return sweepEffort{
+		Points:         t.Points,
+		Infeasible:     t.Infeasible,
+		Candidates:     t.Candidates,
+		CostPruned:     t.CostPruned,
+		BoundPruned:    t.BoundPruned,
+		Evaluations:    t.Evaluations,
+		CacheHits:      t.EvalCacheHits,
+		WarmStartReuse: t.WarmStartReuse,
+		FrontierReuse:  t.FrontierReuse,
+	}
+}
+
+type sweepGrid struct {
+	Name    string    `json:"name"`
+	Loads   []float64 `json:"loads"`
+	Budgets []float64 `json:"budgets_minutes"`
+	// ColdEvaluations sums engine evaluations over per-cell cold solves
+	// of the same grid (feasible cells only — infeasible solves report no
+	// stats on either side).
+	ColdEvaluations int64       `json:"cold_evaluations"`
+	ColdMS          float64     `json:"cold_ms"`
+	Grid            sweepEffort `json:"grid"`
+	GridMS          float64     `json:"grid_ms"`
+	// EvalRatio is cold evaluations over grid-sweep evaluations — the
+	// grid-aware scheduling payoff.
+	EvalRatio float64 `json:"eval_ratio"`
+}
+
+type sweepReport struct {
+	hostInfo
+	Grids []sweepGrid `json:"grids"`
+}
+
+// coldResult is one cold cell's outcome for the identity check.
+type coldResult struct {
+	ok   bool
+	cost aved.Money
+}
+
+// coldSweep solves every requirement per-cell cold on fresh sequential
+// solvers, returning per-cell outcomes, summed engine evaluations and
+// the wall time.
+func coldSweep(inf *aved.Infrastructure, newSvc func(*aved.Infrastructure) (*aved.Service, error), reqs []aved.Requirements) ([]coldResult, int64, float64, error) {
+	out := make([]coldResult, len(reqs))
+	var evals int64
+	start := time.Now()
+	for i, req := range reqs {
+		svc, err := newSvc(inf)
+		if err != nil {
+			return nil, 0, 0, err
+		}
+		s, err := aved.NewSolver(inf, svc, aved.Options{
+			Registry: aved.PaperRegistry(), Workers: 1,
+		})
+		if err != nil {
+			return nil, 0, 0, err
+		}
+		sol, err := s.Solve(req)
+		if err != nil {
+			var infErr *aved.InfeasibleError
+			if errors.As(err, &infErr) {
+				continue
+			}
+			return nil, 0, 0, fmt.Errorf("cold solve load %v budget %v: %w",
+				req.Throughput, req.MaxAnnualDowntime.Minutes(), err)
+		}
+		out[i] = coldResult{ok: true, cost: sol.Cost}
+		evals += int64(sol.Stats.Evaluations)
+	}
+	return out, evals, float64(time.Since(start)) / float64(time.Millisecond), nil
+}
+
+func enterpriseCell(load, minutes float64) aved.Requirements {
+	return aved.Requirements{
+		Kind:              aved.ReqEnterprise,
+		Throughput:        load,
+		MaxAnnualDowntime: aved.Minutes(minutes),
+	}
+}
+
+func runSweep(outPath string) error {
+	inf, err := aved.PaperInfrastructure()
+	if err != nil {
+		return err
+	}
+	rep := sweepReport{hostInfo: stampHost()}
+	grids := []struct {
+		name    string
+		svc     func(*aved.Infrastructure) (*aved.Service, error)
+		fig8    bool
+		loads   []float64
+		budgets []float64
+		// minRatio is the acceptance floor on the evaluation cut; 0 means
+		// record-only (the single-tier grids have no combination phase to
+		// accelerate, their cut comes from evaluation-cache sharing alone).
+		minRatio float64
+	}{
+		{"fig6-apptier", aved.PaperApplicationTier, false, fig6Loads, fig6Budgets, 0},
+		{"fig6-ecommerce", aved.PaperEcommerce, false, fig6Loads, fig6Budgets, 3},
+		{"fig8-ecommerce", aved.PaperEcommerce, true, []float64{400, 800, 1600, 3200}, []float64{1, 10, 100, 1000}, 3},
+	}
+	ctx := context.Background()
+	for _, g := range grids {
+		// The cold reference covers the same requirements the sweep solves:
+		// every (load, budget) cell, plus the per-load whole-year baseline
+		// for Fig 8 grids.
+		var reqs []aved.Requirements
+		for _, load := range g.loads {
+			if g.fig8 {
+				reqs = append(reqs, enterpriseCell(load, avail.MinutesPerYear))
+			}
+			for _, budget := range g.budgets {
+				reqs = append(reqs, enterpriseCell(load, budget))
+			}
+		}
+		cold, coldEvals, coldMS, err := coldSweep(inf, g.svc, reqs)
+		if err != nil {
+			return fmt.Errorf("%s: %w", g.name, err)
+		}
+
+		svc, err := g.svc(inf)
+		if err != nil {
+			return err
+		}
+		s, err := aved.NewSolver(inf, svc, aved.Options{
+			Registry: aved.PaperRegistry(), Workers: 1,
+		})
+		if err != nil {
+			return err
+		}
+		var tot aved.SweepTotals
+		start := time.Now()
+		if g.fig8 {
+			curves, err := aved.SweepFig8(ctx, s, g.loads, g.budgets)
+			if err != nil {
+				return fmt.Errorf("%s: %w", g.name, err)
+			}
+			stride := len(g.budgets) + 1
+			for li, c := range curves {
+				base := cold[li*stride]
+				if !base.ok || c.BaselineCost != base.cost {
+					return fmt.Errorf("%s load %v: baseline diverges from cold (%v vs %v)",
+						g.name, c.Load, c.BaselineCost, base.cost)
+				}
+				tot.Add(c.BaselineStats)
+				byBudget := map[float64]aved.Money{}
+				for _, p := range c.Points {
+					byBudget[p.BudgetMinutes] = p.TotalCost
+					tot.Add(p.Stats)
+				}
+				for bj, budget := range g.budgets {
+					want := cold[li*stride+1+bj]
+					got, ok := byBudget[budget]
+					if ok != want.ok || (ok && got != want.cost) {
+						return fmt.Errorf("%s load %v budget %v: grid cell diverges from cold",
+							g.name, c.Load, budget)
+					}
+				}
+			}
+			tot.Infeasible = len(g.loads)*stride - tot.Points
+		} else {
+			res, err := aved.SweepFig6(ctx, s, g.loads, g.budgets)
+			if err != nil {
+				return fmt.Errorf("%s: %w", g.name, err)
+			}
+			tot = res.Totals
+			type cellKey struct{ load, budget float64 }
+			byCell := map[cellKey]aved.Money{}
+			for _, p := range res.Points {
+				byCell[cellKey{p.Load, p.BudgetMinutes}] = p.Cost
+			}
+			i := 0
+			for _, load := range g.loads {
+				for _, budget := range g.budgets {
+					got, ok := byCell[cellKey{load, budget}]
+					if ok != cold[i].ok || (ok && got != cold[i].cost) {
+						return fmt.Errorf("%s load %v budget %v: grid cell diverges from cold",
+							g.name, load, budget)
+					}
+					i++
+				}
+			}
+		}
+		gridMS := float64(time.Since(start)) / float64(time.Millisecond)
+
+		r := sweepGrid{
+			Name: g.name, Loads: g.loads, Budgets: g.budgets,
+			ColdEvaluations: coldEvals, ColdMS: coldMS,
+			Grid: sweepEffortOf(tot), GridMS: gridMS,
+		}
+		if tot.Evaluations > 0 {
+			r.EvalRatio = float64(coldEvals) / float64(tot.Evaluations)
+		}
+		if g.minRatio > 0 && r.EvalRatio < g.minRatio {
+			return fmt.Errorf("%s: grid sweep's %d evaluations is not a %.0fx cut of per-cell cold's %d",
+				g.name, tot.Evaluations, g.minRatio, coldEvals)
+		}
+		rep.Grids = append(rep.Grids, r)
+		fmt.Fprintf(os.Stderr, "%-16s cold %5d evals %8.1f ms   grid %5d evals %8.1f ms   ratio %.1fx  (%d frontier reuses, %d warm replays)\n",
+			g.name, coldEvals, coldMS, tot.Evaluations, gridMS, r.EvalRatio,
+			tot.FrontierReuse, tot.WarmStartReuse)
+	}
+	return writeReport(outPath, rep)
+}

@@ -89,6 +89,10 @@ func run(args []string, out io.Writer) (retErr error) {
 }
 
 // progressTracer renders sweep.point events as one progress line each.
+// Cells that rode the grid-aware scheduling append their reuse
+// counters — frontiers served from the chain's set and warm-seed
+// eval-cache replays — so a watcher sees the acceleration live; cold
+// cells print unchanged.
 func progressTracer(w io.Writer) aved.Tracer {
 	return aved.TraceFunc(func(e aved.TraceEvent) {
 		if e.Ev != aved.EvSweepPoint {
@@ -98,7 +102,14 @@ func progressTracer(w io.Writer) aved.Tracer {
 			fmt.Fprintf(w, "point %d/%d: %s\n", e.Index, e.Total, e.Err)
 			return
 		}
-		fmt.Fprintf(w, "point %d/%d: cost %.0f (%.0f ms)\n", e.Index, e.Total, e.Cost, e.MS)
+		line := fmt.Sprintf("point %d/%d: cost %.0f (%.0f ms)", e.Index, e.Total, e.Cost, e.MS)
+		if e.FrontierReuse > 0 {
+			line += fmt.Sprintf(", %d frontier reuses", e.FrontierReuse)
+		}
+		if e.WarmReuse > 0 {
+			line += fmt.Sprintf(", %d warm seeds", e.WarmReuse)
+		}
+		fmt.Fprintln(w, line)
 	})
 }
 

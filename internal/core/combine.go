@@ -19,7 +19,7 @@ import (
 // independent searches in both phases, so each phase fans them across
 // the worker pool; per-tier results land by index, keeping the outcome
 // identical to the sequential order.
-func (s *Solver) solveEnterprise(ctx context.Context, req model.Requirements) (*Solution, error) {
+func (s *Solver) solveEnterprise(ctx context.Context, req model.Requirements, cfg cellConfig) (*Solution, error) {
 	budget := req.MaxAnnualDowntime.Minutes()
 	var stats searchStats
 	stats.gen = s.gen.Add(1)
@@ -117,7 +117,7 @@ func (s *Solver) solveEnterprise(ctx context.Context, req model.Requirements) (*
 	ub := math.Inf(1)
 	if useBounds {
 		var err error
-		ub, thresholds, err = s.combineBounds(ctx, req, perTier, &stats)
+		ub, thresholds, err = s.combineBounds(ctx, req, cfg, perTier, &stats)
 		if err != nil {
 			return nil, wrapCanceled(err, &stats)
 		}
@@ -133,7 +133,13 @@ func (s *Solver) solveEnterprise(ctx context.Context, req model.Requirements) (*
 			if thresholds != nil {
 				maxCost = thresholds[i]
 			}
-			f, err := s.tierFrontier(ctx, &s.svc.Tiers[i], req.Throughput, maxCost, &stats)
+			var f []TierCandidate
+			var err error
+			if cfg.frontiers != nil {
+				f, err = s.cachedTierFrontier(ctx, cfg.frontiers, &s.svc.Tiers[i], req.Throughput, maxCost, &stats)
+			} else {
+				f, err = s.tierFrontier(ctx, &s.svc.Tiers[i], req.Throughput, maxCost, &stats)
+			}
 			if err != nil {
 				return err
 			}
@@ -201,17 +207,19 @@ func (s *Solver) solveEnterprise(ctx context.Context, req model.Requirements) (*
 // different share splits, usually tightening UB further. It reports
 // +Inf and nil thresholds when no feasible combination surfaces — then
 // the frontiers build unbounded, exactly as under SearchExhaustive.
-func (s *Solver) combineBounds(ctx context.Context, req model.Requirements, perTier []*TierCandidate, stats *searchStats) (float64, []float64, error) {
+func (s *Solver) combineBounds(ctx context.Context, req model.Requirements, cfg cellConfig, perTier []*TierCandidate, stats *searchStats) (float64, []float64, error) {
 	n := len(s.svc.Tiers)
 	budget := req.MaxAnnualDowntime.Minutes()
 	endPhase := s.emitPhase("bound")
-	// A solver that already solved once seeds the UB from its previous
-	// optimal combination instead of waterfilling: re-pricing it under
-	// the current models replays every untouched tier from the warm
-	// cache, so a what-if re-solve pays about one engine evaluation for
-	// a near-optimal bound where the probe pass would re-search the
-	// perturbed tier at several tightened budgets.
-	if c, ok, err := s.seedUB(ctx, req, stats); err != nil {
+	// A seeded solve derives the UB from a previous optimal combination
+	// instead of waterfilling: re-pricing it under the current models
+	// replays every untouched tier from the warm cache, so a what-if
+	// re-solve (or the next cell of a budget chain) pays about one
+	// engine evaluation for a near-optimal bound where the probe pass
+	// would re-search tiers at several tightened budgets. The seed is
+	// the caller's (SolveCell) or the solver's last solution
+	// (SolveContext); see cellConfig.
+	if c, ok, err := s.seedUB(ctx, req, cfg, stats); err != nil {
 		endPhase()
 		return math.Inf(1), nil, err
 	} else if ok {

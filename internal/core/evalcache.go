@@ -163,12 +163,13 @@ func (c *modeCache) put(key fp128, modes []avail.Mode) []avail.Mode {
 // singleflight cache, Evaluations counts actual engine invocations —
 // concurrent requests for one fingerprint still count once.
 type searchStats struct {
-	candidates  atomic.Int64
-	pruned      atomic.Int64
-	evals       atomic.Int64
-	cacheHits   atomic.Int64
-	boundPruned atomic.Int64
-	warmReuse   atomic.Int64
+	candidates    atomic.Int64
+	pruned        atomic.Int64
+	evals         atomic.Int64
+	cacheHits     atomic.Int64
+	boundPruned   atomic.Int64
+	warmReuse     atomic.Int64
+	frontierReuse atomic.Int64
 	// gen is this solve's generation (Solver.gen at solve start). Set
 	// once before any concurrency, read-only afterwards.
 	gen uint64
@@ -200,5 +201,6 @@ func (st *searchStats) snapshot() Stats {
 		EvalCacheHits:       int(st.cacheHits.Load()),
 		BoundPruned:         int(st.boundPruned.Load()),
 		WarmStartReuse:      int(st.warmReuse.Load()),
+		FrontierReuse:       int(st.frontierReuse.Load()),
 	}
 }

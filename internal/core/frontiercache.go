@@ -1,0 +1,213 @@
+package core
+
+import (
+	"context"
+	"math"
+	"sync"
+
+	"aved/internal/model"
+	"aved/internal/obs"
+	"aved/internal/perf"
+)
+
+// This file implements the frontier cache behind CellOptions.Frontiers:
+// whole per-tier Pareto frontiers shared across the SolveCell calls of
+// one grid chain on one Solver.
+//
+// The key observation is requirement-invariance. A tier's frontier
+// depends on the models and on the throughput requirement — never on
+// the downtime budget — and on the throughput only through each
+// option's performance minimum nMinPerf (plus whether the option is
+// ruled out entirely by its curve or instance cap). Every cell of a
+// sweep sharing one load therefore needs the SAME frontier, truncated
+// at a budget-dependent cost threshold — and the truncated frontier is
+// exactly the ≤ maxCost prefix of a frontier built under any larger
+// bound (see tierFrontier), so serving a prefix of a cached build is
+// bit-identical to rebuilding under the cell's own bound.
+//
+// Entries are built BOUNDED, at the first requesting cell's threshold,
+// never unbounded on purpose: a frontier built with no cost bound
+// degenerates into an exhaustive walk of the tier space — the very work
+// the branch-and-bound truncation exists to avoid — and costs more than
+// an entire budget chain of bounded builds. Instead the cache relies on
+// the chain discipline the sweeps establish: budgets tightest first,
+// each cell's solution seeding the next cell's upper bound. Under that
+// order the combination thresholds shrink monotonically along the chain
+// (a looser budget's optimum never costs more, and the per-tier phase-1
+// costs are fixed), so the chain's FIRST combination-phase cell builds
+// at the chain's high-water bound and every later cell serves a prefix.
+// A cell that does need a larger bound simply rebuilds at it — the
+// smaller build's evaluations replay from the solver's evaluation
+// cache, so extension costs only the new tail.
+//
+// A FrontierSet is one chain's cache, used sequentially, which is what
+// makes the effort accounting deterministic: each build is charged to
+// the cell that runs it (candidates, pruning, evaluations, cache hits —
+// via a private stats block, merged as-is), and each replay charges the
+// recorded build effort with every evaluation request counted as an
+// EvalCacheHit (the engine never ran for it) plus one FrontierReuse.
+// Chain order is fixed regardless of worker count — the sweeps
+// parallelise across chains, never within one — so per-cell Stats and
+// their sums are exact at any worker count. Sharing one set across
+// concurrently running chains is memory-safe but forfeits exactly that
+// determinism, so the sweeps create one set per chain.
+//
+// Invalidation: the key carries each resource's Rebind epoch, which
+// covers availability-relevant perturbations; cost changes are exactly
+// what the epochs deliberately ignore, and frontier points carry costs,
+// so any Rebind — a price-only zero-delta one included — bumps the
+// solver's rebind generation and a stale-generation set clears itself
+// wholesale on its next use.
+
+// FrontierSet caches per-tier Pareto frontiers across the SolveCell
+// calls of one sequential grid chain (see CellOptions.Frontiers). The
+// zero value is not usable; create one per chain with NewFrontierSet.
+type FrontierSet struct {
+	mu sync.Mutex
+	// gen is the solver rebind generation the entries were built under;
+	// a mismatch invalidates them all (costs may have moved).
+	gen uint64
+	m   map[fp128]*frontierEntry
+}
+
+// NewFrontierSet creates an empty frontier cache for one grid chain.
+func NewFrontierSet() *FrontierSet {
+	return &FrontierSet{}
+}
+
+// frontierEntry is one cached frontier build: the Pareto points, the
+// cost bound they were built under, and the effort the build spent, for
+// replaying cells to account deterministically.
+type frontierEntry struct {
+	points []TierCandidate
+	bound  float64
+	delta  frontierDelta
+}
+
+// frontierDelta is the effort one frontier build spent, lifted from its
+// private stats block. requests is the build's evaluation requests —
+// engine runs plus cache replays — which a replaying cell charges
+// entirely to EvalCacheHits.
+type frontierDelta struct {
+	candidates  int64
+	costPruned  int64
+	boundPruned int64
+	requests    int64
+}
+
+// frontierKey fingerprints everything a tier's frontier can depend on
+// under a fixed Solver beyond the cost bound: the tier name, each
+// option's resource identity with its Rebind epoch, and each option's
+// throughput-derived size minimum (or its infeasibility). Option order
+// is part of the tier's identity, so the fold is ordered, not
+// commutative. The solver-level knobs that also shape frontiers
+// (MaxRedundancy, ExploreSpareWarmth, FixedMechanisms, the engine) are
+// fixed per Solver and a set never outlives its solver, so they need no
+// key bits.
+func (s *Solver) frontierKey(tier *model.Tier, throughput float64) (fp128, error) {
+	f := fp128{hi: fnvOffset64, lo: saltEntry}.mixString(tier.Name)
+	for i := range tier.Options {
+		opt := &tier.Options[i]
+		rt := opt.ResourceType()
+		f = f.mixString(rt.Name)
+		if e := s.epochs[rt.Name]; e != 0 {
+			f = f.mixUint(e)
+		}
+		curve, err := s.curveFor(opt)
+		if err != nil {
+			return fp128{}, err
+		}
+		n, ok := perf.MinActive(curve, throughput, opt.NActive)
+		if ok {
+			if maxTotal := rt.MaxInstances(); maxTotal > 0 && n > maxTotal {
+				ok = false
+			}
+		}
+		// 0 encodes "option ruled out", n+1 a feasible minimum — the same
+		// split newOptionSearch applies, so two throughputs share a key
+		// exactly when every option enumerates the same candidate space.
+		if !ok {
+			f = f.mixUint(0)
+		} else {
+			f = f.mixUint(uint64(n) + 1)
+		}
+	}
+	return f, nil
+}
+
+// cachedTierFrontier is tierFrontier through a chain's frontier set:
+// serve the ≤ maxCost prefix of a cached build whose bound covers the
+// request, otherwise build at maxCost and cache. The returned slice may
+// share the cached backing array and must be treated read-only — the
+// combiners only read.
+func (s *Solver) cachedTierFrontier(ctx context.Context, set *FrontierSet, tier *model.Tier, throughput, maxCost float64, stats *searchStats) ([]TierCandidate, error) {
+	key, err := s.frontierKey(tier, throughput)
+	if err != nil {
+		return nil, err
+	}
+	gen := s.rebindGen.Load()
+	set.mu.Lock()
+	if set.gen != gen {
+		set.gen, set.m = gen, nil
+	}
+	e := set.m[key]
+	set.mu.Unlock()
+	if e != nil && maxCost <= e.bound {
+		stats.candidates.Add(e.delta.candidates)
+		stats.pruned.Add(e.delta.costPruned)
+		stats.boundPruned.Add(e.delta.boundPruned)
+		stats.cacheHits.Add(e.delta.requests)
+		stats.frontierReuse.Add(1)
+		if tr := s.opts.Tracer; tr != nil {
+			tr.Emit(obs.Event{Ev: obs.EvFrontierReuse, Tier: tier.Name,
+				FP: fpHex(key), Evals: e.delta.requests})
+		}
+		return frontierPrefix(e.points, maxCost), nil
+	}
+	// Build — or extend, rebuilding from scratch at the larger bound; the
+	// superseded build's evaluations replay from the evaluation cache, so
+	// extension costs only the new tail. The build runs against a private
+	// stats block so its effort can be recorded on the entry; pool
+	// collection is already off by the frontier phase (finishBounds), so
+	// none is configured.
+	bs := searchStats{gen: stats.gen}
+	points, err := s.tierFrontier(ctx, tier, throughput, maxCost, &bs)
+	if err != nil {
+		return nil, err
+	}
+	delta := frontierDelta{
+		candidates:  bs.candidates.Load(),
+		costPruned:  bs.pruned.Load(),
+		boundPruned: bs.boundPruned.Load(),
+		requests:    bs.evals.Load() + bs.cacheHits.Load(),
+	}
+	stats.candidates.Add(bs.candidates.Load())
+	stats.pruned.Add(bs.pruned.Load())
+	stats.boundPruned.Add(bs.boundPruned.Load())
+	stats.evals.Add(bs.evals.Load())
+	stats.cacheHits.Add(bs.cacheHits.Load())
+	stats.warmReuse.Add(bs.warmReuse.Load())
+	set.mu.Lock()
+	if set.gen == gen {
+		if set.m == nil {
+			set.m = map[fp128]*frontierEntry{}
+		}
+		set.m[key] = &frontierEntry{points: points, bound: maxCost, delta: delta}
+	}
+	set.mu.Unlock()
+	return points, nil
+}
+
+// frontierPrefix trims a cost-ascending frontier to its ≤ maxCost
+// prefix without copying. Identical to the trailing trim tierFrontier
+// applies to a truncated build.
+func frontierPrefix(points []TierCandidate, maxCost float64) []TierCandidate {
+	if math.IsInf(maxCost, 1) {
+		return points
+	}
+	out := points
+	for len(out) > 0 && float64(out[len(out)-1].Cost) > maxCost {
+		out = out[:len(out)-1]
+	}
+	return out
+}

@@ -140,27 +140,29 @@ func (s *Solver) endSolve(so solveObs, sol *Solution, err error) (*Solution, err
 		reg.Counter("core.eval_cache_hits").Add(int64(sol.Stats.EvalCacheHits))
 		reg.Counter("core.bound_pruned").Add(int64(sol.Stats.BoundPruned))
 		reg.Counter("core.warm_reuse").Add(int64(sol.Stats.WarmStartReuse))
+		reg.Counter("core.frontier_reuse").Add(int64(sol.Stats.FrontierReuse))
 		reg.Histogram("core.solve_ms").Observe(ms)
 	}
 	if tr := s.opts.Tracer; tr != nil {
 		tr.Emit(obs.Event{
-			Ev:          obs.EvSearchEnd,
-			Service:     s.svc.Name,
-			Kind:        so.kind,
-			Load:        so.req.Throughput,
-			Cost:        float64(sol.Cost),
-			Down:        sol.DowntimeMinutes,
-			JobH:        sol.JobTime.Hours(),
-			Candidates:  int64(sol.Stats.CandidatesGenerated),
-			Pruned:      int64(sol.Stats.CostPruned),
-			Evals:       int64(sol.Stats.Evaluations),
-			CacheHits:   int64(sol.Stats.EvalCacheHits),
-			BoundPruned: int64(sol.Stats.BoundPruned),
-			WarmReuse:   int64(sol.Stats.WarmStartReuse),
-			MemoHits:    sol.Stats.ModeMemoHits,
-			MemoSolves:  sol.Stats.ModeMemoSolves,
-			SimReps:     sol.Stats.SimReplications,
-			MS:          ms,
+			Ev:            obs.EvSearchEnd,
+			Service:       s.svc.Name,
+			Kind:          so.kind,
+			Load:          so.req.Throughput,
+			Cost:          float64(sol.Cost),
+			Down:          sol.DowntimeMinutes,
+			JobH:          sol.JobTime.Hours(),
+			Candidates:    int64(sol.Stats.CandidatesGenerated),
+			Pruned:        int64(sol.Stats.CostPruned),
+			Evals:         int64(sol.Stats.Evaluations),
+			CacheHits:     int64(sol.Stats.EvalCacheHits),
+			BoundPruned:   int64(sol.Stats.BoundPruned),
+			WarmReuse:     int64(sol.Stats.WarmStartReuse),
+			FrontierReuse: int64(sol.Stats.FrontierReuse),
+			MemoHits:      sol.Stats.ModeMemoHits,
+			MemoSolves:    sol.Stats.ModeMemoSolves,
+			SimReps:       sol.Stats.SimReplications,
+			MS:            ms,
 		})
 	}
 	return sol, nil

@@ -206,6 +206,14 @@ type Stats struct {
 	// re-solve or repeat server request gets for free. Always a subset
 	// of EvalCacheHits; zero on a solver's first solve.
 	WarmStartReuse int
+	// FrontierReuse counts tier frontiers this solve served from its
+	// chain's frontier set instead of building (SolveCell with
+	// CellOptions.Frontiers). The replayed build's evaluation requests
+	// land in EvalCacheHits, its candidates and pruning in the usual
+	// counters, so sweeping a chain sequentially keeps every per-cell
+	// counter exact at any worker count. Zero on plain SolveContext
+	// solves.
+	FrontierReuse int
 	// ModeMemoHits and ModeMemoSolves count Markov mode-chain memo
 	// activity attributable to this solve (zero for engines without a
 	// memo). They are engine-counter deltas: exact when solves on a
@@ -261,8 +269,17 @@ type Solver struct {
 	// lastCombo holds the coordinates of the most recent successful
 	// enterprise solution, seeding the next solve's combination upper
 	// bound in place of the waterfilling probe pass (see seedUB). Nil
-	// until a first solve succeeds.
-	lastCombo atomic.Pointer[comboSeed]
+	// until a first solve succeeds. SolveCell ignores it — grid sweeps
+	// pass explicit seeds so their per-cell results cannot depend on
+	// which cell happened to finish last.
+	lastCombo atomic.Pointer[ComboSeed]
+
+	// rebindGen counts Rebind calls. FrontierSet entries carry costs,
+	// which even a price-only (zero-delta) rebind may change — and which
+	// the per-resource epochs deliberately ignore — so a set stamped with
+	// an older generation invalidates itself wholesale on its next use
+	// (see frontiercache.go).
+	rebindGen atomic.Uint64
 
 	// ctxEng is the engine's context-aware entry point, resolved once at
 	// construction (nil when the engine has none).
@@ -384,6 +401,57 @@ func (s *Solver) Solve(req model.Requirements) (*Solution, error) {
 // error. With Options.Deadline set, the sooner of that deadline and
 // ctx's own bounds the solve.
 func (s *Solver) SolveContext(ctx context.Context, req model.Requirements) (*Solution, error) {
+	return s.solve(ctx, req, cellConfig{implicitSeed: true})
+}
+
+// CellOptions tune one SolveCell call — the grid-sweep entry point.
+type CellOptions struct {
+	// Seed, when non-nil, seeds the combination upper bound from a
+	// previous solution's coordinates (Solution.Seed) instead of the
+	// solver's internal last-solution memory. Sweeps chain cells through
+	// explicit seeds so each cell's effort depends only on the grid, not
+	// on which unrelated cell happened to finish last; a tighter-budget
+	// solution is always feasible — hence admissible as an upper bound —
+	// at a looser budget on the same load. Nil disables seeding entirely
+	// (the cold waterfilling pass runs). Ignored by job requirements.
+	Seed *ComboSeed
+	// Frontiers, when non-nil, serves the combination phase's tier
+	// frontiers from the chain's frontier set: the chain's first cell
+	// needing a tier's frontier builds it at its own cost threshold, and
+	// every later cell whose threshold the build covers replays it as its
+	// ≤-threshold prefix — which under the sweeps' tightest-budget-first
+	// chain order is every later cell. Solutions are bit-identical to
+	// per-cell builds (the truncated frontier is exactly that prefix —
+	// see tierFrontier and frontiercache.go); the avoided work shows up
+	// in Stats.FrontierReuse and as EvalCacheHits. Nil, each solve builds
+	// its own frontiers exactly like SolveContext.
+	Frontiers *FrontierSet
+}
+
+// SolveCell is SolveContext for one cell of a requirement grid: same
+// search, same results, but with the seeding and frontier-reuse
+// machinery under explicit caller control so sweeps sharing one solver
+// stay deterministic at any worker count. A zero CellOptions solve is a
+// fully cold solve — unlike SolveContext it does not consult the
+// solver's last-solution memory.
+func (s *Solver) SolveCell(ctx context.Context, req model.Requirements, co CellOptions) (*Solution, error) {
+	return s.solve(ctx, req, cellConfig{seed: co.Seed, frontiers: co.Frontiers})
+}
+
+// cellConfig is the per-solve knob set threaded from the public entry
+// points into the enterprise combination phase.
+type cellConfig struct {
+	// seed is the explicit combination seed (nil: none).
+	seed *ComboSeed
+	// implicitSeed loads the solver's lastCombo instead — the historical
+	// SolveContext behavior that warm what-if re-solves rely on.
+	implicitSeed bool
+	// frontiers, when non-nil, routes frontier builds through the
+	// chain's frontier set.
+	frontiers *FrontierSet
+}
+
+func (s *Solver) solve(ctx context.Context, req model.Requirements, cfg cellConfig) (*Solution, error) {
 	if err := req.Validate(); err != nil {
 		return nil, err
 	}
@@ -399,7 +467,7 @@ func (s *Solver) SolveContext(ctx context.Context, req model.Requirements) (*Sol
 	)
 	switch req.Kind {
 	case model.ReqEnterprise:
-		sol, err = s.solveEnterprise(ctx, req)
+		sol, err = s.solveEnterprise(ctx, req, cfg)
 	case model.ReqJob:
 		if !s.svc.HasJobSize {
 			err = fmt.Errorf("core: job requirement needs a service with a jobsize, %q has none", s.svc.Name)
@@ -448,6 +516,13 @@ func (s *Solver) Rebind(inf *model.Infrastructure, svc *model.Service, delta Del
 	s.comboMu.Lock()
 	s.comboCache = nil
 	s.comboMu.Unlock()
+	// FrontierSet entries store evaluated costs, and a zero delta means
+	// "prices only" — which the epoch machinery deliberately ignores (the
+	// eval cache never stores cost) but a cached frontier cannot survive.
+	// Bumping the generation invalidates every outstanding set wholesale;
+	// the eval cache underneath still makes any rebuild replay untouched
+	// evaluations.
+	s.rebindGen.Add(1)
 	if delta.All {
 		for _, name := range inf.ResourceNames() {
 			s.epochs[name]++

@@ -7,13 +7,18 @@ import (
 	"aved/internal/model"
 )
 
-// comboSeed records the coordinates of the most recent successful
-// enterprise solution: enough to re-locate each chosen tier design in a
-// later solve's (possibly rebound) models without holding pointers into
-// the old ones. Mechanism settings are matched by name and value, so a
+// ComboSeed records the coordinates of a successful enterprise
+// solution: enough to re-locate each chosen tier design in a later
+// solve's (possibly rebound) models without holding pointers into the
+// old ones. Mechanism settings are matched by name and value, so a
 // price or MTBF perturbation that leaves the structure alone still
-// resolves the same combination.
-type comboSeed struct {
+// resolves the same combination. Obtain one from Solution.Seed and pass
+// it to SolveCell to seed a grid cell's combination upper bound; the
+// solver also keeps its own internally (lastCombo) for plain
+// SolveContext warm re-solves. The fields are unexported: a seed is an
+// opaque token, valid for any solver over a service with the same tier
+// list.
+type ComboSeed struct {
 	tiers []seedCoord
 }
 
@@ -29,32 +34,56 @@ type seedCoord struct {
 // rememberCombo stores the solved combination for the next solve's
 // upper-bound seed.
 func (s *Solver) rememberCombo(chosen []*TierCandidate) {
-	seed := &comboSeed{tiers: make([]seedCoord, len(chosen))}
+	seed := &ComboSeed{tiers: make([]seedCoord, len(chosen))}
 	for i, c := range chosen {
-		seed.tiers[i] = seedCoord{
-			tierName:   c.Design.TierName,
-			resource:   c.Design.Option.ResourceType().Name,
-			nActive:    c.Design.NActive,
-			nSpare:     c.Design.NSpare,
-			warm:       c.Design.SpareWarm,
-			mechanisms: c.Design.Mechanisms,
-		}
+		seed.tiers[i] = seedCoordOf(&c.Design)
 	}
 	s.lastCombo.Store(seed)
 }
 
-// seedUB re-prices the previous solve's optimal combination under the
-// current models and requirement, reporting its total cost as a
-// combination upper bound when it is still inside the search space and
-// still meets the downtime budget. Tiers the rebind did not touch
-// replay from the warm evaluation cache, so a single-parameter what-if
-// re-solve gets a near-optimal UB for about one engine evaluation —
-// where a cold solve needs the full waterfilling probe pass. Any
-// structural mismatch (different tiers, vanished option, setting no
-// longer enumerated, size off the grid) reports ok=false and the caller
-// falls back to waterfilling.
-func (s *Solver) seedUB(ctx context.Context, req model.Requirements, stats *searchStats) (float64, bool, error) {
-	seed := s.lastCombo.Load()
+func seedCoordOf(td *model.TierDesign) seedCoord {
+	return seedCoord{
+		tierName:   td.TierName,
+		resource:   td.Option.ResourceType().Name,
+		nActive:    td.NActive,
+		nSpare:     td.NSpare,
+		warm:       td.SpareWarm,
+		mechanisms: td.Mechanisms,
+	}
+}
+
+// Seed extracts the solution's combination coordinates for seeding a
+// later SolveCell — typically the next cell of a budget chain, whose
+// looser budget this solution trivially satisfies. Nil for solutions
+// without tier designs (and safe on a nil receiver), so sweep loops can
+// chain unconditionally.
+func (sol *Solution) Seed() *ComboSeed {
+	if sol == nil || len(sol.Design.Tiers) == 0 {
+		return nil
+	}
+	seed := &ComboSeed{tiers: make([]seedCoord, len(sol.Design.Tiers))}
+	for i := range sol.Design.Tiers {
+		seed.tiers[i] = seedCoordOf(&sol.Design.Tiers[i])
+	}
+	return seed
+}
+
+// seedUB re-prices a previous solution's combination under the current
+// models and requirement, reporting its total cost as a combination
+// upper bound when it is still inside the search space and still meets
+// the downtime budget. The seed is cfg.seed when set, else — under
+// cfg.implicitSeed — the solver's own last solution. Tiers the rebind
+// did not touch replay from the warm evaluation cache, so a
+// single-parameter what-if re-solve gets a near-optimal UB for about
+// one engine evaluation — where a cold solve needs the full
+// waterfilling probe pass. Any structural mismatch (different tiers,
+// vanished option, setting no longer enumerated, size off the grid)
+// reports ok=false and the caller falls back to waterfilling.
+func (s *Solver) seedUB(ctx context.Context, req model.Requirements, cfg cellConfig, stats *searchStats) (float64, bool, error) {
+	seed := cfg.seed
+	if seed == nil && cfg.implicitSeed {
+		seed = s.lastCombo.Load()
+	}
 	if seed == nil || len(seed.tiers) != len(s.svc.Tiers) {
 		return 0, false, nil
 	}

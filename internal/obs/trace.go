@@ -51,6 +51,12 @@ const (
 	// what-if re-solve gets. Always paired with an eval.hit for the
 	// same fingerprint.
 	EvWarmReuse = "warm.reuse"
+	// EvFrontierReuse is a whole tier frontier served from the chain's
+	// frontier set instead of rebuilt (SolveCell with CellOptions
+	// Frontiers): Tier names the tier, FP carries the frontier key, and
+	// Evals counts the engine evaluations the replayed build originally
+	// spent — the work this solve avoided.
+	EvFrontierReuse = "frontier.reuse"
 	// EvEvalMiss is an availability evaluation actually run by the
 	// engine (an eval-cache miss); EvEvalHit is a request served from
 	// the fingerprint cache. The final whole-design evaluation is
@@ -117,15 +123,18 @@ type Event struct {
 	HW95 float64 `json:"hw95,omitempty"`
 
 	// Final counters (search.end).
-	Candidates  int64  `json:"cand,omitempty"`
-	Pruned      int64  `json:"pruned,omitempty"`
-	Evals       int64  `json:"evals,omitempty"`
-	CacheHits   int64  `json:"hits,omitempty"`
-	BoundPruned int64  `json:"bpruned,omitempty"`
-	WarmReuse   int64  `json:"wreuse,omitempty"`
-	MemoHits    uint64 `json:"memoh,omitempty"`
-	MemoSolves  uint64 `json:"memos,omitempty"`
-	SimReps     uint64 `json:"simreps,omitempty"`
+	Candidates  int64 `json:"cand,omitempty"`
+	Pruned      int64 `json:"pruned,omitempty"`
+	Evals       int64 `json:"evals,omitempty"`
+	CacheHits   int64 `json:"hits,omitempty"`
+	BoundPruned int64 `json:"bpruned,omitempty"`
+	WarmReuse   int64 `json:"wreuse,omitempty"`
+	// FrontierReuse counts tier frontiers served from the frontier cache
+	// (search.end; also the sweep totals carried on sweep.point events).
+	FrontierReuse int64  `json:"freuse,omitempty"`
+	MemoHits      uint64 `json:"memoh,omitempty"`
+	MemoSolves    uint64 `json:"memos,omitempty"`
+	SimReps       uint64 `json:"simreps,omitempty"`
 
 	// Timing and progress.
 	MS    float64 `json:"ms,omitempty"`

@@ -176,13 +176,14 @@ type Config struct {
 	// identical at any worker count.
 	Workers int
 	// WarmStart runs the factors sequentially on ONE shared solver,
-	// warm-starting each factor's solve from the previous one via
-	// Solver.Resolve: only the cache slice WarmDelta invalidates is
-	// re-evaluated, the rest replays as warm hits. Points are identical
-	// to the cold sweep (the epoch invalidation is exact for an accurate
-	// delta); only the effort counters differ. Factor-level parallelism
-	// is off in this mode — the solver's own Workers still apply inside
-	// each solve.
+	// warm-starting each factor's solve from the previous one: Rebind
+	// with WarmDelta, then a SolveCell seeded by the last feasible
+	// factor's solution, so only the cache slice the delta invalidates is
+	// re-evaluated and the combination bound starts near-optimal. Points
+	// are identical to the cold sweep (the epoch invalidation is exact
+	// for an accurate delta); only the effort counters differ.
+	// Factor-level parallelism is off in this mode — the solver's own
+	// Workers still apply inside each solve.
 	WarmStart bool
 	// WarmDelta is the invalidation scope of one knob application: which
 	// resource types have availability-relevant inputs the knob touches
@@ -263,10 +264,15 @@ func Sweep(ctx context.Context, base *model.Infrastructure, cfg Config, knob Kno
 
 // sweepWarm is the Config.WarmStart path: one solver, factors in
 // order, each solve warm-started from the previous via Rebind with the
-// configured delta.
+// configured delta plus an explicit combination seed from the last
+// feasible factor (kept across infeasible ones). Frontier reuse stays
+// off: Rebind clears the frontier cache on every factor — perturbations
+// move costs, which the per-resource epochs deliberately ignore — so
+// caching unbounded builds here would only add work, never replay.
 func sweepWarm(ctx context.Context, base *model.Infrastructure, cfg Config, knob Knob, factors []float64, po sweep.PointObs) ([]Point, error) {
 	out := make([]Point, len(factors))
 	var solver *core.Solver
+	var seed *core.ComboSeed
 	for i, f := range factors {
 		start := po.Begin()
 		inf := base.Clone()
@@ -289,8 +295,8 @@ func sweepWarm(ctx context.Context, base *model.Infrastructure, cfg Config, knob
 				return nil, err
 			}
 			sol, err = solver.SolveContext(ctx, cfg.Requirement)
-		} else {
-			sol, err = solver.Resolve(ctx, inf, svc, cfg.WarmDelta, cfg.Requirement)
+		} else if err = solver.Rebind(inf, svc, cfg.WarmDelta); err == nil {
+			sol, err = solver.SolveCell(ctx, cfg.Requirement, core.CellOptions{Seed: seed})
 		}
 		if err != nil {
 			var infErr *core.InfeasibleError
@@ -301,6 +307,7 @@ func sweepWarm(ctx context.Context, base *model.Infrastructure, cfg Config, knob
 			}
 			return nil, fmt.Errorf("sensitivity: factor %v: %w", f, err)
 		}
+		seed = sol.Seed()
 		po.Done(i, start, obs.Event{
 			Factor: f, Cost: float64(sol.Cost),
 			Down: sol.DowntimeMinutes, JobH: sol.JobTime.Hours(),

@@ -56,50 +56,71 @@ func Fig6(ctx context.Context, solver *core.Solver, loads, budgetsMinutes []floa
 	if len(loads) == 0 || len(budgetsMinutes) == 0 {
 		return nil, fmt.Errorf("sweep: fig6 needs non-empty load and budget grids")
 	}
-	// Flatten the requirement grid: each (load, budget) cell is an
-	// independent Solve, fanned across the solver's worker pool. Cells
-	// land by index, so assembly below sees them in the sequential
-	// load-major order regardless of parallelism; the lowest-index error
-	// wins, matching the sequential first error.
+	// The grid is scheduled grid-aware: each load is one sequential chain
+	// over its budgets, tightest first, and the chains fan across the
+	// solver's worker pool by load. Within a chain each cell's solution
+	// seeds the next cell's combination upper bound (a tighter-budget
+	// solution is always feasible for a looser budget), and the cells
+	// share one frontier set — under the tightest-first order the first
+	// combination-phase cell builds each tier frontier at the chain's
+	// high-water cost bound, so later cells replay prefixes instead of
+	// rebuilding. Costs, labels and solutions stay bit-identical to
+	// per-cell cold solves at any worker count; the reuse shows up only
+	// in the Stats counters (FrontierReuse, WarmStartReuse). Cells land
+	// by flattened load-major index, so assembly below sees them in the
+	// original grid order regardless of parallelism; the lowest-load-index
+	// error wins, and within a load the tightest failing budget's error
+	// wins.
 	nb := len(budgetsMinutes)
+	ord := budgetOrder(budgetsMinutes)
 	type cell struct {
 		ok    bool
 		point Fig6Point
 	}
 	cells := make([]cell, len(loads)*nb)
 	po := solverPointObs(solver, len(cells))
-	err := par.ForEachCtx(ctx, solver.Workers(), len(cells), func(i int) error {
-		load, budget := loads[i/nb], budgetsMinutes[i%nb]
-		start := po.Begin()
-		sol, err := solver.SolveContext(ctx, model.Requirements{
-			Kind:              model.ReqEnterprise,
-			Throughput:        load,
-			MaxAnnualDowntime: units.Duration(budget * float64(units.Minute)),
-		})
-		if err != nil {
-			var infErr *core.InfeasibleError
-			if errors.As(err, &infErr) {
-				// This corner of the plane has no design.
-				po.Done(i, start, obs.Event{Load: load, Budget: budget, Err: "infeasible"})
-				return nil
+	err := par.ForEachCtx(ctx, solver.Workers(), len(loads), func(li int) error {
+		load := loads[li]
+		var seed *core.ComboSeed
+		fs := core.NewFrontierSet()
+		for _, bj := range ord {
+			budget := budgetsMinutes[bj]
+			i := li*nb + bj
+			start := po.Begin()
+			sol, err := solver.SolveCell(ctx, model.Requirements{
+				Kind:              model.ReqEnterprise,
+				Throughput:        load,
+				MaxAnnualDowntime: units.Duration(budget * float64(units.Minute)),
+			}, core.CellOptions{Seed: seed, Frontiers: fs})
+			if err != nil {
+				var infErr *core.InfeasibleError
+				if errors.As(err, &infErr) {
+					// This corner of the plane has no design; the previous
+					// seed stays valid for the next, looser budget.
+					po.Done(i, start, obs.Event{Load: load, Budget: budget, Err: "infeasible"})
+					continue
+				}
+				return fmt.Errorf("sweep: fig6 at load %v budget %v: %w", load, budget, err)
 			}
-			return fmt.Errorf("sweep: fig6 at load %v budget %v: %w", load, budget, err)
+			seed = sol.Seed()
+			po.Done(i, start, obs.Event{
+				Load: load, Budget: budget,
+				Cost: float64(sol.Cost), Down: sol.DowntimeMinutes,
+				WarmReuse:     int64(sol.Stats.WarmStartReuse),
+				FrontierReuse: int64(sol.Stats.FrontierReuse),
+			})
+			td := &sol.Design.Tiers[0]
+			cells[i] = cell{ok: true, point: Fig6Point{
+				Load:            load,
+				BudgetMinutes:   budget,
+				Family:          FamilyOf(td),
+				Stack:           Stack(td),
+				DowntimeMinutes: sol.DowntimeMinutes,
+				Cost:            sol.Cost,
+				NActive:         td.NActive,
+				Stats:           sol.Stats,
+			}}
 		}
-		po.Done(i, start, obs.Event{
-			Load: load, Budget: budget,
-			Cost: float64(sol.Cost), Down: sol.DowntimeMinutes,
-		})
-		td := &sol.Design.Tiers[0]
-		cells[i] = cell{ok: true, point: Fig6Point{
-			Load:            load,
-			BudgetMinutes:   budget,
-			Family:          FamilyOf(td),
-			Stack:           Stack(td),
-			DowntimeMinutes: sol.DowntimeMinutes,
-			Cost:            sol.Cost,
-			NActive:         td.NActive,
-			Stats:           sol.Stats,
-		}}
 		return nil
 	})
 	if err != nil {
@@ -154,6 +175,18 @@ func Fig6(ctx context.Context, solver *core.Solver, loads, budgetsMinutes []floa
 		return curveOrder(res.Curves[i]) > curveOrder(res.Curves[j])
 	})
 	return res, nil
+}
+
+// budgetOrder returns the budget indices sorted ascending by value —
+// tightest requirement first, the chain order under which each cell's
+// solution is an admissible combination seed for every later cell.
+func budgetOrder(budgets []float64) []int {
+	ord := make([]int, len(budgets))
+	for i := range ord {
+		ord[i] = i
+	}
+	sort.SliceStable(ord, func(a, b int) bool { return budgets[ord[a]] < budgets[ord[b]] })
+	return ord
 }
 
 // curveOrder sorts curves from highest downtime to lowest, matching

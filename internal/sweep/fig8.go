@@ -37,62 +37,105 @@ type Fig8Curve struct {
 // for each load, the baseline is the minimum-cost design with no
 // availability requirement; each point reports how much more per year
 // a given downtime bound costs (§5.3). Infeasible budgets are skipped.
+//
+// When budgetsMinutes already contains the whole-year budget, the
+// separate baseline solve is deduped against that cell: its cost serves
+// as BaselineCost and BaselineStats stays zero (the effort is already
+// on the cell's own Stats), so the requirement is never solved twice
+// per load. A load whose whole-year cell is infeasible aborts the sweep
+// exactly like a failed baseline always has.
 func Fig8(ctx context.Context, solver *core.Solver, loads, budgetsMinutes []float64) ([]Fig8Curve, error) {
 	if len(loads) == 0 || len(budgetsMinutes) == 0 {
 		return nil, fmt.Errorf("sweep: fig8 needs non-empty load and budget grids")
 	}
-	// Flatten loads × (baseline + budgets) into one work list: every
-	// solve — baselines included — is independent, so the whole grid fans
-	// across the worker pool. Slot 0 of each load's stride is the
-	// baseline; its flattened index precedes the load's budget cells, so
-	// the lowest-index error matches the sequential first error (a
-	// baseline failure, infeasible included, aborts the sweep).
+	// Like Fig6, the grid is scheduled grid-aware: each load is one
+	// sequential chain — budgets tightest first, then the baseline, so the
+	// loosest budget's solution seeds the baseline's upper bound — and the
+	// chains fan across the worker pool by load, every cell seeding the
+	// next and sharing the chain's frontier set. Slot 0 of each load's
+	// stride is the baseline; cells land by flattened index so assembly
+	// sees the original grid order regardless of parallelism. The
+	// lowest-load-index error wins, and within a load the tightest failing
+	// budget's error wins.
 	nb := len(budgetsMinutes)
 	stride := nb + 1
+	ord := budgetOrder(budgetsMinutes)
+	wholeIdx := -1
+	for j, b := range budgetsMinutes {
+		if b == avail.MinutesPerYear {
+			wholeIdx = j
+			break
+		}
+	}
 	type cell struct {
 		ok    bool
 		cost  units.Money
 		stats core.Stats
 	}
 	cells := make([]cell, len(loads)*stride)
-	po := solverPointObs(solver, len(cells))
-	err := par.ForEachCtx(ctx, solver.Workers(), len(cells), func(i int) error {
-		load := loads[i/stride]
-		j := i % stride
-		start := po.Begin()
-		if j == 0 {
-			// No availability requirement: any downtime within the year
-			// is acceptable, so the budget is the whole year.
-			base, err := solver.SolveContext(ctx, model.Requirements{
+	total := len(cells)
+	if wholeIdx >= 0 {
+		total = len(loads) * nb // baselines deduped: no separate solves
+	}
+	po := solverPointObs(solver, total)
+	err := par.ForEachCtx(ctx, solver.Workers(), len(loads), func(li int) error {
+		load := loads[li]
+		var seed *core.ComboSeed
+		fs := core.NewFrontierSet()
+		for _, bj := range ord {
+			budget := budgetsMinutes[bj]
+			i := li*stride + 1 + bj
+			start := po.Begin()
+			sol, err := solver.SolveCell(ctx, model.Requirements{
 				Kind:              model.ReqEnterprise,
 				Throughput:        load,
-				MaxAnnualDowntime: units.Duration(avail.MinutesPerYear * float64(units.Minute)),
-			})
+				MaxAnnualDowntime: units.Duration(budget * float64(units.Minute)),
+			}, core.CellOptions{Seed: seed, Frontiers: fs})
 			if err != nil {
-				return fmt.Errorf("sweep: fig8 baseline at load %v: %w", load, err)
+				var infErr *core.InfeasibleError
+				if errors.As(err, &infErr) {
+					if bj == wholeIdx {
+						// This cell doubles as the load's baseline: no design
+						// even without an availability requirement.
+						return fmt.Errorf("sweep: fig8 baseline at load %v: %w", load, err)
+					}
+					po.Done(i, start, obs.Event{Load: load, Budget: budget, Err: "infeasible"})
+					continue
+				}
+				return fmt.Errorf("sweep: fig8 at load %v budget %v: %w", load, budget, err)
 			}
+			seed = sol.Seed()
 			po.Done(i, start, obs.Event{
-				Load: load, Budget: avail.MinutesPerYear, Cost: float64(base.Cost),
+				Load: load, Budget: budget, Cost: float64(sol.Cost),
+				WarmReuse:     int64(sol.Stats.WarmStartReuse),
+				FrontierReuse: int64(sol.Stats.FrontierReuse),
 			})
-			cells[i] = cell{ok: true, cost: base.Cost, stats: base.Stats}
+			cells[i] = cell{ok: true, cost: sol.Cost, stats: sol.Stats}
+		}
+		if wholeIdx >= 0 {
+			// Baseline deduped against the whole-year budget cell; assembly
+			// below copies its cost.
 			return nil
 		}
-		budget := budgetsMinutes[j-1]
-		sol, err := solver.SolveContext(ctx, model.Requirements{
+		// No availability requirement: any downtime within the year is
+		// acceptable, so the budget is the whole year — and any feasible
+		// budget cell's design seeds it.
+		i := li * stride
+		start := po.Begin()
+		base, err := solver.SolveCell(ctx, model.Requirements{
 			Kind:              model.ReqEnterprise,
 			Throughput:        load,
-			MaxAnnualDowntime: units.Duration(budget * float64(units.Minute)),
-		})
+			MaxAnnualDowntime: units.Duration(avail.MinutesPerYear * float64(units.Minute)),
+		}, core.CellOptions{Seed: seed, Frontiers: fs})
 		if err != nil {
-			var infErr *core.InfeasibleError
-			if errors.As(err, &infErr) {
-				po.Done(i, start, obs.Event{Load: load, Budget: budget, Err: "infeasible"})
-				return nil
-			}
-			return fmt.Errorf("sweep: fig8 at load %v budget %v: %w", load, budget, err)
+			return fmt.Errorf("sweep: fig8 baseline at load %v: %w", load, err)
 		}
-		po.Done(i, start, obs.Event{Load: load, Budget: budget, Cost: float64(sol.Cost)})
-		cells[i] = cell{ok: true, cost: sol.Cost, stats: sol.Stats}
+		po.Done(i, start, obs.Event{
+			Load: load, Budget: avail.MinutesPerYear, Cost: float64(base.Cost),
+			WarmReuse:     int64(base.Stats.WarmStartReuse),
+			FrontierReuse: int64(base.Stats.FrontierReuse),
+		})
+		cells[i] = cell{ok: true, cost: base.Cost, stats: base.Stats}
 		return nil
 	})
 	if err != nil {
@@ -101,6 +144,10 @@ func Fig8(ctx context.Context, solver *core.Solver, loads, budgetsMinutes []floa
 	out := make([]Fig8Curve, 0, len(loads))
 	for li, load := range loads {
 		base := cells[li*stride]
+		if wholeIdx >= 0 {
+			base = cells[li*stride+1+wholeIdx]
+			base.stats = core.Stats{} // effort stays on the cell's own point
+		}
 		curve := Fig8Curve{Load: load, BaselineCost: base.cost, BaselineStats: base.stats}
 		for j := 0; j < nb; j++ {
 			c := cells[li*stride+1+j]

@@ -1,0 +1,219 @@
+package sweep
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"aved/internal/core"
+	"aved/internal/model"
+	"aved/internal/scenarios"
+	"aved/internal/units"
+)
+
+// These tests pin the grid-aware sweep contract: frontier-cached,
+// warm-seeded scheduling is a pure accelerant. Every cell's solution —
+// cost, downtime, design — is bit-identical to a cold solve of the same
+// requirement on a fresh solver, at any worker count and in both search
+// modes; the reuse is visible only in effort counters, and the effort
+// cut itself is gated below.
+
+// gridCell is one cell's solution projection, the fields the
+// bit-identity comparison pins.
+type gridCell struct {
+	ok      bool
+	cost    units.Money
+	down    float64
+	family  Family
+	stack   string
+	nActive int
+}
+
+func enterpriseReq(load, minutes float64) model.Requirements {
+	return model.Requirements{
+		Kind:              model.ReqEnterprise,
+		Throughput:        load,
+		MaxAnnualDowntime: units.Duration(minutes * float64(units.Minute)),
+	}
+}
+
+// coldCells solves every grid cell per-cell cold: a fresh sequential
+// solver per cell, no shared caches, no seeds — the reference the
+// grid-aware sweep must reproduce exactly.
+func coldCells(t *testing.T, inf *model.Infrastructure, svc *model.Service, opts core.Options, loads, budgets []float64) []gridCell {
+	t.Helper()
+	out := make([]gridCell, 0, len(loads)*len(budgets))
+	for _, load := range loads {
+		for _, budget := range budgets {
+			opts := opts
+			opts.Workers = 1
+			s, err := core.NewSolver(inf, svc, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sol, err := s.SolveContext(context.Background(), enterpriseReq(load, budget))
+			if err != nil {
+				var infErr *core.InfeasibleError
+				if !errors.As(err, &infErr) {
+					t.Fatalf("cold solve load %v budget %v: %v", load, budget, err)
+				}
+				out = append(out, gridCell{})
+				continue
+			}
+			td := &sol.Design.Tiers[0]
+			out = append(out, gridCell{
+				ok: true, cost: sol.Cost, down: sol.DowntimeMinutes,
+				family: FamilyOf(td), stack: Stack(td), nActive: td.NActive,
+			})
+		}
+	}
+	return out
+}
+
+// fig6Cells maps a Fig6 result back onto the flattened grid.
+func fig6Cells(res *Fig6Result, loads, budgets []float64) []gridCell {
+	type key struct{ load, budget float64 }
+	byReq := map[key]Fig6Point{}
+	for _, p := range res.Points {
+		byReq[key{p.Load, p.BudgetMinutes}] = p
+	}
+	out := make([]gridCell, 0, len(loads)*len(budgets))
+	for _, load := range loads {
+		for _, budget := range budgets {
+			p, ok := byReq[key{load, budget}]
+			if !ok {
+				out = append(out, gridCell{})
+				continue
+			}
+			out = append(out, gridCell{
+				ok: true, cost: p.Cost, down: p.DowntimeMinutes,
+				family: p.Family, stack: p.Stack, nActive: p.NActive,
+			})
+		}
+	}
+	return out
+}
+
+// TestSweepBitIdenticalOnCorpus is the grid-scheduling property test:
+// over a seeded corpus of generated scenarios, the grid-aware Fig6
+// sweep (shared solver, frontier cache, budget-chain seeding) produces
+// exactly the per-cell cold solutions, in both search modes and at
+// worker counts 1 and 4 — and the corpus actually engages the frontier
+// cache, so the property is not vacuous.
+func TestSweepBitIdenticalOnCorpus(t *testing.T) {
+	modes := []core.SearchMode{core.SearchBnB, core.SearchExhaustive}
+	var frontierReuse, warmReuse int64
+	for seed := int64(1); seed <= 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		sc, err := scenarios.RandSolveScenario(rng)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		// A small plane around the scenario's own requirement. The budget
+		// grid is deliberately unsorted so the sweep's tightest-first chain
+		// order differs from the landing order it must reproduce.
+		b := sc.Req.MaxAnnualDowntime.Minutes()
+		loads := []float64{sc.Req.Throughput, sc.Req.Throughput + 200}
+		budgets := []float64{b, b / 4, 6 * b}
+		for _, mode := range modes {
+			opts := core.Options{Registry: scenarios.Registry(), Search: mode}
+			want := coldCells(t, sc.Inf, sc.Svc, opts, loads, budgets)
+			for _, workers := range []int{1, 4} {
+				opts := opts
+				opts.Workers = workers
+				s, err := core.NewSolver(sc.Inf, sc.Svc, opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				res, err := Fig6(context.Background(), s, loads, budgets)
+				if err != nil {
+					t.Fatalf("seed %d mode %v workers %d: %v", seed, mode, workers, err)
+				}
+				got := fig6Cells(res, loads, budgets)
+				for i := range want {
+					if got[i] != want[i] {
+						t.Errorf("seed %d mode %v workers %d cell %d: grid %+v, cold %+v",
+							seed, mode, workers, i, got[i], want[i])
+					}
+				}
+				frontierReuse += res.Totals.FrontierReuse
+				warmReuse += res.Totals.WarmStartReuse
+			}
+		}
+	}
+	t.Logf("corpus: %d frontier reuses, %d warm-seed replays", frontierReuse, warmReuse)
+	if frontierReuse == 0 {
+		t.Error("corpus never reused a frontier — the property test is vacuous")
+	}
+}
+
+// TestSweepEvalCeilings is the sweep-level regression gate mirroring
+// TestBnBEvalCeilings: on the e-commerce Fig 6 grid at Workers=1, the
+// grid-aware sweep's engine evaluations must stay under a pinned
+// ceiling, cut per-cell cold solving by at least 3x, and still return
+// the cold solutions bit-identically.
+func TestSweepEvalCeilings(t *testing.T) {
+	// The avedbench -mode sweep fig6 grid (measured: 74 grid evaluations
+	// vs 450 per-cell cold, a 6.1x cut).
+	loads := []float64{400, 1400, 3200, 5000}
+	budgets := []float64{1, 10, 100, 1000, 10000}
+	const ceiling = 100
+
+	inf, err := scenarios.Infrastructure()
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc, err := scenarios.Ecommerce(inf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := core.Options{Registry: scenarios.Registry(), Workers: 1}
+	s, err := core.NewSolver(inf, svc, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Fig6(context.Background(), s, loads, budgets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int(res.Totals.Evaluations) > ceiling {
+		t.Errorf("grid sweep ran %d engine evaluations, over the pinned ceiling %d",
+			res.Totals.Evaluations, ceiling)
+	}
+
+	want := coldCells(t, inf, svc, opts, loads, budgets)
+	got := fig6Cells(res, loads, budgets)
+	var cold int64
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("cell %d: grid %+v, cold %+v", i, got[i], want[i])
+		}
+	}
+	// Sum the cold effort over the same feasible cells the grid totals
+	// cover (infeasible solves report no stats on either side).
+	for li, load := range loads {
+		for bj, budget := range budgets {
+			if !want[li*len(budgets)+bj].ok {
+				continue
+			}
+			opts := opts
+			s, err := core.NewSolver(inf, svc, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sol, err := s.SolveContext(context.Background(), enterpriseReq(load, budget))
+			if err != nil {
+				t.Fatal(err)
+			}
+			cold += int64(sol.Stats.Evaluations)
+		}
+	}
+	t.Logf("fig6 ecommerce grid: %d grid evaluations vs %d per-cell cold (%.1fx), %d frontier reuses",
+		res.Totals.Evaluations, cold,
+		float64(cold)/float64(res.Totals.Evaluations), res.Totals.FrontierReuse)
+	if res.Totals.Evaluations*3 > cold {
+		t.Errorf("grid sweep's %d evaluations is not a 3x cut of per-cell cold's %d",
+			res.Totals.Evaluations, cold)
+	}
+}

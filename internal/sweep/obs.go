@@ -37,6 +37,11 @@ type Totals struct {
 	// overlapping solves on one solver it is a scheduling-dependent
 	// approximation like the raw hit/miss split.
 	WarmStartReuse int64
+	// FrontierReuse sums tier frontiers the cells served from their
+	// chain's frontier set instead of building (grid-aware Fig6/Fig8
+	// scheduling). Chains are sequential, so unlike the raw hit/miss
+	// split this is exact at any worker count.
+	FrontierReuse int64
 
 	ModeMemoHits   uint64
 	ModeMemoSolves uint64
@@ -54,6 +59,7 @@ func (t *Totals) Add(st core.Stats) {
 	t.Evaluations += int64(st.Evaluations)
 	t.EvalCacheHits += int64(st.EvalCacheHits)
 	t.WarmStartReuse += int64(st.WarmStartReuse)
+	t.FrontierReuse += int64(st.FrontierReuse)
 	t.ModeMemoHits += st.ModeMemoHits
 	t.ModeMemoSolves += st.ModeMemoSolves
 	t.SimReplications += st.SimReplications
@@ -70,6 +76,11 @@ func (t Totals) String() string {
 	}
 	s += fmt.Sprintf(": %d candidates, %d cost-pruned, %d bound-pruned, %d evaluations (incl. cache replays)",
 		t.Candidates, t.CostPruned, t.BoundPruned, t.Evaluations+t.EvalCacheHits)
+	if t.FrontierReuse > 0 {
+		// Only when the sweep actually reused frontiers, so sweeps that
+		// never enter the combination phase print unchanged.
+		s += fmt.Sprintf(", %d frontier reuses", t.FrontierReuse)
+	}
 	return s
 }
 

@@ -64,7 +64,9 @@ func normStats(st core.Stats) core.Stats {
 	st.SimReplications, st.SimBatches = 0, 0
 	// Warm-start reuse counts hits on flights another solve generation
 	// created; with cells overlapping on one solver, which generation
-	// creates a flight is a scheduling accident too.
+	// creates a flight is a scheduling accident too. FrontierReuse is NOT
+	// normalized: frontier sets are chain-local and chains run
+	// sequentially, so it is exact at any worker count.
 	st.WarmStartReuse = 0
 	return st
 }

@@ -9,5 +9,9 @@
 set -eu
 cd "$(dirname "$0")/.."
 mkdir -p results
+if [ "$(nproc)" = 1 ]; then
+    echo "WARNING: single-CPU host; the JSON will carry single_cpu=true" >&2
+fi
+echo "benchmarking on $(nproc) CPU(s)"
 go run ./cmd/avedbench -mode bnb -o results/BENCH_bnb.json
 echo "wrote results/BENCH_bnb.json"

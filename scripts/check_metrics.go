@@ -10,7 +10,16 @@
 //
 // and fails when a required key is missing or any pair disagrees.
 //
-// Usage: go run scripts/check_metrics.go metrics.json trace.jsonl solution.json
+// With -sweep it instead validates a traced avedsweep run: the
+// per-point reuse counters carried on sweep.point events (the numbers
+// the -progress lines print) must sum to the registry's core.warm_reuse
+// and core.frontier_reuse counters and match the per-hit warm.reuse /
+// frontier.reuse event multiplicities.
+//
+// Usage:
+//
+//	go run scripts/check_metrics.go metrics.json trace.jsonl solution.json
+//	go run scripts/check_metrics.go -sweep metrics.json trace.jsonl
 package main
 
 import (
@@ -38,9 +47,25 @@ type solution struct {
 	WarmReuse   int64 `json:"warmStartReuse"`
 }
 
+// trace aggregates one JSONL search trace: event multiplicities plus
+// the reuse totals the sweep.point events carry.
+type trace struct {
+	events map[string]int64
+	// pointWarm / pointFrontier sum the wreuse / freuse fields over the
+	// sweep.point events — the per-cell reuse the -progress lines show.
+	pointWarm     int64
+	pointFrontier int64
+}
+
 func main() {
-	if len(os.Args) != 4 {
+	args := os.Args[1:]
+	sweepMode := len(args) > 0 && args[0] == "-sweep"
+	if sweepMode {
+		args = args[1:]
+	}
+	if (sweepMode && len(args) != 2) || (!sweepMode && len(args) != 3) {
 		fmt.Fprintln(os.Stderr, "usage: check_metrics metrics.json trace.jsonl solution.json")
+		fmt.Fprintln(os.Stderr, "       check_metrics -sweep metrics.json trace.jsonl")
 		os.Exit(2)
 	}
 	var errs []string
@@ -49,16 +74,39 @@ func main() {
 	}
 
 	var snap snapshot
-	readJSON(os.Args[1], &snap)
+	readJSON(args[0], &snap)
+	tr := readTrace(args[1])
 	var sol solution
-	readJSON(os.Args[3], &sol)
-	events := readTrace(os.Args[2])
+	if sweepMode {
+		checkSweep(fail, snap, tr)
+	} else {
+		readJSON(args[2], &sol)
+		checkSolve(fail, snap, tr, sol)
+	}
 
+	if len(errs) > 0 {
+		for _, e := range errs {
+			fmt.Fprintln(os.Stderr, "check_metrics:", e)
+		}
+		os.Exit(1)
+	}
+	if sweepMode {
+		fmt.Printf("check_metrics: sweep ok (%d points, %d warm-seed replays, %d frontier reuses, %d trace events)\n",
+			tr.events["sweep.point"], tr.pointWarm, tr.pointFrontier, total(tr.events))
+		return
+	}
+	fmt.Printf("check_metrics: ok (%d candidates, %d evaluations, %d trace events)\n",
+		sol.Candidates, sol.Evaluations, total(tr.events))
+}
+
+// checkSolve validates one single-solve `aved` run.
+func checkSolve(fail func(string, ...any), snap snapshot, tr trace, sol solution) {
+	events := tr.events
 	// Metrics schema: the counters and timing histogram a single
 	// completed solve must flush.
 	for _, key := range []string{
 		"core.solves", "core.candidates", "core.cost_pruned",
-		"core.bound_pruned", "core.warm_reuse",
+		"core.bound_pruned", "core.warm_reuse", "core.frontier_reuse",
 		"core.evaluations", "core.eval_cache_hits",
 		"avail.memo.hits", "avail.memo.solves",
 	} {
@@ -87,7 +135,9 @@ func main() {
 	}
 
 	// Cross-checks: trace multiplicities, metrics counters and the
-	// solution report all describe the same search.
+	// solution report all describe the same search. FrontierReuse is
+	// zero by contract on a plain solve (frontier sets exist only under
+	// grid-aware SolveCell scheduling), so its row pins exactly that.
 	cross := []struct {
 		ev      string
 		counter string
@@ -102,6 +152,7 @@ func main() {
 		{"eval.miss", "core.evaluations", sol.Evaluations},
 		{"eval.hit", "core.eval_cache_hits", sol.CacheHits},
 		{"warm.reuse", "core.warm_reuse", sol.WarmReuse},
+		{"frontier.reuse", "core.frontier_reuse", 0},
 	}
 	for _, c := range cross {
 		if got := events[c.ev]; got != c.stat {
@@ -114,15 +165,45 @@ func main() {
 	if sol.Candidates == 0 {
 		fail("solution: zero candidates generated — the search did not run")
 	}
+}
 
-	if len(errs) > 0 {
-		for _, e := range errs {
-			fmt.Fprintln(os.Stderr, "check_metrics:", e)
-		}
-		os.Exit(1)
+// checkSweep validates one traced grid-aware avedsweep run: the reuse
+// totals on the sweep.point events (what -progress prints per cell)
+// must agree with both the per-hit trace events and the registry
+// counters the solver bumps.
+func checkSweep(fail func(string, ...any), snap snapshot, tr trace) {
+	events := tr.events
+	points := events["sweep.point"]
+	if points == 0 {
+		fail("trace: no sweep.point events — the sweep did not run")
 	}
-	fmt.Printf("check_metrics: ok (%d candidates, %d evaluations, %d trace events)\n",
-		sol.Candidates, sol.Evaluations, total(events))
+	if got := snap.Counters["sweep.points"]; got != points {
+		fail("metrics: sweep.points = %d but the trace has %d sweep.point events", got, points)
+	}
+	cross := []struct {
+		name    string
+		ev      string
+		counter string
+		points  int64
+	}{
+		{"warm-seed replays", "warm.reuse", "core.warm_reuse", tr.pointWarm},
+		{"frontier reuses", "frontier.reuse", "core.frontier_reuse", tr.pointFrontier},
+	}
+	for _, c := range cross {
+		if got := events[c.ev]; got != c.points {
+			fail("trace: %d %s events but the sweep.point events carry %d %s",
+				got, c.ev, c.points, c.name)
+		}
+		if got := snap.Counters[c.counter]; got != c.points {
+			fail("metrics: %s = %d but the sweep.point events carry %d %s",
+				c.counter, got, c.points, c.name)
+		}
+	}
+	// Non-vacuity: a grid-aware budget chain must actually replay
+	// warm-seeded work, or the check proves nothing.
+	if tr.pointWarm == 0 {
+		fail("trace: the sweep never replayed a warm-seeded entry — grid-aware scheduling is off")
+	}
 }
 
 func readJSON(path string, v any) {
@@ -136,35 +217,42 @@ func readJSON(path string, v any) {
 	}
 }
 
-// readTrace counts trace events by type, failing on any line that is
-// not a JSON object with an "ev" field.
-func readTrace(path string) map[string]int64 {
+// readTrace counts trace events by type and accumulates the sweep.point
+// reuse fields, failing on any line that is not a JSON object with an
+// "ev" field.
+func readTrace(path string) trace {
 	f, err := os.Open(path)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "check_metrics: %v\n", err)
 		os.Exit(1)
 	}
 	defer f.Close()
-	events := make(map[string]int64)
+	tr := trace{events: make(map[string]int64)}
 	sc := bufio.NewScanner(f)
 	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
 	line := 0
 	for sc.Scan() {
 		line++
 		var e struct {
-			Ev string `json:"ev"`
+			Ev            string `json:"ev"`
+			WarmReuse     int64  `json:"wreuse"`
+			FrontierReuse int64  `json:"freuse"`
 		}
 		if err := json.Unmarshal(sc.Bytes(), &e); err != nil || e.Ev == "" {
 			fmt.Fprintf(os.Stderr, "check_metrics: %s:%d: bad trace line: %v\n", path, line, err)
 			os.Exit(1)
 		}
-		events[e.Ev]++
+		tr.events[e.Ev]++
+		if e.Ev == "sweep.point" {
+			tr.pointWarm += e.WarmReuse
+			tr.pointFrontier += e.FrontierReuse
+		}
 	}
 	if err := sc.Err(); err != nil {
 		fmt.Fprintf(os.Stderr, "check_metrics: %s: %v\n", path, err)
 		os.Exit(1)
 	}
-	return events
+	return tr
 }
 
 func total(events map[string]int64) int64 {

@@ -2,8 +2,11 @@
 # Runs one traced search and validates its observability outputs
 # against each other: the -metrics JSON schema, the -trace JSONL event
 # multiplicities and the -json solution report must all describe the
-# same search. Run from the repository root; CI runs this on every
-# push.
+# same search. Then runs one traced grid-aware sweep and cross-checks
+# the reuse counters its -progress lines print (warm-seed replays,
+# frontier reuses, carried on sweep.point events) against the per-hit
+# trace events and the registry counters. Run from the repository
+# root; CI runs this on every push.
 set -eu
 cd "$(dirname "$0")/.."
 tmp=$(mktemp -d)
@@ -11,3 +14,7 @@ trap 'rm -rf "$tmp"' EXIT
 go run ./cmd/aved -paper apptier -load 1000 -downtime 60m -json \
 	-trace "$tmp/trace.jsonl" -metrics "$tmp/metrics.json" >"$tmp/solution.json"
 go run scripts/check_metrics.go "$tmp/metrics.json" "$tmp/trace.jsonl" "$tmp/solution.json"
+go run ./cmd/avedsweep -fig 6 -loads 4 -budgets 5 -workers 1 -progress \
+	-trace "$tmp/sweep_trace.jsonl" -metrics "$tmp/sweep_metrics.json" \
+	>/dev/null 2>"$tmp/progress.txt"
+go run scripts/check_metrics.go -sweep "$tmp/sweep_metrics.json" "$tmp/sweep_trace.jsonl"
