@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"time"
 
 	"aved"
 )
@@ -48,6 +49,10 @@ type designReport struct {
 	MemoHits        uint64   `json:"modeMemoHits,omitempty"`
 	MemoSolves      uint64   `json:"modeMemoSolves,omitempty"`
 	SimReplications uint64   `json:"simReplications,omitempty"`
+	// PhaseNanos is the -timings wall-clock breakdown: "bind" (model
+	// load and solver construction, timed here) plus the solver's own
+	// phases. Entries overlap, so they do not sum to the elapsed time.
+	PhaseNanos map[string]int64 `json:"phaseNanos,omitempty"`
 }
 
 type tierJS struct {
@@ -84,18 +89,21 @@ func run(args []string, out io.Writer) (retErr error) {
 		reps        = fs.Int("reps", 32, "simulation replication budget (-engine sim)")
 		relErr      = fs.Float64("relerr", 0, "adaptive precision: stop replicating once the 95% CI half-width is under this fraction of the mean (0 = full -reps budget)")
 		simBatch    = fs.Int("simbatch", 0, "adaptive replication batch size (0 = engine default)")
+		timings     = fs.Bool("timings", false, "time the solve phases and print a wall-clock breakdown table")
 		tracePath   = fs.String("trace", "", "write a JSONL search trace to this file")
-		metricsPath = fs.String("metrics", "", "write a metrics JSON snapshot to this file on exit")
+		metricsPath = fs.String("metrics", "", "write a metrics snapshot to this file on exit (.prom = Prometheus text, else JSON)")
 		debugAddr   = fs.String("debug-addr", "", "serve pprof, expvar and /metrics on this address, e.g. :6060")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
+	bindStart := time.Now()
 	inf, svc, reg, err := loadModels(*paper, *infraPath, *servicePath, *perfDir)
 	if err != nil {
 		return err
 	}
+	bindNs := time.Since(bindStart).Nanoseconds()
 	if *describe {
 		return aved.DescribeModel(out, inf, svc, 0)
 	}
@@ -107,7 +115,7 @@ func run(args []string, out io.Writer) (retErr error) {
 	if err != nil {
 		return err
 	}
-	opts := aved.Options{Registry: reg, ExploreSpareWarmth: *warmSpares, Workers: *workers, Engine: engine, Deadline: *timeout, Search: search}
+	opts := aved.Options{Registry: reg, ExploreSpareWarmth: *warmSpares, Workers: *workers, Engine: engine, Deadline: *timeout, Search: search, Timings: *timings}
 	if *bronze {
 		opts.FixedMechanisms = aved.Bronze()
 	}
@@ -121,10 +129,12 @@ func run(args []string, out io.Writer) (retErr error) {
 		}
 	}()
 	opts = obsSetup.Apply(opts)
+	bindStart = time.Now()
 	solver, err := aved.NewSolver(inf, svc, opts)
 	if err != nil {
 		return err
 	}
+	bindNs += time.Since(bindStart).Nanoseconds()
 
 	req, err := buildRequirements(*load, *downtime, *jobTime)
 	if err != nil {
@@ -156,7 +166,7 @@ func run(args []string, out io.Writer) (retErr error) {
 			return err
 		}
 	}
-	return report(out, sol, req, *asJSON, *verbose)
+	return report(out, sol, req, *asJSON, *verbose, *timings, bindNs)
 }
 
 func loadModels(paper, infraPath, servicePath, perfDir string) (*aved.Infrastructure, *aved.Service, *aved.Registry, error) {
@@ -236,7 +246,7 @@ func buildRequirements(load float64, downtime, jobTime string) (aved.Requirement
 	}
 }
 
-func report(out io.Writer, sol *aved.Solution, req aved.Requirements, asJSON, verbose bool) error {
+func report(out io.Writer, sol *aved.Solution, req aved.Requirements, asJSON, verbose, timings bool, bindNs int64) error {
 	rep := designReport{
 		Label:           sol.Design.Label(),
 		CostPerYear:     float64(sol.Cost),
@@ -249,6 +259,13 @@ func report(out io.Writer, sol *aved.Solution, req aved.Requirements, asJSON, ve
 		MemoHits:        sol.Stats.ModeMemoHits,
 		MemoSolves:      sol.Stats.ModeMemoSolves,
 		SimReplications: sol.Stats.SimReplications,
+	}
+	if timings {
+		pn := map[string]int64{"bind": bindNs}
+		for phase, ns := range sol.Stats.PhaseNanos {
+			pn[phase] = ns
+		}
+		rep.PhaseNanos = pn
 	}
 	if req.Kind == aved.ReqEnterprise {
 		rep.DowntimeMinutes = sol.DowntimeMinutes
@@ -303,6 +320,9 @@ func report(out io.Writer, sol *aved.Solution, req aved.Requirements, asJSON, ve
 	}
 	if rep.SimReplications != 0 {
 		fmt.Fprintf(out, "engine: %d sim replications\n", rep.SimReplications)
+	}
+	if timings {
+		aved.WritePhaseTable(out, rep.PhaseNanos)
 	}
 	if verbose {
 		fmt.Fprintln(out)

@@ -297,5 +297,5 @@ func runBatch(outPath string) error {
 	fmt.Fprintf(os.Stderr, "ecommerce solve     cold %d allocs/op (budget %d)  warm %d allocs/op\n",
 		solve.ColdAllocsPerOp, solve.AllocBudget, solve.WarmAllocsPerOp)
 
-	return writeReport(outPath, rep)
+	return writeReport(outPath, &rep)
 }

@@ -147,7 +147,7 @@ func runBnB(outPath string) error {
 	}
 	rep.WhatIf = append(rep.WhatIf, *warm)
 
-	return writeReport(outPath, rep)
+	return writeReport(outPath, &rep)
 }
 
 // runWhatIf measures the warm-start payoff on the paper's e-commerce

@@ -169,7 +169,7 @@ func run(outPath string) error {
 				r.Counters.ChainSolves, 100*r.Counters.MemoHitRate)
 		}
 	}
-	return writeReport(outPath, rep)
+	return writeReport(outPath, &rep)
 }
 
 // simBench: Monte-Carlo replications of the §5.1-style tier model.

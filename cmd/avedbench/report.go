@@ -9,6 +9,7 @@ import (
 	"encoding/json"
 	"os"
 	"runtime"
+	"time"
 )
 
 // hostInfo is the environment stamp shared by every suite's report.
@@ -22,16 +23,33 @@ type hostInfo struct {
 	NumCPU     int    `json:"num_cpu"`
 	SingleCPU  bool   `json:"single_cpu,omitempty"`
 	GoVersion  string `json:"go_version"`
+	// SuiteDurationMS is the suite's wall-clock run time, from stampHost
+	// to writeReport. It contextualizes the per-op numbers: a suite that
+	// ran for seconds had testing.Benchmark calibration behind each one,
+	// a suite that ran for milliseconds did not.
+	SuiteDurationMS float64 `json:"suite_duration_ms"`
 	// Note spells out the SingleCPU caveat for human readers.
 	Note string `json:"note,omitempty"`
+
+	started time.Time
 }
 
-// stampHost records the benchmark host, flagging single-CPU machines.
+// stampDuration closes the suite's wall-clock span; writeReport calls
+// it through the embedded hostInfo just before encoding.
+func (h *hostInfo) stampDuration() {
+	if !h.started.IsZero() {
+		h.SuiteDurationMS = float64(time.Since(h.started)) / float64(time.Millisecond)
+	}
+}
+
+// stampHost records the benchmark host, flagging single-CPU machines,
+// and starts the suite's wall clock.
 func stampHost() hostInfo {
 	h := hostInfo{
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		NumCPU:     runtime.NumCPU(),
 		GoVersion:  runtime.Version(),
+		started:    time.Now(),
 	}
 	if h.NumCPU == 1 {
 		h.SingleCPU = true
@@ -42,8 +60,14 @@ func stampHost() hostInfo {
 }
 
 // writeReport emits a suite's report as indented JSON to outPath, or to
-// stdout when outPath is empty.
+// stdout when outPath is empty. Reports embedding hostInfo (all of
+// them) get their suite duration stamped here, so every suite measures
+// the same span without repeating the arithmetic. Pass the report by
+// pointer — the value's promoted method set misses the stamp.
 func writeReport(outPath string, rep any) error {
+	if ds, ok := rep.(interface{ stampDuration() }); ok {
+		ds.stampDuration()
+	}
 	w := os.Stdout
 	if outPath != "" {
 		f, err := os.Create(outPath)

@@ -179,5 +179,5 @@ func runSim(outPath string) error {
 	fmt.Fprintf(os.Stderr, "adaptive spent %.1f%% of the fixed budget; sim-vs-markov rel diff %.3f\n",
 		100*rep.AdaptiveBudgetFraction, rep.MarkovRelDiff)
 
-	return writeReport(outPath, rep)
+	return writeReport(outPath, &rep)
 }

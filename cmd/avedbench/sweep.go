@@ -240,5 +240,5 @@ func runSweep(outPath string) error {
 			g.name, coldEvals, coldMS, tot.Evaluations, gridMS, r.EvalRatio,
 			tot.FrontierReuse, tot.WarmStartReuse)
 	}
-	return writeReport(outPath, rep)
+	return writeReport(outPath, &rep)
 }

@@ -13,6 +13,9 @@
 //	curl -s localhost:8080/v1/solve -d '{"paper":"scientific","maxJobTime":"50h","bronze":true}'
 //	curl -s localhost:8080/v1/sweep -d '{"fig":7,"points":5}'
 //	curl -s localhost:8080/v1/healthz
+//	curl -s localhost:8080/v1/status                  # live in-flight requests
+//	curl -s localhost:8080/metrics                    # JSON snapshot
+//	curl -s localhost:8080/metrics?format=prom        # Prometheus text
 //
 // Admission is bounded: at most -max-concurrent solves run at once,
 // at most -max-queue requests wait, and anything beyond that is
@@ -31,6 +34,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -56,7 +60,7 @@ func run(args []string) error {
 		workers       = fs.Int("workers", 0, "per-solve search worker count (0 = all CPUs)")
 		cacheSize     = fs.Int("cache", 128, "completed-response cache entries (0 disables)")
 		drain         = fs.Duration("drain", 30*time.Second, "how long shutdown waits for in-flight solves before aborting them")
-		metricsPath   = fs.String("metrics", "", "write a metrics JSON snapshot to this file on exit")
+		metricsPath   = fs.String("metrics", "", "write a metrics snapshot to this file on exit (.prom = Prometheus text, else JSON)")
 		traceDir      = fs.String("trace-dir", "", "write one JSONL search trace per request into this directory")
 		debugAddr     = fs.String("debug-addr", "", "serve pprof, expvar and /metrics on this address, e.g. :6060")
 	)
@@ -118,7 +122,11 @@ func run(args []string) error {
 	if *metricsPath != "" {
 		f, err := os.Create(*metricsPath)
 		if err == nil {
-			err = metrics.WriteJSON(f)
+			if strings.HasSuffix(*metricsPath, ".prom") {
+				err = metrics.WritePrometheus(f)
+			} else {
+				err = metrics.WriteJSON(f)
+			}
 			if cerr := f.Close(); err == nil {
 				err = cerr
 			}

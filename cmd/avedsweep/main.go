@@ -12,11 +12,13 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
 	"aved"
 )
@@ -45,10 +47,11 @@ func run(args []string, out io.Writer) (retErr error) {
 		reps        = fs.Int("reps", 32, "simulation replication budget (-engine sim)")
 		relErr      = fs.Float64("relerr", 0, "adaptive precision: stop replicating once the 95% CI half-width is under this fraction of the mean (0 = full -reps budget)")
 		batch       = fs.Int("simbatch", 0, "adaptive replication batch size (0 = engine default)")
-		progress    = fs.Bool("progress", false, "report per-point sweep progress on stderr")
+		progress    = fs.Bool("progress", false, "report per-point sweep progress (with per-cell ms) on stderr")
+		timings     = fs.Bool("timings", false, "time the solve phases and append a wall-clock breakdown as comment lines")
 		timeout     = fs.Duration("timeout", 0, "abort the whole sweep after this long, e.g. 30s (0 = no limit)")
 		tracePath   = fs.String("trace", "", "write a JSONL search trace to this file")
-		metricsPath = fs.String("metrics", "", "write a metrics JSON snapshot to this file on exit")
+		metricsPath = fs.String("metrics", "", "write a metrics snapshot to this file on exit (.prom = Prometheus text, else JSON)")
 		debugAddr   = fs.String("debug-addr", "", "serve pprof, expvar and /metrics on this address, e.g. :6060")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -78,13 +81,23 @@ func run(args []string, out io.Writer) (retErr error) {
 	}
 	switch *fig {
 	case 6:
-		return fig6(ctx, out, *loads, *budgets, *workers, eng, setup)
+		return fig6(ctx, out, *loads, *budgets, *workers, eng, setup, *timings)
 	case 7:
-		return fig7(ctx, out, *points, *workers, eng, setup)
+		return fig7(ctx, out, *points, *workers, eng, setup, *timings)
 	case 8:
-		return fig8(ctx, out, *budgets, *workers, eng, setup)
+		return fig8(ctx, out, *budgets, *workers, eng, setup, *timings)
 	default:
 		return fmt.Errorf("-fig must be 6, 7 or 8 (got %d)", *fig)
+	}
+}
+
+// phaseComments appends the -timings phase breakdown to the TSV
+// output as comment lines, so the data rows stay machine-readable.
+func phaseComments(out io.Writer, phaseNanos map[string]int64) {
+	var buf bytes.Buffer
+	aved.WritePhaseTable(&buf, phaseNanos)
+	for _, line := range strings.Split(strings.TrimRight(buf.String(), "\n"), "\n") {
+		fmt.Fprintf(out, "# %s\n", line)
 	}
 }
 
@@ -127,7 +140,7 @@ func buildEngine(name string, seed int64, years float64, reps, workers int, relE
 	}
 }
 
-func appTierSolver(workers int, engine aved.Engine, setup *aved.ObsSetup) (*aved.Solver, error) {
+func appTierSolver(workers int, engine aved.Engine, setup *aved.ObsSetup, timings bool) (*aved.Solver, error) {
 	inf, err := aved.PaperInfrastructure()
 	if err != nil {
 		return nil, err
@@ -136,14 +149,14 @@ func appTierSolver(workers int, engine aved.Engine, setup *aved.ObsSetup) (*aved
 	if err != nil {
 		return nil, err
 	}
-	opts := setup.Apply(aved.Options{Registry: aved.PaperRegistry(), Workers: workers, Engine: engine})
+	opts := setup.Apply(aved.Options{Registry: aved.PaperRegistry(), Workers: workers, Engine: engine, Timings: timings})
 	return aved.NewSolver(inf, svc, opts)
 }
 
 // fig6 prints the optimal design family at every grid point of the
 // (load, downtime budget) requirement plane, then each family curve.
-func fig6(ctx context.Context, out io.Writer, loadPoints, budgetPoints, workers int, engine aved.Engine, setup *aved.ObsSetup) error {
-	solver, err := appTierSolver(workers, engine, setup)
+func fig6(ctx context.Context, out io.Writer, loadPoints, budgetPoints, workers int, engine aved.Engine, setup *aved.ObsSetup, timings bool) error {
+	solver, err := appTierSolver(workers, engine, setup, timings)
 	if err != nil {
 		return err
 	}
@@ -174,12 +187,15 @@ func fig6(ctx context.Context, out io.Writer, loadPoints, budgetPoints, workers 
 		fmt.Fprintln(out)
 	}
 	fmt.Fprintf(out, "# totals: %s\n", res.Totals)
+	if timings {
+		phaseComments(out, res.Totals.PhaseNanos)
+	}
 	return nil
 }
 
 // fig7 prints the optimal scientific design as a function of the
 // job-completion-time requirement.
-func fig7(ctx context.Context, out io.Writer, points, workers int, engine aved.Engine, setup *aved.ObsSetup) error {
+func fig7(ctx context.Context, out io.Writer, points, workers int, engine aved.Engine, setup *aved.ObsSetup, timings bool) error {
 	inf, err := aved.PaperInfrastructure()
 	if err != nil {
 		return err
@@ -193,6 +209,7 @@ func fig7(ctx context.Context, out io.Writer, points, workers int, engine aved.E
 		FixedMechanisms: aved.Bronze(),
 		Workers:         workers,
 		Engine:          engine,
+		Timings:         timings,
 	}))
 	if err != nil {
 		return err
@@ -216,12 +233,15 @@ func fig7(ctx context.Context, out io.Writer, points, workers int, engine aved.E
 	}
 	tot.Infeasible = len(grid) - len(rows)
 	fmt.Fprintf(out, "# totals: %s\n", tot)
+	if timings {
+		phaseComments(out, tot.PhaseNanos)
+	}
 	return nil
 }
 
 // fig8 prints the cost premium curves for the paper's four loads.
-func fig8(ctx context.Context, out io.Writer, budgetPoints, workers int, engine aved.Engine, setup *aved.ObsSetup) error {
-	solver, err := appTierSolver(workers, engine, setup)
+func fig8(ctx context.Context, out io.Writer, budgetPoints, workers int, engine aved.Engine, setup *aved.ObsSetup, timings bool) error {
+	solver, err := appTierSolver(workers, engine, setup, timings)
 	if err != nil {
 		return err
 	}
@@ -249,5 +269,8 @@ func fig8(ctx context.Context, out io.Writer, budgetPoints, workers int, engine 
 	// One baseline cell plus one cell per budget, per load.
 	tot.Infeasible = len(loads)*(len(budgetGrid)+1) - tot.Points
 	fmt.Fprintf(out, "# totals: %s\n", tot)
+	if timings {
+		phaseComments(out, tot.PhaseNanos)
+	}
 	return nil
 }

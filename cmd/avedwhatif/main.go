@@ -17,6 +17,7 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"flag"
@@ -55,9 +56,10 @@ func run(args []string, out io.Writer) (retErr error) {
 		relErr   = fs.Float64("relerr", 0, "adaptive precision: stop replicating once the 95% CI half-width is under this fraction of the mean (0 = full -reps budget)")
 		batch    = fs.Int("simbatch", 0, "adaptive replication batch size (0 = engine default)")
 		timeout  = fs.Duration("timeout", 0, "abort the whole sweep after this long, e.g. 30s (0 = no limit)")
+		timings  = fs.Bool("timings", false, "time the solve phases and append a wall-clock breakdown as comment lines")
 
 		tracePath   = fs.String("trace", "", "write a JSONL search trace to this file")
-		metricsPath = fs.String("metrics", "", "write a metrics JSON snapshot to this file on exit")
+		metricsPath = fs.String("metrics", "", "write a metrics snapshot to this file on exit (.prom = Prometheus text, else JSON)")
 		debugAddr   = fs.String("debug-addr", "", "serve pprof, expvar and /metrics on this address, e.g. :6060")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -123,6 +125,7 @@ func run(args []string, out io.Writer) (retErr error) {
 		return err
 	}
 	cfg.SolverOptions.Engine = eng
+	cfg.SolverOptions.Timings = *timings
 	cfg.SolverOptions.Search, err = aved.ParseSearchMode(*search)
 	if err != nil {
 		return err
@@ -164,6 +167,13 @@ func run(args []string, out io.Writer) (retErr error) {
 	fmt.Fprintf(out, "# totals: %s\n", tot)
 	if tot.WarmStartReuse > 0 {
 		fmt.Fprintf(out, "# warm start: %d evaluations reused across factors\n", tot.WarmStartReuse)
+	}
+	if *timings {
+		var buf bytes.Buffer
+		aved.WritePhaseTable(&buf, tot.PhaseNanos)
+		for _, line := range strings.Split(strings.TrimRight(buf.String(), "\n"), "\n") {
+			fmt.Fprintf(out, "# %s\n", line)
+		}
 	}
 	return nil
 }

@@ -4,6 +4,7 @@ import (
 	"sync"
 
 	"aved/internal/markov"
+	"aved/internal/obs"
 )
 
 // batchScratch carries the reusable state of one batched memo request:
@@ -109,6 +110,12 @@ func (mm *modeMemo) getOrSolveBatch(sc *batchScratch, keys []modeKey, vals []mod
 	// Write pass: lock every touched shard in ascending order, recheck
 	// under the locks (a concurrent request may have solved a key since
 	// the read pass), and pack the still-missing chains into the plan.
+	// The whole pass — lock, pack, slab solve, insert — is one batched
+	// memo solve; instrumented engines time it on avail.batch_solve_ms.
+	sp := obs.Span{}
+	if h := mm.batchHist.Load(); h != nil {
+		sp = obs.StartSpan(h)
+	}
 	var mask uint32
 	for j := range sc.uniq {
 		mask |= 1 << sc.uniq[j].shard
@@ -178,6 +185,7 @@ func (mm *modeMemo) getOrSolveBatch(sc *batchScratch, keys []modeKey, vals []mod
 		}
 	}
 	unlock()
+	sp.Stop()
 	for _, ms := range sc.miss {
 		u := &sc.uniq[ms.uniq]
 		vals[ms.idx] = u.val

@@ -4,6 +4,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"aved/internal/obs"
 	"aved/internal/units"
 )
 
@@ -48,7 +49,13 @@ type modeMemo struct {
 	// MarkovEngine is a value type: storing here makes instrumentation
 	// visible through every copy of the engine.
 	tracer atomic.Value
-	shards [memoShards]memoShard
+	// batchHist, when set (InstrumentObs with a registry), observes the
+	// wall-clock milliseconds of each batched memo solve — the
+	// write-locked pass that packs a batch's missing chains into one
+	// BatchPlan and solves them. Nil keeps the batch path free of clock
+	// reads.
+	batchHist atomic.Pointer[obs.Histogram]
+	shards    [memoShards]memoShard
 }
 
 type memoShard struct {

@@ -43,10 +43,10 @@ func (s *Solver) solveEnterprise(ctx context.Context, req model.Requirements, cf
 	// Phase 1: each tier in isolation against the full budget. The
 	// per-tier optimum is a cost lower bound, so if the combination
 	// meets the budget it is the overall optimum.
-	endPhase := s.emitPhase("tier-search")
+	endPhase := s.phaseSpan(&stats, phaseTierSearch)
 	perTier := make([]*TierCandidate, len(s.svc.Tiers))
 	certified := make([]bool, len(s.svc.Tiers))
-	err := par.ForEachCtx(ctx, s.opts.Workers, len(s.svc.Tiers), func(i int) error {
+	err := par.ForEachTimedCtx(ctx, s.opts.Workers, len(s.svc.Tiers), s.parT, func(i int) error {
 		start := time.Time{}
 		if tr != nil {
 			start = time.Now()
@@ -58,9 +58,10 @@ func (s *Solver) solveEnterprise(ctx context.Context, req model.Requirements, cf
 		perTier[i] = cand
 		certified[i] = cert
 		if tr != nil && cand != nil {
+			tierNs := time.Since(start).Nanoseconds()
 			tr.Emit(obs.Event{Ev: obs.EvTierDone, Tier: s.svc.Tiers[i].Name,
 				Cost: float64(cand.Cost), Down: cand.DowntimeMinutes,
-				MS: float64(time.Since(start)) / float64(time.Millisecond)})
+				DurNs: tierNs, MS: obs.DurMS(tierNs)})
 		}
 		return nil
 	})
@@ -125,10 +126,10 @@ func (s *Solver) solveEnterprise(ctx context.Context, req model.Requirements, cf
 		stats.pools = nil
 	}
 	buildFrontiers := func(thresholds []float64) ([][]TierCandidate, error) {
-		endPhase := s.emitPhase("frontier")
+		endPhase := s.phaseSpan(&stats, phaseFrontier)
 		defer endPhase()
 		frontiers := make([][]TierCandidate, len(s.svc.Tiers))
-		err := par.ForEachCtx(ctx, s.opts.Workers, len(s.svc.Tiers), func(i int) error {
+		err := par.ForEachTimedCtx(ctx, s.opts.Workers, len(s.svc.Tiers), s.parT, func(i int) error {
 			maxCost := math.Inf(1)
 			if thresholds != nil {
 				maxCost = thresholds[i]
@@ -157,7 +158,7 @@ func (s *Solver) solveEnterprise(ctx context.Context, req model.Requirements, cf
 				return nil, false
 			}
 		}
-		endPhase := s.emitPhase("combine")
+		endPhase := s.phaseSpan(&stats, phaseCombine)
 		defer endPhase()
 		if s.opts.Combiner == CombineMethodGreedy {
 			return CombineGreedy(frontiers, budget)
@@ -210,7 +211,7 @@ func (s *Solver) solveEnterprise(ctx context.Context, req model.Requirements, cf
 func (s *Solver) combineBounds(ctx context.Context, req model.Requirements, cfg cellConfig, perTier []*TierCandidate, stats *searchStats) (float64, []float64, error) {
 	n := len(s.svc.Tiers)
 	budget := req.MaxAnnualDowntime.Minutes()
-	endPhase := s.emitPhase("bound")
+	endPhase := s.phaseSpan(stats, phaseBound)
 	// A seeded solve derives the UB from a previous optimal combination
 	// instead of waterfilling: re-pricing it under the current models
 	// replays every untouched tier from the warm cache, so a what-if
@@ -246,7 +247,7 @@ func (s *Solver) combineBounds(ctx context.Context, req model.Requirements, cfg 
 		for i := range next {
 			next[i] = nil
 		}
-		err := par.ForEachCtx(ctx, s.opts.Workers, n, func(i int) error {
+		err := par.ForEachTimedCtx(ctx, s.opts.Workers, n, s.parT, func(i int) error {
 			if pinned[i] {
 				return nil
 			}
@@ -360,16 +361,26 @@ func (s *Solver) finishEnterprise(ctx context.Context, chosen []*TierCandidate, 
 	if err != nil {
 		return nil, err
 	}
+	var sp obs.Span
+	if s.timed {
+		sp = obs.StartSpan(s.phaseHists[phaseEval])
+	}
 	res, err := s.engineEvaluate(ctx, tms)
 	if err != nil {
 		return nil, wrapCanceled(err, stats)
 	}
 	stats.evals.Add(1)
+	var evalNs int64
+	if s.timed {
+		evalNs = sp.Stop()
+		stats.phaseNs[phaseEval].Add(evalNs)
+	}
 	if tr := s.opts.Tracer; tr != nil {
 		// The final whole-design evaluation is an engine invocation too;
 		// reporting it as a miss keeps eval.miss counts equal to
-		// Stats.Evaluations.
-		tr.Emit(obs.Event{Ev: obs.EvEvalMiss, Tier: "design", Down: res.DowntimeMinutes})
+		// Stats.Evaluations and its DurNs inside the "eval" phase total.
+		tr.Emit(obs.Event{Ev: obs.EvEvalMiss, Tier: "design", Down: res.DowntimeMinutes,
+			DurNs: evalNs, MS: obs.DurMS(evalNs)})
 	}
 	s.rememberCombo(chosen)
 	return &Solution{

@@ -173,6 +173,11 @@ type searchStats struct {
 	// gen is this solve's generation (Solver.gen at solve start). Set
 	// once before any concurrency, read-only afterwards.
 	gen uint64
+	// phaseNs accumulates wall-clock nanoseconds per solver phase (see
+	// phaseID); written only when the solver is timed, so an untimed
+	// solve's snapshot sees all zeros and reports a nil PhaseNanos.
+	// Atomic because the eval phase accumulates from pool workers.
+	phaseNs [numPhases]atomic.Int64
 	// pools, when non-nil, collect every evaluated (cost, downtime)
 	// pair per tier — raw material for the combination upper bound,
 	// gathered free of extra engine work (see combineBounds). Each
@@ -194,7 +199,7 @@ func (st *searchStats) poolAdd(tierName string, c units.Money, down float64) {
 }
 
 func (st *searchStats) snapshot() Stats {
-	return Stats{
+	s := Stats{
 		CandidatesGenerated: int(st.candidates.Load()),
 		CostPruned:          int(st.pruned.Load()),
 		Evaluations:         int(st.evals.Load()),
@@ -203,4 +208,18 @@ func (st *searchStats) snapshot() Stats {
 		WarmStartReuse:      int(st.warmReuse.Load()),
 		FrontierReuse:       int(st.frontierReuse.Load()),
 	}
+	// The map materializes only when some phase recorded time — an
+	// untimed solve keeps PhaseNanos nil, so disabled-path Stats stay
+	// allocation-free and bitwise comparable.
+	var pn map[string]int64
+	for i := range st.phaseNs {
+		if ns := st.phaseNs[i].Load(); ns != 0 {
+			if pn == nil {
+				pn = make(map[string]int64, numPhases)
+			}
+			pn[phaseNames[i]] = ns
+		}
+	}
+	s.PhaseNanos = pn
+	return s
 }

@@ -187,6 +187,14 @@ func (s *Solver) cachedTierFrontier(ctx context.Context, set *FrontierSet, tier 
 	stats.evals.Add(bs.evals.Load())
 	stats.cacheHits.Add(bs.cacheHits.Load())
 	stats.warmReuse.Add(bs.warmReuse.Load())
+	// Engine time the build spent (the only phase a frontier build
+	// accrues — the bracketed phases run on the outer stats) carries
+	// over so PhaseNanos["eval"] keeps matching the eval.miss trace.
+	for i := range bs.phaseNs {
+		if ph := bs.phaseNs[i].Load(); ph != 0 {
+			stats.phaseNs[i].Add(ph)
+		}
+	}
 	set.mu.Lock()
 	if set.gen == gen {
 		if set.m == nil {

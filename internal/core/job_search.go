@@ -38,7 +38,7 @@ func (s *Solver) solveJob(ctx context.Context, req model.Requirements) (*Solutio
 		best  *JobCandidate
 	)
 	stats.gen = s.gen.Add(1)
-	endPhase := s.emitPhase("job-search")
+	endPhase := s.phaseSpan(&stats, phaseJobSearch)
 	for i := range tier.Options {
 		cand, err := s.searchJobOption(ctx, tier, &tier.Options[i], req.MaxJobTime, best, &stats)
 		if err != nil {

@@ -97,7 +97,8 @@ func (s *Solver) beginSolve(req model.Requirements) solveObs {
 // Solution's Stats, search counters and latency into the registry, and
 // a terminal search.end or search.error event.
 func (s *Solver) endSolve(so solveObs, sol *Solution, err error) (*Solution, error) {
-	ms := float64(time.Since(so.start)) / float64(time.Millisecond)
+	ns := time.Since(so.start).Nanoseconds()
+	ms := obs.DurMS(ns)
 	if err != nil {
 		if reg := s.opts.Metrics; reg != nil {
 			reg.Counter("core.solve_errors").Inc()
@@ -116,6 +117,7 @@ func (s *Solver) endSolve(so solveObs, sol *Solution, err error) (*Solution, err
 				Service: s.svc.Name,
 				Kind:    so.kind,
 				Load:    so.req.Throughput,
+				DurNs:   ns,
 				MS:      ms,
 				Err:     err.Error(),
 			})
@@ -162,27 +164,10 @@ func (s *Solver) endSolve(so solveObs, sol *Solution, err error) (*Solution, err
 			MemoHits:      sol.Stats.ModeMemoHits,
 			MemoSolves:    sol.Stats.ModeMemoSolves,
 			SimReps:       sol.Stats.SimReplications,
+			DurNs:         ns,
 			MS:            ms,
 		})
 	}
 	return sol, nil
 }
 
-// emitPhase emits a phase.start event and returns a function emitting
-// the matching phase.end with the elapsed milliseconds. With tracing
-// off it is a no-op returning a no-op.
-func (s *Solver) emitPhase(phase string) func() {
-	tr := s.opts.Tracer
-	if tr == nil {
-		return func() {}
-	}
-	tr.Emit(obs.Event{Ev: obs.EvPhaseStart, Phase: phase})
-	start := time.Now()
-	return func() {
-		tr.Emit(obs.Event{
-			Ev:    obs.EvPhaseEnd,
-			Phase: phase,
-			MS:    float64(time.Since(start)) / float64(time.Millisecond),
-		})
-	}
-}

@@ -44,7 +44,7 @@ func normalizeEvents(evs []obs.Event) []string {
 		if strings.HasPrefix(e.Ev, "memo.") {
 			continue
 		}
-		e.T, e.MS = 0, 0
+		e.T, e.MS, e.DurNs = 0, 0, 0
 		b, err := json.Marshal(e)
 		if err != nil {
 			panic(err)

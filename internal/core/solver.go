@@ -18,6 +18,7 @@ import (
 	"aved/internal/avail"
 	"aved/internal/model"
 	"aved/internal/obs"
+	"aved/internal/par"
 	"aved/internal/perf"
 	"aved/internal/units"
 )
@@ -113,6 +114,15 @@ type Options struct {
 	// SimBatch sets the adaptive controller's replication batch size
 	// (0 keeps the engine default). Ignored without precision control.
 	SimBatch int
+	// Timings enables per-phase wall-clock attribution on its own:
+	// Solution.Stats.PhaseNanos reports where each solve's time went
+	// (see Stats.PhaseNanos) without requiring a Tracer or Metrics.
+	// Timing also switches on automatically whenever either of those is
+	// set — a trace without durations or a registry without the
+	// solve.phase.* histograms would be misleading. Off (and with both
+	// sinks nil), the solver takes no clock readings beyond the
+	// whole-solve one and the hot paths stay allocation-free.
+	Timings bool
 	// Tracer receives structured search events (candidate generation,
 	// pruning, cache activity, phase timings). Nil — the default —
 	// disables tracing entirely; the hot paths never construct an event.
@@ -225,6 +235,18 @@ type Stats struct {
 	// solve (zero for analytic engines), with the same delta semantics.
 	SimReplications uint64
 	SimBatches      uint64
+	// PhaseNanos attributes the solve's wall clock to the solver phases
+	// (see PhaseNames), in integer nanoseconds. Bracketed phases
+	// ("tier-search", "bound", "frontier", "combine", "job-search") are
+	// whole-stage spans; "eval" is the cross-cutting engine-evaluation
+	// time, also spent inside the bracketed stages, so the entries
+	// overlap and do not sum to the solve's total. Nil unless timing is
+	// on (Options.Timings, a Tracer, or Metrics) — keeping disabled-path
+	// Stats allocation-free and comparable — and phases that never ran
+	// are absent. Each entry equals the sum of the matching trace
+	// durations exactly: phase.end DurNs for bracketed phases, eval.miss
+	// DurNs for "eval".
+	PhaseNanos map[string]int64
 }
 
 // Solution is the search outcome for one requirement point.
@@ -291,6 +313,20 @@ type Solver struct {
 	// context-aware engines (the simulator) are exactly the ones whose
 	// evaluations run long enough for that to matter.
 	pricer tierPricer
+
+	// timed reports that phase timing is on for this solver: set when
+	// Options.Timings, Tracer, or Metrics is configured. Every timing
+	// site guards on it, so the disabled path takes no clock readings
+	// and allocates nothing.
+	timed bool
+	// phaseHists are the solve.phase.* histograms, resolved once at
+	// construction (all nil without Metrics — spans then only feed
+	// Stats.PhaseNanos and the trace).
+	phaseHists [numPhases]*obs.Histogram
+	// parT, when non-nil, attributes the worker-pool fans' queue-wait
+	// and run time to the par.wait_ms/par.run_ms histograms. Nil without
+	// Metrics, which keeps the fans on the untimed ForEachCtx path.
+	parT *par.Timing
 
 	// comboCache memoizes mechCombos per resource type: the combination
 	// set (and its per-combo fingerprints) is a pure function of the
@@ -361,6 +397,13 @@ func NewSolver(inf *model.Infrastructure, svc *model.Service, opts Options) (*So
 			return nil, err
 		}
 	}
+	s.timed = s.opts.Timings || s.opts.Tracer != nil || s.opts.Metrics != nil
+	if reg := s.opts.Metrics; reg != nil {
+		for i := range s.phaseHists {
+			s.phaseHists[i] = reg.Histogram("solve.phase." + phaseNames[i])
+		}
+	}
+	s.parT = par.NewTiming(s.opts.Metrics)
 	if ce, ok := s.opts.Engine.(ctxEvaluator); ok {
 		s.ctxEng = ce
 	}

@@ -47,11 +47,23 @@ type evalEntry struct {
 func (s *Solver) evalTier(ctx context.Context, td *model.TierDesign, fps candFP, stats *searchStats) (evalEntry, error) {
 	f := s.evalCache.flight(fps.avail, stats.gen)
 	ran := false
+	var evalNs int64
 	f.once.Do(func() {
 		ran = true
+		var sp obs.Span
+		if s.timed {
+			sp = obs.StartSpan(s.phaseHists[phaseEval])
+		}
 		f.entry, f.err = s.evalTierMiss(ctx, td, fps.mode)
 		if f.err == nil {
 			stats.evals.Add(1)
+			if s.timed {
+				// Engine wall clock accrues to the cross-cutting "eval"
+				// phase; the matching eval.miss event carries the same
+				// nanoseconds, so trace sums and PhaseNanos agree exactly.
+				evalNs = sp.Stop()
+				stats.phaseNs[phaseEval].Add(evalNs)
+			}
 		}
 	})
 	if f.err != nil && isCtxErr(f.err) {
@@ -77,13 +89,15 @@ func (s *Solver) evalTier(ctx context.Context, td *model.TierDesign, fps candFP,
 			ev = obs.EvEvalMiss
 		}
 		tr.Emit(obs.Event{
-			Ev:   ev,
-			Tier: td.TierName,
-			FP:   fpHex(fps.avail),
-			N:    td.NActive,
-			M:    td.MinActive,
-			S:    td.NSpare,
-			Down: f.entry.downtimeMinutes,
+			Ev:    ev,
+			Tier:  td.TierName,
+			FP:    fpHex(fps.avail),
+			N:     td.NActive,
+			M:     td.MinActive,
+			S:     td.NSpare,
+			Down:  f.entry.downtimeMinutes,
+			DurNs: evalNs, // zero (omitted) on hits
+			MS:    obs.DurMS(evalNs),
 		})
 		if warm {
 			tr.Emit(obs.Event{
@@ -777,7 +791,7 @@ func (s *Solver) optionFrontier(ctx context.Context, tier *model.Tier, opt *mode
 			evalIdx = append(evalIdx, i)
 		}
 		prune(skipped)
-		err = par.ForEachCtx(ctx, s.opts.Workers, len(evalIdx), func(k int) error {
+		err = par.ForEachTimedCtx(ctx, s.opts.Workers, len(evalIdx), s.parT, func(k int) error {
 			i := evalIdx[k]
 			entry, err := s.evalTier(ctx, &cur.cands[i].Design, cur.fps[i], stats)
 			if err != nil {
@@ -834,7 +848,7 @@ func (s *Solver) optionFrontier(ctx context.Context, tier *model.Tier, opt *mode
 // post-combination validity check relies on (see solveEnterprise).
 func (s *Solver) tierFrontier(ctx context.Context, tier *model.Tier, throughput, maxCost float64, stats *searchStats) ([]TierCandidate, error) {
 	fronts := make([][]TierCandidate, len(tier.Options))
-	err := par.ForEachCtx(ctx, s.opts.Workers, len(tier.Options), func(i int) error {
+	err := par.ForEachTimedCtx(ctx, s.opts.Workers, len(tier.Options), s.parT, func(i int) error {
 		f, err := s.optionFrontier(ctx, tier, &tier.Options[i], throughput, maxCost, stats)
 		if err != nil {
 			return err

@@ -22,6 +22,12 @@ type DebugServer struct {
 	ln  net.Listener
 	srv *http.Server
 	reg atomic.Pointer[Registry]
+	// key is the requested address this server is registered under in
+	// the package-level servers map (empty for plain Serve calls, which
+	// never register). Close deregisters by key so a later EnsureServe
+	// on the same address starts a fresh server instead of handing back
+	// a closed one.
+	key string
 }
 
 // Addr reports the bound listen address (useful with ":0").
@@ -31,8 +37,19 @@ func (d *DebugServer) Addr() string { return d.ln.Addr().String() }
 // published it) at a different registry.
 func (d *DebugServer) SetRegistry(reg *Registry) { d.reg.Store(reg) }
 
-// Close stops the listener.
-func (d *DebugServer) Close() error { return d.srv.Close() }
+// Close stops the listener and, for EnsureServe-managed servers,
+// removes the address registration so the next EnsureServe on the same
+// address binds anew.
+func (d *DebugServer) Close() error {
+	if d.key != "" {
+		serveMu.Lock()
+		if servers[d.key] == d {
+			delete(servers, d.key)
+		}
+		serveMu.Unlock()
+	}
+	return d.srv.Close()
+}
 
 // Serve starts a debug server on addr (e.g. ":6060" or "127.0.0.1:0")
 // and returns once the listener is bound. reg may be nil; /metrics then
@@ -53,11 +70,8 @@ func Serve(addr string, reg *Registry) (*DebugServer, error) {
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	mux.Handle("/debug/vars", expvar.Handler())
-	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
-		w.Header().Set("Content-Type", "application/json")
-		if err := d.reg.Load().WriteJSON(w); err != nil {
-			http.Error(w, err.Error(), http.StatusInternalServerError)
-		}
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		WriteMetricsHTTP(w, r, d.reg.Load())
 	})
 	d.srv = &http.Server{Handler: mux}
 	go func() { _ = d.srv.Serve(ln) }() // ErrServerClosed on Close; nothing to report
@@ -104,6 +118,7 @@ func EnsureServe(addr string, reg *Registry) (*DebugServer, error) {
 	if err != nil {
 		return nil, err
 	}
+	d.key = addr
 	servers[addr] = d
 	return d, nil
 }

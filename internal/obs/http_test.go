@@ -57,6 +57,39 @@ func TestDebugServerEndpoints(t *testing.T) {
 	}
 }
 
+// TestDebugServerCloseDeregisters pins the Close contract: closing an
+// EnsureServe-managed server removes its address registration, so the
+// next EnsureServe on the same address binds a fresh server instead of
+// handing back the closed one (which would then serve nothing).
+func TestDebugServerCloseDeregisters(t *testing.T) {
+	d1, err := EnsureServe("127.0.0.1:0", NewRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	reg := NewRegistry()
+	reg.Counter("fresh").Add(7)
+	d2, err := EnsureServe("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatalf("EnsureServe after Close: %v", err)
+	}
+	defer d2.Close()
+	if d1 == d2 {
+		t.Fatal("EnsureServe returned the closed server")
+	}
+	var snap struct {
+		Counters map[string]int64 `json:"counters"`
+	}
+	if err := json.Unmarshal(getBody(t, "http://"+d2.Addr()+"/metrics"), &snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Counters["fresh"] != 7 {
+		t.Errorf("replacement server serves the wrong registry: %v", snap.Counters)
+	}
+}
+
 func TestEnsureServeReusesAddress(t *testing.T) {
 	r1 := NewRegistry()
 	d1, err := EnsureServe("127.0.0.1:0", r1)

@@ -1,0 +1,138 @@
+package obs
+
+import (
+	"bytes"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// promRegistry builds a registry exercising every family kind plus the
+// name-sanitization and HELP-escaping paths.
+func promRegistry() *Registry {
+	reg := NewRegistry()
+	reg.Counter("core.solves").Add(3)
+	reg.Counter("9starts.with.digit").Add(1)
+	reg.Counter(`weird\name`).Add(1)
+	reg.Gauge("pool.depth").Set(2.5)
+	h := reg.Histogram("solve.phase.eval")
+	for _, v := range []float64{0.25, 1.5, 40, 4000} {
+		h.Observe(v)
+	}
+	return reg
+}
+
+func TestWritePrometheusFormat(t *testing.T) {
+	reg := promRegistry()
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+
+	// Sanitized names with HELP carrying the original dotted name.
+	for _, want := range []string{
+		"# HELP core_solves aved counter core.solves\n",
+		"# TYPE core_solves counter\n",
+		"core_solves 3\n",
+		"# TYPE _9starts_with_digit counter\n",
+		`# HELP weird_name aved counter weird\\name` + "\n",
+		"# TYPE pool_depth gauge\n",
+		"pool_depth 2.5\n",
+		"# TYPE solve_phase_eval histogram\n",
+		"solve_phase_eval_count 4\n",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q\n%s", want, text)
+		}
+	}
+
+	// Histogram buckets must be cumulative, non-decreasing in le order,
+	// and closed by +Inf == _count.
+	var lastLe, lastCum float64
+	first, infSeen := true, false
+	for _, line := range strings.Split(text, "\n") {
+		if !strings.HasPrefix(line, "solve_phase_eval_bucket{le=\"") {
+			continue
+		}
+		rest := strings.TrimPrefix(line, "solve_phase_eval_bucket{le=\"")
+		le, val, ok := strings.Cut(rest, "\"} ")
+		if !ok {
+			t.Fatalf("malformed bucket line %q", line)
+		}
+		bound, err := strconv.ParseFloat(le, 64)
+		if err != nil {
+			t.Fatalf("bucket bound %q: %v", le, err)
+		}
+		cum, err := strconv.ParseFloat(val, 64)
+		if err != nil {
+			t.Fatalf("bucket count %q: %v", val, err)
+		}
+		if !first && (bound < lastLe || cum < lastCum) {
+			t.Fatalf("buckets not monotonic at %q (after le=%g cum=%g)", line, lastLe, lastCum)
+		}
+		lastLe, lastCum, first = bound, cum, false
+		if le == "+Inf" {
+			infSeen = true
+			if cum != 4 {
+				t.Errorf("+Inf bucket = %g, want 4 (the observation count)", cum)
+			}
+		}
+	}
+	if first || !infSeen {
+		t.Fatal("exposition has no solve_phase_eval buckets or no +Inf bucket")
+	}
+
+	// Unchanged registry → byte-identical scrape.
+	var again bytes.Buffer
+	if err := reg.WritePrometheus(&again); err != nil {
+		t.Fatal(err)
+	}
+	if again.String() != text {
+		t.Error("two scrapes of an unchanged registry differ")
+	}
+}
+
+func TestWriteMetricsHTTPNegotiation(t *testing.T) {
+	reg := promRegistry()
+	cases := []struct {
+		name, url, accept string
+		wantProm          bool
+	}{
+		{"default is JSON", "/metrics", "", false},
+		{"format=prom", "/metrics?format=prom", "", true},
+		{"format=text", "/metrics?format=text", "", true},
+		{"format=json wins over Accept", "/metrics?format=json", "text/plain", false},
+		{"scraper Accept", "/metrics", "text/plain;version=0.0.4", true},
+		{"json preferred in Accept", "/metrics", "application/json, text/plain", false},
+		{"plain preferred in Accept", "/metrics", "text/plain, application/json", true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			req := httptest.NewRequest("GET", tc.url, nil)
+			if tc.accept != "" {
+				req.Header.Set("Accept", tc.accept)
+			}
+			rec := httptest.NewRecorder()
+			WriteMetricsHTTP(rec, req, reg)
+			body := rec.Body.String()
+			ct := rec.Header().Get("Content-Type")
+			if tc.wantProm {
+				if ct != PromContentType {
+					t.Errorf("Content-Type = %q, want %q", ct, PromContentType)
+				}
+				if !strings.HasPrefix(body, "# HELP ") {
+					t.Errorf("body is not a text exposition:\n%s", body)
+				}
+			} else {
+				if ct != "application/json" {
+					t.Errorf("Content-Type = %q, want application/json", ct)
+				}
+				if !strings.HasPrefix(strings.TrimSpace(body), "{") {
+					t.Errorf("body is not JSON:\n%s", body)
+				}
+			}
+		})
+	}
+}

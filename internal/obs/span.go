@@ -1,0 +1,45 @@
+package obs
+
+import "time"
+
+// Span is one in-flight timed region. It is a plain value — starting
+// and stopping a span never allocates — and the zero Span is disabled:
+// Stop returns 0 and observes nothing. Call sites thread one code path
+// and pay only a monotonic-clock read when timing is on:
+//
+//	sp := obs.StartSpan(hist) // hist may be nil
+//	...work...
+//	ns := sp.Stop()
+//
+// The convention throughout Aved: histograms observe milliseconds
+// (matching the log-bucket layout's useful range), while raw
+// nanoseconds flow to trace events (Event.DurNs) and Stats.PhaseNanos
+// so integer sums cross-check exactly.
+type Span struct {
+	start time.Time
+	hist  *Histogram
+}
+
+// StartSpan opens a span that feeds h on Stop. h may be nil — the span
+// still measures and Stop still returns the elapsed nanoseconds.
+func StartSpan(h *Histogram) Span {
+	return Span{start: time.Now(), hist: h}
+}
+
+// Stop closes the span: it observes the elapsed milliseconds on the
+// attached histogram (when any) and returns the elapsed nanoseconds.
+// On the zero Span it is a no-op returning 0.
+func (s Span) Stop() int64 {
+	if s.start.IsZero() {
+		return 0
+	}
+	ns := time.Since(s.start).Nanoseconds()
+	if s.hist != nil {
+		s.hist.Observe(DurMS(ns))
+	}
+	return ns
+}
+
+// DurMS converts span nanoseconds to the milliseconds histograms and
+// human-readable sinks use.
+func DurMS(ns int64) float64 { return float64(ns) / 1e6 }

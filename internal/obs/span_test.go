@@ -1,0 +1,59 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+func TestSpanObservesAndReturnsNanos(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("t")
+	sp := StartSpan(h)
+	time.Sleep(time.Millisecond)
+	ns := sp.Stop()
+	if ns <= 0 {
+		t.Fatalf("Stop returned %d ns after sleeping", ns)
+	}
+	snap := reg.Snapshot()
+	hs := snap.Histograms["t"]
+	if hs.Count != 1 {
+		t.Fatalf("histogram count = %d, want 1", hs.Count)
+	}
+	if want := DurMS(ns); hs.Sum != want {
+		t.Errorf("histogram sum = %g ms, want %g (the ms the span returned as ns)", hs.Sum, want)
+	}
+}
+
+func TestSpanNilHistogramStillMeasures(t *testing.T) {
+	sp := StartSpan(nil)
+	if ns := sp.Stop(); ns < 0 {
+		t.Errorf("nil-histogram span returned %d ns", ns)
+	}
+}
+
+// TestSpanZeroValueDisabled pins the disabled contract the solver's
+// un-instrumented path relies on: the zero Span stops to 0, observes
+// nothing, and none of it allocates.
+func TestSpanZeroValueDisabled(t *testing.T) {
+	var sp Span
+	if ns := sp.Stop(); ns != 0 {
+		t.Errorf("zero Span stopped to %d ns, want 0", ns)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		var s Span
+		if s.Stop() != 0 {
+			t.Fatal("zero Span measured something")
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("disabled span path allocates %v per op, want 0", allocs)
+	}
+	// The enabled path is allocation-free too — Span is a plain value.
+	h := NewRegistry().Histogram("t")
+	allocs = testing.AllocsPerRun(200, func() {
+		StartSpan(h).Stop()
+	})
+	if allocs != 0 {
+		t.Errorf("enabled span path allocates %v per op, want 0", allocs)
+	}
+}

@@ -136,7 +136,12 @@ type Event struct {
 	MemoSolves    uint64 `json:"memos,omitempty"`
 	SimReps       uint64 `json:"simreps,omitempty"`
 
-	// Timing and progress.
+	// Timing and progress. DurNs is the span's exact wall-clock
+	// nanoseconds (phase.end, tier.done, eval.miss, sweep.point); MS is
+	// the same duration in milliseconds, kept for human-readable sinks.
+	// Consistency checks sum DurNs — integer nanoseconds add exactly,
+	// so the totals match Stats.PhaseNanos without float tolerance.
+	DurNs int64   `json:"durns,omitempty"`
 	MS    float64 `json:"ms,omitempty"`
 	Index int     `json:"i,omitempty"` // 1-based so omitempty never eats it
 	Total int     `json:"total,omitempty"`

@@ -11,6 +11,9 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"aved/internal/obs"
 )
 
 // Workers resolves a configured worker count: n when positive, else
@@ -31,6 +34,30 @@ func Workers(n int) int {
 // first — so error reporting is independent of the worker count.
 func ForEach(workers, n int, fn func(i int) error) error {
 	return ForEachCtx(context.Background(), workers, n, fn)
+}
+
+// Timing attributes a pool fan's wall clock: Wait is submitted→claimed
+// per item (how long work sat behind busy workers — the queue-wait that
+// eats parallel speedup), Run is claimed→done (the item's own
+// execution). Both observe milliseconds. A nil *Timing disables timing
+// entirely: ForEachTimedCtx with nil Timing is exactly ForEachCtx, no
+// clock reads, no allocations.
+type Timing struct {
+	Wait *obs.Histogram
+	Run  *obs.Histogram
+}
+
+// NewTiming builds a Timing feeding reg's "par.wait_ms" and
+// "par.run_ms" histograms, or nil when reg is nil — nil-in-nil-out so
+// callers can thread an optional registry without guarding.
+func NewTiming(reg *obs.Registry) *Timing {
+	if reg == nil {
+		return nil
+	}
+	return &Timing{
+		Wait: reg.Histogram("par.wait_ms"),
+		Run:  reg.Histogram("par.run_ms"),
+	}
 }
 
 // ForEachCtx is ForEach with cancellation: each worker checks ctx once
@@ -109,4 +136,26 @@ func ForEachCtx(ctx context.Context, workers, n int, fn func(i int) error) error
 	}
 	wg.Wait()
 	return firstErr
+}
+
+// ForEachTimedCtx is ForEachCtx with per-item wall-clock attribution:
+// every item observes its queue wait (fan start → claim) on t.Wait and
+// its execution (claim → done) on t.Run. Claim order is dynamic, so
+// the wait distribution is scheduling-dependent — only its shape is
+// meaningful, and determinism tests must not depend on it. A nil t
+// falls through to ForEachCtx untouched, keeping the disabled path
+// free of clock reads.
+func ForEachTimedCtx(ctx context.Context, workers, n int, t *Timing, fn func(i int) error) error {
+	if t == nil {
+		return ForEachCtx(ctx, workers, n, fn)
+	}
+	start := time.Now()
+	timed := func(i int) error {
+		claimed := time.Now()
+		t.Wait.Observe(float64(claimed.Sub(start)) / float64(time.Millisecond))
+		err := fn(i)
+		t.Run.Observe(float64(time.Since(claimed)) / float64(time.Millisecond))
+		return err
+	}
+	return ForEachCtx(ctx, workers, n, timed)
 }

@@ -219,7 +219,8 @@ func Sweep(ctx context.Context, base *model.Infrastructure, cfg Config, knob Kno
 		return sweepWarm(ctx, base, cfg, knob, factors, po)
 	}
 	out := make([]Point, len(factors))
-	err := par.ForEachCtx(ctx, cfg.Workers, len(factors), func(i int) error {
+	pt := par.NewTiming(cfg.SolverOptions.Metrics)
+	err := par.ForEachTimedCtx(ctx, cfg.Workers, len(factors), pt, func(i int) error {
 		f := factors[i]
 		start := po.Begin()
 		inf := base.Clone()

@@ -3,6 +3,7 @@ package sensitivity
 import (
 	"context"
 	"math/rand"
+	"reflect"
 	"testing"
 
 	"aved/internal/core"
@@ -29,7 +30,7 @@ func samePoints(t *testing.T, cold, warm []Point) {
 	for i := range cold {
 		c, w := cold[i], warm[i]
 		c.Stats, w.Stats = core.Stats{}, core.Stats{}
-		if c != w {
+		if !reflect.DeepEqual(c, w) {
 			t.Errorf("factor %v: warm point differs from cold:\n  cold %+v\n  warm %+v",
 				cold[i].Factor, c, w)
 		}

@@ -81,6 +81,11 @@ type SearchStats struct {
 	ModeMemoHits    uint64 `json:"modeMemoHits,omitempty"`
 	ModeMemoSolves  uint64 `json:"modeMemoSolves,omitempty"`
 	SimReplications uint64 `json:"simReplications,omitempty"`
+	// PhaseNanos breaks the solve's wall time down by phase (the server
+	// always runs timed — its shared metrics registry enables timing).
+	// Entries overlap ("eval" time accrues inside the bracketed phases),
+	// so they do not sum to the request's elapsed time.
+	PhaseNanos map[string]int64 `json:"phaseNanos,omitempty"`
 }
 
 // SolveResponse is the body of a successful POST /v1/solve.
@@ -287,5 +292,6 @@ func statsReport(st aved.Stats) SearchStats {
 		ModeMemoHits:    st.ModeMemoHits,
 		ModeMemoSolves:  st.ModeMemoSolves,
 		SimReplications: st.SimReplications,
+		PhaseNanos:      st.PhaseNanos,
 	}
 }

@@ -10,7 +10,10 @@
 //	POST /v1/solve    one design problem → the optimal design
 //	POST /v1/sweep    a Fig. 6/7/8 requirement sweep over paper inputs
 //	GET  /v1/healthz  liveness plus admission state
-//	GET  /metrics     the metrics registry as JSON
+//	GET  /v1/status   live in-flight requests (phase, elapsed, progress)
+//	GET  /metrics     the metrics registry — JSON by default, Prometheus
+//	                  text with ?format=prom or an Accept preferring
+//	                  text/plain
 //
 // The layer adds what a shared service needs on top of the library:
 // admission control (a bounded number of concurrent solves plus a
@@ -74,6 +77,7 @@ type Server struct {
 
 	sem    chan struct{}
 	queued atomic.Int64
+	live   inflightSet
 
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
@@ -115,11 +119,9 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/solve", s.handleSolve)
 	mux.HandleFunc("POST /v1/sweep", s.handleSweep)
 	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
-	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, _ *http.Request) {
-		w.Header().Set("Content-Type", "application/json")
-		if err := s.metrics.WriteJSON(w); err != nil {
-			http.Error(w, err.Error(), http.StatusInternalServerError)
-		}
+	mux.HandleFunc("GET /v1/status", s.handleStatus)
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		aved.WriteMetricsHTTP(w, r, s.metrics)
 	})
 	return mux
 }
@@ -313,20 +315,26 @@ func (s *Server) startFlight(key reqFP, req *SolveRequest) (*flight, bool) {
 	go func() {
 		defer s.inflight.Done()
 		defer fcancel()
-		resp, err := s.runSolve(fctx, &reqCopy)
+		ent := s.live.begin("solve", key.hex())
+		defer s.live.done(ent)
+		resp, err := s.runSolve(fctx, &reqCopy, ent)
 		s.group.settle(key, f, resp, err, isCtxErr(err))
 	}()
 	return f, false
 }
 
 // runSolve executes one admitted solve end to end: admission slot,
-// model binding, solver construction, search.
-func (s *Server) runSolve(ctx context.Context, req *SolveRequest) (*SolveResponse, error) {
+// model binding, solver construction, search. ent mirrors the solve's
+// progress for /v1/status: "queued" until the slot is claimed, "bind"
+// through model construction, then the solver's own phases as its
+// trace reports them.
+func (s *Server) runSolve(ctx context.Context, req *SolveRequest, ent *inflightEntry) (*SolveResponse, error) {
 	release, err := s.acquire(ctx)
 	if err != nil {
 		return nil, err
 	}
 	defer release()
+	ent.setPhase("bind")
 
 	inf, svc, err := req.models()
 	if err != nil {
@@ -360,7 +368,7 @@ func (s *Server) runSolve(ctx context.Context, req *SolveRequest) (*SolveRespons
 		Search:             search,
 		ExploreSpareWarmth: req.WarmSpares,
 		Metrics:            s.metrics,
-		Tracer:             tracer,
+		Tracer:             aved.TeeTracers(tracer, ent.progressTracer()),
 	}
 	if req.Bronze {
 		opts.FixedMechanisms = aved.Bronze()

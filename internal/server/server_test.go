@@ -356,6 +356,24 @@ func TestMetricsEndpoint(t *testing.T) {
 	if snap.Counters["core.solves"] == 0 {
 		t.Errorf("solver metrics not wired through: %v", snap.Counters)
 	}
+
+	// The same endpoint negotiates the Prometheus text exposition.
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/metrics?format=prom", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/metrics?format=prom status %d", rec.Code)
+	}
+	body := rec.Body.String()
+	for _, want := range []string{
+		"# TYPE server_requests counter\n",
+		"# TYPE core_solves counter\n",
+		"# TYPE solve_phase_eval histogram\n",
+		"solve_phase_eval_bucket{le=\"+Inf\"}",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("prom exposition missing %q", want)
+		}
+	}
 }
 
 func TestFingerprintStability(t *testing.T) {

@@ -1,0 +1,156 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"aved"
+)
+
+// This file implements GET /v1/status: live introspection of the work
+// the server is doing right now. /metrics answers "how much, how fast,
+// cumulatively"; /v1/status answers "what is running at this instant"
+// — which requests, how long they have been in, what solve phase each
+// is in, and how far along a sweep's grid is. Operators hit it when a
+// request seems stuck, load balancers when deciding whether a draining
+// instance is done.
+
+// inflightEntry is one live request's mutable progress record. The
+// handler goroutine and the status endpoint race on it by design, so
+// every mutable field is atomic; the identity fields are fixed at
+// registration.
+type inflightEntry struct {
+	id    uint64
+	kind  string // "solve" or "sweep"
+	fp    string // request fingerprint, hex (solves; "" for sweeps)
+	start time.Time
+
+	// phase is the request's current stage as a string: "queued" while
+	// waiting for an admission slot, "bind" during model construction,
+	// then the solver's own phase names as its trace reports them.
+	phase atomic.Value
+
+	// cellsDone/cellsTotal track sweep grid progress from sweep.point
+	// events; zero for solves.
+	cellsDone  atomic.Int64
+	cellsTotal atomic.Int64
+}
+
+func (e *inflightEntry) setPhase(p string) { e.phase.Store(p) }
+
+// inflightSet registers the live entries. A plain locked map: requests
+// register and deregister once each, and status reads are rare
+// compared to solve work.
+type inflightSet struct {
+	mu  sync.Mutex
+	seq uint64
+	m   map[uint64]*inflightEntry
+}
+
+// begin registers a new live request and returns its entry; the caller
+// must call done(entry) on every exit path.
+func (s *inflightSet) begin(kind, fp string) *inflightEntry {
+	e := &inflightEntry{kind: kind, fp: fp, start: time.Now()}
+	e.setPhase("queued")
+	s.mu.Lock()
+	s.seq++
+	e.id = s.seq
+	if s.m == nil {
+		s.m = make(map[uint64]*inflightEntry)
+	}
+	s.m[e.id] = e
+	s.mu.Unlock()
+	return e
+}
+
+func (s *inflightSet) done(e *inflightEntry) {
+	s.mu.Lock()
+	delete(s.m, e.id)
+	s.mu.Unlock()
+}
+
+// snapshot lists the live entries in admission order.
+func (s *inflightSet) snapshot() []*inflightEntry {
+	s.mu.Lock()
+	out := make([]*inflightEntry, 0, len(s.m))
+	for _, e := range s.m {
+		out = append(out, e)
+	}
+	s.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].id < out[j].id })
+	return out
+}
+
+// progressTracer returns a tracer that mirrors an entry's solve phase
+// and sweep progress from the trace stream. It tees in front of the
+// request's configured sinks, so enabling /v1/status costs one extra
+// Emit per event only on requests that already trace — and on the
+// synthetic tracer the server adds for exactly this purpose.
+func (e *inflightEntry) progressTracer() aved.Tracer {
+	return aved.TraceFunc(func(ev aved.TraceEvent) {
+		switch ev.Ev {
+		case aved.EvPhaseStart:
+			e.setPhase(ev.Phase)
+		case aved.EvSearchStart:
+			e.setPhase("search")
+		case aved.EvSweepPoint:
+			e.cellsDone.Add(1)
+			e.cellsTotal.Store(int64(ev.Total))
+		}
+	})
+}
+
+// InflightStatus is one live request in the /v1/status response.
+type InflightStatus struct {
+	ID        uint64  `json:"id"`
+	Kind      string  `json:"kind"`
+	FP        string  `json:"fp,omitempty"`
+	Phase     string  `json:"phase"`
+	ElapsedMS float64 `json:"elapsedMs"`
+	// CellsDone/CellsTotal report sweep grid progress; omitted for
+	// solves.
+	CellsDone  int64 `json:"cellsDone,omitempty"`
+	CellsTotal int64 `json:"cellsTotal,omitempty"`
+}
+
+// StatusResponse is the body of GET /v1/status.
+type StatusResponse struct {
+	Status   string           `json:"status"` // "ok" or "draining"
+	Running  int              `json:"running"`
+	Queued   int64            `json:"queued"`
+	InFlight []InflightStatus `json:"inflight"`
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, _ *http.Request) {
+	resp := StatusResponse{Status: "ok", Running: len(s.sem), Queued: s.queued.Load()}
+	if s.draining.Load() {
+		resp.Status = "draining"
+	}
+	entries := s.live.snapshot()
+	resp.InFlight = make([]InflightStatus, 0, len(entries))
+	now := time.Now()
+	for _, e := range entries {
+		st := InflightStatus{
+			ID:        e.id,
+			Kind:      e.kind,
+			FP:        e.fp,
+			ElapsedMS: float64(now.Sub(e.start)) / float64(time.Millisecond),
+		}
+		if p, ok := e.phase.Load().(string); ok {
+			st.Phase = p
+		}
+		st.CellsDone = e.cellsDone.Load()
+		st.CellsTotal = e.cellsTotal.Load()
+		resp.InFlight = append(resp.InFlight, st)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// hex renders the fingerprint as the 32-digit string /v1/status and
+// logs report — the same packed-128 presentation the solver uses for
+// design fingerprints.
+func (f reqFP) hex() string { return fmt.Sprintf("%016x%016x", f.hi, f.lo) }

@@ -1,0 +1,168 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"testing"
+	"time"
+
+	"aved"
+)
+
+func getStatus(t *testing.T, h http.Handler) StatusResponse {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/v1/status", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+	}
+	var resp StatusResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatalf("status body %s: %v", rec.Body.String(), err)
+	}
+	return resp
+}
+
+// pollStatus re-reads /v1/status until ok returns true or the deadline
+// passes, returning the last snapshot either way.
+func pollStatus(t *testing.T, h http.Handler, ok func(StatusResponse) bool) (StatusResponse, bool) {
+	t.Helper()
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		resp := getStatus(t, h)
+		if ok(resp) {
+			return resp, true
+		}
+		if time.Now().After(deadline) {
+			return resp, false
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestStatusIdle(t *testing.T) {
+	s := New(Config{})
+	defer s.Close()
+	resp := getStatus(t, s.Handler())
+	if resp.Status != "ok" || resp.Running != 0 || len(resp.InFlight) != 0 {
+		t.Errorf("idle status = %+v, want ok with nothing in flight", resp)
+	}
+}
+
+// TestStatusQueuedSolve pins the admission-side view: a request waiting
+// for a slot appears in /v1/status with phase "queued" and its request
+// fingerprint, and disappears once it completes.
+func TestStatusQueuedSolve(t *testing.T) {
+	s := New(Config{MaxConcurrent: 1, MaxQueue: 4, CacheSize: 0})
+	defer s.Close()
+	h := s.Handler()
+	s.sem <- struct{}{} // occupy the only slot; the request must queue
+
+	done := make(chan *SolveResponse, 1)
+	go func() { done <- decodeSolve(t, post(t, h, "/v1/solve", apptierBody)) }()
+
+	resp, ok := pollStatus(t, h, func(r StatusResponse) bool {
+		return len(r.InFlight) == 1 && r.InFlight[0].Phase == "queued"
+	})
+	if !ok {
+		t.Fatalf("queued request never appeared in /v1/status: %+v", resp)
+	}
+	ent := resp.InFlight[0]
+	if ent.Kind != "solve" {
+		t.Errorf("kind = %q, want solve", ent.Kind)
+	}
+	if !regexp.MustCompile(`^[0-9a-f]{32}$`).MatchString(ent.FP) {
+		t.Errorf("fp = %q, want 32 hex digits", ent.FP)
+	}
+	if ent.ElapsedMS < 0 {
+		t.Errorf("elapsedMs = %v, want >= 0", ent.ElapsedMS)
+	}
+
+	<-s.sem // release the slot; the solve runs and deregisters
+	<-done
+	if resp, ok := pollStatus(t, h, func(r StatusResponse) bool {
+		return len(r.InFlight) == 0
+	}); !ok {
+		t.Errorf("completed solve still listed: %+v", resp)
+	}
+}
+
+// TestStatusLiveSolve drives a deliberately slow solve (simulation
+// engine, large replication budget, bounded by its own deadline) and
+// watches /v1/status catch it mid-flight: past admission, in "bind" or
+// a solver phase mirrored from the trace stream.
+func TestStatusLiveSolve(t *testing.T) {
+	s := New(Config{CacheSize: 0})
+	defer s.Close()
+	h := s.Handler()
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		// Same shape as TestSolveDeadlinePrompt, with a deadline long
+		// enough to observe the request in flight.
+		post(t, h, "/v1/solve", `{"paper":"apptier","load":1000,"maxDowntime":"100m",
+			"engine":"sim","years":5000,"reps":4096,"timeoutMs":3000}`)
+	}()
+
+	resp, ok := pollStatus(t, h, func(r StatusResponse) bool {
+		return len(r.InFlight) == 1 && r.InFlight[0].Phase != "queued" && r.InFlight[0].Phase != ""
+	})
+	if !ok {
+		t.Fatalf("running solve never showed a live phase: %+v", resp)
+	}
+	switch ph := resp.InFlight[0].Phase; ph {
+	case "bind", "search", "tier-search", "bound", "frontier", "combine", "job-search":
+	default:
+		t.Errorf("unexpected live phase %q", ph)
+	}
+	<-done
+	if resp, ok := pollStatus(t, h, func(r StatusResponse) bool {
+		return len(r.InFlight) == 0
+	}); !ok {
+		t.Errorf("finished solve still listed: %+v", resp)
+	}
+}
+
+func TestStatusDraining(t *testing.T) {
+	s := New(Config{})
+	if err := s.Shutdown(context.Background()); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	if resp := getStatus(t, s.Handler()); resp.Status != "draining" {
+		t.Errorf("status after shutdown = %q, want draining", resp.Status)
+	}
+}
+
+// TestProgressTracer pins the event→entry mirroring /v1/status relies
+// on, without racing a real sweep: phase.start moves the phase,
+// search.start maps to "search", and sweep.point events advance the
+// grid counters.
+func TestProgressTracer(t *testing.T) {
+	e := &inflightEntry{}
+	e.setPhase("queued")
+	tr := e.progressTracer()
+
+	tr.Emit(aved.TraceEvent{Ev: aved.EvSearchStart})
+	if p := e.phase.Load().(string); p != "search" {
+		t.Errorf("phase after search.start = %q", p)
+	}
+	tr.Emit(aved.TraceEvent{Ev: aved.EvPhaseStart, Phase: "tier-search"})
+	if p := e.phase.Load().(string); p != "tier-search" {
+		t.Errorf("phase after phase.start = %q", p)
+	}
+	for i := 0; i < 3; i++ {
+		tr.Emit(aved.TraceEvent{Ev: aved.EvSweepPoint, Index: i, Total: 20})
+	}
+	if done, total := e.cellsDone.Load(), e.cellsTotal.Load(); done != 3 || total != 20 {
+		t.Errorf("cells = %d/%d, want 3/20", done, total)
+	}
+	// Events the tracer does not mirror must not disturb the state.
+	tr.Emit(aved.TraceEvent{Ev: aved.EvEvalMiss})
+	if p := e.phase.Load().(string); p != "tier-search" {
+		t.Errorf("phase after eval.miss = %q", p)
+	}
+}

@@ -74,14 +74,17 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 
 	s.inflight.Add(1)
 	defer s.inflight.Done()
+	ent := s.live.begin("sweep", "")
+	defer s.live.done(ent)
 	release, err := s.acquire(ctx)
 	if err != nil {
 		s.writeError(w, err, nil)
 		return
 	}
 	defer release()
+	ent.setPhase("bind")
 
-	resp, err := s.runSweep(ctx, &req)
+	resp, err := s.runSweep(ctx, &req, ent)
 	if err != nil {
 		s.writeError(w, err, nil)
 		return
@@ -94,7 +97,10 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 }
 
 // runSweep builds the figure's solver and grids and runs it under ctx.
-func (s *Server) runSweep(ctx context.Context, req *SweepRequest) (*SweepResponse, error) {
+// ent mirrors the sweep's progress for /v1/status: the teed tracer
+// counts sweep.point events into cellsDone/cellsTotal, so a poller
+// sees "cell 37 of 120" style progress on a long figure regeneration.
+func (s *Server) runSweep(ctx context.Context, req *SweepRequest, ent *inflightEntry) (*SweepResponse, error) {
 	eng, err := (&SolveRequest{
 		Engine: req.Engine, Seed: req.Seed, Years: req.Years,
 		Reps: req.Reps, RelErr: req.RelErr, SimBatch: req.SimBatch,
@@ -130,7 +136,7 @@ func (s *Server) runSweep(ctx context.Context, req *SweepRequest) (*SweepRespons
 		}
 		solver, err := aved.NewSolver(inf, svc, aved.Options{
 			Registry: aved.PaperRegistry(), Workers: workers, Engine: eng,
-			Metrics: s.metrics, Tracer: s.cfg.Tracer,
+			Metrics: s.metrics, Tracer: aved.TeeTracers(s.cfg.Tracer, ent.progressTracer()),
 		})
 		if err != nil {
 			return nil, err
@@ -161,7 +167,7 @@ func (s *Server) runSweep(ctx context.Context, req *SweepRequest) (*SweepRespons
 		solver, err := aved.NewSolver(inf, svc, aved.Options{
 			Registry: aved.PaperRegistry(), FixedMechanisms: aved.Bronze(),
 			Workers: workers, Engine: eng,
-			Metrics: s.metrics, Tracer: s.cfg.Tracer,
+			Metrics: s.metrics, Tracer: aved.TeeTracers(s.cfg.Tracer, ent.progressTracer()),
 		})
 		if err != nil {
 			return nil, err

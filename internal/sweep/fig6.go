@@ -79,7 +79,8 @@ func Fig6(ctx context.Context, solver *core.Solver, loads, budgetsMinutes []floa
 	}
 	cells := make([]cell, len(loads)*nb)
 	po := solverPointObs(solver, len(cells))
-	err := par.ForEachCtx(ctx, solver.Workers(), len(loads), func(li int) error {
+	pt := par.NewTiming(solver.Metrics())
+	err := par.ForEachTimedCtx(ctx, solver.Workers(), len(loads), pt, func(li int) error {
 		load := loads[li]
 		var seed *core.ComboSeed
 		fs := core.NewFrontierSet()

@@ -49,7 +49,8 @@ func Fig7(ctx context.Context, solver *core.Solver, requirementHours []float64) 
 	}
 	slots := make([]slot, len(requirementHours))
 	po := solverPointObs(solver, len(slots))
-	err := par.ForEachCtx(ctx, solver.Workers(), len(slots), func(i int) error {
+	pt := par.NewTiming(solver.Metrics())
+	err := par.ForEachTimedCtx(ctx, solver.Workers(), len(slots), pt, func(i int) error {
 		h := requirementHours[i]
 		start := po.Begin()
 		sol, err := solver.SolveContext(ctx, model.Requirements{

@@ -78,7 +78,8 @@ func Fig8(ctx context.Context, solver *core.Solver, loads, budgetsMinutes []floa
 		total = len(loads) * nb // baselines deduped: no separate solves
 	}
 	po := solverPointObs(solver, total)
-	err := par.ForEachCtx(ctx, solver.Workers(), len(loads), func(li int) error {
+	pt := par.NewTiming(solver.Metrics())
+	err := par.ForEachTimedCtx(ctx, solver.Workers(), len(loads), pt, func(li int) error {
 		load := loads[li]
 		var seed *core.ComboSeed
 		fs := core.NewFrontierSet()

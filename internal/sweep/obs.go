@@ -48,6 +48,12 @@ type Totals struct {
 
 	SimReplications uint64
 	SimBatches      uint64
+
+	// PhaseNanos sums the per-cell Stats.PhaseNanos by phase — where the
+	// sweep's solve time went. Nil when timing is off (every cell
+	// reported nil). Wall-clock, so scheduling-dependent like the raw
+	// hit/miss split; String deliberately omits it.
+	PhaseNanos map[string]int64
 }
 
 // Add folds one feasible point's solve statistics into the totals.
@@ -64,6 +70,14 @@ func (t *Totals) Add(st core.Stats) {
 	t.ModeMemoSolves += st.ModeMemoSolves
 	t.SimReplications += st.SimReplications
 	t.SimBatches += st.SimBatches
+	if len(st.PhaseNanos) > 0 {
+		if t.PhaseNanos == nil {
+			t.PhaseNanos = make(map[string]int64, len(st.PhaseNanos))
+		}
+		for phase, ns := range st.PhaseNanos {
+			t.PhaseNanos[phase] += ns
+		}
+	}
 }
 
 // String renders the totals as the CLIs' closing line — only the
@@ -130,7 +144,8 @@ func (p PointObs) Done(i int, start time.Time, ev obs.Event) {
 	if !p.on() {
 		return
 	}
-	ms := float64(time.Since(start)) / float64(time.Millisecond)
+	ns := time.Since(start).Nanoseconds()
+	ms := obs.DurMS(ns)
 	if p.reg != nil {
 		p.reg.Counter("sweep.points").Inc()
 		if ev.Err != "" {
@@ -142,6 +157,7 @@ func (p PointObs) Done(i int, start time.Time, ev obs.Event) {
 		ev.Ev = obs.EvSweepPoint
 		ev.Index = i + 1
 		ev.Total = p.total
+		ev.DurNs = ns
 		ev.MS = ms
 		p.tr.Emit(ev)
 	}

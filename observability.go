@@ -2,8 +2,13 @@ package aved
 
 import (
 	"fmt"
+	"io"
+	"net/http"
 	"os"
+	"sort"
+	"strings"
 
+	"aved/internal/core"
 	"aved/internal/obs"
 	"aved/internal/sweep"
 )
@@ -44,6 +49,11 @@ const (
 	EvTierDone    = obs.EvTierDone
 	EvCandGen     = obs.EvCandGen
 	EvCandPrune   = obs.EvCandPrune
+	EvBoundPrune  = obs.EvBoundPrune
+	EvWarmReuse   = obs.EvWarmReuse
+	// EvFrontierReuse is a whole tier frontier served from a chain's
+	// frontier set instead of rebuilt.
+	EvFrontierReuse = obs.EvFrontierReuse
 	EvEvalMiss    = obs.EvEvalMiss
 	EvEvalHit     = obs.EvEvalHit
 	EvIncumbent   = obs.EvIncumbent
@@ -52,6 +62,48 @@ const (
 	EvSimBatch    = obs.EvSimBatch
 	EvSweepPoint  = obs.EvSweepPoint
 )
+
+// PhaseNames lists the solver's timed phase names in display order —
+// the keys Stats.PhaseNanos and the solve.phase.* histograms use.
+func PhaseNames() []string { return core.PhaseNames() }
+
+// WritePhaseTable renders a PhaseNanos breakdown (Stats.PhaseNanos,
+// SweepTotals.PhaseNanos, possibly extended with caller-timed phases
+// like "bind") as an aligned milliseconds table: "bind" first, then
+// the solver's phases in display order, then anything else sorted.
+// Entries overlap — "eval" accrues inside the bracketed phases — so
+// the rows deliberately carry no total line.
+func WritePhaseTable(w io.Writer, phaseNanos map[string]int64) {
+	if len(phaseNanos) == 0 {
+		fmt.Fprintln(w, "phase timings: none recorded (timing off)")
+		return
+	}
+	order := append([]string{"bind"}, PhaseNames()...)
+	known := make(map[string]bool, len(order))
+	for _, n := range order {
+		known[n] = true
+	}
+	var extra []string
+	for n := range phaseNanos {
+		if !known[n] {
+			extra = append(extra, n)
+		}
+	}
+	sort.Strings(extra)
+	fmt.Fprintln(w, "phase timings (overlapping: eval accrues inside the bracketed phases):")
+	for _, n := range append(order, extra...) {
+		if ns, ok := phaseNanos[n]; ok {
+			fmt.Fprintf(w, "  %-12s %12.2f ms\n", n, obs.DurMS(ns))
+		}
+	}
+}
+
+// WriteMetricsHTTP serves a registry snapshot over HTTP with format
+// negotiation: Prometheus text exposition for ?format=prom or an
+// Accept header preferring text/plain, the JSON snapshot otherwise.
+func WriteMetricsHTTP(w http.ResponseWriter, r *http.Request, reg *Metrics) {
+	obs.WriteMetricsHTTP(w, r, reg)
+}
 
 // NewMetrics builds an empty metrics registry.
 func NewMetrics() *Metrics { return obs.NewRegistry() }
@@ -105,8 +157,9 @@ type ObsSetup struct {
 }
 
 // NewObsSetup opens the requested observability outputs: tracePath
-// (JSONL trace file), metricsPath (metrics JSON snapshot written on
-// Close) and debugAddr (HTTP listener). Empty strings disable each.
+// (JSONL trace file), metricsPath (metrics snapshot written on Close —
+// Prometheus text when the path ends in .prom, JSON otherwise) and
+// debugAddr (HTTP listener). Empty strings disable each.
 func NewObsSetup(tracePath, metricsPath, debugAddr string) (*ObsSetup, error) {
 	s := &ObsSetup{metricsPath: metricsPath}
 	if tracePath != "" {
@@ -150,7 +203,14 @@ func (s *ObsSetup) Close() error {
 	if s.metricsPath != "" && s.Metrics != nil {
 		f, err := os.Create(s.metricsPath)
 		if err == nil {
-			err = s.Metrics.WriteJSON(f)
+			// A .prom path selects the Prometheus text exposition — the
+			// format node_exporter's textfile collector ingests — JSON
+			// otherwise.
+			if strings.HasSuffix(s.metricsPath, ".prom") {
+				err = s.Metrics.WritePrometheus(f)
+			} else {
+				err = s.Metrics.WriteJSON(f)
+			}
 			if cerr := f.Close(); err == nil {
 				err = cerr
 			}
