@@ -6,8 +6,13 @@
 //
 //	aved -infra infra.spec -service service.spec -load 1000 -downtime 100m
 //	aved -infra infra.spec -service scientific.spec -jobtime 50h -bronze
+//	aved -infra infra.spec -service service.spec   # requirements clause in the spec
 //	aved -paper apptier -load 1000 -downtime 100m
 //	aved -paper scientific -jobtime 50h -bronze -json
+//
+// When no requirement flags are given the service spec's own
+// requirements clause is used, which is the only way to express
+// traffic(hour)= curves and degraded_throughput= SLOs on the CLI.
 //
 // The -paper flag substitutes the built-in Fig. 3/4/5 inputs:
 // "apptier" (§5.1), "ecommerce" (Fig. 4) or "scientific" (Fig. 5).
@@ -136,7 +141,7 @@ func run(args []string, out io.Writer) (retErr error) {
 	}
 	bindNs += time.Since(bindStart).Nanoseconds()
 
-	req, err := buildRequirements(*load, *downtime, *jobTime)
+	req, err := buildRequirements(svc, *load, *downtime, *jobTime)
 	if err != nil {
 		return err
 	}
@@ -224,7 +229,11 @@ func buildEngine(name string, seed int64, years float64, reps, workers int, relE
 	}
 }
 
-func buildRequirements(load float64, downtime, jobTime string) (aved.Requirements, error) {
+// buildRequirements resolves the requirement flags; when none are
+// given it falls back to the service spec's own requirements clause
+// (traffic curves, degraded-throughput SLOs and job deadlines all
+// survive that path — flags can only express the scalar forms).
+func buildRequirements(svc *aved.Service, load float64, downtime, jobTime string) (aved.Requirements, error) {
 	switch {
 	case jobTime != "":
 		d, err := aved.ParseDuration(jobTime)
@@ -242,7 +251,10 @@ func buildRequirements(load float64, downtime, jobTime string) (aved.Requirement
 		}
 		return aved.Requirements{Kind: aved.ReqEnterprise, Throughput: load, MaxAnnualDowntime: d}, nil
 	default:
-		return aved.Requirements{}, errors.New("need -downtime (with -load) or -jobtime")
+		if svc != nil && svc.Reqs != nil {
+			return *svc.Reqs, nil
+		}
+		return aved.Requirements{}, errors.New("need -downtime (with -load) or -jobtime, or a requirements clause in the service spec")
 	}
 }
 

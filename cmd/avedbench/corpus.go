@@ -1,0 +1,129 @@
+package main
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"time"
+
+	"aved/internal/core"
+	"aved/internal/scenarios"
+)
+
+// corpus.go is the -mode corpus suite behind results/BENCH_corpus.json:
+// the scenario corpus engine's solve-effort record. Every generated
+// scenario of every workload family solves twice on fresh sequential
+// solvers — branch-and-bound and the exhaustive reference walk — and
+// the run fails on any feasibility or solution divergence between the
+// two; only then are the per-family records (solve times, evaluation
+// and cache counters, bound payoff) comparable across revisions. The
+// corpus seed is fixed, so the record is a deterministic function of
+// the code and the -corpus-per-family size.
+
+const corpusSeed = 1
+
+// corpusFamilyRecord aggregates one workload family's solves.
+type corpusFamilyRecord struct {
+	Family    string `json:"family"`
+	Scenarios int    `json:"scenarios"`
+	Feasible  int    `json:"feasible"`
+	// Solve wall time per mode, total and mean across the family's
+	// scenarios (feasible and infeasible alike — proving infeasibility
+	// is solver work too).
+	BnBSolveNsTotal        int64 `json:"bnb_solve_ns_total"`
+	BnBSolveNsMean         int64 `json:"bnb_solve_ns_mean"`
+	ExhaustiveSolveNsTotal int64 `json:"exhaustive_solve_ns_total"`
+	ExhaustiveSolveNsMean  int64 `json:"exhaustive_solve_ns_mean"`
+	// Engine-evaluation and pruning counters summed over the family.
+	BnBEvaluations        int64 `json:"bnb_evaluations"`
+	BnBCacheHits          int64 `json:"bnb_cache_hits"`
+	BnBBoundPruned        int64 `json:"bnb_bound_pruned"`
+	ExhaustiveEvaluations int64 `json:"exhaustive_evaluations"`
+	// EvalRatio is exhaustive over branch-and-bound evaluations — the
+	// bound payoff on this family's workload shape.
+	EvalRatio float64 `json:"eval_ratio"`
+}
+
+type corpusReport struct {
+	hostInfo
+	Seed      int64                `json:"seed"`
+	PerFamily int                  `json:"per_family"`
+	Families  []corpusFamilyRecord `json:"families"`
+}
+
+func runCorpus(outPath string, perFamily int) error {
+	corpus, err := scenarios.GenCorpus(scenarios.CorpusConfig{Seed: corpusSeed, PerFamily: perFamily})
+	if err != nil {
+		return err
+	}
+	rep := corpusReport{hostInfo: stampHost(), Seed: corpusSeed, PerFamily: perFamily}
+	byFam := map[scenarios.Family]*corpusFamilyRecord{}
+	for _, fam := range scenarios.Families {
+		byFam[fam] = &corpusFamilyRecord{Family: fam.String()}
+	}
+	solveMode := func(sc *scenarios.CorpusScenario, mode core.SearchMode) (*core.Solution, time.Duration, error) {
+		s, err := core.NewSolver(sc.Inf, sc.Svc, core.Options{
+			Registry: sc.Registry, Workers: 1, Search: mode,
+		})
+		if err != nil {
+			return nil, 0, err
+		}
+		start := time.Now()
+		sol, err := s.Solve(sc.Req)
+		elapsed := time.Since(start)
+		if err != nil {
+			var inf *core.InfeasibleError
+			if errors.As(err, &inf) {
+				return nil, elapsed, nil
+			}
+			return nil, elapsed, err
+		}
+		return sol, elapsed, nil
+	}
+	for _, sc := range corpus {
+		r := byFam[sc.Family]
+		r.Scenarios++
+		bnb, bnbT, err := solveMode(sc, core.SearchBnB)
+		if err != nil {
+			return fmt.Errorf("%s bnb: %w", sc.Name, err)
+		}
+		ex, exT, err := solveMode(sc, core.SearchExhaustive)
+		if err != nil {
+			return fmt.Errorf("%s exhaustive: %w", sc.Name, err)
+		}
+		if (bnb == nil) != (ex == nil) {
+			return fmt.Errorf("%s: feasibility diverges between bnb and exhaustive", sc.Name)
+		}
+		r.BnBSolveNsTotal += bnbT.Nanoseconds()
+		r.ExhaustiveSolveNsTotal += exT.Nanoseconds()
+		if bnb == nil {
+			continue
+		}
+		if bnb.Cost != ex.Cost || bnb.DowntimeMinutes != ex.DowntimeMinutes ||
+			bnb.JobTime != ex.JobTime || bnb.Design.Label() != ex.Design.Label() {
+			return fmt.Errorf("%s: branch-and-bound disagrees with the exhaustive walk: %v %s vs %v %s",
+				sc.Name, bnb.Cost, bnb.Design.Label(), ex.Cost, ex.Design.Label())
+		}
+		r.Feasible++
+		r.BnBEvaluations += int64(bnb.Stats.Evaluations)
+		r.BnBCacheHits += int64(bnb.Stats.EvalCacheHits)
+		r.BnBBoundPruned += int64(bnb.Stats.BoundPruned)
+		r.ExhaustiveEvaluations += int64(ex.Stats.Evaluations)
+	}
+	for _, fam := range scenarios.Families {
+		r := byFam[fam]
+		if r.Scenarios > 0 {
+			r.BnBSolveNsMean = r.BnBSolveNsTotal / int64(r.Scenarios)
+			r.ExhaustiveSolveNsMean = r.ExhaustiveSolveNsTotal / int64(r.Scenarios)
+		}
+		if r.BnBEvaluations > 0 {
+			r.EvalRatio = float64(r.ExhaustiveEvaluations) / float64(r.BnBEvaluations)
+		}
+		rep.Families = append(rep.Families, *r)
+		fmt.Fprintf(os.Stderr, "%-8s %3d scenarios (%3d feasible)  bnb %8.2fms %6d evals  exhaustive %8.2fms %6d evals  ratio %.1fx\n",
+			r.Family, r.Scenarios, r.Feasible,
+			float64(r.BnBSolveNsTotal)/1e6, r.BnBEvaluations,
+			float64(r.ExhaustiveSolveNsTotal)/1e6, r.ExhaustiveEvaluations, r.EvalRatio)
+	}
+	return writeReport(outPath, &rep)
+}

@@ -28,6 +28,12 @@
 // against per-cell cold solves of the same Fig 6 and Fig 8 grids,
 // behind results/BENCH_sweep.json.
 //
+// The -mode corpus suite (corpus.go) records per-family solve times and
+// search effort over the scenario corpus engine's generated workloads
+// (web, batch, telco, storage), failing on any bnb-vs-exhaustive
+// divergence, behind results/BENCH_corpus.json. -corpus-per-family
+// sizes it.
+//
 // Usage:
 //
 //	avedbench                   # JSON to stdout
@@ -36,6 +42,7 @@
 //	avedbench -mode bnb -o results/BENCH_bnb.json
 //	avedbench -mode batch -o results/BENCH_batch.json
 //	avedbench -mode sweep -o results/BENCH_sweep.json
+//	avedbench -mode corpus -o results/BENCH_corpus.json
 package main
 
 import (
@@ -101,7 +108,8 @@ func newEvalCounters(engineEvals, hits, solves uint64) *evalCounters {
 
 func main() {
 	out := flag.String("o", "", "write JSON here instead of stdout")
-	mode := flag.String("mode", "parallel", "benchmark suite: parallel (results/BENCH_parallel.json), sim (results/BENCH_sim.json), bnb (results/BENCH_bnb.json), batch (results/BENCH_batch.json) or sweep (results/BENCH_sweep.json)")
+	mode := flag.String("mode", "parallel", "benchmark suite: parallel (results/BENCH_parallel.json), sim (results/BENCH_sim.json), bnb (results/BENCH_bnb.json), batch (results/BENCH_batch.json), sweep (results/BENCH_sweep.json) or corpus (results/BENCH_corpus.json)")
+	corpusPerFamily := flag.Int("corpus-per-family", 25, "scenarios per workload family for -mode corpus")
 	flag.Parse()
 	// Benchmark at full parallelism even when the environment pinned
 	// GOMAXPROCS down (the bug behind a recorded gomaxprocs of 1).
@@ -120,8 +128,10 @@ func main() {
 		err = runBatch(*out)
 	case "sweep":
 		err = runSweep(*out)
+	case "corpus":
+		err = runCorpus(*out, *corpusPerFamily)
 	default:
-		err = fmt.Errorf("unknown -mode %q (want parallel, sim, bnb, batch or sweep)", *mode)
+		err = fmt.Errorf("unknown -mode %q (want parallel, sim, bnb, batch, sweep or corpus)", *mode)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "avedbench:", err)

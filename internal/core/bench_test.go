@@ -146,7 +146,7 @@ func BenchmarkTierFrontier(b *testing.B) {
 				b.Fatal(err)
 			}
 			var stats searchStats
-			f, err := s.tierFrontier(context.Background(), &s.svc.Tiers[0], 1000, math.Inf(1), &stats)
+			f, err := s.tierFrontier(context.Background(), &s.svc.Tiers[0], tierLoad{full: 1000, degraded: 1000}, math.Inf(1), &stats)
 			if err != nil {
 				b.Fatal(err)
 			}

@@ -21,6 +21,7 @@ import (
 // identical to the sequential order.
 func (s *Solver) solveEnterprise(ctx context.Context, req model.Requirements, cfg cellConfig) (*Solution, error) {
 	budget := req.MaxAnnualDowntime.Minutes()
+	load := loadOf(req)
 	var stats searchStats
 	stats.gen = s.gen.Add(1)
 	tr := s.opts.Tracer
@@ -51,7 +52,7 @@ func (s *Solver) solveEnterprise(ctx context.Context, req model.Requirements, cf
 		if tr != nil {
 			start = time.Now()
 		}
-		cand, cert, err := s.searchTier(ctx, &s.svc.Tiers[i], req.Throughput, budget, &stats)
+		cand, cert, err := s.searchTier(ctx, &s.svc.Tiers[i], load, budget, &stats)
 		if err != nil {
 			return err
 		}
@@ -73,7 +74,7 @@ func (s *Solver) solveEnterprise(ctx context.Context, req model.Requirements, cf
 		if perTier[i] == nil {
 			return nil, &InfeasibleError{Reason: fmt.Sprintf(
 				"tier %q cannot meet %v annual downtime at load %v in isolation",
-				s.svc.Tiers[i].Name, req.MaxAnnualDowntime, req.Throughput)}
+				s.svc.Tiers[i].Name, req.MaxAnnualDowntime, load.full)}
 		}
 	}
 	if combinedDowntime(perTier) <= budget || len(perTier) == 1 {
@@ -137,9 +138,9 @@ func (s *Solver) solveEnterprise(ctx context.Context, req model.Requirements, cf
 			var f []TierCandidate
 			var err error
 			if cfg.frontiers != nil {
-				f, err = s.cachedTierFrontier(ctx, cfg.frontiers, &s.svc.Tiers[i], req.Throughput, maxCost, &stats)
+				f, err = s.cachedTierFrontier(ctx, cfg.frontiers, &s.svc.Tiers[i], load, maxCost, &stats)
 			} else {
-				f, err = s.tierFrontier(ctx, &s.svc.Tiers[i], req.Throughput, maxCost, &stats)
+				f, err = s.tierFrontier(ctx, &s.svc.Tiers[i], load, maxCost, &stats)
 			}
 			if err != nil {
 				return err
@@ -186,7 +187,7 @@ func (s *Solver) solveEnterprise(ctx context.Context, req model.Requirements, cf
 			}
 		}
 		return nil, &InfeasibleError{Reason: fmt.Sprintf(
-			"no tier combination meets %v annual downtime at load %v", req.MaxAnnualDowntime, req.Throughput)}
+			"no tier combination meets %v annual downtime at load %v", req.MaxAnnualDowntime, req.PeakLoad())}
 	}
 	return s.finishEnterprise(ctx, chosen, &stats)
 }
@@ -251,7 +252,7 @@ func (s *Solver) combineBounds(ctx context.Context, req model.Requirements, cfg 
 			if pinned[i] {
 				return nil
 			}
-			cand, _, err := s.searchTier(ctx, &s.svc.Tiers[i], req.Throughput, cur[i].DowntimeMinutes*scale, stats)
+			cand, _, err := s.searchTier(ctx, &s.svc.Tiers[i], loadOf(req), cur[i].DowntimeMinutes*scale, stats)
 			if err != nil {
 				return err
 			}

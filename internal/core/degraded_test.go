@@ -1,0 +1,107 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"aved/internal/model"
+	"aved/internal/scenarios"
+	"aved/internal/units"
+)
+
+// The failover latency-degradation SLO (Requirements.DegradedThroughput)
+// relaxes the up-threshold M for dynamically sized, resource-scoped
+// tiers: the tier counts as up while it still sustains the degraded
+// load. These tests pin the three contract points: the SLO only ever
+// lowers M (never the sizing minimum), a unity SLO is bit-identical to
+// no SLO at all, and a constant traffic curve is bit-identical to the
+// legacy scalar throughput — stats included.
+
+func solveApptier(t *testing.T, req model.Requirements) *Solution {
+	t.Helper()
+	inf, err := scenarios.Infrastructure()
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc, err := scenarios.ApplicationTier(inf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewSolver(inf, svc, Options{Registry: scenarios.Registry(), Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, err := s.Solve(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sol
+}
+
+func TestDegradedSLOLowersMinActive(t *testing.T) {
+	base := model.Requirements{
+		Kind:              model.ReqEnterprise,
+		Throughput:        1000,
+		MaxAnnualDowntime: 100 * units.Minute,
+	}
+	full := solveApptier(t, base)
+
+	slo := base
+	slo.DegradedThroughput = 0.5
+	degraded := solveApptier(t, slo)
+
+	ft, dt := full.Design.Tiers[0], degraded.Design.Tiers[0]
+	if dt.NMinPerf != ft.NMinPerf {
+		t.Errorf("sizing minimum moved under the SLO: %d vs %d — the SLO must only shape M", dt.NMinPerf, ft.NMinPerf)
+	}
+	if dt.MinActive > ft.MinActive {
+		t.Errorf("degraded SLO raised MinActive: %d > %d", dt.MinActive, ft.MinActive)
+	}
+	if dt.MinActive >= dt.NActive && dt.Option.Sizing == model.SizingDynamic && dt.Option.FailureScope == model.ScopeResource {
+		// With half the load tolerated during failover, the optimum for a
+		// dynamic resource-scoped tier must run with headroom below its
+		// active count.
+		t.Errorf("degraded SLO did not relax the up-threshold: M=%d N=%d", dt.MinActive, dt.NActive)
+	}
+	if degraded.Cost > full.Cost {
+		t.Errorf("relaxing the failover bar raised the optimal cost: %v > %v", degraded.Cost, full.Cost)
+	}
+}
+
+func TestDegradedSLOUnityBitIdentical(t *testing.T) {
+	base := model.Requirements{
+		Kind:              model.ReqEnterprise,
+		Throughput:        1000,
+		MaxAnnualDowntime: 100 * units.Minute,
+	}
+	unity := base
+	unity.DegradedThroughput = 1.0
+	a, b := solveApptier(t, base), solveApptier(t, unity)
+	if a.Cost != b.Cost || a.DowntimeMinutes != b.DowntimeMinutes || a.Design.Label() != b.Design.Label() {
+		t.Errorf("unity SLO diverged from no SLO: %v %s vs %v %s", a.Cost, a.Design.Label(), b.Cost, b.Design.Label())
+	}
+	if !reflect.DeepEqual(a.Stats, b.Stats) {
+		t.Errorf("unity SLO changed search effort:\n  none  %+v\n  unity %+v", a.Stats, b.Stats)
+	}
+}
+
+func TestConstantTrafficBitIdentical(t *testing.T) {
+	scalar := model.Requirements{
+		Kind:              model.ReqEnterprise,
+		Throughput:        1000,
+		MaxAnnualDowntime: 100 * units.Minute,
+	}
+	curve := model.Requirements{
+		Kind:              model.ReqEnterprise,
+		Traffic:           []float64{1000, 1000, 1000, 1000},
+		MaxAnnualDowntime: 100 * units.Minute,
+	}
+	a, b := solveApptier(t, scalar), solveApptier(t, curve)
+	if a.Cost != b.Cost || a.DowntimeMinutes != b.DowntimeMinutes || a.Design.Label() != b.Design.Label() {
+		t.Errorf("constant curve diverged from scalar throughput: %v %s vs %v %s",
+			a.Cost, a.Design.Label(), b.Cost, b.Design.Label())
+	}
+	if !reflect.DeepEqual(a.Stats, b.Stats) {
+		t.Errorf("constant curve changed search effort:\n  scalar %+v\n  curve  %+v", a.Stats, b.Stats)
+	}
+}

@@ -71,7 +71,7 @@ func collectScenarioDesigns(t *testing.T) ([]model.TierDesign, []candFP) {
 		for ti := range svc.Tiers {
 			tier := &svc.Tiers[ti]
 			for oi := range tier.Options {
-				o, ok, err := s.newOptionSearch(tier, &tier.Options[oi], 900)
+				o, ok, err := s.newOptionSearch(tier, &tier.Options[oi], tierLoad{full: 900, degraded: 900})
 				if err != nil {
 					t.Fatal(err)
 				}

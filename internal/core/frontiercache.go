@@ -104,7 +104,7 @@ type frontierDelta struct {
 // (MaxRedundancy, ExploreSpareWarmth, FixedMechanisms, the engine) are
 // fixed per Solver and a set never outlives its solver, so they need no
 // key bits.
-func (s *Solver) frontierKey(tier *model.Tier, throughput float64) (fp128, error) {
+func (s *Solver) frontierKey(tier *model.Tier, load tierLoad) (fp128, error) {
 	f := fp128{hi: fnvOffset64, lo: saltEntry}.mixString(tier.Name)
 	for i := range tier.Options {
 		opt := &tier.Options[i]
@@ -117,19 +117,28 @@ func (s *Solver) frontierKey(tier *model.Tier, throughput float64) (fp128, error
 		if err != nil {
 			return fp128{}, err
 		}
-		n, ok := perf.MinActive(curve, throughput, opt.NActive)
+		n, ok := perf.MinActive(curve, load.full, opt.NActive)
 		if ok {
 			if maxTotal := rt.MaxInstances(); maxTotal > 0 && n > maxTotal {
 				ok = false
 			}
 		}
 		// 0 encodes "option ruled out", n+1 a feasible minimum — the same
-		// split newOptionSearch applies, so two throughputs share a key
-		// exactly when every option enumerates the same candidate space.
+		// split newOptionSearch applies, so two loads share a key exactly
+		// when every option enumerates the same candidate space. The
+		// degraded minimum shapes each candidate's up-threshold M, so it
+		// is part of the space and gets its own key bits.
 		if !ok {
 			f = f.mixUint(0)
 		} else {
 			f = f.mixUint(uint64(n) + 1)
+			nd := n
+			if load.degraded < load.full {
+				if m, mok := perf.MinActive(curve, load.degraded, opt.NActive); mok && m < n {
+					nd = m
+				}
+			}
+			f = f.mixUint(uint64(nd) + 1)
 		}
 	}
 	return f, nil
@@ -140,8 +149,8 @@ func (s *Solver) frontierKey(tier *model.Tier, throughput float64) (fp128, error
 // request, otherwise build at maxCost and cache. The returned slice may
 // share the cached backing array and must be treated read-only — the
 // combiners only read.
-func (s *Solver) cachedTierFrontier(ctx context.Context, set *FrontierSet, tier *model.Tier, throughput, maxCost float64, stats *searchStats) ([]TierCandidate, error) {
-	key, err := s.frontierKey(tier, throughput)
+func (s *Solver) cachedTierFrontier(ctx context.Context, set *FrontierSet, tier *model.Tier, load tierLoad, maxCost float64, stats *searchStats) ([]TierCandidate, error) {
+	key, err := s.frontierKey(tier, load)
 	if err != nil {
 		return nil, err
 	}
@@ -171,7 +180,7 @@ func (s *Solver) cachedTierFrontier(ctx context.Context, set *FrontierSet, tier 
 	// collection is already off by the frontier phase (finishBounds), so
 	// none is configured.
 	bs := searchStats{gen: stats.gen}
-	points, err := s.tierFrontier(ctx, tier, throughput, maxCost, &bs)
+	points, err := s.tierFrontier(ctx, tier, load, maxCost, &bs)
 	if err != nil {
 		return nil, err
 	}

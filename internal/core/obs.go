@@ -85,7 +85,7 @@ func (s *Solver) beginSolve(req model.Requirements) solveObs {
 			Ev:      obs.EvSearchStart,
 			Service: s.svc.Name,
 			Kind:    so.kind,
-			Load:    so.req.Throughput,
+			Load:    so.req.PeakLoad(),
 			Budget:  so.req.MaxAnnualDowntime.Minutes(),
 			ReqH:    so.req.MaxJobTime.Hours(),
 		})
@@ -116,7 +116,7 @@ func (s *Solver) endSolve(so solveObs, sol *Solution, err error) (*Solution, err
 				Ev:      obs.EvSearchError,
 				Service: s.svc.Name,
 				Kind:    so.kind,
-				Load:    so.req.Throughput,
+				Load:    so.req.PeakLoad(),
 				DurNs:   ns,
 				MS:      ms,
 				Err:     err.Error(),
@@ -150,7 +150,7 @@ func (s *Solver) endSolve(so solveObs, sol *Solution, err error) (*Solution, err
 			Ev:            obs.EvSearchEnd,
 			Service:       s.svc.Name,
 			Kind:          so.kind,
-			Load:          so.req.Throughput,
+			Load:          so.req.PeakLoad(),
 			Cost:          float64(sol.Cost),
 			Down:          sol.DowntimeMinutes,
 			JobH:          sol.JobTime.Hours(),

@@ -156,14 +156,33 @@ func (s *Solver) evalTierMiss(ctx context.Context, td *model.TierDesign, modeFP 
 	return evalEntry{downtimeMinutes: res.DowntimeMinutes, sysMTBF: sysMTBF}, nil
 }
 
+// tierLoad carries the two loads a tier is planned against: full is
+// the sizing load (the traffic curve's peak, or the scalar
+// throughput), degraded is the load the tier must still sustain while
+// a failure is being masked (the failover latency-degradation SLO;
+// equal to full when no degradation is tolerated).
+type tierLoad struct {
+	full     float64
+	degraded float64
+}
+
+// loadOf derives the tier load pair from the service requirements.
+func loadOf(req model.Requirements) tierLoad {
+	return tierLoad{full: req.PeakLoad(), degraded: req.DegradedLoad()}
+}
+
 // minActiveFor reports the §4.2 minimum-actives parameter m: the
 // performance minimum for dynamically sized, resource-scoped tiers and
-// the full active count otherwise.
-func minActiveFor(opt *model.ResourceOption, nActive, nMinPerf int) int {
+// the full active count otherwise. For the dynamic case the caller
+// passes the DEGRADED performance minimum — the instances that must
+// survive for the tier to count as up while a failure is masked —
+// which equals the full-load minimum unless a degraded-throughput SLO
+// relaxes it.
+func minActiveFor(opt *model.ResourceOption, nActive, nMinDegraded int) int {
 	if opt.Sizing == model.SizingStatic || opt.FailureScope == model.ScopeTier {
 		return nActive
 	}
-	return nMinPerf
+	return nMinDegraded
 }
 
 // optionSearch walks one resource option's design dimensions in the
@@ -179,8 +198,13 @@ type optionSearch struct {
 	tier     *model.Tier
 	opt      *model.ResourceOption
 	nMinPerf int
-	maxTotal int // component-level instance cap; 0 means unlimited
-	combos   [][]model.MechSetting
+	// nMinDegraded is the performance minimum against the degraded
+	// (failover) load: the up-threshold M for dynamically sized,
+	// resource-scoped designs. Equal to nMinPerf unless the
+	// requirements carry a degraded-throughput SLO.
+	nMinDegraded int
+	maxTotal     int // component-level instance cap; 0 means unlimited
+	combos       [][]model.MechSetting
 
 	// Fingerprint invariants hoisted out of the per-candidate loop: the
 	// (tier, resource) base and each combo's relevant-settings hash.
@@ -233,14 +257,23 @@ var warmZeroLevels = []int{0}
 // newOptionSearch prepares the enumeration for one resource option,
 // reporting ok=false when the option cannot meet the throughput at any
 // allowed size.
-func (s *Solver) newOptionSearch(tier *model.Tier, opt *model.ResourceOption, throughput float64) (*optionSearch, bool, error) {
+func (s *Solver) newOptionSearch(tier *model.Tier, opt *model.ResourceOption, load tierLoad) (*optionSearch, bool, error) {
 	curve, err := s.curveFor(opt)
 	if err != nil {
 		return nil, false, err
 	}
-	nMinPerf, ok := perf.MinActive(curve, throughput, opt.NActive)
+	nMinPerf, ok := perf.MinActive(curve, load.full, opt.NActive)
 	if !ok {
 		return nil, false, nil
+	}
+	nMinDegraded := nMinPerf
+	if load.degraded < load.full {
+		// The in-order grid scan stops no later for a weaker bar, so
+		// nMinDegraded ≤ nMinPerf; the ok fallback guards non-monotone
+		// curves only.
+		if n, ok := perf.MinActive(curve, load.degraded, opt.NActive); ok && n < nMinPerf {
+			nMinDegraded = n
+		}
 	}
 	maxTotal := opt.ResourceType().MaxInstances()
 	if maxTotal > 0 && nMinPerf > maxTotal {
@@ -320,6 +353,7 @@ func (s *Solver) newOptionSearch(tier *model.Tier, opt *model.ResourceOption, th
 		tier:           tier,
 		opt:            opt,
 		nMinPerf:       nMinPerf,
+		nMinDegraded:   nMinDegraded,
 		maxTotal:       maxTotal,
 		combos:         combos,
 		base:           s.baseFPFor(tier.Name, rt.Name),
@@ -358,7 +392,7 @@ func (o *optionSearch) candidates(total int, yield func(td model.TierDesign, fps
 			continue
 		}
 		nSpare := total - nActive
-		minActive := minActiveFor(o.opt, nActive, o.nMinPerf)
+		minActive := minActiveFor(o.opt, nActive, o.nMinDegraded)
 		warms := warmZeroLevels
 		if nSpare > 0 {
 			warms = o.warmSpare
@@ -417,11 +451,11 @@ func (o *optionSearch) candidates(total int, yield func(td model.TierDesign, fps
 // certificates against the tier's final optimum to certify it as a true
 // cost lower bound over the tier's entire candidate space — what the
 // combination bounds in solveEnterprise rely on.
-func (s *Solver) searchOption(ctx context.Context, tier *model.Tier, opt *model.ResourceOption, throughput, budgetMinutes float64,
+func (s *Solver) searchOption(ctx context.Context, tier *model.Tier, opt *model.ResourceOption, load tierLoad, budgetMinutes float64,
 	incumbent *TierCandidate, stats *searchStats) (*TierCandidate, float64, error) {
 
 	tail := math.Inf(1)
-	o, ok, err := s.newOptionSearch(tier, opt, throughput)
+	o, ok, err := s.newOptionSearch(tier, opt, load)
 	if err != nil || !ok {
 		return nil, tail, err
 	}
@@ -611,11 +645,11 @@ func (s *Solver) searchOption(ctx context.Context, tier *model.Tier, opt *model.
 // visited sizes need no certificate: evaluated ones competed for the
 // incumbency directly and pruned ones were dearer than an incumbent the
 // final optimum only improved on.
-func (s *Solver) searchTier(ctx context.Context, tier *model.Tier, throughput, budgetMinutes float64, stats *searchStats) (*TierCandidate, bool, error) {
+func (s *Solver) searchTier(ctx context.Context, tier *model.Tier, load tierLoad, budgetMinutes float64, stats *searchStats) (*TierCandidate, bool, error) {
 	var best *TierCandidate
 	tails := make([]float64, len(tier.Options))
 	for i := range tier.Options {
-		cand, tail, err := s.searchOption(ctx, tier, &tier.Options[i], throughput, budgetMinutes, best, stats)
+		cand, tail, err := s.searchOption(ctx, tier, &tier.Options[i], load, budgetMinutes, best, stats)
 		if err != nil {
 			return nil, false, err
 		}
@@ -686,8 +720,8 @@ type sizeBatch struct {
 // dearer-than-threshold candidate can never change which ≤-threshold
 // points survive Pareto reduction — so the reduced frontier is exactly
 // the ≤ maxCost prefix of the unbounded one (see tierFrontier).
-func (s *Solver) optionFrontier(ctx context.Context, tier *model.Tier, opt *model.ResourceOption, throughput, maxCost float64, stats *searchStats) ([]TierCandidate, error) {
-	o, ok, err := s.newOptionSearch(tier, opt, throughput)
+func (s *Solver) optionFrontier(ctx context.Context, tier *model.Tier, opt *model.ResourceOption, load tierLoad, maxCost float64, stats *searchStats) ([]TierCandidate, error) {
+	o, ok, err := s.newOptionSearch(tier, opt, load)
 	if err != nil || !ok {
 		return nil, err
 	}
@@ -846,10 +880,10 @@ func (s *Solver) optionFrontier(ctx context.Context, tier *model.Tier, opt *mode
 // solve's upper bound. The truncated frontier is exactly the ≤ maxCost
 // prefix of the untruncated one, which is what the combiner's
 // post-combination validity check relies on (see solveEnterprise).
-func (s *Solver) tierFrontier(ctx context.Context, tier *model.Tier, throughput, maxCost float64, stats *searchStats) ([]TierCandidate, error) {
+func (s *Solver) tierFrontier(ctx context.Context, tier *model.Tier, load tierLoad, maxCost float64, stats *searchStats) ([]TierCandidate, error) {
 	fronts := make([][]TierCandidate, len(tier.Options))
 	err := par.ForEachTimedCtx(ctx, s.opts.Workers, len(tier.Options), s.parT, func(i int) error {
-		f, err := s.optionFrontier(ctx, tier, &tier.Options[i], throughput, maxCost, stats)
+		f, err := s.optionFrontier(ctx, tier, &tier.Options[i], load, maxCost, stats)
 		if err != nil {
 			return err
 		}

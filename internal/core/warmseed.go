@@ -105,7 +105,7 @@ func (s *Solver) seedUB(ctx context.Context, req model.Requirements, cfg cellCon
 		if opt == nil {
 			return 0, false, nil
 		}
-		o, ok, err := s.newOptionSearch(tier, opt, req.Throughput)
+		o, ok, err := s.newOptionSearch(tier, opt, loadOf(req))
 		if err != nil || !ok {
 			return 0, false, err
 		}
@@ -129,7 +129,7 @@ func (s *Solver) seedUB(ctx context.Context, req model.Requirements, cfg cellCon
 		if ci < 0 {
 			return 0, false, nil
 		}
-		minActive := minActiveFor(opt, sc.nActive, o.nMinPerf)
+		minActive := minActiveFor(opt, sc.nActive, o.nMinDegraded)
 		td := model.TierDesign{
 			TierName:   tier.Name,
 			Option:     opt,

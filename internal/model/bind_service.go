@@ -48,6 +48,8 @@ func (b *serviceBinder) clause(c *spec.Clause) error {
 		return b.resourceOption(c)
 	case "mechanism":
 		return b.mechanismUse(c)
+	case "requirements":
+		return b.requirements(c)
 	default:
 		return fmt.Errorf("spec:%s: clause %q does not belong in a service model", c.Pos, c.Key)
 	}
@@ -163,6 +165,90 @@ func (b *serviceBinder) resourceOption(c *spec.Clause) error {
 	}
 	b.curTier.Options = append(b.curTier.Options, opt)
 	b.curOpt = &b.curTier.Options[len(b.curTier.Options)-1]
+	return nil
+}
+
+func (b *serviceBinder) requirements(c *spec.Clause) error {
+	if b.svc == nil {
+		return fmt.Errorf("spec:%s: requirements clause before application clause", c.Pos)
+	}
+	if b.svc.Reqs != nil {
+		return fmt.Errorf("spec:%s: duplicate requirements clause", c.Pos)
+	}
+	req := &Requirements{}
+	switch c.Name {
+	case "enterprise":
+		req.Kind = ReqEnterprise
+	case "job":
+		req.Kind = ReqJob
+	default:
+		return fmt.Errorf("spec:%s: requirements must be enterprise or job, got %q", c.Pos, c.Name)
+	}
+	for _, a := range c.Attrs {
+		switch a.Key {
+		case "throughput":
+			if req.Kind != ReqEnterprise {
+				return fmt.Errorf("spec:%s: throughput only applies to enterprise requirements", a.Pos)
+			}
+			v, err := strconv.ParseFloat(a.Value.Text, 64)
+			if err != nil {
+				return fmt.Errorf("spec:%s: requirements throughput: want a number, got %q", a.Pos, a.Value.Text)
+			}
+			req.Throughput = v
+		case "traffic":
+			if req.Kind != ReqEnterprise {
+				return fmt.Errorf("spec:%s: traffic only applies to enterprise requirements", a.Pos)
+			}
+			if len(a.Args) != 1 || a.Args[0] != "hour" {
+				return fmt.Errorf("spec:%s: requirements traffic: argument must be hour", a.Pos)
+			}
+			items := a.Value.Items()
+			if len(items) == 0 {
+				return fmt.Errorf("spec:%s: requirements traffic: empty curve", a.Pos)
+			}
+			req.Traffic = make([]float64, 0, len(items))
+			for _, it := range items {
+				v, err := strconv.ParseFloat(it, 64)
+				if err != nil {
+					return fmt.Errorf("spec:%s: requirements traffic: want numbers, got %q", a.Pos, it)
+				}
+				req.Traffic = append(req.Traffic, v)
+			}
+		case "max_annual_downtime":
+			if req.Kind != ReqEnterprise {
+				return fmt.Errorf("spec:%s: max_annual_downtime only applies to enterprise requirements", a.Pos)
+			}
+			d, err := units.ParseDuration(a.Value.Text)
+			if err != nil {
+				return fmt.Errorf("spec:%s: requirements max_annual_downtime: %w", a.Pos, err)
+			}
+			req.MaxAnnualDowntime = d
+		case "degraded_throughput":
+			if req.Kind != ReqEnterprise {
+				return fmt.Errorf("spec:%s: degraded_throughput only applies to enterprise requirements", a.Pos)
+			}
+			v, err := strconv.ParseFloat(a.Value.Text, 64)
+			if err != nil {
+				return fmt.Errorf("spec:%s: requirements degraded_throughput: want a number, got %q", a.Pos, a.Value.Text)
+			}
+			req.DegradedThroughput = v
+		case "max_job_time":
+			if req.Kind != ReqJob {
+				return fmt.Errorf("spec:%s: max_job_time only applies to job requirements", a.Pos)
+			}
+			d, err := units.ParseDuration(a.Value.Text)
+			if err != nil {
+				return fmt.Errorf("spec:%s: requirements max_job_time: %w", a.Pos, err)
+			}
+			req.MaxJobTime = d
+		default:
+			return fmt.Errorf("spec:%s: requirements: unknown attribute %q", a.Pos, a.Key)
+		}
+	}
+	if err := req.Validate(); err != nil {
+		return fmt.Errorf("spec:%s: %w", c.Pos, err)
+	}
+	b.svc.Reqs = req
 	return nil
 }
 

@@ -35,6 +35,10 @@ func FuzzParseInfrastructure(f *testing.F) {
 		"mechanism=m param=p range=[1m-24h;*1.05] cost=0",
 		"tier=web",
 		"\\\\ comment only",
+		// A requirements clause is service vocabulary and must be
+		// rejected here, not panic.
+		"requirements=enterprise\n  traffic(hour)=[100 200 300]\n  max_annual_downtime=1h",
+		"component=x cost=0\nrequirements=job\n  max_job_time=48h",
 	}
 	for _, s := range seeds {
 		f.Add(s)
@@ -79,6 +83,13 @@ func FuzzParseService(f *testing.F) {
 		"tier=t\napplication=late",
 		"application=a\ntier=t\n  resource=rA sizing=dynamic failurescope=resource\n    nActive=[1000-1,+1] performance=1",
 		"component=machineA cost=0",
+		// Traffic curves and failover SLOs in the requirements clause.
+		"application=a\nrequirements=enterprise\n  traffic(hour)=[820 640 510 1420 980]\n  max_annual_downtime=1h\n  degraded_throughput=0.7\ntier=t\n  resource=rA sizing=dynamic failurescope=resource\n    nActive=[1-8,+1] performance(nActive)=perfA.dat",
+		"application=a jobsize=10000\nrequirements=job\n  max_job_time=100h\ntier=t\n  resource=rH sizing=static failurescope=tier\n    nActive=[1-1000,+1] performance(nActive)=perfH.dat",
+		"application=a\nrequirements=enterprise\n  throughput=100\n  traffic(hour)=[100 200]\n  max_annual_downtime=1h\ntier=t\n  resource=rA sizing=dynamic failurescope=resource\n    nActive=[1] performance=1",
+		"application=a\nrequirements=enterprise\n  traffic(hour)=[NaN]\n  max_annual_downtime=1h\ntier=t",
+		"application=a\nrequirements=enterprise\n  throughput=100\n  max_annual_downtime=1h\n  degraded_throughput=2\ntier=t",
+		"application=a\nrequirements=bogus\n  throughput=100\ntier=t",
 	}
 	for _, s := range seeds {
 		f.Add(s)

@@ -1,0 +1,110 @@
+package model
+
+import (
+	"strings"
+	"testing"
+
+	"aved/internal/units"
+)
+
+const reqServiceSrc = `application=shop
+requirements=enterprise
+  traffic(hour)=[820 640 510 460 430 470 590 780 980 1150 1290 1380 1420 1400 1350 1310 1280 1300 1360 1390 1330 1190 1010 880]
+  max_annual_downtime=1h
+  degraded_throughput=0.7
+tier=front
+  resource=rA sizing=dynamic failurescope=resource
+    nActive=[1-8,+1] performance(nActive)=perfA.dat
+`
+
+func TestParseRequirementsEnterprise(t *testing.T) {
+	svc, err := ParseService(reqServiceSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := svc.Reqs
+	if r == nil {
+		t.Fatal("requirements clause not bound")
+	}
+	if r.Kind != ReqEnterprise {
+		t.Fatalf("kind = %v", r.Kind)
+	}
+	if len(r.Traffic) != 24 {
+		t.Fatalf("traffic samples = %d, want 24", len(r.Traffic))
+	}
+	if got := r.PeakLoad(); got != 1420 {
+		t.Fatalf("peak = %v, want 1420", got)
+	}
+	if got, want := r.DegradedLoad(), r.DegradedThroughput*r.PeakLoad(); got != want {
+		t.Fatalf("degraded load = %v, want %v", got, want)
+	}
+	if r.MaxAnnualDowntime != units.FromHours(1) {
+		t.Fatalf("downtime budget = %v", r.MaxAnnualDowntime)
+	}
+	if err := r.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseRequirementsJob(t *testing.T) {
+	src := `application=sim jobsize=10000
+requirements=job
+  max_job_time=48h
+tier=compute
+  resource=rG sizing=static failurescope=tier
+    nActive=64 performance=10
+`
+	svc, err := ParseService(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if svc.Reqs == nil || svc.Reqs.Kind != ReqJob {
+		t.Fatalf("job requirements not bound: %+v", svc.Reqs)
+	}
+	if svc.Reqs.MaxJobTime != units.FromHours(48) {
+		t.Fatalf("max job time = %v", svc.Reqs.MaxJobTime)
+	}
+}
+
+func TestRequirementsRoundTrip(t *testing.T) {
+	svc, err := ParseService(reqServiceSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := svc.Spec()
+	again, err := ParseService(spec)
+	if err != nil {
+		t.Fatalf("reparse: %v\nspec:\n%s", err, spec)
+	}
+	if again.Spec() != spec {
+		t.Fatalf("spec not stable:\nfirst:\n%s\nsecond:\n%s", spec, again.Spec())
+	}
+	if again.Reqs == nil || len(again.Reqs.Traffic) != 24 || again.Reqs.DegradedThroughput != 0.7 {
+		t.Fatalf("requirements lost in round trip: %+v", again.Reqs)
+	}
+}
+
+func TestRequirementsRejects(t *testing.T) {
+	cases := []struct {
+		name, src, want string
+	}{
+		{"both-loads", "application=a\nrequirements=enterprise\n  throughput=100\n  traffic(hour)=[100 200]\n  max_annual_downtime=1h\n", "mutually exclusive"},
+		{"nan-throughput", "application=a\nrequirements=enterprise\n  throughput=NaN\n  max_annual_downtime=1h\n", "positive"},
+		{"nan-sample", "application=a\nrequirements=enterprise\n  traffic(hour)=[100 NaN]\n  max_annual_downtime=1h\n", "finite"},
+		{"zero-curve", "application=a\nrequirements=enterprise\n  traffic(hour)=[0 0]\n  max_annual_downtime=1h\n", "peak must be positive"},
+		{"slo-over-one", "application=a\nrequirements=enterprise\n  throughput=100\n  max_annual_downtime=1h\n  degraded_throughput=1.5\n", "fraction"},
+		{"slo-nan", "application=a\nrequirements=enterprise\n  throughput=100\n  max_annual_downtime=1h\n  degraded_throughput=NaN\n", "fraction"},
+		{"job-attr-on-enterprise", "application=a\nrequirements=enterprise\n  throughput=100\n  max_annual_downtime=1h\n  max_job_time=10h\n", "only applies to job"},
+		{"duplicate", "application=a\nrequirements=job\n  max_job_time=1h\nrequirements=job\n  max_job_time=2h\n", "duplicate requirements"},
+		{"bad-kind", "application=a\nrequirements=batch\n  throughput=100\n", "enterprise or job"},
+		{"in-infra", "requirements=enterprise\n  throughput=100\n  max_annual_downtime=1h\n", "before application"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := ParseService(c.src)
+			if err == nil || !strings.Contains(err.Error(), c.want) {
+				t.Fatalf("err = %v, want substring %q", err, c.want)
+			}
+		})
+	}
+}

@@ -2,6 +2,7 @@ package model
 
 import (
 	"fmt"
+	"math"
 
 	"aved/internal/units"
 )
@@ -94,11 +95,13 @@ type Tier struct {
 }
 
 // Service is the bound service model: tiers and their resource options
-// (§3.2).
+// (§3.2). Reqs carries an optional embedded requirements clause; most
+// callers still pass Requirements to the solver separately.
 type Service struct {
 	Name       string
 	JobSize    float64 // application-specific units; finite jobs only
 	HasJobSize bool
+	Reqs       *Requirements
 	Tiers      []Tier
 }
 
@@ -155,23 +158,76 @@ const (
 type Requirements struct {
 	Kind RequirementKind
 
-	// Enterprise requirements.
+	// Enterprise requirements. Exactly one of Throughput (a single
+	// sustained load) and Traffic (a time-varying curve, e.g. 24 hourly
+	// samples of a diurnal cycle) is set; capacity is planned for the
+	// curve's peak.
 	Throughput        float64        // minimum sustained load, service-specific units
+	Traffic           []float64      // time-varying load samples, same units
 	MaxAnnualDowntime units.Duration // maximum expected downtime per year
+
+	// DegradedThroughput is an optional latency-degradation SLO for
+	// failover: the fraction of peak load (0 < f ≤ 1) the service must
+	// still sustain while a failure is being masked. Tiers with dynamic
+	// sizing and resource failure scope count as "up" while they hold
+	// this degraded bar; 0 means no degradation is tolerated and the
+	// full peak applies throughout.
+	DegradedThroughput float64
 
 	// Finite-job requirement.
 	MaxJobTime units.Duration // maximum expected job completion time
+}
+
+// PeakLoad is the load the service must be sized for: the maximum of
+// the traffic curve when one is given, otherwise the scalar throughput.
+func (r Requirements) PeakLoad() float64 {
+	if len(r.Traffic) == 0 {
+		return r.Throughput
+	}
+	peak := r.Traffic[0]
+	for _, v := range r.Traffic[1:] {
+		if v > peak {
+			peak = v
+		}
+	}
+	return peak
+}
+
+// DegradedLoad is the load the service must sustain during failover:
+// DegradedThroughput times the peak when the SLO is set, otherwise the
+// full peak.
+func (r Requirements) DegradedLoad() float64 {
+	peak := r.PeakLoad()
+	if r.DegradedThroughput > 0 {
+		return r.DegradedThroughput * peak
+	}
+	return peak
 }
 
 // Validate checks internal consistency of the requirements.
 func (r Requirements) Validate() error {
 	switch r.Kind {
 	case ReqEnterprise:
-		if r.Throughput <= 0 {
+		if len(r.Traffic) > 0 {
+			if r.Throughput != 0 {
+				return fmt.Errorf("requirements: throughput and traffic are mutually exclusive")
+			}
+			for i, v := range r.Traffic {
+				if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+					return fmt.Errorf("requirements: traffic sample %d must be finite and non-negative, got %v", i, v)
+				}
+			}
+			if r.PeakLoad() <= 0 {
+				return fmt.Errorf("requirements: traffic curve peak must be positive")
+			}
+		} else if math.IsNaN(r.Throughput) || math.IsInf(r.Throughput, 0) || r.Throughput <= 0 {
 			return fmt.Errorf("requirements: throughput must be positive, got %v", r.Throughput)
 		}
 		if r.MaxAnnualDowntime <= 0 {
 			return fmt.Errorf("requirements: max annual downtime must be positive, got %v", r.MaxAnnualDowntime)
+		}
+		if f := r.DegradedThroughput; f != 0 && (math.IsNaN(f) || f <= 0 || f > 1) {
+			return fmt.Errorf("requirements: degraded throughput must be a fraction in (0,1], got %v", f)
 		}
 	case ReqJob:
 		if r.MaxJobTime <= 0 {

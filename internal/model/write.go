@@ -110,6 +110,9 @@ func WriteService(w io.Writer, svc *Service) error {
 		fmt.Fprintf(bw, " jobsize=%g", svc.JobSize)
 	}
 	fmt.Fprintln(bw)
+	if svc.Reqs != nil {
+		writeRequirements(bw, svc.Reqs)
+	}
 	for ti := range svc.Tiers {
 		tier := &svc.Tiers[ti]
 		fmt.Fprintf(bw, "tier=%s\n", tier.Name)
@@ -128,6 +131,28 @@ func (s *Service) Spec() string {
 	var sb strings.Builder
 	_ = WriteService(&sb, s)
 	return sb.String()
+}
+
+func writeRequirements(w *bufio.Writer, r *Requirements) {
+	switch r.Kind {
+	case ReqEnterprise:
+		fmt.Fprintf(w, "requirements=enterprise\n")
+		if len(r.Traffic) > 0 {
+			samples := make([]string, len(r.Traffic))
+			for i, v := range r.Traffic {
+				samples[i] = fmt.Sprintf("%g", v)
+			}
+			fmt.Fprintf(w, "  traffic(hour)=[%s]\n", strings.Join(samples, " "))
+		} else {
+			fmt.Fprintf(w, "  throughput=%g\n", r.Throughput)
+		}
+		fmt.Fprintf(w, "  max_annual_downtime=%s\n", r.MaxAnnualDowntime)
+		if r.DegradedThroughput > 0 {
+			fmt.Fprintf(w, "  degraded_throughput=%g\n", r.DegradedThroughput)
+		}
+	case ReqJob:
+		fmt.Fprintf(w, "requirements=job\n  max_job_time=%s\n", r.MaxJobTime)
+	}
 }
 
 func writeOption(w *bufio.Writer, opt *ResourceOption) {

@@ -1,0 +1,504 @@
+package scenarios
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+
+	"aved/internal/model"
+	"aved/internal/perf"
+)
+
+// This file is the scenario corpus engine: a seeded, deterministic
+// generator that emits hundreds of parameterized infrastructure/service
+// pairs across four capacity-planning workload families, so every
+// differential claim (Markov vs simulator, branch-and-bound vs
+// exhaustive, warm vs cold, frontier reuse) can be asserted over a
+// population of workloads instead of the three paper fixtures.
+//
+// The families follow the shapes the related work plans for:
+//
+//   - web: single-tier stateless serving under a diurnal traffic curve
+//     (PCRAFT's regime), half the scenarios with a failover
+//     latency-degradation SLO;
+//   - batch: finite jobs bound by completion time (the paper's Fig. 5
+//     shape with generated sizes and deadlines);
+//   - telco: service chains of 5-8 heterogeneous stages drawing their
+//     resource options from a small shared pool (HASFC's regime);
+//   - storage: cold-spare-heavy tiers whose repairs are slow and priced
+//     through a maintenance-contract mechanism, making inactive spares
+//     the economical fix.
+//
+// Every scenario is reproducible from (corpus seed, family, index)
+// alone; generation that draws a structurally infeasible spec redraws
+// deterministically (bounded attempts), so corpus tests never pass
+// vacuously on specs no solver could size.
+
+// Family identifies one workload family of the corpus.
+type Family int
+
+// The corpus workload families.
+const (
+	FamilyWeb Family = iota + 1
+	FamilyBatch
+	FamilyTelco
+	FamilyStorage
+)
+
+// Families lists every workload family in generation order.
+var Families = []Family{FamilyWeb, FamilyBatch, FamilyTelco, FamilyStorage}
+
+// String renders the family name used in scenario names and reports.
+func (f Family) String() string {
+	switch f {
+	case FamilyWeb:
+		return "web"
+	case FamilyBatch:
+		return "batch"
+	case FamilyTelco:
+		return "telco"
+	case FamilyStorage:
+		return "storage"
+	default:
+		return fmt.Sprintf("Family(%d)", int(f))
+	}
+}
+
+// CorpusScenario is one generated workload: a bound infrastructure and
+// service, the requirements (extracted from the service spec's
+// requirements clause), the canonical spec texts both were parsed
+// from, and the performance registry resolving the spec's curve
+// references. InfSpec and SvcSpec are canonical: parsing either and
+// rendering it back yields the identical bytes.
+type CorpusScenario struct {
+	Family   Family
+	Index    int
+	Name     string
+	Seed     int64
+	Inf      *model.Infrastructure
+	Svc      *model.Service
+	Req      model.Requirements
+	InfSpec  string
+	SvcSpec  string
+	Registry *perf.Registry
+}
+
+// CorpusConfig parameterizes corpus generation.
+type CorpusConfig struct {
+	// Seed drives every scenario; the same seed reproduces the same
+	// corpus bit for bit.
+	Seed int64
+	// PerFamily is the number of scenarios per family; 0 means 50.
+	PerFamily int
+}
+
+// GenCorpus generates PerFamily scenarios for every family.
+func GenCorpus(cfg CorpusConfig) ([]*CorpusScenario, error) {
+	if cfg.PerFamily <= 0 {
+		cfg.PerFamily = 50
+	}
+	out := make([]*CorpusScenario, 0, cfg.PerFamily*len(Families))
+	for _, fam := range Families {
+		for i := 0; i < cfg.PerFamily; i++ {
+			sc, err := GenScenario(fam, i, cfg.Seed)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, sc)
+		}
+	}
+	return out, nil
+}
+
+// maxGenAttempts bounds the deterministic redraw loop for one scenario.
+const maxGenAttempts = 32
+
+// GenScenario generates the index-th scenario of a family under a
+// corpus seed. Draws that fail the structural feasibility precheck
+// redraw with a new attempt-derived stream; after maxGenAttempts the
+// generator is considered miscalibrated and an error reports it.
+func GenScenario(fam Family, index int, seed int64) (*CorpusScenario, error) {
+	for attempt := 0; attempt < maxGenAttempts; attempt++ {
+		rng := rand.New(rand.NewSource(scenarioSeed(seed, fam, index, attempt)))
+		raw, err := genFamily(fam, rng)
+		if err != nil {
+			return nil, fmt.Errorf("scenarios: %v %d: %w", fam, index, err)
+		}
+		sc, err := raw.finish(fam, index, seed)
+		if err != nil {
+			// A draw that fails to parse or resolve is a generator bug,
+			// not bad luck — fail loudly instead of redrawing past it.
+			return nil, fmt.Errorf("scenarios: %v %d: %w", fam, index, err)
+		}
+		if StructurallyFeasible(sc.Svc, sc.Req, sc.Registry) {
+			return sc, nil
+		}
+	}
+	return nil, fmt.Errorf("scenarios: %v scenario %d: no structurally feasible draw in %d attempts",
+		fam, index, maxGenAttempts)
+}
+
+// scenarioSeed mixes (corpus seed, family, index, attempt) into one
+// PRNG seed with a splitmix64-style finalizer, so neighbouring indices
+// get uncorrelated streams.
+func scenarioSeed(seed int64, fam Family, index, attempt int) int64 {
+	z := uint64(seed)
+	z ^= (uint64(fam) + 1) * 0x9E3779B97F4A7C15
+	z ^= (uint64(index) + 1) * 0xBF58476D1CE4E5B9
+	z ^= (uint64(attempt) + 1) * 0x94D049BB133111EB
+	z ^= z >> 30
+	z *= 0xBF58476D1CE4E5B9
+	z ^= z >> 27
+	z *= 0x94D049BB133111EB
+	z ^= z >> 31
+	return int64(z)
+}
+
+// StructurallyFeasible reports whether the solver could size every tier
+// at all: each tier needs at least one option whose performance curve
+// meets the sizing load somewhere on its active-count grid, inside the
+// component instance caps — the same split the search applies before
+// enumerating an option. It deliberately stops short of evaluating
+// availability (that is the solver's job); it exists so generators and
+// tests reject specs whose searches would be vacuously empty. The
+// service must be resolved against its infrastructure first.
+func StructurallyFeasible(svc *model.Service, req model.Requirements, reg *perf.Registry) bool {
+	if req.Kind == model.ReqJob && (!svc.HasJobSize || svc.JobSize <= 0) {
+		return false
+	}
+	load := req.PeakLoad()
+	for ti := range svc.Tiers {
+		tier := &svc.Tiers[ti]
+		ok := false
+		for oi := range tier.Options {
+			opt := &tier.Options[oi]
+			var curve perf.Curve
+			if opt.PerfIsScalar {
+				curve = perf.ConstCurve(opt.PerfScalar)
+			} else {
+				c, err := reg.Curve(opt.PerfRef)
+				if err != nil {
+					continue
+				}
+				curve = c
+			}
+			maxTotal := opt.ResourceType().MaxInstances()
+			if req.Kind == model.ReqJob {
+				// Finite jobs have no throughput floor; any grid point
+				// inside the caps is a searchable size.
+				lo := int(math.Round(opt.NActive.Lo()))
+				if lo >= 1 && (maxTotal == 0 || lo <= maxTotal) {
+					ok = true
+					break
+				}
+				continue
+			}
+			n, feasible := perf.MinActive(curve, load, opt.NActive)
+			if feasible && (maxTotal == 0 || n <= maxTotal) {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// rawScenario is one family draw before canonicalization: raw spec
+// texts plus the linear curves its performance references resolve to.
+type rawScenario struct {
+	infSrc string
+	svcSrc string
+	curves map[string]float64 // reference name -> per-instance throughput
+}
+
+// finish canonicalizes a draw: parse both specs, re-render them (so the
+// stored text is the writer's fixed point), resolve the service, build
+// the registry and pull the requirements out of the service's
+// requirements clause.
+func (raw *rawScenario) finish(fam Family, index int, seed int64) (*CorpusScenario, error) {
+	inf, err := model.ParseInfrastructure(raw.infSrc)
+	if err != nil {
+		return nil, fmt.Errorf("infrastructure: %w", err)
+	}
+	infSpec := inf.Spec()
+	inf, err = model.ParseInfrastructure(infSpec)
+	if err != nil {
+		return nil, fmt.Errorf("canonical infrastructure: %w", err)
+	}
+	svc, err := model.ParseService(raw.svcSrc)
+	if err != nil {
+		return nil, fmt.Errorf("service: %w", err)
+	}
+	svcSpec := svc.Spec()
+	svc, err = model.ParseService(svcSpec)
+	if err != nil {
+		return nil, fmt.Errorf("canonical service: %w", err)
+	}
+	if err := svc.Resolve(inf); err != nil {
+		return nil, fmt.Errorf("resolve: %w", err)
+	}
+	if svc.Reqs == nil {
+		return nil, fmt.Errorf("generated service carries no requirements clause")
+	}
+	reg := perf.NewRegistry()
+	for name, v := range raw.curves {
+		reg.RegisterCurve(name, perf.LinearCurve(v))
+	}
+	return &CorpusScenario{
+		Family:   fam,
+		Index:    index,
+		Name:     fmt.Sprintf("%s-%03d", fam, index),
+		Seed:     seed,
+		Inf:      inf,
+		Svc:      svc,
+		Req:      *svc.Reqs,
+		InfSpec:  infSpec,
+		SvcSpec:  svcSpec,
+		Registry: reg,
+	}, nil
+}
+
+func genFamily(fam Family, rng *rand.Rand) (*rawScenario, error) {
+	switch fam {
+	case FamilyWeb:
+		return genWeb(rng), nil
+	case FamilyBatch:
+		return genBatch(rng), nil
+	case FamilyTelco:
+		return genTelco(rng), nil
+	case FamilyStorage:
+		return genStorage(rng), nil
+	default:
+		return nil, fmt.Errorf("unknown family %v", fam)
+	}
+}
+
+// hostStack writes one machine-class component plus the shared OS and
+// server software stanzas of a resource, mirroring the paper's Fig. 3
+// stacks. Failure regimes stay inside the analytic engine's comfort
+// zone: MTBFs of months to years against repairs of hours.
+func hostStack(b *strings.Builder, res, machine, soft string) {
+	fmt.Fprintf(b, "resource=%s reconfig_time=0\n", res)
+	fmt.Fprintf(b, "  component=%s depend=null startup=30s\n", machine)
+	fmt.Fprintf(b, "  component=os depend=%s startup=2m\n", machine)
+	fmt.Fprintf(b, "  component=%s depend=os startup=30s\n", soft)
+}
+
+// machineComponent writes a machine-class component with a hard repair
+// failure and a soft reboot failure.
+func machineComponent(b *strings.Builder, name string, rng *rand.Rand) {
+	price := 1500 + rng.Intn(19)*250
+	markup := 1 + rng.Intn(3) // active premium of 10-30%
+	fmt.Fprintf(b, "component=%s cost([inactive,active])=[%d %d]\n",
+		name, price, price+price*markup/10)
+	fmt.Fprintf(b, "  failure=hard mtbf=%dd mttr=%dh detect_time=2m\n",
+		200+rng.Intn(28)*25, 12+rng.Intn(37))
+	fmt.Fprintf(b, "  failure=soft mtbf=%dd mttr=0 detect_time=0\n", 40+rng.Intn(11)*10)
+}
+
+// softwareComponents writes the shared OS and a named server-software
+// component (both reboot-style soft failures).
+func softwareComponents(b *strings.Builder, soft string, softCost int, rng *rand.Rand) {
+	fmt.Fprintf(b, "component=os cost=0\n  failure=soft mtbf=%dd mttr=0 detect_time=0\n",
+		30+rng.Intn(61))
+	fmt.Fprintf(b, "component=%s cost([inactive,active])=[0 %d]\n  failure=soft mtbf=%dd mttr=0 detect_time=0\n",
+		soft, softCost, 30+rng.Intn(61))
+}
+
+// diurnalTraffic draws a 24-sample day shaped like real serving load: a
+// cosine valley-to-peak profile with per-hour jitter, clamped so the
+// drawn peak value appears exactly once as the curve's maximum.
+func diurnalTraffic(rng *rand.Rand, peak int) []int {
+	peakHour := 10 + rng.Intn(10)
+	out := make([]int, 24)
+	for h := 0; h < 24; h++ {
+		w := 0.65 - 0.35*math.Cos(2*math.Pi*float64(h-peakHour)/24)
+		w += (rng.Float64() - 0.5) * 0.1
+		v := int(math.Round(float64(peak) * w))
+		if v < 1 {
+			v = 1
+		}
+		if v >= peak {
+			v = peak - 1
+		}
+		out[h] = v
+	}
+	out[peakHour] = peak
+	return out
+}
+
+func writeTraffic(b *strings.Builder, samples []int) {
+	parts := make([]string, len(samples))
+	for i, v := range samples {
+		parts[i] = fmt.Sprintf("%d", v)
+	}
+	fmt.Fprintf(b, "  traffic(hour)=[%s]\n", strings.Join(parts, " "))
+}
+
+// genWeb draws a single-tier stateless web service: 2-3 host stacks as
+// resource options, a diurnal traffic curve, and (half the time) a
+// failover latency-degradation SLO.
+func genWeb(rng *rand.Rand) *rawScenario {
+	nRes := 2 + rng.Intn(2)
+	var inf strings.Builder
+	curves := map[string]float64{}
+	for i := 0; i < nRes; i++ {
+		machineComponent(&inf, fmt.Sprintf("machine%c", 'A'+i), rng)
+	}
+	softwareComponents(&inf, "httpd", 200+rng.Intn(9)*100, rng)
+	for i := 0; i < nRes; i++ {
+		hostStack(&inf, fmt.Sprintf("web%c", 'A'+i), fmt.Sprintf("machine%c", 'A'+i), "httpd")
+	}
+
+	var svc strings.Builder
+	svc.WriteString("application=websvc\nrequirements=enterprise\n")
+	peak := 300 + rng.Intn(13)*100
+	writeTraffic(&svc, diurnalTraffic(rng, peak))
+	budgets := []int{60, 100, 300, 1000}
+	fmt.Fprintf(&svc, "  max_annual_downtime=%dm\n", budgets[rng.Intn(len(budgets))])
+	if rng.Intn(2) == 0 {
+		fmt.Fprintf(&svc, "  degraded_throughput=0.%d\n", 5+rng.Intn(5))
+	}
+	svc.WriteString("tier=web\n")
+	for i := 0; i < nRes; i++ {
+		ref := fmt.Sprintf("perfweb%c.dat", 'A'+i)
+		curves[ref] = float64(80 + rng.Intn(13)*20)
+		fmt.Fprintf(&svc, "  resource=web%c sizing=dynamic failurescope=resource\n", 'A'+i)
+		fmt.Fprintf(&svc, "    nActive=[1-32,+1] performance(nActive)=%s\n", ref)
+	}
+	return &rawScenario{infSrc: inf.String(), svcSrc: svc.String(), curves: curves}
+}
+
+// genBatch draws a finite-job service: a statically sized compute tier
+// whose deadline is set a modest slack above the failure-free time of a
+// mid-grid size, so most draws are solvable and the rest exercise the
+// infeasible path deterministically.
+func genBatch(rng *rand.Rand) *rawScenario {
+	nRes := 1 + rng.Intn(2)
+	var inf strings.Builder
+	curves := map[string]float64{}
+	for i := 0; i < nRes; i++ {
+		machineComponent(&inf, fmt.Sprintf("node%c", 'A'+i), rng)
+	}
+	softwareComponents(&inf, "runtime", 100+rng.Intn(5)*100, rng)
+	for i := 0; i < nRes; i++ {
+		hostStack(&inf, fmt.Sprintf("batch%c", 'A'+i), fmt.Sprintf("node%c", 'A'+i), "runtime")
+	}
+
+	jobSize := 2000 + rng.Intn(10)*2000
+	perUnit := float64(5 + rng.Intn(10)*5) // job units per instance-hour
+	nTarget := 2 + rng.Intn(8)
+	slack := 1.5 + 2.5*rng.Float64()
+	deadline := int(math.Ceil(float64(jobSize) / (perUnit * float64(nTarget)) * slack))
+	if deadline < 1 {
+		deadline = 1
+	}
+	scopes := []string{"tier", "resource"}
+	scope := scopes[rng.Intn(len(scopes))]
+
+	var svc strings.Builder
+	fmt.Fprintf(&svc, "application=batchsvc jobsize=%d\n", jobSize)
+	fmt.Fprintf(&svc, "requirements=job\n  max_job_time=%dh\n", deadline)
+	svc.WriteString("tier=compute\n")
+	for i := 0; i < nRes; i++ {
+		ref := fmt.Sprintf("perfbatch%c.dat", 'A'+i)
+		curves[ref] = perUnit * (0.8 + 0.4*rng.Float64())
+		fmt.Fprintf(&svc, "  resource=batch%c sizing=static failurescope=%s\n", 'A'+i, scope)
+		fmt.Fprintf(&svc, "    nActive=[1-24,+1] performance(nActive)=%s\n", ref)
+	}
+	return &rawScenario{infSrc: inf.String(), svcSrc: svc.String(), curves: curves}
+}
+
+// genTelco draws a HASFC-style service chain: 5-8 heterogeneous stages,
+// each choosing among 1-2 resource types from a shared pool of 3-4, so
+// stages are coupled through common hardware. Budgets stay loose — the
+// series composition of many stages is where combination math, not
+// per-tier tightness, does the work.
+func genTelco(rng *rand.Rand) *rawScenario {
+	nPool := 3 + rng.Intn(2)
+	var inf strings.Builder
+	curves := map[string]float64{}
+	for i := 0; i < nPool; i++ {
+		machineComponent(&inf, fmt.Sprintf("chassis%c", 'A'+i), rng)
+	}
+	softwareComponents(&inf, "vnf", 300+rng.Intn(7)*100, rng)
+	for i := 0; i < nPool; i++ {
+		hostStack(&inf, fmt.Sprintf("pool%c", 'A'+i), fmt.Sprintf("chassis%c", 'A'+i), "vnf")
+		ref := fmt.Sprintf("perfpool%c.dat", 'A'+i)
+		curves[ref] = float64(60 + rng.Intn(10)*20)
+	}
+
+	var svc strings.Builder
+	svc.WriteString("application=chainsvc\nrequirements=enterprise\n")
+	fmt.Fprintf(&svc, "  throughput=%d\n", 100+rng.Intn(9)*50)
+	budgets := []int{300, 1000, 2000}
+	fmt.Fprintf(&svc, "  max_annual_downtime=%dm\n", budgets[rng.Intn(len(budgets))])
+	nStages := 5 + rng.Intn(4)
+	for s := 0; s < nStages; s++ {
+		fmt.Fprintf(&svc, "tier=stage%d\n", s+1)
+		first := rng.Intn(nPool)
+		picks := []int{first}
+		if rng.Intn(2) == 0 {
+			second := rng.Intn(nPool)
+			if second != first {
+				picks = append(picks, second)
+			}
+		}
+		for _, p := range picks {
+			fmt.Fprintf(&svc, "  resource=pool%c sizing=dynamic failurescope=resource\n", 'A'+p)
+			fmt.Fprintf(&svc, "    nActive=[1-16,+1] performance(nActive)=perfpool%c.dat\n", 'A'+p)
+		}
+	}
+	return &rawScenario{infSrc: inf.String(), svcSrc: svc.String(), curves: curves}
+}
+
+// genStorage draws a cold-spare-heavy storage tier: arrays whose hard
+// repairs are slow and priced through a maintenance-contract mechanism
+// (level picks the repair clock), with inactive instances at a small
+// fraction of the active price so cold spares are the economical fix.
+func genStorage(rng *rand.Rand) *rawScenario {
+	var inf strings.Builder
+	curves := map[string]float64{}
+	base := 380 + rng.Intn(8)*60
+	fmt.Fprintf(&inf, "mechanism=maint\n  param=level range=[bronze,silver,gold]\n")
+	fmt.Fprintf(&inf, "    cost(level)=[%d %d %d]\n", base, base*2, base*4)
+	// Repair clocks stay within the analytic engine's documented regime
+	// (failure rates well below repair rates): slower than this and
+	// concurrent cross-mode failures become common enough that the
+	// engines legitimately diverge beyond the differential band.
+	fmt.Fprintf(&inf, "    mttr(level)=[%dh %dh %dh]\n", 24+rng.Intn(13), 12+rng.Intn(7), 4+rng.Intn(5))
+	nRes := 1 + rng.Intn(2)
+	for i := 0; i < nRes; i++ {
+		price := 8000 + rng.Intn(17)*1000
+		fmt.Fprintf(&inf, "component=array%c cost([inactive,active])=[%d %d]\n", 'A'+i, price/8, price)
+		fmt.Fprintf(&inf, "  failure=hard mtbf=%dd mttr=<maint> detect_time=5m\n", 500+rng.Intn(21)*25)
+		fmt.Fprintf(&inf, "  failure=media mtbf=%dd mttr=%dh detect_time=1m\n", 120+rng.Intn(14)*10, 4+rng.Intn(9))
+	}
+	fmt.Fprintf(&inf, "component=ctrl cost=0\n  failure=soft mtbf=%dd mttr=0 detect_time=0\n", 40+rng.Intn(81))
+	for i := 0; i < nRes; i++ {
+		fmt.Fprintf(&inf, "resource=stor%c reconfig_time=0\n", 'A'+i)
+		fmt.Fprintf(&inf, "  component=array%c depend=null startup=60s\n", 'A'+i)
+		fmt.Fprintf(&inf, "  component=ctrl depend=array%c startup=1m\n", 'A'+i)
+	}
+
+	var svc strings.Builder
+	svc.WriteString("application=storsvc\nrequirements=enterprise\n")
+	fmt.Fprintf(&svc, "  throughput=%d\n", 150+rng.Intn(8)*50)
+	budgets := []int{100, 300, 1000}
+	fmt.Fprintf(&svc, "  max_annual_downtime=%dm\n", budgets[rng.Intn(len(budgets))])
+	if rng.Intn(3) == 0 {
+		fmt.Fprintf(&svc, "  degraded_throughput=0.%d\n", 6+rng.Intn(4))
+	}
+	svc.WriteString("tier=store\n")
+	for i := 0; i < nRes; i++ {
+		ref := fmt.Sprintf("perfstor%c.dat", 'A'+i)
+		curves[ref] = float64(100 + rng.Intn(13)*25)
+		fmt.Fprintf(&svc, "  resource=stor%c sizing=dynamic failurescope=resource\n", 'A'+i)
+		fmt.Fprintf(&svc, "    nActive=[1-8,+1] performance(nActive)=%s\n", ref)
+	}
+	return &rawScenario{infSrc: inf.String(), svcSrc: svc.String(), curves: curves}
+}

@@ -88,8 +88,25 @@ type SolveScenario struct {
 
 // RandSolveScenario draws one solver scenario from rng. The same seed
 // reproduces the same scenario bit for bit: all random draws happen in
-// a sorted, deterministic order.
+// a sorted, deterministic order, and a draw that fails the structural
+// feasibility precheck (a tier no option of which can meet the drawn
+// throughput on its grid) redraws from the same stream — still
+// deterministic, and bounded so a miscalibrated generator fails loudly
+// instead of spinning.
 func RandSolveScenario(rng *rand.Rand) (*SolveScenario, error) {
+	for attempt := 0; attempt < maxGenAttempts; attempt++ {
+		sc, err := randSolveScenarioOnce(rng)
+		if err != nil {
+			return nil, err
+		}
+		if StructurallyFeasible(sc.Svc, sc.Req, Registry()) {
+			return sc, nil
+		}
+	}
+	return nil, fmt.Errorf("scenarios: no structurally feasible draw in %d attempts", maxGenAttempts)
+}
+
+func randSolveScenarioOnce(rng *rand.Rand) (*SolveScenario, error) {
 	inf, err := Infrastructure()
 	if err != nil {
 		return nil, err

@@ -3,13 +3,14 @@ package spec
 // clauseHeads are the keywords that begin a new clause. Any other
 // key=value pair attaches to the clause currently being parsed.
 var clauseHeads = map[string]bool{
-	"component":   true,
-	"failure":     true,
-	"mechanism":   true,
-	"param":       true,
-	"resource":    true,
-	"tier":        true,
-	"application": true,
+	"component":    true,
+	"failure":      true,
+	"mechanism":    true,
+	"param":        true,
+	"resource":     true,
+	"tier":         true,
+	"application":  true,
+	"requirements": true,
 }
 
 // Parse lexes and parses a complete specification source text.
@@ -57,7 +58,7 @@ func (p *parser) parseClause() (Clause, error) {
 	head := p.peek()
 	if head.Kind != TokenWord || !clauseHeads[head.Text] {
 		return Clause{}, errorAt(head.Pos,
-			"want a clause keyword (component, failure, mechanism, param, resource, tier, application), got %q", head.Text)
+			"want a clause keyword (component, failure, mechanism, param, resource, tier, application, requirements), got %q", head.Text)
 	}
 	headAttr, err := p.parseAttr()
 	if err != nil {

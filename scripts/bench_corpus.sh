@@ -1,0 +1,18 @@
+#!/bin/sh
+# Regenerates results/BENCH_corpus.json: the scenario corpus engine's
+# solve-effort record — per-family solve times, evaluation counters and
+# the bnb-vs-exhaustive bound payoff over the generated web, batch,
+# telco and storage workloads. The run fails on any feasibility or
+# solution divergence between the two search modes. Counters are from
+# sequential (Workers=1) solves under a fixed corpus seed, so they are
+# exactly reproducible on any host; only the wall timings vary. Run
+# from the repository root.
+set -eu
+cd "$(dirname "$0")/.."
+mkdir -p results
+if [ "$(nproc)" = 1 ]; then
+    echo "WARNING: single-CPU host; the JSON will carry single_cpu=true" >&2
+fi
+echo "benchmarking on $(nproc) CPU(s)"
+go run ./cmd/avedbench -mode corpus -o results/BENCH_corpus.json
+echo "wrote results/BENCH_corpus.json"
